@@ -1,0 +1,105 @@
+// Ablation A1 (§3.4): the three request-forwarding strategies. ASVM layers
+// dynamic hints over static ownership managers over a global scan; disabling
+// tiers reproduces Kai Li's fixed-distributed-manager (static+global) and a
+// pure broadcast scheme (global only).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace asvm {
+namespace {
+
+struct ForwardingResult {
+  double hot_ms;    // re-access of a page this node served recently (hint hit)
+  double cold_ms;   // first access to a page owned far away
+  int64_t messages;
+};
+
+ForwardingResult RunConfig(bool dynamic, bool stat, int nodes) {
+  MachineConfig config = BenchConfig(DsmKind::kAsvm, nodes);
+  config.asvm.dynamic_forwarding = dynamic;
+  config.asvm.static_forwarding = stat;
+  Machine machine(config);
+  MemObjectId region = machine.CreateSharedRegion(0, 64);
+
+  // Populate: node 1 owns all pages.
+  TaskMemory& owner = machine.MapRegion(1, region);
+  for (int p = 0; p < 32; ++p) {
+    auto w = owner.WriteU64(static_cast<VmOffset>(p) * 8192, p);
+    machine.Run();
+  }
+  // Every node reads every page once (warms dynamic caches where enabled).
+  for (NodeId n = 2; n < nodes; ++n) {
+    TaskMemory& reader = machine.MapRegion(n, region);
+    for (int p = 0; p < 32; ++p) {
+      MeasureReadMs(machine, reader, static_cast<VmOffset>(p) * 8192);
+    }
+  }
+  // Ownership moves to node 2 for all pages.
+  TaskMemory& mover = machine.MapRegion(2, region);
+  for (int p = 0; p < 32; ++p) {
+    MeasureWriteMs(machine, mover, static_cast<VmOffset>(p) * 8192, p + 100);
+  }
+
+  // Producer/consumer ping-pong so the consumer's dynamic hints are fresh:
+  // node 2 rewrites, node 3 re-reads, repeatedly.
+  TaskMemory& probe = machine.MapRegion(3, region);
+  double hot = 0;
+  int64_t msgs_before = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int p = 0; p < 32; ++p) {
+      MeasureWriteMs(machine, mover, static_cast<VmOffset>(p) * 8192, p + round);
+    }
+    if (round == 2) {
+      msgs_before = machine.stats().Get("transport.sts.messages") +
+                    machine.stats().Get("transport.sts_ctl.messages");
+      for (int p = 0; p < 32; ++p) {
+        hot += MeasureReadMs(machine, probe, static_cast<VmOffset>(p) * 8192);
+      }
+    } else {
+      for (int p = 0; p < 32; ++p) {
+        MeasureReadMs(machine, probe, static_cast<VmOffset>(p) * 8192);
+      }
+    }
+  }
+  // Cold: the last node never touched anything.
+  TaskMemory& cold_probe = machine.MapRegion(nodes - 1, region);
+  double cold = 0;
+  for (int p = 32; p < 64; ++p) {
+    // Fresh pages: request must reach the pager.
+    cold += MeasureReadMs(machine, cold_probe, static_cast<VmOffset>(p) * 8192);
+  }
+  const int64_t msgs = machine.stats().Get("transport.sts.messages") +
+                       machine.stats().Get("transport.sts_ctl.messages") - msgs_before;
+  return {hot / 32.0, cold / 32.0, msgs};
+}
+
+void RunAblation() {
+  PrintHeader("Ablation A1: forwarding strategies (16 nodes, ms per access)");
+  std::printf("%-34s %10s %10s %10s\n", "configuration", "owned-pg", "fresh-pg", "messages");
+  struct Row {
+    const char* label;
+    bool dynamic;
+    bool stat;
+  };
+  for (const Row& row : {Row{"dynamic+static+global (ASVM)", true, true},
+                         Row{"static+global (Li fixed-distr.)", false, true},
+                         Row{"dynamic+global", true, false},
+                         Row{"global only (broadcast)", false, false}}) {
+    ForwardingResult r = RunConfig(row.dynamic, row.stat, 16);
+    std::printf("%-34s %10.2f %10.2f %10lld\n", row.label, r.hot_ms, r.cold_ms,
+                static_cast<long long>(r.messages));
+  }
+  std::printf(
+      "\nThe layered scheme finds owners in the fewest hops; pure global\n"
+      "forwarding pays a ring traversal per miss; losing the static tier\n"
+      "costs fresh-page accesses their 'fresh' short-circuit (§3.4).\n");
+}
+
+}  // namespace
+}  // namespace asvm
+
+int main() {
+  asvm::RunAblation();
+  return 0;
+}

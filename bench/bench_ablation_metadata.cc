@@ -1,0 +1,62 @@
+// Ablation A4 (§3.1, "Limited Memory Requirements"): non-pageable DSM
+// metadata. XMM's centralized manager allocates 1 byte per page per node the
+// moment an object is used; ASVM's state is tied to resident pages. The paper
+// notes the XMM approach "may even consume more memory than is actually
+// available, leading to a system crash" on large sparse objects.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace asvm {
+namespace {
+
+struct MetaResult {
+  size_t manager_bytes;  // home/manager node
+  size_t peak_other;     // max over the other nodes
+};
+
+MetaResult Measure(DsmKind kind, int nodes, VmSize pages, int touched) {
+  Machine machine(BenchConfig(kind, nodes));
+  MemObjectId region = machine.CreateSharedRegion(0, pages);
+  TaskMemory& toucher = machine.MapRegion(1, region);
+  // Attach everyone (mapping alone is what bloats the XMM table).
+  for (NodeId n = 2; n < nodes; ++n) {
+    machine.MapRegion(n, region);
+  }
+  for (int p = 0; p < touched; ++p) {
+    auto w = toucher.WriteU64(static_cast<VmOffset>(p) * 8192, p);
+    machine.Run();
+  }
+  MetaResult result;
+  result.manager_bytes = machine.DsmMetadataBytes(0);
+  result.peak_other = 0;
+  for (NodeId n = 1; n < nodes; ++n) {
+    result.peak_other = std::max(result.peak_other, machine.DsmMetadataBytes(n));
+  }
+  return result;
+}
+
+void RunBench() {
+  PrintHeader("Ablation A4: non-pageable metadata, 64 MB object (8192 pages), 16 touched");
+  std::printf("%8s %18s %18s %18s %18s\n", "nodes", "ASVM mgr (KB)", "ASVM peak (KB)",
+              "XMM mgr (KB)", "XMM peak (KB)");
+  for (int nodes : {4, 16, 64}) {
+    MetaResult a = Measure(DsmKind::kAsvm, nodes, 8192, 16);
+    MetaResult x = Measure(DsmKind::kXmm, nodes, 8192, 16);
+    std::printf("%8d %18.1f %18.1f %18.1f %18.1f\n", nodes, a.manager_bytes / 1024.0,
+                a.peak_other / 1024.0, x.manager_bytes / 1024.0, x.peak_other / 1024.0);
+  }
+  std::printf(
+      "\nXMM's manager table grows as pages x nodes regardless of use (the\n"
+      "crash scenario §3.1 warns about at Paragon scale: a 1 GB sparse object\n"
+      "on 1792 nodes would need ~230 MB of kernel memory on one node). ASVM\n"
+      "metadata stays proportional to what is actually cached.\n");
+}
+
+}  // namespace
+}  // namespace asvm
+
+int main() {
+  asvm::RunBench();
+  return 0;
+}

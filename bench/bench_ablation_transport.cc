@@ -1,0 +1,49 @@
+// Ablation A2 (§3.1, "Dedicated Transport Service"): the ASVM protocol over
+// its dedicated STS versus the same protocol over NORMA-IPC. The paper
+// attributes ~90% of XMM's remote-fault latency to NORMA-IPC; this isolates
+// the transport's share of the win from the protocol's.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace asvm {
+namespace {
+
+double WriteFaultOver(bool use_norma, int readers) {
+  MachineConfig config = BenchConfig(DsmKind::kAsvm, kFirstReaderNode + readers + 1);
+  config.asvm.use_norma_transport = use_norma;
+  Machine machine(config);
+  MemObjectId region = machine.CreateSharedRegion(kHomeNode, 8);
+  TaskMemory& creator = machine.MapRegion(kCreatorNode, region);
+  auto w = creator.WriteU64(0, 1);
+  machine.Run();
+  for (int i = 0; i < readers; ++i) {
+    TaskMemory& reader = machine.MapRegion(kFirstReaderNode + i, region);
+    MeasureReadMs(machine, reader, 0);
+  }
+  TaskMemory& faulter = machine.MapRegion(kFaultNode, region);
+  return MeasureWriteMs(machine, faulter, 0, 2);
+}
+
+void RunAblation() {
+  PrintHeader("Ablation A2: ASVM protocol over STS vs. over NORMA-IPC (ms)");
+  std::printf("%10s %12s %14s %8s\n", "readers", "ASVM/STS", "ASVM/NORMA", "ratio");
+  for (int readers : {0, 2, 8, 32, 64}) {
+    const double sts = WriteFaultOver(false, readers);
+    const double norma = WriteFaultOver(true, readers);
+    std::printf("%10d %12.2f %14.2f %7.1fx\n", readers, sts, norma, norma / sts);
+  }
+  std::printf(
+      "\nEven with ASVM's lean 3-message protocol, NORMA-IPC's per-message\n"
+      "software cost multiplies latency — the reason ASVM defines its own\n"
+      "transport with fixed 32-byte control blocks and preallocated page\n"
+      "buffers (paper §3.1).\n");
+}
+
+}  // namespace
+}  // namespace asvm
+
+int main() {
+  asvm::RunAblation();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension bench (§6 future work): the UFS/PFS hybrid. Striping a mapped
+// file over k I/O nodes multiplies cold streaming bandwidth (PFS property)
+// while ASVM's caching keeps warm re-reads at memory speed (UFS property) —
+// and under XMM the centralized manager erases the striping gains for shared
+// access.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/mappedfs/file_bench.h"
+
+namespace asvm {
+namespace {
+
+struct StripeResult {
+  double cold_mb_s;   // disjoint sections, cold (PFS streaming pattern)
+  double warm_mb_s;   // whole file re-read after caching (UFS pattern)
+};
+
+StripeResult Run(DsmKind kind, int stripes, int readahead = 0) {
+  MachineConfig config = BenchConfig(kind, 12);
+  config.file_pager_count = stripes;
+  config.file_pager.readahead_pages = readahead;
+  Machine machine(config);
+  const VmSize pages = 512;  // 4 MB
+  MemObjectId region = machine.CreateStripedFile("data", pages, stripes,
+                                                 /*prefilled=*/true);
+  StripeResult result;
+  result.cold_mb_s =
+      RunParallelFileReadSections(machine, region, pages, 8, /*first_node=*/4).per_node_mb_s;
+  // Second pass: every node reads the WHOLE file. Its own section is a local
+  // cache hit; the rest is served from sibling caches (ASVM) or through the
+  // manager (XMM) — no disk either way.
+  result.warm_mb_s =
+      RunParallelFileRead(machine, region, pages, 8, /*first_node=*/4).per_node_mb_s;
+  return result;
+}
+
+void RunBench() {
+  PrintHeader("Extension: striped mapped files (8 readers, 4 MB, MB/s per node)");
+  std::printf("%-8s %14s %14s %14s %14s\n", "stripes", "ASVM cold", "ASVM warm", "XMM cold",
+              "XMM warm");
+  for (int stripes : {1, 2, 4, 8}) {
+    StripeResult a = Run(DsmKind::kAsvm, stripes);
+    StripeResult x = Run(DsmKind::kXmm, stripes);
+    std::printf("%-8d %14.2f %14.2f %14.2f %14.2f\n", stripes, a.cold_mb_s, a.warm_mb_s,
+                x.cold_mb_s, x.warm_mb_s);
+  }
+  std::printf("\nWith §6 page-in clustering (8-page read-ahead at each stripe pager):\n");
+  std::printf("%-8s %14s %14s\n", "stripes", "ASVM cold", "XMM cold");
+  for (int stripes : {1, 4}) {
+    StripeResult a = Run(DsmKind::kAsvm, stripes, /*readahead=*/8);
+    StripeResult x = Run(DsmKind::kXmm, stripes, /*readahead=*/8);
+    std::printf("%-8d %14.2f %14.2f\n", stripes, a.cold_mb_s, x.cold_mb_s);
+  }
+  std::printf(
+      "\nCold streaming scales with the stripe count (PFS) and clustering\n"
+      "amortizes disk positioning; warm re-reads are memory-speed under ASVM\n"
+      "because the DSM caches locally (UFS). This is the full §6 hybrid:\n"
+      "striping + clustering + local caching + full Unix semantics.\n");
+}
+
+}  // namespace
+}  // namespace asvm
+
+int main() {
+  asvm::RunBench();
+  return 0;
+}

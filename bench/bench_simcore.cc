@@ -1,0 +1,93 @@
+// Host-side micro-benchmarks (google-benchmark) of the simulation substrate:
+// event-queue throughput, coroutine wake costs, and end-to-end simulated
+// fault throughput. These measure the simulator itself, not the modeled
+// system.
+#include <benchmark/benchmark.h>
+
+#include "src/core/machine.h"
+#include "src/sim/engine.h"
+#include "src/sim/future.h"
+#include "src/sim/task.h"
+
+namespace asvm {
+namespace {
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.Schedule(i, []() {});
+    }
+    benchmark::DoNotOptimize(engine.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+Task Chain(Engine& engine, int depth, int* count) {
+  for (int i = 0; i < depth; ++i) {
+    co_await Delay(engine, 1);
+    ++*count;
+  }
+}
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    int count = 0;
+    Task t = Chain(engine, 1000, &count);
+    engine.Run();
+    benchmark::DoNotOptimize(count);
+    benchmark::DoNotOptimize(t.done());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+void BM_FuturePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine engine;
+    int received = 0;
+    for (int i = 0; i < 100; ++i) {
+      Promise<int> promise(engine);
+      auto waiter = [](Future<int> f, int* out) -> Task {
+        *out += co_await f;
+      }(promise.GetFuture(), &received);
+      promise.Set(1);
+      engine.Run();
+      benchmark::DoNotOptimize(waiter.done());
+    }
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FuturePingPong);
+
+void BM_SimulatedRemoteFaults(benchmark::State& state) {
+  // Wall-clock cost of simulating one coherent write fault end to end.
+  for (auto _ : state) {
+    state.PauseTiming();
+    MachineConfig config;
+    config.nodes = 4;
+    config.dsm = DsmKind::kAsvm;
+    Machine machine(config);
+    MemObjectId region = machine.CreateSharedRegion(0, 64);
+    TaskMemory& a = machine.MapRegion(1, region);
+    TaskMemory& b = machine.MapRegion(2, region);
+    state.ResumeTiming();
+    for (int p = 0; p < 64; ++p) {
+      auto w = a.WriteU64(static_cast<VmOffset>(p) * 8192, p);
+      machine.Run();
+      auto r = b.ReadU64(static_cast<VmOffset>(p) * 8192);
+      machine.Run();
+      benchmark::DoNotOptimize(r.ready());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SimulatedRemoteFaults);
+
+}  // namespace
+}  // namespace asvm
+
+BENCHMARK_MAIN();

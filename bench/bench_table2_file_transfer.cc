@@ -1,0 +1,80 @@
+// Reproduces Table 2 (and its graphical forms, Figures 12 and 13): effective
+// mapped-file transfer rates seen by each of N nodes accessing the same 4 MB
+// file — parallel reads of the whole file and asynchronous writes of disjoint
+// sections.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/mappedfs/file_bench.h"
+
+namespace asvm {
+namespace {
+
+constexpr VmSize kFilePages = 4 * 1024 * 1024 / 8192;  // 4 MB
+
+// Node 0 is the I/O node (file pager + disk); compute tasks run on 1..N, as
+// on the real machine where I/O and compute nodes are distinct.
+double ReadRate(DsmKind kind, int nodes) {
+  Machine machine(BenchConfig(kind, nodes + 1));
+  int32_t file_id =
+      machine.cluster().file_pager().CreateFile("bench", kFilePages, /*prefilled=*/true);
+  MemObjectId region = machine.dsm().CreateFileRegion(file_id, kFilePages);
+  return RunParallelFileRead(machine, region, kFilePages, nodes, /*first_node=*/1)
+      .per_node_mb_s;
+}
+
+double WriteRate(DsmKind kind, int nodes) {
+  Machine machine(BenchConfig(kind, nodes + 1));
+  MemObjectId region = machine.CreateMappedFile("bench", kFilePages, /*prefilled=*/false);
+  return RunParallelFileWrite(machine, region, kFilePages, nodes, /*first_node=*/1)
+      .per_node_mb_s;
+}
+
+void RunTable2() {
+  PrintHeader("Table 2: File Transfer Rates (MB/s per node), 4 MB mapped file");
+  const int counts[] = {1, 2, 4, 8, 16, 32, 64};
+  const double paper_asvm_write[] = {2.80, 2.60, 2.05, 1.22, 0.62, 0.30, 0.15};
+  const double paper_xmm_write[] = {2.15, 1.77, 0.90, 0.49, 0.24, 0.12, 0.06};
+  const double paper_asvm_read[] = {1.57, 1.53, 1.14, 0.91, 0.70, 0.66, 0.66};
+  const double paper_xmm_read[] = {1.18, 0.38, 0.25, 0.11, 0.05, 0.02, 0.01};
+
+  std::printf("%-12s", "Nodes:");
+  for (int n : counts) {
+    std::printf("%8d", n);
+  }
+  std::printf("\n");
+
+  auto series = [&](const char* label, double (*fn)(DsmKind, int), DsmKind kind,
+                    const double* paper) {
+    std::printf("%-12s", label);
+    double measured[7];
+    for (int i = 0; i < 7; ++i) {
+      measured[i] = fn(kind, counts[i]);
+      std::printf("%8.2f", measured[i]);
+    }
+    std::printf("\n%-12s", "  (paper)");
+    for (int i = 0; i < 7; ++i) {
+      std::printf("%8.2f", paper[i]);
+    }
+    std::printf("\n");
+  };
+
+  series("ASVM write", WriteRate, DsmKind::kAsvm, paper_asvm_write);
+  series("XMM  write", WriteRate, DsmKind::kXmm, paper_xmm_write);
+  series("ASVM read", ReadRate, DsmKind::kAsvm, paper_asvm_read);
+  series("XMM  read", ReadRate, DsmKind::kXmm, paper_xmm_read);
+
+  std::printf(
+      "\nFigures 12/13 plot these series. Key shapes: ASVM sustains a usable\n"
+      "read rate at high node counts (distributed managers serve each other);\n"
+      "XMM reads collapse through the centralized manager. Writes bottleneck\n"
+      "on the file pager for both, with ASVM's cheaper protocol ~2x ahead.\n");
+}
+
+}  // namespace
+}  // namespace asvm
+
+int main() {
+  asvm::RunTable2();
+  return 0;
+}

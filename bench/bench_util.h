@@ -1,0 +1,105 @@
+// Shared helpers for the reproduction benchmarks: canonical fault scenarios
+// from the paper's §4.1 and table-formatting utilities that print measured
+// values next to the paper's.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/core/measure.h"
+
+namespace asvm {
+
+inline MachineConfig BenchConfig(DsmKind kind, int nodes) {
+  MachineConfig config;
+  config.nodes = nodes;
+  config.dsm = kind;
+  return config;
+}
+
+// Node roles in the §4.1 microbenchmarks: the pager/manager (the "XMM stack")
+// lives on node 0, remote from both the faulting node and the read-copy
+// holders — the paper's "general case".
+inline constexpr NodeId kHomeNode = 0;
+inline constexpr NodeId kCreatorNode = 1;
+inline constexpr NodeId kFaultNode = 2;
+inline constexpr NodeId kFirstReaderNode = 3;
+
+// Latency of a write fault on a page with `readers` read copies.
+// The creator dirties the page; `readers` distinct nodes (starting at
+// kFirstReaderNode, or the faulting node itself when `faulter_has_copy`)
+// acquire read copies; then the faulting node writes.
+inline double WriteFaultMs(DsmKind kind, int readers, bool faulter_has_copy) {
+  const int nodes = kFirstReaderNode + readers + 1;
+  Machine machine(BenchConfig(kind, nodes));
+  MemObjectId region = machine.CreateSharedRegion(kHomeNode, 8);
+
+  TaskMemory& creator = machine.MapRegion(kCreatorNode, region);
+  auto w = creator.WriteU64(0, 1);
+  machine.Run();
+
+  TaskMemory& faulter = machine.MapRegion(kFaultNode, region);
+  int remaining = readers;
+  if (faulter_has_copy && remaining > 0) {
+    MeasureReadMs(machine, faulter, 0);
+    --remaining;
+  }
+  for (int i = 0; i < remaining; ++i) {
+    TaskMemory& reader = machine.MapRegion(kFirstReaderNode + i, region);
+    MeasureReadMs(machine, reader, 0);
+  }
+  return MeasureWriteMs(machine, faulter, 0, 2);
+}
+
+// Latency of a read fault after the creator dirtied the page and
+// `prior_readers` other nodes already read it.
+inline double ReadFaultMs(DsmKind kind, int prior_readers) {
+  const int nodes = kFirstReaderNode + prior_readers + 1;
+  Machine machine(BenchConfig(kind, nodes));
+  MemObjectId region = machine.CreateSharedRegion(kHomeNode, 8);
+
+  TaskMemory& creator = machine.MapRegion(kCreatorNode, region);
+  auto w = creator.WriteU64(0, 1);
+  machine.Run();
+
+  for (int i = 0; i < prior_readers; ++i) {
+    TaskMemory& reader = machine.MapRegion(kFirstReaderNode + i, region);
+    MeasureReadMs(machine, reader, 0);
+  }
+  TaskMemory& faulter = machine.MapRegion(kFaultNode, region);
+  return MeasureReadMs(machine, faulter, 0);
+}
+
+// --- Output formatting ---------------------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  for (size_t i = 0; i < title.size(); ++i) {
+    std::printf("=");
+  }
+  std::printf("\n");
+}
+
+struct PaperRow {
+  std::string label;
+  double paper_asvm;
+  double paper_xmm;
+  double measured_asvm;
+  double measured_xmm;
+};
+
+inline void PrintComparison(const std::vector<PaperRow>& rows, const char* unit) {
+  std::printf("%-58s %10s %10s %12s %12s\n", "", "ASVM", "XMM", "ASVM(paper)", "XMM(paper)");
+  for (const auto& row : rows) {
+    std::printf("%-58s %9.2f%s %9.2f%s %11.2f%s %11.2f%s\n", row.label.c_str(),
+                row.measured_asvm, unit, row.measured_xmm, unit, row.paper_asvm, unit,
+                row.paper_xmm, unit);
+  }
+}
+
+}  // namespace asvm
+
+#endif  // BENCH_BENCH_UTIL_H_

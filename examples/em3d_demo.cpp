@@ -1,0 +1,59 @@
+// EM3D on shared virtual memory: runs the paper's §4.3 application at a
+// medium size under both memory managers, verifying results against a
+// sequential reference and reporting the scaling behaviour of Table 3.
+//
+//   $ ./em3d_demo
+#include <cstdio>
+
+#include "src/em3d/em3d.h"
+
+using namespace asvm;
+
+int main() {
+  std::printf("== EM3D on SVM: ASVM speedup vs XMM slowdown ==\n\n");
+
+  // Correctness first: a small graph computed through the DSM must match the
+  // sequential reference bit for bit.
+  {
+    Em3dParams small;
+    small.cells = 240;
+    small.iterations = 4;
+    MachineConfig config;
+    config.nodes = 3;
+    config.dsm = DsmKind::kAsvm;
+    Machine machine(config);
+    const uint64_t parallel = RunEm3dVerified(machine, small, 3);
+    const uint64_t reference = Em3dSequentialChecksum(small, 3);
+    std::printf("verification (240 cells, 3 nodes): parallel checksum %016llx, "
+                "sequential %016llx -> %s\n\n",
+                static_cast<unsigned long long>(parallel),
+                static_cast<unsigned long long>(reference),
+                parallel == reference ? "MATCH" : "MISMATCH");
+  }
+
+  // Scaling: 64000 cells (14 MB of cells), 100 iterations, like Table 3.
+  Em3dParams params;
+  params.cells = 64000;
+  params.iterations = 100;
+  const double sequential = Em3dSequentialSeconds(params);
+  std::printf("%7s %12s %12s %14s\n", "nodes", "ASVM (s)", "XMM (s)", "ASVM speedup");
+  std::printf("%7d %12.1f %12s %13.2fx\n", 1, sequential, "-", 1.0);
+  for (int nodes : {2, 4, 8, 16}) {
+    double results[2];
+    int i = 0;
+    for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+      MachineConfig config;
+      config.nodes = nodes;
+      config.dsm = kind;
+      Machine machine(config);
+      results[i++] = RunEm3dTimed(machine, params, nodes, /*measure_iters=*/5).seconds;
+    }
+    std::printf("%7d %12.1f %12.1f %13.2fx\n", nodes, results[0], results[1],
+                sequential / results[0]);
+  }
+  std::printf(
+      "\nASVM distributes each page's management across the nodes using it;\n"
+      "XMM funnels every fault through one manager node and slows DOWN as\n"
+      "nodes are added (paper Table 3).\n");
+  return 0;
+}

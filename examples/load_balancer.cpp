@@ -1,0 +1,95 @@
+// Dynamic load balancing by task migration — the use case §4.1.2 calls out:
+// "each migration of a task adds another stage to the copy chain from the
+// node where the task was originally started to the node where it is
+// running." A task's working set follows it lazily; only the pages it
+// actually touches move.
+//
+//   $ ./load_balancer
+#include <cstdio>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/core/measure.h"
+
+using namespace asvm;
+
+namespace {
+
+// One "migratable task": private memory + the node it currently runs on.
+struct MigratableTask {
+  TaskMemory* memory = nullptr;
+  NodeId node = 0;
+  int migrations = 0;
+};
+
+void RunSystem(DsmKind kind) {
+  std::printf("\n-- %s --\n", ToString(kind));
+  MachineConfig config;
+  config.nodes = 8;
+  config.dsm = kind;
+  Machine machine(config);
+
+  // The task starts on node 0 with a 256 KB working set it initializes.
+  const VmSize pages = 32;
+  MigratableTask task;
+  task.memory = &machine.CreatePrivateTask(0, pages);
+  task.node = 0;
+  for (VmOffset p = 0; p < pages; ++p) {
+    auto w = task.memory->WriteU64(p * 8192, 1000 + p);
+    machine.Run();
+  }
+
+  // A simple balancer migrates the task to the least-loaded node each epoch;
+  // each migration is a remote fork (delayed copy) + switch-over.
+  const NodeId schedule[] = {3, 5, 1, 6};
+  for (NodeId target : schedule) {
+    const SimTime migrate_start = machine.Now();
+    auto fork = machine.RemoteFork(task.node, *task.memory, target);
+    machine.Run();
+    if (!fork.ready()) {
+      std::printf("migration failed\n");
+      return;
+    }
+    task.memory = &machine.WrapMap(target, fork.value());
+    task.node = target;
+    ++task.migrations;
+    const double migrate_ms = ToMilliseconds(machine.Now() - migrate_start);
+
+    // The task resumes and moves on to a fresh quarter of its working set —
+    // pages nothing has cached since the original initialization, so each
+    // pull walks the whole chain back to the origin node.
+    const SimTime work_start = machine.Now();
+    const VmOffset base = static_cast<VmOffset>(task.migrations - 1) * (pages / 4);
+    for (VmOffset p = base; p < base + pages / 4; ++p) {
+      uint64_t v = 0;
+      MeasureReadMs(machine, *task.memory, p * 8192, &v);
+      if (v < 1000) {
+        std::printf("  !! lost data after migration\n");
+        return;
+      }
+    }
+    for (VmOffset p = base; p < base + 4; ++p) {
+      MeasureWriteMs(machine, *task.memory, p * 8192, 2000 + task.migrations);
+    }
+    const double work_ms = ToMilliseconds(machine.Now() - work_start);
+    std::printf("migration %d -> node %d: handoff %.2f ms, first epoch %.1f ms "
+                "(chain depth %d)\n",
+                task.migrations, target, migrate_ms, work_ms, task.migrations);
+  }
+  std::printf("total simulated time: %.1f ms, wire traffic %.2f MB\n",
+              ToMilliseconds(machine.Now()),
+              static_cast<double>(machine.stats().Get("mesh.bytes")) / (1024 * 1024));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Task migration: copy chains grow with every move (paper §4.1.2) ==\n");
+  RunSystem(DsmKind::kAsvm);
+  RunSystem(DsmKind::kXmm);
+  std::printf(
+      "\nASVM's cheap chain traversal (~0.5 ms/stage) keeps migrated tasks\n"
+      "responsive; XMM pays a blocking NORMA round trip per stage, so each\n"
+      "migration makes every cold page dearer (Figure 11).\n");
+  return 0;
+}

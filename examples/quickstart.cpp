@@ -1,0 +1,62 @@
+// Quickstart: build a simulated multicomputer, create a distributed shared
+// memory region, and watch coherent pages move between nodes under ASVM.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/core/machine.h"
+#include "src/core/measure.h"
+
+using namespace asvm;
+
+int main() {
+  // A 16-node Paragon-like machine running the ASVM memory manager.
+  MachineConfig config;
+  config.nodes = 16;
+  config.dsm = DsmKind::kAsvm;
+  Machine machine(config);
+
+  // A 1 MB shared virtual memory segment homed on node 0.
+  MemObjectId region = machine.CreateSharedRegion(/*home=*/0, /*pages=*/128);
+
+  // Tasks on three nodes map it.
+  TaskMemory& alice = machine.MapRegion(1, region);
+  TaskMemory& bob = machine.MapRegion(5, region);
+  TaskMemory& carol = machine.MapRegion(9, region);
+
+  std::printf("== ASVM quickstart: one page, three nodes ==\n\n");
+
+  // Node 1 writes: a fresh page is granted by the pager; node 1 becomes its
+  // owner.
+  double ms = MeasureWriteMs(machine, alice, 0, 42);
+  std::printf("node 1 writes 42        : %5.2f ms (zero-fill grant, node 1 owns page)\n", ms);
+
+  // Node 5 reads: the request is forwarded to the owner, which answers with
+  // the page and records node 5 in its reader list.
+  uint64_t value = 0;
+  ms = MeasureReadMs(machine, bob, 0, &value);
+  std::printf("node 5 reads -> %llu      : %5.2f ms (served by owner node 1)\n",
+              static_cast<unsigned long long>(value), ms);
+
+  // Node 9 writes: the owner invalidates node 5's copy, hands page +
+  // ownership to node 9.
+  ms = MeasureWriteMs(machine, carol, 0, 1000);
+  std::printf("node 9 writes 1000      : %5.2f ms (invalidate reader, move ownership)\n", ms);
+
+  // Node 1 re-reads: its stale copy is long gone; forwarding finds node 9.
+  ms = MeasureReadMs(machine, alice, 0, &value);
+  std::printf("node 1 reads -> %llu    : %5.2f ms (hint chain finds new owner)\n",
+              static_cast<unsigned long long>(value), ms);
+
+  // Re-access is a memory-speed hit: no protocol at all.
+  ms = MeasureReadMs(machine, alice, 0, &value);
+  std::printf("node 1 reads again      : %5.2f ms (local cache hit)\n", ms);
+
+  std::printf("\nSimulated time elapsed: %.2f ms\n", ToMilliseconds(machine.Now()));
+  std::printf("STS messages on the wire: %lld (+%lld invalidation control msgs)\n",
+              static_cast<long long>(machine.stats().Get("transport.sts.messages")),
+              static_cast<long long>(machine.stats().Get("transport.sts_ctl.messages")));
+  std::printf("ASVM metadata on node 1: %zu bytes (state only for cached pages)\n",
+              machine.DsmMetadataBytes(1));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Remote task creation with delayed copies: the Figure 9 scenario. A task's
+// memory is forked across a chain of nodes; faults on the last node pull
+// pages through the copy chain back to the original data, and writes push
+// pre-write snapshots forward. Run under both ASVM and XMM to compare.
+//
+//   $ ./remote_fork
+#include <cstdio>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/core/measure.h"
+
+using namespace asvm;
+
+namespace {
+
+void RunChain(DsmKind kind) {
+  std::printf("\n-- %s --\n", ToString(kind));
+  MachineConfig config;
+  config.nodes = 4;
+  config.dsm = kind;
+  Machine machine(config);
+
+  // The original task on node 0 initializes a 64 KB region.
+  TaskMemory& origin = machine.CreatePrivateTask(0, 8);
+  for (VmOffset p = 0; p < 8; ++p) {
+    auto w = origin.WriteU64(p * 8192, 100 + p);
+    machine.Run();
+  }
+  std::printf("node 0: initialized 8 pages (values 100..107)\n");
+
+  // Fork 0 -> 1 -> 2 (each fork is a lazily-evaluated copy).
+  auto f1 = machine.RemoteFork(0, origin, 1);
+  machine.Run();
+  TaskMemory& child = machine.WrapMap(1, f1.value());
+  auto f2 = machine.RemoteFork(1, child, 2);
+  machine.Run();
+  TaskMemory& grandchild = machine.WrapMap(2, f2.value());
+  std::printf("forked 0 -> 1 -> 2 (no pages copied yet: delayed copy)\n");
+
+  // The grandchild faults: the pull walks the copy chain back to node 0.
+  uint64_t value = 0;
+  double ms = MeasureReadMs(machine, grandchild, 0, &value);
+  std::printf("node 2 reads page 0 -> %llu (%.2f ms: pulled through the chain)\n",
+              static_cast<unsigned long long>(value), ms);
+
+  // The original writes: the pre-write value must be pushed to the copies
+  // first (version counters decide).
+  MeasureWriteMs(machine, origin, 8192, 999);
+  uint64_t child_view = 0;
+  MeasureReadMs(machine, child, 8192, &child_view);
+  uint64_t origin_view = 0;
+  MeasureReadMs(machine, origin, 8192, &origin_view);
+  std::printf("node 0 writes 999 to page 1; child still sees %llu, origin sees %llu\n",
+              static_cast<unsigned long long>(child_view),
+              static_cast<unsigned long long>(origin_view));
+
+  // Each generation's writes stay private.
+  MeasureWriteMs(machine, grandchild, 2 * 8192, 7);
+  uint64_t gv = 0;
+  uint64_t ov = 0;
+  MeasureReadMs(machine, grandchild, 2 * 8192, &gv);
+  MeasureReadMs(machine, origin, 2 * 8192, &ov);
+  std::printf("node 2 writes 7 to page 2; node 2 sees %llu, node 0 still sees %llu\n",
+              static_cast<unsigned long long>(gv), static_cast<unsigned long long>(ov));
+
+  std::printf("simulated time: %.1f ms, wire bytes: %lld\n", ToMilliseconds(machine.Now()),
+              static_cast<long long>(machine.stats().Get("mesh.bytes")));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Remote forks with delayed copies (Figure 9 walk) ==\n");
+  RunChain(DsmKind::kAsvm);
+  RunChain(DsmKind::kXmm);
+  std::printf(
+      "\nBoth systems preserve copy semantics; compare the simulated times —\n"
+      "XMM pays a blocking NORMA round trip per chain stage (Figure 11).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Memory-mapped file shared by many nodes (the paper's §4.2 workload): nodes
+// mmap the same file, read it in parallel, write disjoint sections, and the
+// contents stay intact — while the two memory managers deliver very
+// different transfer rates.
+//
+//   $ ./shared_file
+#include <cstdio>
+
+#include "src/core/machine.h"
+#include "src/mappedfs/file_bench.h"
+
+using namespace asvm;
+
+int main() {
+  std::printf("== Shared memory-mapped file (UFS over DSM) ==\n\n");
+  const VmSize pages = 128;  // 1 MB file
+
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    MachineConfig config;
+    config.nodes = 9;  // node 0 is the I/O node, 8 compute nodes
+    config.dsm = kind;
+    Machine machine(config);
+
+    int32_t file_id =
+        machine.cluster().file_pager().CreateFile("dataset.bin", pages, /*prefilled=*/true);
+    MemObjectId region = machine.dsm().CreateFileRegion(file_id, pages);
+
+    FileBenchResult read = RunParallelFileRead(machine, region, pages, 8, /*first_node=*/1);
+
+    // Verify the data that arrived through the DSM against the on-disk
+    // pattern.
+    TaskMemory& checker = machine.MapRegion(4, region);
+    const int bad = VerifyFileContents(machine, checker, file_id, pages);
+
+    std::printf("%s: 8 nodes read a 1 MB file in parallel\n", ToString(kind));
+    std::printf("   per-node rate : %.2f MB/s\n", read.per_node_mb_s);
+    std::printf("   makespan      : %.3f s\n", read.makespan_seconds);
+    std::printf("   data integrity: %s\n\n", bad == 0 ? "all pages intact" : "CORRUPTED");
+  }
+
+  // Parallel writes of disjoint sections (fresh file, async write-behind).
+  {
+    MachineConfig config;
+    config.nodes = 9;
+    config.dsm = DsmKind::kAsvm;
+    Machine machine(config);
+    MemObjectId region = machine.CreateMappedFile("out.bin", pages, /*prefilled=*/false);
+    FileBenchResult write = RunParallelFileWrite(machine, region, pages, 8, /*first_node=*/1);
+    std::printf("ASVM: 8 nodes write disjoint sections: %.2f MB/s per node "
+                "(pager-limited, async write-behind)\n",
+                write.per_node_mb_s);
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, run every test, regenerate every table
+# and figure, and leave the transcripts in test_output.txt / bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. Compare bench_output.txt against EXPERIMENTS.md."

@@ -1,0 +1,274 @@
+#include "src/apps/sor.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "src/common/log.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace asvm {
+
+namespace {
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+double InitialValue(int64_t row, int64_t col, int64_t cols) {
+  return static_cast<double>((row * cols + col) % 101) - 50.0;
+}
+
+uint64_t DoubleBits(double v) { return std::bit_cast<uint64_t>(v); }
+
+}  // namespace
+
+SorGrid::SorGrid(const SorParams& params, int nodes, size_t page_size)
+    : params_(params), nodes_(nodes), page_size_(page_size) {
+  ASVM_CHECK(nodes >= 1 && params.rows >= nodes);
+  rows_per_node_ = CeilDiv(params.rows, nodes);
+  const int64_t bytes_per_row = params.cols * 8;
+  pages_per_block_ = static_cast<VmSize>(
+      CeilDiv(rows_per_node_ * bytes_per_row, static_cast<int64_t>(page_size_)));
+  region_pages_ = pages_per_block_ * nodes;
+
+  own_pages_.resize(nodes);
+  halo_pages_.resize(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    auto [lo, hi] = RowRange(n);
+    std::set<VmOffset> own;
+    for (int64_t r = lo; r < hi; ++r) {
+      own.insert(CellAddr(r, 0) / page_size_);
+      own.insert(CellAddr(r, params.cols - 1) / page_size_);
+    }
+    own_pages_[n].assign(own.begin(), own.end());
+
+    std::set<VmOffset> halo;
+    if (lo > 0) {
+      halo.insert(CellAddr(lo - 1, 0) / page_size_);
+      halo.insert(CellAddr(lo - 1, params.cols - 1) / page_size_);
+    }
+    if (hi < params.rows) {
+      halo.insert(CellAddr(hi, 0) / page_size_);
+      halo.insert(CellAddr(hi, params.cols - 1) / page_size_);
+    }
+    halo_pages_[n].assign(halo.begin(), halo.end());
+  }
+}
+
+std::pair<int64_t, int64_t> SorGrid::RowRange(NodeId node) const {
+  const int64_t lo = node * rows_per_node_;
+  return {std::min(lo, params_.rows), std::min(lo + rows_per_node_, params_.rows)};
+}
+
+VmOffset SorGrid::CellAddr(int64_t row, int64_t col) const {
+  const NodeId node = RowOwner(row);
+  const int64_t local_row = row - node * rows_per_node_;
+  return static_cast<VmOffset>(node) * pages_per_block_ * page_size_ +
+         static_cast<VmOffset>((local_row * params_.cols + col) * 8);
+}
+
+// --- Timed mode ------------------------------------------------------------------
+
+namespace {
+
+Task SorTouchAll(TaskMemory& mem, const std::vector<VmOffset>& pages, size_t ps,
+                 PageAccess access, WaitGroup& wg) {
+  std::vector<Future<Status>> futures;
+  futures.reserve(pages.size());
+  for (VmOffset page : pages) {
+    futures.push_back(mem.Touch(page * ps, 8, access));
+  }
+  for (auto& f : futures) {
+    Status s = co_await f;
+    ASVM_CHECK_MSG(IsOk(s), "SOR touch failed");
+  }
+  wg.Done();
+}
+
+Task SorNodeWorker(Machine& machine, const SorGrid& grid, const SorParams& params,
+                   TaskMemory& mem, NodeId node, int total_iters, SimBarrier& barrier,
+                   WaitGroup& done) {
+  Engine& engine = machine.engine();
+  const size_t ps = grid.page_size();
+  auto [lo, hi] = grid.RowRange(node);
+  const int64_t own_cells = (hi - lo) * params.cols;
+  const SimDuration compute_per_half = params.compute_per_cell_ns * own_cells / 2;
+
+  for (int iter = 0; iter < total_iters; ++iter) {
+    for (int half = 0; half < 2; ++half) {
+      WaitGroup wg(engine);
+      wg.Add(2);
+      (void)SorTouchAll(mem, grid.HaloPages(node), ps, PageAccess::kRead, wg);
+      (void)SorTouchAll(mem, grid.OwnPages(node), ps, PageAccess::kWrite, wg);
+      co_await wg.Wait();
+      co_await Delay(engine, compute_per_half);
+      co_await barrier.Arrive();
+    }
+  }
+  done.Done();
+}
+
+}  // namespace
+
+SorResult RunSorTimed(Machine& machine, const SorParams& params, int nodes_used,
+                      int measure_iters) {
+  ASVM_CHECK(nodes_used >= 1 && nodes_used <= machine.nodes());
+  SorGrid grid(params, nodes_used, machine.page_size());
+  MemObjectId region = machine.CreateSharedRegion(0, grid.region_pages());
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    mems.push_back(&machine.MapRegion(n, region));
+  }
+  Engine& engine = machine.engine();
+
+  auto run_iters = [&](int iters, SimBarrier& barrier) {
+    WaitGroup done(engine);
+    done.Add(nodes_used);
+    for (NodeId n = 0; n < nodes_used; ++n) {
+      (void)SorNodeWorker(machine, grid, params, *mems[n], n, iters, barrier, done);
+    }
+    machine.Run();
+    ASVM_CHECK(done.count() == 0);
+  };
+
+  SimBarrier warm_barrier(engine, nodes_used);
+  run_iters(1, warm_barrier);
+
+  const SimTime start = machine.Now();
+  const int64_t faults_before = machine.stats().Get("vm.faults");
+  SimBarrier barrier(engine, nodes_used);
+  run_iters(measure_iters, barrier);
+
+  SorResult result;
+  result.seconds = ToSeconds(machine.Now() - start) *
+                   static_cast<double>(params.iterations) / measure_iters;
+  result.faults = machine.stats().Get("vm.faults") - faults_before;
+  return result;
+}
+
+// --- Verified mode -----------------------------------------------------------------
+
+namespace {
+
+Task SorVerifiedWorker(Machine& machine, const SorGrid& grid, const SorParams& params,
+                       TaskMemory& mem, NodeId node, SimBarrier& barrier, WaitGroup& done) {
+  (void)machine;
+  auto [lo, hi] = grid.RowRange(node);
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    for (int color = 0; color < 2; ++color) {
+      for (int64_t r = lo; r < hi; ++r) {
+        for (int64_t c = (r + color) % 2; c < params.cols; c += 2) {
+          double sum = 0;
+          if (r > 0) {
+            sum += std::bit_cast<double>(co_await mem.ReadU64(grid.CellAddr(r - 1, c)));
+          }
+          if (r + 1 < params.rows) {
+            sum += std::bit_cast<double>(co_await mem.ReadU64(grid.CellAddr(r + 1, c)));
+          }
+          if (c > 0) {
+            sum += std::bit_cast<double>(co_await mem.ReadU64(grid.CellAddr(r, c - 1)));
+          }
+          if (c + 1 < params.cols) {
+            sum += std::bit_cast<double>(co_await mem.ReadU64(grid.CellAddr(r, c + 1)));
+          }
+          Status s = co_await mem.WriteU64(grid.CellAddr(r, c), DoubleBits(sum * 0.25));
+          ASVM_CHECK(IsOk(s));
+        }
+      }
+      co_await barrier.Arrive();
+    }
+  }
+  done.Done();
+}
+
+}  // namespace
+
+uint64_t RunSorVerified(Machine& machine, const SorParams& params, int nodes_used) {
+  ASVM_CHECK(nodes_used >= 1 && nodes_used <= machine.nodes());
+  SorGrid grid(params, nodes_used, machine.page_size());
+  MemObjectId region = machine.CreateSharedRegion(0, grid.region_pages());
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    mems.push_back(&machine.MapRegion(n, region));
+  }
+  // Owners initialize their rows.
+  for (int64_t r = 0; r < params.rows; ++r) {
+    TaskMemory& mem = *mems[grid.RowOwner(r)];
+    for (int64_t c = 0; c < params.cols; ++c) {
+      auto w = mem.WriteU64(grid.CellAddr(r, c), DoubleBits(InitialValue(r, c, params.cols)));
+      machine.Run();
+      ASVM_CHECK(w.ready() && IsOk(w.value()));
+    }
+  }
+
+  Engine& engine = machine.engine();
+  SimBarrier barrier(engine, nodes_used);
+  WaitGroup done(engine);
+  done.Add(nodes_used);
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    (void)SorVerifiedWorker(machine, grid, params, *mems[n], n, barrier, done);
+  }
+  machine.Run();
+  ASVM_CHECK(done.count() == 0);
+
+  uint64_t checksum = 0;
+  for (int64_t r = 0; r < params.rows; ++r) {
+    for (int64_t c = 0; c < params.cols; ++c) {
+      auto f = mems[grid.RowOwner(r)]->ReadU64(grid.CellAddr(r, c));
+      machine.Run();
+      ASVM_CHECK(f.ready());
+      checksum ^= f.value() + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(r * params.cols + c);
+    }
+  }
+  return checksum;
+}
+
+uint64_t SorSequentialChecksum(const SorParams& params, int nodes_layout) {
+  SorGrid grid(params, nodes_layout);
+  std::vector<double> cells(static_cast<size_t>(params.rows * params.cols));
+  auto at = [&](int64_t r, int64_t c) -> double& {
+    return cells[static_cast<size_t>(r * params.cols + c)];
+  };
+  for (int64_t r = 0; r < params.rows; ++r) {
+    for (int64_t c = 0; c < params.cols; ++c) {
+      at(r, c) = InitialValue(r, c, params.cols);
+    }
+  }
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    for (int color = 0; color < 2; ++color) {
+      for (int64_t r = 0; r < params.rows; ++r) {
+        for (int64_t c = (r + color) % 2; c < params.cols; c += 2) {
+          double sum = 0;
+          if (r > 0) {
+            sum += at(r - 1, c);
+          }
+          if (r + 1 < params.rows) {
+            sum += at(r + 1, c);
+          }
+          if (c > 0) {
+            sum += at(r, c - 1);
+          }
+          if (c + 1 < params.cols) {
+            sum += at(r, c + 1);
+          }
+          at(r, c) = sum * 0.25;
+        }
+      }
+    }
+  }
+  uint64_t checksum = 0;
+  for (int64_t r = 0; r < params.rows; ++r) {
+    for (int64_t c = 0; c < params.cols; ++c) {
+      checksum ^= DoubleBits(at(r, c)) +
+                  0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(r * params.cols + c);
+    }
+  }
+  return checksum;
+}
+
+double SorSequentialSeconds(const SorParams& params) {
+  return ToSeconds(params.compute_per_cell_ns * params.rows * params.cols) *
+         static_cast<double>(params.iterations);
+}
+
+}  // namespace asvm

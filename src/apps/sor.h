@@ -1,0 +1,80 @@
+// Red-black successive over-relaxation (SOR) on shared virtual memory — the
+// canonical SVM benchmark from Kai Li's thesis (the paper's reference [1]).
+// A 2-D grid is row-partitioned across nodes; each half-iteration updates one
+// colour from its four neighbours, so the only cross-node traffic is the
+// boundary rows between adjacent partitions: the friendliest possible SVM
+// pattern, and a useful contrast to EM3D's irregular graph.
+//
+// Like EM3D, two modes: Verified (all data through the DSM, checksum equals
+// the sequential reference bit-for-bit) and Timed (exact page-fault traffic,
+// modeled compute).
+#ifndef SRC_APPS_SOR_H_
+#define SRC_APPS_SOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/core/machine.h"
+
+namespace asvm {
+
+struct SorParams {
+  int64_t rows = 256;
+  int64_t cols = 256;
+  int iterations = 10;  // full iterations (red + black half-sweeps each)
+  // Compute cost per cell update (4 adds, 1 multiply on a ~50 MHz i860).
+  SimDuration compute_per_cell_ns = 400;
+};
+
+// Grid layout: each node's row block starts on a page boundary.
+class SorGrid {
+ public:
+  SorGrid(const SorParams& params, int nodes, size_t page_size = 8192);
+
+  int nodes() const { return nodes_; }
+  VmSize region_pages() const { return region_pages_; }
+  size_t page_size() const { return page_size_; }
+
+  std::pair<int64_t, int64_t> RowRange(NodeId node) const;
+  NodeId RowOwner(int64_t row) const { return static_cast<NodeId>(row / rows_per_node_); }
+
+  // Address of grid cell (row, col), 8 bytes each.
+  VmOffset CellAddr(int64_t row, int64_t col) const;
+
+  // Pages containing this node's rows (written every half-sweep).
+  const std::vector<VmOffset>& OwnPages(NodeId node) const { return own_pages_[node]; }
+  // Pages of the neighbouring partitions' boundary rows (read every sweep).
+  const std::vector<VmOffset>& HaloPages(NodeId node) const { return halo_pages_[node]; }
+
+ private:
+  SorParams params_;
+  int nodes_;
+  size_t page_size_;
+  int64_t rows_per_node_;
+  VmSize pages_per_block_;
+  VmSize region_pages_;
+  std::vector<std::vector<VmOffset>> own_pages_;
+  std::vector<std::vector<VmOffset>> halo_pages_;
+};
+
+struct SorResult {
+  double seconds = 0;
+  int64_t faults = 0;
+};
+
+// Timed run: warmup + measured iterations, projected to params.iterations.
+SorResult RunSorTimed(Machine& machine, const SorParams& params, int nodes_used,
+                      int measure_iters = 3);
+
+// Full-data run through the DSM; XOR checksum of the final grid.
+uint64_t RunSorVerified(Machine& machine, const SorParams& params, int nodes_used);
+
+// Sequential reference (identical update order and layout).
+uint64_t SorSequentialChecksum(const SorParams& params, int nodes_layout);
+
+double SorSequentialSeconds(const SorParams& params);
+
+}  // namespace asvm
+
+#endif  // SRC_APPS_SOR_H_

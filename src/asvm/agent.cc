@@ -1,0 +1,465 @@
+// AsvmAgent part 1: construction, attach/state management, the request
+// redirector (forwarding tiers), and the EMMI upcalls from the local kernel.
+#include "src/asvm/agent.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/log.h"
+
+namespace asvm {
+
+AsvmAgent::AsvmAgent(AsvmSystem& system, NodeId node)
+    : system_(system),
+      node_(node),
+      vm_(system.cluster().vm(node)),
+      stats_(&system.cluster().stats()) {
+  Transport& main_transport = system.config().use_norma_transport
+                                  ? static_cast<Transport&>(system_.cluster().norma())
+                                  : static_cast<Transport&>(system_.cluster().sts());
+  main_transport.RegisterHandler(
+      ProtocolId::kAsvm, node_,
+      [this](NodeId src, Message msg) { OnMessage(src, std::move(msg)); });
+  if (!system.config().use_norma_transport) {
+    system_.cluster().sts_ctl().RegisterHandler(
+        ProtocolId::kAsvm, node_,
+        [this](NodeId src, Message msg) { OnMessage(src, std::move(msg)); });
+  }
+}
+
+AsvmAgent::~AsvmAgent() = default;
+
+AsvmAgent::ObjectState& AsvmAgent::obj_state(const MemObjectId& id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    auto os = std::make_unique<ObjectState>();
+    os->dyn_hints = std::make_unique<LruCache<PageIndex, NodeId>>(
+        system_.config().dyn_cache_capacity);
+    os->static_cache =
+        std::make_unique<LruCache<PageIndex, std::pair<StaticHintKind, NodeId>>>(
+            system_.config().static_cache_capacity);
+    it = objects_.emplace(id, std::move(os)).first;
+  }
+  return *it->second;
+}
+
+AsvmAgent::ObjectState* AsvmAgent::FindObjState(const MemObjectId& id) {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<VmObject> AsvmAgent::Attach(const MemObjectId& id) {
+  ObjectState& os = obj_state(id);
+  if (os.repr == nullptr) {
+    AsvmObjectInfo& info = system_.info(id);
+    os.repr = vm_.CreateObject(info.pages, CopyStrategy::kAsymmetric);
+    vm_.RegisterManaged(os.repr, id, this);
+    system_.AddSharer(info, node_);
+  }
+  return os.repr;
+}
+
+void AsvmAgent::AdoptRepr(const MemObjectId& id, const std::shared_ptr<VmObject>& object) {
+  ObjectState& os = obj_state(id);
+  ASVM_CHECK_MSG(os.repr == nullptr || os.repr == object, "conflicting repr adoption");
+  os.repr = object;
+  if (!object->managed()) {
+    vm_.RegisterManaged(object, id, this);
+  }
+  system_.AddSharer(system_.info(id), node_);
+}
+
+void AsvmAgent::PruneState(ObjectState& os, PageIndex page) {
+  auto it = os.pages.find(page);
+  if (it == os.pages.end()) {
+    return;
+  }
+  const PageState& ps = it->second;
+  if (ps.access == PageAccess::kNone && !ps.owner && !ps.busy && !ps.held() && !ps.pending &&
+      ps.queue.empty()) {
+    os.pages.erase(it);
+  }
+}
+
+void AsvmAgent::Trace(TraceKind kind, const MemObjectId& object, PageIndex page, NodeId peer,
+                      int64_t aux) {
+  ProtocolMonitor* monitor = system_.monitor();
+  if (monitor == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.time = vm_.engine().Now();
+  event.node = node_;
+  event.kind = kind;
+  event.object = object;
+  event.page = page;
+  event.peer = peer;
+  event.aux = aux;
+  monitor->OnEvent(event);
+}
+
+std::string AsvmAgent::DumpObjectState(const MemObjectId& id) const {
+  std::ostringstream out;
+  out << "node " << node_ << " view of " << id.ToString() << ":\n";
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    out << "  (no state)\n";
+    return out.str();
+  }
+  const ObjectState& os = *it->second;
+  for (const auto& [page, ps] : os.pages) {
+    out << "  page " << page << ": access=" << ToString(ps.access)
+        << (ps.owner ? " OWNER" : "") << (ps.busy ? " busy" : "") << (ps.held() ? " held" : "")
+        << (ps.pending ? " pending" : "") << " v" << ps.version;
+    if (!ps.readers.empty()) {
+      out << " readers=[";
+      for (size_t i = 0; i < ps.readers.size(); ++i) {
+        out << (i ? "," : "") << ps.readers[i];
+      }
+      out << "]";
+    }
+    if (!ps.queue.empty()) {
+      out << " queued=" << ps.queue.size();
+    }
+    out << "\n";
+  }
+  out << "  dynamic hints: " << os.dyn_hints->size()
+      << ", static cache: " << os.static_cache->size()
+      << ", home records: " << os.home_pages.size() << "\n";
+  return out.str();
+}
+
+size_t AsvmAgent::MetadataBytes() const {
+  // Rough but honest accounting of non-pageable protocol state.
+  size_t bytes = 0;
+  for (const auto& [id, os] : objects_) {
+    bytes += sizeof(ObjectState);
+    bytes += os->pages.size() * (sizeof(PageIndex) + sizeof(PageState));
+    for (const auto& [page, ps] : os->pages) {
+      bytes += ps.readers.size() * sizeof(NodeId);
+    }
+    bytes += os->dyn_hints->size() * (sizeof(PageIndex) + sizeof(NodeId) + 16);
+    bytes += os->static_cache->size() * (sizeof(PageIndex) + sizeof(NodeId) + 17);
+    bytes += os->home_pages.size() * (sizeof(PageIndex) + sizeof(ObjectState::HomePage));
+  }
+  return bytes;
+}
+
+// --- EMMI upcalls (local kernel -> ASVM) --------------------------------------
+
+void AsvmAgent::DataRequest(VmObject& object, PageIndex page, PageAccess desired) {
+  const MemObjectId id = object.id();
+  ObjectState& os = obj_state(id);
+  PageState& ps = page_state(os, page);
+  if (ps.pending) {
+    return;  // a request for this page is already in flight
+  }
+  ps.pending = true;
+  if (stats_ != nullptr) {
+    stats_->Add("asvm.data_requests");
+  }
+  Trace(TraceKind::kFaultRequest, id, page, kInvalidNode, static_cast<int64_t>(desired));
+  AccessRequest req;
+  req.target = id;
+  req.search = id;
+  req.page = page;
+  req.access = desired;
+  req.origin = node_;
+  req.req_id = system_.NextOpId();
+  HandleRequest(std::move(req));
+}
+
+void AsvmAgent::DataUnlock(VmObject& object, PageIndex page, PageAccess desired) {
+  const MemObjectId id = object.id();
+  ObjectState& os = obj_state(id);
+  PageState& ps = page_state(os, page);
+  if (stats_ != nullptr) {
+    stats_->Add("asvm.data_unlocks");
+  }
+  if (ps.owner) {
+    // Transition 7: the owner upgrades its own access.
+    if (!ps.busy) {
+      (void)SelfUpgrade(id, page);
+    } else {
+      // A transition is in flight; retry through the normal request path once
+      // it settles by queueing a self-request.
+      AccessRequest req;
+      req.target = id;
+      req.search = id;
+      req.page = page;
+      req.access = desired;
+      req.origin = node_;
+      ps.queue.push_back(std::move(req));
+    }
+    return;
+  }
+  if (ps.pending) {
+    return;
+  }
+  ps.pending = true;
+  AccessRequest req;
+  req.target = id;
+  req.search = id;
+  req.page = page;
+  req.access = desired;
+  req.origin = node_;
+  req.req_id = system_.NextOpId();
+  HandleRequest(std::move(req));
+}
+
+void AsvmAgent::LockCompleted(VmObject&, PageIndex, LockResult) {
+  // Local lock requests complete through inline callbacks; nothing to do.
+}
+
+void AsvmAgent::PullCompleted(VmObject&, PageIndex, PullResult) {
+  // Pull requests complete through inline callbacks; nothing to do.
+}
+
+// --- Request redirector --------------------------------------------------------
+
+void AsvmAgent::HandleRequest(AccessRequest req) {
+  ObjectState& os = obj_state(req.search);
+  auto it = os.pages.find(req.page);
+  PageState* ps = it == os.pages.end() ? nullptr : &it->second;
+
+  if (req.is_push_scan) {
+    // A push-scan asks whether the page exists in this (copy-object) space.
+    if (ps != nullptr && ps->owner) {
+      AccessReply reply;
+      reply.target = req.target;
+      reply.page = req.page;
+      reply.is_scan = true;
+      reply.scan_found = true;
+      reply.req_id = req.req_id;
+      Send(req.origin, AsvmMsgType::kAccessReply, reply);
+      return;
+    }
+    const AsvmObjectInfo& info = system_.info(req.search);
+    if (info.Terminal(req.page) == node_) {
+      // End of the line: check the local representation (resident or paged).
+      bool found = false;
+      if (os.repr != nullptr) {
+        found = os.repr->FindResident(req.page) != nullptr ||
+                vm_.default_pager()->HasPage(os.repr->serial(), req.page);
+      }
+      if (!found && os.home_pages[req.page].owner_exists &&
+          !(req.ring && req.ring_left == 0)) {
+        // An owner exists somewhere but the caches missed: scan the ring so
+        // the owner itself can answer.
+        req.ring = true;
+        req.ring_pos = 0;
+        req.ring_left = static_cast<int>(info.sharing.size());
+        RingForward(std::move(req));
+        return;
+      }
+      AccessReply reply;
+      reply.target = req.target;
+      reply.page = req.page;
+      reply.is_scan = true;
+      reply.scan_found = found;
+      reply.req_id = req.req_id;
+      Send(req.origin, AsvmMsgType::kAccessReply, reply);
+      return;
+    }
+    RouteRequest(std::move(req));
+    return;
+  }
+
+  if (ps != nullptr && ps->owner) {
+    if (ps->busy || ps->held()) {
+      // A transition (write grant, push, eviction handoff) is in flight, or
+      // the page is range-locked for exclusive local access; park until it
+      // settles. Busy/held states always complete, so parking here cannot
+      // deadlock — unlike parking at merely-pending nodes, where two nodes
+      // waiting on the same page could park each other's requests.
+      ps->queue.push_back(std::move(req));
+      return;
+    }
+    ServeAsOwner(std::move(req));
+    return;
+  }
+  const AsvmObjectInfo& info = system_.info(req.search);
+  if (req.to_terminal && info.Terminal(req.page) == node_) {
+    HandleAtTerminal(std::move(req));
+    return;
+  }
+  RouteRequest(std::move(req));
+}
+
+void AsvmAgent::RouteRequest(AccessRequest req) {
+  AsvmObjectInfo& info = system_.info(req.search);
+  ObjectState& os = obj_state(req.search);
+  ++req.hops;
+  ASVM_CHECK_MSG(req.hops < 8 * system_.cluster().node_count() + 64,
+                 "request forwarding failed to terminate");
+
+  if (req.ring) {
+    RingForward(std::move(req));
+    return;
+  }
+
+  // Stale hints can form transient cycles (A's hint says B, B's says A).
+  // After a generous number of hops, stop trusting caches and escalate to
+  // the terminal, whose authoritative owner record falls back to the global
+  // ring — which always terminates.
+  if (req.hops > system_.cluster().node_count() + 2) {
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.fwd_escalations");
+    }
+    req.to_terminal = true;
+    if (info.Terminal(req.page) == node_) {
+      HandleAtTerminal(std::move(req));
+    } else {
+      SendRequest(info.Terminal(req.page), req);
+    }
+    return;
+  }
+
+  const bool dyn = system_.config().dynamic_forwarding;
+  const bool stat = system_.config().static_forwarding;
+
+  if (dyn) {
+    NodeId* hint = os.dyn_hints->Get(req.page);
+    if (hint != nullptr && *hint != node_) {
+      NodeId target = *hint;
+      if (req.access == PageAccess::kWrite && req.target == req.search &&
+          req.origin != node_) {
+        // Path compression toward the future owner (Li's optimization).
+        os.dyn_hints->Put(req.page, req.origin);
+      }
+      if (stats_ != nullptr) {
+        stats_->Add("asvm.fwd_dynamic");
+      }
+      Trace(TraceKind::kForwardDynamic, req.search, req.page, target);
+      SendRequest(target, req);
+      return;
+    }
+  }
+
+  if (stat) {
+    const NodeId mgr = system_.StaticManagerOf(info, req.page);
+    if (mgr != node_) {
+      if (stats_ != nullptr) {
+        stats_->Add("asvm.fwd_static");
+      }
+      Trace(TraceKind::kForwardStatic, req.search, req.page, mgr);
+      SendRequest(mgr, req);
+      return;
+    }
+    // We are the static ownership manager: consult the static cache.
+    auto* entry = os.static_cache->Get(req.page);
+    if (entry != nullptr) {
+      if (entry->first == StaticHintKind::kOwner && entry->second != node_) {
+        if (stats_ != nullptr) {
+          stats_->Add("asvm.fwd_static_hit");
+        }
+        SendRequest(entry->second, req);
+        return;
+      }
+      if (entry->first == StaticHintKind::kFresh || entry->first == StaticHintKind::kPaged) {
+        if (stats_ != nullptr) {
+          stats_->Add("asvm.fwd_static_terminal");
+        }
+        req.to_terminal = true;
+        if (info.Terminal(req.page) == node_) {
+          HandleAtTerminal(std::move(req));
+        } else {
+          SendRequest(info.Terminal(req.page), req);
+        }
+        return;
+      }
+    }
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.fwd_static_miss");
+    }
+    req.to_terminal = true;
+    if (info.Terminal(req.page) == node_) {
+      HandleAtTerminal(std::move(req));
+    } else {
+      SendRequest(info.Terminal(req.page), req);
+    }
+    return;
+  }
+
+  if (dyn) {
+    // Dynamic enabled but no hint, and static disabled: fall back to global.
+    req.ring = true;
+    req.ring_left = static_cast<int>(info.sharing.size());
+    req.ring_pos = 0;
+    RingForward(std::move(req));
+    return;
+  }
+
+  // Global-only forwarding: visit every sharer in turn (paper §3.4).
+  req.ring = true;
+  req.ring_left = static_cast<int>(info.sharing.size());
+  req.ring_pos = 0;
+  if (stats_ != nullptr) {
+    stats_->Add("asvm.fwd_global_started");
+  }
+  RingForward(std::move(req));
+}
+
+void AsvmAgent::RingForward(AccessRequest req) {
+  AsvmObjectInfo& info = system_.info(req.search);
+  while (req.ring_left > 0) {
+    const size_t idx = static_cast<size_t>(req.ring_pos) % info.sharing.size();
+    NodeId next = info.sharing[idx];
+    ++req.ring_pos;
+    --req.ring_left;
+    if (next == node_ || next == req.origin) {
+      continue;  // we already know neither holds the page as owner
+    }
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.fwd_global_hop");
+    }
+    Trace(TraceKind::kForwardGlobal, req.search, req.page, next);
+    SendRequest(next, req);
+    return;
+  }
+  // Ring exhausted: deliver to the terminal (pager / peer).
+  req.to_terminal = true;
+  if (info.Terminal(req.page) == node_) {
+    HandleAtTerminal(std::move(req));
+  } else {
+    SendRequest(info.Terminal(req.page), req);
+  }
+}
+
+void AsvmAgent::SendRequest(NodeId to, const AccessRequest& req) {
+  ASVM_CHECK_MSG(to != node_, "routing to self");
+  Send(to, AsvmMsgType::kAccessRequest, req);
+}
+
+void AsvmAgent::SendReply(NodeId to, const AccessReply& reply, PageBuffer data) {
+  if (to == node_) {
+    // Local grant: apply directly (with the local handoff charged by Send).
+    Send(to, AsvmMsgType::kAccessReply, reply, std::move(data));
+    return;
+  }
+  Send(to, AsvmMsgType::kAccessReply, reply, std::move(data));
+}
+
+void AsvmAgent::Send(NodeId to, AsvmMsgType type, std::any body, PageBuffer page) {
+  Message msg;
+  msg.protocol = ProtocolId::kAsvm;
+  msg.type = static_cast<uint32_t>(type);
+  msg.control_bytes = 32;  // fixed-size untyped ASVM control block (§3.1)
+  msg.body = std::move(body);
+  msg.page = std::move(page);
+  if (system_.config().use_norma_transport) {
+    // Transport ablation: everything over NORMA-IPC, as pre-ASVM XMM did.
+    msg.control_bytes = 64;
+    system_.cluster().norma().Send(node_, to, std::move(msg));
+    return;
+  }
+  // Invalidation rounds ride the trivial-control channel; everything else
+  // uses the regular STS path.
+  if (type == AsvmMsgType::kInvalidate || type == AsvmMsgType::kInvalidateAck) {
+    system_.cluster().sts_ctl().Send(node_, to, std::move(msg));
+  } else {
+    system_.cluster().sts().Send(node_, to, std::move(msg));
+  }
+}
+
+}  // namespace asvm

@@ -1,0 +1,204 @@
+// Per-node ASVM agent: the kernel-resident half of ASVM on one node. It is
+// the memory manager (Pager) of every distributed object's local
+// representation, the request redirector (Figure 5), the page-state machine
+// (Figure 7), the internode paging engine (§3.6), and the push/pull machinery
+// (§3.7).
+#ifndef SRC_ASVM_AGENT_H_
+#define SRC_ASVM_AGENT_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/asvm/asvm_system.h"
+#include "src/asvm/messages.h"
+#include "src/common/lru_cache.h"
+#include "src/common/types.h"
+#include "src/machvm/node_vm.h"
+#include "src/machvm/pager.h"
+#include "src/sim/task.h"
+
+namespace asvm {
+
+class AsvmAgent : public Pager {
+ public:
+  AsvmAgent(AsvmSystem& system, NodeId node);
+  ~AsvmAgent() override;
+
+  NodeId node() const { return node_; }
+
+  // Per-page protocol state. An entry exists only while the node caches the
+  // page or a transition involving this node is in flight — the "limited
+  // memory requirements" design rule (§3.1).
+  struct PageState {
+    PageAccess access = PageAccess::kNone;
+    bool owner = false;
+    bool busy = false;      // multi-step transition in progress; queue requests
+    int hold_count = 0;     // range-lock holds (§6); >0 parks remote requests
+    bool pending = false;   // our own access request is outstanding
+    bool held() const { return hold_count > 0; }
+    uint64_t version = 0;  // page version counter (owner only, §3.7.2)
+    std::vector<NodeId> readers;          // owner only: nodes with read copies
+    std::deque<AccessRequest> queue;      // requests parked on busy/pending
+  };
+
+  struct ObjectState {
+    std::shared_ptr<VmObject> repr;
+    std::unordered_map<PageIndex, PageState> pages;
+    std::unique_ptr<LruCache<PageIndex, NodeId>> dyn_hints;
+    std::unique_ptr<LruCache<PageIndex, std::pair<StaticHintKind, NodeId>>> static_cache;
+    // Terminal-role state (home of a backed object / peer of a copy object):
+    // serializes first-touch grants when no owner exists.
+    std::unordered_map<PageIndex, std::deque<AccessRequest>> terminal_queue;
+    std::unordered_map<PageIndex, bool> terminal_busy;
+    // Home-role authoritative record: does an owner exist, and what version
+    // did the last writeback carry.
+    struct HomePage {
+      bool owner_exists = false;
+      uint64_t version = 0;
+    };
+    std::unordered_map<PageIndex, HomePage> home_pages;
+    // Internode pageout target selection (§3.6): cycling cursor + the node
+    // that most recently accepted a transfer.
+    size_t pageout_cursor = 0;
+    NodeId last_pageout_accept = kInvalidNode;
+  };
+
+  // Creates (or returns) the local representation of the object and registers
+  // this agent as its memory manager.
+  std::shared_ptr<VmObject> Attach(const MemObjectId& id);
+
+  // Adopts an existing local object as the representation (export path).
+  void AdoptRepr(const MemObjectId& id, const std::shared_ptr<VmObject>& object);
+
+  ObjectState& obj_state(const MemObjectId& id);
+  ObjectState* FindObjState(const MemObjectId& id);
+  PageState& page_state(ObjectState& os, PageIndex page) { return os.pages[page]; }
+
+  // Drops a page-state entry if it carries no information.
+  void PruneState(ObjectState& os, PageIndex page);
+
+  size_t MetadataBytes() const;
+
+  // --- Pager (EMMI upcalls from the local kernel) ---------------------------
+
+  void DataRequest(VmObject& object, PageIndex page, PageAccess desired) override;
+  void DataUnlock(VmObject& object, PageIndex page, PageAccess desired) override;
+  EvictAction OnEvict(VmObject& object, PageIndex page, PageBuffer data, bool dirty) override;
+  void LockCompleted(VmObject& object, PageIndex page, LockResult result) override;
+  void PullCompleted(VmObject& object, PageIndex page, PullResult result) override;
+
+  // --- Delayed-copy support (called by AsvmSystem) ---------------------------
+
+  // Broadcast handler target: downgrade all resident pages of the source
+  // object to read-only (copy creation, §3.7 / Figure 8).
+  Future<Status> MarkObjectReadOnly(const MemObjectId& id);
+
+  // --- Range locking (§6 future-work primitive) ------------------------------
+
+  // Pins a page this node owns with write access for exclusive local use;
+  // remote requests queue until ReleasePage. Returns false if the node is not
+  // currently the write-owner (caller re-faults and retries).
+  bool TryHoldPage(const MemObjectId& id, PageIndex page);
+  void ReleasePage(const MemObjectId& id, PageIndex page);
+
+  // Application-level monitoring: renders this node's view of an object
+  // (per-page access/ownership/version, hint caches) for inspection.
+  std::string DumpObjectState(const MemObjectId& id) const;
+
+ private:
+  friend class AsvmSystem;
+
+  // --- Request redirector (§3.3/§3.4) ----------------------------------------
+
+  // Entry point for a locally-generated or received access request.
+  void HandleRequest(AccessRequest req);
+
+  // Forwards a request we cannot serve: dynamic hint → static manager →
+  // terminal/global.
+  void RouteRequest(AccessRequest req);
+
+  // Advances a ring-mode request to the next sharer or the terminal.
+  void RingForward(AccessRequest req);
+
+  // Emits a monitoring event if a monitor is attached.
+  void Trace(TraceKind kind, const MemObjectId& object, PageIndex page,
+             NodeId peer = kInvalidNode, int64_t aux = 0);
+
+  void SendRequest(NodeId to, const AccessRequest& req);
+  void SendReply(NodeId to, const AccessReply& reply, PageBuffer data);
+  void Send(NodeId to, AsvmMsgType type, std::any body, PageBuffer page = nullptr);
+
+  // --- Owner-side state machine (Figure 7) -----------------------------------
+
+  // Serves a request for a page this node owns.
+  void ServeAsOwner(AccessRequest req);
+  Task OwnerGrantWrite(AccessRequest req);
+  Task SelfUpgrade(MemObjectId id, PageIndex page);
+
+  // Sends invalidations to every reader except `except`; completes when all
+  // acks arrived. Readers are consumed from the state.
+  Task InvalidateReaders(MemObjectId id, PageIndex page, NodeId except, Promise<Status> done);
+
+  // Runs the push operation for (object, page) if the version counters demand
+  // one; `pre_write` is the pre-write contents (§3.7.2). Resolves with the
+  // page's new version (== the object version once pushed).
+  Task PushIfNeeded(MemObjectId id, PageIndex page, PageBuffer pre_write,
+                    uint64_t current_version, Promise<uint64_t> new_version);
+
+  // --- Terminal-side (pager / peer) -------------------------------------------
+
+  // A request arrived at the forwarding terminal: no owner is known. Serialize
+  // first-touch grants; serve from backing (home) or the shadow chain (peer).
+  void HandleAtTerminal(AccessRequest req);
+  Task ServeFromBacking(AccessRequest req);
+  Task ServeByPull(AccessRequest req);
+  void FinishTerminal(const MemObjectId& id, PageIndex page);
+
+  // --- Internode paging (§3.6) -------------------------------------------------
+
+  Task EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bool dirty,
+                    uint64_t version, std::vector<NodeId> readers);
+  // Re-routes requests parked on this node: same-space requests are forwarded
+  // toward `next` (new owner or terminal); cross-space (pull) requests get a
+  // retry indicator (§3.7.3).
+  void ForwardQueue(const MemObjectId& id, PageIndex page, NodeId next);
+
+  // --- Message handlers ---------------------------------------------------------
+
+  void OnMessage(NodeId src, Message msg);
+  void OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer data);
+  void OnInvalidate(NodeId src, const InvalidateMsg& m);
+  void OnOwnershipOffer(NodeId src, const OwnershipOffer& m);
+  void OnPageoutOffer(NodeId src, const PageoutOffer& m, PageBuffer data);
+  void OnWriteback(NodeId src, const WritebackMsg& m, PageBuffer data);
+  void OnPushRequest(NodeId src, const PushRequest& m);
+  void OnPushData(NodeId src, const PushData& m, PageBuffer data);
+  void OnMarkReadOnly(NodeId src, const MarkReadOnly& m);
+  void OnStaticHint(const StaticHintMsg& m);
+  void OnPullDone(const PullDone& m);
+
+  // Pending replies keyed by op id (invalidation rounds, push rounds, ...).
+  struct PendingOp {
+    int outstanding = 0;
+    Promise<Status> done;
+    // Push bookkeeping: nodes that answered needs_data.
+    std::vector<NodeId> need_data;
+    bool scan_found = false;
+    explicit PendingOp(Engine& engine) : done(engine) {}
+  };
+
+  AsvmSystem& system_;
+  NodeId node_;
+  NodeVm& vm_;
+  StatsRegistry* stats_;
+  std::unordered_map<MemObjectId, std::unique_ptr<ObjectState>> objects_;
+  std::unordered_map<uint64_t, std::unique_ptr<PendingOp>> pending_ops_;
+  std::unordered_map<uint64_t, Promise<bool>> scan_waiters_;  // push-scan replies
+};
+
+}  // namespace asvm
+
+#endif  // SRC_ASVM_AGENT_H_

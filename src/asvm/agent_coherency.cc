@@ -1,0 +1,547 @@
+// AsvmAgent part 2: the owner-side page state machine (Figure 7), grant
+// handling at the origin, and terminal (pager/peer) serving.
+#include <algorithm>
+
+#include "src/asvm/agent.h"
+#include "src/common/log.h"
+
+namespace asvm {
+
+namespace {
+
+void EraseNode(std::vector<NodeId>& nodes, NodeId node) {
+  nodes.erase(std::remove(nodes.begin(), nodes.end(), node), nodes.end());
+}
+
+bool Contains(const std::vector<NodeId>& nodes, NodeId node) {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+}  // namespace
+
+// --- Owner side ----------------------------------------------------------------
+
+void AsvmAgent::ServeAsOwner(AccessRequest req) {
+  ObjectState& os = obj_state(req.search);
+  PageState& ps = page_state(os, req.page);
+  ASVM_CHECK(ps.owner && !ps.busy);
+  ASVM_CHECK_MSG(os.repr != nullptr, "owner without local representation");
+  VmPage* vp = os.repr->FindResident(req.page);
+  ASVM_CHECK_MSG(vp != nullptr, "owner invariant violated: page not resident");
+
+  if (req.origin == node_) {
+    // Our own queued request came due after we became owner (a deferred
+    // self-upgrade, or a request that looped back after a grant).
+    if (req.access == PageAccess::kWrite && ps.access != PageAccess::kWrite) {
+      (void)SelfUpgrade(req.search, req.page);
+    } else if (ps.access != PageAccess::kNone) {
+      // Access already sufficient; wake any kernel waiters.
+      vm_.LockGranted(*os.repr, req.page, vp->lock);
+    }
+    return;
+  }
+
+  if (req.target != req.search) {
+    // Cross-space pull: a copy object's read-through of our (source) data.
+    // Serve the snapshot value; ownership bookkeeping belongs to the target
+    // space and was serialized by the copy object's peer (§3.7.3).
+    AccessReply reply;
+    reply.target = req.target;
+    reply.page = req.page;
+    reply.granted = req.access;
+    reply.ownership = true;
+    reply.page_version = 0;
+    reply.terminal = req.terminal;
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.pull_served_by_owner");
+    }
+    SendReply(req.origin, reply, ClonePage(vp->data));
+    return;
+  }
+
+  Trace(TraceKind::kServeOwner, req.search, req.page, req.origin);
+  if (req.access == PageAccess::kRead) {
+    // Transition 5: grant read access, record the reader, keep ownership.
+    if (ps.access == PageAccess::kWrite) {
+      vp->lock = PageAccess::kRead;
+      ps.access = PageAccess::kRead;
+    }
+    if (!Contains(ps.readers, req.origin)) {
+      ps.readers.push_back(req.origin);
+    }
+    AccessReply reply;
+    reply.target = req.target;
+    reply.page = req.page;
+    reply.granted = PageAccess::kRead;
+    reply.ownership = false;
+    reply.page_version = ps.version;
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.read_grants");
+    }
+    SendReply(req.origin, reply, ClonePage(vp->data));
+    return;
+  }
+
+  // Transitions 4/6: grant write access (and ownership) to another node.
+  (void)OwnerGrantWrite(std::move(req));
+}
+
+Task AsvmAgent::OwnerGrantWrite(AccessRequest req) {
+  const MemObjectId id = req.search;
+  ObjectState& os = obj_state(id);
+  PageState& ps = page_state(os, req.page);
+  ps.busy = true;
+  vm_.WirePage(*os.repr, req.page);
+
+  VmPage* vp = os.repr->FindResident(req.page);
+  PageBuffer pre_write = ClonePage(vp->data);
+
+  // Delayed-copy rule: the pre-write contents must reach every copy of the
+  // object before the page may be modified (§3.7.2).
+  Promise<uint64_t> version_done(vm_.engine());
+  (void)PushIfNeeded(id, req.page, pre_write, ps.version, version_done);
+  const uint64_t new_version = co_await version_done.GetFuture();
+  ps.version = new_version;
+
+  // Transition 6: invalidate every reader except the new writer (who keeps
+  // its copy and only needs the lock upgrade — no page contents travel).
+  const bool upgrade = Contains(ps.readers, req.origin);
+  Promise<Status> inval_done(vm_.engine());
+  (void)InvalidateReaders(id, req.page, req.origin, inval_done);
+  co_await inval_done.GetFuture();
+
+  // Hand over page + ownership. Our own copy is invalidated (single writer).
+  AccessReply reply;
+  reply.target = req.target;
+  reply.page = req.page;
+  reply.granted = PageAccess::kWrite;
+  reply.ownership = true;
+  reply.upgrade = upgrade;
+  reply.page_version = ps.version;
+  if (stats_ != nullptr) {
+    stats_->Add(upgrade ? "asvm.write_upgrade_grants" : "asvm.write_grants");
+  }
+  vm_.UnwirePage(*os.repr, req.page);
+  SendReply(req.origin, reply, upgrade ? nullptr : ClonePage(pre_write));
+
+  vm_.LockRequest(*os.repr, req.page, PageAccess::kNone, LockMode::kFlush,
+                  [](LockResult) {});
+  ps.owner = false;
+  ps.access = PageAccess::kNone;
+  ps.busy = false;
+  ps.readers.clear();
+  os.dyn_hints->Put(req.page, req.origin);
+  // Keep the static manager's hint fresh (cheap, asynchronous).
+  const AsvmObjectInfo& info = system_.info(id);
+  if (system_.config().static_forwarding) {
+    const NodeId mgr = system_.StaticManagerOf(info, req.page);
+    StaticHintMsg hint{id, req.page, StaticHintKind::kOwner, req.origin};
+    if (mgr == node_) {
+      OnStaticHint(hint);
+    } else {
+      Send(mgr, AsvmMsgType::kStaticHint, hint);
+    }
+  }
+  ForwardQueue(id, req.page, req.origin);
+  PruneState(os, req.page);
+}
+
+Task AsvmAgent::SelfUpgrade(MemObjectId id, PageIndex page) {
+  ObjectState& os = obj_state(id);
+  PageState& ps = page_state(os, page);
+  ASVM_CHECK(ps.owner && !ps.busy);
+  ps.busy = true;
+  vm_.WirePage(*os.repr, page);
+
+  VmPage* vp = os.repr->FindResident(page);
+  PageBuffer pre_write = ClonePage(vp->data);
+
+  Promise<uint64_t> version_done(vm_.engine());
+  (void)PushIfNeeded(id, page, pre_write, ps.version, version_done);
+  ps.version = co_await version_done.GetFuture();
+
+  // Transition 7: invalidate all readers, then upgrade in place.
+  Promise<Status> inval_done(vm_.engine());
+  (void)InvalidateReaders(id, page, node_, inval_done);
+  co_await inval_done.GetFuture();
+
+  vm_.UnwirePage(*os.repr, page);
+  vm_.LockGranted(*os.repr, page, PageAccess::kWrite);
+  ps.access = PageAccess::kWrite;
+  ps.busy = false;
+  if (stats_ != nullptr) {
+    stats_->Add("asvm.self_upgrades");
+  }
+  // Serve whatever queued while we were busy.
+  std::deque<AccessRequest> queued;
+  queued.swap(ps.queue);
+  for (auto& q : queued) {
+    HandleRequest(std::move(q));
+  }
+}
+
+Task AsvmAgent::InvalidateReaders(MemObjectId id, PageIndex page, NodeId except,
+                                  Promise<Status> done) {
+  ObjectState& os = obj_state(id);
+  PageState& ps = page_state(os, page);
+  std::vector<NodeId> targets;
+  for (NodeId r : ps.readers) {
+    if (r != except && r != node_) {
+      targets.push_back(r);
+    }
+  }
+  ps.readers.clear();
+  if (except != node_) {
+    // The writer-to-be is tracked by the new owner, not here.
+  }
+  if (targets.empty()) {
+    done.Set(Status::kOk);
+    co_return;
+  }
+  const uint64_t op = system_.NextOpId();
+  auto pending = std::make_unique<PendingOp>(vm_.engine());
+  pending->outstanding = static_cast<int>(targets.size());
+  Future<Status> all_acked = pending->done.GetFuture();
+  pending_ops_[op] = std::move(pending);
+  for (NodeId r : targets) {
+    Send(r, AsvmMsgType::kInvalidate, InvalidateMsg{id, page, op});
+    Trace(TraceKind::kInvalidate, id, page, r);
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.invalidations");
+    }
+  }
+  co_await all_acked;
+  done.Set(Status::kOk);
+}
+
+// --- Origin side: grants -------------------------------------------------------
+
+void AsvmAgent::OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer data) {
+  if (reply.is_scan) {
+    auto it = scan_waiters_.find(reply.req_id);
+    if (it != scan_waiters_.end()) {
+      it->second.Set(reply.scan_found);
+      scan_waiters_.erase(it);
+    }
+    return;
+  }
+  ObjectState& os = obj_state(reply.target);
+  PageState& ps = page_state(os, reply.page);
+
+  if (reply.retry) {
+    // Push/pull race (§3.7.3): re-issue the request from scratch.
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.retries");
+    }
+    ASVM_CHECK(ps.pending);
+    AccessRequest req;
+    req.target = reply.target;
+    req.search = reply.target;
+    req.page = reply.page;
+    req.access = reply.granted;  // the retried access rides in `granted`
+    req.origin = node_;
+    req.req_id = system_.NextOpId();
+    vm_.engine().Schedule(system_.config().agent_process_ns,
+                          [this, req = std::move(req)]() mutable {
+                            HandleRequest(std::move(req));
+                          });
+    return;
+  }
+
+  ps.pending = false;
+  ps.access = reply.granted;
+  ASVM_CHECK_MSG(os.repr != nullptr, "grant for unattached object");
+  if (reply.zero_fill) {
+    vm_.DataUnavailable(*os.repr, reply.page, reply.granted);
+  } else if (reply.upgrade) {
+    vm_.LockGranted(*os.repr, reply.page, reply.granted);
+  } else {
+    ASVM_CHECK_MSG(data != nullptr, "grant without data");
+    vm_.DataSupply(*os.repr, reply.page, std::move(data), reply.granted);
+  }
+
+  Trace(TraceKind::kGrantApplied, reply.target, reply.page, src,
+        static_cast<int64_t>(reply.granted));
+  if (reply.ownership) {
+    Trace(TraceKind::kOwnershipMoved, reply.target, reply.page, node_);
+    ps.owner = true;
+    ps.version = reply.page_version;
+    ps.readers = reply.readers;
+    EraseNode(ps.readers, node_);
+    // Detach the parked requests NOW: OnPullDone below can synchronously
+    // drain the terminal queue into a full write-grant that hands the page
+    // away and prunes this very state entry (completed futures resume
+    // without suspending), so `ps` must not be touched afterwards.
+    std::deque<AccessRequest> queued;
+    queued.swap(ps.queue);
+    if (reply.terminal != kInvalidNode) {
+      // Tell the serializing terminal the first-touch grant landed.
+      PullDone msg{reply.target, reply.page, node_};
+      if (reply.terminal == node_) {
+        OnPullDone(msg);
+      } else {
+        Send(reply.terminal, AsvmMsgType::kPullDone, msg);
+      }
+    }
+    // We can now serve requests that piled up while our request was in
+    // flight.
+    for (auto& q : queued) {
+      HandleRequest(std::move(q));
+    }
+  } else {
+    // Read grant: remember who served us — that's the owner.
+    os.dyn_hints->Put(reply.page, src);
+    std::deque<AccessRequest> queued;
+    queued.swap(ps.queue);
+    for (auto& q : queued) {
+      RouteRequest(std::move(q));
+    }
+    PruneState(os, reply.page);
+  }
+}
+
+// --- Terminal side (pager / peer) ------------------------------------------------
+
+void AsvmAgent::HandleAtTerminal(AccessRequest req) {
+  AsvmObjectInfo& info = system_.info(req.search);
+  ASVM_CHECK(info.Terminal(req.page) == node_);
+  ObjectState& os = obj_state(req.search);
+
+  if (req.target == req.search) {
+    auto& hp = os.home_pages[req.page];
+    if (hp.owner_exists) {
+      // Someone owns the page; the caches just failed to find it. Fall back
+      // to a global scan (never fails while an owner exists, §3.4).
+      if (req.ring && req.ring_left == 0) {
+        // A full ring missed a live owner: a transfer was in flight. Retry
+        // the ring after a short delay.
+        if (stats_ != nullptr) {
+          stats_->Add("asvm.ring_retries");
+        }
+        AccessRequest retry = req;
+        retry.ring_pos = 0;
+        retry.ring_left = static_cast<int>(info.sharing.size());
+        vm_.engine().Schedule(system_.config().agent_process_ns * 4,
+                              [this, retry = std::move(retry)]() mutable {
+                                RingForward(std::move(retry));
+                              });
+        return;
+      }
+      req.ring = true;
+      req.ring_pos = 0;
+      req.ring_left = static_cast<int>(info.sharing.size());
+      RingForward(std::move(req));
+      return;
+    }
+    // No owner anywhere: we serialize the first-touch grant.
+    auto busy_it = os.terminal_busy.find(req.page);
+    if (busy_it != os.terminal_busy.end() && busy_it->second) {
+      os.terminal_queue[req.page].push_back(std::move(req));
+      return;
+    }
+    os.terminal_busy[req.page] = true;
+    req.terminal = node_;
+    // Copy objects — and backed objects whose local representation carries a
+    // VM shadow chain (an exported local fork) — resolve through the chain;
+    // plain backed objects go straight to their pager.
+    if (info.IsCopy() || (os.repr != nullptr && os.repr->shadow() != nullptr)) {
+      (void)ServeByPull(std::move(req));
+    } else {
+      (void)ServeFromBacking(std::move(req));
+    }
+    return;
+  }
+
+  // Cross-space read-through (pull into another object's space): idempotent,
+  // no serialization or ownership bookkeeping in this space.
+  if (info.IsCopy() || (os.repr != nullptr && os.repr->shadow() != nullptr)) {
+    (void)ServeByPull(std::move(req));
+  } else {
+    (void)ServeFromBacking(std::move(req));
+  }
+}
+
+Task AsvmAgent::ServeFromBacking(AccessRequest req) {
+  AsvmObjectInfo& info = system_.info(req.search);
+  ASVM_CHECK(info.backing != nullptr);
+  ObjectState& os = obj_state(req.search);
+  auto& hp = os.home_pages[req.page];
+
+  PageBuffer data;
+  uint64_t version = hp.version;
+  if (info.backing->HasData(req.page)) {
+    Promise<PageBuffer> read_done(vm_.engine());
+    info.backing->Read(req.page, vm_.page_size(),
+                       [read_done](PageBuffer d) { read_done.Set(std::move(d)); });
+    data = co_await read_done.GetFuture();
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.backing_reads");
+    }
+  } else {
+    Promise<Status> grant_done(vm_.engine());
+    info.backing->GrantFresh(req.page, [grant_done]() { grant_done.Set(Status::kOk); });
+    co_await grant_done.GetFuture();
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.fresh_grants");
+    }
+  }
+
+  const bool same_space = req.target == req.search;
+  if (same_space && req.access == PageAccess::kWrite && info.newest_copy.valid() &&
+      version != info.object_version) {
+    // Even a fresh/paged page's snapshot must reach the copies before the
+    // first post-copy write (§3.7.2).
+    PageBuffer pre_write = data != nullptr ? data : AllocPage(vm_.page_size());
+    Promise<uint64_t> push_done(vm_.engine());
+    (void)PushIfNeeded(req.search, req.page, pre_write, version, push_done);
+    version = co_await push_done.GetFuture();
+  }
+
+  AccessReply reply;
+  reply.target = req.target;
+  reply.page = req.page;
+  reply.granted = req.access;
+  reply.ownership = true;
+  reply.zero_fill = data == nullptr;
+  reply.page_version = version;
+  reply.terminal = same_space ? node_ : req.terminal;
+  if (same_space) {
+    hp.owner_exists = true;  // the grant is on its way; PullDone confirms
+  }
+  Trace(TraceKind::kServeTerminal, req.search, req.page, req.origin);
+  SendReply(req.origin, reply, data != nullptr ? ClonePage(data) : nullptr);
+}
+
+Task AsvmAgent::ServeByPull(AccessRequest req) {
+  AsvmObjectInfo& info = system_.info(req.search);
+  ObjectState& os = obj_state(req.search);
+  ASVM_CHECK_MSG(os.repr != nullptr, "peer without copy-object representation");
+
+  Promise<PullResult> pull_done(vm_.engine());
+  vm_.PullRequest(*os.repr, req.page,
+                  [pull_done](PullResult r) { pull_done.Set(std::move(r)); });
+  PullResult result = co_await pull_done.GetFuture();
+  if (stats_ != nullptr) {
+    stats_->Add("asvm.peer_pulls");
+  }
+  Trace(TraceKind::kPull, req.search, req.page, req.origin);
+
+  const bool same_space = req.target == req.search;
+  switch (result.kind) {
+    case PullResult::Kind::kData: {
+      AccessReply reply;
+      reply.target = req.target;
+      reply.page = req.page;
+      reply.granted = req.access;
+      reply.ownership = true;
+      reply.page_version = same_space ? os.home_pages[req.page].version : 0;
+      reply.terminal = req.terminal;
+      if (same_space) {
+        os.home_pages[req.page].owner_exists = true;
+      }
+      SendReply(req.origin, reply, std::move(result.data));
+      co_return;
+    }
+    case PullResult::Kind::kZeroFill: {
+      if (info.backing != nullptr) {
+        // Exported local object: the chain had nothing, but the object has a
+        // pager of its own (paging space) that may hold the page.
+        (void)ServeFromBacking(std::move(req));
+        co_return;
+      }
+      AccessReply reply;
+      reply.target = req.target;
+      reply.page = req.page;
+      reply.granted = req.access;
+      reply.ownership = true;
+      reply.zero_fill = true;
+      reply.page_version = 0;
+      reply.terminal = req.terminal;
+      if (same_space) {
+        os.home_pages[req.page].owner_exists = true;
+      }
+      SendReply(req.origin, reply, nullptr);
+      co_return;
+    }
+    case PullResult::Kind::kAskShadow: {
+      // The chain continues behind another memory manager: forward the
+      // request into that object's space, preserving origin and terminal
+      // (§3.7.3, the Figure 9 walk).
+      AccessRequest forwarded = req;
+      forwarded.search = result.shadow_object;
+      forwarded.hops = 0;
+      forwarded.ring = false;
+      if (stats_ != nullptr) {
+        stats_->Add("asvm.pull_chain_forwards");
+      }
+      HandleRequest(std::move(forwarded));
+      co_return;
+    }
+  }
+}
+
+void AsvmAgent::FinishTerminal(const MemObjectId& id, PageIndex page) {
+  ObjectState& os = obj_state(id);
+  os.terminal_busy[page] = false;
+  auto it = os.terminal_queue.find(page);
+  if (it == os.terminal_queue.end() || it->second.empty()) {
+    return;
+  }
+  std::deque<AccessRequest> queued;
+  queued.swap(it->second);
+  for (auto& q : queued) {
+    HandleRequest(std::move(q));
+  }
+}
+
+void AsvmAgent::OnPullDone(const PullDone& m) {
+  ObjectState& os = obj_state(m.target);
+  os.home_pages[m.page].owner_exists = true;
+  os.dyn_hints->Put(m.page, m.new_owner);
+  if (system_.config().static_forwarding) {
+    const AsvmObjectInfo& info = system_.info(m.target);
+    const NodeId mgr = system_.StaticManagerOf(info, m.page);
+    StaticHintMsg hint{m.target, m.page, StaticHintKind::kOwner, m.new_owner};
+    if (mgr == node_) {
+      OnStaticHint(hint);
+    } else {
+      Send(mgr, AsvmMsgType::kStaticHint, hint);
+    }
+  }
+  FinishTerminal(m.target, m.page);
+}
+
+void AsvmAgent::OnStaticHint(const StaticHintMsg& m) {
+  ObjectState& os = obj_state(m.object);
+  os.static_cache->Put(m.page, std::make_pair(m.kind, m.owner));
+}
+
+void AsvmAgent::ForwardQueue(const MemObjectId& id, PageIndex page, NodeId next) {
+  ObjectState& os = obj_state(id);
+  auto it = os.pages.find(page);
+  if (it == os.pages.end() || it->second.queue.empty()) {
+    return;
+  }
+  std::deque<AccessRequest> queued;
+  queued.swap(it->second.queue);
+  for (auto& q : queued) {
+    if (q.target != q.search) {
+      // Cross-space pull that raced a transition: bounce with a retry
+      // indicator so the origin re-enters through the target space (§3.7.3).
+      AccessReply reply;
+      reply.target = q.target;
+      reply.page = q.page;
+      reply.granted = q.access;
+      reply.retry = true;
+      Send(q.origin, AsvmMsgType::kAccessReply, reply);
+      continue;
+    }
+    if (next != kInvalidNode && next != node_) {
+      SendRequest(next, q);
+    } else {
+      RouteRequest(std::move(q));
+    }
+  }
+}
+
+}  // namespace asvm

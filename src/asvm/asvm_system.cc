@@ -1,0 +1,230 @@
+#include "src/asvm/asvm_system.h"
+
+#include <algorithm>
+
+#include "src/asvm/agent.h"
+#include "src/common/log.h"
+
+namespace asvm {
+
+namespace {
+
+// Keys for anonymous backing in the home's paging space; the high bit keeps
+// them disjoint from local VM object serials.
+uint64_t NextBackingKey() {
+  static uint64_t next = 0;
+  return (1ULL << 63) | next++;
+}
+
+}  // namespace
+
+AsvmSystem::AsvmSystem(Cluster& cluster, AsvmConfig config)
+    : cluster_(cluster), config_(config) {
+  agents_.reserve(cluster.node_count());
+  for (NodeId n = 0; n < cluster.node_count(); ++n) {
+    agents_.push_back(std::make_unique<AsvmAgent>(*this, n));
+  }
+}
+
+AsvmSystem::~AsvmSystem() = default;
+
+AsvmObjectInfo& AsvmSystem::info(const MemObjectId& id) {
+  auto it = directory_.find(id);
+  ASVM_CHECK_MSG(it != directory_.end(), "unknown ASVM object");
+  return *it->second;
+}
+
+const AsvmObjectInfo* AsvmSystem::FindInfo(const MemObjectId& id) const {
+  auto it = directory_.find(id);
+  return it == directory_.end() ? nullptr : it->second.get();
+}
+
+NodeId AsvmSystem::StaticManagerOf(const AsvmObjectInfo& info, PageIndex page) const {
+  if (info.sharing.empty()) {
+    return info.Terminal(page);
+  }
+  return info.sharing[static_cast<size_t>(page) % info.sharing.size()];
+}
+
+void AsvmSystem::AddSharer(AsvmObjectInfo& info, NodeId node) {
+  if (std::find(info.sharing.begin(), info.sharing.end(), node) == info.sharing.end()) {
+    info.sharing.push_back(node);
+  }
+}
+
+MemObjectId AsvmSystem::CreateSharedRegion(NodeId home, VmSize pages) {
+  MemObjectId id = NewObjectId(home);
+  auto info = std::make_unique<AsvmObjectInfo>();
+  info->id = id;
+  info->pages = pages;
+  info->home = home;
+  info->backing = std::make_unique<AnonBacking>(cluster_.engine(),
+                                                cluster_.default_pager(home), NextBackingKey());
+  directory_[id] = std::move(info);
+  return id;
+}
+
+MemObjectId AsvmSystem::CreateFileRegion(int32_t file_id, VmSize pages) {
+  FilePager& pager = cluster_.file_pager();
+  MemObjectId id = NewObjectId(pager.node());
+  auto info = std::make_unique<AsvmObjectInfo>();
+  info->id = id;
+  info->pages = pages;
+  info->home = pager.node();
+  info->backing = std::make_unique<FileBacking>(pager, file_id);
+  directory_[id] = std::move(info);
+  return id;
+}
+
+MemObjectId AsvmSystem::CreateStripedRegion(const std::vector<StripedBacking::Stripe>& stripes,
+                                            VmSize pages) {
+  ASVM_CHECK(!stripes.empty());
+  MemObjectId id = NewObjectId(stripes[0].pager->node());
+  auto info = std::make_unique<AsvmObjectInfo>();
+  info->id = id;
+  info->pages = pages;
+  info->home = stripes[0].pager->node();
+  for (const auto& stripe : stripes) {
+    info->stripe_homes.push_back(stripe.pager->node());
+  }
+  info->backing = std::make_unique<StripedBacking>(stripes);
+  directory_[id] = std::move(info);
+  return id;
+}
+
+std::shared_ptr<VmObject> AsvmSystem::Attach(NodeId node, const MemObjectId& id) {
+  return agent(node).Attach(id);
+}
+
+MemObjectId AsvmSystem::ExportObject(NodeId node, const std::shared_ptr<VmObject>& object) {
+  if (object->managed()) {
+    return object->id();
+  }
+  MemObjectId id = NewObjectId(node);
+  auto info = std::make_unique<AsvmObjectInfo>();
+  info->id = id;
+  info->pages = object->page_count();
+  info->home = node;
+  info->backing = std::make_unique<AnonBacking>(cluster_.engine(),
+                                                cluster_.default_pager(node), NextBackingKey());
+  directory_[id] = std::move(info);
+
+  AsvmAgent& a = agent(node);
+  a.AdoptRepr(id, object);
+  // Existing resident pages are now owned by the exporting node.
+  AsvmAgent::ObjectState& os = a.obj_state(id);
+  for (const auto& [page, vp] : object->resident_pages()) {
+    AsvmAgent::PageState& ps = a.page_state(os, page);
+    ps.owner = true;
+    ps.access = AccessAllows(vp.lock, PageAccess::kWrite) ? PageAccess::kWrite
+                                                          : PageAccess::kRead;
+    ps.version = 0;
+    os.home_pages[page].owner_exists = true;
+  }
+  cluster_.stats().Add("asvm.exports");
+  return id;
+}
+
+MemObjectId AsvmSystem::RegisterCopy(const MemObjectId& source, NodeId peer, VmSize pages) {
+  AsvmObjectInfo& src_info = info(source);
+  MemObjectId copy_id = NewObjectId(peer);
+  auto copy_info = std::make_unique<AsvmObjectInfo>();
+  copy_info->id = copy_id;
+  copy_info->pages = pages;
+  copy_info->home = peer;  // unused for copies; Terminal() uses peer
+  copy_info->peer = peer;
+  copy_info->shadow = source;
+  directory_[copy_id] = std::move(copy_info);
+
+  // New copies enter the chain immediately after the source; the previous
+  // newest copy now reads through the fresh one (§2.2 / §3.7).
+  const MemObjectId old_copy = src_info.newest_copy;
+  if (old_copy.valid()) {
+    AsvmObjectInfo& old_info = info(old_copy);
+    old_info.shadow = copy_id;
+    // Re-link the old copy's VM shadow on its peer node through a local
+    // representation of the new copy.
+    AsvmAgent& old_peer_agent = agent(old_info.peer);
+    AsvmAgent::ObjectState* old_os = old_peer_agent.FindObjState(old_copy);
+    if (old_os != nullptr && old_os->repr != nullptr) {
+      old_os->repr->set_shadow(old_peer_agent.Attach(copy_id));
+    }
+  }
+  src_info.newest_copy = copy_id;
+  ++src_info.object_version;
+  cluster_.stats().Add("asvm.copies_created");
+  return copy_id;
+}
+
+Future<VmMap*> AsvmSystem::RemoteFork(NodeId src, VmMap& parent, NodeId dst) {
+  Promise<VmMap*> done(cluster_.engine());
+  (void)RemoteForkTask(src, parent, dst, done);
+  return done.GetFuture();
+}
+
+Task AsvmSystem::RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done) {
+  Engine& engine = cluster_.engine();
+  // Task-creation control traffic (map description shipped to the child).
+  co_await Delay(engine, 300 * kMicrosecond);
+  cluster_.stats().Add("asvm.remote_forks");
+
+  NodeVm& dst_vm = cluster_.vm(dst);
+  VmMap* child = dst_vm.CreateMap();
+
+  for (auto& [start, entry] : parent.entries()) {
+    if (entry.inheritance == Inheritance::kNone) {
+      continue;
+    }
+    if (entry.inheritance == Inheritance::kShare) {
+      MemObjectId id = ExportObject(src, entry.object);
+      auto repr = Attach(dst, id);
+      Status s = child->Map(entry.start_page, entry.page_count, repr, entry.object_offset,
+                            entry.inheritance);
+      ASVM_CHECK(IsOk(s));
+      continue;
+    }
+    // Delayed copy across nodes (§3.7, Figure 8): share the source on the
+    // destination, create the copy through the standard VM mechanisms there,
+    // then mark resident source pages read-only everywhere.
+    MemObjectId source_id = ExportObject(src, entry.object);
+    AsvmObjectInfo& src_info = info(source_id);
+    std::shared_ptr<VmObject> src_repr = Attach(dst, source_id);
+    MemObjectId copy_id = RegisterCopy(source_id, dst, entry.object->page_count());
+    std::shared_ptr<VmObject> copy_obj = dst_vm.CreateAsymmetricCopy(src_repr);
+    // The copy object is the peer-side representation; registering it as
+    // managed keeps its identity stable across further forks.
+    agent(dst).AdoptRepr(copy_id, copy_obj);
+
+    Status s = child->Map(entry.start_page, entry.page_count, copy_obj, entry.object_offset,
+                          Inheritance::kCopy);
+    ASVM_CHECK(IsOk(s));
+
+    // Broadcast: downgrade all resident pages of the source to read-only.
+    WaitGroup wg(engine);
+    for (NodeId sharer : src_info.sharing) {
+      wg.Add();
+      if (sharer == dst) {
+        // The new sharer has nothing resident yet.
+        wg.Done();
+        continue;
+      }
+      Future<Status> f = agent(sharer).MarkObjectReadOnly(source_id);
+      (void)[](Future<Status> f, WaitGroup* wg) -> Task {
+        co_await f;
+        wg->Done();
+      }(f, &wg);
+      // Wire cost of the broadcast message.
+      if (sharer != src) {
+        cluster_.stats().Add("asvm.mark_readonly_msgs");
+      }
+    }
+    co_await wg.Wait();
+  }
+  done.Set(child);
+}
+
+size_t AsvmSystem::MetadataBytes(NodeId node) const {
+  return agents_.at(node)->MetadataBytes();
+}
+
+}  // namespace asvm

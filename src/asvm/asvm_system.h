@@ -1,0 +1,145 @@
+// The Advanced Shared Virtual Memory system (the paper's contribution):
+// distributed dynamic page ownership with layered forwarding (dynamic hints →
+// static ownership managers → global scan), internode paging, and delayed-copy
+// management over the STS transport.
+//
+// AsvmSystem owns one AsvmAgent per node plus the object directory. The
+// directory holds configuration-level facts about each object (home, peer,
+// sharing set, copy-chain shape, version counter) that the real system kept
+// replicated via its setup protocol; holding them centrally is a simulation
+// convenience and is never consulted for page-level state, which lives
+// strictly per node in the agents.
+#ifndef SRC_ASVM_ASVM_SYSTEM_H_
+#define SRC_ASVM_ASVM_SYSTEM_H_
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/asvm/messages.h"
+#include "src/asvm/monitor.h"
+#include "src/common/types.h"
+#include "src/dsm/backing.h"
+#include "src/dsm/cluster.h"
+#include "src/dsm/dsm_system.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace asvm {
+
+class AsvmAgent;
+
+struct AsvmConfig {
+  bool dynamic_forwarding = true;
+  bool static_forwarding = true;
+  size_t dyn_cache_capacity = 1024;     // owner hints per object per node
+  size_t static_cache_capacity = 4096;  // static-manager cache per object
+  size_t pageout_min_free_frames = 4;   // accept threshold for pageout offers
+  // Step 2/3 of the eviction algorithm (§3.6). Disabling falls straight
+  // through to the pager — the ablation showing why internode paging matters.
+  bool internode_paging = true;
+  // Run the ASVM protocol over NORMA-IPC instead of the dedicated STS — the
+  // §3.1 "Dedicated Transport Service" ablation.
+  bool use_norma_transport = false;
+  SimDuration agent_process_ns = 60 * kMicrosecond;  // per-message handling
+};
+
+// Directory record for one distributed memory object.
+struct AsvmObjectInfo {
+  MemObjectId id;
+  VmSize pages = 0;
+  NodeId home = kInvalidNode;       // where the backing pager runs
+  NodeId peer = kInvalidNode;       // copy objects: node holding the VM links
+  MemObjectId shadow;               // copy objects: the source object
+  MemObjectId newest_copy;          // source side: current copy-epoch head
+  uint64_t object_version = 0;      // bumped on each copy creation
+  std::vector<NodeId> sharing;      // nodes with a local representation
+  std::unique_ptr<ObjectBacking> backing;  // null for copy objects
+
+  // §6 striped regions: one forwarding terminal per stripe (page p belongs
+  // to stripe_homes[p % k]); empty for ordinary objects.
+  std::vector<NodeId> stripe_homes;
+
+  bool IsCopy() const { return shadow.valid(); }
+  // The terminal of request forwarding when no owner exists: the pager (home)
+  // for backed objects — per stripe for striped ones — and the peer node
+  // (shadow-chain walk) for copies.
+  NodeId Terminal(PageIndex page) const {
+    if (IsCopy()) {
+      return peer;
+    }
+    if (!stripe_homes.empty()) {
+      return stripe_homes[static_cast<size_t>(page) % stripe_homes.size()];
+    }
+    return home;
+  }
+};
+
+class AsvmSystem : public DsmSystem {
+ public:
+  AsvmSystem(Cluster& cluster, AsvmConfig config = {});
+  ~AsvmSystem() override;
+
+  std::string_view name() const override { return "asvm"; }
+
+  MemObjectId CreateSharedRegion(NodeId home, VmSize pages) override;
+  MemObjectId CreateFileRegion(int32_t file_id, VmSize pages) override;
+  MemObjectId CreateStripedRegion(const std::vector<StripedBacking::Stripe>& stripes,
+                                  VmSize pages) override;
+  std::shared_ptr<VmObject> Attach(NodeId node, const MemObjectId& id) override;
+  Future<VmMap*> RemoteFork(NodeId src, VmMap& parent, NodeId dst) override;
+  size_t MetadataBytes(NodeId node) const override;
+
+  Cluster& cluster() { return cluster_; }
+  const AsvmConfig& config() const { return config_; }
+  AsvmAgent& agent(NodeId node) { return *agents_.at(node); }
+
+  // System-level monitoring: every protocol event flows to the attached
+  // monitor (nullptr detaches).
+  void AttachMonitor(ProtocolMonitor* monitor) { monitor_ = monitor; }
+  ProtocolMonitor* monitor() const { return monitor_; }
+
+  // --- Directory -------------------------------------------------------------
+
+  AsvmObjectInfo& info(const MemObjectId& id);
+  const AsvmObjectInfo* FindInfo(const MemObjectId& id) const;
+
+  // The static ownership manager of (object, page): a fixed function over the
+  // nodes sharing the object (paper §3.4, "static forwarding").
+  NodeId StaticManagerOf(const AsvmObjectInfo& info, PageIndex page) const;
+
+  // Registers `node` as a sharer (idempotent).
+  void AddSharer(AsvmObjectInfo& info, NodeId node);
+
+  // Exports a node-local anonymous object as a distributed object: assigns an
+  // identity, registers the local agent as its manager, and marks existing
+  // resident pages as owned by `node`.
+  MemObjectId ExportObject(NodeId node, const std::shared_ptr<VmObject>& object);
+
+  // Creates a copy-object identity for a delayed copy of `source` whose VM
+  // links live on `peer`; bumps the source's version and maintains the copy
+  // chain (older epoch re-linked through the new one).
+  MemObjectId RegisterCopy(const MemObjectId& source, NodeId peer, VmSize pages);
+
+  MemObjectId NewObjectId(NodeId origin) {
+    return MemObjectId{origin, next_seq_++};
+  }
+
+  uint64_t NextOpId() { return next_op_id_++; }
+
+ private:
+  Task RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done);
+
+  Cluster& cluster_;
+  AsvmConfig config_;
+  ProtocolMonitor* monitor_ = nullptr;
+  std::vector<std::unique_ptr<AsvmAgent>> agents_;
+  std::unordered_map<MemObjectId, std::unique_ptr<AsvmObjectInfo>> directory_;
+  uint32_t next_seq_ = 1;
+  uint64_t next_op_id_ = 1;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_ASVM_ASVM_SYSTEM_H_

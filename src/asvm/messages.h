@@ -1,0 +1,159 @@
+// ASVM protocol messages. On the wire each is a fixed 32-byte untyped control
+// block, optionally followed by one page of contents (paper §3.1, "Specialized
+// Communication Protocol"); here the bodies are typed structs carried through
+// the STS transport.
+#ifndef SRC_ASVM_MESSAGES_H_
+#define SRC_ASVM_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace asvm {
+
+enum class AsvmMsgType : uint32_t {
+  kAccessRequest = 1,   // find the page owner and obtain access
+  kAccessReply,         // grant (data / zero-fill / upgrade / retry)
+  kPullDone,            // origin -> terminal node: first-touch grant landed
+  kInvalidate,          // owner -> reader
+  kInvalidateAck,
+  kOwnershipOffer,      // eviction step 2: pass ownership to a reader (no data)
+  kOwnershipOfferReply,
+  kPageoutOffer,        // eviction step 3: move the page to another sharer
+  kPageoutOfferReply,
+  kWriteback,           // eviction step 4: return the page to the pager (home)
+  kWritebackAck,
+  kPushRequest,         // push initiator -> sharing node (lock_request w/ mode)
+  kPushReply,
+  kPushData,            // initiator -> copy peer: contents for the copy chain
+  kPushDataAck,
+  kMarkReadOnly,        // copy creation: downgrade resident source pages
+  kMarkReadOnlyAck,
+  kStaticHint,          // maintain a static ownership-manager cache entry
+};
+
+// What a static ownership manager may know about a page (paper §3.4).
+enum class StaticHintKind : uint8_t {
+  kOwner,  // a node is believed to own the page
+  kFresh,  // the page has never been initialized
+  kPaged,  // the page has been written back to the pager
+};
+
+struct AccessRequest {
+  MemObjectId target;       // object the origin faulted on (supply goes here)
+  MemObjectId search;       // object space currently being searched
+  PageIndex page = kInvalidPage;
+  PageAccess access = PageAccess::kRead;
+  NodeId origin = kInvalidNode;
+  bool is_push_scan = false;  // query only: does the page exist in this space?
+  // The node serializing a first-touch grant for this request's target space;
+  // the eventual reply carries it back so the origin can report completion.
+  NodeId terminal = kInvalidNode;
+  // Set when the request was explicitly routed to the forwarding terminal
+  // (pager/peer); the terminal then serves instead of re-routing.
+  bool to_terminal = false;
+  int hops = 0;
+  // Global-forwarding (ring) state.
+  bool ring = false;
+  int ring_pos = 0;    // index into sharing list of `search`
+  int ring_left = 0;   // nodes still to visit
+  uint64_t req_id = 0;  // for tracing/stats
+};
+
+struct AccessReply {
+  MemObjectId target;
+  PageIndex page = kInvalidPage;
+  PageAccess granted = PageAccess::kNone;
+  bool ownership = false;
+  bool zero_fill = false;   // no payload; zero-fill with `granted` lock
+  bool upgrade = false;     // no payload; raise existing lock
+  bool retry = false;       // push/pull race: re-issue the request
+  bool is_scan = false;     // reply to a push-scan (routed via req_id)
+  bool scan_found = false;  // push-scan outcome
+  uint64_t req_id = 0;
+  uint64_t page_version = 0;
+  NodeId terminal = kInvalidNode;  // node that serialized a first-touch grant
+  std::vector<NodeId> readers;     // reader list handed over with ownership
+};
+
+struct InvalidateMsg {
+  MemObjectId object;
+  PageIndex page;
+  uint64_t op_id;
+};
+
+struct OwnershipOffer {
+  MemObjectId object;
+  PageIndex page;
+  uint64_t page_version;
+  std::vector<NodeId> readers;  // remaining readers if the offer is accepted
+  uint64_t op_id;
+};
+
+struct OfferReply {
+  MemObjectId object;
+  PageIndex page;
+  bool accepted;
+  uint64_t op_id;
+};
+
+struct PageoutOffer {
+  MemObjectId object;
+  PageIndex page;
+  uint64_t page_version;
+  bool dirty;
+  uint64_t op_id;
+};
+
+struct WritebackMsg {
+  MemObjectId object;
+  PageIndex page;
+  uint64_t page_version;
+  bool dirty;
+  uint64_t op_id;
+};
+
+struct PushRequest {
+  MemObjectId object;  // source object
+  PageIndex page;
+  bool push_into_copy;  // true only at the newest copy's peer node
+  uint64_t op_id;
+};
+
+// Reply to PushRequest.
+struct PushReply {
+  MemObjectId object;
+  PageIndex page;
+  bool was_resident;   // source page was cached (pushed/flushed as asked)
+  bool needs_data;     // copy chain present but page absent: send contents
+  uint64_t op_id;
+};
+
+struct PushData {
+  MemObjectId object;  // source object (supply uses push mode)
+  PageIndex page;
+  uint64_t op_id;
+};
+
+struct MarkReadOnly {
+  MemObjectId object;
+  uint64_t op_id;
+};
+
+struct StaticHintMsg {
+  MemObjectId object;
+  PageIndex page;
+  StaticHintKind kind;
+  NodeId owner;  // kOwner only
+};
+
+struct PullDone {
+  MemObjectId target;
+  PageIndex page;
+  NodeId new_owner;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_ASVM_MESSAGES_H_

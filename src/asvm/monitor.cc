@@ -1,0 +1,69 @@
+#include "src/asvm/monitor.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace asvm {
+
+const char* ToString(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kFaultRequest:
+      return "fault-request";
+    case TraceKind::kForwardDynamic:
+      return "fwd-dynamic";
+    case TraceKind::kForwardStatic:
+      return "fwd-static";
+    case TraceKind::kForwardGlobal:
+      return "fwd-global";
+    case TraceKind::kServeOwner:
+      return "serve-owner";
+    case TraceKind::kServeTerminal:
+      return "serve-terminal";
+    case TraceKind::kGrantApplied:
+      return "grant-applied";
+    case TraceKind::kInvalidate:
+      return "invalidate";
+    case TraceKind::kOwnershipMoved:
+      return "ownership-moved";
+    case TraceKind::kEvictStep:
+      return "evict-step";
+    case TraceKind::kPush:
+      return "push";
+    case TraceKind::kPushScan:
+      return "push-scan";
+    case TraceKind::kPull:
+      return "pull";
+    case TraceKind::kWriteback:
+      return "writeback";
+    case TraceKind::kKindCount:
+      break;
+  }
+  return "?";
+}
+
+std::string TraceBuffer::Render(PageIndex page) const {
+  std::ostringstream out;
+  for (const TraceEvent& e : events_) {
+    if (page != kInvalidPage && e.page != page) {
+      continue;
+    }
+    char line[160];
+    if (e.peer != kInvalidNode) {
+      std::snprintf(line, sizeof(line), "%10.3f ms  node %-3d %-16s %s page %lld  -> node %d",
+                    ToMilliseconds(e.time), e.node, ToString(e.kind),
+                    e.object.ToString().c_str(), static_cast<long long>(e.page), e.peer);
+    } else {
+      std::snprintf(line, sizeof(line), "%10.3f ms  node %-3d %-16s %s page %lld",
+                    ToMilliseconds(e.time), e.node, ToString(e.kind),
+                    e.object.ToString().c_str(), static_cast<long long>(e.page));
+    }
+    out << line;
+    if (e.kind == TraceKind::kEvictStep) {
+      out << "  (step " << e.aux << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace asvm

@@ -1,0 +1,45 @@
+// §6 future-work feature: an ASVM primitive for locking a range of pages in a
+// shared address space for the exclusive access of one task on one node —
+// the building block the paper proposes for atomic read()/write() in a
+// UFS/PFS hybrid filesystem, replacing the NORMA-IPC token server.
+//
+// The primitive is built directly on page ownership: acquiring a range
+// obtains write ownership of each page (in ascending order, so overlapping
+// acquisitions cannot deadlock) and holds it — incoming requests queue at the
+// owner until release, exactly like any other busy transition.
+#ifndef SRC_ASVM_RANGE_LOCK_H_
+#define SRC_ASVM_RANGE_LOCK_H_
+
+#include "src/asvm/asvm_system.h"
+#include "src/common/status.h"
+#include "src/machvm/task_memory.h"
+#include "src/sim/future.h"
+#include "src/sim/task.h"
+
+namespace asvm {
+
+class RangeLockService {
+ public:
+  explicit RangeLockService(AsvmSystem& system) : system_(system) {}
+
+  // Acquires exclusive access to the pages covering [addr, addr+len) of the
+  // object mapped by `mem` on `node`. Completes when every page is owned with
+  // write access and held. Concurrent overlapping acquisitions serialize;
+  // ascending page order makes them deadlock-free.
+  Future<Status> Acquire(NodeId node, TaskMemory& mem, const MemObjectId& id, VmOffset addr,
+                         VmSize len);
+
+  // Releases a previously acquired range; queued requests drain immediately.
+  void Release(NodeId node, const MemObjectId& id, VmOffset addr, VmSize len,
+               size_t page_size);
+
+ private:
+  Task AcquireTask(NodeId node, TaskMemory& mem, MemObjectId id, VmOffset addr, VmSize len,
+                   Promise<Status> done);
+
+  AsvmSystem& system_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_ASVM_RANGE_LOCK_H_

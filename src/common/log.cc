@@ -1,0 +1,65 @@
+#include "src/common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace asvm {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kTrace:
+      return "T";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+namespace log_detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+}
+
+}  // namespace log_detail
+
+void AsvmCheckFail(const char* cond, const char* file, int line, std::string_view extra) {
+  std::cerr << "CHECK failed: " << cond << " at " << file << ":" << line;
+  if (!extra.empty()) {
+    std::cerr << " — " << extra;
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace asvm

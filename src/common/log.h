@@ -1,0 +1,77 @@
+// Minimal leveled logging. Logging is off by default so simulations stay fast and
+// deterministic in output; tests and examples can raise the level.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace asvm {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+// Global verbosity threshold; messages above it are dropped before formatting.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace log_detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_detail
+
+// Fatal assertion for invariant violations; aborts with a message. Used for
+// conditions that indicate a bug in the simulator or protocol implementation,
+// never for recoverable errors.
+[[noreturn]] void AsvmCheckFail(const char* cond, const char* file, int line,
+                                std::string_view extra);
+
+}  // namespace asvm
+
+#define ASVM_LOG_ENABLED(level) ((level) <= ::asvm::GetLogLevel())
+
+#define ASVM_LOG(level)                        \
+  if (!ASVM_LOG_ENABLED(::asvm::LogLevel::level)) { \
+  } else                                       \
+    ::asvm::log_detail::LogMessage(::asvm::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define ASVM_LOG_ERROR ASVM_LOG(kError)
+#define ASVM_LOG_WARN ASVM_LOG(kWarn)
+#define ASVM_LOG_INFO ASVM_LOG(kInfo)
+#define ASVM_LOG_DEBUG ASVM_LOG(kDebug)
+#define ASVM_LOG_TRACE ASVM_LOG(kTrace)
+
+#define ASVM_CHECK(cond)                                   \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      ::asvm::AsvmCheckFail(#cond, __FILE__, __LINE__, ""); \
+    }                                                      \
+  } while (0)
+
+#define ASVM_CHECK_MSG(cond, msg)                             \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::asvm::AsvmCheckFail(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                         \
+  } while (0)
+
+#endif  // SRC_COMMON_LOG_H_

@@ -1,0 +1,78 @@
+// Bounded LRU map used for ASVM's ownership-hint caches. O(1) lookup, insert
+// and eviction; least-recently-touched entries fall out when full.
+#ifndef SRC_COMMON_LRU_CACHE_H_
+#define SRC_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace asvm {
+
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) { ASVM_CHECK(capacity > 0); }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // Returns the value and refreshes recency, or nullptr if absent.
+  V* Get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      return nullptr;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  // Lookup without touching recency (for stats/tests).
+  const V* Peek(const K& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second->second;
+  }
+
+  void Put(const K& key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      auto& lru = order_.back();
+      map_.erase(lru.first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
+
+  bool Erase(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      return false;
+    }
+    order_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> map_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_COMMON_LRU_CACHE_H_

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation for workload construction.
+// All simulation randomness must flow through Rng instances seeded explicitly,
+// so every experiment is exactly reproducible.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace asvm {
+
+// xoshiro256** seeded via splitmix64. Fast, high-quality, and stable across
+// platforms (unlike std::mt19937 distributions, whose mapping to ranges is
+// implementation-defined via std::uniform_int_distribution).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound), bound > 0. Uses Lemire's multiply-shift rejection
+  // method to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Derives an independent child generator; useful for giving each simulated
+  // node its own stream without cross-coupling.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace asvm
+
+#endif  // SRC_COMMON_RNG_H_

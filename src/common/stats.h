@@ -1,0 +1,64 @@
+// Statistics collection: named counters and latency histograms. Every protocol
+// module records into a StatsRegistry owned by the Machine so experiments can
+// report message counts, bytes moved, disk operations and fault latencies.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asvm {
+
+// Accumulates observations of a scalar (e.g. latency in nanoseconds) and
+// reports count/min/max/mean/percentiles. Stores raw samples; simulation runs
+// are short enough that this is cheap and makes percentiles exact.
+class Histogram {
+ public:
+  void Record(double value);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double total() const { return sum_; }
+  // p in [0,100]; nearest-rank on the sorted samples.
+  double Percentile(double p) const;
+
+ private:
+  void SortIfNeeded() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+// Registry of named counters and histograms. Names are hierarchical by
+// convention ("transport.sts.messages", "asvm.fault.write_ns").
+class StatsRegistry {
+ public:
+  void Add(const std::string& name, int64_t delta = 1);
+  int64_t Get(const std::string& name) const;
+
+  void Observe(const std::string& name, double value);
+  const Histogram* FindHistogram(const std::string& name) const;
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  void Clear();
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  // Human-readable dump of all counters and histogram summaries.
+  std::string Report() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,29 @@
+#include "src/common/status.h"
+
+namespace asvm {
+
+const char* ToString(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kInvalidArgument:
+      return "invalid_argument";
+    case Status::kNotFound:
+      return "not_found";
+    case Status::kAlreadyExists:
+      return "already_exists";
+    case Status::kResourceExhausted:
+      return "resource_exhausted";
+    case Status::kUnavailable:
+      return "unavailable";
+    case Status::kFailedPrecondition:
+      return "failed_precondition";
+    case Status::kDeadlock:
+      return "deadlock";
+    case Status::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+}  // namespace asvm

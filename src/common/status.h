@@ -1,0 +1,27 @@
+// Lightweight status codes used across module boundaries instead of exceptions.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+
+namespace asvm {
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,  // e.g. no free page frames, thread pool exhausted
+  kUnavailable,        // transient: retry indicated (push/pull race)
+  kFailedPrecondition,
+  kDeadlock,  // detected blocking-thread deadlock (XMM internal pager)
+  kInternal,
+};
+
+const char* ToString(Status status);
+
+inline bool IsOk(Status status) { return status == Status::kOk; }
+
+}  // namespace asvm
+
+#endif  // SRC_COMMON_STATUS_H_

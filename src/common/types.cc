@@ -1,0 +1,24 @@
+#include "src/common/types.h"
+
+namespace asvm {
+
+std::string MemObjectId::ToString() const {
+  if (!valid()) {
+    return "obj(invalid)";
+  }
+  return "obj(" + std::to_string(origin) + ":" + std::to_string(seq) + ")";
+}
+
+const char* ToString(PageAccess access) {
+  switch (access) {
+    case PageAccess::kNone:
+      return "none";
+    case PageAccess::kRead:
+      return "read";
+    case PageAccess::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+}  // namespace asvm

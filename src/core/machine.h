@@ -1,0 +1,119 @@
+// Machine — the library's public entry point: a simulated Paragon-like
+// multicomputer with a chosen distributed memory manager (ASVM or NMK13 XMM),
+// plus convenience APIs for building workloads against it.
+//
+//   MachineConfig config;
+//   config.nodes = 16;
+//   config.dsm = DsmKind::kAsvm;
+//   Machine machine(config);
+//   MemObjectId region = machine.CreateSharedRegion(0, 128);
+//   TaskMemory& mem = machine.MapRegion(3, region);
+//   auto f = mem.WriteU64(0, 42);
+//   machine.Run();
+#ifndef SRC_CORE_MACHINE_H_
+#define SRC_CORE_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/asvm/asvm_system.h"
+#include "src/common/types.h"
+#include "src/dsm/cluster.h"
+#include "src/dsm/dsm_system.h"
+#include "src/machvm/task_memory.h"
+#include "src/xmm/xmm_system.h"
+
+namespace asvm {
+
+enum class DsmKind {
+  kAsvm,  // the paper's system (§3)
+  kXmm,   // NMK13 XMM baseline (§2.3)
+};
+
+const char* ToString(DsmKind kind);
+
+struct MachineConfig {
+  int nodes = 4;
+  DsmKind dsm = DsmKind::kAsvm;
+
+  // Paragon GP node: 8 KB pages, 16 MB memory of which ~9 MB is available to
+  // user applications (paper §4.3).
+  size_t page_size = 8192;
+  size_t user_memory_bytes = 9 * 1024 * 1024;
+
+  // Number of file pagers / I/O disks (on nodes 0..k-1); >1 enables striping.
+  int file_pager_count = 1;
+
+  AsvmConfig asvm;
+  XmmConfig xmm;
+  MeshParams mesh;
+  DiskParams disk;
+  FilePagerParams file_pager;
+  VmCosts vm_costs;
+
+  ClusterParams ToClusterParams() const;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+  Cluster& cluster() { return *cluster_; }
+  DsmSystem& dsm() { return *dsm_; }
+  Engine& engine() { return cluster_->engine(); }
+  StatsRegistry& stats() { return cluster_->stats(); }
+  int nodes() const { return config_.nodes; }
+  size_t page_size() const { return config_.page_size; }
+
+  // --- Region management -----------------------------------------------------
+
+  MemObjectId CreateSharedRegion(NodeId home, VmSize pages) {
+    return dsm_->CreateSharedRegion(home, pages);
+  }
+
+  // Creates a file on the machine's file pager and a DSM region over it.
+  MemObjectId CreateMappedFile(const std::string& name, VmSize pages, bool prefilled);
+
+  // §6 extension: a striped file over the machine's file pagers (configure
+  // ClusterParams::file_pager_count > 1 via MachineConfig::file_pager_count).
+  MemObjectId CreateStripedFile(const std::string& name, VmSize pages, int stripes,
+                                bool prefilled);
+
+  // Maps the region into a fresh task on `node` at virtual page `at_page` and
+  // returns an accessor (owned by the Machine).
+  TaskMemory& MapRegion(NodeId node, const MemObjectId& id, VmOffset at_page = 0);
+
+  // Creates a task on `node` with a private anonymous region (for fork-based
+  // workloads).
+  TaskMemory& CreatePrivateTask(NodeId node, VmSize pages);
+
+  // Remote task creation through the active DSM.
+  Future<VmMap*> RemoteFork(NodeId src, TaskMemory& parent, NodeId dst) {
+    return dsm_->RemoteFork(src, parent.map(), dst);
+  }
+  TaskMemory& WrapMap(NodeId node, VmMap* map);
+
+  // --- Execution ---------------------------------------------------------------
+
+  void Run() { cluster_->engine().Run(); }
+  bool RunFor(SimDuration d) { return cluster_->engine().RunFor(d); }
+  SimTime Now() const { return cluster_->engine().Now(); }
+
+  size_t DsmMetadataBytes(NodeId node) const { return dsm_->MetadataBytes(node); }
+
+ private:
+  MachineConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<DsmSystem> dsm_;
+  std::vector<std::unique_ptr<TaskMemory>> tasks_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_CORE_MACHINE_H_

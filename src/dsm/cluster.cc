@@ -1,0 +1,38 @@
+#include "src/dsm/cluster.h"
+
+namespace asvm {
+
+Cluster::Cluster(ClusterParams params) : params_(params) {
+  network_ = std::make_unique<Network>(engine_, Topology::ForNodeCount(params_.node_count),
+                                       params_.mesh, &stats_);
+  sts_ = std::make_unique<StsTransport>(engine_, *network_, &stats_);
+  sts_ctl_ = std::make_unique<StsCtlTransport>(engine_, *network_, &stats_);
+  norma_ = std::make_unique<NormaIpc>(engine_, *network_, &stats_);
+
+  const int groups = (params_.node_count + params_.nodes_per_io_group - 1) /
+                     params_.nodes_per_io_group;
+  for (int g = 0; g < groups; ++g) {
+    disks_.push_back(std::make_unique<Disk>(engine_, params_.disk, &stats_));
+  }
+  // Dedicated spindles for the mapped file system, so file traffic and paging
+  // traffic do not artificially serialize in single-group configurations.
+  // Pager i runs on node i (striped configurations spread I/O nodes).
+  const int pagers = std::max(1, std::min(params_.file_pager_count, params_.node_count));
+  for (int i = 0; i < pagers; ++i) {
+    file_disks_.push_back(std::make_unique<Disk>(engine_, params_.disk, &stats_));
+    file_pagers_.push_back(std::make_unique<FilePager>(
+        engine_, /*io_node=*/i, file_disks_.back().get(), params_.file_pager, &stats_));
+  }
+
+  nodes_.resize(params_.node_count);
+  for (NodeId n = 0; n < params_.node_count; ++n) {
+    nodes_[n].vm = std::make_unique<NodeVm>(engine_, n, params_.vm, &stats_);
+    nodes_[n].default_pager = std::make_unique<DefaultPager>(
+        engine_, &paging_disk(n), &stats_);
+    nodes_[n].vm->SetDefaultPager(nodes_[n].default_pager.get());
+  }
+}
+
+Cluster::~Cluster() = default;
+
+}  // namespace asvm

@@ -1,0 +1,83 @@
+// The simulated multicomputer: engine, mesh, transports, and one kernel VM
+// (plus paging machinery) per node — everything below the DSM layer. XMM and
+// ASVM are constructed on top of a Cluster.
+#ifndef SRC_DSM_CLUSTER_H_
+#define SRC_DSM_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/machvm/default_pager.h"
+#include "src/machvm/disk.h"
+#include "src/machvm/file_pager.h"
+#include "src/machvm/node_vm.h"
+#include "src/mesh/network.h"
+#include "src/sim/engine.h"
+#include "src/transport/transport.h"
+
+namespace asvm {
+
+struct ClusterParams {
+  int node_count = 4;
+  VmParams vm;                       // per-node VM configuration
+  MeshParams mesh;
+  DiskParams disk;
+  FilePagerParams file_pager;
+  int nodes_per_io_group = 32;       // one disk per 32 compute nodes (Paragon)
+  // File pagers (each with its own disk) on nodes 0..count-1; >1 enables the
+  // §6 striped-file extension.
+  int file_pager_count = 1;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterParams params);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterParams& params() const { return params_; }
+  int node_count() const { return params_.node_count; }
+  size_t page_size() const { return params_.vm.page_size; }
+
+  Engine& engine() { return engine_; }
+  StatsRegistry& stats() { return stats_; }
+  Network& network() { return *network_; }
+  StsTransport& sts() { return *sts_; }
+  StsCtlTransport& sts_ctl() { return *sts_ctl_; }
+  NormaIpc& norma() { return *norma_; }
+
+  NodeVm& vm(NodeId node) { return *nodes_.at(node).vm; }
+  DefaultPager& default_pager(NodeId node) { return *nodes_.at(node).default_pager; }
+  Disk& paging_disk(NodeId node) { return *disks_.at(node / params_.nodes_per_io_group); }
+
+  // The file pager lives on node 0's I/O group (node 0 stands in for the I/O
+  // node; the pager CPU and disk are the bottleneck either way).
+  FilePager& file_pager(int index = 0) { return *file_pagers_.at(index); }
+  int file_pager_count() const { return static_cast<int>(file_pagers_.size()); }
+
+ private:
+  struct Node {
+    std::unique_ptr<NodeVm> vm;
+    std::unique_ptr<DefaultPager> default_pager;
+  };
+
+  ClusterParams params_;
+  Engine engine_;
+  StatsRegistry stats_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<StsTransport> sts_;
+  std::unique_ptr<StsCtlTransport> sts_ctl_;
+  std::unique_ptr<NormaIpc> norma_;
+  std::vector<std::unique_ptr<Disk>> disks_;  // one per I/O group
+  std::vector<std::unique_ptr<Disk>> file_disks_;
+  std::vector<std::unique_ptr<FilePager>> file_pagers_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_DSM_CLUSTER_H_

@@ -1,0 +1,56 @@
+// Common interface of the two distributed memory managers (XMM and ASVM), so
+// workloads and benchmarks run unchanged against either system.
+#ifndef SRC_DSM_DSM_SYSTEM_H_
+#define SRC_DSM_DSM_SYSTEM_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dsm/backing.h"
+#include "src/dsm/cluster.h"
+#include "src/machvm/vm_map.h"
+#include "src/machvm/vm_object.h"
+#include "src/sim/future.h"
+
+namespace asvm {
+
+class DsmSystem {
+ public:
+  virtual ~DsmSystem() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Creates an anonymous distributed shared memory region homed at `home`
+  // (zero-filled; paging space on the home's I/O group as backing).
+  virtual MemObjectId CreateSharedRegion(NodeId home, VmSize pages) = 0;
+
+  // Creates a distributed region backed by `file_id` of the cluster's file
+  // pager.
+  virtual MemObjectId CreateFileRegion(int32_t file_id, VmSize pages) = 0;
+
+  // §6 extension: a region over a striped file — page p is served by stripe
+  // p % k, each stripe its own (pager, file) pair on its own I/O node.
+  // ASVM forwards per stripe; XMM still funnels through one manager (the
+  // UFS/PFS contrast the paper's future-work section draws).
+  virtual MemObjectId CreateStripedRegion(const std::vector<StripedBacking::Stripe>& stripes,
+                                          VmSize pages) = 0;
+
+  // Returns the node-local VM representation of the object, creating and
+  // registering it on first use (the node becomes a sharer of the object).
+  virtual std::shared_ptr<VmObject> Attach(NodeId node, const MemObjectId& id) = 0;
+
+  // Remote task creation: builds a map on `dst` that delayed-copies every
+  // kCopy entry of `parent` (on `src`) and shares kShare entries. Completes
+  // when the child map is usable.
+  virtual Future<VmMap*> RemoteFork(NodeId src, VmMap& parent, NodeId dst) = 0;
+
+  // Non-pageable DSM metadata held on `node`, in bytes (invariant 7: ASVM is
+  // O(resident); the XMM manager is Θ(pages × sharers)).
+  virtual size_t MetadataBytes(NodeId node) const = 0;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_DSM_DSM_SYSTEM_H_

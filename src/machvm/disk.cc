@@ -1,0 +1,38 @@
+#include "src/machvm/disk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asvm {
+
+void Disk::Read(int64_t position, size_t bytes, std::function<void()> done) {
+  ++reads_;
+  if (stats_ != nullptr) {
+    stats_->Add("disk.reads");
+    stats_->Add("disk.bytes_read", static_cast<int64_t>(bytes));
+  }
+  Access(position, bytes, std::move(done));
+}
+
+void Disk::Write(int64_t position, size_t bytes, std::function<void()> done) {
+  ++writes_;
+  if (stats_ != nullptr) {
+    stats_->Add("disk.writes");
+    stats_->Add("disk.bytes_written", static_cast<int64_t>(bytes));
+  }
+  Access(position, bytes, std::move(done));
+}
+
+void Disk::Access(int64_t position, size_t bytes, std::function<void()> done) {
+  const bool sequential = position == last_position_ + 1;
+  last_position_ = position;
+  const SimDuration transfer = static_cast<SimDuration>(
+      std::llround(static_cast<double>(bytes) / params_.bandwidth_bytes_per_ns));
+  const SimDuration op = (sequential ? 0 : params_.seek_ns) + transfer;
+  const SimTime now = engine_.Now();
+  const SimTime complete = std::max(now, busy_until_) + op;
+  busy_until_ = complete;
+  engine_.Schedule(complete - now, std::move(done));
+}
+
+}  // namespace asvm

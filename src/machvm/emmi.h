@@ -1,0 +1,67 @@
+// EMMI — the External Memory Management Interface between the kernel's VM
+// system and memory managers (pagers), including the five extensions the
+// paper adds for ASVM's delayed-copy management (§3.7.1):
+//
+//   * memory_object_lock_request gains a "mode" argument to push the page
+//     down the VM-internal copy chain before the lock executes;
+//   * memory_object_lock_completed gains a "result" indicating the page was
+//     not present so no push could run;
+//   * memory_object_data_supply gains a "mode" to push a page down the copy
+//     chain instead of supplying the source object;
+//   * memory_object_pull_request / _completed retrieve a page through the
+//     VM-internal shadow chain, reporting zero-fill / data / ask-shadow.
+//
+// The kernel side of EMMI is implemented by NodeVm; the pager side by the
+// Pager interface in pager.h.
+#ifndef SRC_MACHVM_EMMI_H_
+#define SRC_MACHVM_EMMI_H_
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/transport/message.h"
+
+namespace asvm {
+
+// data_supply mode.
+enum class SupplyMode {
+  kNormal,      // supply the page to the object itself
+  kPushToCopy,  // push the page down the object's copy chain (ASVM extension)
+};
+
+// lock_request mode.
+enum class LockMode {
+  kDowngrade,     // reduce the kernel's lock to the given access (no push)
+  kFlush,         // remove the page from the cache entirely
+  kPushAndLock,   // push down the copy chain first, then apply the lock
+  kPushAndFlush,  // push down the copy chain, then invalidate in the source
+};
+
+// lock_completed result (ASVM extension).
+enum class LockResult {
+  kDone,         // lock (and push, if requested) executed
+  kNotResident,  // page was not in the VM cache; push could not run
+};
+
+// pull_completed result (ASVM extension, §3.7.1): outcome of traversing the
+// local shadow chain.
+struct PullResult {
+  enum class Kind {
+    kZeroFill,   // page does not exist anywhere in the chain
+    kData,       // found; contents attached
+    kAskShadow,  // chain ends at a managed object; ask its memory manager
+  };
+  Kind kind = Kind::kZeroFill;
+  PageBuffer data;           // kData
+  MemObjectId shadow_object;  // kAskShadow: the managed shadow's identity
+};
+
+// Outcome of the pageout hook a managed object's pager receives when the VM
+// evicts one of the object's pages.
+enum class EvictAction {
+  kDiscard,  // drop the page; it is recoverable elsewhere
+  kTaken,    // the pager took responsibility for the contents
+};
+
+}  // namespace asvm
+
+#endif  // SRC_MACHVM_EMMI_H_

@@ -1,0 +1,135 @@
+#include "src/machvm/file_pager.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace asvm {
+
+int32_t FilePager::CreateFile(const std::string& name, VmSize pages, bool prefilled) {
+  File file;
+  file.name = name;
+  file.pages = pages;
+  file.prefilled = prefilled;
+  files_.push_back(std::move(file));
+  return static_cast<int32_t>(files_.size() - 1);
+}
+
+VmSize FilePager::FilePages(int32_t file_id) const {
+  ASVM_CHECK(file_id >= 0 && static_cast<size_t>(file_id) < files_.size());
+  return files_[file_id].pages;
+}
+
+bool FilePager::HasData(int32_t file_id, PageIndex page) const {
+  ASVM_CHECK(file_id >= 0 && static_cast<size_t>(file_id) < files_.size());
+  const File& file = files_[file_id];
+  return file.prefilled || file.written.count(page) != 0;
+}
+
+void FilePager::Process(std::function<void()> fn) {
+  const SimTime now = engine_.Now();
+  const SimTime start = std::max(now, cpu_busy_until_) + params_.request_cpu_ns;
+  cpu_busy_until_ = start;
+  engine_.Schedule(start - now, std::move(fn));
+}
+
+void FilePager::ReadPage(int32_t file_id, PageIndex page, size_t page_size,
+                         std::function<void(PageBuffer)> done) {
+  ASVM_CHECK(file_id >= 0 && static_cast<size_t>(file_id) < files_.size());
+  if (stats_ != nullptr) {
+    stats_->Add("file_pager.reads");
+  }
+  Process([this, file_id, page, page_size, done = std::move(done)]() mutable {
+    File& file = files_[file_id];
+    auto it = file.written.find(page);
+    if (it != file.written.end()) {
+      // Recently written data still buffered in the pager.
+      done(ClonePage(it->second));
+      return;
+    }
+    if (!file.prefilled) {
+      done(AllocPage(page_size));
+      return;
+    }
+    if (file.staged.count(page) != 0) {
+      // Read-ahead already brought this page into the pager's buffer.
+      file.staged.erase(page);
+      if (stats_ != nullptr) {
+        stats_->Add("file_pager.readahead_hits");
+      }
+      auto data = AllocPage(page_size);
+      FillPattern(file_id, page, *data);
+      done(std::move(data));
+      return;
+    }
+    ASVM_CHECK_MSG(disk_ != nullptr, "file pager without a disk");
+    // §6 clustering: one disk operation covers this page plus the read-ahead
+    // window — a sequential scan pays one positioning per cluster.
+    const int ahead =
+        std::min<int64_t>(params_.readahead_pages,
+                          static_cast<int64_t>(file.pages) - static_cast<int64_t>(page) - 1);
+    const size_t cluster_bytes = page_size * static_cast<size_t>(1 + std::max(0, ahead));
+    for (int i = 1; i <= ahead; ++i) {
+      file.staged[page + i] = true;
+    }
+    // Keyed by the cluster's last page so back-to-back clusters of a scan are
+    // sequential on the spindle.
+    disk_->Read(DiskPosition(file_id, page + std::max(0, ahead)), cluster_bytes,
+                [file_id, page, page_size, done = std::move(done)]() {
+                  auto data = AllocPage(page_size);
+                  FillPattern(file_id, page, *data);
+                  done(std::move(data));
+                });
+  });
+}
+
+void FilePager::WritePage(int32_t file_id, PageIndex page, PageBuffer data,
+                          std::function<void()> done) {
+  ASVM_CHECK(file_id >= 0 && static_cast<size_t>(file_id) < files_.size());
+  ASVM_CHECK(data != nullptr);
+  if (stats_ != nullptr) {
+    stats_->Add("file_pager.writes");
+  }
+  const size_t bytes = data->size();
+  Process([this, file_id, page, bytes, data = std::move(data), done = std::move(done)]() {
+    files_[file_id].written[page] = ClonePage(data);
+    if (disk_ != nullptr) {
+      // Asynchronous write-behind: completion is not awaited by anyone.
+      disk_->Write(DiskPosition(file_id, page), bytes, []() {});
+    }
+    if (done) {
+      done();
+    }
+  });
+}
+
+void FilePager::GrantFresh(int32_t file_id, PageIndex page, std::function<void()> done) {
+  (void)page;
+  ASVM_CHECK(file_id >= 0 && static_cast<size_t>(file_id) < files_.size());
+  if (stats_ != nullptr) {
+    stats_->Add("file_pager.fresh_grants");
+  }
+  Process([done = std::move(done)]() {
+    if (done) {
+      done();
+    }
+  });
+}
+
+void FilePager::FillPattern(int32_t file_id, PageIndex page, std::vector<std::byte>& out) {
+  uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(file_id)) << 32) ^
+               static_cast<uint64_t>(page) ^ 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < out.size(); ++i) {
+    // splitmix64 step per 8 bytes keeps this cheap and deterministic.
+    if (i % 8 == 0) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      x = z ^ (z >> 31);
+    }
+    out[i] = static_cast<std::byte>((x >> ((i % 8) * 8)) & 0xff);
+  }
+}
+
+}  // namespace asvm

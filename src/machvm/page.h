@@ -1,0 +1,60 @@
+// Page frames and page buffers. A PageBuffer owns the actual bytes of a
+// simulated physical page; VmPage is the kernel's bookkeeping for one resident
+// page of a VM object.
+#ifndef SRC_MACHVM_PAGE_H_
+#define SRC_MACHVM_PAGE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/transport/message.h"  // PageBuffer
+
+namespace asvm {
+
+inline PageBuffer AllocPage(size_t page_size) {
+  return std::make_shared<std::vector<std::byte>>(page_size);
+}
+
+// Deep copy used when page contents leave the node (message payloads, disk),
+// so later local writes cannot alias data already "on the wire".
+inline PageBuffer ClonePage(const PageBuffer& src) {
+  return src ? std::make_shared<std::vector<std::byte>>(*src) : nullptr;
+}
+
+inline bool PageIsZero(const PageBuffer& page) {
+  if (!page) {
+    return true;
+  }
+  for (std::byte b : *page) {
+    if (b != std::byte{0}) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// One resident page of a VM object on one node.
+struct VmPage {
+  PageBuffer data;
+
+  // Highest access the object's memory manager has granted the kernel for
+  // this page (kRead or kWrite). Unmanaged objects always hold kWrite.
+  PageAccess lock = PageAccess::kWrite;
+
+  // Set when the page has been modified since it was supplied/cleaned.
+  bool dirty = false;
+
+  // Pages wired by an in-progress protocol operation are skipped by pageout.
+  int wire_count = 0;
+
+  // Monotonic per-node tick of the last fault/supply touching this page;
+  // pageout evicts in ascending order (approximate LRU).
+  uint64_t last_use = 0;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_MACHVM_PAGE_H_

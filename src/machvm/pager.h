@@ -1,0 +1,48 @@
+// Pager-side EMMI interface: the upcalls the kernel (NodeVm) makes to the
+// memory manager of a managed VM object. DSM systems (XMM, ASVM) implement
+// this per node to interpose between each node's VM and the real backing
+// pager, exactly as Figure 4/5 of the paper describes.
+#ifndef SRC_MACHVM_PAGER_H_
+#define SRC_MACHVM_PAGER_H_
+
+#include "src/common/types.h"
+#include "src/machvm/emmi.h"
+
+namespace asvm {
+
+class NodeVm;
+class VmObject;
+
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  // memory_object_data_request: the kernel needs the page with at least
+  // `desired` access. The pager answers asynchronously with
+  // NodeVm::DataSupply or NodeVm::DataUnavailable.
+  virtual void DataRequest(VmObject& object, PageIndex page, PageAccess desired) = 0;
+
+  // memory_object_data_unlock: the page is resident but its lock is below the
+  // desired access (a write on a read-locked page). The pager answers with
+  // NodeVm::LockGranted (possibly after coherency work).
+  virtual void DataUnlock(VmObject& object, PageIndex page, PageAccess desired) = 0;
+
+  // Pageout hook: the kernel is evicting this page. `dirty` reflects
+  // modifications since the last supply/clean. If the pager returns kTaken it
+  // has (asynchronously) taken care of preserving the contents; kDiscard
+  // means the contents are recoverable without further work.
+  virtual EvictAction OnEvict(VmObject& object, PageIndex page, PageBuffer data,
+                              bool dirty) = 0;
+
+  // memory_object_lock_completed (with the ASVM "result" extension). Reply to
+  // a NodeVm::LockRequest issued by this pager.
+  virtual void LockCompleted(VmObject& object, PageIndex page, LockResult result) = 0;
+
+  // memory_object_pull_completed (ASVM extension). Reply to a
+  // NodeVm::PullRequest issued by this pager.
+  virtual void PullCompleted(VmObject& object, PageIndex page, PullResult result) = 0;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_MACHVM_PAGER_H_

@@ -1,0 +1,54 @@
+// Task-facing memory access API: loads and stores against a VmMap, faulting
+// transparently. Non-faulting accesses take a synchronous fast path with no
+// simulated cost, so compute-heavy workloads only pay for real VM activity.
+#ifndef SRC_MACHVM_TASK_MEMORY_H_
+#define SRC_MACHVM_TASK_MEMORY_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/status.h"
+#include "src/machvm/node_vm.h"
+#include "src/sim/future.h"
+#include "src/sim/task.h"
+
+namespace asvm {
+
+class TaskMemory {
+ public:
+  TaskMemory(NodeVm& vm, VmMap& map) : vm_(vm), map_(map) {}
+
+  NodeVm& vm() { return vm_; }
+  VmMap& map() { return map_; }
+
+  // Ensures the byte range [addr, addr+len) is accessible with the desired
+  // access, faulting page by page as needed.
+  Future<Status> Touch(VmOffset addr, VmSize len, PageAccess desired);
+
+  // Typed accessors. Each faults if needed and then performs the access; the
+  // future is immediately ready when no fault was necessary.
+  Future<uint64_t> ReadU64(VmOffset addr);
+  Future<Status> WriteU64(VmOffset addr, uint64_t value);
+
+  // Bulk transfers (may span pages).
+  Future<Status> ReadBytes(VmOffset addr, std::span<std::byte> out);
+  Future<Status> WriteBytes(VmOffset addr, std::span<const std::byte> in);
+
+  // Synchronous variants: succeed only when no fault is needed.
+  bool TryReadU64(VmOffset addr, uint64_t* out);
+  bool TryWriteU64(VmOffset addr, uint64_t value);
+
+ private:
+  Task TouchTask(VmOffset addr, VmSize len, PageAccess desired, Promise<Status> done);
+  Task ReadU64Task(VmOffset addr, Promise<uint64_t> done);
+  Task WriteU64Task(VmOffset addr, uint64_t value, Promise<Status> done);
+  Task ReadBytesTask(VmOffset addr, std::span<std::byte> out, Promise<Status> done);
+  Task WriteBytesTask(VmOffset addr, std::span<const std::byte> in, Promise<Status> done);
+
+  NodeVm& vm_;
+  VmMap& map_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_MACHVM_TASK_MEMORY_H_

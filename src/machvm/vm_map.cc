@@ -1,0 +1,63 @@
+#include "src/machvm/vm_map.h"
+
+namespace asvm {
+
+Status VmMap::Map(VmOffset start_page, VmSize page_count, std::shared_ptr<VmObject> object,
+                  VmOffset object_offset, Inheritance inheritance) {
+  if (!object || page_count == 0) {
+    return Status::kInvalidArgument;
+  }
+  // Overlap check against the entry at or after start_page and the one before.
+  auto next = entries_.lower_bound(start_page);
+  if (next != entries_.end() && next->first < start_page + page_count) {
+    return Status::kAlreadyExists;
+  }
+  if (next != entries_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.start_page + prev->second.page_count > start_page) {
+      return Status::kAlreadyExists;
+    }
+  }
+  VmMapEntry entry;
+  entry.start_page = start_page;
+  entry.page_count = page_count;
+  entry.object = std::move(object);
+  entry.object_offset = object_offset;
+  entry.inheritance = inheritance;
+  entries_[start_page] = std::move(entry);
+  return Status::kOk;
+}
+
+Status VmMap::Unmap(VmOffset start_page) {
+  return entries_.erase(start_page) > 0 ? Status::kOk : Status::kNotFound;
+}
+
+VmMapEntry* VmMap::LookupPage(VmOffset vpage) {
+  auto it = entries_.upper_bound(vpage);
+  if (it == entries_.begin()) {
+    return nullptr;
+  }
+  --it;
+  VmMapEntry& entry = it->second;
+  if (vpage >= entry.start_page && vpage < entry.start_page + entry.page_count) {
+    return &entry;
+  }
+  return nullptr;
+}
+
+const VmMapEntry* VmMap::LookupPage(VmOffset vpage) const {
+  return const_cast<VmMap*>(this)->LookupPage(vpage);
+}
+
+VmMap::Resolution VmMap::Resolve(VmOffset addr) {
+  Resolution r;
+  const VmOffset vpage = addr / page_size_;
+  r.entry = LookupPage(vpage);
+  if (r.entry != nullptr) {
+    r.object_page =
+        static_cast<PageIndex>(vpage - r.entry->start_page + r.entry->object_offset);
+  }
+  return r;
+}
+
+}  // namespace asvm

@@ -1,0 +1,163 @@
+#include "src/mappedfs/file_bench.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/machvm/file_pager.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace asvm {
+
+namespace {
+
+Task SequentialTouch(TaskMemory& mem, VmOffset first_page, VmOffset end_page, size_t ps,
+                     PageAccess access, SimTime* finished, Engine* engine, WaitGroup& wg) {
+  for (VmOffset p = first_page; p < end_page; ++p) {
+    Status s = co_await mem.Touch(p * ps, 8, access);
+    ASVM_CHECK_MSG(IsOk(s), "file touch failed");
+  }
+  *finished = engine->Now();
+  wg.Done();
+}
+
+}  // namespace
+
+FileBenchResult RunParallelFileRead(Machine& machine, const MemObjectId& region,
+                                    VmSize file_pages, int nodes_used, NodeId first_node) {
+  ASVM_CHECK(nodes_used >= 1 && first_node + nodes_used <= machine.nodes());
+  const size_t ps = machine.page_size();
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    mems.push_back(&machine.MapRegion(first_node + n, region));
+  }
+  Engine& engine = machine.engine();
+  std::vector<SimTime> finished(nodes_used, 0);
+  WaitGroup wg(engine);
+  wg.Add(nodes_used);
+  const SimTime start = machine.Now();
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    (void)SequentialTouch(*mems[n], 0, file_pages, ps, PageAccess::kRead, &finished[n],
+                          &engine, wg);
+  }
+  machine.Run();
+  ASVM_CHECK(wg.count() == 0);
+
+  FileBenchResult result;
+  const double file_mb =
+      static_cast<double>(file_pages) * static_cast<double>(ps) / (1024.0 * 1024.0);
+  double rate_sum = 0;
+  SimTime last = start;
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    const double secs = ToSeconds(finished[n] - start);
+    result.node_seconds.push_back(secs);
+    rate_sum += file_mb / secs;
+    last = std::max(last, finished[n]);
+  }
+  result.per_node_mb_s = rate_sum / nodes_used;
+  result.makespan_seconds = ToSeconds(last - start);
+  return result;
+}
+
+FileBenchResult RunParallelFileWrite(Machine& machine, const MemObjectId& region,
+                                     VmSize file_pages, int nodes_used, NodeId first_node) {
+  ASVM_CHECK(nodes_used >= 1 && first_node + nodes_used <= machine.nodes());
+  const size_t ps = machine.page_size();
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    mems.push_back(&machine.MapRegion(first_node + n, region));
+  }
+  Engine& engine = machine.engine();
+  std::vector<SimTime> finished(nodes_used, 0);
+  WaitGroup wg(engine);
+  wg.Add(nodes_used);
+  const VmSize section = file_pages / nodes_used;
+  ASVM_CHECK_MSG(section > 0, "file smaller than node count");
+  const SimTime start = machine.Now();
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    const VmOffset lo = static_cast<VmOffset>(n) * section;
+    const VmOffset hi = n == nodes_used - 1 ? file_pages : lo + section;
+    (void)SequentialTouch(*mems[n], lo, hi, ps, PageAccess::kWrite, &finished[n], &engine, wg);
+  }
+  machine.Run();
+  ASVM_CHECK(wg.count() == 0);
+
+  FileBenchResult result;
+  double rate_sum = 0;
+  SimTime last = start;
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    const VmOffset lo = static_cast<VmOffset>(n) * section;
+    const VmOffset hi = n == nodes_used - 1 ? file_pages : lo + section;
+    const double mb = static_cast<double>(hi - lo) * static_cast<double>(ps) / (1024.0 * 1024.0);
+    const double secs = ToSeconds(finished[n] - start);
+    result.node_seconds.push_back(secs);
+    rate_sum += mb / secs;
+    last = std::max(last, finished[n]);
+  }
+  result.per_node_mb_s = rate_sum / nodes_used;
+  result.makespan_seconds = ToSeconds(last - start);
+  return result;
+}
+
+FileBenchResult RunParallelFileReadSections(Machine& machine, const MemObjectId& region,
+                                            VmSize file_pages, int nodes_used,
+                                            NodeId first_node) {
+  ASVM_CHECK(nodes_used >= 1 && first_node + nodes_used <= machine.nodes());
+  const size_t ps = machine.page_size();
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    mems.push_back(&machine.MapRegion(first_node + n, region));
+  }
+  Engine& engine = machine.engine();
+  std::vector<SimTime> finished(nodes_used, 0);
+  WaitGroup wg(engine);
+  wg.Add(nodes_used);
+  const VmSize section = file_pages / nodes_used;
+  ASVM_CHECK_MSG(section > 0, "file smaller than node count");
+  const SimTime start = machine.Now();
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    const VmOffset lo = static_cast<VmOffset>(n) * section;
+    const VmOffset hi = n == nodes_used - 1 ? file_pages : lo + section;
+    (void)SequentialTouch(*mems[n], lo, hi, ps, PageAccess::kRead, &finished[n], &engine, wg);
+  }
+  machine.Run();
+  ASVM_CHECK(wg.count() == 0);
+
+  FileBenchResult result;
+  double rate_sum = 0;
+  SimTime last = start;
+  for (NodeId n = 0; n < nodes_used; ++n) {
+    const VmOffset lo = static_cast<VmOffset>(n) * section;
+    const VmOffset hi = n == nodes_used - 1 ? file_pages : lo + section;
+    const double mb = static_cast<double>(hi - lo) * static_cast<double>(ps) / (1024.0 * 1024.0);
+    const double secs = ToSeconds(finished[n] - start);
+    result.node_seconds.push_back(secs);
+    rate_sum += mb / secs;
+    last = std::max(last, finished[n]);
+  }
+  result.per_node_mb_s = rate_sum / nodes_used;
+  result.makespan_seconds = ToSeconds(last - start);
+  return result;
+}
+
+int VerifyFileContents(Machine& machine, TaskMemory& mem, int32_t file_id, VmSize pages) {
+  const size_t ps = machine.page_size();
+  int bad = 0;
+  std::vector<std::byte> got(ps);
+  std::vector<std::byte> want(ps);
+  for (VmOffset p = 0; p < pages; ++p) {
+    auto f = mem.ReadBytes(p * ps, got);
+    machine.Run();
+    if (!f.ready() || !IsOk(f.value())) {
+      ++bad;
+      continue;
+    }
+    FilePager::FillPattern(file_id, static_cast<PageIndex>(p), want);
+    if (got != want) {
+      ++bad;
+    }
+  }
+  return bad;
+}
+
+}  // namespace asvm

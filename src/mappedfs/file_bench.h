@@ -1,0 +1,48 @@
+// Mapped-filesystem workloads of the paper's §4.2: N nodes mmap the same
+// file and read it in parallel (whole file each) or write disjoint sections
+// with asynchronous write-behind. The reported metric is the effective
+// transfer rate seen by each node (Table 2 / Figures 12-13).
+#ifndef SRC_MAPPEDFS_FILE_BENCH_H_
+#define SRC_MAPPEDFS_FILE_BENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/machine.h"
+
+namespace asvm {
+
+struct FileBenchResult {
+  double per_node_mb_s = 0;    // mean over nodes of section_or_file / node time
+  double makespan_seconds = 0;
+  std::vector<double> node_seconds;
+};
+
+// All `nodes_used` nodes starting at `first_node` read the entire file
+// (sequential page order), in parallel. Returns per-node MB/s over the whole
+// file. Use first_node=1 to keep compute traffic off the I/O node (node 0),
+// as on the real machine.
+FileBenchResult RunParallelFileRead(Machine& machine, const MemObjectId& region,
+                                    VmSize file_pages, int nodes_used, NodeId first_node = 0);
+
+// Each node writes its disjoint 1/nodes_used section of the file (sequential
+// page order, asynchronous write-behind). Per-node MB/s over its section.
+FileBenchResult RunParallelFileWrite(Machine& machine, const MemObjectId& region,
+                                     VmSize file_pages, int nodes_used,
+                                     NodeId first_node = 0);
+
+// Each node reads its disjoint 1/nodes_used section (the PFS access pattern:
+// cold sections stream from the I/O nodes in parallel — what striping
+// accelerates). Per-node MB/s over its section.
+FileBenchResult RunParallelFileReadSections(Machine& machine, const MemObjectId& region,
+                                            VmSize file_pages, int nodes_used,
+                                            NodeId first_node = 0);
+
+// Integrity helper: reads `pages` pages from `mem` and checks them against
+// the file pager's deterministic fill pattern. Returns the number of
+// mismatching pages (0 = intact).
+int VerifyFileContents(Machine& machine, TaskMemory& mem, int32_t file_id, VmSize pages);
+
+}  // namespace asvm
+
+#endif  // SRC_MAPPEDFS_FILE_BENCH_H_

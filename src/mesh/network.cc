@@ -1,0 +1,51 @@
+#include "src/mesh/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asvm {
+
+namespace {
+
+SimDuration SerializationTime(size_t bytes, double bandwidth_bytes_per_ns) {
+  return static_cast<SimDuration>(
+      std::llround(static_cast<double>(bytes) / bandwidth_bytes_per_ns));
+}
+
+}  // namespace
+
+void Network::Send(NodeId src, NodeId dst, size_t bytes, std::function<void()> deliver) {
+  ASVM_CHECK_MSG(topology_.Contains(src) && topology_.Contains(dst), "node out of range");
+  ASVM_CHECK_MSG(src != dst, "Network::Send used for local delivery");
+
+  const SimTime now = engine_.Now();
+  const SimDuration ser = SerializationTime(bytes, params_.bandwidth_bytes_per_ns);
+
+  // Injection channel: the message occupies the source's outbound link for its
+  // serialization time starting when the link is free.
+  const SimTime tx_start = std::max(now, tx_busy_until_[src]) + params_.route_setup_ns;
+  tx_busy_until_[src] = tx_start + ser;
+
+  // Wormhole pipeline: the head races ahead per-hop; the tail trails by the
+  // serialization time.
+  const SimTime head_arrival = tx_start + params_.per_hop_ns * topology_.Hops(src, dst);
+
+  // Ejection channel: delivery completes when the tail has drained through the
+  // destination's inbound link.
+  const SimTime rx_done = std::max(head_arrival, rx_busy_until_[dst]) + ser;
+  rx_busy_until_[dst] = rx_done;
+
+  if (stats_ != nullptr) {
+    stats_->Add("mesh.messages");
+    stats_->Add("mesh.bytes", static_cast<int64_t>(bytes));
+  }
+
+  engine_.Schedule(rx_done - now, std::move(deliver));
+}
+
+SimDuration Network::UncontendedLatency(NodeId src, NodeId dst, size_t bytes) const {
+  const SimDuration ser = SerializationTime(bytes, params_.bandwidth_bytes_per_ns);
+  return params_.route_setup_ns + params_.per_hop_ns * topology_.Hops(src, dst) + ser;
+}
+
+}  // namespace asvm

@@ -1,0 +1,60 @@
+// Timing model of the mesh fabric. Wormhole-pipelined: an uncontended message
+// of S bytes over h hops arrives after route_setup + h*per_hop + S/bandwidth.
+// Contention is modeled at the endpoints — each node has one injection and one
+// ejection channel that serialize traffic at link bandwidth — which captures
+// the effects the paper's evaluation depends on (fan-in saturation at a
+// centralized manager or file pager, fan-out serialization at a page owner)
+// without simulating per-link flit occupancy.
+#ifndef SRC_MESH_NETWORK_H_
+#define SRC_MESH_NETWORK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/mesh/topology.h"
+#include "src/sim/engine.h"
+
+namespace asvm {
+
+struct MeshParams {
+  // Paragon: 200 MB/s raw per direction; wormhole per-hop delay ~40 ns;
+  // a small fixed route-setup/packetization cost per message.
+  double bandwidth_bytes_per_ns = 0.2;           // 200 MB/s = 0.2 bytes/ns
+  SimDuration per_hop_ns = 40;                   // router delay per hop
+  SimDuration route_setup_ns = 500;              // packetize + inject
+};
+
+class Network {
+ public:
+  Network(Engine& engine, Topology topology, MeshParams params, StatsRegistry* stats)
+      : engine_(engine),
+        topology_(topology),
+        params_(params),
+        stats_(stats),
+        tx_busy_until_(topology.node_count(), 0),
+        rx_busy_until_(topology.node_count(), 0) {}
+
+  const Topology& topology() const { return topology_; }
+
+  // Simulates transmission of `bytes` from src to dst and runs `deliver` at
+  // the simulated delivery time. src == dst is not a network operation and is
+  // rejected; callers handle local delivery themselves.
+  void Send(NodeId src, NodeId dst, size_t bytes, std::function<void()> deliver);
+
+  // Modeled one-way latency of an uncontended message (for tests/diagnostics).
+  SimDuration UncontendedLatency(NodeId src, NodeId dst, size_t bytes) const;
+
+ private:
+  Engine& engine_;
+  Topology topology_;
+  MeshParams params_;
+  StatsRegistry* stats_;
+  std::vector<SimTime> tx_busy_until_;
+  std::vector<SimTime> rx_busy_until_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_MESH_NETWORK_H_

@@ -1,0 +1,14 @@
+#include "src/mesh/topology.h"
+
+#include <cmath>
+
+namespace asvm {
+
+Topology Topology::ForNodeCount(int nodes) {
+  ASVM_CHECK(nodes > 0);
+  int width = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(nodes))));
+  int height = (nodes + width - 1) / width;
+  return Topology(width, height, nodes);
+}
+
+}  // namespace asvm

@@ -1,0 +1,49 @@
+// 2D mesh topology with XY dimension-ordered (wormhole) routing, as on the
+// Intel Paragon. Only the geometry lives here; timing is in Network.
+#ifndef SRC_MESH_TOPOLOGY_H_
+#define SRC_MESH_TOPOLOGY_H_
+
+#include <cstdlib>
+
+#include "src/common/log.h"
+#include "src/common/types.h"
+
+namespace asvm {
+
+class Topology {
+ public:
+  // Builds a width x height grid. Node ids are row-major: id = y * width + x.
+  Topology(int width, int height) : width_(width), height_(height) {
+    ASVM_CHECK(width > 0 && height > 0);
+  }
+
+  // Builds the most-square grid that holds `nodes` nodes (last row may be
+  // partial); matches how Paragon partitions were allocated.
+  static Topology ForNodeCount(int nodes);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int node_count() const { return node_count_ >= 0 ? node_count_ : width_ * height_; }
+
+  bool Contains(NodeId node) const { return node >= 0 && node < node_count(); }
+
+  int XOf(NodeId node) const { return static_cast<int>(node) % width_; }
+  int YOf(NodeId node) const { return static_cast<int>(node) / width_; }
+
+  // Hop count under XY routing: route fully in X, then in Y.
+  int Hops(NodeId a, NodeId b) const {
+    return std::abs(XOf(a) - XOf(b)) + std::abs(YOf(a) - YOf(b));
+  }
+
+ private:
+  Topology(int width, int height, int node_count)
+      : width_(width), height_(height), node_count_(node_count) {}
+
+  int width_;
+  int height_;
+  int node_count_ = -1;  // -1: full grid
+};
+
+}  // namespace asvm
+
+#endif  // SRC_MESH_TOPOLOGY_H_

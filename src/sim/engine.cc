@@ -1,0 +1,44 @@
+#include "src/sim/engine.h"
+
+#include "src/common/log.h"
+
+namespace asvm {
+
+void Engine::Schedule(SimDuration delay, std::function<void()> fn) {
+  ASVM_CHECK_MSG(delay >= 0, "negative delay scheduled");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Engine::RunOne() {
+  // Move the event out before popping so the callback may schedule new events.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  ASVM_CHECK_MSG(event.time >= now_, "event queue time went backwards");
+  now_ = event.time;
+  ++executed_;
+  if (event_limit_ != 0 && executed_ > event_limit_) {
+    ASVM_CHECK_MSG(false, "engine event limit exceeded (possible livelock)");
+  }
+  event.fn();
+}
+
+uint64_t Engine::Run() {
+  const uint64_t start = executed_;
+  while (!queue_.empty()) {
+    RunOne();
+  }
+  return executed_ - start;
+}
+
+bool Engine::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    RunOne();
+  }
+  if (queue_.empty()) {
+    return true;
+  }
+  now_ = deadline;
+  return false;
+}
+
+}  // namespace asvm

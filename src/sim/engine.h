@@ -1,0 +1,72 @@
+// Deterministic discrete-event simulation engine. Single-threaded: events fire
+// in (time, insertion-sequence) order, so runs with equal seeds are bit-stable.
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace asvm {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules fn to run at Now() + delay (delay >= 0). Events with equal time
+  // fire in scheduling order.
+  void Schedule(SimDuration delay, std::function<void()> fn);
+
+  // Schedules fn at the current time, after all currently-runnable events that
+  // were scheduled before it.
+  void Post(std::function<void()> fn) { Schedule(0, std::move(fn)); }
+
+  // Runs until the event queue drains. Returns the number of events executed.
+  uint64_t Run();
+
+  // Runs until the queue drains or simulated time would pass deadline.
+  // Events at exactly deadline still run. Returns true if the queue drained.
+  bool RunUntil(SimTime deadline);
+
+  bool RunFor(SimDuration duration) { return RunUntil(now_ + duration); }
+
+  uint64_t executed_events() const { return executed_; }
+  bool empty() const { return queue_.empty(); }
+
+  // Safety valve for tests: aborts the run if more events than this execute.
+  void set_event_limit(uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void RunOne();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  uint64_t event_limit_ = 0;  // 0 = unlimited
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_SIM_ENGINE_H_

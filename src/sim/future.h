@@ -1,0 +1,105 @@
+// Single-value future/promise pair for cross-component completion signalling
+// inside the simulation (page-fault completions, protocol replies).
+//
+// Completion resumes waiters through the engine's event queue (not inline), so
+// deep protocol chains cannot overflow the host stack and event ordering stays
+// deterministic.
+#ifndef SRC_SIM_FUTURE_H_
+#define SRC_SIM_FUTURE_H_
+
+#include <coroutine>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/sim/engine.h"
+
+namespace asvm {
+
+namespace sim_detail {
+
+template <typename T>
+struct FutureState {
+  Engine* engine = nullptr;
+  std::optional<T> value;
+  std::vector<std::coroutine_handle<>> waiters;
+};
+
+}  // namespace sim_detail
+
+template <typename T>
+class Future;
+
+template <typename T>
+class Promise {
+ public:
+  explicit Promise(Engine& engine)
+      : state_(std::make_shared<sim_detail::FutureState<T>>()) {
+    state_->engine = &engine;
+  }
+
+  Future<T> GetFuture() const;
+
+  // Fulfils the future. Must be called at most once.
+  void Set(T value) const {
+    ASVM_CHECK_MSG(!state_->value.has_value(), "promise set twice");
+    state_->value = std::move(value);
+    auto state = state_;
+    if (!state->waiters.empty()) {
+      state->engine->Post([state]() {
+        std::vector<std::coroutine_handle<>> to_resume;
+        to_resume.swap(state->waiters);
+        for (auto handle : to_resume) {
+          handle.resume();
+        }
+      });
+    }
+  }
+
+  bool is_set() const { return state_->value.has_value(); }
+
+ private:
+  std::shared_ptr<sim_detail::FutureState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<sim_detail::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ && state_->value.has_value(); }
+
+  // Peek at the value once ready; only valid when ready().
+  const T& value() const {
+    ASVM_CHECK(ready());
+    return *state_->value;
+  }
+
+  struct Awaiter {
+    std::shared_ptr<sim_detail::FutureState<T>> state;
+    bool await_ready() const noexcept { return state->value.has_value(); }
+    void await_suspend(std::coroutine_handle<> handle) { state->waiters.push_back(handle); }
+    T await_resume() const { return *state->value; }
+  };
+  Awaiter operator co_await() const {
+    ASVM_CHECK_MSG(valid(), "awaiting invalid future");
+    return Awaiter{state_};
+  }
+
+ private:
+  std::shared_ptr<sim_detail::FutureState<T>> state_;
+};
+
+template <typename T>
+Future<T> Promise<T>::GetFuture() const {
+  return Future<T>(state_);
+}
+
+}  // namespace asvm
+
+#endif  // SRC_SIM_FUTURE_H_

@@ -1,0 +1,111 @@
+// Coroutine task type for simulated activities (user tasks, pager threads,
+// protocol handlers). Tasks start eagerly, run cooperatively on the engine's
+// single thread, and can be awaited by other tasks.
+//
+//   Task Worker(Engine& e, Memory& m) {
+//     co_await Delay(e, 10 * kMicrosecond);
+//     uint64_t v = co_await m.ReadU64(addr);
+//     ...
+//   }
+//   Task t = Worker(engine, mem);   // runs until its first suspension point
+//   co_await t;                     // from another task, waits for completion
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace asvm {
+
+namespace sim_detail {
+
+// Completion record shared between the coroutine frame and Task handles, so a
+// Task object stays valid after the frame self-destructs.
+struct TaskDoneState {
+  bool done = false;
+  std::vector<std::coroutine_handle<>> waiters;
+
+  void MarkDone() {
+    done = true;
+    // Resume waiters after the frame is gone; they only touch this state.
+    std::vector<std::coroutine_handle<>> to_resume;
+    to_resume.swap(waiters);
+    for (auto handle : to_resume) {
+      handle.resume();
+    }
+  }
+};
+
+}  // namespace sim_detail
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::shared_ptr<sim_detail::TaskDoneState> state =
+        std::make_shared<sim_detail::TaskDoneState>();
+
+    Task get_return_object() { return Task(state); }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> handle) noexcept {
+        // Grab the state, destroy the frame, then wake waiters. Destroying
+        // first means a waiter may immediately start another Task without the
+        // dead frame lingering.
+        std::shared_ptr<sim_detail::TaskDoneState> state = handle.promise().state;
+        handle.destroy();
+        state->MarkDone();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { std::abort(); }
+  };
+
+  Task() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return !state_ || state_->done; }
+
+  struct Awaiter {
+    std::shared_ptr<sim_detail::TaskDoneState> state;
+    bool await_ready() const noexcept { return !state || state->done; }
+    void await_suspend(std::coroutine_handle<> handle) { state->waiters.push_back(handle); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() const { return Awaiter{state_}; }
+
+ private:
+  explicit Task(std::shared_ptr<sim_detail::TaskDoneState> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<sim_detail::TaskDoneState> state_;
+};
+
+// Awaitable that resumes the coroutine after the given simulated delay.
+class Delay {
+ public:
+  Delay(Engine& engine, SimDuration duration) : engine_(engine), duration_(duration) {}
+
+  bool await_ready() const noexcept { return duration_ <= 0; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    engine_.Schedule(duration_, [handle]() { handle.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Engine& engine_;
+  SimDuration duration_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_SIM_TASK_H_

@@ -1,0 +1,23 @@
+// Simulated time. All latencies in the system are expressed in simulated
+// nanoseconds; the discrete-event engine advances this clock, never the host's.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace asvm {
+
+using SimTime = int64_t;      // absolute simulated time, ns since start of run
+using SimDuration = int64_t;  // simulated interval, ns
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+inline double ToMilliseconds(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+inline double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+
+}  // namespace asvm
+
+#endif  // SRC_SIM_TIME_H_

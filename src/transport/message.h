@@ -1,0 +1,42 @@
+// Transport-neutral message container. Protocol modules (ASVM, XMM) define
+// their own typed bodies, carried here as std::any; `control_bytes` models the
+// on-wire size of the control part, and `page` carries optional page contents
+// whose size is added to the wire cost.
+#ifndef SRC_TRANSPORT_MESSAGE_H_
+#define SRC_TRANSPORT_MESSAGE_H_
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace asvm {
+
+// Dispatch key: which subsystem's handler receives the message on the
+// destination node.
+enum class ProtocolId : uint32_t {
+  kAsvm = 1,
+  kXmm = 2,
+  kPagerControl = 3,  // pager-level traffic (file pager requests, etc.)
+};
+
+using PageBuffer = std::shared_ptr<std::vector<std::byte>>;
+
+struct Message {
+  ProtocolId protocol = ProtocolId::kAsvm;
+  // Protocol-specific type tag, used for stats labels and debugging.
+  uint32_t type = 0;
+  // Modeled size of the control part on the wire (ASVM: fixed 32 bytes).
+  size_t control_bytes = 32;
+  // Typed protocol body (any_cast'd by the receiving protocol module).
+  std::any body;
+  // Optional page contents; its size is charged to the wire.
+  PageBuffer page;
+
+  size_t WireBytes() const { return control_bytes + (page ? page->size() : 0); }
+};
+
+}  // namespace asvm
+
+#endif  // SRC_TRANSPORT_MESSAGE_H_

@@ -1,0 +1,103 @@
+// Transport service interface plus a shared cost-modeled implementation.
+//
+// Two concrete transports exist, mirroring the paper:
+//  * StsTransport — the dedicated SVM Transport Service: tiny fixed-size
+//    untyped control messages, preallocated page receive buffers, low
+//    per-message software overhead.
+//  * NormaIpc — Mach NORMA-IPC: port-right translation and complex typed
+//    message structures impose a large per-message software cost (the paper
+//    attributes ~90% of XMM's remote-fault latency to it).
+//
+// Both charge a software send overhead serialized on the sending node and a
+// software receive overhead serialized on the receiving node, over the same
+// mesh fabric.
+#ifndef SRC_TRANSPORT_TRANSPORT_H_
+#define SRC_TRANSPORT_TRANSPORT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/mesh/network.h"
+#include "src/sim/engine.h"
+#include "src/transport/message.h"
+
+namespace asvm {
+
+struct TransportCosts {
+  SimDuration send_sw_ns = 0;       // software cost to send, serialized per sender
+  SimDuration recv_sw_ns = 0;       // software cost to receive, serialized per receiver
+  SimDuration local_delivery_ns = 0;  // cost of a node sending to itself
+  size_t control_overhead_bytes = 0;  // extra wire bytes per message (headers, port data)
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(NodeId src, Message msg)>;
+
+  Transport(Engine& engine, Network& network, std::string name, TransportCosts costs,
+            StatsRegistry* stats);
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // Registers the receive handler for (protocol, node). At most one handler
+  // per pair; protocol modules register during machine construction.
+  void RegisterHandler(ProtocolId protocol, NodeId node, Handler handler);
+
+  // Sends msg from src to dst. Delivery invokes the registered handler after
+  // the modeled software + wire latency. src == dst is a local delivery that
+  // bypasses the mesh.
+  void Send(NodeId src, NodeId dst, Message msg);
+
+  const std::string& name() const { return name_; }
+  const TransportCosts& costs() const { return costs_; }
+
+ private:
+  void Deliver(NodeId src, NodeId dst, Message msg);
+
+  Engine& engine_;
+  Network& network_;
+  std::string name_;
+  TransportCosts costs_;
+  StatsRegistry* stats_;
+  std::map<std::pair<uint32_t, NodeId>, Handler> handlers_;
+  // One protocol CPU per node: sending and receiving share it, so a node
+  // fanning out invalidations also pays for each ack it absorbs (the additive
+  // per-reader slope of Table 1 / Figure 10).
+  std::vector<SimTime> cpu_busy_until_;
+};
+
+// Factory helpers with the calibrated cost models (see DESIGN.md §4).
+TransportCosts StsCosts();
+TransportCosts StsCtlCosts();
+TransportCosts NormaIpcCosts();
+
+class StsTransport : public Transport {
+ public:
+  StsTransport(Engine& engine, Network& network, StatsRegistry* stats)
+      : Transport(engine, network, "sts", StsCosts(), stats) {}
+};
+
+// STS channel for trivial preformatted control messages (invalidation
+// rounds): Table 1's ~0.1 ms-per-reader slope comes from this path.
+class StsCtlTransport : public Transport {
+ public:
+  StsCtlTransport(Engine& engine, Network& network, StatsRegistry* stats)
+      : Transport(engine, network, "sts_ctl", StsCtlCosts(), stats) {}
+};
+
+class NormaIpc : public Transport {
+ public:
+  NormaIpc(Engine& engine, Network& network, StatsRegistry* stats)
+      : Transport(engine, network, "norma", NormaIpcCosts(), stats) {}
+};
+
+}  // namespace asvm
+
+#endif  // SRC_TRANSPORT_TRANSPORT_H_

@@ -1,0 +1,478 @@
+#include "src/xmm/xmm_agent.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace asvm {
+
+XmmAgent::XmmAgent(XmmSystem& system, NodeId node)
+    : system_(system),
+      node_(node),
+      vm_(system.cluster().vm(node)),
+      stats_(&system.cluster().stats()),
+      copy_threads_(system.cluster().engine(), system.config().copy_pager_threads) {
+  system_.cluster().norma().RegisterHandler(
+      ProtocolId::kXmm, node_,
+      [this](NodeId src, Message msg) { OnMessage(src, std::move(msg)); });
+}
+
+XmmAgent::~XmmAgent() = default;
+
+std::shared_ptr<VmObject> XmmAgent::Attach(const MemObjectId& id) {
+  auto it = reprs_.find(id);
+  if (it != reprs_.end()) {
+    return it->second;
+  }
+  XmmObjectInfo& info = system_.info(id);
+  auto repr = vm_.CreateObject(info.pages, CopyStrategy::kAsymmetric);
+  vm_.RegisterManaged(repr, id, this);
+  reprs_[id] = repr;
+  return repr;
+}
+
+size_t XmmAgent::MetadataBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, ms] : manager_) {
+    bytes += ms->access.size();  // 1 byte per page per node, non-pageable
+    bytes += ms->pages.size() * sizeof(ManagerState::PageCtl);
+  }
+  bytes += reprs_.size() * 64;  // proxy records
+  return bytes;
+}
+
+// --- Pager upcalls ----------------------------------------------------------
+
+void XmmAgent::DataRequest(VmObject& object, PageIndex page, PageAccess desired) {
+  if (stats_ != nullptr) {
+    stats_->Add("xmm.data_requests");
+  }
+  SendRequest(object.id(), page, desired, /*has_copy=*/false);
+}
+
+void XmmAgent::DataUnlock(VmObject& object, PageIndex page, PageAccess desired) {
+  if (stats_ != nullptr) {
+    stats_->Add("xmm.data_unlocks");
+  }
+  SendRequest(object.id(), page, desired, /*has_copy=*/true);
+}
+
+void XmmAgent::SendRequest(const MemObjectId& id, PageIndex page, PageAccess access,
+                           bool has_copy) {
+  const XmmObjectInfo& info = system_.info(id);
+  XmmRequest req{id, page, access, node_, has_copy};
+  if (info.IsCopyObject()) {
+    // A child's own modified pages paged out locally take priority over the
+    // frozen parent copy at the internal pager.
+    auto repr_it = reprs_.find(id);
+    if (repr_it != reprs_.end() &&
+        vm_.default_pager()->HasPage(repr_it->second->serial(), page)) {
+      auto repr = repr_it->second;
+      vm_.default_pager()->ReadPage(repr->serial(), page, [this, repr, page](PageBuffer data) {
+        vm_.DataSupply(*repr, page, std::move(data), PageAccess::kWrite);
+      });
+      return;
+    }
+    // Copy-pager object: the "pager" is the internal pager on the fork
+    // source, reached over NORMA like everything else.
+    XmmCopyFault fault{id, page, node_, {node_}};
+    if (copy_fault_path_ != nullptr) {
+      // We are ourselves inside a copy fault: extend the blocking chain.
+      fault.path = *copy_fault_path_;
+      fault.path.push_back(node_);
+    }
+    Send(info.copy_pager_node, XmmMsgType::kCopyFault, fault);
+    return;
+  }
+  if (info.manager == node_) {
+    ManagerHandle(std::move(req));
+  } else {
+    Send(info.manager, XmmMsgType::kRequest, req);
+  }
+}
+
+EvictAction XmmAgent::OnEvict(VmObject& object, PageIndex page, PageBuffer data, bool dirty) {
+  // XMM has no internode paging: a dirty page evicted from the cache is
+  // returned to the pager through the manager; clean pages are discarded
+  // (the manager keeps thinking we have access — its state is conservative,
+  // so a re-touch simply re-requests).
+  if (!dirty) {
+    if (stats_ != nullptr) {
+      stats_->Add("xmm.evict_discards");
+    }
+    return EvictAction::kDiscard;
+  }
+  if (stats_ != nullptr) {
+    stats_->Add("xmm.evict_returns");
+  }
+  const XmmObjectInfo& info = system_.info(object.id());
+  if (info.IsCopyObject()) {
+    // The child's private modifications page out to the local default pager;
+    // the internal pager only serves the frozen parent snapshot.
+    vm_.default_pager()->WritePage(object.serial(), page, std::move(data));
+    return EvictAction::kTaken;
+  }
+  XmmFlushWriteReply ret{object.id(), page, /*dirty=*/true, /*was_resident=*/true,
+                         /*op_id=*/0};
+  Send(info.manager, XmmMsgType::kFlushWriteReply, ret, ClonePage(data));
+  return EvictAction::kTaken;
+}
+
+void XmmAgent::LockCompleted(VmObject&, PageIndex, LockResult) {}
+void XmmAgent::PullCompleted(VmObject&, PageIndex, PullResult) {}
+
+// --- Manager role -------------------------------------------------------------
+
+XmmAgent::ManagerState& XmmAgent::mgr_state(const MemObjectId& id) {
+  auto it = manager_.find(id);
+  if (it == manager_.end()) {
+    auto ms = std::make_unique<ManagerState>();
+    const XmmObjectInfo& info = system_.info(id);
+    // The centralized manager's state table: 1 byte of non-pageable memory
+    // per page per node (§3.1, "Limited Memory Requirements").
+    ms->access.assign(info.pages * system_.cluster().node_count(), 0);
+    it = manager_.emplace(id, std::move(ms)).first;
+  }
+  return *it->second;
+}
+
+uint8_t& XmmAgent::AccessByte(ManagerState& ms, PageIndex page, NodeId node) {
+  return ms.access[static_cast<size_t>(page) * system_.cluster().node_count() +
+                   static_cast<size_t>(node)];
+}
+
+NodeId XmmAgent::FindWriter(ManagerState& ms, const MemObjectId&, PageIndex page) {
+  const int nodes = system_.cluster().node_count();
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (AccessByte(ms, page, n) == 2) {
+      return n;
+    }
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> XmmAgent::FindReaders(ManagerState& ms, const MemObjectId&, PageIndex page,
+                                          NodeId except) {
+  std::vector<NodeId> readers;
+  const int nodes = system_.cluster().node_count();
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (n != except && AccessByte(ms, page, n) == 1) {
+      readers.push_back(n);
+    }
+  }
+  return readers;
+}
+
+void XmmAgent::ManagerHandle(XmmRequest req) {
+  ManagerState& ms = mgr_state(req.object);
+  ManagerState::PageCtl& ctl = ms.pages[req.page];
+  if (ctl.busy) {
+    ctl.queue.push_back(std::move(req));
+    return;
+  }
+  ctl.busy = true;
+  (void)ManagerServe(std::move(req));
+}
+
+Future<Status> XmmAgent::StackProcess() {
+  Engine& engine = vm_.engine();
+  Promise<Status> done(engine);
+  const SimTime now = engine.Now();
+  const SimTime ready = std::max(now, stack_busy_until_) + system_.config().stack_process_ns;
+  stack_busy_until_ = ready;
+  engine.Schedule(ready - now, [done]() { done.Set(Status::kOk); });
+  return done.GetFuture();
+}
+
+Task XmmAgent::ManagerServe(XmmRequest req) {
+  Engine& engine = vm_.engine();
+  XmmObjectInfo& info = system_.info(req.object);
+  ManagerState& ms = mgr_state(req.object);
+
+  // XMM stack processing at the manager (proxy + manager layer work),
+  // serialized on the manager's CPU.
+  co_await StackProcess();
+  if (stats_ != nullptr) {
+    stats_->Add("xmm.manager_requests");
+  }
+
+  // Step 1 (§2.3.2): create a coherent version of the page at the pager.
+  const NodeId writer = FindWriter(ms, req.object, req.page);
+  ManagerState::PageCtl& ctl = ms.pages[req.page];
+  if (writer != kInvalidNode && writer != req.origin) {
+    const uint64_t op = system_.NextOpId();
+    auto pending = std::make_unique<PendingFlush>(engine);
+    pending->outstanding = 1;
+    Future<Status> flushed = pending->done.GetFuture();
+    pending_[op] = std::move(pending);
+    Send(writer, XmmMsgType::kFlushWrite, XmmFlush{req.object, req.page, op});
+    co_await flushed;
+    auto it = pending_.find(op);
+    ASVM_CHECK(it != pending_.end());
+    PageBuffer data = std::move(it->second->data);
+    const bool dirty = it->second->dirty;
+    const bool resident = it->second->was_resident;
+    pending_.erase(it);
+    AccessByte(ms, req.page, writer) = 0;
+    if (resident) {
+      if (dirty) {
+        // NMK13 behaviour the paper measures in Table 1: the dirty page is
+        // written to the paging space when first requested by another node.
+        Promise<Status> written(engine);
+        if (info.backing != nullptr) {
+          info.backing->Write(req.page, ClonePage(data),
+                              [written]() { written.Set(Status::kOk); });
+          co_await written.GetFuture();
+          if (stats_ != nullptr) {
+            stats_->Add("xmm.dirty_cleanings");
+          }
+        }
+      }
+      ctl.pager_copy = std::move(data);
+    }
+  }
+
+  // Step 2: a write request flushes every reader (except the requester).
+  if (req.access == PageAccess::kWrite) {
+    std::vector<NodeId> readers = FindReaders(ms, req.object, req.page, req.origin);
+    if (!readers.empty()) {
+      const uint64_t op = system_.NextOpId();
+      auto pending = std::make_unique<PendingFlush>(engine);
+      pending->outstanding = static_cast<int>(readers.size());
+      Future<Status> acked = pending->done.GetFuture();
+      pending_[op] = std::move(pending);
+      for (NodeId r : readers) {
+        Send(r, XmmMsgType::kFlushRead, XmmFlush{req.object, req.page, op});
+        if (stats_ != nullptr) {
+          stats_->Add("xmm.reader_flushes");
+        }
+      }
+      co_await acked;
+      pending_.erase(op);
+      for (NodeId r : readers) {
+        AccessByte(ms, req.page, r) = 0;
+      }
+    }
+  }
+
+  // Step 3: forward the request to the pager and relay its answer. The
+  // upgrade case needs no contents and skips the pager entirely.
+  const bool upgrade = req.has_copy && AccessByte(ms, req.page, req.origin) != 0;
+  PageBuffer data;
+  bool zero_fill = false;
+  // Supplying contents through the default pager task costs two typed IPC
+  // messages with the page inline; the file pager charges its own CPU.
+  const SimDuration supply_cost =
+      info.file_backed ? vm_.costs().pager_call_ns : system_.config().pager_supply_ns;
+  if (upgrade) {
+    // No data path.
+  } else if (ctl.pager_copy != nullptr) {
+    // The pager already holds a coherent in-memory copy.
+    co_await Delay(engine, supply_cost);
+    data = ClonePage(ctl.pager_copy);
+  } else if (info.backing != nullptr && info.backing->HasData(req.page)) {
+    Promise<PageBuffer> read_done(engine);
+    info.backing->Read(req.page, vm_.page_size(),
+                       [read_done](PageBuffer d) { read_done.Set(std::move(d)); });
+    data = co_await read_done.GetFuture();
+    co_await Delay(engine, info.file_backed ? 0 : system_.config().pager_supply_ns);
+  } else {
+    Promise<Status> grant(engine);
+    if (info.backing != nullptr) {
+      info.backing->GrantFresh(req.page, [grant]() { grant.Set(Status::kOk); });
+    } else {
+      engine.Post([grant]() { grant.Set(Status::kOk); });
+    }
+    co_await grant.GetFuture();
+    co_await Delay(engine, system_.config().pager_fresh_ns);
+    zero_fill = true;
+  }
+  AccessByte(ms, req.page, req.origin) = req.access == PageAccess::kWrite ? 2 : 1;
+  if (req.access == PageAccess::kWrite) {
+    // The new writer's modifications supersede the pager's copy.
+    ctl.pager_copy = nullptr;
+  }
+
+  XmmReply reply{req.object, req.page, req.access, zero_fill && !upgrade, upgrade};
+  if (stats_ != nullptr) {
+    stats_->Add(req.access == PageAccess::kWrite ? "xmm.write_grants" : "xmm.read_grants");
+  }
+  Send(req.origin, XmmMsgType::kReply, reply,
+       (zero_fill || upgrade) ? nullptr : std::move(data));
+
+  ctl.busy = false;
+  if (!ctl.queue.empty()) {
+    XmmRequest next = std::move(ctl.queue.front());
+    ctl.queue.pop_front();
+    ManagerHandle(std::move(next));
+  }
+}
+
+// --- Copy pager role -------------------------------------------------------------
+
+Task XmmAgent::CopyFaultTask(NodeId src, XmmCopyFault m) {
+  auto it = copy_pagers_.find(m.object);
+  ASVM_CHECK_MSG(it != copy_pagers_.end(), "copy fault for unknown internal pager");
+  CopyPagerEntry entry = it->second;
+
+  // The internal pager thread blocks for the whole fault (§2.3.3) — the
+  // design flaw ASVM's asynchronous state transitions remove (§3.1).
+  if (copy_threads_.available() == 0 &&
+      std::find(m.path.begin(), m.path.end(), node_) != m.path.end()) {
+    // The chain crossed this node before and every thread is blocked on it:
+    // the deadlock the paper describes.
+    if (stats_ != nullptr) {
+      stats_->Add("xmm.copy_deadlocks");
+    }
+    Send(src, XmmMsgType::kCopyFaultReply,
+         XmmCopyFaultReply{m.object, m.page, false, /*deadlock=*/true});
+    co_return;
+  }
+  co_await copy_threads_.Acquire();
+  co_await StackProcess();
+  if (stats_ != nullptr) {
+    stats_->Add("xmm.copy_faults");
+  }
+
+  // Fault the frozen local copy address space. If its objects are themselves
+  // copy-pager objects from an earlier inbound fork, this recurses across
+  // nodes — one blocking NORMA round trip per chain stage.
+  const VmOffset addr = (entry.base_page + static_cast<VmOffset>(m.page)) * vm_.page_size();
+  // Thread the path through so nested copy faults can detect cycles.
+  copy_fault_path_ = &m.path;
+  Status s = co_await vm_.Fault(*entry.copy_map, addr, PageAccess::kRead);
+  copy_fault_path_ = nullptr;
+  if (!IsOk(s)) {
+    copy_threads_.Release();
+    Send(src, XmmMsgType::kCopyFaultReply,
+         XmmCopyFaultReply{m.object, m.page, false, /*deadlock=*/s == Status::kDeadlock});
+    co_return;
+  }
+  std::byte* p = vm_.TryAccess(*entry.copy_map, addr, PageAccess::kRead);
+  PageBuffer data;
+  bool zero = true;
+  if (p != nullptr) {
+    data = AllocPage(vm_.page_size());
+    std::memcpy(data->data(), p - (addr % vm_.page_size()), vm_.page_size());
+    zero = PageIsZero(data);
+  }
+  copy_threads_.Release();
+  Send(src, XmmMsgType::kCopyFaultReply, XmmCopyFaultReply{m.object, m.page, zero, false},
+       zero ? nullptr : std::move(data));
+}
+
+// --- Dispatcher -------------------------------------------------------------------
+
+void XmmAgent::OnMessage(NodeId src, Message msg) {
+  switch (static_cast<XmmMsgType>(msg.type)) {
+    case XmmMsgType::kRequest:
+      ManagerHandle(std::any_cast<XmmRequest>(std::move(msg.body)));
+      return;
+    case XmmMsgType::kReply: {
+      const auto reply = std::any_cast<XmmReply>(msg.body);
+      auto repr = reprs_.at(reply.object);
+      if (reply.upgrade) {
+        if (repr->FindResident(reply.page) != nullptr) {
+          vm_.LockGranted(*repr, reply.page, reply.granted);
+        } else {
+          // Our copy vanished (evicted) while the upgrade was in flight; the
+          // manager thinks we have it. Zero-filling would be wrong — re-ask.
+          SendRequest(reply.object, reply.page, reply.granted, false);
+        }
+      } else if (reply.zero_fill) {
+        vm_.DataUnavailable(*repr, reply.page, reply.granted);
+      } else {
+        vm_.DataSupply(*repr, reply.page, std::move(msg.page), reply.granted);
+      }
+      return;
+    }
+    case XmmMsgType::kFlushWrite: {
+      const auto m = std::any_cast<XmmFlush>(msg.body);
+      auto repr = reprs_.at(m.object);
+      NodeVm::Extracted ex = vm_.ExtractPage(*repr, m.page);
+      XmmFlushWriteReply reply{m.object, m.page, ex.dirty, ex.was_resident, m.op_id};
+      Send(src, XmmMsgType::kFlushWriteReply, reply,
+           ex.was_resident ? ClonePage(ex.data) : nullptr);
+      if (stats_ != nullptr) {
+        stats_->Add("xmm.write_flushes");
+      }
+      return;
+    }
+    case XmmMsgType::kFlushWriteReply: {
+      const auto m = std::any_cast<XmmFlushWriteReply>(msg.body);
+      if (m.op_id == 0) {
+        // Unsolicited data return from an eviction: refresh the pager copy.
+        ManagerState& ms = mgr_state(m.object);
+        ManagerState::PageCtl& ctl = ms.pages[m.page];
+        ctl.pager_copy = std::move(msg.page);
+        AccessByte(ms, m.page, src) = 0;
+        XmmObjectInfo& info = system_.info(m.object);
+        if (info.backing != nullptr && m.dirty) {
+          info.backing->Write(m.page, ClonePage(ctl.pager_copy), []() {});
+        }
+        return;
+      }
+      auto it = pending_.find(m.op_id);
+      if (it == pending_.end()) {
+        return;
+      }
+      it->second->data = std::move(msg.page);
+      it->second->dirty = m.dirty;
+      it->second->was_resident = m.was_resident;
+      if (--it->second->outstanding == 0) {
+        it->second->done.Set(Status::kOk);
+      }
+      return;
+    }
+    case XmmMsgType::kFlushRead: {
+      const auto m = std::any_cast<XmmFlush>(msg.body);
+      auto repr = reprs_.at(m.object);
+      if (repr->FindResident(m.page) != nullptr) {
+        vm_.LockRequest(*repr, m.page, PageAccess::kNone, LockMode::kFlush,
+                        [](LockResult) {});
+      }
+      Send(src, XmmMsgType::kFlushReadAck,
+           XmmFlushWriteReply{m.object, m.page, false, false, m.op_id});
+      return;
+    }
+    case XmmMsgType::kFlushReadAck: {
+      const auto m = std::any_cast<XmmFlushWriteReply>(msg.body);
+      auto it = pending_.find(m.op_id);
+      if (it == pending_.end()) {
+        return;
+      }
+      if (--it->second->outstanding == 0) {
+        it->second->done.Set(Status::kOk);
+      }
+      return;
+    }
+    case XmmMsgType::kCopyFault:
+      (void)CopyFaultTask(src, std::any_cast<XmmCopyFault>(std::move(msg.body)));
+      return;
+    case XmmMsgType::kCopyFaultReply: {
+      const auto m = std::any_cast<XmmCopyFaultReply>(msg.body);
+      auto repr = reprs_.at(m.object);
+      if (m.deadlock) {
+        vm_.FaultFailed(*repr, m.page, Status::kDeadlock);
+      } else if (m.zero_fill) {
+        vm_.DataUnavailable(*repr, m.page, PageAccess::kWrite);
+      } else {
+        vm_.DataSupply(*repr, m.page, std::move(msg.page), PageAccess::kWrite);
+      }
+      return;
+    }
+  }
+  ASVM_CHECK_MSG(false, "unknown XMM message type");
+}
+
+void XmmAgent::Send(NodeId to, XmmMsgType type, std::any body, PageBuffer page) {
+  Message msg;
+  msg.protocol = ProtocolId::kXmm;
+  msg.type = static_cast<uint32_t>(type);
+  msg.control_bytes = 128;  // typed NORMA message with port rights
+  msg.body = std::move(body);
+  msg.page = std::move(page);
+  system_.cluster().norma().Send(node_, to, std::move(msg));
+}
+
+}  // namespace asvm

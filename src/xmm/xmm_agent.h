@@ -1,0 +1,118 @@
+// Per-node XMM component. On every node it acts as the proxy (the Pager of
+// local representations, forwarding requests to the manager over NORMA-IPC);
+// on an object's manager node it additionally runs the centralized manager
+// with its per-(page × node) state table; on fork-source nodes it hosts the
+// internal copy pagers.
+#ifndef SRC_XMM_XMM_AGENT_H_
+#define SRC_XMM_XMM_AGENT_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/machvm/node_vm.h"
+#include "src/machvm/pager.h"
+#include "src/machvm/task_memory.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/xmm/xmm_system.h"
+
+namespace asvm {
+
+class XmmAgent : public Pager {
+ public:
+  XmmAgent(XmmSystem& system, NodeId node);
+  ~XmmAgent() override;
+
+  NodeId node() const { return node_; }
+
+  std::shared_ptr<VmObject> Attach(const MemObjectId& id);
+
+  // Manager-side state for one object (only on the manager node).
+  struct ManagerState {
+    // One byte per page per node — the memory consumption the paper calls
+    // out as XMM's scalability problem (§3.1).
+    std::vector<uint8_t> access;  // [page * nodes + node]
+    struct PageCtl {
+      bool busy = false;
+      std::deque<XmmRequest> queue;
+      // After the manager created a "coherent version at the pager", the
+      // pager holds the current contents in memory (clean).
+      PageBuffer pager_copy;
+    };
+    std::unordered_map<PageIndex, PageCtl> pages;
+  };
+
+  // Copy-pager state on a fork-source node: the frozen local copy map one
+  // internal pager object serves from, plus the shared thread pool.
+  struct CopyPagerEntry {
+    VmMap* copy_map = nullptr;
+    VmOffset base_page = 0;  // virtual page in copy_map of the object's page 0
+  };
+
+  size_t MetadataBytes() const;
+  SimSemaphore& copy_threads() { return copy_threads_; }
+
+  // XMM stack processing occupies this node's CPU: one request at a time.
+  // This serialization — on top of NORMA's — is what saturates the
+  // centralized manager in Table 2.
+  Future<Status> StackProcess();
+
+  // --- Pager (EMMI upcalls from the local kernel) ---------------------------
+
+  void DataRequest(VmObject& object, PageIndex page, PageAccess desired) override;
+  void DataUnlock(VmObject& object, PageIndex page, PageAccess desired) override;
+  EvictAction OnEvict(VmObject& object, PageIndex page, PageBuffer data, bool dirty) override;
+  void LockCompleted(VmObject& object, PageIndex page, LockResult result) override;
+  void PullCompleted(VmObject& object, PageIndex page, PullResult result) override;
+
+ private:
+  friend class XmmSystem;
+
+  void SendRequest(const MemObjectId& id, PageIndex page, PageAccess access, bool has_copy);
+
+  // Manager role.
+  void ManagerHandle(XmmRequest req);
+  Task ManagerServe(XmmRequest req);
+  ManagerState& mgr_state(const MemObjectId& id);
+  uint8_t& AccessByte(ManagerState& ms, PageIndex page, NodeId node);
+  NodeId FindWriter(ManagerState& ms, const MemObjectId& id, PageIndex page);
+  std::vector<NodeId> FindReaders(ManagerState& ms, const MemObjectId& id, PageIndex page,
+                                  NodeId except);
+
+  // Copy-pager role.
+  Task CopyFaultTask(NodeId src, XmmCopyFault m);
+
+  void OnMessage(NodeId src, Message msg);
+  void Send(NodeId to, XmmMsgType type, std::any body, PageBuffer page = nullptr);
+
+  struct PendingFlush {
+    int outstanding = 0;
+    Promise<Status> done;
+    PageBuffer data;   // from a write flush
+    bool dirty = false;
+    bool was_resident = false;
+    explicit PendingFlush(Engine& engine) : done(engine) {}
+  };
+
+  XmmSystem& system_;
+  NodeId node_;
+  NodeVm& vm_;
+  StatsRegistry* stats_;
+  SimSemaphore copy_threads_;
+  std::unordered_map<MemObjectId, std::shared_ptr<VmObject>> reprs_;
+  std::unordered_map<MemObjectId, std::unique_ptr<ManagerState>> manager_;
+  std::unordered_map<MemObjectId, CopyPagerEntry> copy_pagers_;
+  std::unordered_map<uint64_t, std::unique_ptr<PendingFlush>> pending_;
+  // Path of the copy fault currently being served by a local pager thread, so
+  // nested faults extend it for cycle detection. Best-effort under
+  // concurrency (detection, not correctness).
+  const std::vector<NodeId>* copy_fault_path_ = nullptr;
+  SimTime stack_busy_until_ = 0;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_XMM_XMM_AGENT_H_

@@ -1,0 +1,74 @@
+// XMMI protocol messages, carried over NORMA-IPC. XMMI extends EMMI between
+// the per-node XMM proxies and the centralized manager (paper §2.3); its
+// verbosity — five messages, two carrying page contents, for one write
+// transfer — is one of the inefficiencies ASVM removes.
+#ifndef SRC_XMM_XMM_MESSAGES_H_
+#define SRC_XMM_XMM_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace asvm {
+
+enum class XmmMsgType : uint32_t {
+  kRequest = 1,      // proxy -> manager: data_request / data_unlock
+  kReply,            // manager -> proxy: data supply / zero fill / upgrade
+  kFlushWrite,       // manager -> current writer: return modified page
+  kFlushWriteReply,  // writer -> manager: page contents + dirty flag
+  kFlushRead,        // manager -> reader: invalidate read copy
+  kFlushReadAck,
+  kCopyFault,        // remote child -> internal copy pager on the source node
+  kCopyFaultReply,
+};
+
+struct XmmRequest {
+  MemObjectId object;
+  PageIndex page = kInvalidPage;
+  PageAccess access = PageAccess::kRead;
+  NodeId origin = kInvalidNode;
+  bool has_copy = false;  // origin already holds a read copy (upgrade)
+};
+
+struct XmmReply {
+  MemObjectId object;
+  PageIndex page = kInvalidPage;
+  PageAccess granted = PageAccess::kNone;
+  bool zero_fill = false;
+  bool upgrade = false;
+};
+
+struct XmmFlush {
+  MemObjectId object;
+  PageIndex page = kInvalidPage;
+  uint64_t op_id = 0;
+};
+
+struct XmmFlushWriteReply {
+  MemObjectId object;
+  PageIndex page = kInvalidPage;
+  bool dirty = false;
+  bool was_resident = false;
+  uint64_t op_id = 0;
+};
+
+struct XmmCopyFault {
+  MemObjectId object;            // the internal-pager object
+  PageIndex page = kInvalidPage;
+  NodeId origin = kInvalidNode;
+  // Nodes whose copy-pager threads are blocked on this request chain; used
+  // for the deadlock the paper ascribes to XMM's synchronous design (§3.1).
+  std::vector<NodeId> path;
+};
+
+struct XmmCopyFaultReply {
+  MemObjectId object;
+  PageIndex page = kInvalidPage;
+  bool zero_fill = false;
+  bool deadlock = false;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_XMM_XMM_MESSAGES_H_

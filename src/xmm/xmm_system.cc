@@ -1,0 +1,138 @@
+#include "src/xmm/xmm_system.h"
+
+#include "src/common/log.h"
+#include "src/xmm/xmm_agent.h"
+
+namespace asvm {
+
+namespace {
+
+uint64_t NextXmmBackingKey() {
+  static uint64_t next = 0;
+  return (1ULL << 62) | next++;
+}
+
+}  // namespace
+
+XmmSystem::XmmSystem(Cluster& cluster, XmmConfig config)
+    : cluster_(cluster), config_(config) {
+  agents_.reserve(cluster.node_count());
+  for (NodeId n = 0; n < cluster.node_count(); ++n) {
+    agents_.push_back(std::make_unique<XmmAgent>(*this, n));
+  }
+}
+
+XmmSystem::~XmmSystem() = default;
+
+XmmObjectInfo& XmmSystem::info(const MemObjectId& id) {
+  auto it = directory_.find(id);
+  ASVM_CHECK_MSG(it != directory_.end(), "unknown XMM object");
+  return *it->second;
+}
+
+MemObjectId XmmSystem::CreateSharedRegion(NodeId home, VmSize pages) {
+  MemObjectId id = NewObjectId(home);
+  auto info = std::make_unique<XmmObjectInfo>();
+  info->id = id;
+  info->pages = pages;
+  info->manager = home;
+  info->backing = std::make_unique<AnonBacking>(cluster_.engine(), cluster_.default_pager(home),
+                                                NextXmmBackingKey());
+  directory_[id] = std::move(info);
+  return id;
+}
+
+MemObjectId XmmSystem::CreateFileRegion(int32_t file_id, VmSize pages) {
+  FilePager& pager = cluster_.file_pager();
+  MemObjectId id = NewObjectId(pager.node());
+  auto info = std::make_unique<XmmObjectInfo>();
+  info->id = id;
+  info->pages = pages;
+  info->manager = pager.node();
+  info->backing = std::make_unique<FileBacking>(pager, file_id);
+  info->file_backed = true;
+  directory_[id] = std::move(info);
+  return id;
+}
+
+MemObjectId XmmSystem::CreateStripedRegion(const std::vector<StripedBacking::Stripe>& stripes,
+                                           VmSize pages) {
+  ASVM_CHECK(!stripes.empty());
+  // The stripes scale the disks, but XMM still has exactly one manager.
+  MemObjectId id = NewObjectId(stripes[0].pager->node());
+  auto info = std::make_unique<XmmObjectInfo>();
+  info->id = id;
+  info->pages = pages;
+  info->manager = stripes[0].pager->node();
+  info->backing = std::make_unique<StripedBacking>(stripes);
+  info->file_backed = true;
+  directory_[id] = std::move(info);
+  return id;
+}
+
+std::shared_ptr<VmObject> XmmSystem::Attach(NodeId node, const MemObjectId& id) {
+  return agent(node).Attach(id);
+}
+
+Future<VmMap*> XmmSystem::RemoteFork(NodeId src, VmMap& parent, NodeId dst) {
+  Promise<VmMap*> done(cluster_.engine());
+  (void)RemoteForkTask(src, parent, dst, done);
+  return done.GetFuture();
+}
+
+Task XmmSystem::RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done) {
+  Engine& engine = cluster_.engine();
+  // Task creation ships the map description over NORMA.
+  co_await Delay(engine, 800 * kMicrosecond);
+  cluster_.stats().Add("xmm.remote_forks");
+
+  // NMK13 leaves the work to the source node's VM: take a local fork-style
+  // copy of the address space, then export each copied range through an
+  // internal pager (§2.3.3).
+  NodeVm& src_vm = cluster_.vm(src);
+  VmMap* copy_map = src_vm.ForkMap(parent);
+
+  NodeVm& dst_vm = cluster_.vm(dst);
+  VmMap* child = dst_vm.CreateMap();
+
+  for (auto& [start, copy_entry] : copy_map->entries()) {
+    if (copy_entry.inheritance == Inheritance::kNone) {
+      continue;
+    }
+    if (copy_entry.inheritance == Inheritance::kShare) {
+      ASVM_CHECK_MSG(copy_entry.object->managed(),
+                     "NMK13 XMM cannot share anonymous memory across nodes");
+      auto repr = Attach(dst, copy_entry.object->id());
+      Status s = child->Map(copy_entry.start_page, copy_entry.page_count, repr,
+                            copy_entry.object_offset, copy_entry.inheritance);
+      ASVM_CHECK(IsOk(s));
+      continue;
+    }
+    // One internal pager per copied memory object.
+    MemObjectId id = NewObjectId(src);
+    auto info = std::make_unique<XmmObjectInfo>();
+    info->id = id;
+    info->pages = copy_entry.object->page_count();
+    info->manager = src;
+    info->copy_pager_node = src;
+    directory_[id] = std::move(info);
+
+    XmmAgent::CopyPagerEntry pager_entry;
+    pager_entry.copy_map = copy_map;
+    pager_entry.base_page = copy_entry.start_page - copy_entry.object_offset;
+    agent(src).copy_pagers_[id] = pager_entry;
+    cluster_.stats().Add("xmm.internal_pagers");
+
+    auto repr = Attach(dst, id);
+    Status s = child->Map(copy_entry.start_page, copy_entry.page_count, repr,
+                          copy_entry.object_offset, Inheritance::kCopy);
+    ASVM_CHECK(IsOk(s));
+  }
+  done.Set(child);
+}
+
+size_t XmmSystem::MetadataBytes(NodeId node) const {
+  return agents_.at(node)->MetadataBytes();
+}
+
+}  // namespace asvm

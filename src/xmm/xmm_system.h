@@ -1,0 +1,89 @@
+// NMK13 XMM — the baseline the paper measures against: a centralized manager
+// per memory object, speaking XMMI over NORMA-IPC, with per-(page × node)
+// state bytes at the manager and delayed copies implemented by blocking
+// internal copy pagers on the source node (paper §2.3).
+#ifndef SRC_XMM_XMM_SYSTEM_H_
+#define SRC_XMM_XMM_SYSTEM_H_
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dsm/backing.h"
+#include "src/dsm/cluster.h"
+#include "src/dsm/dsm_system.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/xmm/xmm_messages.h"
+
+namespace asvm {
+
+class XmmAgent;
+
+struct XmmConfig {
+  // Kernel threads available per node for internal copy pagers; the pool is
+  // what deadlocks when a copy chain crosses a node twice under load.
+  int copy_pager_threads = 16;
+  // Per-request processing in the XMM stack (proxy + manager layers).
+  SimDuration stack_process_ns = 1300 * kMicrosecond;
+  // Supplying page contents through the default pager task: two typed NORMA
+  // messages with 8 KB inline data plus the pager's own work. Dominates
+  // Table 1's read-fault rows. (File regions use the file pager's own CPU
+  // model instead.)
+  SimDuration pager_supply_ns = 5000 * kMicrosecond;
+  // data_unavailable round for fresh (zero-fill) pages: no contents move.
+  SimDuration pager_fresh_ns = 1200 * kMicrosecond;
+};
+
+// Directory record; page-level state lives at the manager node's agent.
+struct XmmObjectInfo {
+  MemObjectId id;
+  VmSize pages = 0;
+  NodeId manager = kInvalidNode;
+  std::unique_ptr<ObjectBacking> backing;  // null for copy-pager objects
+  bool file_backed = false;                // served by the file pager (own CPU model)
+  // Copy-pager objects: where the internal pager (and the frozen local copy
+  // of the source address space) lives.
+  NodeId copy_pager_node = kInvalidNode;
+  bool IsCopyObject() const { return copy_pager_node != kInvalidNode; }
+};
+
+class XmmSystem : public DsmSystem {
+ public:
+  XmmSystem(Cluster& cluster, XmmConfig config = {});
+  ~XmmSystem() override;
+
+  std::string_view name() const override { return "xmm"; }
+
+  MemObjectId CreateSharedRegion(NodeId home, VmSize pages) override;
+  MemObjectId CreateFileRegion(int32_t file_id, VmSize pages) override;
+  MemObjectId CreateStripedRegion(const std::vector<StripedBacking::Stripe>& stripes,
+                                  VmSize pages) override;
+  std::shared_ptr<VmObject> Attach(NodeId node, const MemObjectId& id) override;
+  Future<VmMap*> RemoteFork(NodeId src, VmMap& parent, NodeId dst) override;
+  size_t MetadataBytes(NodeId node) const override;
+
+  Cluster& cluster() { return cluster_; }
+  const XmmConfig& config() const { return config_; }
+  XmmAgent& agent(NodeId node) { return *agents_.at(node); }
+
+  XmmObjectInfo& info(const MemObjectId& id);
+  MemObjectId NewObjectId(NodeId origin) { return MemObjectId{origin, next_seq_++}; }
+  uint64_t NextOpId() { return next_op_id_++; }
+
+ private:
+  Task RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done);
+
+  Cluster& cluster_;
+  XmmConfig config_;
+  std::vector<std::unique_ptr<XmmAgent>> agents_;
+  std::unordered_map<MemObjectId, std::unique_ptr<XmmObjectInfo>> directory_;
+  uint32_t next_seq_ = 1;
+  uint64_t next_op_id_ = 1;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_XMM_XMM_SYSTEM_H_

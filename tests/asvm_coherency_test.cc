@@ -1,0 +1,226 @@
+// ASVM shared-memory coherency: the Figure 7 state machine, forwarding
+// tiers, ownership migration, and strong coherence on real data.
+#include <gtest/gtest.h>
+
+#include "src/asvm/agent.h"
+#include "src/asvm/asvm_system.h"
+#include "tests/dsm_test_util.h"
+
+namespace asvm {
+namespace {
+
+class AsvmCoherencyTest : public ::testing::Test {
+ protected:
+  void Build(int nodes, AsvmConfig config = {}) {
+    cluster_ = std::make_unique<Cluster>(SmallClusterParams(nodes));
+    system_ = std::make_unique<AsvmSystem>(*cluster_, config);
+    region_ = system_->CreateSharedRegion(/*home=*/0, /*pages=*/16);
+    harness_ = std::make_unique<DsmRegionHarness>(*cluster_, *system_, region_, 16);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<AsvmSystem> system_;
+  MemObjectId region_;
+  std::unique_ptr<DsmRegionHarness> harness_;
+};
+
+TEST_F(AsvmCoherencyTest, FreshPageReadsAsZero) {
+  Build(4);
+  EXPECT_EQ(harness_->Read(1, 0), 0u);
+  EXPECT_EQ(harness_->Read(2, 4096), 0u);
+}
+
+TEST_F(AsvmCoherencyTest, WriteThenRemoteRead) {
+  Build(4);
+  harness_->Write(0, 0, 42);
+  EXPECT_EQ(harness_->Read(1, 0), 42u);
+  EXPECT_EQ(harness_->Read(2, 0), 42u);
+  EXPECT_EQ(harness_->Read(3, 0), 42u);
+}
+
+TEST_F(AsvmCoherencyTest, WriteMigratesOwnershipAndData) {
+  Build(4);
+  harness_->Write(0, 0, 1);
+  harness_->Write(1, 0, 2);
+  harness_->Write(2, 0, 3);
+  EXPECT_EQ(harness_->Read(0, 0), 3u);
+  EXPECT_EQ(harness_->Read(3, 0), 3u);
+}
+
+TEST_F(AsvmCoherencyTest, StrongCoherenceAfterInvalidation) {
+  Build(4);
+  harness_->Write(0, 0, 10);
+  // B and C acquire read copies.
+  EXPECT_EQ(harness_->Read(1, 0), 10u);
+  EXPECT_EQ(harness_->Read(2, 0), 10u);
+  // A upgrades in place (transition 7): readers must be invalidated.
+  harness_->Write(0, 0, 11);
+  EXPECT_EQ(harness_->Read(1, 0), 11u);
+  EXPECT_EQ(harness_->Read(2, 0), 11u);
+}
+
+TEST_F(AsvmCoherencyTest, WriterStealsFromReaderSet) {
+  Build(4);
+  harness_->Write(0, 0, 5);
+  EXPECT_EQ(harness_->Read(1, 0), 5u);
+  EXPECT_EQ(harness_->Read(2, 0), 5u);
+  // Node 3 (not a reader) writes: old copies must all be invalidated.
+  harness_->Write(3, 0, 6);
+  EXPECT_EQ(harness_->Read(0, 0), 6u);
+  EXPECT_EQ(harness_->Read(1, 0), 6u);
+  EXPECT_EQ(harness_->Read(2, 0), 6u);
+}
+
+TEST_F(AsvmCoherencyTest, UpgradeFaultKeepsData) {
+  Build(4);
+  harness_->Write(0, 0, 7);
+  EXPECT_EQ(harness_->Read(1, 0), 7u);
+  // Node 1 already holds a read copy; the upgrade transfers ownership
+  // without the page contents.
+  const int64_t pages_before = cluster_->stats().Get("transport.sts.page_messages");
+  harness_->Write(1, 8, 8);
+  const int64_t pages_after = cluster_->stats().Get("transport.sts.page_messages");
+  EXPECT_EQ(pages_after, pages_before) << "upgrade must not move page contents";
+  EXPECT_EQ(harness_->Read(1, 0), 7u);
+  EXPECT_EQ(harness_->Read(0, 8), 8u);
+}
+
+TEST_F(AsvmCoherencyTest, DistinctPagesAreIndependent) {
+  Build(4);
+  for (NodeId n = 0; n < 4; ++n) {
+    harness_->Write(n, static_cast<VmOffset>(n) * 4096, 100u + static_cast<uint64_t>(n));
+  }
+  for (NodeId n = 0; n < 4; ++n) {
+    for (NodeId m = 0; m < 4; ++m) {
+      EXPECT_EQ(harness_->Read(n, static_cast<VmOffset>(m) * 4096),
+                100u + static_cast<uint64_t>(m));
+    }
+  }
+}
+
+TEST_F(AsvmCoherencyTest, OwnershipChaseThroughHints) {
+  Build(8);
+  // Bounce ownership around, then have an uninvolved node locate it.
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId n = 0; n < 6; ++n) {
+      harness_->Write(n, 0, static_cast<uint64_t>(round * 10 + n));
+    }
+  }
+  EXPECT_EQ(harness_->Read(7, 0), 25u);
+}
+
+TEST_F(AsvmCoherencyTest, GlobalOnlyForwardingIsCorrect) {
+  AsvmConfig config;
+  config.dynamic_forwarding = false;
+  config.static_forwarding = false;
+  Build(4, config);
+  harness_->Write(0, 0, 1);
+  harness_->Write(2, 0, 2);
+  EXPECT_EQ(harness_->Read(1, 0), 2u);
+  EXPECT_EQ(harness_->Read(3, 0), 2u);
+  EXPECT_GT(cluster_->stats().Get("asvm.fwd_global_started"), 0);
+}
+
+TEST_F(AsvmCoherencyTest, StaticOnlyForwardingIsCorrect) {
+  AsvmConfig config;
+  config.dynamic_forwarding = false;
+  Build(4, config);
+  harness_->Write(0, 0, 1);
+  harness_->Write(2, 0, 2);
+  EXPECT_EQ(harness_->Read(1, 0), 2u);
+  EXPECT_GT(cluster_->stats().Get("asvm.fwd_static"), 0);
+}
+
+TEST_F(AsvmCoherencyTest, DynamicForwardingUsesHints) {
+  Build(4);
+  harness_->Write(0, 0, 1);
+  EXPECT_EQ(harness_->Read(1, 0), 1u);
+  // Node 1 now hints node 0; a second access on another page of the same
+  // owner path exercises dynamic hits over time.
+  EXPECT_EQ(harness_->Read(1, 0), 1u);
+  harness_->Write(1, 0, 2);
+  EXPECT_EQ(harness_->Read(0, 0), 2u);
+  EXPECT_GT(cluster_->stats().Get("asvm.fwd_dynamic"), 0);
+}
+
+TEST_F(AsvmCoherencyTest, OwnerResidencyInvariant) {
+  Build(4);
+  harness_->Write(0, 0, 1);
+  harness_->Write(1, 0, 2);
+  EXPECT_EQ(harness_->Read(2, 0), 2u);
+  // Exactly one owner, and the owner has the page resident.
+  int owners = 0;
+  for (NodeId n = 0; n < 4; ++n) {
+    auto* os = system_->agent(n).FindObjState(region_);
+    if (os == nullptr) {
+      continue;
+    }
+    auto it = os->pages.find(0);
+    if (it != os->pages.end() && it->second.owner) {
+      ++owners;
+      ASSERT_NE(os->repr, nullptr);
+      EXPECT_NE(os->repr->FindResident(0), nullptr)
+          << "owner must cache the page (node " << n << ")";
+    }
+  }
+  EXPECT_EQ(owners, 1);
+}
+
+TEST_F(AsvmCoherencyTest, SingleWriterInvariant) {
+  Build(4);
+  harness_->Write(0, 0, 1);
+  EXPECT_EQ(harness_->Read(1, 0), 1u);
+  harness_->Write(2, 0, 2);
+  // After quiescence at most one node may hold write access; write access
+  // excludes any other holder.
+  int writers = 0;
+  int holders = 0;
+  for (NodeId n = 0; n < 4; ++n) {
+    auto* os = system_->agent(n).FindObjState(region_);
+    if (os == nullptr || os->repr == nullptr) {
+      continue;
+    }
+    VmPage* vp = os->repr->FindResident(0);
+    if (vp != nullptr) {
+      ++holders;
+      if (AccessAllows(vp->lock, PageAccess::kWrite)) {
+        ++writers;
+      }
+    }
+  }
+  EXPECT_EQ(writers, 1);
+  EXPECT_EQ(holders, 1) << "a write grant must flush all other copies";
+}
+
+TEST_F(AsvmCoherencyTest, MetadataIsBoundedByResidency) {
+  Build(4);
+  for (int p = 0; p < 8; ++p) {
+    harness_->Write(0, static_cast<VmOffset>(p) * 4096, static_cast<uint64_t>(p));
+  }
+  // Nodes that never touched the region hold (almost) no page state.
+  size_t untouched = system_->MetadataBytes(3);
+  size_t owner = system_->MetadataBytes(0);
+  EXPECT_GT(owner, untouched);
+}
+
+TEST_F(AsvmCoherencyTest, ManyNodesManyPagesStress) {
+  Build(8);
+  for (int round = 0; round < 4; ++round) {
+    for (NodeId n = 0; n < 8; ++n) {
+      for (int p = 0; p < 4; ++p) {
+        harness_->Write(n, static_cast<VmOffset>(p) * 4096,
+                        static_cast<uint64_t>(round * 1000 + n * 10 + p));
+      }
+    }
+  }
+  // Last writer was node 7 in round 3.
+  for (int p = 0; p < 4; ++p) {
+    const uint64_t expect = 3 * 1000 + 7 * 10 + static_cast<uint64_t>(p);
+    for (NodeId n = 0; n < 8; ++n) {
+      EXPECT_EQ(harness_->Read(n, static_cast<VmOffset>(p) * 4096), expect);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asvm

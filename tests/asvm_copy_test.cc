@@ -1,0 +1,233 @@
+// ASVM delayed-copy management across nodes (§3.7): remote forks, push and
+// pull operations, version counters, copy chains spanning nodes (Figure 9),
+// and push scans on shared copy objects.
+#include <gtest/gtest.h>
+
+#include "src/asvm/agent.h"
+#include "src/asvm/asvm_system.h"
+#include "src/machvm/task_memory.h"
+#include "tests/dsm_test_util.h"
+
+namespace asvm {
+namespace {
+
+class AsvmCopyTest : public ::testing::Test {
+ protected:
+  void Build(int nodes, size_t frames = 512) {
+    cluster_ = std::make_unique<Cluster>(SmallClusterParams(nodes, frames));
+    system_ = std::make_unique<AsvmSystem>(*cluster_);
+  }
+
+  // Builds a parent task on `node` with an anonymous region of `pages` pages
+  // (inheritance: copy) and returns its memory accessor.
+  TaskMemory MakeParent(NodeId node, VmSize pages) {
+    NodeVm& vm = cluster_->vm(node);
+    VmMap* map = vm.CreateMap();
+    auto obj = vm.CreateObject(pages, CopyStrategy::kSymmetric);
+    EXPECT_EQ(map->Map(0, pages, obj, 0, Inheritance::kCopy), Status::kOk);
+    return TaskMemory(vm, *map);
+  }
+
+  TaskMemory Fork(NodeId src, TaskMemory& parent, NodeId dst) {
+    auto f = system_->RemoteFork(src, parent.map(), dst);
+    cluster_->engine().Run();
+    EXPECT_TRUE(f.ready());
+    return TaskMemory(cluster_->vm(dst), *f.value());
+  }
+
+  uint64_t Read(TaskMemory& mem, VmOffset addr) {
+    auto f = mem.ReadU64(addr);
+    cluster_->engine().Run();
+    EXPECT_TRUE(f.ready()) << "read did not complete";
+    return f.ready() ? f.value() : ~0ULL;
+  }
+
+  void Write(TaskMemory& mem, VmOffset addr, uint64_t value) {
+    auto f = mem.WriteU64(addr, value);
+    cluster_->engine().Run();
+    ASSERT_TRUE(f.ready());
+    ASSERT_EQ(f.value(), Status::kOk);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<AsvmSystem> system_;
+};
+
+TEST_F(AsvmCopyTest, RemoteForkChildSeesParentSnapshot) {
+  Build(2);
+  TaskMemory parent = MakeParent(0, 8);
+  Write(parent, 0, 100);
+  Write(parent, 4096, 200);
+
+  TaskMemory child = Fork(0, parent, 1);
+  EXPECT_EQ(Read(child, 0), 100u);
+  EXPECT_EQ(Read(child, 4096), 200u);
+  EXPECT_EQ(Read(child, 2 * 4096), 0u);  // untouched page: zero
+}
+
+TEST_F(AsvmCopyTest, ParentWriteAfterForkIsInvisibleToChild) {
+  Build(2);
+  TaskMemory parent = MakeParent(0, 8);
+  Write(parent, 0, 100);
+  TaskMemory child = Fork(0, parent, 1);
+
+  // The push operation must deliver the pre-write value to the copy.
+  Write(parent, 0, 999);
+  EXPECT_EQ(Read(child, 0), 100u);
+  EXPECT_EQ(Read(parent, 0), 999u);
+  EXPECT_GT(cluster_->stats().Get("asvm.push_operations"), 0);
+}
+
+TEST_F(AsvmCopyTest, ChildWriteDoesNotDisturbParent) {
+  Build(2);
+  TaskMemory parent = MakeParent(0, 8);
+  Write(parent, 0, 100);
+  TaskMemory child = Fork(0, parent, 1);
+
+  Write(child, 0, 555);
+  EXPECT_EQ(Read(parent, 0), 100u);
+  EXPECT_EQ(Read(child, 0), 555u);
+}
+
+TEST_F(AsvmCopyTest, PushHappensOnlyOncePerCopyEpoch) {
+  Build(2);
+  TaskMemory parent = MakeParent(0, 8);
+  Write(parent, 0, 1);
+  TaskMemory child = Fork(0, parent, 1);
+
+  Write(parent, 0, 2);
+  const int64_t pushes = cluster_->stats().Get("asvm.push_operations");
+  Write(parent, 0, 3);  // same epoch: version counters suppress a second push
+  Write(parent, 8, 4);
+  EXPECT_EQ(cluster_->stats().Get("asvm.push_operations"), pushes);
+  EXPECT_EQ(Read(child, 0), 1u);
+}
+
+TEST_F(AsvmCopyTest, ForkChainAcrossThreeNodes) {
+  // The Figure 9 scenario: A forks to B, B forks to C; a fault on C walks
+  // the chain back to the original data on A.
+  Build(3);
+  TaskMemory gen0 = MakeParent(0, 8);
+  Write(gen0, 0, 11);
+  Write(gen0, 4096, 22);
+
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  TaskMemory gen2 = Fork(1, gen1, 2);
+
+  EXPECT_EQ(Read(gen2, 0), 11u);
+  EXPECT_EQ(Read(gen2, 4096), 22u);
+  EXPECT_GT(cluster_->stats().Get("asvm.pull_chain_forwards"), 0)
+      << "the pull should have traversed managed shadow objects";
+}
+
+TEST_F(AsvmCopyTest, ChainSnapshotsAreIndependentPerGeneration) {
+  Build(3);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 10);
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  Write(gen1, 0, 20);
+  TaskMemory gen2 = Fork(1, gen1, 2);
+  Write(gen2, 0, 30);
+
+  EXPECT_EQ(Read(gen0, 0), 10u);
+  EXPECT_EQ(Read(gen1, 0), 20u);
+  EXPECT_EQ(Read(gen2, 0), 30u);
+}
+
+TEST_F(AsvmCopyTest, WritesBetweenGenerationsPreserveSnapshots) {
+  Build(3);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 1);
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  Write(gen0, 0, 2);  // pushes 1 into gen1's copy
+  TaskMemory gen2 = Fork(1, gen1, 2);
+  Write(gen1, 0, 3);  // hmm: gen1's copy object gets its own write
+
+  EXPECT_EQ(Read(gen2, 0), 1u) << "grandchild sees gen1's value at fork time";
+  EXPECT_EQ(Read(gen1, 0), 3u);
+  EXPECT_EQ(Read(gen0, 0), 2u);
+}
+
+TEST_F(AsvmCopyTest, TwoCopiesOfSameSourceFormChain) {
+  Build(3);
+  TaskMemory parent = MakeParent(0, 4);
+  Write(parent, 0, 7);
+  TaskMemory child1 = Fork(0, parent, 1);
+  Write(parent, 0, 8);  // pushes 7 toward child1's epoch
+  TaskMemory child2 = Fork(0, parent, 2);
+  Write(parent, 0, 9);  // pushes 8 toward child2's epoch
+
+  EXPECT_EQ(Read(child1, 0), 7u);
+  EXPECT_EQ(Read(child2, 0), 8u);
+  EXPECT_EQ(Read(parent, 0), 9u);
+}
+
+TEST_F(AsvmCopyTest, UntouchedPagesStayZeroThroughChains) {
+  Build(3);
+  TaskMemory gen0 = MakeParent(0, 8);
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  TaskMemory gen2 = Fork(1, gen1, 2);
+  EXPECT_EQ(Read(gen2, 3 * 4096), 0u);
+  EXPECT_EQ(Read(gen1, 5 * 4096), 0u);
+}
+
+TEST_F(AsvmCopyTest, FreshPageWriteAfterForkPushesZeros) {
+  Build(2);
+  TaskMemory parent = MakeParent(0, 4);
+  TaskMemory child = Fork(0, parent, 1);
+  // Page 2 never existed; the parent's first write must still preserve the
+  // zero snapshot for the child.
+  Write(parent, 2 * 4096, 77);
+  EXPECT_EQ(Read(child, 2 * 4096), 0u);
+  EXPECT_EQ(Read(parent, 2 * 4096), 77u);
+}
+
+TEST_F(AsvmCopyTest, ShareInheritanceRemainsCoherentAcrossFork) {
+  Build(2);
+  NodeVm& vm0 = cluster_->vm(0);
+  VmMap* map = vm0.CreateMap();
+  auto obj = vm0.CreateObject(4, CopyStrategy::kSymmetric);
+  ASSERT_EQ(map->Map(0, 4, obj, 0, Inheritance::kShare), Status::kOk);
+  TaskMemory parent(vm0, *map);
+  Write(parent, 0, 1);
+
+  TaskMemory child = Fork(0, parent, 1);
+  Write(child, 0, 2);
+  EXPECT_EQ(Read(parent, 0), 2u) << "kShare ranges stay coherent, not copied";
+  Write(parent, 0, 3);
+  EXPECT_EQ(Read(child, 0), 3u);
+}
+
+TEST_F(AsvmCopyTest, DeepChainFaultLatencyGrowsSlowly) {
+  // Figure 11's shape: latency ~ lb + n * la with small la.
+  Build(6);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 42);
+  std::vector<TaskMemory> gens;
+  gens.push_back(gen0);
+  for (NodeId n = 1; n < 6; ++n) {
+    gens.push_back(Fork(n - 1, gens.back(), n));
+  }
+  SimTime start = cluster_->engine().Now();
+  EXPECT_EQ(Read(gens.back(), 0), 42u);
+  SimDuration deep = cluster_->engine().Now() - start;
+  // A five-hop chain should cost single-digit milliseconds, far below five
+  // XMM-style round trips.
+  EXPECT_LT(deep, 10 * kMillisecond);
+  EXPECT_GT(deep, 500 * kMicrosecond);
+}
+
+TEST_F(AsvmCopyTest, ReadThroughChainDoesNotCopyIntoIntermediates) {
+  Build(3);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 5);
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  TaskMemory gen2 = Fork(1, gen1, 2);
+  const int64_t pushes_before = cluster_->stats().Get("vm.push_supplies");
+  EXPECT_EQ(Read(gen2, 0), 5u);
+  // A read pull must not trigger push supplies.
+  EXPECT_EQ(cluster_->stats().Get("vm.push_supplies"), pushes_before);
+}
+
+}  // namespace
+}  // namespace asvm

@@ -1,0 +1,147 @@
+// ASVM forwarding internals: static-manager placement, hint-cache behaviour
+// under tiny capacities (the §3.4 claim that static forwarding backs up
+// dynamic because its cache is effectively distributed), stale-hint recovery,
+// and escalation safety.
+#include <gtest/gtest.h>
+
+#include "src/asvm/agent.h"
+#include "src/asvm/asvm_system.h"
+#include "tests/dsm_test_util.h"
+
+namespace asvm {
+namespace {
+
+class ForwardingTest : public ::testing::Test {
+ protected:
+  void Build(int nodes, AsvmConfig config = {}) {
+    cluster_ = std::make_unique<Cluster>(SmallClusterParams(nodes));
+    system_ = std::make_unique<AsvmSystem>(*cluster_, config);
+    region_ = system_->CreateSharedRegion(0, 64);
+    harness_ = std::make_unique<DsmRegionHarness>(*cluster_, *system_, region_, 64);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<AsvmSystem> system_;
+  MemObjectId region_;
+  std::unique_ptr<DsmRegionHarness> harness_;
+};
+
+TEST_F(ForwardingTest, StaticManagerDistributesPagesAcrossSharers) {
+  Build(4);
+  // Attach all four nodes (the harness did), then check the manager map.
+  AsvmObjectInfo& info = system_->info(region_);
+  ASSERT_EQ(info.sharing.size(), 4u);
+  std::set<NodeId> managers;
+  for (PageIndex p = 0; p < 8; ++p) {
+    const NodeId mgr = system_->StaticManagerOf(info, p);
+    EXPECT_TRUE(std::find(info.sharing.begin(), info.sharing.end(), mgr) !=
+                info.sharing.end());
+    managers.insert(mgr);
+  }
+  EXPECT_EQ(managers.size(), 4u) << "pages must spread across all sharers";
+}
+
+TEST_F(ForwardingTest, StaticManagerIsDeterministic) {
+  Build(4);
+  AsvmObjectInfo& info = system_->info(region_);
+  for (PageIndex p = 0; p < 16; ++p) {
+    EXPECT_EQ(system_->StaticManagerOf(info, p), system_->StaticManagerOf(info, p));
+  }
+}
+
+TEST_F(ForwardingTest, TinyDynamicCacheStillCorrect) {
+  // A 2-entry dynamic hint cache: hints constantly evicted; static forwarding
+  // must absorb the misses (§3.4: "static will not fail as often as dynamic
+  // since the static cache is in effect distributed").
+  AsvmConfig config;
+  config.dyn_cache_capacity = 2;
+  Build(6, config);
+  for (int round = 0; round < 3; ++round) {
+    for (int p = 0; p < 16; ++p) {
+      harness_->Write(round % 6, static_cast<VmOffset>(p) * 4096,
+                      static_cast<uint64_t>(round * 100 + p));
+    }
+  }
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_EQ(harness_->Read(5, static_cast<VmOffset>(p) * 4096),
+              static_cast<uint64_t>(200 + p));
+  }
+}
+
+TEST_F(ForwardingTest, TinyStaticCacheFallsBackToTerminal) {
+  AsvmConfig config;
+  config.static_cache_capacity = 1;
+  config.dyn_cache_capacity = 1;
+  Build(6, config);
+  for (int p = 0; p < 24; ++p) {
+    harness_->Write(1, static_cast<VmOffset>(p) * 4096, static_cast<uint64_t>(p) + 7);
+  }
+  for (int p = 0; p < 24; ++p) {
+    EXPECT_EQ(harness_->Read(4, static_cast<VmOffset>(p) * 4096),
+              static_cast<uint64_t>(p) + 7);
+  }
+}
+
+TEST_F(ForwardingTest, StaleHintsRecoverAfterOwnershipChurn) {
+  Build(8);
+  // Create hints everywhere, then churn ownership so every hint goes stale.
+  for (NodeId n = 0; n < 8; ++n) {
+    harness_->Read(n, 0);
+  }
+  for (int round = 0; round < 10; ++round) {
+    harness_->Write(round % 8, 0, static_cast<uint64_t>(round));
+  }
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(harness_->Read(n, 0), 9u);
+  }
+  // Escalations may have occurred but never unbounded forwarding (the CHECK
+  // in RouteRequest would have fired).
+}
+
+TEST_F(ForwardingTest, WriteAfterWritebackFindsPagerCopy) {
+  // Force a writeback (no other node can take the page), then access from a
+  // different node: the 'paged' path through the static manager/home.
+  // Shrink frames so node 1 must write pages back. (Tear down in dependency
+  // order: the system's agents reference the cluster's VMs.)
+  harness_.reset();
+  system_.reset();
+  cluster_ = std::make_unique<Cluster>(SmallClusterParams(2, /*frames=*/8));
+  system_ = std::make_unique<AsvmSystem>(*cluster_);
+  region_ = system_->CreateSharedRegion(0, 64);
+  harness_ = std::make_unique<DsmRegionHarness>(*cluster_, *system_, region_, 64);
+  for (int p = 0; p < 32; ++p) {
+    harness_->Write(1, static_cast<VmOffset>(p) * 4096, 4000 + static_cast<uint64_t>(p));
+  }
+  EXPECT_GT(cluster_->stats().Get("asvm.evict_writebacks"), 0);
+  for (int p = 0; p < 32; ++p) {
+    EXPECT_EQ(harness_->Read(0, static_cast<VmOffset>(p) * 4096),
+              4000 + static_cast<uint64_t>(p));
+  }
+}
+
+TEST_F(ForwardingTest, ReaderListSurvivesOwnershipTransferViaEviction) {
+  // Owner evicts while readers exist: step 2 hands the reader list over; the
+  // new owner must still invalidate everyone on the next write.
+  harness_.reset();
+  system_.reset();
+  cluster_ = std::make_unique<Cluster>(SmallClusterParams(4, /*frames=*/24));
+  system_ = std::make_unique<AsvmSystem>(*cluster_);
+  region_ = system_->CreateSharedRegion(0, 64);
+  harness_ = std::make_unique<DsmRegionHarness>(*cluster_, *system_, region_, 64);
+
+  harness_->Write(0, 0, 50);
+  EXPECT_EQ(harness_->Read(1, 0), 50u);
+  EXPECT_EQ(harness_->Read(2, 0), 50u);
+  // Evict the page from node 0 by filling its memory.
+  for (int p = 1; p < 30; ++p) {
+    harness_->Write(0, static_cast<VmOffset>(p) * 4096, static_cast<uint64_t>(p));
+  }
+  // Whoever owns page 0 now, a write from node 3 must invalidate ALL copies.
+  harness_->Write(3, 0, 51);
+  EXPECT_EQ(harness_->Read(0, 0), 51u);
+  EXPECT_EQ(harness_->Read(1, 0), 51u);
+  EXPECT_EQ(harness_->Read(2, 0), 51u);
+}
+
+}  // namespace
+}  // namespace asvm

@@ -1,0 +1,119 @@
+// System/application-level monitoring: the protocol trace buffer and the
+// per-node object state dump.
+#include <gtest/gtest.h>
+
+#include "src/asvm/agent.h"
+#include "src/asvm/asvm_system.h"
+#include "src/asvm/monitor.h"
+#include "tests/dsm_test_util.h"
+
+namespace asvm {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() {
+    cluster_ = std::make_unique<Cluster>(SmallClusterParams(4));
+    system_ = std::make_unique<AsvmSystem>(*cluster_);
+    system_->AttachMonitor(&trace_);
+    region_ = system_->CreateSharedRegion(0, 16);
+    harness_ = std::make_unique<DsmRegionHarness>(*cluster_, *system_, region_, 16);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<AsvmSystem> system_;
+  TraceBuffer trace_;
+  MemObjectId region_;
+  std::unique_ptr<DsmRegionHarness> harness_;
+};
+
+TEST_F(MonitorTest, FaultsProduceTraceEvents) {
+  harness_->Write(1, 0, 42);
+  EXPECT_GT(trace_.count(TraceKind::kFaultRequest), 0);
+  EXPECT_GT(trace_.count(TraceKind::kServeTerminal), 0);
+  EXPECT_GT(trace_.count(TraceKind::kGrantApplied), 0);
+  EXPECT_GT(trace_.count(TraceKind::kOwnershipMoved), 0);
+}
+
+TEST_F(MonitorTest, InvalidationsAreTraced) {
+  harness_->Write(1, 0, 1);
+  harness_->Read(2, 0);
+  harness_->Read(3, 0);
+  const int64_t invals_before = trace_.count(TraceKind::kInvalidate);
+  harness_->Write(1, 0, 2);  // self-upgrade: invalidate both readers
+  EXPECT_EQ(trace_.count(TraceKind::kInvalidate), invals_before + 2);
+}
+
+TEST_F(MonitorTest, OwnerServeTraced) {
+  harness_->Write(1, 0, 1);
+  trace_.Clear();
+  harness_->Read(2, 0);
+  EXPECT_GT(trace_.count(TraceKind::kServeOwner), 0);
+}
+
+TEST_F(MonitorTest, EventsCarryTimeAndIdentity) {
+  harness_->Write(1, 0, 1);
+  ASSERT_GT(trace_.total(), 0);
+  for (const TraceEvent& e : trace_.events()) {
+    EXPECT_GE(e.time, 0);
+    EXPECT_NE(e.node, kInvalidNode);
+    EXPECT_EQ(e.object, region_);
+  }
+}
+
+TEST_F(MonitorTest, RenderFiltersAndFormats) {
+  harness_->Write(1, 0, 1);
+  harness_->Write(2, 4096, 2);
+  std::string all = trace_.Render();
+  EXPECT_NE(all.find("fault-request"), std::string::npos);
+  std::string page1_only = trace_.Render(/*page=*/1);
+  EXPECT_NE(page1_only.find("page 1"), std::string::npos);
+  EXPECT_EQ(page1_only.find("page 0"), std::string::npos);
+}
+
+TEST_F(MonitorTest, BufferIsBounded) {
+  TraceBuffer small(8);
+  system_->AttachMonitor(&small);
+  for (int i = 0; i < 10; ++i) {
+    harness_->Write(1 + (i % 3), 0, static_cast<uint64_t>(i));
+  }
+  EXPECT_LE(small.events().size(), 8u);
+  EXPECT_GT(small.total(), 8);
+  system_->AttachMonitor(&trace_);
+}
+
+TEST_F(MonitorTest, DetachStopsEvents) {
+  system_->AttachMonitor(nullptr);
+  trace_.Clear();
+  harness_->Write(1, 0, 1);
+  EXPECT_EQ(trace_.total(), 0);
+}
+
+TEST_F(MonitorTest, DumpObjectStateShowsOwnership) {
+  harness_->Write(1, 0, 1);
+  harness_->Read(2, 0);
+  std::string dump = system_->agent(1).DumpObjectState(region_);
+  EXPECT_NE(dump.find("OWNER"), std::string::npos);
+  EXPECT_NE(dump.find("readers=[2]"), std::string::npos);
+  std::string reader_dump = system_->agent(2).DumpObjectState(region_);
+  EXPECT_NE(reader_dump.find("access=read"), std::string::npos);
+  std::string empty_dump = system_->agent(3).DumpObjectState(MemObjectId{9, 9});
+  EXPECT_NE(empty_dump.find("no state"), std::string::npos);
+}
+
+TEST_F(MonitorTest, EvictionStepsTraced) {
+  // Shrink memory to force internode paging, then look for evict-step events.
+  Cluster small_cluster(SmallClusterParams(4, /*frames=*/16));
+  AsvmSystem system(small_cluster);
+  TraceBuffer trace;
+  system.AttachMonitor(&trace);
+  MemObjectId region = system.CreateSharedRegion(0, 64);
+  DsmRegionHarness harness(small_cluster, system, region, 64);
+  for (int p = 0; p < 48; ++p) {
+    harness.Write(1, static_cast<VmOffset>(p) * 4096, static_cast<uint64_t>(p));
+  }
+  EXPECT_GT(trace.count(TraceKind::kEvictStep), 0);
+}
+
+}  // namespace
+}  // namespace asvm

@@ -1,0 +1,154 @@
+// ASVM internode paging (§3.6): the 4-step eviction algorithm, ownership
+// balancing across sharers, and writeback to the pager as the last resort.
+#include <gtest/gtest.h>
+
+#include "src/asvm/agent.h"
+#include "src/asvm/asvm_system.h"
+#include "tests/dsm_test_util.h"
+
+namespace asvm {
+namespace {
+
+class AsvmPagingTest : public ::testing::Test {
+ protected:
+  void Build(int nodes, size_t frames, VmSize pages = 64) {
+    cluster_ = std::make_unique<Cluster>(SmallClusterParams(nodes, frames));
+    system_ = std::make_unique<AsvmSystem>(*cluster_);
+    pages_ = pages;
+    region_ = system_->CreateSharedRegion(/*home=*/0, pages);
+    harness_ = std::make_unique<DsmRegionHarness>(*cluster_, *system_, region_, pages);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<AsvmSystem> system_;
+  VmSize pages_ = 0;
+  MemObjectId region_;
+  std::unique_ptr<DsmRegionHarness> harness_;
+};
+
+TEST_F(AsvmPagingTest, RegionLargerThanOneNodeSpillsToOtherNodes) {
+  // One node initializes a region bigger than its memory: pages must be
+  // distributed to the other nodes (the load-balancing behaviour §3.6 calls
+  // out), not all dumped to disk.
+  Build(4, /*frames=*/24, /*pages=*/48);
+  for (VmSize p = 0; p < 48; ++p) {
+    harness_->Write(0, p * 4096, 7000 + p);
+  }
+  EXPECT_GT(cluster_->stats().Get("asvm.evict_page_transfers"), 0)
+      << "pages should move to other nodes, not only to disk";
+  // Everything is still readable with the right contents.
+  for (VmSize p = 0; p < 48; ++p) {
+    EXPECT_EQ(harness_->Read(0, p * 4096), 7000 + p) << "page " << p;
+  }
+}
+
+TEST_F(AsvmPagingTest, EvictionPrefersOwnershipTransferToReaders) {
+  Build(4, /*frames=*/32, /*pages=*/64);
+  // Node 0 writes pages, node 1 reads them all (becomes reader of each).
+  for (VmSize p = 0; p < 24; ++p) {
+    harness_->Write(0, p * 4096, p + 1);
+  }
+  for (VmSize p = 0; p < 24; ++p) {
+    EXPECT_EQ(harness_->Read(1, p * 4096), p + 1);
+  }
+  // Now node 0 floods its memory with other pages, forcing eviction of the
+  // shared ones. Ownership should pass to the reader without page traffic.
+  const int64_t transfers_before = cluster_->stats().Get("asvm.evict_ownership_transfers");
+  for (VmSize p = 24; p < 64; ++p) {
+    harness_->Write(0, p * 4096, p + 1);
+  }
+  EXPECT_GT(cluster_->stats().Get("asvm.evict_ownership_transfers"), transfers_before);
+  // Contents intact.
+  for (VmSize p = 0; p < 24; ++p) {
+    EXPECT_EQ(harness_->Read(2, p * 4096), p + 1);
+  }
+}
+
+TEST_F(AsvmPagingTest, WritebackToPagerWhenNoNodeHasRoom) {
+  // Two tiny nodes: everything spills; eventually the pager (paging space on
+  // the home's disk) must hold the data.
+  Build(2, /*frames=*/12, /*pages=*/64);
+  for (VmSize p = 0; p < 64; ++p) {
+    harness_->Write(0, p * 4096, 90000 + p);
+  }
+  EXPECT_GT(cluster_->stats().Get("asvm.evict_writebacks"), 0);
+  for (VmSize p = 0; p < 64; ++p) {
+    EXPECT_EQ(harness_->Read(1, p * 4096), 90000 + p) << "page " << p;
+  }
+}
+
+TEST_F(AsvmPagingTest, NonOwnerCopiesAreDiscardedSilently) {
+  Build(4, /*frames=*/16, /*pages=*/64);
+  harness_->Write(0, 0, 42);
+  EXPECT_EQ(harness_->Read(1, 0), 42u);
+  // Node 1 (a reader, not owner) floods its cache: the shared page must be
+  // discarded, not transferred.
+  for (VmSize p = 1; p < 40; ++p) {
+    harness_->Write(1, p * 4096, p);
+  }
+  EXPECT_GT(cluster_->stats().Get("asvm.evict_discards"), 0);
+  EXPECT_EQ(harness_->Read(1, 0), 42u);  // re-fetchable from the owner
+}
+
+TEST_F(AsvmPagingTest, PageoutSticksToAcceptingNode) {
+  Build(8, /*frames=*/16, /*pages=*/64);
+  for (VmSize p = 0; p < 48; ++p) {
+    harness_->Write(0, p * 4096, p);
+  }
+  // The cycling/sticky selection should have spread pages around; at least
+  // one remote node must now own several pages.
+  int nodes_with_pages = 0;
+  for (NodeId n = 1; n < 8; ++n) {
+    auto* os = system_->agent(n).FindObjState(region_);
+    if (os == nullptr) {
+      continue;
+    }
+    int owned = 0;
+    for (auto& [page, ps] : os->pages) {
+      if (ps.owner) {
+        ++owned;
+      }
+    }
+    if (owned > 0) {
+      ++nodes_with_pages;
+    }
+  }
+  EXPECT_GE(nodes_with_pages, 2) << "pageout should distribute across nodes";
+}
+
+TEST_F(AsvmPagingTest, ReFaultAfterDistributedPageoutIsMemorySpeed) {
+  Build(4, /*frames=*/24, /*pages=*/48);
+  for (VmSize p = 0; p < 48; ++p) {
+    harness_->Write(0, p * 4096, p);
+  }
+  // Page 0 was evicted long ago. If it went to another node's memory, the
+  // re-fault is a couple of messages, not a disk access.
+  uint64_t value = 0;
+  SimDuration latency = harness_->TimedRead(0, 0, &value);
+  EXPECT_EQ(value, 0u);
+  // Either memory-speed (< 5 ms) or disk (> 15 ms); assert we at least got
+  // the cheap path for *some* evicted page by checking stats.
+  (void)latency;
+  EXPECT_GT(cluster_->stats().Get("asvm.evict_page_transfers") +
+                cluster_->stats().Get("asvm.evict_ownership_transfers"),
+            0);
+}
+
+TEST_F(AsvmPagingTest, ColdRegionSurvivesTotalEvictionEverywhere) {
+  Build(2, /*frames=*/10, /*pages=*/40);
+  for (VmSize p = 0; p < 40; ++p) {
+    harness_->Write(0, p * 4096, 1234500 + p);
+  }
+  // Thrash both nodes with the tail pages, then verify the head pages.
+  for (int round = 0; round < 2; ++round) {
+    for (VmSize p = 20; p < 40; ++p) {
+      harness_->Write(1, p * 4096, 99000 + p);
+    }
+  }
+  for (VmSize p = 0; p < 20; ++p) {
+    EXPECT_EQ(harness_->Read(1, p * 4096), 1234500 + p) << "page " << p;
+  }
+}
+
+}  // namespace
+}  // namespace asvm

@@ -1,0 +1,166 @@
+// The hard corners of §3.7.2: push operations when copy objects are shared
+// between nodes, push scans cancelling redundant pushes, and the push/pull
+// race retry of §3.7.3.
+#include <gtest/gtest.h>
+
+#include "src/asvm/agent.h"
+#include "src/asvm/asvm_system.h"
+#include "src/machvm/task_memory.h"
+#include "tests/dsm_test_util.h"
+
+namespace asvm {
+namespace {
+
+class PushScanTest : public ::testing::Test {
+ protected:
+  void Build(int nodes) {
+    cluster_ = std::make_unique<Cluster>(SmallClusterParams(nodes));
+    system_ = std::make_unique<AsvmSystem>(*cluster_);
+  }
+
+  TaskMemory MakeParent(NodeId node, VmSize pages) {
+    NodeVm& vm = cluster_->vm(node);
+    VmMap* map = vm.CreateMap();
+    auto obj = vm.CreateObject(pages, CopyStrategy::kSymmetric);
+    EXPECT_EQ(map->Map(0, pages, obj, 0, Inheritance::kCopy), Status::kOk);
+    return TaskMemory(vm, *map);
+  }
+
+  TaskMemory Fork(NodeId src, TaskMemory& parent, NodeId dst) {
+    auto f = system_->RemoteFork(src, parent.map(), dst);
+    cluster_->engine().Run();
+    EXPECT_TRUE(f.ready());
+    return TaskMemory(cluster_->vm(dst), *f.value());
+  }
+
+  uint64_t Read(TaskMemory& mem, VmOffset addr) {
+    auto f = mem.ReadU64(addr);
+    cluster_->engine().Run();
+    EXPECT_TRUE(f.ready());
+    return f.ready() ? f.value() : ~0ULL;
+  }
+
+  void Write(TaskMemory& mem, VmOffset addr, uint64_t value) {
+    auto f = mem.WriteU64(addr, value);
+    cluster_->engine().Run();
+    ASSERT_TRUE(f.ready());
+    ASSERT_EQ(f.value(), Status::kOk);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<AsvmSystem> system_;
+};
+
+TEST_F(PushScanTest, ScanCancelsPushWhenGrandchildAlreadyPulled) {
+  // Chain 0 -> 1 -> 2. The grandchild (node 2) pulls a page of the middle
+  // copy object, making it owned in that copy's space. A later write on the
+  // ORIGINAL object must scan, find that owner, and cancel the data push —
+  // the pulled snapshot is already the right value.
+  Build(3);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 42);
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  TaskMemory gen2 = Fork(1, gen1, 2);
+
+  // Grandchild reads first: the page is pulled through the chain and owned
+  // in the middle copy's space (the copy object shared by nodes 1 and 2).
+  EXPECT_EQ(Read(gen2, 0), 42u);
+  const int64_t scans_before = cluster_->stats().Get("asvm.push_scans");
+
+  // Now the original writes. Its newest copy object (gen1's memory) is
+  // shared between nodes 1 and 2, so a push scan must run.
+  Write(gen0, 0, 43);
+  EXPECT_GT(cluster_->stats().Get("asvm.push_scans"), scans_before);
+
+  // Snapshots intact everywhere.
+  EXPECT_EQ(Read(gen2, 0), 42u);
+  EXPECT_EQ(Read(gen1, 0), 42u);
+  EXPECT_EQ(Read(gen0, 0), 43u);
+}
+
+TEST_F(PushScanTest, ScanFindsNothingAndPushProceeds) {
+  Build(3);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 7);
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  TaskMemory gen2 = Fork(1, gen1, 2);
+
+  // Nobody pulled; the write must push the snapshot into the copy chain.
+  const int64_t pushes_before = cluster_->stats().Get("asvm.push_operations");
+  Write(gen0, 0, 8);
+  EXPECT_GT(cluster_->stats().Get("asvm.push_operations"), pushes_before);
+  EXPECT_EQ(Read(gen2, 0), 7u);
+  EXPECT_EQ(Read(gen1, 0), 7u);
+}
+
+TEST_F(PushScanTest, WriteInMiddleGenerationPushesToItsOwnCopy) {
+  // gen1's memory is itself a source (gen2 is its copy). A write by gen1
+  // must push gen1's pre-write value toward gen2, not touch gen0.
+  Build(3);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 1);
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  Write(gen1, 0, 2);  // gen1 owns its version now
+  TaskMemory gen2 = Fork(1, gen1, 2);
+  Write(gen1, 0, 3);  // pushes "2" toward gen2
+
+  EXPECT_EQ(Read(gen0, 0), 1u);
+  EXPECT_EQ(Read(gen1, 0), 3u);
+  EXPECT_EQ(Read(gen2, 0), 2u);
+}
+
+TEST_F(PushScanTest, ConcurrentPullAndPushResolveConsistently) {
+  // §3.7.3: a pull entering the source while a push is in progress is held
+  // and bounced with a retry indicator. Fire both at once and check the
+  // values come out right regardless of interleaving.
+  Build(3);
+  TaskMemory gen0 = MakeParent(0, 8);
+  for (VmOffset p = 0; p < 8; ++p) {
+    Write(gen0, p * 4096, 100 + p);
+  }
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  TaskMemory gen2 = Fork(1, gen1, 2);
+
+  // Concurrently: gen0 writes pages (pushes) while gen2 reads them (pulls).
+  std::vector<Future<Status>> writes;
+  std::vector<Future<uint64_t>> reads;
+  for (VmOffset p = 0; p < 8; ++p) {
+    writes.push_back(gen0.WriteU64(p * 4096, 200 + p));
+    reads.push_back(gen2.ReadU64(p * 4096));
+  }
+  cluster_->engine().Run();
+  for (VmOffset p = 0; p < 8; ++p) {
+    ASSERT_TRUE(writes[p].ready()) << "write " << p;
+    ASSERT_TRUE(reads[p].ready()) << "read " << p;
+    // The grandchild must see the fork-time snapshot, never the new value.
+    EXPECT_EQ(reads[p].value(), 100 + p) << "page " << p;
+  }
+  // And the parent's writes landed.
+  for (VmOffset p = 0; p < 8; ++p) {
+    EXPECT_EQ(Read(gen0, p * 4096), 200 + p);
+  }
+}
+
+TEST_F(PushScanTest, PushedPagesSurviveEvictionAtPeer) {
+  // Push data into the copy object, then evict it at the peer: the contents
+  // must re-materialize from the peer's paging space on the next pull.
+  cluster_ = std::make_unique<Cluster>(SmallClusterParams(2, /*frames=*/16));
+  system_ = std::make_unique<AsvmSystem>(*cluster_);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 77);
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  Write(gen0, 0, 78);  // pushes 77 into gen1's copy on node 1
+
+  // Thrash node 1 to evict the pushed page.
+  for (VmOffset p = 1; p < 4; ++p) {
+    Write(gen1, p * 4096, p);
+  }
+  TaskMemory filler = MakeParent(1, 40);
+  for (VmOffset p = 0; p < 40; ++p) {
+    Write(filler, p * 4096, p);
+  }
+  EXPECT_EQ(Read(gen1, 0), 77u) << "pushed snapshot must survive peer eviction";
+}
+
+}  // namespace
+}  // namespace asvm

@@ -1,0 +1,166 @@
+// The §6 use case end to end: Unix read()/write() atomicity on a shared
+// mapped file, implemented with the ASVM range-lock primitive instead of a
+// NORMA-IPC token server. A multi-page record is written under a lock;
+// concurrent readers either see the whole old record or the whole new one —
+// never a torn mix.
+#include <gtest/gtest.h>
+
+#include "src/asvm/range_lock.h"
+#include "src/core/machine.h"
+#include "src/sim/task.h"
+
+namespace asvm {
+namespace {
+
+constexpr VmSize kRecordPages = 3;  // a write() spanning three pages
+constexpr size_t kPageSize = 8192;
+
+class AtomicFileIoTest : public ::testing::Test {
+ protected:
+  AtomicFileIoTest() {
+    MachineConfig config;
+    config.nodes = 5;
+    config.dsm = DsmKind::kAsvm;
+    machine_ = std::make_unique<Machine>(config);
+    system_ = static_cast<AsvmSystem*>(&machine_->dsm());
+    locks_ = std::make_unique<RangeLockService>(*system_);
+    file_ = machine_->CreateMappedFile("records", 8, /*prefilled=*/false);
+  }
+
+  // Writes `value` into every slot of the record, under the range lock.
+  Task WriteRecord(TaskMemory& mem, NodeId node, uint64_t value, bool* done) {
+    Status s = co_await locks_->Acquire(node, mem, file_, 0, kRecordPages * kPageSize);
+    ASVM_CHECK(IsOk(s));
+    for (VmSize p = 0; p < kRecordPages; ++p) {
+      // The pages are held: writes are plain local stores.
+      ASVM_CHECK(mem.TryWriteU64(p * kPageSize, value));
+    }
+    locks_->Release(node, file_, 0, kRecordPages * kPageSize, kPageSize);
+    *done = true;
+  }
+
+  // Reads the whole record under the lock; all slots must agree.
+  Task ReadRecord(TaskMemory& mem, NodeId node, std::vector<uint64_t>* out, bool* done) {
+    Status s = co_await locks_->Acquire(node, mem, file_, 0, kRecordPages * kPageSize);
+    ASVM_CHECK(IsOk(s));
+    for (VmSize p = 0; p < kRecordPages; ++p) {
+      uint64_t v = 0;
+      ASVM_CHECK(mem.TryReadU64(p * kPageSize, &v));
+      out->push_back(v);
+    }
+    locks_->Release(node, file_, 0, kRecordPages * kPageSize, kPageSize);
+    *done = true;
+  }
+
+  std::unique_ptr<Machine> machine_;
+  AsvmSystem* system_ = nullptr;
+  std::unique_ptr<RangeLockService> locks_;
+  MemObjectId file_;
+};
+
+TEST_F(AtomicFileIoTest, LockedWritesAreAtomicToLockedReaders) {
+  TaskMemory& writer_a = machine_->MapRegion(1, file_);
+  TaskMemory& writer_b = machine_->MapRegion(2, file_);
+  TaskMemory& reader_c = machine_->MapRegion(3, file_);
+  TaskMemory& reader_d = machine_->MapRegion(4, file_);
+
+  // Two writers and two readers race over the same record.
+  bool wa = false;
+  bool wb = false;
+  bool rc = false;
+  bool rd = false;
+  std::vector<uint64_t> c_view;
+  std::vector<uint64_t> d_view;
+  (void)WriteRecord(writer_a, 1, 0xAAAA, &wa);
+  (void)ReadRecord(reader_c, 3, &c_view, &rc);
+  (void)WriteRecord(writer_b, 2, 0xBBBB, &wb);
+  (void)ReadRecord(reader_d, 4, &d_view, &rd);
+  machine_->Run();
+  ASSERT_TRUE(wa && wb && rc && rd);
+
+  // Atomicity: each reader saw one uniform record (all zeros before any
+  // write completed, or all-A, or all-B) — never a mix.
+  for (const auto* view : {&c_view, &d_view}) {
+    ASSERT_EQ(view->size(), kRecordPages);
+    for (VmSize p = 1; p < kRecordPages; ++p) {
+      EXPECT_EQ((*view)[p], (*view)[0]) << "torn record observed";
+    }
+    EXPECT_TRUE((*view)[0] == 0 || (*view)[0] == 0xAAAA || (*view)[0] == 0xBBBB);
+  }
+
+  // Final state: one of the writers' records, uniformly.
+  std::vector<uint64_t> final_view;
+  bool fin = false;
+  (void)ReadRecord(reader_c, 3, &final_view, &fin);
+  machine_->Run();
+  ASSERT_TRUE(fin);
+  EXPECT_TRUE(final_view[0] == 0xAAAA || final_view[0] == 0xBBBB);
+  for (VmSize p = 1; p < kRecordPages; ++p) {
+    EXPECT_EQ(final_view[p], final_view[0]);
+  }
+}
+
+TEST_F(AtomicFileIoTest, ManySerializedWritersNeverTear) {
+  // Three rounds of four concurrent writers (one task per node; the lock is
+  // a per-node primitive — intra-node exclusion is the local kernel's job).
+  std::vector<TaskMemory*> writers;
+  for (NodeId n = 1; n <= 4; ++n) {
+    writers.push_back(&machine_->MapRegion(n, file_));
+  }
+  for (int round = 0; round < 3; ++round) {
+    bool done[4] = {};
+    for (int w = 0; w < 4; ++w) {
+      (void)WriteRecord(*writers[w], static_cast<NodeId>(1 + w),
+                        1000 + static_cast<uint64_t>(round * 4 + w), &done[w]);
+    }
+    machine_->Run();
+    for (int w = 0; w < 4; ++w) {
+      ASSERT_TRUE(done[w]) << "round " << round << " writer " << w << " never completed";
+    }
+  }
+  std::vector<uint64_t> view;
+  bool fin = false;
+  (void)ReadRecord(*writers[0], 1, &view, &fin);
+  machine_->Run();
+  ASSERT_TRUE(fin);
+  for (VmSize p = 1; p < kRecordPages; ++p) {
+    EXPECT_EQ(view[p], view[0]);
+  }
+  EXPECT_GE(view[0], 1008u);  // last round's writers
+  EXPECT_LE(view[0], 1011u);
+}
+
+TEST_F(AtomicFileIoTest, UnlockedReaderCanObserveTearing) {
+  // Control experiment: WITHOUT the lock, a reader interleaved with a
+  // multi-page write can see a torn record — the §6 problem statement.
+  TaskMemory& writer = machine_->MapRegion(1, file_);
+  TaskMemory& reader = machine_->MapRegion(2, file_);
+
+  // Seed the record with zeros.
+  bool seeded = false;
+  (void)WriteRecord(writer, 1, 0, &seeded);
+  machine_->Run();
+  ASSERT_TRUE(seeded);
+
+  // Unlocked writer: page-by-page stores with protocol latency in between.
+  std::vector<Future<Status>> writes;
+  for (VmSize p = 0; p < kRecordPages; ++p) {
+    writes.push_back(writer.WriteU64(p * kPageSize, 0x77));
+  }
+  // Unlocked reader races the writes, back to front.
+  std::vector<Future<uint64_t>> reads;
+  for (VmSize p = 0; p < kRecordPages; ++p) {
+    reads.push_back(reader.ReadU64((kRecordPages - 1 - p) * kPageSize));
+  }
+  machine_->Run();
+  // No assertion that tearing ALWAYS happens (timing-dependent), but the
+  // values must each individually be valid (0 or 0x77) — coherence holds
+  // even when atomicity doesn't.
+  for (auto& r : reads) {
+    ASSERT_TRUE(r.ready());
+    EXPECT_TRUE(r.value() == 0 || r.value() == 0x77);
+  }
+}
+
+}  // namespace
+}  // namespace asvm

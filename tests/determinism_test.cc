@@ -1,0 +1,121 @@
+// Bit-determinism: identical configurations and seeds must produce identical
+// simulated timelines, message counts, and results — the property that makes
+// every experiment in EXPERIMENTS.md exactly reproducible.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/machine.h"
+#include "src/em3d/em3d.h"
+#include "src/mappedfs/file_bench.h"
+
+namespace asvm {
+namespace {
+
+struct RunFingerprint {
+  SimTime final_time = 0;
+  int64_t mesh_messages = 0;
+  int64_t mesh_bytes = 0;
+  int64_t faults = 0;
+
+  friend bool operator==(const RunFingerprint&, const RunFingerprint&) = default;
+};
+
+RunFingerprint CoherencyWorkload(DsmKind kind) {
+  MachineConfig config;
+  config.nodes = 6;
+  config.dsm = kind;
+  Machine machine(config);
+  MemObjectId region = machine.CreateSharedRegion(0, 32);
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < 6; ++n) {
+    mems.push_back(&machine.MapRegion(n, region));
+  }
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.NextBelow(6));
+    const VmOffset addr = rng.NextBelow(32) * 8192;
+    if (rng.NextBool(0.5)) {
+      auto w = mems[node]->WriteU64(addr, static_cast<uint64_t>(i));
+      machine.Run();
+    } else {
+      auto r = mems[node]->ReadU64(addr);
+      machine.Run();
+    }
+  }
+  return {machine.Now(), machine.stats().Get("mesh.messages"),
+          machine.stats().Get("mesh.bytes"), machine.stats().Get("vm.faults")};
+}
+
+TEST(DeterminismTest, AsvmCoherencyRunsAreBitStable) {
+  EXPECT_EQ(CoherencyWorkload(DsmKind::kAsvm), CoherencyWorkload(DsmKind::kAsvm));
+}
+
+TEST(DeterminismTest, XmmCoherencyRunsAreBitStable) {
+  EXPECT_EQ(CoherencyWorkload(DsmKind::kXmm), CoherencyWorkload(DsmKind::kXmm));
+}
+
+TEST(DeterminismTest, Em3dTimedRunsAreBitStable) {
+  auto run = []() {
+    Em3dParams params;
+    params.cells = 8000;
+    params.iterations = 10;
+    MachineConfig config;
+    config.nodes = 4;
+    config.dsm = DsmKind::kAsvm;
+    Machine machine(config);
+    return RunEm3dTimed(machine, params, 4, /*measure_iters=*/3).seconds;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(DeterminismTest, Em3dVerifiedChecksumIsStable) {
+  auto run = []() {
+    Em3dParams params;
+    params.cells = 120;
+    params.iterations = 3;
+    MachineConfig config;
+    config.nodes = 3;
+    config.dsm = DsmKind::kAsvm;
+    Machine machine(config);
+    return RunEm3dVerified(machine, params, 3);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DeterminismTest, FileBenchRatesAreBitStable) {
+  auto run = []() {
+    MachineConfig config;
+    config.nodes = 5;
+    config.dsm = DsmKind::kAsvm;
+    Machine machine(config);
+    int32_t file_id = machine.cluster().file_pager().CreateFile("d", 32, true);
+    MemObjectId region = machine.dsm().CreateFileRegion(file_id, 32);
+    return RunParallelFileRead(machine, region, 32, 4, 1).per_node_mb_s;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  // Sanity that the workload above actually depends on the RNG stream.
+  auto run = [](uint64_t seed) {
+    MachineConfig config;
+    config.nodes = 4;
+    config.dsm = DsmKind::kAsvm;
+    Machine machine(config);
+    MemObjectId region = machine.CreateSharedRegion(0, 16);
+    std::vector<TaskMemory*> mems;
+    for (NodeId n = 0; n < 4; ++n) {
+      mems.push_back(&machine.MapRegion(n, region));
+    }
+    Rng rng(seed);
+    for (int i = 0; i < 100; ++i) {
+      auto w = mems[rng.NextBelow(4)]->WriteU64(rng.NextBelow(16) * 8192, i);
+      machine.Run();
+    }
+    return machine.stats().Get("mesh.messages");
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+}  // namespace
+}  // namespace asvm

@@ -1,0 +1,186 @@
+// EM3D: graph determinism, layout, and the key integration property — the
+// parallel DSM execution produces bit-identical results to the sequential
+// reference, under both ASVM and XMM.
+#include <gtest/gtest.h>
+
+#include "src/em3d/em3d.h"
+
+namespace asvm {
+namespace {
+
+Em3dParams SmallParams() {
+  Em3dParams params;
+  params.cells = 240;
+  params.iterations = 4;
+  params.seed = 7;
+  return params;
+}
+
+TEST(Em3dGraphTest, DeterministicForEqualSeeds) {
+  Em3dParams params = SmallParams();
+  Em3dGraph a(params, 3);
+  Em3dGraph b(params, 3);
+  EXPECT_EQ(a.e_neighbors(), b.e_neighbors());
+  EXPECT_EQ(a.h_neighbors(), b.h_neighbors());
+}
+
+TEST(Em3dGraphTest, NeighborsAreInBounds) {
+  Em3dGraph graph(SmallParams(), 3);
+  for (int64_t nb : graph.e_neighbors()) {
+    EXPECT_GE(nb, 0);
+    EXPECT_LT(nb, graph.h_cells());
+  }
+  for (int64_t nb : graph.h_neighbors()) {
+    EXPECT_GE(nb, 0);
+    EXPECT_LT(nb, graph.e_cells());
+  }
+}
+
+TEST(Em3dGraphTest, RemoteFractionRoughlyHolds) {
+  Em3dParams params;
+  params.cells = 20000;
+  params.remote_fraction = 0.2;
+  Em3dGraph graph(params, 4);
+  int64_t remote = 0;
+  const int k = params.edges_per_cell;
+  for (int64_t i = 0; i < graph.e_cells(); ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (graph.HOwner(graph.e_neighbors()[i * k + j]) != graph.EOwner(i)) {
+        ++remote;
+      }
+    }
+  }
+  const double fraction =
+      static_cast<double>(remote) / static_cast<double>(graph.e_cells() * k);
+  EXPECT_NEAR(fraction, 0.2, 0.02);
+}
+
+TEST(Em3dGraphTest, RemoteEdgesGoToRingNeighbours) {
+  Em3dParams params;
+  params.cells = 20000;
+  Em3dGraph graph(params, 8);
+  const int k = params.edges_per_cell;
+  for (int64_t i = 0; i < graph.e_cells(); ++i) {
+    const NodeId mine = graph.EOwner(i);
+    for (int j = 0; j < k; ++j) {
+      const NodeId owner = graph.HOwner(graph.e_neighbors()[i * k + j]);
+      if (owner != mine) {
+        const int d = std::abs(owner - mine);
+        EXPECT_TRUE(d == 1 || d == 7) << "remote edges stay on ring neighbours";
+      }
+    }
+  }
+}
+
+TEST(Em3dGraphTest, SlicesArePageAligned) {
+  Em3dGraph graph(SmallParams(), 3);
+  for (NodeId n = 0; n < 3; ++n) {
+    auto [lo, hi] = graph.ERange(n);
+    if (lo < hi) {
+      EXPECT_EQ(graph.EAddr(lo) % graph.page_size(), 0u)
+          << "each node's slice starts on a page boundary (no false sharing)";
+    }
+  }
+}
+
+TEST(Em3dGraphTest, CellValuesNeverStraddlePages) {
+  Em3dParams params = SmallParams();
+  Em3dGraph graph(params, 3);
+  for (int64_t i = 0; i < graph.e_cells(); ++i) {
+    VmOffset a = graph.EAddr(i);
+    EXPECT_EQ(a / graph.page_size(), (a + 7) / graph.page_size());
+  }
+}
+
+TEST(Em3dGraphTest, PageSetsCoverOwnSlices) {
+  Em3dGraph graph(SmallParams(), 3);
+  for (NodeId n = 0; n < 3; ++n) {
+    auto [lo, hi] = graph.ERange(n);
+    for (int64_t i = lo; i < hi; ++i) {
+      VmOffset page = graph.EAddr(i) / graph.page_size();
+      const auto& writes = graph.EPhaseWritePages(n);
+      EXPECT_TRUE(std::binary_search(writes.begin(), writes.end(), page));
+    }
+  }
+}
+
+TEST(Em3dTest, SequentialChecksumIsStable) {
+  Em3dParams params = SmallParams();
+  EXPECT_EQ(Em3dSequentialChecksum(params, 3), Em3dSequentialChecksum(params, 3));
+  // Different node layouts give different graphs (remote edges differ).
+  EXPECT_NE(Em3dSequentialChecksum(params, 3), Em3dSequentialChecksum(params, 2));
+}
+
+TEST(Em3dTest, SequentialSecondsMatchPaperCalibration) {
+  Em3dParams params;
+  params.cells = 64000;
+  params.iterations = 100;
+  EXPECT_NEAR(Em3dSequentialSeconds(params), 43.6, 0.5);
+}
+
+class Em3dVerifiedTest : public ::testing::TestWithParam<DsmKind> {};
+
+TEST_P(Em3dVerifiedTest, ParallelMatchesSequentialBitForBit) {
+  Em3dParams params = SmallParams();
+  const int nodes = 3;
+  MachineConfig config;
+  config.nodes = nodes;
+  config.dsm = GetParam();
+  Machine machine(config);
+  const uint64_t parallel = RunEm3dVerified(machine, params, nodes);
+  const uint64_t sequential = Em3dSequentialChecksum(params, nodes);
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST_P(Em3dVerifiedTest, TwoNodeRun) {
+  Em3dParams params = SmallParams();
+  params.cells = 160;
+  params.iterations = 3;
+  MachineConfig config;
+  config.nodes = 2;
+  config.dsm = GetParam();
+  Machine machine(config);
+  EXPECT_EQ(RunEm3dVerified(machine, params, 2), Em3dSequentialChecksum(params, 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSystems, Em3dVerifiedTest,
+                         ::testing::Values(DsmKind::kAsvm, DsmKind::kXmm),
+                         [](const ::testing::TestParamInfo<DsmKind>& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(Em3dTimedTest, AsvmScalesXmmDoesNot) {
+  Em3dParams params;
+  params.cells = 16000;
+  params.iterations = 10;
+  double asvm_1 = 0;
+  double asvm_4 = 0;
+  double xmm_4 = 0;
+  {
+    MachineConfig config;
+    config.nodes = 1;
+    config.dsm = DsmKind::kAsvm;
+    config.user_memory_bytes = 32 * 1024 * 1024;
+    Machine machine(config);
+    asvm_1 = RunEm3dTimed(machine, params, 1, /*measure_iters=*/3).seconds;
+  }
+  {
+    MachineConfig config;
+    config.nodes = 4;
+    config.dsm = DsmKind::kAsvm;
+    Machine machine(config);
+    asvm_4 = RunEm3dTimed(machine, params, 4, /*measure_iters=*/3).seconds;
+  }
+  {
+    MachineConfig config;
+    config.nodes = 4;
+    config.dsm = DsmKind::kXmm;
+    Machine machine(config);
+    xmm_4 = RunEm3dTimed(machine, params, 4, /*measure_iters=*/3).seconds;
+  }
+  EXPECT_LT(asvm_4, asvm_1) << "ASVM should speed up with nodes";
+  EXPECT_GT(xmm_4, asvm_4 * 3) << "XMM should be far slower than ASVM";
+}
+
+}  // namespace
+}  // namespace asvm

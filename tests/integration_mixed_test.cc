@@ -1,0 +1,154 @@
+// Cross-subsystem integration: several workloads running on one machine at
+// the same time — shared regions, a mapped file, remote forks — with memory
+// pressure, under both DSM systems. The end state must be exactly right.
+#include <gtest/gtest.h>
+
+#include "src/core/machine.h"
+#include "src/mappedfs/file_bench.h"
+
+namespace asvm {
+namespace {
+
+class MixedWorkloadTest : public ::testing::TestWithParam<DsmKind> {};
+
+TEST_P(MixedWorkloadTest, SharedRegionAndFileAndForkConcurrently) {
+  MachineConfig config;
+  config.nodes = 6;
+  config.dsm = GetParam();
+  Machine machine(config);
+
+  // Workload A: a shared counter region hammered by three nodes.
+  MemObjectId counters = machine.CreateSharedRegion(0, 8);
+  TaskMemory& c1 = machine.MapRegion(1, counters);
+  TaskMemory& c2 = machine.MapRegion(2, counters);
+  TaskMemory& c3 = machine.MapRegion(3, counters);
+
+  // Workload B: a mapped file written by node 4.
+  MemObjectId file = machine.CreateMappedFile("mix", 16, /*prefilled=*/false);
+  TaskMemory& fwriter = machine.MapRegion(4, file);
+
+  // Workload C: a private task on node 5 forked to node 1.
+  TaskMemory& parent = machine.CreatePrivateTask(5, 8);
+
+  // Interleave everything without draining the engine in between.
+  std::vector<Future<Status>> ops;
+  for (int round = 0; round < 10; ++round) {
+    ops.push_back(c1.WriteU64(0, 100 + round));
+    ops.push_back(c2.WriteU64(4096, 200 + round));
+    ops.push_back(c3.WriteU64(2 * 4096, 300 + round));
+    ops.push_back(fwriter.WriteU64(static_cast<VmOffset>(round) * 8192, 400 + round));
+    ops.push_back(parent.WriteU64(static_cast<VmOffset>(round % 8) * 8192, 500 + round));
+  }
+  machine.Run();
+  for (auto& op : ops) {
+    ASSERT_TRUE(op.ready());
+    ASSERT_EQ(op.value(), Status::kOk);
+  }
+
+  auto fork = machine.RemoteFork(5, parent, 1);
+  machine.Run();
+  ASSERT_TRUE(fork.ready());
+  TaskMemory& child = machine.WrapMap(1, fork.value());
+
+  // Post-fork: the parent keeps writing; snapshots must hold.
+  auto pw = parent.WriteU64(0, 999);
+  machine.Run();
+  ASSERT_TRUE(pw.ready());
+
+  // Verify all three workloads from fresh vantage points.
+  TaskMemory& checker = machine.MapRegion(5, counters);
+  auto r1 = checker.ReadU64(0);
+  machine.Run();
+  EXPECT_EQ(r1.value(), 109u);
+  auto r2 = checker.ReadU64(4096);
+  machine.Run();
+  EXPECT_EQ(r2.value(), 209u);
+
+  TaskMemory& freader = machine.MapRegion(2, file);
+  for (int round = 0; round < 10; ++round) {
+    auto rf = freader.ReadU64(static_cast<VmOffset>(round) * 8192);
+    machine.Run();
+    ASSERT_TRUE(rf.ready());
+    EXPECT_EQ(rf.value(), 400u + round);
+  }
+
+  auto rc = child.ReadU64(0);
+  machine.Run();
+  // Page 0 last received round 8 (rounds cycle over 8 pages); the parent's
+  // post-fork 999 must be invisible.
+  EXPECT_EQ(rc.value(), 508u) << "child sees the last pre-fork value, not 999";
+}
+
+TEST_P(MixedWorkloadTest, MemoryPressureAcrossWorkloads) {
+  MachineConfig config;
+  config.nodes = 4;
+  config.dsm = GetParam();
+  config.user_memory_bytes = 24 * 8192;  // 24 frames per node
+  Machine machine(config);
+
+  MemObjectId region_a = machine.CreateSharedRegion(0, 32);
+  MemObjectId region_b = machine.CreateSharedRegion(1, 32);
+  TaskMemory& a1 = machine.MapRegion(2, region_a);
+  TaskMemory& b1 = machine.MapRegion(2, region_b);  // same node, two regions
+
+  // Node 2 alternates between regions, exceeding its frames.
+  for (int p = 0; p < 32; ++p) {
+    auto wa = a1.WriteU64(static_cast<VmOffset>(p) * 8192, 1000 + p);
+    machine.Run();
+    ASSERT_TRUE(wa.ready());
+    auto wb = b1.WriteU64(static_cast<VmOffset>(p) * 8192, 2000 + p);
+    machine.Run();
+    ASSERT_TRUE(wb.ready());
+  }
+  // Everything must still be readable, from other nodes, intact.
+  TaskMemory& a2 = machine.MapRegion(3, region_a);
+  TaskMemory& b2 = machine.MapRegion(3, region_b);
+  for (int p = 0; p < 32; ++p) {
+    auto ra = a2.ReadU64(static_cast<VmOffset>(p) * 8192);
+    machine.Run();
+    ASSERT_TRUE(ra.ready());
+    EXPECT_EQ(ra.value(), 1000u + p) << "region A page " << p;
+    auto rb = b2.ReadU64(static_cast<VmOffset>(p) * 8192);
+    machine.Run();
+    ASSERT_TRUE(rb.ready());
+    EXPECT_EQ(rb.value(), 2000u + p) << "region B page " << p;
+  }
+}
+
+TEST_P(MixedWorkloadTest, FileIntegrityUnderConcurrentRegionTraffic) {
+  MachineConfig config;
+  config.nodes = 5;
+  config.dsm = GetParam();
+  Machine machine(config);
+  int32_t file_id = machine.cluster().file_pager().CreateFile("mix2", 24, true);
+  MemObjectId file = machine.dsm().CreateFileRegion(file_id, 24);
+  MemObjectId region = machine.CreateSharedRegion(0, 16);
+
+  // Region churn on nodes 1-2 while nodes 3-4 read the file.
+  TaskMemory& r1 = machine.MapRegion(1, region);
+  TaskMemory& r2 = machine.MapRegion(2, region);
+  TaskMemory& f1 = machine.MapRegion(3, file);
+  TaskMemory& f2 = machine.MapRegion(4, file);
+  std::vector<Future<Status>> ops;
+  for (int i = 0; i < 16; ++i) {
+    ops.push_back(r1.WriteU64(static_cast<VmOffset>(i) * 8192, i));
+    ops.push_back(r2.WriteU64(static_cast<VmOffset>(i) * 8192, 100 + i));
+    ops.push_back(f1.Touch(static_cast<VmOffset>(i) * 8192, 8, PageAccess::kRead));
+    ops.push_back(f2.Touch(static_cast<VmOffset>((23 - i)) * 8192, 8, PageAccess::kRead));
+  }
+  machine.Run();
+  for (auto& op : ops) {
+    ASSERT_TRUE(op.ready());
+  }
+  TaskMemory& checker = machine.MapRegion(1, file);
+  EXPECT_EQ(VerifyFileContents(machine, checker, file_id, 24), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSystems, MixedWorkloadTest,
+                         ::testing::Values(DsmKind::kAsvm, DsmKind::kXmm),
+                         [](const ::testing::TestParamInfo<DsmKind>& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+}  // namespace
+}  // namespace asvm

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/lru_cache.h"
+
+namespace asvm {
+namespace {
+
+TEST(LruCacheTest, PutGetRoundTrip) {
+  LruCache<int, std::string> cache(4);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), "one");
+  EXPECT_EQ(*cache.Get(2), "two");
+  EXPECT_EQ(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  cache.Get(1);     // 1 is now most recent; 2 is LRU
+  cache.Put(4, 40);  // evicts 2
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_NE(cache.Get(4), nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCacheTest, PutRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // refresh 1; 2 becomes LRU
+  cache.Put(3, 30);  // evicts 2
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_EQ(*cache.Get(1), 11);
+}
+
+TEST(LruCacheTest, PeekDoesNotRefresh) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(*cache.Peek(1), 10);  // no recency change: 1 is still LRU
+  cache.Put(3, 30);               // evicts 1
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, CapacityOneDegeneratesGracefully) {
+  LruCache<int, int> cache(1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(2), 20);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, StressAgainstReference) {
+  // Randomized cross-check against a naive reference implementation.
+  LruCache<int, int> cache(8);
+  std::list<std::pair<int, int>> reference;  // front = most recent
+  uint64_t x = 12345;
+  auto next = [&x]() {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int>((x >> 33) % 20);
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const int key = next();
+    if (i % 3 == 0) {
+      // Put
+      const int value = i;
+      cache.Put(key, value);
+      reference.remove_if([&](const auto& kv) { return kv.first == key; });
+      reference.emplace_front(key, value);
+      if (reference.size() > 8) {
+        reference.pop_back();
+      }
+    } else {
+      // Get
+      auto it = std::find_if(reference.begin(), reference.end(),
+                             [&](const auto& kv) { return kv.first == key; });
+      int* got = cache.Get(key);
+      if (it == reference.end()) {
+        ASSERT_EQ(got, nullptr) << "iteration " << i;
+      } else {
+        ASSERT_NE(got, nullptr) << "iteration " << i;
+        ASSERT_EQ(*got, it->second);
+        reference.splice(reference.begin(), reference, it);
+      }
+    }
+    ASSERT_EQ(cache.size(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace asvm

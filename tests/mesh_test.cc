@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/mesh/network.h"
+#include "src/mesh/topology.h"
+#include "src/sim/engine.h"
+
+namespace asvm {
+namespace {
+
+TEST(TopologyTest, RowMajorCoordinates) {
+  Topology topo(4, 3);
+  EXPECT_EQ(topo.node_count(), 12);
+  EXPECT_EQ(topo.XOf(0), 0);
+  EXPECT_EQ(topo.YOf(0), 0);
+  EXPECT_EQ(topo.XOf(5), 1);
+  EXPECT_EQ(topo.YOf(5), 1);
+  EXPECT_EQ(topo.XOf(11), 3);
+  EXPECT_EQ(topo.YOf(11), 2);
+}
+
+TEST(TopologyTest, XyHopCounts) {
+  Topology topo(4, 4);
+  EXPECT_EQ(topo.Hops(0, 0), 0);
+  EXPECT_EQ(topo.Hops(0, 3), 3);    // same row
+  EXPECT_EQ(topo.Hops(0, 12), 3);   // same column
+  EXPECT_EQ(topo.Hops(0, 15), 6);   // opposite corner
+  EXPECT_EQ(topo.Hops(15, 0), 6);   // symmetric
+}
+
+TEST(TopologyTest, ForNodeCountIsRoughlySquare) {
+  Topology t64 = Topology::ForNodeCount(64);
+  EXPECT_EQ(t64.width(), 8);
+  EXPECT_EQ(t64.height(), 8);
+  EXPECT_EQ(t64.node_count(), 64);
+
+  Topology t72 = Topology::ForNodeCount(72);
+  EXPECT_EQ(t72.node_count(), 72);
+  EXPECT_GE(t72.width() * t72.height(), 72);
+
+  Topology t1 = Topology::ForNodeCount(1);
+  EXPECT_EQ(t1.node_count(), 1);
+  EXPECT_TRUE(t1.Contains(0));
+  EXPECT_FALSE(t1.Contains(1));
+}
+
+TEST(TopologyTest, ContainsRespectsPartialLastRow) {
+  Topology t5 = Topology::ForNodeCount(5);
+  EXPECT_TRUE(t5.Contains(4));
+  EXPECT_FALSE(t5.Contains(5));
+  EXPECT_FALSE(t5.Contains(-1));
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(engine_, Topology(4, 4), MeshParams{}, &stats_) {}
+
+  Engine engine_;
+  StatsRegistry stats_;
+  Network network_;
+};
+
+TEST_F(NetworkTest, UncontendedLatencyMatchesModel) {
+  MeshParams p;
+  // 8 KB page over 6 hops: setup + 6*hop + 8192/0.2ns.
+  SimDuration expected = p.route_setup_ns + 6 * p.per_hop_ns +
+                         static_cast<SimDuration>(8192 / p.bandwidth_bytes_per_ns);
+  EXPECT_EQ(network_.UncontendedLatency(0, 15, 8192), expected);
+}
+
+TEST_F(NetworkTest, DeliversAtModeledTime) {
+  SimTime delivered = -1;
+  network_.Send(0, 15, 8192, [&]() { delivered = engine_.Now(); });
+  engine_.Run();
+  EXPECT_EQ(delivered, network_.UncontendedLatency(0, 15, 8192));
+}
+
+TEST_F(NetworkTest, SmallMessagesAreFast) {
+  SimTime delivered = -1;
+  network_.Send(0, 1, 32, [&]() { delivered = engine_.Now(); });
+  engine_.Run();
+  // 32 bytes at 200 MB/s is 160 ns; total should be well under 1 us.
+  EXPECT_LT(delivered, 1000);
+  EXPECT_GT(delivered, 0);
+}
+
+TEST_F(NetworkTest, SourceInjectionSerializesBackToBackSends) {
+  std::vector<SimTime> deliveries;
+  for (int i = 0; i < 4; ++i) {
+    network_.Send(0, 15, 8192, [&]() { deliveries.push_back(engine_.Now()); });
+  }
+  engine_.Run();
+  ASSERT_EQ(deliveries.size(), 4u);
+  const SimDuration ser = static_cast<SimDuration>(8192 / MeshParams{}.bandwidth_bytes_per_ns);
+  for (size_t i = 1; i < deliveries.size(); ++i) {
+    // Each subsequent page cannot finish earlier than one serialization time
+    // after the previous: the source link is the bottleneck.
+    EXPECT_GE(deliveries[i] - deliveries[i - 1], ser);
+  }
+}
+
+TEST_F(NetworkTest, FanInSerializesAtReceiver) {
+  // Many senders, one destination: ejection link serializes.
+  std::vector<SimTime> deliveries;
+  for (NodeId src = 1; src <= 8; ++src) {
+    network_.Send(src, 0, 8192, [&]() { deliveries.push_back(engine_.Now()); });
+  }
+  engine_.Run();
+  ASSERT_EQ(deliveries.size(), 8u);
+  const SimDuration ser = static_cast<SimDuration>(8192 / MeshParams{}.bandwidth_bytes_per_ns);
+  for (size_t i = 1; i < deliveries.size(); ++i) {
+    EXPECT_GE(deliveries[i] - deliveries[i - 1], ser);
+  }
+}
+
+TEST_F(NetworkTest, DistinctPairsDoNotContend) {
+  SimTime d1 = -1;
+  SimTime d2 = -1;
+  network_.Send(0, 1, 8192, [&]() { d1 = engine_.Now(); });
+  network_.Send(2, 3, 8192, [&]() { d2 = engine_.Now(); });
+  engine_.Run();
+  // Both complete in the uncontended time (equal hops, equal size).
+  EXPECT_EQ(d1, network_.UncontendedLatency(0, 1, 8192));
+  EXPECT_EQ(d2, network_.UncontendedLatency(2, 3, 8192));
+}
+
+TEST_F(NetworkTest, StatsCountMessagesAndBytes) {
+  network_.Send(0, 1, 100, []() {});
+  network_.Send(1, 2, 200, []() {});
+  engine_.Run();
+  EXPECT_EQ(stats_.Get("mesh.messages"), 2);
+  EXPECT_EQ(stats_.Get("mesh.bytes"), 300);
+}
+
+TEST_F(NetworkTest, FartherNodesTakeLonger) {
+  EXPECT_GT(network_.UncontendedLatency(0, 15, 32), network_.UncontendedLatency(0, 1, 32));
+}
+
+TEST(NetworkDeathTest, LocalSendRejected) {
+  Engine engine;
+  StatsRegistry stats;
+  Network network(engine, Topology(2, 2), MeshParams{}, &stats);
+  EXPECT_DEATH(network.Send(1, 1, 32, []() {}), "local delivery");
+}
+
+}  // namespace
+}  // namespace asvm

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace asvm {
+namespace {
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.Now(), 0);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineTest, RunAdvancesTimeToEventTimestamps) {
+  Engine engine;
+  std::vector<SimTime> observed;
+  engine.Schedule(10, [&]() { observed.push_back(engine.Now()); });
+  engine.Schedule(5, [&]() { observed.push_back(engine.Now()); });
+  engine.Run();
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], 5);
+  EXPECT_EQ(observed[1], 10);
+  EXPECT_EQ(engine.Now(), 10);
+}
+
+TEST(EngineTest, EqualTimesFireInSchedulingOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.Schedule(7, [&order, i]() { order.push_back(i); });
+  }
+  engine.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EngineTest, EventsMayScheduleMoreEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 5) {
+      engine.Schedule(kMicrosecond, chain);
+    }
+  };
+  engine.Schedule(0, chain);
+  uint64_t count = engine.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(count, 5u);
+  EXPECT_EQ(engine.Now(), 4 * kMicrosecond);
+}
+
+TEST(EngineTest, PostRunsAtCurrentTime) {
+  Engine engine;
+  SimTime post_time = -1;
+  engine.Schedule(42, [&]() {
+    engine.Post([&]() { post_time = engine.Now(); });
+  });
+  engine.Run();
+  EXPECT_EQ(post_time, 42);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  engine.Schedule(10, [&]() { ++fired; });
+  engine.Schedule(20, [&]() { ++fired; });
+  engine.Schedule(30, [&]() { ++fired; });
+  bool drained = engine.RunUntil(20);
+  EXPECT_FALSE(drained);
+  EXPECT_EQ(fired, 2);  // events at exactly the deadline run
+  EXPECT_EQ(engine.Now(), 20);
+  EXPECT_TRUE(engine.RunUntil(100));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EngineTest, RunForIsRelative) {
+  Engine engine;
+  int fired = 0;
+  engine.Schedule(10, [&]() { ++fired; });
+  engine.RunFor(5);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(engine.Now(), 5);
+  engine.RunFor(5);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineTest, ExecutedEventsCounts) {
+  Engine engine;
+  for (int i = 0; i < 17; ++i) {
+    engine.Schedule(i, []() {});
+  }
+  engine.Run();
+  EXPECT_EQ(engine.executed_events(), 17u);
+}
+
+TEST(EngineDeathTest, NegativeDelayAborts) {
+  Engine engine;
+  EXPECT_DEATH(engine.Schedule(-1, []() {}), "negative delay");
+}
+
+TEST(EngineDeathTest, EventLimitCatchesLivelock) {
+  Engine engine;
+  engine.set_event_limit(100);
+  std::function<void()> spin = [&]() { engine.Post(spin); };
+  engine.Post(spin);
+  EXPECT_DEATH(engine.Run(), "event limit");
+}
+
+}  // namespace
+}  // namespace asvm

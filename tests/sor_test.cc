@@ -1,0 +1,150 @@
+// SOR (red-black successive over-relaxation): layout, parallel-vs-sequential
+// bit equality under both DSM systems, and scaling behaviour.
+#include <gtest/gtest.h>
+
+#include "src/apps/sor.h"
+
+namespace asvm {
+namespace {
+
+SorParams SmallParams() {
+  SorParams params;
+  params.rows = 24;
+  params.cols = 16;
+  params.iterations = 3;
+  return params;
+}
+
+TEST(SorGridTest, RowBlocksArePageAligned) {
+  SorGrid grid(SmallParams(), 3, 8192);
+  for (NodeId n = 0; n < 3; ++n) {
+    auto [lo, hi] = grid.RowRange(n);
+    if (lo < hi) {
+      EXPECT_EQ(grid.CellAddr(lo, 0) % 8192, 0u);
+    }
+  }
+}
+
+TEST(SorGridTest, RowOwnersPartitionTheGrid) {
+  SorParams params = SmallParams();
+  SorGrid grid(params, 3, 8192);
+  for (int64_t r = 0; r < params.rows; ++r) {
+    const NodeId owner = grid.RowOwner(r);
+    auto [lo, hi] = grid.RowRange(owner);
+    EXPECT_GE(r, lo);
+    EXPECT_LT(r, hi);
+  }
+}
+
+TEST(SorGridTest, HaloPagesBelongToNeighbours) {
+  SorParams params = SmallParams();
+  SorGrid grid(params, 3, 8192);
+  // Middle node's halo pages must not be its own pages.
+  const auto& own = grid.OwnPages(1);
+  for (VmOffset page : grid.HaloPages(1)) {
+    EXPECT_FALSE(std::binary_search(own.begin(), own.end(), page));
+  }
+  EXPECT_FALSE(grid.HaloPages(1).empty());
+  // Edge nodes have one neighbour each.
+  EXPECT_LE(grid.HaloPages(0).size(), grid.HaloPages(1).size());
+}
+
+TEST(SorGridTest, CellAddressesNeverStraddlePages) {
+  SorParams params = SmallParams();
+  SorGrid grid(params, 3, 8192);
+  for (int64_t r = 0; r < params.rows; ++r) {
+    for (int64_t c = 0; c < params.cols; ++c) {
+      const VmOffset a = grid.CellAddr(r, c);
+      EXPECT_EQ(a / 8192, (a + 7) / 8192);
+    }
+  }
+}
+
+TEST(SorTest, SequentialChecksumIsStable) {
+  SorParams params = SmallParams();
+  EXPECT_EQ(SorSequentialChecksum(params, 3), SorSequentialChecksum(params, 3));
+}
+
+class SorVerifiedTest : public ::testing::TestWithParam<DsmKind> {};
+
+TEST_P(SorVerifiedTest, ParallelMatchesSequentialBitForBit) {
+  SorParams params = SmallParams();
+  MachineConfig config;
+  config.nodes = 3;
+  config.dsm = GetParam();
+  Machine machine(config);
+  EXPECT_EQ(RunSorVerified(machine, params, 3), SorSequentialChecksum(params, 3));
+}
+
+TEST_P(SorVerifiedTest, TwoNodeGrid) {
+  SorParams params;
+  params.rows = 16;
+  params.cols = 8;
+  params.iterations = 2;
+  MachineConfig config;
+  config.nodes = 2;
+  config.dsm = GetParam();
+  Machine machine(config);
+  EXPECT_EQ(RunSorVerified(machine, params, 2), SorSequentialChecksum(params, 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSystems, SorVerifiedTest,
+                         ::testing::Values(DsmKind::kAsvm, DsmKind::kXmm),
+                         [](const ::testing::TestParamInfo<DsmKind>& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(SorTimedTest, NearestNeighbourPatternScalesWell) {
+  // SOR's halo-only traffic should scale far better than EM3D's irregular
+  // graph: ASVM at 8 nodes well under half the 2-node time.
+  SorParams params;
+  params.rows = 1024;
+  params.cols = 1024;
+  params.iterations = 10;
+  auto run = [&](int nodes) {
+    MachineConfig config;
+    config.nodes = nodes;
+    config.dsm = DsmKind::kAsvm;
+    config.user_memory_bytes = 32 * 1024 * 1024;
+    Machine machine(config);
+    return RunSorTimed(machine, params, nodes).seconds;
+  };
+  const double two = run(2);
+  const double eight = run(8);
+  EXPECT_LT(eight, two / 2.0);
+}
+
+TEST(SorTimedTest, XmmStillSlowerThanAsvm) {
+  SorParams params;
+  params.rows = 512;
+  params.cols = 512;
+  params.iterations = 10;
+  double results[2];
+  int i = 0;
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    MachineConfig config;
+    config.nodes = 4;
+    config.dsm = kind;
+    Machine machine(config);
+    results[i++] = RunSorTimed(machine, params, 4).seconds;
+  }
+  EXPECT_LT(results[0], results[1]);
+}
+
+TEST(SorTimedTest, DeterministicAcrossRuns) {
+  SorParams params;
+  params.rows = 256;
+  params.cols = 256;
+  params.iterations = 5;
+  auto run = [&]() {
+    MachineConfig config;
+    config.nodes = 4;
+    config.dsm = DsmKind::kAsvm;
+    Machine machine(config);
+    return RunSorTimed(machine, params, 4).seconds;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace asvm

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/mesh/network.h"
+#include "src/sim/engine.h"
+#include "src/transport/transport.h"
+
+namespace asvm {
+namespace {
+
+struct PingBody {
+  int value = 0;
+};
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest()
+      : network_(engine_, Topology(4, 4), MeshParams{}, &stats_),
+        sts_(engine_, network_, &stats_),
+        norma_(engine_, network_, &stats_) {}
+
+  Message MakeMsg(int value, PageBuffer page = nullptr) {
+    Message msg;
+    msg.protocol = ProtocolId::kAsvm;
+    msg.type = 1;
+    msg.body = PingBody{value};
+    msg.page = std::move(page);
+    return msg;
+  }
+
+  Engine engine_;
+  StatsRegistry stats_;
+  Network network_;
+  StsTransport sts_;
+  NormaIpc norma_;
+};
+
+TEST_F(TransportTest, DeliversBodyToRegisteredHandler) {
+  int received = 0;
+  NodeId from = kInvalidNode;
+  sts_.RegisterHandler(ProtocolId::kAsvm, 3, [&](NodeId src, Message msg) {
+    from = src;
+    received = std::any_cast<PingBody>(msg.body).value;
+  });
+  sts_.Send(0, 3, MakeMsg(42));
+  engine_.Run();
+  EXPECT_EQ(received, 42);
+  EXPECT_EQ(from, 0);
+}
+
+TEST_F(TransportTest, HandlersAreKeyedByProtocolAndNode) {
+  int asvm_count = 0;
+  int pager_count = 0;
+  sts_.RegisterHandler(ProtocolId::kAsvm, 1, [&](NodeId, Message) { ++asvm_count; });
+  sts_.RegisterHandler(ProtocolId::kPagerControl, 1, [&](NodeId, Message) { ++pager_count; });
+  Message msg = MakeMsg(1);
+  msg.protocol = ProtocolId::kPagerControl;
+  sts_.Send(0, 1, std::move(msg));
+  sts_.Send(0, 1, MakeMsg(2));
+  engine_.Run();
+  EXPECT_EQ(asvm_count, 1);
+  EXPECT_EQ(pager_count, 1);
+}
+
+TEST_F(TransportTest, StsIsMuchFasterThanNorma) {
+  SimTime sts_done = 0;
+  SimTime norma_done = 0;
+  sts_.RegisterHandler(ProtocolId::kAsvm, 1, [&](NodeId, Message) { sts_done = engine_.Now(); });
+  norma_.RegisterHandler(ProtocolId::kAsvm, 2,
+                         [&](NodeId, Message) { norma_done = engine_.Now(); });
+  sts_.Send(0, 1, MakeMsg(1));
+  norma_.Send(0, 2, MakeMsg(1));
+  engine_.Run();
+  EXPECT_GT(norma_done, (18 * sts_done) / 10);
+  // Calibration sanity: one STS control message ~0.5 ms, NORMA ~1 ms.
+  EXPECT_LT(sts_done, 1 * kMillisecond);
+  EXPECT_GT(norma_done, 9 * kMillisecond / 10);
+}
+
+TEST_F(TransportTest, PagePayloadAddsWireTime) {
+  SimTime small_done = 0;
+  SimTime page_done = 0;
+  sts_.RegisterHandler(ProtocolId::kAsvm, 1, [&](NodeId, Message msg) {
+    if (msg.page) {
+      page_done = engine_.Now();
+    } else {
+      small_done = engine_.Now();
+    }
+  });
+  auto page = std::make_shared<std::vector<std::byte>>(8192);
+  // Send from distinct sources so the sends do not serialize on one sender.
+  sts_.Send(2, 1, MakeMsg(1));
+  sts_.Send(3, 1, MakeMsg(2, page));
+  engine_.Run();
+  EXPECT_GT(page_done, small_done);
+}
+
+TEST_F(TransportTest, LocalDeliveryBypassesMesh) {
+  int received = 0;
+  sts_.RegisterHandler(ProtocolId::kAsvm, 5, [&](NodeId src, Message) {
+    EXPECT_EQ(src, 5);
+    ++received;
+  });
+  sts_.Send(5, 5, MakeMsg(9));
+  engine_.Run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(stats_.Get("mesh.messages"), 0);
+  EXPECT_LE(engine_.Now(), 50 * kMicrosecond);
+}
+
+TEST_F(TransportTest, ReceiverSerializesManyToOne) {
+  // A burst of requests to one node is processed sequentially — the effect
+  // that throttles a centralized manager.
+  std::vector<SimTime> handled;
+  sts_.RegisterHandler(ProtocolId::kAsvm, 0,
+                       [&](NodeId, Message) { handled.push_back(engine_.Now()); });
+  for (NodeId src = 1; src <= 6; ++src) {
+    sts_.Send(src, 0, MakeMsg(src));
+  }
+  engine_.Run();
+  ASSERT_EQ(handled.size(), 6u);
+  for (size_t i = 1; i < handled.size(); ++i) {
+    EXPECT_GE(handled[i] - handled[i - 1], StsCosts().recv_sw_ns);
+  }
+}
+
+TEST_F(TransportTest, SenderSerializesFanOut) {
+  std::vector<SimTime> handled;
+  for (NodeId dst = 1; dst <= 6; ++dst) {
+    sts_.RegisterHandler(ProtocolId::kAsvm, dst,
+                         [&](NodeId, Message) { handled.push_back(engine_.Now()); });
+  }
+  for (NodeId dst = 1; dst <= 6; ++dst) {
+    sts_.Send(0, dst, MakeMsg(dst));
+  }
+  engine_.Run();
+  ASSERT_EQ(handled.size(), 6u);
+  // Arrival spacing reflects the sender's software send cost (with a little
+  // slack for differing hop distances to each destination).
+  for (size_t i = 1; i < handled.size(); ++i) {
+    EXPECT_GE(handled[i] - handled[i - 1], StsCosts().send_sw_ns - kMicrosecond);
+  }
+}
+
+TEST_F(TransportTest, StatsTrackPerTransportTraffic) {
+  sts_.RegisterHandler(ProtocolId::kAsvm, 1, [](NodeId, Message) {});
+  norma_.RegisterHandler(ProtocolId::kAsvm, 1, [](NodeId, Message) {});
+  auto page = std::make_shared<std::vector<std::byte>>(8192);
+  sts_.Send(0, 1, MakeMsg(1, page));
+  norma_.Send(0, 1, MakeMsg(1));
+  engine_.Run();
+  EXPECT_EQ(stats_.Get("transport.sts.messages"), 1);
+  EXPECT_EQ(stats_.Get("transport.sts.page_messages"), 1);
+  EXPECT_EQ(stats_.Get("transport.sts.bytes"), 32 + 8192);
+  EXPECT_EQ(stats_.Get("transport.norma.messages"), 1);
+  // NORMA charges port/typing overhead on the wire.
+  EXPECT_EQ(stats_.Get("transport.norma.bytes"),
+            static_cast<int64_t>(32 + NormaIpcCosts().control_overhead_bytes));
+}
+
+TEST_F(TransportTest, DuplicateHandlerRegistrationAborts) {
+  sts_.RegisterHandler(ProtocolId::kAsvm, 1, [](NodeId, Message) {});
+  EXPECT_DEATH(sts_.RegisterHandler(ProtocolId::kAsvm, 1, [](NodeId, Message) {}),
+               "duplicate");
+}
+
+TEST_F(TransportTest, UnregisteredHandlerAborts) {
+  sts_.Send(0, 1, MakeMsg(1));
+  EXPECT_DEATH(engine_.Run(), "no transport handler");
+}
+
+}  // namespace
+}  // namespace asvm

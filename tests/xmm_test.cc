@@ -1,0 +1,227 @@
+// NMK13 XMM baseline: centralized-manager coherency, the dirty-page
+// write-to-paging-space behaviour, delayed copy via internal pagers, and the
+// thread-pool deadlock ASVM's asynchronous design removes.
+#include <gtest/gtest.h>
+
+#include "src/machvm/task_memory.h"
+#include "src/xmm/xmm_agent.h"
+#include "src/xmm/xmm_system.h"
+#include "tests/dsm_test_util.h"
+
+namespace asvm {
+namespace {
+
+class XmmTest : public ::testing::Test {
+ protected:
+  void Build(int nodes, XmmConfig config = {}, size_t frames = 512) {
+    cluster_ = std::make_unique<Cluster>(SmallClusterParams(nodes, frames));
+    system_ = std::make_unique<XmmSystem>(*cluster_, config);
+  }
+
+  void BuildRegion(int nodes, VmSize pages = 16) {
+    Build(nodes);
+    region_ = system_->CreateSharedRegion(/*home=*/0, pages);
+    harness_ = std::make_unique<DsmRegionHarness>(*cluster_, *system_, region_, pages);
+  }
+
+  TaskMemory MakeParent(NodeId node, VmSize pages) {
+    NodeVm& vm = cluster_->vm(node);
+    VmMap* map = vm.CreateMap();
+    auto obj = vm.CreateObject(pages, CopyStrategy::kSymmetric);
+    EXPECT_EQ(map->Map(0, pages, obj, 0, Inheritance::kCopy), Status::kOk);
+    return TaskMemory(vm, *map);
+  }
+
+  TaskMemory Fork(NodeId src, TaskMemory& parent, NodeId dst) {
+    auto f = system_->RemoteFork(src, parent.map(), dst);
+    cluster_->engine().Run();
+    EXPECT_TRUE(f.ready());
+    return TaskMemory(cluster_->vm(dst), *f.value());
+  }
+
+  uint64_t Read(TaskMemory& mem, VmOffset addr) {
+    auto f = mem.ReadU64(addr);
+    cluster_->engine().Run();
+    EXPECT_TRUE(f.ready());
+    return f.ready() ? f.value() : ~0ULL;
+  }
+
+  void Write(TaskMemory& mem, VmOffset addr, uint64_t value) {
+    auto f = mem.WriteU64(addr, value);
+    cluster_->engine().Run();
+    ASSERT_TRUE(f.ready());
+    ASSERT_EQ(f.value(), Status::kOk);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<XmmSystem> system_;
+  MemObjectId region_;
+  std::unique_ptr<DsmRegionHarness> harness_;
+};
+
+TEST_F(XmmTest, SharedRegionCoherence) {
+  BuildRegion(4);
+  harness_->Write(0, 0, 42);
+  EXPECT_EQ(harness_->Read(1, 0), 42u);
+  EXPECT_EQ(harness_->Read(2, 0), 42u);
+  harness_->Write(3, 0, 43);
+  EXPECT_EQ(harness_->Read(0, 0), 43u);
+  EXPECT_EQ(harness_->Read(1, 0), 43u);
+}
+
+TEST_F(XmmTest, SingleWriterEnforcedViaManager) {
+  BuildRegion(4);
+  harness_->Write(1, 0, 1);
+  harness_->Write(2, 0, 2);
+  harness_->Write(1, 0, 3);
+  EXPECT_EQ(harness_->Read(3, 0), 3u);
+  EXPECT_GT(cluster_->stats().Get("xmm.write_flushes"), 0);
+}
+
+TEST_F(XmmTest, DirtyPageWrittenToPagingSpaceOnFirstRemoteRequest) {
+  BuildRegion(4);
+  harness_->Write(1, 0, 7);  // node 1 holds the page dirty
+  const int64_t cleanings = cluster_->stats().Get("xmm.dirty_cleanings");
+  SimDuration first = harness_->TimedRead(2, 0);
+  EXPECT_EQ(cluster_->stats().Get("xmm.dirty_cleanings"), cleanings + 1);
+  // Second remote read: the page is clean at the pager — far cheaper.
+  SimDuration second = harness_->TimedRead(3, 0);
+  EXPECT_GT(first, 2 * second) << "first remote request pays the paging-space write";
+  EXPECT_GT(first, 15 * kMillisecond);
+}
+
+TEST_F(XmmTest, AllRequestsSerializeAtManager) {
+  BuildRegion(4);
+  harness_->Write(0, 0, 1);
+  // Reads from three nodes of the same page: all must flow through node 0's
+  // manager over NORMA.
+  harness_->Read(1, 0);
+  harness_->Read(2, 0);
+  harness_->Read(3, 0);
+  EXPECT_GE(cluster_->stats().Get("xmm.manager_requests"), 4);
+  EXPECT_GT(cluster_->stats().Get("transport.norma.messages"), 0);
+  EXPECT_EQ(cluster_->stats().Get("transport.sts.messages"), 0);
+}
+
+TEST_F(XmmTest, UpgradeGrantCarriesNoData) {
+  BuildRegion(4);
+  harness_->Write(0, 0, 5);
+  EXPECT_EQ(harness_->Read(1, 0), 5u);
+  const int64_t pages_before = cluster_->stats().Get("transport.norma.page_messages");
+  harness_->Write(1, 8, 6);  // node 1 already has a read copy
+  // The flush of node 0's... node 0 holds no copy (write moved); only reader
+  // flushes and the upgrade reply travel — no page payload to node 1.
+  EXPECT_EQ(cluster_->stats().Get("transport.norma.page_messages"), pages_before);
+  EXPECT_EQ(harness_->Read(2, 0), 5u);
+  EXPECT_EQ(harness_->Read(2, 8), 6u);
+}
+
+TEST_F(XmmTest, ManagerStateTableIsPagesTimesNodes) {
+  BuildRegion(8, /*pages=*/64);
+  harness_->Write(1, 0, 1);
+  // Manager (node 0) pays 64 pages x 8 nodes = 512 bytes minimum.
+  EXPECT_GE(system_->MetadataBytes(0), 512u);
+  // Non-manager nodes hold only proxy records.
+  EXPECT_LT(system_->MetadataBytes(3), 512u);
+}
+
+TEST_F(XmmTest, RemoteForkChildSeesSnapshot) {
+  Build(2);
+  TaskMemory parent = MakeParent(0, 8);
+  Write(parent, 0, 100);
+  Write(parent, 4096, 200);
+  TaskMemory child = Fork(0, parent, 1);
+  EXPECT_EQ(Read(child, 0), 100u);
+  EXPECT_EQ(Read(child, 4096), 200u);
+  EXPECT_EQ(Read(child, 2 * 4096), 0u);
+}
+
+TEST_F(XmmTest, ForkSnapshotSurvivesParentWrites) {
+  Build(2);
+  TaskMemory parent = MakeParent(0, 8);
+  Write(parent, 0, 100);
+  TaskMemory child = Fork(0, parent, 1);
+  Write(parent, 0, 999);  // local symmetric COW on the source node
+  EXPECT_EQ(Read(child, 0), 100u);
+  EXPECT_EQ(Read(parent, 0), 999u);
+}
+
+TEST_F(XmmTest, ChildWritesStayPrivate) {
+  Build(2);
+  TaskMemory parent = MakeParent(0, 8);
+  Write(parent, 0, 1);
+  TaskMemory child = Fork(0, parent, 1);
+  Write(child, 0, 2);
+  EXPECT_EQ(Read(parent, 0), 1u);
+  EXPECT_EQ(Read(child, 0), 2u);
+}
+
+TEST_F(XmmTest, ForkChainTraversesPerNodePagers) {
+  Build(3);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 11);
+  TaskMemory gen1 = Fork(0, gen0, 1);
+  TaskMemory gen2 = Fork(1, gen1, 2);
+  EXPECT_EQ(Read(gen2, 0), 11u);
+  EXPECT_GE(cluster_->stats().Get("xmm.copy_faults"), 2)
+      << "each chain stage runs an internal pager fault";
+}
+
+TEST_F(XmmTest, ChainLatencyGrowsSteeply) {
+  Build(6);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 42);
+  std::vector<TaskMemory> gens;
+  gens.push_back(gen0);
+  for (NodeId n = 1; n < 6; ++n) {
+    gens.push_back(Fork(n - 1, gens.back(), n));
+  }
+  SimTime start = cluster_->engine().Now();
+  EXPECT_EQ(Read(gens.back(), 0), 42u);
+  SimDuration latency = cluster_->engine().Now() - start;
+  // Five chained NORMA round trips through blocking pagers: >> 10 ms.
+  EXPECT_GT(latency, 10 * kMillisecond);
+}
+
+TEST_F(XmmTest, ChildDirtyPagesSurviveEviction) {
+  XmmConfig config;
+  Build(2, config, /*frames=*/12);
+  TaskMemory parent = MakeParent(0, 32);
+  Write(parent, 0, 1);
+  TaskMemory child = Fork(0, parent, 1);
+  for (VmSize p = 0; p < 32; ++p) {
+    Write(child, p * 4096, 5000 + p);
+  }
+  for (VmSize p = 0; p < 32; ++p) {
+    EXPECT_EQ(Read(child, p * 4096), 5000 + p) << "page " << p;
+  }
+}
+
+TEST_F(XmmTest, CopyChainDeadlocksWithExhaustedThreadPool) {
+  // The §3.1 scenario: a copy chain that crosses the same node twice, with a
+  // single pager thread per node. ASVM's asynchronous transitions make this
+  // impossible; NMK13 XMM deadlocks (we detect and fail the fault).
+  XmmConfig config;
+  config.copy_pager_threads = 1;
+  Build(2, config);
+  TaskMemory gen0 = MakeParent(0, 4);
+  Write(gen0, 0, 1);
+  TaskMemory gen1 = Fork(0, gen0, 1);   // pager on 0
+  TaskMemory gen2 = Fork(1, gen1, 0);   // pager on 1, chain crosses 0 again
+  TaskMemory gen3 = Fork(0, gen2, 1);   // pager on 0, chain 1 -> 0 -> 1 -> 0
+
+  // Two concurrent deep faults from both ends exhaust the single-thread
+  // pools; at least one must be refused as a deadlock.
+  auto f1 = gen3.Touch(0, 8, PageAccess::kRead);
+  auto f2 = gen2.Touch(8, 8, PageAccess::kRead);
+  cluster_->engine().Run();
+  ASSERT_TRUE(f1.ready());
+  ASSERT_TRUE(f2.ready());
+  const bool any_deadlock =
+      f1.value() == Status::kDeadlock || f2.value() == Status::kDeadlock;
+  EXPECT_TRUE(any_deadlock) << "chain crossing a node twice with 1 thread must deadlock";
+  EXPECT_GT(cluster_->stats().Get("xmm.copy_deadlocks"), 0);
+}
+
+}  // namespace
+}  // namespace asvm

@@ -1,0 +1,290 @@
+// asvmsim — command-line driver for the simulated multicomputer: pick a
+// memory manager, a node count and a workload, get timings and protocol
+// statistics. The quickest way to explore configurations beyond what the
+// canned benchmarks sweep.
+//
+//   asvmsim --dsm=asvm --nodes=16 --workload=em3d --cells=64000 --iters=100
+//   asvmsim --dsm=xmm  --nodes=8  --workload=file-read --mb=4
+//   asvmsim --dsm=asvm --nodes=4  --workload=fault-sweep --trace
+//   asvmsim --dsm=asvm --nodes=6  --workload=fork-chain --chain=5
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/asvm/agent.h"
+#include "src/asvm/asvm_system.h"
+#include "src/asvm/monitor.h"
+#include "src/core/machine.h"
+#include "src/core/measure.h"
+#include "src/apps/sor.h"
+#include "src/em3d/em3d.h"
+#include "src/mappedfs/file_bench.h"
+
+namespace asvm {
+namespace {
+
+struct Options {
+  DsmKind dsm = DsmKind::kAsvm;
+  int nodes = 8;
+  std::string workload = "fault-sweep";
+  int64_t cells = 64000;
+  int iters = 100;
+  int measure_iters = 5;
+  double mb = 4.0;
+  int chain = 4;
+  int stripes = 1;
+  bool trace = false;
+  bool stats = false;
+  bool dynamic_fwd = true;
+  bool static_fwd = true;
+};
+
+void Usage() {
+  std::printf(
+      "asvmsim — ASVM/XMM distributed memory simulator\n\n"
+      "  --dsm=asvm|xmm           memory manager (default asvm)\n"
+      "  --nodes=N                node count (default 8)\n"
+      "  --workload=W             em3d | sor | file-read | file-write | fault-sweep | fork-chain\n"
+      "  --cells=N                EM3D cells (default 64000)\n"
+      "  --iters=N                EM3D iterations to report (default 100)\n"
+      "  --mb=F                   file size in MB (default 4)\n"
+      "  --chain=N                fork-chain length (default 4)\n"
+      "  --stripes=N              file stripes / I/O nodes (default 1)\n"
+      "  --no-dynamic             disable dynamic forwarding (ASVM)\n"
+      "  --no-static              disable static forwarding (ASVM)\n"
+      "  --trace                  print the protocol event trace (ASVM)\n"
+      "  --stats                  dump the statistics registry\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool Parse(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--dsm", &value)) {
+      if (value == "asvm") {
+        opts->dsm = DsmKind::kAsvm;
+      } else if (value == "xmm") {
+        opts->dsm = DsmKind::kXmm;
+      } else {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--nodes", &value)) {
+      opts->nodes = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--workload", &value)) {
+      opts->workload = value;
+    } else if (ParseFlag(argv[i], "--cells", &value)) {
+      opts->cells = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--iters", &value)) {
+      opts->iters = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--mb", &value)) {
+      opts->mb = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--chain", &value)) {
+      opts->chain = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--stripes", &value)) {
+      opts->stripes = std::atoi(value.c_str());
+    } else if (std::strcmp(argv[i], "--no-dynamic") == 0) {
+      opts->dynamic_fwd = false;
+    } else if (std::strcmp(argv[i], "--no-static") == 0) {
+      opts->static_fwd = false;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opts->trace = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      opts->stats = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return false;
+    } else {
+      std::printf("unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return opts->nodes >= 1 && opts->chain >= 1 && opts->stripes >= 1;
+}
+
+int RunEm3d(Machine& machine, const Options& opts) {
+  Em3dParams params;
+  params.cells = opts.cells;
+  params.iterations = opts.iters;
+  if (opts.nodes == 1) {
+    std::printf("em3d %lld cells sequential: %.1f s (%d iterations, modeled)\n",
+                static_cast<long long>(opts.cells), Em3dSequentialSeconds(params),
+                opts.iters);
+    return 0;
+  }
+  Em3dResult r = RunEm3dTimed(machine, params, opts.nodes, opts.measure_iters);
+  std::printf("em3d %lld cells on %d nodes under %s: %.1f s for %d iterations\n",
+              static_cast<long long>(opts.cells), opts.nodes, ToString(opts.dsm), r.seconds,
+              opts.iters);
+  std::printf("  faults in measured window: %lld, wire traffic: %.1f MB\n",
+              static_cast<long long>(r.faults), r.bytes_on_wire / (1024.0 * 1024.0));
+  return 0;
+}
+
+int RunSor(Machine& machine, const Options& opts) {
+  SorParams params;
+  // Interpret --cells as total grid cells (square grid).
+  int64_t side = 1;
+  while ((side + 1) * (side + 1) <= opts.cells) {
+    ++side;
+  }
+  params.rows = side;
+  params.cols = side;
+  params.iterations = opts.iters;
+  if (opts.nodes == 1) {
+    std::printf("sor %lldx%lld sequential: %.2f s (%d iterations, modeled)\n",
+                static_cast<long long>(side), static_cast<long long>(side),
+                SorSequentialSeconds(params), opts.iters);
+    return 0;
+  }
+  SorResult r = RunSorTimed(machine, params, opts.nodes, opts.measure_iters);
+  std::printf("sor %lldx%lld on %d nodes under %s: %.2f s for %d iterations\n",
+              static_cast<long long>(side), static_cast<long long>(side), opts.nodes,
+              ToString(opts.dsm), r.seconds, opts.iters);
+  return 0;
+}
+
+int RunFile(Machine& machine, const Options& opts, bool write) {
+  const VmSize pages =
+      static_cast<VmSize>(opts.mb * 1024 * 1024) / machine.page_size();
+  const int compute_nodes = opts.nodes - 1;
+  if (compute_nodes < 1) {
+    std::printf("file workloads need --nodes >= 2 (node 0 is the I/O node)\n");
+    return 1;
+  }
+  MemObjectId region;
+  if (opts.stripes > 1) {
+    region = machine.CreateStripedFile("cli", pages, opts.stripes, /*prefilled=*/!write);
+  } else if (write) {
+    region = machine.CreateMappedFile("cli", pages, /*prefilled=*/false);
+  } else {
+    int32_t file_id = machine.cluster().file_pager().CreateFile("cli", pages, true);
+    region = machine.dsm().CreateFileRegion(file_id, pages);
+  }
+  FileBenchResult r =
+      write ? RunParallelFileWrite(machine, region, pages, compute_nodes, /*first_node=*/1)
+            : RunParallelFileRead(machine, region, pages, compute_nodes, /*first_node=*/1);
+  std::printf("%s of a %.1f MB file by %d nodes under %s: %.2f MB/s per node "
+              "(makespan %.3f s)\n",
+              write ? "parallel write" : "parallel read", opts.mb, compute_nodes,
+              ToString(opts.dsm), r.per_node_mb_s, r.makespan_seconds);
+  return 0;
+}
+
+int RunFaultSweep(Machine& machine, const Options& opts) {
+  MemObjectId region = machine.CreateSharedRegion(0, 8);
+  if (opts.nodes < 4) {
+    std::printf("fault-sweep needs --nodes >= 4\n");
+    return 1;
+  }
+  TaskMemory& creator = machine.MapRegion(1, region);
+  double ms = MeasureWriteMs(machine, creator, 0, 1);
+  std::printf("first write (zero-fill grant):        %7.2f ms\n", ms);
+  TaskMemory& reader = machine.MapRegion(2, region);
+  ms = MeasureReadMs(machine, reader, 0);
+  std::printf("remote read (owner serve):            %7.2f ms\n", ms);
+  TaskMemory& writer = machine.MapRegion(3, region);
+  ms = MeasureWriteMs(machine, writer, 0, 2);
+  std::printf("remote write (invalidate + transfer): %7.2f ms\n", ms);
+  ms = MeasureWriteMs(machine, writer, 0, 3);
+  std::printf("local re-write (cache hit):           %7.2f ms\n", ms);
+  return 0;
+}
+
+int RunForkChain(Machine& machine, const Options& opts) {
+  if (opts.chain + 1 > opts.nodes) {
+    std::printf("fork-chain needs --nodes >= chain+1\n");
+    return 1;
+  }
+  TaskMemory& origin = machine.CreatePrivateTask(0, 8);
+  for (VmOffset p = 0; p < 8; ++p) {
+    auto w = origin.WriteU64(p * machine.page_size(), 500 + p);
+    machine.Run();
+  }
+  TaskMemory* current = &origin;
+  for (int hop = 1; hop <= opts.chain; ++hop) {
+    auto fork = machine.RemoteFork(hop - 1, *current, hop);
+    machine.Run();
+    if (!fork.ready()) {
+      std::printf("fork to node %d failed\n", hop);
+      return 1;
+    }
+    current = &machine.WrapMap(hop, fork.value());
+  }
+  double total = 0;
+  for (VmOffset p = 0; p < 8; ++p) {
+    uint64_t v = 0;
+    total += MeasureReadMs(machine, *current, p * machine.page_size(), &v);
+    if (v != 500 + p) {
+      std::printf("DATA MISMATCH at page %llu\n", static_cast<unsigned long long>(p));
+      return 1;
+    }
+  }
+  std::printf("fault across a %d-stage copy chain under %s: %.2f ms/page (8 pages)\n",
+              opts.chain, ToString(opts.dsm), total / 8.0);
+  return 0;
+}
+
+int Run(const Options& opts) {
+  MachineConfig config;
+  config.nodes = opts.nodes;
+  config.dsm = opts.dsm;
+  config.file_pager_count = opts.stripes;
+  config.asvm.dynamic_forwarding = opts.dynamic_fwd;
+  config.asvm.static_forwarding = opts.static_fwd;
+  Machine machine(config);
+
+  TraceBuffer trace;
+  if (opts.trace && opts.dsm == DsmKind::kAsvm) {
+    static_cast<AsvmSystem&>(machine.dsm()).AttachMonitor(&trace);
+  }
+
+  int rc = 1;
+  if (opts.workload == "em3d") {
+    rc = RunEm3d(machine, opts);
+  } else if (opts.workload == "sor") {
+    rc = RunSor(machine, opts);
+  } else if (opts.workload == "file-read") {
+    rc = RunFile(machine, opts, /*write=*/false);
+  } else if (opts.workload == "file-write") {
+    rc = RunFile(machine, opts, /*write=*/true);
+  } else if (opts.workload == "fault-sweep") {
+    rc = RunFaultSweep(machine, opts);
+  } else if (opts.workload == "fork-chain") {
+    rc = RunForkChain(machine, opts);
+  } else {
+    std::printf("unknown workload '%s'\n", opts.workload.c_str());
+  }
+
+  std::printf("\nsimulated time: %.3f s, mesh traffic: %.2f MB in %lld messages\n",
+              ToSeconds(machine.Now()),
+              static_cast<double>(machine.stats().Get("mesh.bytes")) / (1024.0 * 1024.0),
+              static_cast<long long>(machine.stats().Get("mesh.messages")));
+  if (opts.trace && opts.dsm == DsmKind::kAsvm) {
+    std::printf("\nprotocol trace (last %zu events):\n%s", trace.events().size(),
+                trace.Render().c_str());
+  }
+  if (opts.stats) {
+    std::printf("\nstatistics registry:\n%s", machine.stats().Report().c_str());
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace asvm
+
+int main(int argc, char** argv) {
+  asvm::Options opts;
+  if (!asvm::Parse(argc, argv, &opts)) {
+    asvm::Usage();
+    return 2;
+  }
+  return asvm::Run(opts);
+}
