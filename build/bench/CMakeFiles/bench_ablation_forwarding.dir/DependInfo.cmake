@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_forwarding.cc" "bench/CMakeFiles/bench_ablation_forwarding.dir/bench_ablation_forwarding.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_forwarding.dir/bench_ablation_forwarding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/asvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asvm/CMakeFiles/asvm_asvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmm/CMakeFiles/asvm_xmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/asvm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machvm/CMakeFiles/asvm_machvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/asvm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/asvm_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

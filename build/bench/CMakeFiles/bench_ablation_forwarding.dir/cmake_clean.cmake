@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_forwarding.dir/bench_ablation_forwarding.cc.o"
+  "CMakeFiles/bench_ablation_forwarding.dir/bench_ablation_forwarding.cc.o.d"
+  "bench_ablation_forwarding"
+  "bench_ablation_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_paging.dir/bench_ablation_paging.cc.o"
+  "CMakeFiles/bench_ablation_paging.dir/bench_ablation_paging.cc.o.d"
+  "bench_ablation_paging"
+  "bench_ablation_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

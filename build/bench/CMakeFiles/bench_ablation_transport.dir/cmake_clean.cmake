@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_transport.dir/bench_ablation_transport.cc.o"
+  "CMakeFiles/bench_ablation_transport.dir/bench_ablation_transport.cc.o.d"
+  "bench_ablation_transport"
+  "bench_ablation_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

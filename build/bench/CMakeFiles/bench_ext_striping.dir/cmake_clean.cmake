@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_striping.dir/bench_ext_striping.cc.o"
+  "CMakeFiles/bench_ext_striping.dir/bench_ext_striping.cc.o.d"
+  "bench_ext_striping"
+  "bench_ext_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_copy_chain.dir/bench_fig11_copy_chain.cc.o"
+  "CMakeFiles/bench_fig11_copy_chain.dir/bench_fig11_copy_chain.cc.o.d"
+  "bench_fig11_copy_chain"
+  "bench_fig11_copy_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_copy_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_file_transfer.dir/bench_table2_file_transfer.cc.o"
+  "CMakeFiles/bench_table2_file_transfer.dir/bench_table2_file_transfer.cc.o.d"
+  "bench_table2_file_transfer"
+  "bench_table2_file_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_file_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_em3d.dir/bench_table3_em3d.cc.o"
+  "CMakeFiles/bench_table3_em3d.dir/bench_table3_em3d.cc.o.d"
+  "bench_table3_em3d"
+  "bench_table3_em3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_em3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_fork.dir/remote_fork.cpp.o"
+  "CMakeFiles/remote_fork.dir/remote_fork.cpp.o.d"
+  "remote_fork"
+  "remote_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_file.dir/shared_file.cpp.o"
+  "CMakeFiles/shared_file.dir/shared_file.cpp.o.d"
+  "shared_file"
+  "shared_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

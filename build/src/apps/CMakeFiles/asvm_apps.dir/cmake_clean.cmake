@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_apps.dir/sor.cc.o"
+  "CMakeFiles/asvm_apps.dir/sor.cc.o.d"
+  "libasvm_apps.a"
+  "libasvm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asvm/agent.cc" "src/asvm/CMakeFiles/asvm_asvm.dir/agent.cc.o" "gcc" "src/asvm/CMakeFiles/asvm_asvm.dir/agent.cc.o.d"
+  "/root/repo/src/asvm/agent_coherency.cc" "src/asvm/CMakeFiles/asvm_asvm.dir/agent_coherency.cc.o" "gcc" "src/asvm/CMakeFiles/asvm_asvm.dir/agent_coherency.cc.o.d"
+  "/root/repo/src/asvm/agent_paging.cc" "src/asvm/CMakeFiles/asvm_asvm.dir/agent_paging.cc.o" "gcc" "src/asvm/CMakeFiles/asvm_asvm.dir/agent_paging.cc.o.d"
+  "/root/repo/src/asvm/asvm_system.cc" "src/asvm/CMakeFiles/asvm_asvm.dir/asvm_system.cc.o" "gcc" "src/asvm/CMakeFiles/asvm_asvm.dir/asvm_system.cc.o.d"
+  "/root/repo/src/asvm/monitor.cc" "src/asvm/CMakeFiles/asvm_asvm.dir/monitor.cc.o" "gcc" "src/asvm/CMakeFiles/asvm_asvm.dir/monitor.cc.o.d"
+  "/root/repo/src/asvm/range_lock.cc" "src/asvm/CMakeFiles/asvm_asvm.dir/range_lock.cc.o" "gcc" "src/asvm/CMakeFiles/asvm_asvm.dir/range_lock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/asvm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/machvm/CMakeFiles/asvm_machvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/asvm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/asvm_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_asvm.dir/agent.cc.o"
+  "CMakeFiles/asvm_asvm.dir/agent.cc.o.d"
+  "CMakeFiles/asvm_asvm.dir/agent_coherency.cc.o"
+  "CMakeFiles/asvm_asvm.dir/agent_coherency.cc.o.d"
+  "CMakeFiles/asvm_asvm.dir/agent_paging.cc.o"
+  "CMakeFiles/asvm_asvm.dir/agent_paging.cc.o.d"
+  "CMakeFiles/asvm_asvm.dir/asvm_system.cc.o"
+  "CMakeFiles/asvm_asvm.dir/asvm_system.cc.o.d"
+  "CMakeFiles/asvm_asvm.dir/monitor.cc.o"
+  "CMakeFiles/asvm_asvm.dir/monitor.cc.o.d"
+  "CMakeFiles/asvm_asvm.dir/range_lock.cc.o"
+  "CMakeFiles/asvm_asvm.dir/range_lock.cc.o.d"
+  "libasvm_asvm.a"
+  "libasvm_asvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_asvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

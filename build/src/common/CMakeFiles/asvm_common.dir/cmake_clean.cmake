@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_common.dir/log.cc.o"
+  "CMakeFiles/asvm_common.dir/log.cc.o.d"
+  "CMakeFiles/asvm_common.dir/rng.cc.o"
+  "CMakeFiles/asvm_common.dir/rng.cc.o.d"
+  "CMakeFiles/asvm_common.dir/stats.cc.o"
+  "CMakeFiles/asvm_common.dir/stats.cc.o.d"
+  "CMakeFiles/asvm_common.dir/status.cc.o"
+  "CMakeFiles/asvm_common.dir/status.cc.o.d"
+  "CMakeFiles/asvm_common.dir/types.cc.o"
+  "CMakeFiles/asvm_common.dir/types.cc.o.d"
+  "libasvm_common.a"
+  "libasvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

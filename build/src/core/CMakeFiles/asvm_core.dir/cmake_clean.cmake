@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_core.dir/machine.cc.o"
+  "CMakeFiles/asvm_core.dir/machine.cc.o.d"
+  "libasvm_core.a"
+  "libasvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/cluster.cc" "src/dsm/CMakeFiles/asvm_dsm.dir/cluster.cc.o" "gcc" "src/dsm/CMakeFiles/asvm_dsm.dir/cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/machvm/CMakeFiles/asvm_machvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/asvm_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/asvm_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

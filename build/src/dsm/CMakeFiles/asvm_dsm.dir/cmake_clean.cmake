@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_dsm.dir/cluster.cc.o"
+  "CMakeFiles/asvm_dsm.dir/cluster.cc.o.d"
+  "libasvm_dsm.a"
+  "libasvm_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

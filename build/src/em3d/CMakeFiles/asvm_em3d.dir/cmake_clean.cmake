@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_em3d.dir/em3d.cc.o"
+  "CMakeFiles/asvm_em3d.dir/em3d.cc.o.d"
+  "libasvm_em3d.a"
+  "libasvm_em3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_em3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

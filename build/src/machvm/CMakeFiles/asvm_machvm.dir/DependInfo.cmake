@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machvm/default_pager.cc" "src/machvm/CMakeFiles/asvm_machvm.dir/default_pager.cc.o" "gcc" "src/machvm/CMakeFiles/asvm_machvm.dir/default_pager.cc.o.d"
+  "/root/repo/src/machvm/disk.cc" "src/machvm/CMakeFiles/asvm_machvm.dir/disk.cc.o" "gcc" "src/machvm/CMakeFiles/asvm_machvm.dir/disk.cc.o.d"
+  "/root/repo/src/machvm/file_pager.cc" "src/machvm/CMakeFiles/asvm_machvm.dir/file_pager.cc.o" "gcc" "src/machvm/CMakeFiles/asvm_machvm.dir/file_pager.cc.o.d"
+  "/root/repo/src/machvm/node_vm.cc" "src/machvm/CMakeFiles/asvm_machvm.dir/node_vm.cc.o" "gcc" "src/machvm/CMakeFiles/asvm_machvm.dir/node_vm.cc.o.d"
+  "/root/repo/src/machvm/task_memory.cc" "src/machvm/CMakeFiles/asvm_machvm.dir/task_memory.cc.o" "gcc" "src/machvm/CMakeFiles/asvm_machvm.dir/task_memory.cc.o.d"
+  "/root/repo/src/machvm/vm_map.cc" "src/machvm/CMakeFiles/asvm_machvm.dir/vm_map.cc.o" "gcc" "src/machvm/CMakeFiles/asvm_machvm.dir/vm_map.cc.o.d"
+  "/root/repo/src/machvm/vm_object.cc" "src/machvm/CMakeFiles/asvm_machvm.dir/vm_object.cc.o" "gcc" "src/machvm/CMakeFiles/asvm_machvm.dir/vm_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/asvm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/asvm_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_machvm.dir/default_pager.cc.o"
+  "CMakeFiles/asvm_machvm.dir/default_pager.cc.o.d"
+  "CMakeFiles/asvm_machvm.dir/disk.cc.o"
+  "CMakeFiles/asvm_machvm.dir/disk.cc.o.d"
+  "CMakeFiles/asvm_machvm.dir/file_pager.cc.o"
+  "CMakeFiles/asvm_machvm.dir/file_pager.cc.o.d"
+  "CMakeFiles/asvm_machvm.dir/node_vm.cc.o"
+  "CMakeFiles/asvm_machvm.dir/node_vm.cc.o.d"
+  "CMakeFiles/asvm_machvm.dir/task_memory.cc.o"
+  "CMakeFiles/asvm_machvm.dir/task_memory.cc.o.d"
+  "CMakeFiles/asvm_machvm.dir/vm_map.cc.o"
+  "CMakeFiles/asvm_machvm.dir/vm_map.cc.o.d"
+  "CMakeFiles/asvm_machvm.dir/vm_object.cc.o"
+  "CMakeFiles/asvm_machvm.dir/vm_object.cc.o.d"
+  "libasvm_machvm.a"
+  "libasvm_machvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_machvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

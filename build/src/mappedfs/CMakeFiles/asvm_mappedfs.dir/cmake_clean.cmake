@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_mappedfs.dir/file_bench.cc.o"
+  "CMakeFiles/asvm_mappedfs.dir/file_bench.cc.o.d"
+  "libasvm_mappedfs.a"
+  "libasvm_mappedfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_mappedfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_mesh.dir/network.cc.o"
+  "CMakeFiles/asvm_mesh.dir/network.cc.o.d"
+  "CMakeFiles/asvm_mesh.dir/topology.cc.o"
+  "CMakeFiles/asvm_mesh.dir/topology.cc.o.d"
+  "libasvm_mesh.a"
+  "libasvm_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_sim.dir/engine.cc.o"
+  "CMakeFiles/asvm_sim.dir/engine.cc.o.d"
+  "libasvm_sim.a"
+  "libasvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

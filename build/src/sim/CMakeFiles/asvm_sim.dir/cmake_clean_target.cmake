@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasvm_sim.a"
+)

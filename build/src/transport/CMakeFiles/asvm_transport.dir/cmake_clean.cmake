@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_transport.dir/transport.cc.o"
+  "CMakeFiles/asvm_transport.dir/transport.cc.o.d"
+  "libasvm_transport.a"
+  "libasvm_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_xmm.dir/xmm_agent.cc.o"
+  "CMakeFiles/asvm_xmm.dir/xmm_agent.cc.o.d"
+  "CMakeFiles/asvm_xmm.dir/xmm_system.cc.o"
+  "CMakeFiles/asvm_xmm.dir/xmm_system.cc.o.d"
+  "libasvm_xmm.a"
+  "libasvm_xmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_xmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

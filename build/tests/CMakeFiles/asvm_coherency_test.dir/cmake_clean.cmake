@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_coherency_test.dir/asvm_coherency_test.cc.o"
+  "CMakeFiles/asvm_coherency_test.dir/asvm_coherency_test.cc.o.d"
+  "asvm_coherency_test"
+  "asvm_coherency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_coherency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_copy_test.dir/asvm_copy_test.cc.o"
+  "CMakeFiles/asvm_copy_test.dir/asvm_copy_test.cc.o.d"
+  "asvm_copy_test"
+  "asvm_copy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_extensions_test.dir/asvm_extensions_test.cc.o"
+  "CMakeFiles/asvm_extensions_test.dir/asvm_extensions_test.cc.o.d"
+  "asvm_extensions_test"
+  "asvm_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_forwarding_test.dir/asvm_forwarding_test.cc.o"
+  "CMakeFiles/asvm_forwarding_test.dir/asvm_forwarding_test.cc.o.d"
+  "asvm_forwarding_test"
+  "asvm_forwarding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_forwarding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

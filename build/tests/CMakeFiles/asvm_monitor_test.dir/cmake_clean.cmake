@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_monitor_test.dir/asvm_monitor_test.cc.o"
+  "CMakeFiles/asvm_monitor_test.dir/asvm_monitor_test.cc.o.d"
+  "asvm_monitor_test"
+  "asvm_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_paging_test.dir/asvm_paging_test.cc.o"
+  "CMakeFiles/asvm_paging_test.dir/asvm_paging_test.cc.o.d"
+  "asvm_paging_test"
+  "asvm_paging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

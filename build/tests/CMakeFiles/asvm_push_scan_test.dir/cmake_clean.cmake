@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvm_push_scan_test.dir/asvm_push_scan_test.cc.o"
+  "CMakeFiles/asvm_push_scan_test.dir/asvm_push_scan_test.cc.o.d"
+  "asvm_push_scan_test"
+  "asvm_push_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvm_push_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

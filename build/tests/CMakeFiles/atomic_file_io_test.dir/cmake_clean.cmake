@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_file_io_test.dir/atomic_file_io_test.cc.o"
+  "CMakeFiles/atomic_file_io_test.dir/atomic_file_io_test.cc.o.d"
+  "atomic_file_io_test"
+  "atomic_file_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_file_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_machine_test.dir/core_machine_test.cc.o"
+  "CMakeFiles/core_machine_test.dir/core_machine_test.cc.o.d"
+  "core_machine_test"
+  "core_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

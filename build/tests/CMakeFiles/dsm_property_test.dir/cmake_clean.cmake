@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_property_test.dir/dsm_property_test.cc.o"
+  "CMakeFiles/dsm_property_test.dir/dsm_property_test.cc.o.d"
+  "dsm_property_test"
+  "dsm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

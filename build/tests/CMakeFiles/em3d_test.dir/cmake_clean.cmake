@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em3d_test.dir/em3d_test.cc.o"
+  "CMakeFiles/em3d_test.dir/em3d_test.cc.o.d"
+  "em3d_test"
+  "em3d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_mixed_test.dir/integration_mixed_test.cc.o"
+  "CMakeFiles/integration_mixed_test.dir/integration_mixed_test.cc.o.d"
+  "integration_mixed_test"
+  "integration_mixed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_mixed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

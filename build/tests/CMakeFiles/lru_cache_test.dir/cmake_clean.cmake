@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lru_cache_test.dir/lru_cache_test.cc.o"
+  "CMakeFiles/lru_cache_test.dir/lru_cache_test.cc.o.d"
+  "lru_cache_test"
+  "lru_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lru_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/machvm_copy_test.cc" "tests/CMakeFiles/machvm_copy_test.dir/machvm_copy_test.cc.o" "gcc" "tests/CMakeFiles/machvm_copy_test.dir/machvm_copy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machvm/CMakeFiles/asvm_machvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/asvm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/asvm_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/asvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

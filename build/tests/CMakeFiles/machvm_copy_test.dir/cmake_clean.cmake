@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machvm_copy_test.dir/machvm_copy_test.cc.o"
+  "CMakeFiles/machvm_copy_test.dir/machvm_copy_test.cc.o.d"
+  "machvm_copy_test"
+  "machvm_copy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machvm_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machvm_emmi_test.dir/machvm_emmi_test.cc.o"
+  "CMakeFiles/machvm_emmi_test.dir/machvm_emmi_test.cc.o.d"
+  "machvm_emmi_test"
+  "machvm_emmi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machvm_emmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

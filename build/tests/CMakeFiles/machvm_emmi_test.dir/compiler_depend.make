@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for machvm_emmi_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machvm_map_test.dir/machvm_map_test.cc.o"
+  "CMakeFiles/machvm_map_test.dir/machvm_map_test.cc.o.d"
+  "machvm_map_test"
+  "machvm_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machvm_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

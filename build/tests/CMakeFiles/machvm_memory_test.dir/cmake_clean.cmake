@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machvm_memory_test.dir/machvm_memory_test.cc.o"
+  "CMakeFiles/machvm_memory_test.dir/machvm_memory_test.cc.o.d"
+  "machvm_memory_test"
+  "machvm_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machvm_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machvm_pager_test.dir/machvm_pager_test.cc.o"
+  "CMakeFiles/machvm_pager_test.dir/machvm_pager_test.cc.o.d"
+  "machvm_pager_test"
+  "machvm_pager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machvm_pager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machvm_paging_test.dir/machvm_paging_test.cc.o"
+  "CMakeFiles/machvm_paging_test.dir/machvm_paging_test.cc.o.d"
+  "machvm_paging_test"
+  "machvm_paging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machvm_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mappedfs_sections_test.dir/mappedfs_sections_test.cc.o"
+  "CMakeFiles/mappedfs_sections_test.dir/mappedfs_sections_test.cc.o.d"
+  "mappedfs_sections_test"
+  "mappedfs_sections_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mappedfs_sections_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

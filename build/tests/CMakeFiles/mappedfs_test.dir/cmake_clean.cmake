@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mappedfs_test.dir/mappedfs_test.cc.o"
+  "CMakeFiles/mappedfs_test.dir/mappedfs_test.cc.o.d"
+  "mappedfs_test"
+  "mappedfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mappedfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_test.dir/sor_test.cc.o"
+  "CMakeFiles/sor_test.dir/sor_test.cc.o.d"
+  "sor_test"
+  "sor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

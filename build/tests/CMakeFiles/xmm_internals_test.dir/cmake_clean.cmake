@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmm_internals_test.dir/xmm_internals_test.cc.o"
+  "CMakeFiles/xmm_internals_test.dir/xmm_internals_test.cc.o.d"
+  "xmm_internals_test"
+  "xmm_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmm_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmm_test.dir/xmm_test.cc.o"
+  "CMakeFiles/xmm_test.dir/xmm_test.cc.o.d"
+  "xmm_test"
+  "xmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

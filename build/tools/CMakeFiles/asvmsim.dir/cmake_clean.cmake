@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asvmsim.dir/asvmsim.cpp.o"
+  "CMakeFiles/asvmsim.dir/asvmsim.cpp.o.d"
+  "asvmsim"
+  "asvmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asvmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

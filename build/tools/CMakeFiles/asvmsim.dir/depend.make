@@ -1,0 +1,2 @@
+# Empty dependencies file for asvmsim.
+# This may be replaced when dependencies are built.
