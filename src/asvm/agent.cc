@@ -10,20 +10,13 @@
 namespace asvm {
 
 AsvmAgent::AsvmAgent(AsvmSystem& system, NodeId node)
-    : system_(system),
-      node_(node),
-      vm_(system.cluster().vm(node)),
-      stats_(&system.cluster().stats()) {
+    : ProtocolAgent(system, node), system_(system), vm_(system.cluster().vm(node)) {
   Transport& main_transport = system.config().use_norma_transport
                                   ? static_cast<Transport&>(system_.cluster().norma())
                                   : static_cast<Transport&>(system_.cluster().sts());
-  main_transport.RegisterHandler(
-      ProtocolId::kAsvm, node_,
-      [this](NodeId src, Message msg) { OnMessage(src, std::move(msg)); });
+  Listen(main_transport, ProtocolId::kAsvm);
   if (!system.config().use_norma_transport) {
-    system_.cluster().sts_ctl().RegisterHandler(
-        ProtocolId::kAsvm, node_,
-        [this](NodeId src, Message msg) { OnMessage(src, std::move(msg)); });
+    Listen(system_.cluster().sts_ctl(), ProtocolId::kAsvm);
   }
 }
 
@@ -38,6 +31,13 @@ AsvmAgent::ObjectState& AsvmAgent::obj_state(const MemObjectId& id) {
     os->static_cache =
         std::make_unique<LruCache<PageIndex, std::pair<StaticHintKind, NodeId>>>(
             system_.config().static_cache_capacity);
+    // The directory knows the object's page count; size the per-page tables
+    // so fault-path lookups are dense vector indexes.
+    if (const AsvmObjectInfo* info = system_.FindInfo(id); info != nullptr) {
+      os->pages.SetPageCount(info->pages);
+      os->terminal.SetPageCount(info->pages);
+      os->home_pages.SetPageCount(info->pages);
+    }
     it = objects_.emplace(id, std::move(os)).first;
   }
   return *it->second;
@@ -70,14 +70,13 @@ void AsvmAgent::AdoptRepr(const MemObjectId& id, const std::shared_ptr<VmObject>
 }
 
 void AsvmAgent::PruneState(ObjectState& os, PageIndex page) {
-  auto it = os.pages.find(page);
-  if (it == os.pages.end()) {
+  const PageState* ps = os.pages.Find(page);
+  if (ps == nullptr) {
     return;
   }
-  const PageState& ps = it->second;
-  if (ps.access == PageAccess::kNone && !ps.owner && !ps.busy && !ps.held() && !ps.pending &&
-      ps.queue.empty()) {
-    os.pages.erase(it);
+  if (ps->access == PageAccess::kNone && !ps->owner && !ps->busy && !ps->held() &&
+      !ps->pending && ps->queue.empty()) {
+    os.pages.Erase(page);
   }
 }
 
@@ -107,7 +106,7 @@ std::string AsvmAgent::DumpObjectState(const MemObjectId& id) const {
     return out.str();
   }
   const ObjectState& os = *it->second;
-  for (const auto& [page, ps] : os.pages) {
+  os.pages.ForEach([&out](PageIndex page, const PageState& ps) {
     out << "  page " << page << ": access=" << ToString(ps.access)
         << (ps.owner ? " OWNER" : "") << (ps.busy ? " busy" : "") << (ps.held() ? " held" : "")
         << (ps.pending ? " pending" : "") << " v" << ps.version;
@@ -122,7 +121,7 @@ std::string AsvmAgent::DumpObjectState(const MemObjectId& id) const {
       out << " queued=" << ps.queue.size();
     }
     out << "\n";
-  }
+  });
   out << "  dynamic hints: " << os.dyn_hints->size()
       << ", static cache: " << os.static_cache->size()
       << ", home records: " << os.home_pages.size() << "\n";
@@ -134,13 +133,13 @@ size_t AsvmAgent::MetadataBytes() const {
   size_t bytes = 0;
   for (const auto& [id, os] : objects_) {
     bytes += sizeof(ObjectState);
-    bytes += os->pages.size() * (sizeof(PageIndex) + sizeof(PageState));
-    for (const auto& [page, ps] : os->pages) {
+    bytes += os->pages.MetadataBytes();
+    os->pages.ForEach([&bytes](PageIndex, const PageState& ps) {
       bytes += ps.readers.size() * sizeof(NodeId);
-    }
+    });
     bytes += os->dyn_hints->size() * (sizeof(PageIndex) + sizeof(NodeId) + 16);
     bytes += os->static_cache->size() * (sizeof(PageIndex) + sizeof(NodeId) + 17);
-    bytes += os->home_pages.size() * (sizeof(PageIndex) + sizeof(ObjectState::HomePage));
+    bytes += os->home_pages.MetadataBytes();
   }
   return bytes;
 }
@@ -219,8 +218,7 @@ void AsvmAgent::PullCompleted(VmObject&, PageIndex, PullResult) {
 
 void AsvmAgent::HandleRequest(AccessRequest req) {
   ObjectState& os = obj_state(req.search);
-  auto it = os.pages.find(req.page);
-  PageState* ps = it == os.pages.end() ? nullptr : &it->second;
+  PageState* ps = os.pages.Find(req.page);
 
   if (req.is_push_scan) {
     // A push-scan asks whether the page exists in this (copy-object) space.
@@ -242,7 +240,7 @@ void AsvmAgent::HandleRequest(AccessRequest req) {
         found = os.repr->FindResident(req.page) != nullptr ||
                 vm_.default_pager()->HasPage(os.repr->serial(), req.page);
       }
-      if (!found && os.home_pages[req.page].owner_exists &&
+      if (!found && os.home_pages.GetOrCreate(req.page).owner_exists &&
           !(req.ring && req.ring_left == 0)) {
         // An owner exists somewhere but the caches missed: scan the ring so
         // the owner itself can answer.
@@ -440,7 +438,7 @@ void AsvmAgent::SendReply(NodeId to, const AccessReply& reply, PageBuffer data) 
   Send(to, AsvmMsgType::kAccessReply, reply, std::move(data));
 }
 
-void AsvmAgent::Send(NodeId to, AsvmMsgType type, std::any body, PageBuffer page) {
+void AsvmAgent::Send(NodeId to, AsvmMsgType type, AsvmBody body, PageBuffer page) {
   Message msg;
   msg.protocol = ProtocolId::kAsvm;
   msg.type = static_cast<uint32_t>(type);

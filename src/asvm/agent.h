@@ -15,19 +15,19 @@
 #include "src/asvm/asvm_system.h"
 #include "src/asvm/messages.h"
 #include "src/common/lru_cache.h"
+#include "src/common/page_table.h"
 #include "src/common/types.h"
+#include "src/dsm/protocol_agent.h"
 #include "src/machvm/node_vm.h"
 #include "src/machvm/pager.h"
 #include "src/sim/task.h"
 
 namespace asvm {
 
-class AsvmAgent : public Pager {
+class AsvmAgent : public Pager, public ProtocolAgent {
  public:
   AsvmAgent(AsvmSystem& system, NodeId node);
   ~AsvmAgent() override;
-
-  NodeId node() const { return node_; }
 
   // Per-page protocol state. An entry exists only while the node caches the
   // page or a transition involving this node is in flight — the "limited
@@ -44,22 +44,26 @@ class AsvmAgent : public Pager {
     std::deque<AccessRequest> queue;      // requests parked on busy/pending
   };
 
+  // Terminal-role per-page state (home of a backed object / peer of a copy
+  // object): serializes first-touch grants when no owner exists.
+  struct TerminalCtl {
+    bool busy = false;
+    std::deque<AccessRequest> queue;
+  };
+
   struct ObjectState {
     std::shared_ptr<VmObject> repr;
-    std::unordered_map<PageIndex, PageState> pages;
+    PageTable<PageState> pages;
     std::unique_ptr<LruCache<PageIndex, NodeId>> dyn_hints;
     std::unique_ptr<LruCache<PageIndex, std::pair<StaticHintKind, NodeId>>> static_cache;
-    // Terminal-role state (home of a backed object / peer of a copy object):
-    // serializes first-touch grants when no owner exists.
-    std::unordered_map<PageIndex, std::deque<AccessRequest>> terminal_queue;
-    std::unordered_map<PageIndex, bool> terminal_busy;
+    PageTable<TerminalCtl> terminal;
     // Home-role authoritative record: does an owner exist, and what version
     // did the last writeback carry.
     struct HomePage {
       bool owner_exists = false;
       uint64_t version = 0;
     };
-    std::unordered_map<PageIndex, HomePage> home_pages;
+    PageTable<HomePage> home_pages;
     // Internode pageout target selection (§3.6): cycling cursor + the node
     // that most recently accepted a transfer.
     size_t pageout_cursor = 0;
@@ -75,7 +79,7 @@ class AsvmAgent : public Pager {
 
   ObjectState& obj_state(const MemObjectId& id);
   ObjectState* FindObjState(const MemObjectId& id);
-  PageState& page_state(ObjectState& os, PageIndex page) { return os.pages[page]; }
+  PageState& page_state(ObjectState& os, PageIndex page) { return os.pages.GetOrCreate(page); }
 
   // Drops a page-state entry if it carries no information.
   void PruneState(ObjectState& os, PageIndex page);
@@ -129,7 +133,7 @@ class AsvmAgent : public Pager {
 
   void SendRequest(NodeId to, const AccessRequest& req);
   void SendReply(NodeId to, const AccessReply& reply, PageBuffer data);
-  void Send(NodeId to, AsvmMsgType type, std::any body, PageBuffer page = nullptr);
+  void Send(NodeId to, AsvmMsgType type, AsvmBody body, PageBuffer page = nullptr);
 
   // --- Owner-side state machine (Figure 7) -----------------------------------
 
@@ -168,7 +172,7 @@ class AsvmAgent : public Pager {
 
   // --- Message handlers ---------------------------------------------------------
 
-  void OnMessage(NodeId src, Message msg);
+  void OnMessage(NodeId src, Message msg) override;
   void OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer data);
   void OnInvalidate(NodeId src, const InvalidateMsg& m);
   void OnOwnershipOffer(NodeId src, const OwnershipOffer& m);
@@ -180,22 +184,12 @@ class AsvmAgent : public Pager {
   void OnStaticHint(const StaticHintMsg& m);
   void OnPullDone(const PullDone& m);
 
-  // Pending replies keyed by op id (invalidation rounds, push rounds, ...).
-  struct PendingOp {
-    int outstanding = 0;
-    Promise<Status> done;
-    // Push bookkeeping: nodes that answered needs_data.
-    std::vector<NodeId> need_data;
-    bool scan_found = false;
-    explicit PendingOp(Engine& engine) : done(engine) {}
-  };
+  // Pending multi-message exchanges (invalidation rounds, push rounds, ...)
+  // live in the ProtocolAgent pending-op table.
 
   AsvmSystem& system_;
-  NodeId node_;
   NodeVm& vm_;
-  StatsRegistry* stats_;
   std::unordered_map<MemObjectId, std::unique_ptr<ObjectState>> objects_;
-  std::unordered_map<uint64_t, std::unique_ptr<PendingOp>> pending_ops_;
   std::unordered_map<uint64_t, Promise<bool>> scan_waiters_;  // push-scan replies
 };
 

@@ -198,11 +198,8 @@ Task AsvmAgent::InvalidateReaders(MemObjectId id, PageIndex page, NodeId except,
     done.Set(Status::kOk);
     co_return;
   }
-  const uint64_t op = system_.NextOpId();
-  auto pending = std::make_unique<PendingOp>(vm_.engine());
-  pending->outstanding = static_cast<int>(targets.size());
-  Future<Status> all_acked = pending->done.GetFuture();
-  pending_ops_[op] = std::move(pending);
+  const uint64_t op = OpenOp(static_cast<int>(targets.size()));
+  Future<Status> all_acked = OpFuture(op);
   for (NodeId r : targets) {
     Send(r, AsvmMsgType::kInvalidate, InvalidateMsg{id, page, op});
     Trace(TraceKind::kInvalidate, id, page, r);
@@ -308,7 +305,7 @@ void AsvmAgent::HandleAtTerminal(AccessRequest req) {
   ObjectState& os = obj_state(req.search);
 
   if (req.target == req.search) {
-    auto& hp = os.home_pages[req.page];
+    auto& hp = os.home_pages.GetOrCreate(req.page);
     if (hp.owner_exists) {
       // Someone owns the page; the caches just failed to find it. Fall back
       // to a global scan (never fails while an owner exists, §3.4).
@@ -334,12 +331,12 @@ void AsvmAgent::HandleAtTerminal(AccessRequest req) {
       return;
     }
     // No owner anywhere: we serialize the first-touch grant.
-    auto busy_it = os.terminal_busy.find(req.page);
-    if (busy_it != os.terminal_busy.end() && busy_it->second) {
-      os.terminal_queue[req.page].push_back(std::move(req));
+    TerminalCtl& tc = os.terminal.GetOrCreate(req.page);
+    if (tc.busy) {
+      tc.queue.push_back(std::move(req));
       return;
     }
-    os.terminal_busy[req.page] = true;
+    tc.busy = true;
     req.terminal = node_;
     // Copy objects — and backed objects whose local representation carries a
     // VM shadow chain (an exported local fork) — resolve through the chain;
@@ -365,7 +362,7 @@ Task AsvmAgent::ServeFromBacking(AccessRequest req) {
   AsvmObjectInfo& info = system_.info(req.search);
   ASVM_CHECK(info.backing != nullptr);
   ObjectState& os = obj_state(req.search);
-  auto& hp = os.home_pages[req.page];
+  auto& hp = os.home_pages.GetOrCreate(req.page);
 
   PageBuffer data;
   uint64_t version = hp.version;
@@ -434,10 +431,10 @@ Task AsvmAgent::ServeByPull(AccessRequest req) {
       reply.page = req.page;
       reply.granted = req.access;
       reply.ownership = true;
-      reply.page_version = same_space ? os.home_pages[req.page].version : 0;
+      reply.page_version = same_space ? os.home_pages.GetOrCreate(req.page).version : 0;
       reply.terminal = req.terminal;
       if (same_space) {
-        os.home_pages[req.page].owner_exists = true;
+        os.home_pages.GetOrCreate(req.page).owner_exists = true;
       }
       SendReply(req.origin, reply, std::move(result.data));
       co_return;
@@ -458,7 +455,7 @@ Task AsvmAgent::ServeByPull(AccessRequest req) {
       reply.page_version = 0;
       reply.terminal = req.terminal;
       if (same_space) {
-        os.home_pages[req.page].owner_exists = true;
+        os.home_pages.GetOrCreate(req.page).owner_exists = true;
       }
       SendReply(req.origin, reply, nullptr);
       co_return;
@@ -482,13 +479,13 @@ Task AsvmAgent::ServeByPull(AccessRequest req) {
 
 void AsvmAgent::FinishTerminal(const MemObjectId& id, PageIndex page) {
   ObjectState& os = obj_state(id);
-  os.terminal_busy[page] = false;
-  auto it = os.terminal_queue.find(page);
-  if (it == os.terminal_queue.end() || it->second.empty()) {
+  TerminalCtl& tc = os.terminal.GetOrCreate(page);
+  tc.busy = false;
+  if (tc.queue.empty()) {
     return;
   }
   std::deque<AccessRequest> queued;
-  queued.swap(it->second);
+  queued.swap(tc.queue);
   for (auto& q : queued) {
     HandleRequest(std::move(q));
   }
@@ -496,7 +493,7 @@ void AsvmAgent::FinishTerminal(const MemObjectId& id, PageIndex page) {
 
 void AsvmAgent::OnPullDone(const PullDone& m) {
   ObjectState& os = obj_state(m.target);
-  os.home_pages[m.page].owner_exists = true;
+  os.home_pages.GetOrCreate(m.page).owner_exists = true;
   os.dyn_hints->Put(m.page, m.new_owner);
   if (system_.config().static_forwarding) {
     const AsvmObjectInfo& info = system_.info(m.target);
@@ -518,12 +515,12 @@ void AsvmAgent::OnStaticHint(const StaticHintMsg& m) {
 
 void AsvmAgent::ForwardQueue(const MemObjectId& id, PageIndex page, NodeId next) {
   ObjectState& os = obj_state(id);
-  auto it = os.pages.find(page);
-  if (it == os.pages.end() || it->second.queue.empty()) {
+  PageState* ps = os.pages.Find(page);
+  if (ps == nullptr || ps->queue.empty()) {
     return;
   }
   std::deque<AccessRequest> queued;
-  queued.swap(it->second.queue);
+  queued.swap(ps->queue);
   for (auto& q : queued) {
     if (q.target != q.search) {
       // Cross-space pull that raced a transition: bounce with a retry

@@ -12,12 +12,12 @@ namespace asvm {
 EvictAction AsvmAgent::OnEvict(VmObject& object, PageIndex page, PageBuffer data, bool dirty) {
   const MemObjectId id = object.id();
   ObjectState& os = obj_state(id);
-  auto it = os.pages.find(page);
-  if (it == os.pages.end() || !it->second.owner) {
+  PageState* found = os.pages.Find(page);
+  if (found == nullptr || !found->owner) {
     // Step 1: not the owner — the page can be re-fetched from the owner at
     // any time; simply discard it.
-    if (it != os.pages.end()) {
-      it->second.access = PageAccess::kNone;
+    if (found != nullptr) {
+      found->access = PageAccess::kNone;
       PruneState(os, page);
     }
     if (stats_ != nullptr) {
@@ -26,7 +26,7 @@ EvictAction AsvmAgent::OnEvict(VmObject& object, PageIndex page, PageBuffer data
     Trace(TraceKind::kEvictStep, id, page, kInvalidNode, 1);
     return EvictAction::kDiscard;
   }
-  PageState& ps = it->second;
+  PageState& ps = *found;
   ASVM_CHECK_MSG(!ps.busy, "evicting a page with a transition in flight");
   // The owner is losing its copy: keep a "zombie" owner record (busy) so
   // forwarding still finds us and requests queue here until the ownership or
@@ -54,11 +54,8 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
     if (r == node_) {
       continue;
     }
-    const uint64_t op = system_.NextOpId();
-    auto pending = std::make_unique<PendingOp>(vm_.engine());
-    pending->outstanding = 1;
-    Future<Status> replied = pending->done.GetFuture();
-    pending_ops_[op] = std::move(pending);
+    const uint64_t op = OpenOp(1);
+    Future<Status> replied = OpFuture(op);
     std::vector<NodeId> remaining;
     for (NodeId other : readers) {
       if (other != r && other != node_) {
@@ -104,11 +101,8 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
     }
   }
   for (NodeId target : candidates) {
-    const uint64_t op = system_.NextOpId();
-    auto pending = std::make_unique<PendingOp>(vm_.engine());
-    pending->outstanding = 1;
-    Future<Status> replied = pending->done.GetFuture();
-    pending_ops_[op] = std::move(pending);
+    const uint64_t op = OpenOp(1);
+    Future<Status> replied = OpFuture(op);
     Send(target, AsvmMsgType::kPageoutOffer, PageoutOffer{id, page, version, dirty, op},
          ClonePage(data));
     Status s = co_await replied;
@@ -132,11 +126,8 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
   // Step 4: return the page to the memory object's pager (its home; for copy
   // objects the peer stores it in local paging space).
   {
-    const uint64_t op = system_.NextOpId();
-    auto pending = std::make_unique<PendingOp>(vm_.engine());
-    pending->outstanding = 1;
-    Future<Status> acked = pending->done.GetFuture();
-    pending_ops_[op] = std::move(pending);
+    const uint64_t op = OpenOp(1);
+    Future<Status> acked = OpFuture(op);
     const NodeId home = info.Terminal(page);
     WritebackMsg m{id, page, version, dirty, op};
     if (home == node_) {
@@ -161,12 +152,12 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
 
 void AsvmAgent::OnOwnershipOffer(NodeId src, const OwnershipOffer& m) {
   ObjectState& os = obj_state(m.object);
-  auto it = os.pages.find(m.page);
+  PageState* found = os.pages.Find(m.page);
   const bool have_copy = os.repr != nullptr && os.repr->FindResident(m.page) != nullptr &&
-                         it != os.pages.end() && it->second.access != PageAccess::kNone &&
-                         !it->second.busy;
+                         found != nullptr && found->access != PageAccess::kNone &&
+                         !found->busy;
   if (have_copy) {
-    PageState& ps = it->second;
+    PageState& ps = *found;
     ps.owner = true;
     ps.version = m.page_version;
     ps.readers = m.readers;
@@ -179,8 +170,8 @@ void AsvmAgent::OnOwnershipOffer(NodeId src, const OwnershipOffer& m) {
 
 void AsvmAgent::OnPageoutOffer(NodeId src, const PageoutOffer& m, PageBuffer data) {
   ObjectState& os = obj_state(m.object);
-  auto it = os.pages.find(m.page);
-  const bool busy_here = it != os.pages.end() && (it->second.busy || it->second.pending);
+  const PageState* found = os.pages.Find(m.page);
+  const bool busy_here = found != nullptr && (found->busy || found->pending);
   const bool room = vm_.free_frames() > system_.config().pageout_min_free_frames;
   const bool accept = room && !busy_here && os.repr != nullptr;
   if (accept) {
@@ -204,18 +195,14 @@ void AsvmAgent::OnWriteback(NodeId src, const WritebackMsg& m, PageBuffer data) 
   AsvmObjectInfo& info = system_.info(m.object);
   ASVM_CHECK(info.Terminal(m.page) == node_);
   ObjectState& os = obj_state(m.object);
-  auto& hp = os.home_pages[m.page];
+  auto& hp = os.home_pages.GetOrCreate(m.page);
   hp.owner_exists = false;
   hp.version = m.page_version;
   Trace(TraceKind::kWriteback, m.object, m.page, src);
 
   auto finish = [this, src, m]() {
     if (src == node_) {
-      auto it = pending_ops_.find(m.op_id);
-      if (it != pending_ops_.end()) {
-        it->second->done.Set(Status::kOk);
-        pending_ops_.erase(it);
-      }
+      ResolveOp(m.op_id, Status::kOk);
     } else {
       Send(src, AsvmMsgType::kWritebackAck, OfferReply{m.object, m.page, true, m.op_id});
     }
@@ -315,7 +302,7 @@ Task AsvmAgent::PushIfNeeded(MemObjectId id, PageIndex page, PageBuffer pre_writ
       cps.owner = true;
       cps.access = PageAccess::kRead;
       cps.version = 0;
-      cs.home_pages[page].owner_exists = true;
+      cs.home_pages.GetOrCreate(page).owner_exists = true;
     }
   }
 
@@ -328,11 +315,8 @@ Task AsvmAgent::PushIfNeeded(MemObjectId id, PageIndex page, PageBuffer pre_writ
     }
   }
   if (!targets.empty()) {
-    const uint64_t op = system_.NextOpId();
-    auto pending = std::make_unique<PendingOp>(vm_.engine());
-    pending->outstanding = static_cast<int>(targets.size());
-    Future<Status> all_replied = pending->done.GetFuture();
-    pending_ops_[op] = std::move(pending);
+    const uint64_t op = OpenOp(static_cast<int>(targets.size()));
+    Future<Status> all_replied = OpFuture(op);
     for (NodeId s : targets) {
       Send(s, AsvmMsgType::kPushRequest,
            PushRequest{id, page, /*push_into_copy=*/s == copy_info.peer, op});
@@ -340,18 +324,15 @@ Task AsvmAgent::PushIfNeeded(MemObjectId id, PageIndex page, PageBuffer pre_writ
     co_await all_replied;
 
     // Second round: ship contents to nodes whose copy chain needs the page.
-    auto it = pending_ops_.find(op);
+    PendingOp* pending = FindOp(op);
     std::vector<NodeId> need_data;
-    if (it != pending_ops_.end()) {
-      need_data = std::move(it->second->need_data);
-      pending_ops_.erase(it);
+    if (pending != nullptr) {
+      need_data = std::move(pending->need_data);
+      EraseOp(op);
     }
     if (!need_data.empty()) {
-      const uint64_t op2 = system_.NextOpId();
-      auto pending2 = std::make_unique<PendingOp>(vm_.engine());
-      pending2->outstanding = static_cast<int>(need_data.size());
-      Future<Status> all_acked = pending2->done.GetFuture();
-      pending_ops_[op2] = std::move(pending2);
+      const uint64_t op2 = OpenOp(static_cast<int>(need_data.size()));
+      Future<Status> all_acked = OpFuture(op2);
       for (NodeId s : need_data) {
         Send(s, AsvmMsgType::kPushData, PushData{id, page, op2}, ClonePage(pre_write));
       }
@@ -380,7 +361,7 @@ void AsvmAgent::OnPushRequest(NodeId src, const PushRequest& m) {
       cps.owner = true;
       cps.access = PageAccess::kRead;
       cps.version = 0;
-      cs.home_pages[m.page].owner_exists = true;
+      cs.home_pages.GetOrCreate(m.page).owner_exists = true;
     }
   };
 
@@ -395,9 +376,8 @@ void AsvmAgent::OnPushRequest(NodeId src, const PushRequest& m) {
                       Send(src, AsvmMsgType::kPushReply, reply);
                     });
     // Our source-page state is gone now.
-    auto it = os.pages.find(m.page);
-    if (it != os.pages.end()) {
-      it->second.access = PageAccess::kNone;
+    if (PageState* src_ps = os.pages.Find(m.page); src_ps != nullptr) {
+      src_ps->access = PageAccess::kNone;
       PruneState(os, m.page);
     }
     return;
@@ -425,7 +405,7 @@ void AsvmAgent::OnPushData(NodeId src, const PushData& m, PageBuffer data) {
     cps.owner = true;
     cps.access = PageAccess::kRead;
     cps.version = 0;
-    cs.home_pages[m.page].owner_exists = true;
+    cs.home_pages.GetOrCreate(m.page).owner_exists = true;
   }
   Send(src, AsvmMsgType::kPushDataAck, OfferReply{m.object, m.page, true, m.op_id});
 }
@@ -441,9 +421,9 @@ Future<Status> AsvmAgent::MarkObjectReadOnly(const MemObjectId& id) {
       if (p->lock == PageAccess::kWrite) {
         p->lock = PageAccess::kRead;
       }
-      auto it = os.pages.find(page);
-      if (it != os.pages.end() && it->second.access == PageAccess::kWrite) {
-        it->second.access = PageAccess::kRead;
+      if (PageState* sp = os.pages.Find(page);
+          sp != nullptr && sp->access == PageAccess::kWrite) {
+        sp->access = PageAccess::kRead;
       }
     }
   }
@@ -465,18 +445,20 @@ void AsvmAgent::OnMarkReadOnly(NodeId src, const MarkReadOnly& m) {
 // --- Dispatcher --------------------------------------------------------------------
 
 void AsvmAgent::OnMessage(NodeId src, Message msg) {
+  AsvmBody body = std::get<AsvmBody>(std::move(msg.body));
+  // -Werror=switch keeps this dispatcher exhaustive over AsvmMsgType.
   switch (static_cast<AsvmMsgType>(msg.type)) {
     case AsvmMsgType::kAccessRequest:
-      HandleRequest(std::any_cast<AccessRequest>(std::move(msg.body)));
+      HandleRequest(std::get<AccessRequest>(std::move(body)));
       return;
     case AsvmMsgType::kAccessReply:
-      OnAccessReply(src, std::any_cast<AccessReply>(msg.body), std::move(msg.page));
+      OnAccessReply(src, std::get<AccessReply>(body), std::move(msg.page));
       return;
     case AsvmMsgType::kPullDone:
-      OnPullDone(std::any_cast<PullDone>(msg.body));
+      OnPullDone(std::get<PullDone>(body));
       return;
     case AsvmMsgType::kInvalidate:
-      OnInvalidate(src, std::any_cast<InvalidateMsg>(msg.body));
+      OnInvalidate(src, std::get<InvalidateMsg>(body));
       return;
     case AsvmMsgType::kInvalidateAck:
     case AsvmMsgType::kOwnershipOfferReply:
@@ -484,62 +466,50 @@ void AsvmAgent::OnMessage(NodeId src, Message msg) {
     case AsvmMsgType::kWritebackAck:
     case AsvmMsgType::kPushDataAck:
     case AsvmMsgType::kMarkReadOnlyAck: {
-      const auto reply = std::any_cast<OfferReply>(msg.body);
-      auto it = pending_ops_.find(reply.op_id);
-      if (it == pending_ops_.end()) {
-        return;
-      }
-      PendingOp& op = *it->second;
+      const auto& reply = std::get<OfferReply>(body);
       if (!reply.accepted &&
           static_cast<AsvmMsgType>(msg.type) != AsvmMsgType::kInvalidateAck) {
         // Offers: a decline resolves the single-shot op with failure.
-        op.done.Set(Status::kUnavailable);
-        pending_ops_.erase(it);
+        ResolveOp(reply.op_id, Status::kUnavailable);
         return;
       }
-      if (--op.outstanding == 0) {
-        op.done.Set(Status::kOk);
-        pending_ops_.erase(it);
-      }
+      AckOp(reply.op_id);
       return;
     }
     case AsvmMsgType::kOwnershipOffer:
-      OnOwnershipOffer(src, std::any_cast<OwnershipOffer>(msg.body));
+      OnOwnershipOffer(src, std::get<OwnershipOffer>(body));
       return;
     case AsvmMsgType::kPageoutOffer:
-      OnPageoutOffer(src, std::any_cast<PageoutOffer>(msg.body), std::move(msg.page));
+      OnPageoutOffer(src, std::get<PageoutOffer>(body), std::move(msg.page));
       return;
     case AsvmMsgType::kWriteback:
-      OnWriteback(src, std::any_cast<WritebackMsg>(msg.body), std::move(msg.page));
+      OnWriteback(src, std::get<WritebackMsg>(body), std::move(msg.page));
       return;
     case AsvmMsgType::kPushRequest:
-      OnPushRequest(src, std::any_cast<PushRequest>(msg.body));
+      OnPushRequest(src, std::get<PushRequest>(body));
       return;
     case AsvmMsgType::kPushReply: {
-      const auto reply = std::any_cast<PushReply>(msg.body);
-      auto it = pending_ops_.find(reply.op_id);
-      if (it == pending_ops_.end()) {
+      const auto& reply = std::get<PushReply>(body);
+      PendingOp* op = FindOp(reply.op_id);
+      if (op == nullptr) {
         return;
       }
-      PendingOp& op = *it->second;
       if (reply.needs_data) {
-        op.need_data.push_back(src);
+        op->need_data.push_back(src);
       }
-      if (--op.outstanding == 0) {
-        op.done.Set(Status::kOk);
-        // Keep the op alive: the push coroutine harvests need_data, then
-        // erases it.
-      }
+      // Keep the op alive on completion: the push coroutine harvests
+      // need_data, then erases it.
+      AckOp(reply.op_id, /*keep_entry=*/true);
       return;
     }
     case AsvmMsgType::kPushData:
-      OnPushData(src, std::any_cast<PushData>(msg.body), std::move(msg.page));
+      OnPushData(src, std::get<PushData>(body), std::move(msg.page));
       return;
     case AsvmMsgType::kMarkReadOnly:
-      OnMarkReadOnly(src, std::any_cast<MarkReadOnly>(msg.body));
+      OnMarkReadOnly(src, std::get<MarkReadOnly>(body));
       return;
     case AsvmMsgType::kStaticHint:
-      OnStaticHint(std::any_cast<StaticHintMsg>(msg.body));
+      OnStaticHint(std::get<StaticHintMsg>(body));
       return;
   }
   ASVM_CHECK_MSG(false, "unknown ASVM message type");
@@ -551,9 +521,8 @@ void AsvmAgent::OnInvalidate(NodeId src, const InvalidateMsg& m) {
     vm_.LockRequest(*os.repr, m.page, PageAccess::kNone, LockMode::kFlush,
                     [](LockResult) {});
   }
-  auto it = os.pages.find(m.page);
-  if (it != os.pages.end()) {
-    it->second.access = PageAccess::kNone;
+  if (PageState* inv_ps = os.pages.Find(m.page); inv_ps != nullptr) {
+    inv_ps->access = PageAccess::kNone;
     PruneState(os, m.page);
   }
   if (stats_ != nullptr) {

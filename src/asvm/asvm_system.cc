@@ -119,7 +119,7 @@ MemObjectId AsvmSystem::ExportObject(NodeId node, const std::shared_ptr<VmObject
     ps.access = AccessAllows(vp.lock, PageAccess::kWrite) ? PageAccess::kWrite
                                                           : PageAccess::kRead;
     ps.version = 0;
-    os.home_pages[page].owner_exists = true;
+    os.home_pages.GetOrCreate(page).owner_exists = true;
   }
   cluster_.stats().Add("asvm.exports");
   return id;

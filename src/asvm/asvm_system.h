@@ -91,7 +91,7 @@ class AsvmSystem : public DsmSystem {
   Future<VmMap*> RemoteFork(NodeId src, VmMap& parent, NodeId dst) override;
   size_t MetadataBytes(NodeId node) const override;
 
-  Cluster& cluster() { return cluster_; }
+  Cluster& cluster() override { return cluster_; }
   const AsvmConfig& config() const { return config_; }
   AsvmAgent& agent(NodeId node) { return *agents_.at(node); }
 
@@ -126,8 +126,6 @@ class AsvmSystem : public DsmSystem {
     return MemObjectId{origin, next_seq_++};
   }
 
-  uint64_t NextOpId() { return next_op_id_++; }
-
  private:
   Task RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done);
 
@@ -137,7 +135,6 @@ class AsvmSystem : public DsmSystem {
   std::vector<std::unique_ptr<AsvmAgent>> agents_;
   std::unordered_map<MemObjectId, std::unique_ptr<AsvmObjectInfo>> directory_;
   uint32_t next_seq_ = 1;
-  uint64_t next_op_id_ = 1;
 };
 
 }  // namespace asvm

@@ -6,6 +6,7 @@
 #define SRC_ASVM_MESSAGES_H_
 
 #include <cstdint>
+#include <variant>
 #include <vector>
 
 #include "src/common/types.h"
@@ -153,6 +154,61 @@ struct PullDone {
   PageIndex page;
   NodeId new_owner;
 };
+
+// The typed envelope body for the ASVM protocol: exactly one alternative per
+// distinct wire format. Several message types share a format (the six ack
+// types all carry an OfferReply; the receiver disambiguates on the type tag).
+// Dispatch is an exhaustive std::visit — adding an alternative without a
+// handler fails to compile.
+using AsvmBody =
+    std::variant<AccessRequest, AccessReply, InvalidateMsg, OwnershipOffer, OfferReply,
+                 PageoutOffer, WritebackMsg, PushRequest, PushReply, PushData, MarkReadOnly,
+                 StaticHintMsg, PullDone>;
+
+// Stats/debug label for each message type. The switch is exhaustive and the
+// build carries -Werror=switch: adding an AsvmMsgType value without extending
+// this table fails to compile.
+constexpr const char* MsgTypeName(AsvmMsgType type) {
+  switch (type) {
+    case AsvmMsgType::kAccessRequest:
+      return "access_request";
+    case AsvmMsgType::kAccessReply:
+      return "access_reply";
+    case AsvmMsgType::kPullDone:
+      return "pull_done";
+    case AsvmMsgType::kInvalidate:
+      return "invalidate";
+    case AsvmMsgType::kInvalidateAck:
+      return "invalidate_ack";
+    case AsvmMsgType::kOwnershipOffer:
+      return "ownership_offer";
+    case AsvmMsgType::kOwnershipOfferReply:
+      return "ownership_offer_reply";
+    case AsvmMsgType::kPageoutOffer:
+      return "pageout_offer";
+    case AsvmMsgType::kPageoutOfferReply:
+      return "pageout_offer_reply";
+    case AsvmMsgType::kWriteback:
+      return "writeback";
+    case AsvmMsgType::kWritebackAck:
+      return "writeback_ack";
+    case AsvmMsgType::kPushRequest:
+      return "push_request";
+    case AsvmMsgType::kPushReply:
+      return "push_reply";
+    case AsvmMsgType::kPushData:
+      return "push_data";
+    case AsvmMsgType::kPushDataAck:
+      return "push_data_ack";
+    case AsvmMsgType::kMarkReadOnly:
+      return "mark_read_only";
+    case AsvmMsgType::kMarkReadOnlyAck:
+      return "mark_read_only_ack";
+    case AsvmMsgType::kStaticHint:
+      return "static_hint";
+  }
+  return "unknown";
+}
 
 }  // namespace asvm
 

@@ -9,11 +9,11 @@ namespace asvm {
 
 bool AsvmAgent::TryHoldPage(const MemObjectId& id, PageIndex page) {
   ObjectState& os = obj_state(id);
-  auto it = os.pages.find(page);
-  if (it == os.pages.end()) {
+  PageState* found = os.pages.Find(page);
+  if (found == nullptr) {
     return false;
   }
-  PageState& ps = it->second;
+  PageState& ps = *found;
   if (!ps.owner || !AccessAllows(ps.access, PageAccess::kWrite) || ps.busy) {
     return false;
   }
@@ -29,11 +29,11 @@ bool AsvmAgent::TryHoldPage(const MemObjectId& id, PageIndex page) {
 
 void AsvmAgent::ReleasePage(const MemObjectId& id, PageIndex page) {
   ObjectState& os = obj_state(id);
-  auto it = os.pages.find(page);
-  if (it == os.pages.end() || !it->second.held()) {
+  PageState* found = os.pages.Find(page);
+  if (found == nullptr || !found->held()) {
     return;
   }
-  PageState& ps = it->second;
+  PageState& ps = *found;
   if (--ps.hold_count > 0) {
     return;  // another local holder remains
   }

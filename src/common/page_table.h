@@ -1,0 +1,172 @@
+// Per-page protocol metadata table. Object page counts are known when an
+// agent attaches an object, so the fault-path lookup is a vector index instead
+// of a hash probe; objects above kDenseLimit pages fall back to a sparse map
+// so an enormous, sparsely-touched object does not pin O(pages) host memory.
+//
+// MetadataBytes() implements the paper's accounting (invariant 7): the
+// simulated kernel stores one (PageIndex, T) record per *present* entry
+// regardless of the host representation, so the reported figure stays
+// O(resident) either way.
+//
+// Reference stability: entries of a dense table stay at fixed addresses as
+// long as accessed pages are below the declared page count — the backing
+// vector is allocated at full size on first use and never grows for in-range
+// pages. Coroutines may therefore hold a T& across suspension points, exactly
+// as they could with the node-stable unordered_map this replaces.
+#ifndef SRC_COMMON_PAGE_TABLE_H_
+#define SRC_COMMON_PAGE_TABLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace asvm {
+
+template <typename T>
+class PageTable {
+ public:
+  // Largest page count served by the dense representation (32 Ki pages = a
+  // 256 MB object at 8 KB pages).
+  static constexpr VmSize kDenseLimit = VmSize{1} << 15;
+
+  // Declares the object's page count and picks the representation. Idempotent
+  // (the first call wins); tables never given a page count stay sparse.
+  void SetPageCount(VmSize pages) {
+    if (mode_decided_) {
+      return;
+    }
+    mode_decided_ = true;
+    dense_mode_ = pages <= kDenseLimit;
+    page_count_ = pages;
+  }
+
+  bool dense() const { return dense_mode_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Returns the entry for `page`, default-constructing it if absent.
+  T& GetOrCreate(PageIndex page) {
+    if (dense_mode_) {
+      std::optional<T>& slot = DenseSlot(page);
+      if (!slot.has_value()) {
+        slot.emplace();
+        ++size_;
+      }
+      return *slot;
+    }
+    auto [it, inserted] = sparse_.try_emplace(page);
+    if (inserted) {
+      ++size_;
+    }
+    return it->second;
+  }
+
+  T* Find(PageIndex page) {
+    if (dense_mode_) {
+      const size_t idx = static_cast<size_t>(page);
+      if (page < 0 || idx >= dense_.size() || !dense_[idx].has_value()) {
+        return nullptr;
+      }
+      return &*dense_[idx];
+    }
+    auto it = sparse_.find(page);
+    return it == sparse_.end() ? nullptr : &it->second;
+  }
+
+  const T* Find(PageIndex page) const {
+    return const_cast<PageTable*>(this)->Find(page);
+  }
+
+  void Erase(PageIndex page) {
+    if (dense_mode_) {
+      const size_t idx = static_cast<size_t>(page);
+      if (page >= 0 && idx < dense_.size() && dense_[idx].has_value()) {
+        dense_[idx].reset();
+        --size_;
+      }
+      return;
+    }
+    size_ -= sparse_.erase(page);
+  }
+
+  void Clear() {
+    dense_.clear();
+    sparse_.clear();
+    size_ = 0;
+  }
+
+  // Paper accounting: one (index, payload) record per present entry.
+  size_t MetadataBytes() const { return size_ * (sizeof(PageIndex) + sizeof(T)); }
+
+  // Visits present entries in ascending page order (sparse keys are sorted
+  // first, so iteration order is deterministic in both representations).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (dense_mode_) {
+      for (size_t idx = 0; idx < dense_.size(); ++idx) {
+        if (dense_[idx].has_value()) {
+          fn(static_cast<PageIndex>(idx), *dense_[idx]);
+        }
+      }
+      return;
+    }
+    std::vector<PageIndex> keys;
+    keys.reserve(sparse_.size());
+    for (const auto& [page, value] : sparse_) {
+      keys.push_back(page);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (PageIndex page : keys) {
+      fn(page, sparse_.at(page));
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    if (dense_mode_) {
+      for (size_t idx = 0; idx < dense_.size(); ++idx) {
+        if (dense_[idx].has_value()) {
+          fn(static_cast<PageIndex>(idx), *dense_[idx]);
+        }
+      }
+      return;
+    }
+    std::vector<PageIndex> keys;
+    keys.reserve(sparse_.size());
+    for (const auto& [page, value] : sparse_) {
+      keys.push_back(page);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (PageIndex page : keys) {
+      fn(page, sparse_.at(page));
+    }
+  }
+
+ private:
+  std::optional<T>& DenseSlot(PageIndex page) {
+    const size_t idx = static_cast<size_t>(page);
+    if (idx >= dense_.size()) {
+      // First touch sizes the vector for the whole object; growth beyond the
+      // declared count only happens for out-of-range pages (a caller bug) and
+      // forfeits reference stability for that table.
+      dense_.resize(std::max(idx + 1, static_cast<size_t>(page_count_)));
+    }
+    return dense_[idx];
+  }
+
+  bool mode_decided_ = false;
+  bool dense_mode_ = false;
+  VmSize page_count_ = 0;
+  size_t size_ = 0;
+  std::vector<std::optional<T>> dense_;
+  std::unordered_map<PageIndex, T> sparse_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_COMMON_PAGE_TABLE_H_

@@ -42,6 +42,11 @@ class StatsRegistry {
   void Add(const std::string& name, int64_t delta = 1);
   int64_t Get(const std::string& name) const;
 
+  // Reference to a named counter, creating it at zero. std::map nodes are
+  // stable, so hot paths may cache the reference and increment it directly
+  // instead of paying a string lookup per event.
+  int64_t& Counter(const std::string& name) { return counters_[name]; }
+
   void Observe(const std::string& name, double value);
   const Histogram* FindHistogram(const std::string& name) const;
   Histogram& histogram(const std::string& name) { return histograms_[name]; }

@@ -29,6 +29,9 @@ ClusterParams MachineConfig::ToClusterParams() const {
 
 Machine::Machine(const MachineConfig& config) : config_(config) {
   cluster_ = std::make_unique<Cluster>(config.ToClusterParams());
+  if (config.per_type_message_stats) {
+    cluster_->EnablePerTypeMessageStats();
+  }
   switch (config.dsm) {
     case DsmKind::kAsvm:
       dsm_ = std::make_unique<AsvmSystem>(*cluster_, config.asvm);

@@ -45,6 +45,10 @@ struct MachineConfig {
   // Number of file pagers / I/O disks (on nodes 0..k-1); >1 enables striping.
   int file_pager_count = 1;
 
+  // Record per-message-type transport counters (see
+  // Cluster::EnablePerTypeMessageStats).
+  bool per_type_message_stats = false;
+
   AsvmConfig asvm;
   XmmConfig xmm;
   MeshParams mesh;

@@ -35,4 +35,10 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
 
 Cluster::~Cluster() = default;
 
+void Cluster::EnablePerTypeMessageStats() {
+  sts_->set_per_type_stats(true);
+  sts_ctl_->set_per_type_stats(true);
+  norma_->set_per_type_stats(true);
+}
+
 }  // namespace asvm

@@ -45,6 +45,11 @@ class Cluster {
 
   Engine& engine() { return engine_; }
   StatsRegistry& stats() { return stats_; }
+
+  // Opt-in per-message-type transport counters ("transport.<name>.msg.<type>")
+  // on all three transports. Off by default: the per-send lookup is host-side
+  // cost every message pays.
+  void EnablePerTypeMessageStats();
   Network& network() { return *network_; }
   StsTransport& sts() { return *sts_; }
   StsCtlTransport& sts_ctl() { return *sts_ctl_; }

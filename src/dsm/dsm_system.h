@@ -22,6 +22,14 @@ class DsmSystem {
 
   virtual std::string_view name() const = 0;
 
+  // The simulated multicomputer the system is built on.
+  virtual Cluster& cluster() = 0;
+
+  // Allocates an id for a multi-message protocol exchange (invalidation
+  // rounds, flush rounds, push rounds). One monotonic sequence per system so
+  // the agents' shared pending-op tables (ProtocolAgent) key off it.
+  uint64_t NextOpId() { return next_op_id_++; }
+
   // Creates an anonymous distributed shared memory region homed at `home`
   // (zero-filled; paging space on the home's I/O group as backing).
   virtual MemObjectId CreateSharedRegion(NodeId home, VmSize pages) = 0;
@@ -49,6 +57,9 @@ class DsmSystem {
   // Non-pageable DSM metadata held on `node`, in bytes (invariant 7: ASVM is
   // O(resident); the XMM manager is Θ(pages × sharers)).
   virtual size_t MetadataBytes(NodeId node) const = 0;
+
+ private:
+  uint64_t next_op_id_ = 1;
 };
 
 }  // namespace asvm

@@ -1,0 +1,71 @@
+#include "src/dsm/protocol_agent.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace asvm {
+
+ProtocolAgent::ProtocolAgent(DsmSystem& dsm, NodeId node)
+    : node_(node),
+      stats_(&dsm.cluster().stats()),
+      dsm_(dsm),
+      engine_(dsm.cluster().engine()) {}
+
+ProtocolAgent::~ProtocolAgent() = default;
+
+void ProtocolAgent::Listen(Transport& transport, ProtocolId protocol) {
+  transport.RegisterHandler(
+      protocol, node_, [this](NodeId src, Message msg) { OnMessage(src, std::move(msg)); });
+}
+
+Future<Status> ProtocolAgent::Process(SimDuration cost) {
+  Promise<Status> done(engine_);
+  const SimTime now = engine_.Now();
+  const SimTime ready = std::max(now, process_busy_until_) + cost;
+  process_busy_until_ = ready;
+  engine_.Schedule(ready - now, [done]() { done.Set(Status::kOk); });
+  return done.GetFuture();
+}
+
+uint64_t ProtocolAgent::OpenOp(int outstanding) {
+  const uint64_t op = dsm_.NextOpId();
+  auto pending = std::make_unique<PendingOp>(engine_);
+  pending->outstanding = outstanding;
+  pending_ops_[op] = std::move(pending);
+  return op;
+}
+
+Future<Status> ProtocolAgent::OpFuture(uint64_t op_id) {
+  return pending_ops_.at(op_id)->done.GetFuture();
+}
+
+ProtocolAgent::PendingOp* ProtocolAgent::FindOp(uint64_t op_id) {
+  auto it = pending_ops_.find(op_id);
+  return it == pending_ops_.end() ? nullptr : it->second.get();
+}
+
+void ProtocolAgent::EraseOp(uint64_t op_id) { pending_ops_.erase(op_id); }
+
+void ProtocolAgent::ResolveOp(uint64_t op_id, Status status) {
+  auto it = pending_ops_.find(op_id);
+  if (it == pending_ops_.end()) {
+    return;
+  }
+  it->second->done.Set(status);
+  pending_ops_.erase(it);
+}
+
+void ProtocolAgent::AckOp(uint64_t op_id, bool keep_entry) {
+  auto it = pending_ops_.find(op_id);
+  if (it == pending_ops_.end()) {
+    return;
+  }
+  if (--it->second->outstanding == 0) {
+    it->second->done.Set(Status::kOk);
+    if (!keep_entry) {
+      pending_ops_.erase(it);
+    }
+  }
+}
+
+}  // namespace asvm

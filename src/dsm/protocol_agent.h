@@ -1,0 +1,90 @@
+// Shared core of the per-node protocol agents (AsvmAgent, XmmAgent): handler
+// registration on a transport, per-message process-cost charging serialized on
+// the node's protocol CPU, and the pending-operation table that pairs
+// multi-message exchanges (invalidation rounds, flush rounds, push rounds)
+// with the coroutine awaiting their completion.
+#ifndef SRC_DSM_PROTOCOL_AGENT_H_
+#define SRC_DSM_PROTOCOL_AGENT_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/dsm/dsm_system.h"
+#include "src/sim/engine.h"
+#include "src/sim/future.h"
+#include "src/transport/message.h"
+#include "src/transport/transport.h"
+
+namespace asvm {
+
+class ProtocolAgent {
+ public:
+  NodeId node() const { return node_; }
+
+  ProtocolAgent(const ProtocolAgent&) = delete;
+  ProtocolAgent& operator=(const ProtocolAgent&) = delete;
+
+ protected:
+  ProtocolAgent(DsmSystem& dsm, NodeId node);
+  ~ProtocolAgent();
+
+  // Subclass dispatcher for messages addressed to (protocol, node()).
+  virtual void OnMessage(NodeId src, Message msg) = 0;
+
+  // Registers OnMessage as the (protocol, node) handler on `transport`.
+  void Listen(Transport& transport, ProtocolId protocol);
+
+  // Charges `cost` of protocol-stack work serialized on this node's protocol
+  // CPU: concurrent charges queue behind one another (the XMM manager
+  // saturation of Table 2 comes from this serialization).
+  Future<Status> Process(SimDuration cost);
+
+  // --- Pending-operation table ----------------------------------------------
+
+  // One entry per in-flight multi-message exchange, keyed by an op id the
+  // initiator allocates and every reply echoes.
+  struct PendingOp {
+    int outstanding = 0;
+    Promise<Status> done;
+    // Exchange-specific reply payloads, unioned across the protocols: push
+    // rounds collect the nodes that asked for contents; XMM write flushes
+    // return the page and its state.
+    std::vector<NodeId> need_data;
+    PageBuffer data;
+    bool dirty = false;
+    bool was_resident = false;
+    explicit PendingOp(Engine& engine) : done(engine) {}
+  };
+
+  // Allocates an op id from the owning system's sequence and inserts an entry
+  // expecting `outstanding` replies.
+  uint64_t OpenOp(int outstanding);
+  Future<Status> OpFuture(uint64_t op_id);
+  PendingOp* FindOp(uint64_t op_id);
+  void EraseOp(uint64_t op_id);
+  // Resolves the op with `status` and drops the entry, regardless of how many
+  // replies are still outstanding (declined offers, local short-circuits).
+  void ResolveOp(uint64_t op_id, Status status);
+  // Records one reply; when the last arrives the op resolves kOk. The entry
+  // is dropped then, unless `keep_entry` — set when the awaiting coroutine
+  // still harvests payload fields out of the entry before erasing it.
+  void AckOp(uint64_t op_id, bool keep_entry = false);
+
+  Engine& engine() { return engine_; }
+
+  NodeId node_;
+  StatsRegistry* stats_;
+
+ private:
+  DsmSystem& dsm_;
+  Engine& engine_;
+  std::unordered_map<uint64_t, std::unique_ptr<PendingOp>> pending_ops_;
+  SimTime process_busy_until_ = 0;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_DSM_PROTOCOL_AGENT_H_

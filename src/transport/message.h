@@ -1,15 +1,24 @@
 // Transport-neutral message container. Protocol modules (ASVM, XMM) define
-// their own typed bodies, carried here as std::any; `control_bytes` models the
-// on-wire size of the control part, and `page` carries optional page contents
-// whose size is added to the wire cost.
+// their own typed bodies, carried here as a closed std::variant envelope;
+// `control_bytes` models the on-wire size of the control part, and `page`
+// carries optional page contents whose size is added to the wire cost.
+//
+// The envelope is deliberately closed: adding a protocol or a body type means
+// adding a variant alternative here or in the protocol's messages header, and
+// every std::visit dispatch over it is exhaustive — a new alternative without
+// a handler is a compile error, not a bad_any_cast at run time. No RTTI, no
+// per-message heap allocation for the body.
 #ifndef SRC_TRANSPORT_MESSAGE_H_
 #define SRC_TRANSPORT_MESSAGE_H_
 
-#include <any>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <variant>
 #include <vector>
+
+#include "src/asvm/messages.h"
+#include "src/xmm/xmm_messages.h"
 
 namespace asvm {
 
@@ -21,6 +30,42 @@ enum class ProtocolId : uint32_t {
   kPagerControl = 3,  // pager-level traffic (file pager requests, etc.)
 };
 
+// Pager-level control traffic. The simulator's pagers talk through direct
+// coroutine calls, so this protocol carries no payload beyond its tag; it
+// exists so out-of-band pager traffic has a typed envelope alternative too.
+enum class PagerMsgType : uint32_t {
+  kControl = 1,
+};
+
+struct PagerControlMsg {
+  uint64_t token = 0;
+};
+
+using PagerBody = std::variant<PagerControlMsg>;
+
+constexpr const char* MsgTypeName(PagerMsgType type) {
+  switch (type) {
+    case PagerMsgType::kControl:
+      return "control";
+  }
+  return "unknown";
+}
+
+// The closed set of protocol bodies a Message can carry. monostate covers
+// tag-only control messages (and default construction).
+using MessageBody = std::variant<std::monostate, AsvmBody, XmmBody, PagerBody>;
+
+// Helper for exhaustive std::visit dispatch over message bodies:
+//   std::visit(Overloaded{[](const AccessRequest& r) {...}, ...}, body);
+// No generic fallback lambda is provided at call sites, so an unhandled
+// alternative fails to compile.
+template <typename... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <typename... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
 using PageBuffer = std::shared_ptr<std::vector<std::byte>>;
 
 struct Message {
@@ -29,13 +74,40 @@ struct Message {
   uint32_t type = 0;
   // Modeled size of the control part on the wire (ASVM: fixed 32 bytes).
   size_t control_bytes = 32;
-  // Typed protocol body (any_cast'd by the receiving protocol module).
-  std::any body;
+  // Typed protocol body; the receiving protocol module std::get's the
+  // alternative named by (protocol, type).
+  MessageBody body;
   // Optional page contents; its size is charged to the wire.
   PageBuffer page;
 
   size_t WireBytes() const { return control_bytes + (page ? page->size() : 0); }
 };
+
+// Stats/debug label for a message's (protocol, type) pair, from the
+// per-protocol MsgTypeName tables.
+constexpr const char* MsgTypeName(const Message& msg) {
+  switch (msg.protocol) {
+    case ProtocolId::kAsvm:
+      return MsgTypeName(static_cast<AsvmMsgType>(msg.type));
+    case ProtocolId::kXmm:
+      return MsgTypeName(static_cast<XmmMsgType>(msg.type));
+    case ProtocolId::kPagerControl:
+      return MsgTypeName(static_cast<PagerMsgType>(msg.type));
+  }
+  return "unknown";
+}
+
+constexpr const char* ProtocolName(ProtocolId protocol) {
+  switch (protocol) {
+    case ProtocolId::kAsvm:
+      return "asvm";
+    case ProtocolId::kXmm:
+      return "xmm";
+    case ProtocolId::kPagerControl:
+      return "pager";
+  }
+  return "unknown";
+}
 
 }  // namespace asvm
 

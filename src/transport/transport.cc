@@ -13,21 +13,51 @@ Transport::Transport(Engine& engine, Network& network, std::string name, Transpo
       name_(std::move(name)),
       costs_(costs),
       stats_(stats),
-      cpu_busy_until_(network.topology().node_count(), 0) {}
+      handlers_(kMaxProtocols * network.topology().node_count()),
+      cpu_busy_until_(network.topology().node_count(), 0) {
+  if (stats_ != nullptr) {
+    messages_counter_ = &stats_->Counter("transport." + name_ + ".messages");
+    bytes_counter_ = &stats_->Counter("transport." + name_ + ".bytes");
+    page_messages_counter_ = &stats_->Counter("transport." + name_ + ".page_messages");
+  }
+}
+
+Transport::Handler& Transport::HandlerSlot(ProtocolId protocol, NodeId node) {
+  const size_t p = static_cast<size_t>(protocol);
+  ASVM_CHECK_MSG(p < kMaxProtocols, "protocol id out of range");
+  ASVM_CHECK_MSG(node >= 0 && static_cast<size_t>(node) < cpu_busy_until_.size(),
+                 "node id out of range");
+  return handlers_[p * cpu_busy_until_.size() + static_cast<size_t>(node)];
+}
+
+int64_t& Transport::TypeCounter(const Message& msg) {
+  const size_t p = static_cast<size_t>(msg.protocol);
+  const size_t t = static_cast<size_t>(msg.type);
+  if (p < kMaxProtocols && t < kMaxMsgTypes) {
+    int64_t*& slot = type_counters_[p][t];
+    if (slot == nullptr) {
+      slot = &stats_->Counter("transport." + name_ + ".msg." + MsgTypeName(msg));
+    }
+    return *slot;
+  }
+  return stats_->Counter("transport." + name_ + ".msg.unknown");
+}
 
 void Transport::RegisterHandler(ProtocolId protocol, NodeId node, Handler handler) {
-  auto key = std::make_pair(static_cast<uint32_t>(protocol), node);
-  ASVM_CHECK_MSG(handlers_.find(key) == handlers_.end(), "duplicate transport handler");
-  handlers_[key] = std::move(handler);
+  Handler& slot = HandlerSlot(protocol, node);
+  ASVM_CHECK_MSG(!slot, "duplicate transport handler");
+  slot = std::move(handler);
 }
 
 void Transport::Send(NodeId src, NodeId dst, Message msg) {
   if (stats_ != nullptr) {
-    stats_->Add("transport." + name_ + ".messages");
-    stats_->Add("transport." + name_ + ".bytes",
-                static_cast<int64_t>(msg.WireBytes() + costs_.control_overhead_bytes));
+    ++*messages_counter_;
+    *bytes_counter_ += static_cast<int64_t>(msg.WireBytes() + costs_.control_overhead_bytes);
     if (msg.page) {
-      stats_->Add("transport." + name_ + ".page_messages");
+      ++*page_messages_counter_;
+    }
+    if (per_type_stats_) {
+      ++TypeCounter(msg);
     }
   }
 
@@ -35,9 +65,9 @@ void Transport::Send(NodeId src, NodeId dst, Message msg) {
     // Node-local delivery: no wire, no port/receive queue — just the modeled
     // local handoff cost.
     engine_.Schedule(costs_.local_delivery_ns, [this, src, dst, msg = std::move(msg)]() mutable {
-      auto it = handlers_.find(std::make_pair(static_cast<uint32_t>(msg.protocol), dst));
-      ASVM_CHECK_MSG(it != handlers_.end(), "no transport handler registered");
-      it->second(src, std::move(msg));
+      Handler& handler = HandlerSlot(msg.protocol, dst);
+      ASVM_CHECK_MSG(handler, "no transport handler registered");
+      handler(src, std::move(msg));
     });
     return;
   }
@@ -68,9 +98,9 @@ void Transport::Deliver(NodeId src, NodeId dst, Message msg) {
   cpu_busy_until_[dst] = handled_at;
 
   engine_.Schedule(handled_at - now, [this, src, dst, msg = std::move(msg)]() mutable {
-    auto it = handlers_.find(std::make_pair(static_cast<uint32_t>(msg.protocol), dst));
-    ASVM_CHECK_MSG(it != handlers_.end(), "no transport handler registered");
-    it->second(src, std::move(msg));
+    Handler& handler = HandlerSlot(msg.protocol, dst);
+    ASVM_CHECK_MSG(handler, "no transport handler registered");
+    handler(src, std::move(msg));
   });
 }
 

@@ -14,8 +14,8 @@
 #ifndef SRC_TRANSPORT_TRANSPORT_H_
 #define SRC_TRANSPORT_TRANSPORT_H_
 
+#include <array>
 #include <functional>
-#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,19 +58,40 @@ class Transport {
   const std::string& name() const { return name_; }
   const TransportCosts& costs() const { return costs_; }
 
+  // When enabled, every send also bumps a per-message-type counter
+  // ("transport.<name>.msg.<MsgTypeName>"). Off by default: the extra counter
+  // per message is only worth paying for when a tool asks for the breakdown.
+  void set_per_type_stats(bool enabled) { per_type_stats_ = enabled; }
+
  private:
+  // Protocol ids are small contiguous integers; message-type tags are small
+  // per-protocol enums. Both are bounded so dispatch and the per-type counter
+  // cache can be flat arrays instead of map lookups on the hot path.
+  static constexpr size_t kMaxProtocols = 4;
+  static constexpr size_t kMaxMsgTypes = 32;
+
   void Deliver(NodeId src, NodeId dst, Message msg);
+  Handler& HandlerSlot(ProtocolId protocol, NodeId node);
+  int64_t& TypeCounter(const Message& msg);
 
   Engine& engine_;
   Network& network_;
   std::string name_;
   TransportCosts costs_;
   StatsRegistry* stats_;
-  std::map<std::pair<uint32_t, NodeId>, Handler> handlers_;
+  // Indexed [protocol * node_count + node]; empty std::function = unregistered.
+  std::vector<Handler> handlers_;
   // One protocol CPU per node: sending and receiving share it, so a node
   // fanning out invalidations also pays for each ack it absorbs (the additive
   // per-reader slope of Table 1 / Figure 10).
   std::vector<SimTime> cpu_busy_until_;
+  // Cached counter references so the per-send cost is an increment, not a
+  // string build + map lookup.
+  int64_t* messages_counter_ = nullptr;
+  int64_t* bytes_counter_ = nullptr;
+  int64_t* page_messages_counter_ = nullptr;
+  bool per_type_stats_ = false;
+  std::array<std::array<int64_t*, kMaxMsgTypes>, kMaxProtocols> type_counters_{};
 };
 
 // Factory helpers with the calibrated cost models (see DESIGN.md §4).

@@ -7,14 +7,11 @@
 namespace asvm {
 
 XmmAgent::XmmAgent(XmmSystem& system, NodeId node)
-    : system_(system),
-      node_(node),
+    : ProtocolAgent(system, node),
+      system_(system),
       vm_(system.cluster().vm(node)),
-      stats_(&system.cluster().stats()),
       copy_threads_(system.cluster().engine(), system.config().copy_pager_threads) {
-  system_.cluster().norma().RegisterHandler(
-      ProtocolId::kXmm, node_,
-      [this](NodeId src, Message msg) { OnMessage(src, std::move(msg)); });
+  Listen(system_.cluster().norma(), ProtocolId::kXmm);
 }
 
 XmmAgent::~XmmAgent() = default;
@@ -131,6 +128,7 @@ XmmAgent::ManagerState& XmmAgent::mgr_state(const MemObjectId& id) {
     // The centralized manager's state table: 1 byte of non-pageable memory
     // per page per node (§3.1, "Limited Memory Requirements").
     ms->access.assign(info.pages * system_.cluster().node_count(), 0);
+    ms->pages.SetPageCount(info.pages);
     it = manager_.emplace(id, std::move(ms)).first;
   }
   return *it->second;
@@ -165,7 +163,7 @@ std::vector<NodeId> XmmAgent::FindReaders(ManagerState& ms, const MemObjectId&, 
 
 void XmmAgent::ManagerHandle(XmmRequest req) {
   ManagerState& ms = mgr_state(req.object);
-  ManagerState::PageCtl& ctl = ms.pages[req.page];
+  ManagerState::PageCtl& ctl = ms.pages.GetOrCreate(req.page);
   if (ctl.busy) {
     ctl.queue.push_back(std::move(req));
     return;
@@ -175,13 +173,7 @@ void XmmAgent::ManagerHandle(XmmRequest req) {
 }
 
 Future<Status> XmmAgent::StackProcess() {
-  Engine& engine = vm_.engine();
-  Promise<Status> done(engine);
-  const SimTime now = engine.Now();
-  const SimTime ready = std::max(now, stack_busy_until_) + system_.config().stack_process_ns;
-  stack_busy_until_ = ready;
-  engine.Schedule(ready - now, [done]() { done.Set(Status::kOk); });
-  return done.GetFuture();
+  return Process(system_.config().stack_process_ns);
 }
 
 Task XmmAgent::ManagerServe(XmmRequest req) {
@@ -197,22 +189,21 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   }
 
   // Step 1 (§2.3.2): create a coherent version of the page at the pager.
+  // `ctl` stays valid across co_await: the dense PageTable never reallocates
+  // for in-range pages.
   const NodeId writer = FindWriter(ms, req.object, req.page);
-  ManagerState::PageCtl& ctl = ms.pages[req.page];
+  ManagerState::PageCtl& ctl = ms.pages.GetOrCreate(req.page);
   if (writer != kInvalidNode && writer != req.origin) {
-    const uint64_t op = system_.NextOpId();
-    auto pending = std::make_unique<PendingFlush>(engine);
-    pending->outstanding = 1;
-    Future<Status> flushed = pending->done.GetFuture();
-    pending_[op] = std::move(pending);
+    const uint64_t op = OpenOp(1);
+    Future<Status> flushed = OpFuture(op);
     Send(writer, XmmMsgType::kFlushWrite, XmmFlush{req.object, req.page, op});
     co_await flushed;
-    auto it = pending_.find(op);
-    ASVM_CHECK(it != pending_.end());
-    PageBuffer data = std::move(it->second->data);
-    const bool dirty = it->second->dirty;
-    const bool resident = it->second->was_resident;
-    pending_.erase(it);
+    PendingOp* pending = FindOp(op);
+    ASVM_CHECK(pending != nullptr);
+    PageBuffer data = std::move(pending->data);
+    const bool dirty = pending->dirty;
+    const bool resident = pending->was_resident;
+    EraseOp(op);
     AccessByte(ms, req.page, writer) = 0;
     if (resident) {
       if (dirty) {
@@ -236,11 +227,8 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   if (req.access == PageAccess::kWrite) {
     std::vector<NodeId> readers = FindReaders(ms, req.object, req.page, req.origin);
     if (!readers.empty()) {
-      const uint64_t op = system_.NextOpId();
-      auto pending = std::make_unique<PendingFlush>(engine);
-      pending->outstanding = static_cast<int>(readers.size());
-      Future<Status> acked = pending->done.GetFuture();
-      pending_[op] = std::move(pending);
+      const uint64_t op = OpenOp(static_cast<int>(readers.size()));
+      Future<Status> acked = OpFuture(op);
       for (NodeId r : readers) {
         Send(r, XmmMsgType::kFlushRead, XmmFlush{req.object, req.page, op});
         if (stats_ != nullptr) {
@@ -248,7 +236,7 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
         }
       }
       co_await acked;
-      pending_.erase(op);
+      EraseOp(op);
       for (NodeId r : readers) {
         AccessByte(ms, req.page, r) = 0;
       }
@@ -364,12 +352,14 @@ Task XmmAgent::CopyFaultTask(NodeId src, XmmCopyFault m) {
 // --- Dispatcher -------------------------------------------------------------------
 
 void XmmAgent::OnMessage(NodeId src, Message msg) {
+  XmmBody body = std::get<XmmBody>(std::move(msg.body));
+  // -Werror=switch keeps this dispatcher exhaustive over XmmMsgType.
   switch (static_cast<XmmMsgType>(msg.type)) {
     case XmmMsgType::kRequest:
-      ManagerHandle(std::any_cast<XmmRequest>(std::move(msg.body)));
+      ManagerHandle(std::get<XmmRequest>(std::move(body)));
       return;
     case XmmMsgType::kReply: {
-      const auto reply = std::any_cast<XmmReply>(msg.body);
+      const auto& reply = std::get<XmmReply>(body);
       auto repr = reprs_.at(reply.object);
       if (reply.upgrade) {
         if (repr->FindResident(reply.page) != nullptr) {
@@ -387,7 +377,7 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
       return;
     }
     case XmmMsgType::kFlushWrite: {
-      const auto m = std::any_cast<XmmFlush>(msg.body);
+      const auto& m = std::get<XmmFlush>(body);
       auto repr = reprs_.at(m.object);
       NodeVm::Extracted ex = vm_.ExtractPage(*repr, m.page);
       XmmFlushWriteReply reply{m.object, m.page, ex.dirty, ex.was_resident, m.op_id};
@@ -399,11 +389,11 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
       return;
     }
     case XmmMsgType::kFlushWriteReply: {
-      const auto m = std::any_cast<XmmFlushWriteReply>(msg.body);
+      const auto& m = std::get<XmmFlushWriteReply>(body);
       if (m.op_id == 0) {
         // Unsolicited data return from an eviction: refresh the pager copy.
         ManagerState& ms = mgr_state(m.object);
-        ManagerState::PageCtl& ctl = ms.pages[m.page];
+        ManagerState::PageCtl& ctl = ms.pages.GetOrCreate(m.page);
         ctl.pager_copy = std::move(msg.page);
         AccessByte(ms, m.page, src) = 0;
         XmmObjectInfo& info = system_.info(m.object);
@@ -412,20 +402,19 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
         }
         return;
       }
-      auto it = pending_.find(m.op_id);
-      if (it == pending_.end()) {
+      PendingOp* op = FindOp(m.op_id);
+      if (op == nullptr) {
         return;
       }
-      it->second->data = std::move(msg.page);
-      it->second->dirty = m.dirty;
-      it->second->was_resident = m.was_resident;
-      if (--it->second->outstanding == 0) {
-        it->second->done.Set(Status::kOk);
-      }
+      op->data = std::move(msg.page);
+      op->dirty = m.dirty;
+      op->was_resident = m.was_resident;
+      // The manager coroutine harvests the flush payload, then erases the op.
+      AckOp(m.op_id, /*keep_entry=*/true);
       return;
     }
     case XmmMsgType::kFlushRead: {
-      const auto m = std::any_cast<XmmFlush>(msg.body);
+      const auto& m = std::get<XmmFlush>(body);
       auto repr = reprs_.at(m.object);
       if (repr->FindResident(m.page) != nullptr) {
         vm_.LockRequest(*repr, m.page, PageAccess::kNone, LockMode::kFlush,
@@ -436,21 +425,16 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
       return;
     }
     case XmmMsgType::kFlushReadAck: {
-      const auto m = std::any_cast<XmmFlushWriteReply>(msg.body);
-      auto it = pending_.find(m.op_id);
-      if (it == pending_.end()) {
-        return;
-      }
-      if (--it->second->outstanding == 0) {
-        it->second->done.Set(Status::kOk);
-      }
+      const auto& m = std::get<XmmFlushWriteReply>(body);
+      // The manager coroutine erases the op after the round completes.
+      AckOp(m.op_id, /*keep_entry=*/true);
       return;
     }
     case XmmMsgType::kCopyFault:
-      (void)CopyFaultTask(src, std::any_cast<XmmCopyFault>(std::move(msg.body)));
+      (void)CopyFaultTask(src, std::get<XmmCopyFault>(std::move(body)));
       return;
     case XmmMsgType::kCopyFaultReply: {
-      const auto m = std::any_cast<XmmCopyFaultReply>(msg.body);
+      const auto& m = std::get<XmmCopyFaultReply>(body);
       auto repr = reprs_.at(m.object);
       if (m.deadlock) {
         vm_.FaultFailed(*repr, m.page, Status::kDeadlock);
@@ -465,7 +449,7 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
   ASVM_CHECK_MSG(false, "unknown XMM message type");
 }
 
-void XmmAgent::Send(NodeId to, XmmMsgType type, std::any body, PageBuffer page) {
+void XmmAgent::Send(NodeId to, XmmMsgType type, XmmBody body, PageBuffer page) {
   Message msg;
   msg.protocol = ProtocolId::kXmm;
   msg.type = static_cast<uint32_t>(type);

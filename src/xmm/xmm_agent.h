@@ -11,7 +11,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/page_table.h"
 #include "src/common/types.h"
+#include "src/dsm/protocol_agent.h"
 #include "src/machvm/node_vm.h"
 #include "src/machvm/pager.h"
 #include "src/machvm/task_memory.h"
@@ -21,12 +23,10 @@
 
 namespace asvm {
 
-class XmmAgent : public Pager {
+class XmmAgent : public Pager, public ProtocolAgent {
  public:
   XmmAgent(XmmSystem& system, NodeId node);
   ~XmmAgent() override;
-
-  NodeId node() const { return node_; }
 
   std::shared_ptr<VmObject> Attach(const MemObjectId& id);
 
@@ -42,7 +42,7 @@ class XmmAgent : public Pager {
       // pager holds the current contents in memory (clean).
       PageBuffer pager_copy;
     };
-    std::unordered_map<PageIndex, PageCtl> pages;
+    PageTable<PageCtl> pages;
   };
 
   // Copy-pager state on a fork-source node: the frozen local copy map one
@@ -85,32 +85,22 @@ class XmmAgent : public Pager {
   // Copy-pager role.
   Task CopyFaultTask(NodeId src, XmmCopyFault m);
 
-  void OnMessage(NodeId src, Message msg);
-  void Send(NodeId to, XmmMsgType type, std::any body, PageBuffer page = nullptr);
+  void OnMessage(NodeId src, Message msg) override;
+  void Send(NodeId to, XmmMsgType type, XmmBody body, PageBuffer page = nullptr);
 
-  struct PendingFlush {
-    int outstanding = 0;
-    Promise<Status> done;
-    PageBuffer data;   // from a write flush
-    bool dirty = false;
-    bool was_resident = false;
-    explicit PendingFlush(Engine& engine) : done(engine) {}
-  };
+  // Pending flush rounds live in the ProtocolAgent pending-op table (the
+  // write-flush data/dirty/was_resident ride in PendingOp).
 
   XmmSystem& system_;
-  NodeId node_;
   NodeVm& vm_;
-  StatsRegistry* stats_;
   SimSemaphore copy_threads_;
   std::unordered_map<MemObjectId, std::shared_ptr<VmObject>> reprs_;
   std::unordered_map<MemObjectId, std::unique_ptr<ManagerState>> manager_;
   std::unordered_map<MemObjectId, CopyPagerEntry> copy_pagers_;
-  std::unordered_map<uint64_t, std::unique_ptr<PendingFlush>> pending_;
   // Path of the copy fault currently being served by a local pager thread, so
   // nested faults extend it for cycle detection. Best-effort under
   // concurrency (detection, not correctness).
   const std::vector<NodeId>* copy_fault_path_ = nullptr;
-  SimTime stack_busy_until_ = 0;
 };
 
 }  // namespace asvm

@@ -6,6 +6,7 @@
 #define SRC_XMM_XMM_MESSAGES_H_
 
 #include <cstdint>
+#include <variant>
 #include <vector>
 
 #include "src/common/types.h"
@@ -68,6 +69,35 @@ struct XmmCopyFaultReply {
   bool zero_fill = false;
   bool deadlock = false;
 };
+
+// Typed envelope body for the XMMI protocol; one alternative per wire format
+// (XmmFlush serves both flush directions, XmmFlushWriteReply doubles as the
+// read-flush ack — the type tag disambiguates, as on the real wire).
+using XmmBody = std::variant<XmmRequest, XmmReply, XmmFlush, XmmFlushWriteReply, XmmCopyFault,
+                             XmmCopyFaultReply>;
+
+// Stats/debug label per message type; exhaustive under -Werror=switch.
+constexpr const char* MsgTypeName(XmmMsgType type) {
+  switch (type) {
+    case XmmMsgType::kRequest:
+      return "request";
+    case XmmMsgType::kReply:
+      return "reply";
+    case XmmMsgType::kFlushWrite:
+      return "flush_write";
+    case XmmMsgType::kFlushWriteReply:
+      return "flush_write_reply";
+    case XmmMsgType::kFlushRead:
+      return "flush_read";
+    case XmmMsgType::kFlushReadAck:
+      return "flush_read_ack";
+    case XmmMsgType::kCopyFault:
+      return "copy_fault";
+    case XmmMsgType::kCopyFaultReply:
+      return "copy_fault_reply";
+  }
+  return "unknown";
+}
 
 }  // namespace asvm
 

@@ -65,13 +65,12 @@ class XmmSystem : public DsmSystem {
   Future<VmMap*> RemoteFork(NodeId src, VmMap& parent, NodeId dst) override;
   size_t MetadataBytes(NodeId node) const override;
 
-  Cluster& cluster() { return cluster_; }
+  Cluster& cluster() override { return cluster_; }
   const XmmConfig& config() const { return config_; }
   XmmAgent& agent(NodeId node) { return *agents_.at(node); }
 
   XmmObjectInfo& info(const MemObjectId& id);
   MemObjectId NewObjectId(NodeId origin) { return MemObjectId{origin, next_seq_++}; }
-  uint64_t NextOpId() { return next_op_id_++; }
 
  private:
   Task RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done);
@@ -81,7 +80,6 @@ class XmmSystem : public DsmSystem {
   std::vector<std::unique_ptr<XmmAgent>> agents_;
   std::unordered_map<MemObjectId, std::unique_ptr<XmmObjectInfo>> directory_;
   uint32_t next_seq_ = 1;
-  uint64_t next_op_id_ = 1;
 };
 
 }  // namespace asvm

@@ -155,8 +155,8 @@ TEST_F(AsvmCoherencyTest, OwnerResidencyInvariant) {
     if (os == nullptr) {
       continue;
     }
-    auto it = os->pages.find(0);
-    if (it != os->pages.end() && it->second.owner) {
+    const auto* ps = os->pages.Find(0);
+    if (ps != nullptr && ps->owner) {
       ++owners;
       ASSERT_NE(os->repr, nullptr);
       EXPECT_NE(os->repr->FindResident(0), nullptr)

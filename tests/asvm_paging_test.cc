@@ -104,11 +104,11 @@ TEST_F(AsvmPagingTest, PageoutSticksToAcceptingNode) {
       continue;
     }
     int owned = 0;
-    for (auto& [page, ps] : os->pages) {
+    os->pages.ForEach([&owned](PageIndex, const AsvmAgent::PageState& ps) {
       if (ps.owner) {
         ++owned;
       }
-    }
+    });
     if (owned > 0) {
       ++nodes_with_pages;
     }

@@ -95,6 +95,59 @@ TEST(DeterminismTest, FileBenchRatesAreBitStable) {
   EXPECT_DOUBLE_EQ(run(), run());
 }
 
+// Golden digests: the FNV-1a fold of read values, completion times, and final
+// traffic counters of a fixed random coherency workload. These pins the whole
+// simulated timeline — any protocol, transport, or scheduling change that
+// shifts a single event by one tick changes the digest. Recorded from the
+// original seed implementation; the typed-envelope/PageTable/ProtocolAgent
+// refactor was required to preserve them bit-exactly.
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t DigestWorkload(DsmKind kind) {
+  MachineConfig config;
+  config.nodes = 6;
+  config.dsm = kind;
+  Machine machine(config);
+  MemObjectId region = machine.CreateSharedRegion(0, 32);
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < 6; ++n) {
+    mems.push_back(&machine.MapRegion(n, region));
+  }
+  Rng rng(1234);
+  uint64_t digest = 14695981039346656037ULL;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.NextBelow(6));
+    const VmOffset addr = rng.NextBelow(32) * 8192;
+    if (rng.NextBool(0.5)) {
+      auto w = mems[node]->WriteU64(addr, static_cast<uint64_t>(i));
+      machine.Run();
+    } else {
+      auto r = mems[node]->ReadU64(addr);
+      machine.Run();
+      digest = Fnv1a(digest, r.ready() ? r.value() : ~0ULL);
+    }
+    digest = Fnv1a(digest, static_cast<uint64_t>(machine.Now()));
+  }
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.messages")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.bytes")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("vm.faults")));
+  return digest;
+}
+
+TEST(DeterminismTest, AsvmTimelineDigestMatchesGolden) {
+  EXPECT_EQ(DigestWorkload(DsmKind::kAsvm), 16791609795929360054ULL);
+}
+
+TEST(DeterminismTest, XmmTimelineDigestMatchesGolden) {
+  EXPECT_EQ(DigestWorkload(DsmKind::kXmm), 9185313916855082992ULL);
+}
+
 TEST(DeterminismTest, DifferentSeedsDiverge) {
   // Sanity that the workload above actually depends on the RNG stream.
   auto run = [](uint64_t seed) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -11,10 +12,6 @@
 namespace asvm {
 namespace {
 
-struct PingBody {
-  int value = 0;
-};
-
 class TransportTest : public ::testing::Test {
  protected:
   TransportTest()
@@ -22,13 +19,18 @@ class TransportTest : public ::testing::Test {
         sts_(engine_, network_, &stats_),
         norma_(engine_, network_, &stats_) {}
 
+  // A minimal typed message: the ping value rides in PullDone::page.
   Message MakeMsg(int value, PageBuffer page = nullptr) {
     Message msg;
     msg.protocol = ProtocolId::kAsvm;
-    msg.type = 1;
-    msg.body = PingBody{value};
+    msg.type = static_cast<uint32_t>(AsvmMsgType::kPullDone);
+    msg.body = AsvmBody{PullDone{MemObjectId{}, value}};
     msg.page = std::move(page);
     return msg;
+  }
+
+  static int PingValue(const Message& msg) {
+    return static_cast<int>(std::get<PullDone>(std::get<AsvmBody>(msg.body)).page);
   }
 
   Engine engine_;
@@ -43,7 +45,7 @@ TEST_F(TransportTest, DeliversBodyToRegisteredHandler) {
   NodeId from = kInvalidNode;
   sts_.RegisterHandler(ProtocolId::kAsvm, 3, [&](NodeId src, Message msg) {
     from = src;
-    received = std::any_cast<PingBody>(msg.body).value;
+    received = PingValue(msg);
   });
   sts_.Send(0, 3, MakeMsg(42));
   engine_.Run();
@@ -56,8 +58,10 @@ TEST_F(TransportTest, HandlersAreKeyedByProtocolAndNode) {
   int pager_count = 0;
   sts_.RegisterHandler(ProtocolId::kAsvm, 1, [&](NodeId, Message) { ++asvm_count; });
   sts_.RegisterHandler(ProtocolId::kPagerControl, 1, [&](NodeId, Message) { ++pager_count; });
-  Message msg = MakeMsg(1);
+  Message msg;
   msg.protocol = ProtocolId::kPagerControl;
+  msg.type = static_cast<uint32_t>(PagerMsgType::kControl);
+  msg.body = PagerBody{PagerControlMsg{7}};
   sts_.Send(0, 1, std::move(msg));
   sts_.Send(0, 1, MakeMsg(2));
   engine_.Run();
@@ -159,6 +163,18 @@ TEST_F(TransportTest, StatsTrackPerTransportTraffic) {
   // NORMA charges port/typing overhead on the wire.
   EXPECT_EQ(stats_.Get("transport.norma.bytes"),
             static_cast<int64_t>(32 + NormaIpcCosts().control_overhead_bytes));
+}
+
+TEST_F(TransportTest, PerTypeCountersAreOptIn) {
+  sts_.RegisterHandler(ProtocolId::kAsvm, 1, [](NodeId, Message) {});
+  sts_.Send(0, 1, MakeMsg(1));
+  engine_.Run();
+  EXPECT_EQ(stats_.Get("transport.sts.msg.pull_done"), 0);
+  sts_.set_per_type_stats(true);
+  sts_.Send(0, 1, MakeMsg(2));
+  sts_.Send(0, 1, MakeMsg(3));
+  engine_.Run();
+  EXPECT_EQ(stats_.Get("transport.sts.msg.pull_done"), 2);
 }
 
 TEST_F(TransportTest, DuplicateHandlerRegistrationAborts) {

@@ -36,6 +36,7 @@ struct Options {
   int stripes = 1;
   bool trace = false;
   bool stats = false;
+  bool msg_stats = false;
   bool dynamic_fwd = true;
   bool static_fwd = true;
 };
@@ -54,7 +55,8 @@ void Usage() {
       "  --no-dynamic             disable dynamic forwarding (ASVM)\n"
       "  --no-static              disable static forwarding (ASVM)\n"
       "  --trace                  print the protocol event trace (ASVM)\n"
-      "  --stats                  dump the statistics registry\n");
+      "  --stats                  dump the statistics registry\n"
+      "  --msg-stats              count transport messages per protocol type\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -99,6 +101,8 @@ bool Parse(int argc, char** argv, Options* opts) {
       opts->trace = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       opts->stats = true;
+    } else if (std::strcmp(argv[i], "--msg-stats") == 0) {
+      opts->msg_stats = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       return false;
     } else {
@@ -239,6 +243,7 @@ int Run(const Options& opts) {
   config.file_pager_count = opts.stripes;
   config.asvm.dynamic_forwarding = opts.dynamic_fwd;
   config.asvm.static_forwarding = opts.static_fwd;
+  config.per_type_message_stats = opts.msg_stats;
   Machine machine(config);
 
   TraceBuffer trace;
@@ -270,6 +275,15 @@ int Run(const Options& opts) {
   if (opts.trace && opts.dsm == DsmKind::kAsvm) {
     std::printf("\nprotocol trace (last %zu events):\n%s", trace.events().size(),
                 trace.Render().c_str());
+  }
+  if (opts.msg_stats && !opts.stats) {
+    // Print just the per-type transport counters without the full registry.
+    std::printf("\nper-type message counts:\n");
+    for (const auto& [name, value] : machine.stats().counters()) {
+      if (name.find(".msg.") != std::string::npos) {
+        std::printf("  %-48s %lld\n", name.c_str(), static_cast<long long>(value));
+      }
+    }
   }
   if (opts.stats) {
     std::printf("\nstatistics registry:\n%s", machine.stats().Report().c_str());
