@@ -144,6 +144,42 @@ size_t AsvmAgent::MetadataBytes() const {
   return bytes;
 }
 
+bool AsvmAgent::DescribeStall(std::string& out) const {
+  bool blocked = ProtocolAgent::DescribeStall(out);
+  // Coherency state of pages stuck mid-transition (busy or pending) and the
+  // requests parked behind them. Objects are sorted for determinism.
+  std::vector<MemObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, os] : objects_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const MemObjectId& id : ids) {
+    const ObjectState& os = *objects_.at(id);
+    os.pages.ForEach([&](PageIndex page, const PageState& ps) {
+      if (!ps.busy && !ps.pending && ps.queue.empty()) {
+        return;
+      }
+      blocked = true;
+      out += "  asvm node " + std::to_string(node_) + ": object " + id.ToString() + " page " +
+             std::to_string(page) + " access=" + std::string(ToString(ps.access)) +
+             (ps.owner ? " OWNER" : "") + (ps.busy ? " busy" : "") +
+             (ps.pending ? " pending" : "") + ", " + std::to_string(ps.queue.size()) +
+             " requests queued\n";
+    });
+    os.terminal.ForEach([&](PageIndex page, const TerminalCtl& ctl) {
+      if (!ctl.busy && ctl.queue.empty()) {
+        return;
+      }
+      blocked = true;
+      out += "  asvm node " + std::to_string(node_) + ": terminal for object " + id.ToString() +
+             " page " + std::to_string(page) + (ctl.busy ? " busy" : " idle") + ", " +
+             std::to_string(ctl.queue.size()) + " requests queued\n";
+    });
+  }
+  return blocked;
+}
+
 // --- EMMI upcalls (local kernel -> ASVM) --------------------------------------
 
 void AsvmAgent::DataRequest(VmObject& object, PageIndex page, PageAccess desired) {

@@ -173,6 +173,11 @@ class AsvmAgent : public Pager, public ProtocolAgent {
   // --- Message handlers ---------------------------------------------------------
 
   void OnMessage(NodeId src, Message msg) override;
+
+  // Stall-watchdog probe: base pending ops plus the coherency state of pages
+  // stuck busy/pending and the depth of their parked request queues.
+  bool DescribeStall(std::string& out) const override;
+
   void OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer data);
   void OnInvalidate(NodeId src, const InvalidateMsg& m);
   void OnOwnershipOffer(NodeId src, const OwnershipOffer& m);

@@ -198,7 +198,7 @@ Task AsvmAgent::InvalidateReaders(MemObjectId id, PageIndex page, NodeId except,
     done.Set(Status::kOk);
     co_return;
   }
-  const uint64_t op = OpenOp(static_cast<int>(targets.size()));
+  const uint64_t op = OpenOp(static_cast<int>(targets.size()), "invalidate-round", id, page);
   Future<Status> all_acked = OpFuture(op);
   for (NodeId r : targets) {
     Send(r, AsvmMsgType::kInvalidate, InvalidateMsg{id, page, op});
@@ -207,8 +207,17 @@ Task AsvmAgent::InvalidateReaders(MemObjectId id, PageIndex page, NodeId except,
       stats_->Add("asvm.invalidations");
     }
   }
-  co_await all_acked;
-  done.Set(Status::kOk);
+  ArmOp(op, [this, id, page, op, targets]() {
+    const PendingOp* pending = FindOp(op);
+    for (NodeId r : targets) {
+      if (pending != nullptr && Contains(pending->acked, r)) {
+        continue;  // already answered; only re-ask the silent readers
+      }
+      Send(r, AsvmMsgType::kInvalidate, InvalidateMsg{id, page, op});
+    }
+  });
+  const Status s = co_await all_acked;
+  done.Set(s);
 }
 
 // --- Origin side: grants -------------------------------------------------------

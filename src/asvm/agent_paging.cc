@@ -54,7 +54,7 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
     if (r == node_) {
       continue;
     }
-    const uint64_t op = OpenOp(1);
+    const uint64_t op = OpenOp(1, "ownership-offer", id, page);
     Future<Status> replied = OpFuture(op);
     std::vector<NodeId> remaining;
     for (NodeId other : readers) {
@@ -63,6 +63,9 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
       }
     }
     Send(r, AsvmMsgType::kOwnershipOffer, OwnershipOffer{id, page, version, remaining, op});
+    ArmOp(op, [this, r, id, page, version, remaining, op]() {
+      Send(r, AsvmMsgType::kOwnershipOffer, OwnershipOffer{id, page, version, remaining, op});
+    });
     Status s = co_await replied;
     if (IsOk(s)) {
       // Accepted: ownership moved without the page contents.
@@ -101,10 +104,14 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
     }
   }
   for (NodeId target : candidates) {
-    const uint64_t op = OpenOp(1);
+    const uint64_t op = OpenOp(1, "pageout-offer", id, page);
     Future<Status> replied = OpFuture(op);
     Send(target, AsvmMsgType::kPageoutOffer, PageoutOffer{id, page, version, dirty, op},
          ClonePage(data));
+    ArmOp(op, [this, target, id, page, version, dirty, data, op]() {
+      Send(target, AsvmMsgType::kPageoutOffer, PageoutOffer{id, page, version, dirty, op},
+           ClonePage(data));
+    });
     Status s = co_await replied;
     if (IsOk(s)) {
       if (stats_ != nullptr) {
@@ -126,7 +133,7 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
   // Step 4: return the page to the memory object's pager (its home; for copy
   // objects the peer stores it in local paging space).
   {
-    const uint64_t op = OpenOp(1);
+    const uint64_t op = OpenOp(1, "writeback", id, page);
     Future<Status> acked = OpFuture(op);
     const NodeId home = info.Terminal(page);
     WritebackMsg m{id, page, version, dirty, op};
@@ -134,6 +141,9 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
       OnWriteback(node_, m, ClonePage(data));
     } else {
       Send(home, AsvmMsgType::kWriteback, m, ClonePage(data));
+      ArmOp(op, [this, home, m, data]() {
+        Send(home, AsvmMsgType::kWriteback, m, ClonePage(data));
+      });
     }
     co_await acked;
     if (stats_ != nullptr) {
@@ -151,6 +161,9 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
 }
 
 void AsvmAgent::OnOwnershipOffer(NodeId src, const OwnershipOffer& m) {
+  if (DuplicateDelivery(m.op_id)) {
+    return;  // a retry's second copy; the first answer already went out
+  }
   ObjectState& os = obj_state(m.object);
   PageState* found = os.pages.Find(m.page);
   const bool have_copy = os.repr != nullptr && os.repr->FindResident(m.page) != nullptr &&
@@ -169,6 +182,9 @@ void AsvmAgent::OnOwnershipOffer(NodeId src, const OwnershipOffer& m) {
 }
 
 void AsvmAgent::OnPageoutOffer(NodeId src, const PageoutOffer& m, PageBuffer data) {
+  if (DuplicateDelivery(m.op_id)) {
+    return;
+  }
   ObjectState& os = obj_state(m.object);
   const PageState* found = os.pages.Find(m.page);
   const bool busy_here = found != nullptr && (found->busy || found->pending);
@@ -192,6 +208,9 @@ void AsvmAgent::OnPageoutOffer(NodeId src, const PageoutOffer& m, PageBuffer dat
 }
 
 void AsvmAgent::OnWriteback(NodeId src, const WritebackMsg& m, PageBuffer data) {
+  if (DuplicateDelivery(m.op_id)) {
+    return;
+  }
   AsvmObjectInfo& info = system_.info(m.object);
   ASVM_CHECK(info.Terminal(m.page) == node_);
   ObjectState& os = obj_state(m.object);
@@ -315,12 +334,24 @@ Task AsvmAgent::PushIfNeeded(MemObjectId id, PageIndex page, PageBuffer pre_writ
     }
   }
   if (!targets.empty()) {
-    const uint64_t op = OpenOp(static_cast<int>(targets.size()));
+    const uint64_t op = OpenOp(static_cast<int>(targets.size()), "push-round", id, page);
     Future<Status> all_replied = OpFuture(op);
+    const NodeId copy_peer = copy_info.peer;
     for (NodeId s : targets) {
       Send(s, AsvmMsgType::kPushRequest,
-           PushRequest{id, page, /*push_into_copy=*/s == copy_info.peer, op});
+           PushRequest{id, page, /*push_into_copy=*/s == copy_peer, op});
     }
+    ArmOp(op, [this, id, page, op, targets, copy_peer]() {
+      const PendingOp* pending = FindOp(op);
+      for (NodeId s : targets) {
+        if (pending != nullptr &&
+            std::find(pending->acked.begin(), pending->acked.end(), s) !=
+                pending->acked.end()) {
+          continue;
+        }
+        Send(s, AsvmMsgType::kPushRequest, PushRequest{id, page, s == copy_peer, op});
+      }
+    });
     co_await all_replied;
 
     // Second round: ship contents to nodes whose copy chain needs the page.
@@ -331,11 +362,23 @@ Task AsvmAgent::PushIfNeeded(MemObjectId id, PageIndex page, PageBuffer pre_writ
       EraseOp(op);
     }
     if (!need_data.empty()) {
-      const uint64_t op2 = OpenOp(static_cast<int>(need_data.size()));
+      const uint64_t op2 =
+          OpenOp(static_cast<int>(need_data.size()), "push-data-round", id, page);
       Future<Status> all_acked = OpFuture(op2);
       for (NodeId s : need_data) {
         Send(s, AsvmMsgType::kPushData, PushData{id, page, op2}, ClonePage(pre_write));
       }
+      ArmOp(op2, [this, id, page, op2, need_data, pre_write]() {
+        const PendingOp* pending2 = FindOp(op2);
+        for (NodeId s : need_data) {
+          if (pending2 != nullptr &&
+              std::find(pending2->acked.begin(), pending2->acked.end(), s) !=
+                  pending2->acked.end()) {
+            continue;
+          }
+          Send(s, AsvmMsgType::kPushData, PushData{id, page, op2}, ClonePage(pre_write));
+        }
+      });
       co_await all_acked;
     }
   }
@@ -343,6 +386,9 @@ Task AsvmAgent::PushIfNeeded(MemObjectId id, PageIndex page, PageBuffer pre_writ
 }
 
 void AsvmAgent::OnPushRequest(NodeId src, const PushRequest& m) {
+  if (DuplicateDelivery(m.op_id)) {
+    return;
+  }
   ObjectState& os = obj_state(m.object);
   PushReply reply{m.object, m.page, false, false, m.op_id};
   if (os.repr == nullptr) {
@@ -394,6 +440,9 @@ void AsvmAgent::OnPushRequest(NodeId src, const PushRequest& m) {
 }
 
 void AsvmAgent::OnPushData(NodeId src, const PushData& m, PageBuffer data) {
+  if (DuplicateDelivery(m.op_id)) {
+    return;
+  }
   ObjectState& os = obj_state(m.object);
   ASVM_CHECK(os.repr != nullptr && os.repr->copy() != nullptr);
   vm_.DataSupply(*os.repr, m.page, std::move(data), PageAccess::kRead,
@@ -434,6 +483,9 @@ Future<Status> AsvmAgent::MarkObjectReadOnly(const MemObjectId& id) {
 }
 
 void AsvmAgent::OnMarkReadOnly(NodeId src, const MarkReadOnly& m) {
+  if (DuplicateDelivery(m.op_id)) {
+    return;
+  }
   Future<Status> f = MarkObjectReadOnly(m.object);
   // Completion is quick and local; ack once done.
   (void)[](AsvmAgent* self, NodeId src, MarkReadOnly m, Future<Status> f) -> Task {
@@ -473,7 +525,7 @@ void AsvmAgent::OnMessage(NodeId src, Message msg) {
         ResolveOp(reply.op_id, Status::kUnavailable);
         return;
       }
-      AckOp(reply.op_id);
+      AckOp(reply.op_id, src);
       return;
     }
     case AsvmMsgType::kOwnershipOffer:
@@ -492,6 +544,11 @@ void AsvmAgent::OnMessage(NodeId src, Message msg) {
       const auto& reply = std::get<PushReply>(body);
       PendingOp* op = FindOp(reply.op_id);
       if (op == nullptr) {
+        CountDuplicate();  // late reply to a push round that already resolved
+        return;
+      }
+      if (std::find(op->acked.begin(), op->acked.end(), src) != op->acked.end()) {
+        CountDuplicate();  // a retry's second reply; need_data already recorded
         return;
       }
       if (reply.needs_data) {
@@ -499,7 +556,7 @@ void AsvmAgent::OnMessage(NodeId src, Message msg) {
       }
       // Keep the op alive on completion: the push coroutine harvests
       // need_data, then erases it.
-      AckOp(reply.op_id, /*keep_entry=*/true);
+      AckOp(reply.op_id, src, /*keep_entry=*/true);
       return;
     }
     case AsvmMsgType::kPushData:
@@ -516,6 +573,9 @@ void AsvmAgent::OnMessage(NodeId src, Message msg) {
 }
 
 void AsvmAgent::OnInvalidate(NodeId src, const InvalidateMsg& m) {
+  if (DuplicateDelivery(m.op_id)) {
+    return;  // already invalidated and acked; the initiator dedupes acks too
+  }
   ObjectState& os = obj_state(m.object);
   if (os.repr != nullptr && os.repr->FindResident(m.page) != nullptr) {
     vm_.LockRequest(*os.repr, m.page, PageAccess::kNone, LockMode::kFlush,

@@ -20,6 +20,8 @@ const char* ToString(Status status) {
       return "failed_precondition";
     case Status::kDeadlock:
       return "deadlock";
+    case Status::kTimeout:
+      return "timeout";
     case Status::kInternal:
       return "internal";
   }

@@ -15,6 +15,7 @@ enum class Status : uint8_t {
   kUnavailable,        // transient: retry indicated (push/pull race)
   kFailedPrecondition,
   kDeadlock,  // detected blocking-thread deadlock (XMM internal pager)
+  kTimeout,   // pending protocol op exhausted its retries (fault injection)
   kInternal,
 };
 

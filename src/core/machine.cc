@@ -24,6 +24,8 @@ ClusterParams MachineConfig::ToClusterParams() const {
   params.disk = disk;
   params.file_pager = file_pager;
   params.file_pager_count = file_pager_count;
+  params.fault = fault;
+  params.retry = retry;
   return params;
 }
 
@@ -39,6 +41,13 @@ Machine::Machine(const MachineConfig& config) : config_(config) {
     case DsmKind::kXmm:
       dsm_ = std::make_unique<XmmSystem>(*cluster_, config.xmm);
       break;
+  }
+  if (config.stall_watchdog || !config.fault.Empty()) {
+    cluster_->engine().SetStallHandler([this](const std::string& report) {
+      last_stall_report_ = report;
+      cluster_->stats().Add("sim.stalls_detected");
+      ASVM_LOG_ERROR << report;
+    });
   }
 }
 

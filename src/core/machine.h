@@ -56,6 +56,15 @@ struct MachineConfig {
   FilePagerParams file_pager;
   VmCosts vm_costs;
 
+  // Deterministic fault injection (empty = faults off, timelines unchanged)
+  // and the protocol timeout/retry policy (timeout_ns = 0 = retries off).
+  FaultPlanParams fault;
+  RetryPolicy retry;
+  // Install the sim-engine stall watchdog (implied whenever `fault` is
+  // non-empty): when the event queue drains while work is still blocked, the
+  // machine captures a diagnostic report instead of silently returning.
+  bool stall_watchdog = false;
+
   ClusterParams ToClusterParams() const;
 };
 
@@ -111,11 +120,21 @@ class Machine {
 
   size_t DsmMetadataBytes(NodeId node) const { return dsm_->MetadataBytes(node); }
 
+  // --- Fault injection & stall diagnostics -------------------------------------
+
+  // Active fault plan, or nullptr when faults are disabled.
+  FaultPlan* fault_plan() { return cluster_->fault_plan(); }
+
+  // Diagnostic report from the most recent stall the watchdog detected
+  // (empty if none). Also counted under the "sim.stalls_detected" stat.
+  const std::string& last_stall_report() const { return last_stall_report_; }
+
  private:
   MachineConfig config_;
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<DsmSystem> dsm_;
   std::vector<std::unique_ptr<TaskMemory>> tasks_;
+  std::string last_stall_report_;
 };
 
 }  // namespace asvm

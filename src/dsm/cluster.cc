@@ -8,6 +8,14 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
   sts_ = std::make_unique<StsTransport>(engine_, *network_, &stats_);
   sts_ctl_ = std::make_unique<StsCtlTransport>(engine_, *network_, &stats_);
   norma_ = std::make_unique<NormaIpc>(engine_, *network_, &stats_);
+  if (!params_.fault.Empty()) {
+    fault_plan_ = std::make_unique<FaultPlan>(engine_, params_.fault, params_.node_count,
+                                              &stats_);
+    network_->set_fault_plan(fault_plan_.get());
+    sts_->set_fault_plan(fault_plan_.get());
+    sts_ctl_->set_fault_plan(fault_plan_.get());
+    norma_->set_fault_plan(fault_plan_.get());
+  }
 
   const int groups = (params_.node_count + params_.nodes_per_io_group - 1) /
                      params_.nodes_per_io_group;
@@ -31,6 +39,26 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
         engine_, &paging_disk(n), &stats_);
     nodes_[n].vm->SetDefaultPager(nodes_[n].default_pager.get());
   }
+
+  // Stall-watchdog probe: page faults whose coroutine is still alive when the
+  // event queue drains are blocked forever (nothing outside the queue can
+  // resume them). Inert unless a stall handler is installed on the engine.
+  engine_.AddStallProbe([this](std::string& report) {
+    bool blocked = false;
+    for (const auto& node : nodes_) {
+      const auto& faults = node.vm->faults_in_flight();
+      if (faults.empty()) {
+        continue;
+      }
+      blocked = true;
+      for (const auto& [serial, fault] : faults) {
+        report += "  node " + std::to_string(node.vm->node()) + ": page fault on addr " +
+                  std::to_string(fault.addr) + " (" + ToString(fault.desired) +
+                  ") in flight since t=" + std::to_string(fault.started) + " ns\n";
+      }
+    }
+    return blocked;
+  });
 }
 
 Cluster::~Cluster() = default;

@@ -13,11 +13,22 @@
 #include "src/machvm/disk.h"
 #include "src/machvm/file_pager.h"
 #include "src/machvm/node_vm.h"
+#include "src/mesh/fault_plan.h"
 #include "src/mesh/network.h"
 #include "src/sim/engine.h"
 #include "src/transport/transport.h"
 
 namespace asvm {
+
+// Timeout/retry hardening for the protocol agents' pending-op table
+// (ProtocolAgent). timeout_ns == 0 leaves the machinery disarmed: no deadline
+// events are scheduled and timelines stay bit-identical to the unhardened
+// simulator. Attempt k's deadline is timeout_ns * backoff^k.
+struct RetryPolicy {
+  SimDuration timeout_ns = 0;
+  int max_retries = 3;
+  double backoff = 2.0;
+};
 
 struct ClusterParams {
   int node_count = 4;
@@ -29,6 +40,8 @@ struct ClusterParams {
   // File pagers (each with its own disk) on nodes 0..count-1; >1 enables the
   // §6 striped-file extension.
   int file_pager_count = 1;
+  FaultPlanParams fault;  // empty = perfectly reliable fabric
+  RetryPolicy retry;      // timeout_ns = 0: no pending-op deadlines
 };
 
 class Cluster {
@@ -54,6 +67,7 @@ class Cluster {
   StsTransport& sts() { return *sts_; }
   StsCtlTransport& sts_ctl() { return *sts_ctl_; }
   NormaIpc& norma() { return *norma_; }
+  FaultPlan* fault_plan() { return fault_plan_.get(); }  // null when faults are off
 
   NodeVm& vm(NodeId node) { return *nodes_.at(node).vm; }
   DefaultPager& default_pager(NodeId node) { return *nodes_.at(node).default_pager; }
@@ -73,6 +87,7 @@ class Cluster {
   ClusterParams params_;
   Engine engine_;
   StatsRegistry stats_;
+  std::unique_ptr<FaultPlan> fault_plan_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<StsTransport> sts_;
   std::unique_ptr<StsCtlTransport> sts_ctl_;

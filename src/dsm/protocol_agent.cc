@@ -3,15 +3,31 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/log.h"
+
 namespace asvm {
+
+namespace {
+
+// Delivered-op-id window: large enough that a duplicate arriving while its
+// original is still anywhere in the pipeline is caught, small enough that the
+// host-side set stays O(1)-ish per agent.
+constexpr size_t kDeliveredWindow = 512;
+
+}  // namespace
 
 ProtocolAgent::ProtocolAgent(DsmSystem& dsm, NodeId node)
     : node_(node),
       stats_(&dsm.cluster().stats()),
       dsm_(dsm),
-      engine_(dsm.cluster().engine()) {}
+      engine_(dsm.cluster().engine()),
+      system_name_(dsm.name()),
+      retry_(dsm.cluster().params().retry) {
+  stall_probe_id_ = engine_.AddStallProbe(
+      [this](std::string& report) { return DescribeStall(report); });
+}
 
-ProtocolAgent::~ProtocolAgent() = default;
+ProtocolAgent::~ProtocolAgent() { engine_.RemoveStallProbe(stall_probe_id_); }
 
 void ProtocolAgent::Listen(Transport& transport, ProtocolId protocol) {
   transport.RegisterHandler(
@@ -27,10 +43,15 @@ Future<Status> ProtocolAgent::Process(SimDuration cost) {
   return done.GetFuture();
 }
 
-uint64_t ProtocolAgent::OpenOp(int outstanding) {
+uint64_t ProtocolAgent::OpenOp(int outstanding, const char* what, MemObjectId object,
+                               PageIndex page) {
   const uint64_t op = dsm_.NextOpId();
   auto pending = std::make_unique<PendingOp>(engine_);
   pending->outstanding = outstanding;
+  pending->what = what;
+  pending->object = object;
+  pending->page = page;
+  pending->opened_at = engine_.Now();
   pending_ops_[op] = std::move(pending);
   return op;
 }
@@ -49,23 +70,138 @@ void ProtocolAgent::EraseOp(uint64_t op_id) { pending_ops_.erase(op_id); }
 void ProtocolAgent::ResolveOp(uint64_t op_id, Status status) {
   auto it = pending_ops_.find(op_id);
   if (it == pending_ops_.end()) {
+    // A reply for an op that already resolved (e.g. a retry's duplicate
+    // decline, or an answer landing after the deadline gave up).
+    CountDuplicate();
     return;
   }
   it->second->done.Set(status);
   pending_ops_.erase(it);
 }
 
-void ProtocolAgent::AckOp(uint64_t op_id, bool keep_entry) {
+void ProtocolAgent::AckOp(uint64_t op_id, NodeId from, bool keep_entry) {
   auto it = pending_ops_.find(op_id);
   if (it == pending_ops_.end()) {
+    CountDuplicate();
     return;
   }
-  if (--it->second->outstanding == 0) {
-    it->second->done.Set(Status::kOk);
+  PendingOp& op = *it->second;
+  if (from != kInvalidNode &&
+      std::find(op.acked.begin(), op.acked.end(), from) != op.acked.end()) {
+    // This responder already answered; a retry produced a second copy.
+    CountDuplicate();
+    return;
+  }
+  if (from != kInvalidNode) {
+    op.acked.push_back(from);
+  }
+  if (op.done.is_set()) {
+    // Entry kept for payload harvest after resolving; nothing left to count.
+    return;
+  }
+  if (--op.outstanding == 0) {
+    op.done.Set(Status::kOk);
     if (!keep_entry) {
       pending_ops_.erase(it);
     }
   }
+}
+
+void ProtocolAgent::ArmOp(uint64_t op_id, std::function<void()> resend) {
+  if (retry_.timeout_ns <= 0) {
+    return;
+  }
+  auto it = pending_ops_.find(op_id);
+  if (it == pending_ops_.end()) {
+    return;
+  }
+  it->second->resend = std::move(resend);
+  engine_.Schedule(retry_.timeout_ns, [this, op_id]() { OpDeadline(op_id); });
+}
+
+SimDuration ProtocolAgent::RetryDelay(int attempts_done) const {
+  double delay = static_cast<double>(retry_.timeout_ns);
+  for (int i = 0; i < attempts_done; ++i) {
+    delay *= retry_.backoff;
+  }
+  return static_cast<SimDuration>(delay);
+}
+
+void ProtocolAgent::OpDeadline(uint64_t op_id) {
+  auto it = pending_ops_.find(op_id);
+  if (it == pending_ops_.end() || it->second->done.is_set()) {
+    return;  // resolved before the deadline — the common case
+  }
+  PendingOp& op = *it->second;
+  if (op.attempts < retry_.max_retries && op.resend) {
+    ++op.attempts;
+    if (stats_ != nullptr) {
+      stats_->Add("dsm.op_retries");
+    }
+    op.resend();
+    engine_.Schedule(RetryDelay(op.attempts), [this, op_id]() { OpDeadline(op_id); });
+    return;
+  }
+  if (stats_ != nullptr) {
+    stats_->Add("dsm.op_timeouts");
+  }
+  ASVM_LOG_WARN << system_name_ << " node " << node_ << ": pending op " << op_id << " ("
+                << op.what << ") exhausted " << op.attempts
+                << " retries; resolving kTimeout";
+  it->second->done.Set(Status::kTimeout);
+  pending_ops_.erase(it);
+}
+
+bool ProtocolAgent::DuplicateDelivery(uint64_t op_id) {
+  if (retry_.timeout_ns <= 0 || op_id == 0) {
+    return false;  // retries disarmed (no duplicates possible) or unsolicited
+  }
+  if (delivered_ops_.count(op_id) != 0) {
+    CountDuplicate();
+    return true;
+  }
+  delivered_ops_.insert(op_id);
+  delivered_fifo_.push_back(op_id);
+  if (delivered_fifo_.size() > kDeliveredWindow) {
+    delivered_ops_.erase(delivered_fifo_.front());
+    delivered_fifo_.pop_front();
+  }
+  return false;
+}
+
+void ProtocolAgent::CountDuplicate() {
+  if (stats_ != nullptr) {
+    stats_->Add("dsm.duplicates_suppressed");
+  }
+}
+
+bool ProtocolAgent::DescribeStall(std::string& out) const {
+  if (pending_ops_.empty()) {
+    return false;
+  }
+  // Sort op ids so reports are deterministic despite the unordered table.
+  std::vector<uint64_t> ids;
+  ids.reserve(pending_ops_.size());
+  for (const auto& [id, op] : pending_ops_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t id : ids) {
+    const PendingOp& op = *pending_ops_.at(id);
+    out += "  " + system_name_ + " node " + std::to_string(node_) + ": pending op " +
+           std::to_string(id) + " (" + op.what + ")";
+    if (op.object.valid()) {
+      out += " object " + op.object.ToString();
+    }
+    if (op.page != kInvalidPage) {
+      out += " page " + std::to_string(op.page);
+    }
+    out += ", " + std::to_string(op.outstanding) + " replies outstanding (" +
+           std::to_string(op.acked.size()) + " received), opened t=" +
+           std::to_string(op.opened_at) + " ns, " + std::to_string(op.attempts) +
+           " retries\n";
+  }
+  return true;
 }
 
 }  // namespace asvm

@@ -6,8 +6,12 @@
 #ifndef SRC_DSM_PROTOCOL_AGENT_H_
 #define SRC_DSM_PROTOCOL_AGENT_H_
 
+#include <deque>
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -56,22 +60,58 @@ class ProtocolAgent {
     PageBuffer data;
     bool dirty = false;
     bool was_resident = false;
+    // Hardening + diagnostics (host-side; nothing here schedules events).
+    const char* what = "op";         // exchange label for stall reports
+    MemObjectId object;
+    PageIndex page = kInvalidPage;
+    SimTime opened_at = 0;
+    std::vector<NodeId> acked;       // responders already counted (dup shield)
+    int attempts = 0;                // retries fired so far
+    std::function<void()> resend;    // re-issues the unanswered requests
     explicit PendingOp(Engine& engine) : done(engine) {}
   };
 
   // Allocates an op id from the owning system's sequence and inserts an entry
-  // expecting `outstanding` replies.
-  uint64_t OpenOp(int outstanding);
+  // expecting `outstanding` replies. The label/object/page feed stall reports.
+  uint64_t OpenOp(int outstanding, const char* what = "op",
+                  MemObjectId object = kInvalidObject, PageIndex page = kInvalidPage);
   Future<Status> OpFuture(uint64_t op_id);
   PendingOp* FindOp(uint64_t op_id);
   void EraseOp(uint64_t op_id);
   // Resolves the op with `status` and drops the entry, regardless of how many
   // replies are still outstanding (declined offers, local short-circuits).
   void ResolveOp(uint64_t op_id, Status status);
-  // Records one reply; when the last arrives the op resolves kOk. The entry
-  // is dropped then, unless `keep_entry` — set when the awaiting coroutine
-  // still harvests payload fields out of the entry before erasing it.
-  void AckOp(uint64_t op_id, bool keep_entry = false);
+  // Records one reply from `from`; when the last arrives the op resolves kOk.
+  // The entry is dropped then, unless `keep_entry` — set when the awaiting
+  // coroutine still harvests payload fields out of the entry before erasing
+  // it. A second reply from the same responder (a retry racing the original
+  // answer) is suppressed, as is any reply to an op no longer pending.
+  void AckOp(uint64_t op_id, NodeId from, bool keep_entry = false);
+
+  // --- Timeout + retry (armed only when RetryPolicy::timeout_ns > 0) --------
+
+  // Arms the op's deadline: if it has not resolved when the deadline fires,
+  // `resend` re-issues the unanswered requests and the deadline backs off
+  // exponentially; after max_retries the op resolves Status::kTimeout and is
+  // dropped. No-op with retries disabled (nothing scheduled, timelines keep
+  // their healthy-run digests).
+  void ArmOp(uint64_t op_id, std::function<void()> resend);
+
+  // Receiver-side idempotence: true if this op id's request was already
+  // delivered here (a retry duplicate) and must be ignored. op id 0 marks
+  // unsolicited messages (XMM eviction data returns) and is never filtered.
+  // Tracking only runs when retries are armed; otherwise always false.
+  bool DuplicateDelivery(uint64_t op_id);
+
+  // Counts a suppressed duplicate/late reply (dsm.duplicates_suppressed).
+  void CountDuplicate();
+
+  // Stall-watchdog probe body: appends a description of every open pending op
+  // (and, in subclasses, the coherency state of the implicated pages).
+  // Returns true if this agent holds blocked work.
+  virtual bool DescribeStall(std::string& out) const;
+
+  const RetryPolicy& retry_policy() const { return retry_; }
 
   Engine& engine() { return engine_; }
 
@@ -79,9 +119,18 @@ class ProtocolAgent {
   StatsRegistry* stats_;
 
  private:
+  void OpDeadline(uint64_t op_id);
+  SimDuration RetryDelay(int attempts_done) const;
+
   DsmSystem& dsm_;
   Engine& engine_;
+  std::string system_name_;  // for stall reports ("asvm node 3: ...")
+  RetryPolicy retry_;
+  int stall_probe_id_ = -1;
   std::unordered_map<uint64_t, std::unique_ptr<PendingOp>> pending_ops_;
+  // Bounded sliding window of recently delivered request op ids.
+  std::unordered_set<uint64_t> delivered_ops_;
+  std::deque<uint64_t> delivered_fifo_;
   SimTime process_busy_until_ = 0;
 };
 

@@ -236,6 +236,16 @@ Task NodeVm::FaultTask(VmMap& map, VmOffset addr, PageAccess desired, Promise<St
     stats_->Add("vm.faults");
     stats_->Add(desired == PageAccess::kWrite ? "vm.faults_write" : "vm.faults_read");
   }
+  const uint64_t fault_serial = next_fault_serial_++;
+  faults_in_flight_.emplace(fault_serial, InFlightFault{addr, desired, engine_.Now()});
+  // Coroutine frames are destroyed at final suspend, so this guard's
+  // destructor deregisters the fault on every exit path — including a frame
+  // that never completes only if the whole NodeVm dies with it.
+  struct Tracker {
+    NodeVm* vm;
+    uint64_t serial;
+    ~Tracker() { vm->faults_in_flight_.erase(serial); }
+  } tracker{this, fault_serial};
   co_await Delay(engine_, params_.costs.fault_base_ns);
 
   for (int iteration = 0;; ++iteration) {

@@ -6,6 +6,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -151,6 +152,20 @@ class NodeVm {
   // Drops residency and releases the frame.
   void RemovePage(VmObject& object, PageIndex page);
 
+  // --- Diagnostics ----------------------------------------------------------
+
+  // Faults whose coroutine has not completed yet, keyed by a per-node serial
+  // (std::map so stall reports list them in start order). Host-side
+  // bookkeeping only: maintaining it schedules nothing.
+  struct InFlightFault {
+    VmOffset addr = 0;
+    PageAccess desired = PageAccess::kNone;
+    SimTime started = 0;
+  };
+  const std::map<uint64_t, InFlightFault>& faults_in_flight() const {
+    return faults_in_flight_;
+  }
+
  private:
   friend class VmObject;
 
@@ -210,6 +225,8 @@ class NodeVm {
   std::unordered_map<MemObjectId, std::weak_ptr<VmObject>> managed_;
   std::vector<std::unique_ptr<VmMap>> maps_;
   std::vector<std::shared_ptr<VmObject>> owned_objects_;  // keep-alive registry
+  std::map<uint64_t, InFlightFault> faults_in_flight_;
+  uint64_t next_fault_serial_ = 1;
 };
 
 }  // namespace asvm

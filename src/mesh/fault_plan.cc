@@ -1,0 +1,150 @@
+#include "src/mesh/fault_plan.h"
+
+#include "src/common/log.h"
+
+namespace asvm {
+
+bool FaultProfileFromName(const std::string& name, uint64_t seed, int node_count,
+                          FaultPlanParams* out) {
+  FaultPlanParams params;
+  params.seed = seed;
+  if (name == "none") {
+    *out = params;
+    return true;
+  }
+  if (name == "jitter") {
+    // Bounded per-message delivery jitter, large against software costs
+    // (tens of µs) so message orderings actually shift.
+    params.max_jitter_ns = 150 * kMicrosecond;
+    *out = params;
+    return true;
+  }
+  if (name == "slow-node") {
+    // One node's protocol stack runs 8x slower — the "slow participant" the
+    // paper's distributed manager must tolerate without collapsing.
+    params.slow_nodes.push_back({static_cast<NodeId>(node_count / 2), 8.0});
+    *out = params;
+    return true;
+  }
+  if (name == "degraded-links") {
+    // Every link touching node 0 runs at quarter bandwidth, plus one
+    // seed-chosen additional link at half bandwidth.
+    params.degraded_links.push_back({0, kInvalidNode, 0.25});
+    if (node_count > 2) {
+      Rng rng(seed);
+      const NodeId a = static_cast<NodeId>(1 + rng.NextBelow(node_count - 1));
+      NodeId b = static_cast<NodeId>(1 + rng.NextBelow(node_count - 1));
+      if (b == a) {
+        b = (a + 1 < node_count) ? a + 1 : 1;
+      }
+      params.degraded_links.push_back({a, b, 0.5});
+    }
+    *out = params;
+    return true;
+  }
+  return false;
+}
+
+FaultPlan::FaultPlan(Engine& engine, FaultPlanParams params, int node_count,
+                     StatsRegistry* stats)
+    : engine_(engine),
+      params_(std::move(params)),
+      node_count_(node_count),
+      stats_(stats),
+      rng_(params_.seed) {
+  for (const LinkDegradation& d : params_.degraded_links) {
+    ASVM_CHECK_MSG(d.bandwidth_factor > 0.0, "link bandwidth factor must be positive");
+  }
+  for (const NodeSlowdown& s : params_.slow_nodes) {
+    ASVM_CHECK_MSG(s.cost_factor > 0.0, "node cost factor must be positive");
+  }
+}
+
+bool FaultPlan::NodeAlive(NodeId node) const {
+  for (const NodeRemoval& r : params_.removals) {
+    if (r.node == node && engine_.Now() >= r.at) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FaultPlan::Delivers(NodeId src, NodeId dst) {
+  if (NodeAlive(src) && NodeAlive(dst)) {
+    return true;
+  }
+  if (stats_ != nullptr) {
+    stats_->Add("fault.messages_dropped");
+  }
+  return false;
+}
+
+SimDuration FaultPlan::NextJitter() {
+  if (params_.max_jitter_ns <= 0) {
+    return 0;
+  }
+  const SimDuration jitter =
+      static_cast<SimDuration>(rng_.NextBelow(static_cast<uint64_t>(params_.max_jitter_ns) + 1));
+  if (stats_ != nullptr) {
+    stats_->Add("fault.jitter_messages");
+    stats_->Add("fault.jitter_ns", jitter);
+  }
+  return jitter;
+}
+
+double FaultPlan::LinkBandwidthFactor(NodeId src, NodeId dst) {
+  double factor = 1.0;
+  for (const LinkDegradation& d : params_.degraded_links) {
+    const bool touches_wildcard = d.b == kInvalidNode && (src == d.a || dst == d.a);
+    const bool matches_pair =
+        d.b != kInvalidNode && ((src == d.a && dst == d.b) || (src == d.b && dst == d.a));
+    if (touches_wildcard || matches_pair) {
+      factor *= d.bandwidth_factor;
+    }
+  }
+  if (factor != 1.0 && stats_ != nullptr) {
+    stats_->Add("fault.degraded_messages");
+  }
+  return factor;
+}
+
+double FaultPlan::NodeCostFactor(NodeId node) const {
+  double factor = 1.0;
+  for (const NodeSlowdown& s : params_.slow_nodes) {
+    if (s.node == node) {
+      factor *= s.cost_factor;
+    }
+  }
+  return factor;
+}
+
+std::string FaultPlan::Describe() const {
+  std::string out = "  fault plan (seed " + std::to_string(params_.seed) + "):\n";
+  if (params_.max_jitter_ns > 0) {
+    out += "    delivery jitter: uniform [0, " + std::to_string(params_.max_jitter_ns) +
+           " ns] per message\n";
+  }
+  for (const LinkDegradation& d : params_.degraded_links) {
+    if (d.b == kInvalidNode) {
+      out += "    links of node " + std::to_string(d.a) + ": bandwidth x" +
+             std::to_string(d.bandwidth_factor) + "\n";
+    } else {
+      out += "    link " + std::to_string(d.a) + "<->" + std::to_string(d.b) + ": bandwidth x" +
+             std::to_string(d.bandwidth_factor) + "\n";
+    }
+  }
+  for (const NodeSlowdown& s : params_.slow_nodes) {
+    out += "    node " + std::to_string(s.node) + ": software costs x" +
+           std::to_string(s.cost_factor) + "\n";
+  }
+  for (const NodeRemoval& r : params_.removals) {
+    out += "    node " + std::to_string(r.node) + ": removed at t=" + std::to_string(r.at) +
+           " ns\n";
+  }
+  if (params_.Empty()) {
+    out += "    (empty)\n";
+  }
+  return out;
+}
+
+}  // namespace asvm

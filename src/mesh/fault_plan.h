@@ -1,0 +1,101 @@
+// Seeded, schedule-driven fault model for the mesh fabric and the transport
+// software layer. A FaultPlan is fully deterministic given its seed: the same
+// plan over the same workload replays the same degraded timeline bit for bit,
+// which is what lets fault scenarios carry golden digests just like the
+// healthy runs.
+//
+// Four fault classes:
+//  - per-message delivery jitter, uniform in [0, max_jitter_ns];
+//  - link degradation: a bandwidth factor applied to chosen links (or to all
+//    links touching one node);
+//  - node slowdown: a multiplier on a node's software send/recv costs;
+//  - node removal: from a chosen simulated time on, the node's fabric
+//    interface is severed — every message to or from it is dropped. Local
+//    (intra-node) delivery never touches the fabric and keeps working.
+//
+// Delay-only plans (jitter / degradation / slowdown) never lose messages, so
+// a correct protocol still terminates with Status::kOk — retries may fire and
+// produce duplicates, which the hardened ProtocolAgent suppresses. Message
+// loss happens only under removal, where pending ops resolve kTimeout after
+// bounded retries or, with retries disabled, the stall watchdog reports the
+// orphaned work.
+#ifndef SRC_MESH_FAULT_PLAN_H_
+#define SRC_MESH_FAULT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/sim/engine.h"
+
+namespace asvm {
+
+struct LinkDegradation {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;        // kInvalidNode: every link touching `a`
+  double bandwidth_factor = 1.0;  // multiplies the link's effective bandwidth
+};
+
+struct NodeSlowdown {
+  NodeId node = kInvalidNode;
+  double cost_factor = 1.0;  // multiplies software send/recv costs
+};
+
+struct NodeRemoval {
+  NodeId node = kInvalidNode;
+  SimTime at = 0;  // the node's fabric interface dies at this simulated time
+};
+
+struct FaultPlanParams {
+  uint64_t seed = 1;
+  SimDuration max_jitter_ns = 0;  // 0 disables jitter
+  std::vector<LinkDegradation> degraded_links;
+  std::vector<NodeSlowdown> slow_nodes;
+  std::vector<NodeRemoval> removals;
+
+  bool Empty() const {
+    return max_jitter_ns <= 0 && degraded_links.empty() && slow_nodes.empty() &&
+           removals.empty();
+  }
+};
+
+// Builds a canned profile: "none" (empty plan), "jitter", "slow-node",
+// "degraded-links". Returns false for unknown names.
+bool FaultProfileFromName(const std::string& name, uint64_t seed, int node_count,
+                          FaultPlanParams* out);
+
+class FaultPlan {
+ public:
+  FaultPlan(Engine& engine, FaultPlanParams params, int node_count, StatsRegistry* stats);
+
+  const FaultPlanParams& params() const { return params_; }
+
+  // --- Queried by Network::Send per message ---------------------------------
+  // False: the message is black-holed (src or dst removed by now). Counted.
+  bool Delivers(NodeId src, NodeId dst);
+  // Next jitter draw in [0, max_jitter_ns]; 0 when jitter is disabled.
+  SimDuration NextJitter();
+  // Product of matching degradation factors for this link (1.0 = healthy).
+  double LinkBandwidthFactor(NodeId src, NodeId dst);
+
+  // --- Queried by Transport per message -------------------------------------
+  // Product of matching slowdown factors for this node's software costs.
+  double NodeCostFactor(NodeId node) const;
+  bool NodeAlive(NodeId node) const;
+
+  // Human-readable plan summary for --fault-report.
+  std::string Describe() const;
+
+ private:
+  Engine& engine_;
+  FaultPlanParams params_;
+  int node_count_;
+  StatsRegistry* stats_;
+  Rng rng_;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_MESH_FAULT_PLAN_H_

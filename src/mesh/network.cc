@@ -15,11 +15,27 @@ SimDuration SerializationTime(size_t bytes, double bandwidth_bytes_per_ns) {
 }  // namespace
 
 void Network::Send(NodeId src, NodeId dst, size_t bytes, std::function<void()> deliver) {
-  ASVM_CHECK_MSG(topology_.Contains(src) && topology_.Contains(dst), "node out of range");
-  ASVM_CHECK_MSG(src != dst, "Network::Send used for local delivery");
+  ASVM_CHECK_MSG(topology_.Contains(src) && topology_.Contains(dst),
+                 "Network::Send node out of range: src " + std::to_string(src) + ", dst " +
+                     std::to_string(dst) + " (mesh has " +
+                     std::to_string(topology_.node_count()) + " nodes)");
+  ASVM_CHECK_MSG(src != dst, "Network::Send used for local delivery: src == dst == " +
+                                 std::to_string(src) +
+                                 "; intra-node messages must bypass the mesh "
+                                 "(Transport handles them without a Network::Send)");
+
+  if (fault_ != nullptr && !fault_->Delivers(src, dst)) {
+    return;  // black hole: a removed node's traffic silently vanishes (counted)
+  }
 
   const SimTime now = engine_.Now();
-  const SimDuration ser = SerializationTime(bytes, params_.bandwidth_bytes_per_ns);
+  double bandwidth = params_.bandwidth_bytes_per_ns;
+  SimDuration jitter = 0;
+  if (fault_ != nullptr) {
+    bandwidth *= fault_->LinkBandwidthFactor(src, dst);
+    jitter = fault_->NextJitter();
+  }
+  const SimDuration ser = SerializationTime(bytes, bandwidth);
 
   // Injection channel: the message occupies the source's outbound link for its
   // serialization time starting when the link is free.
@@ -31,8 +47,9 @@ void Network::Send(NodeId src, NodeId dst, size_t bytes, std::function<void()> d
   const SimTime head_arrival = tx_start + params_.per_hop_ns * topology_.Hops(src, dst);
 
   // Ejection channel: delivery completes when the tail has drained through the
-  // destination's inbound link.
-  const SimTime rx_done = std::max(head_arrival, rx_busy_until_[dst]) + ser;
+  // destination's inbound link. Fault jitter extends the drain, so jittered
+  // delivery stays FIFO per destination (rx_busy_until_ remains monotone).
+  const SimTime rx_done = std::max(head_arrival, rx_busy_until_[dst]) + ser + jitter;
   rx_busy_until_[dst] = rx_done;
 
   if (stats_ != nullptr) {

@@ -13,6 +13,7 @@
 
 #include "src/common/stats.h"
 #include "src/common/types.h"
+#include "src/mesh/fault_plan.h"
 #include "src/mesh/topology.h"
 #include "src/sim/engine.h"
 
@@ -46,11 +47,18 @@ class Network {
   // Modeled one-way latency of an uncontended message (for tests/diagnostics).
   SimDuration UncontendedLatency(NodeId src, NodeId dst, size_t bytes) const;
 
+  // Attaches a fault plan (not owned; must outlive the network). Messages then
+  // pay jitter and degraded-link serialization, and traffic touching removed
+  // nodes is dropped. Never attached in healthy runs, so the default path is
+  // bit-identical to the unfaulted simulator.
+  void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
+
  private:
   Engine& engine_;
   Topology topology_;
   MeshParams params_;
   StatsRegistry* stats_;
+  FaultPlan* fault_ = nullptr;
   std::vector<SimTime> tx_busy_until_;
   std::vector<SimTime> rx_busy_until_;
 };

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -43,6 +45,25 @@ class Engine {
   // Safety valve for tests: aborts the run if more events than this execute.
   void set_event_limit(uint64_t limit) { event_limit_ = limit; }
 
+  // --- Stall watchdog --------------------------------------------------------
+  // Components that can hold blocked coroutines (pending protocol ops,
+  // in-flight page faults) register a probe. When a handler is installed and
+  // the event queue drains while some probe still reports blocked work, the
+  // simulation has stalled: simulated time can never advance again, yet work
+  // remains incomplete. The handler receives a diagnostic report assembled
+  // from every blocked probe, so the run ends with a diagnosis instead of a
+  // silently missing result. With no handler installed the checks are skipped
+  // entirely (zero behavioural and timeline change).
+  using StallProbe = std::function<bool(std::string& report)>;
+
+  // Returns an id for RemoveStallProbe. Probes fire in registration order.
+  int AddStallProbe(StallProbe probe);
+  void RemoveStallProbe(int id);
+  void SetStallHandler(std::function<void(const std::string&)> handler) {
+    stall_handler_ = std::move(handler);
+  }
+  uint64_t stalls_detected() const { return stalls_detected_; }
+
  private:
   struct Event {
     SimTime time;
@@ -59,12 +80,17 @@ class Engine {
   };
 
   void RunOne();
+  void CheckStall();
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   uint64_t event_limit_ = 0;  // 0 = unlimited
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<std::pair<int, StallProbe>> stall_probes_;
+  int next_stall_probe_id_ = 0;
+  std::function<void(const std::string&)> stall_handler_;
+  uint64_t stalls_detected_ = 0;
 };
 
 }  // namespace asvm

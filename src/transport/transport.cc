@@ -1,6 +1,7 @@
 #include "src/transport/transport.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/log.h"
 
@@ -43,9 +44,27 @@ int64_t& Transport::TypeCounter(const Message& msg) {
   return stats_->Counter("transport." + name_ + ".msg.unknown");
 }
 
+SimDuration Transport::SwCost(SimDuration base, NodeId node) {
+  if (fault_ == nullptr) {
+    return base;
+  }
+  const double factor = fault_->NodeCostFactor(node);
+  if (factor == 1.0) {
+    return base;
+  }
+  if (stats_ != nullptr) {
+    stats_->Add("fault.slowed_messages");
+  }
+  return static_cast<SimDuration>(std::llround(static_cast<double>(base) * factor));
+}
+
 void Transport::RegisterHandler(ProtocolId protocol, NodeId node, Handler handler) {
   Handler& slot = HandlerSlot(protocol, node);
-  ASVM_CHECK_MSG(!slot, "duplicate transport handler");
+  ASVM_CHECK_MSG(!slot, "duplicate transport handler for protocol '" +
+                            std::string(ProtocolName(protocol)) + "' on node " +
+                            std::to_string(node) + " (transport '" + name_ +
+                            "'); each (protocol, node) pair registers exactly once "
+                            "during machine construction");
   slot = std::move(handler);
 }
 
@@ -76,7 +95,7 @@ void Transport::Send(NodeId src, NodeId dst, Message msg) {
   // back-to-back sends (an invalidation fan-out, for example) queue behind
   // one another and behind incoming-message processing.
   const SimTime now = engine_.Now();
-  const SimTime send_done = std::max(now, cpu_busy_until_[src]) + costs_.send_sw_ns;
+  const SimTime send_done = std::max(now, cpu_busy_until_[src]) + SwCost(costs_.send_sw_ns, src);
   cpu_busy_until_[src] = send_done;
 
   const size_t wire_bytes = msg.WireBytes() + costs_.control_overhead_bytes;
@@ -94,7 +113,7 @@ void Transport::Deliver(NodeId src, NodeId dst, Message msg) {
   // node flooded with requests (a centralized manager) processes them one at
   // a time.
   const SimTime now = engine_.Now();
-  const SimTime handled_at = std::max(now, cpu_busy_until_[dst]) + costs_.recv_sw_ns;
+  const SimTime handled_at = std::max(now, cpu_busy_until_[dst]) + SwCost(costs_.recv_sw_ns, dst);
   cpu_busy_until_[dst] = handled_at;
 
   engine_.Schedule(handled_at - now, [this, src, dst, msg = std::move(msg)]() mutable {

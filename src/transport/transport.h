@@ -63,6 +63,10 @@ class Transport {
   // per message is only worth paying for when a tool asks for the breakdown.
   void set_per_type_stats(bool enabled) { per_type_stats_ = enabled; }
 
+  // Attaches a fault plan (not owned): slow-node faults scale this node's
+  // software send/recv costs. Never attached in healthy runs.
+  void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
+
  private:
   // Protocol ids are small contiguous integers; message-type tags are small
   // per-protocol enums. Both are bounded so dispatch and the per-type counter
@@ -73,12 +77,14 @@ class Transport {
   void Deliver(NodeId src, NodeId dst, Message msg);
   Handler& HandlerSlot(ProtocolId protocol, NodeId node);
   int64_t& TypeCounter(const Message& msg);
+  SimDuration SwCost(SimDuration base, NodeId node);
 
   Engine& engine_;
   Network& network_;
   std::string name_;
   TransportCosts costs_;
   StatsRegistry* stats_;
+  FaultPlan* fault_ = nullptr;
   // Indexed [protocol * node_count + node]; empty std::function = unregistered.
   std::vector<Handler> handlers_;
   // One protocol CPU per node: sending and receiving share it, so a node

@@ -38,6 +38,31 @@ size_t XmmAgent::MetadataBytes() const {
   return bytes;
 }
 
+bool XmmAgent::DescribeStall(std::string& out) const {
+  bool blocked = ProtocolAgent::DescribeStall(out);
+  // Manager-side picture: pages stuck busy and the requests parked behind
+  // them. Objects are sorted so the report is deterministic.
+  std::vector<MemObjectId> ids;
+  ids.reserve(manager_.size());
+  for (const auto& [id, ms] : manager_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const MemObjectId& id : ids) {
+    const ManagerState& ms = *manager_.at(id);
+    ms.pages.ForEach([&](PageIndex page, const ManagerState::PageCtl& ctl) {
+      if (!ctl.busy && ctl.queue.empty()) {
+        return;
+      }
+      blocked = true;
+      out += "  xmm manager node " + std::to_string(node_) + ": object " + id.ToString() +
+             " page " + std::to_string(page) + (ctl.busy ? " busy" : " idle") + ", " +
+             std::to_string(ctl.queue.size()) + " requests queued\n";
+    });
+  }
+  return blocked;
+}
+
 // --- Pager upcalls ----------------------------------------------------------
 
 void XmmAgent::DataRequest(VmObject& object, PageIndex page, PageAccess desired) {
@@ -194,16 +219,25 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   const NodeId writer = FindWriter(ms, req.object, req.page);
   ManagerState::PageCtl& ctl = ms.pages.GetOrCreate(req.page);
   if (writer != kInvalidNode && writer != req.origin) {
-    const uint64_t op = OpenOp(1);
+    const uint64_t op = OpenOp(1, "flush-write", req.object, req.page);
     Future<Status> flushed = OpFuture(op);
     Send(writer, XmmMsgType::kFlushWrite, XmmFlush{req.object, req.page, op});
+    ArmOp(op, [this, writer, object = req.object, page = req.page, op]() {
+      Send(writer, XmmMsgType::kFlushWrite, XmmFlush{object, page, op});
+    });
     co_await flushed;
-    PendingOp* pending = FindOp(op);
-    ASVM_CHECK(pending != nullptr);
-    PageBuffer data = std::move(pending->data);
-    const bool dirty = pending->dirty;
-    const bool resident = pending->was_resident;
-    EraseOp(op);
+    // On timeout (the writer's node was removed) the entry is already gone:
+    // treat the writer as holding nothing and clear its access byte — the
+    // page's last contents died with the node.
+    PageBuffer data;
+    bool dirty = false;
+    bool resident = false;
+    if (PendingOp* pending = FindOp(op); pending != nullptr) {
+      data = std::move(pending->data);
+      dirty = pending->dirty;
+      resident = pending->was_resident;
+      EraseOp(op);
+    }
     AccessByte(ms, req.page, writer) = 0;
     if (resident) {
       if (dirty) {
@@ -227,7 +261,8 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   if (req.access == PageAccess::kWrite) {
     std::vector<NodeId> readers = FindReaders(ms, req.object, req.page, req.origin);
     if (!readers.empty()) {
-      const uint64_t op = OpenOp(static_cast<int>(readers.size()));
+      const uint64_t op =
+          OpenOp(static_cast<int>(readers.size()), "flush-read-round", req.object, req.page);
       Future<Status> acked = OpFuture(op);
       for (NodeId r : readers) {
         Send(r, XmmMsgType::kFlushRead, XmmFlush{req.object, req.page, op});
@@ -235,6 +270,17 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
           stats_->Add("xmm.reader_flushes");
         }
       }
+      ArmOp(op, [this, object = req.object, page = req.page, op, readers]() {
+        const PendingOp* pending = FindOp(op);
+        for (NodeId r : readers) {
+          if (pending != nullptr &&
+              std::find(pending->acked.begin(), pending->acked.end(), r) !=
+                  pending->acked.end()) {
+            continue;
+          }
+          Send(r, XmmMsgType::kFlushRead, XmmFlush{object, page, op});
+        }
+      });
       co_await acked;
       EraseOp(op);
       for (NodeId r : readers) {
@@ -378,6 +424,9 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
     }
     case XmmMsgType::kFlushWrite: {
       const auto& m = std::get<XmmFlush>(body);
+      if (DuplicateDelivery(m.op_id)) {
+        return;  // already extracted and replied; the manager dedupes replies
+      }
       auto repr = reprs_.at(m.object);
       NodeVm::Extracted ex = vm_.ExtractPage(*repr, m.page);
       XmmFlushWriteReply reply{m.object, m.page, ex.dirty, ex.was_resident, m.op_id};
@@ -404,17 +453,25 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
       }
       PendingOp* op = FindOp(m.op_id);
       if (op == nullptr) {
+        CountDuplicate();  // reply landed after the flush timed out
+        return;
+      }
+      if (std::find(op->acked.begin(), op->acked.end(), src) != op->acked.end()) {
+        CountDuplicate();  // a retry's second reply; payload already recorded
         return;
       }
       op->data = std::move(msg.page);
       op->dirty = m.dirty;
       op->was_resident = m.was_resident;
       // The manager coroutine harvests the flush payload, then erases the op.
-      AckOp(m.op_id, /*keep_entry=*/true);
+      AckOp(m.op_id, src, /*keep_entry=*/true);
       return;
     }
     case XmmMsgType::kFlushRead: {
       const auto& m = std::get<XmmFlush>(body);
+      if (DuplicateDelivery(m.op_id)) {
+        return;
+      }
       auto repr = reprs_.at(m.object);
       if (repr->FindResident(m.page) != nullptr) {
         vm_.LockRequest(*repr, m.page, PageAccess::kNone, LockMode::kFlush,
@@ -427,7 +484,7 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
     case XmmMsgType::kFlushReadAck: {
       const auto& m = std::get<XmmFlushWriteReply>(body);
       // The manager coroutine erases the op after the round completes.
-      AckOp(m.op_id, /*keep_entry=*/true);
+      AckOp(m.op_id, src, /*keep_entry=*/true);
       return;
     }
     case XmmMsgType::kCopyFault:

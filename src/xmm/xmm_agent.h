@@ -88,6 +88,10 @@ class XmmAgent : public Pager, public ProtocolAgent {
   void OnMessage(NodeId src, Message msg) override;
   void Send(NodeId to, XmmMsgType type, XmmBody body, PageBuffer page = nullptr);
 
+  // Stall-watchdog probe: base pending ops plus the manager-side picture
+  // (busy pages, parked request queues) for objects managed here.
+  bool DescribeStall(std::string& out) const override;
+
   // Pending flush rounds live in the ProtocolAgent pending-op table (the
   // write-flush data/dirty/was_resident ride in PendingOp).
 

@@ -148,6 +148,64 @@ TEST(DeterminismTest, XmmTimelineDigestMatchesGolden) {
   EXPECT_EQ(DigestWorkload(DsmKind::kXmm), 9185313916855082992ULL);
 }
 
+// Fault-injected digest: the same workload as DigestWorkload, but run under a
+// fault profile with timeouts/retries armed, folding in the robustness
+// counters too. Two runs with the same (profile, seed) must be bit-identical
+// — fault injection is part of the deterministic timeline, not noise on top.
+uint64_t FaultDigestWorkload(DsmKind kind, const char* profile, uint64_t seed) {
+  MachineConfig config;
+  config.nodes = 6;
+  config.dsm = kind;
+  EXPECT_TRUE(FaultProfileFromName(profile, seed, config.nodes, &config.fault));
+  config.retry.timeout_ns = 20 * kMillisecond;
+  config.stall_watchdog = true;
+  Machine machine(config);
+  MemObjectId region = machine.CreateSharedRegion(0, 32);
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < 6; ++n) {
+    mems.push_back(&machine.MapRegion(n, region));
+  }
+  Rng rng(1234);
+  uint64_t digest = 14695981039346656037ULL;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.NextBelow(6));
+    const VmOffset addr = rng.NextBelow(32) * 8192;
+    if (rng.NextBool(0.5)) {
+      auto w = mems[node]->WriteU64(addr, static_cast<uint64_t>(i));
+      machine.Run();
+    } else {
+      auto r = mems[node]->ReadU64(addr);
+      machine.Run();
+      digest = Fnv1a(digest, r.ready() ? r.value() : ~0ULL);
+    }
+    digest = Fnv1a(digest, static_cast<uint64_t>(machine.Now()));
+  }
+  for (const char* counter :
+       {"mesh.messages", "mesh.bytes", "vm.faults", "fault.jitter_ns", "fault.jitter_messages",
+        "fault.degraded_messages", "fault.slowed_messages", "dsm.op_retries", "dsm.op_timeouts",
+        "dsm.duplicates_suppressed"}) {
+    digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get(counter)));
+  }
+  return digest;
+}
+
+TEST(DeterminismTest, FaultInjectedRunsAreBitStablePerProfile) {
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    for (const char* profile : {"jitter", "slow-node", "degraded-links"}) {
+      EXPECT_EQ(FaultDigestWorkload(kind, profile, 42),
+                FaultDigestWorkload(kind, profile, 42))
+          << ToString(kind) << " under " << profile << " is not deterministic";
+    }
+  }
+}
+
+TEST(DeterminismTest, FaultSeedsChangeTheJitterTimeline) {
+  // The jitter profile draws per-message delays from the plan's RNG, so
+  // different seeds must produce different timelines.
+  EXPECT_NE(FaultDigestWorkload(DsmKind::kAsvm, "jitter", 1),
+            FaultDigestWorkload(DsmKind::kAsvm, "jitter", 2));
+}
+
 TEST(DeterminismTest, DifferentSeedsDiverge) {
   // Sanity that the workload above actually depends on the RNG stream.
   auto run = [](uint64_t seed) {

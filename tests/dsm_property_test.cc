@@ -14,6 +14,7 @@
 
 #include "src/common/rng.h"
 #include "src/core/machine.h"
+#include "tests/dsm_test_util.h"
 
 namespace asvm {
 namespace {
@@ -25,6 +26,11 @@ struct PropertyConfig {
   int nodes;
   size_t frames;  // per-node; small => eviction pressure
   const char* label;
+  // Fault-injection regime (appended so positional inits above stay valid):
+  // when set, the profile is applied with timeouts/retries armed, and the
+  // oracle must still hold — faults may slow the protocol, never corrupt it.
+  const char* fault_profile = nullptr;
+  uint64_t fault_seed = 0;
 };
 
 std::string ConfigName(const ::testing::TestParamInfo<PropertyConfig>& info) {
@@ -42,6 +48,11 @@ class DsmPropertyTest : public ::testing::TestWithParam<PropertyConfig> {
     config.user_memory_bytes = p.frames * 4096;
     config.asvm.dynamic_forwarding = p.dynamic_fwd;
     config.asvm.static_forwarding = p.static_fwd;
+    if (p.fault_profile != nullptr) {
+      ASSERT_TRUE(FaultProfileFromName(p.fault_profile, p.fault_seed, p.nodes, &config.fault));
+      config.retry.timeout_ns = 20 * kMillisecond;
+      config.stall_watchdog = true;
+    }
     machine_ = std::make_unique<Machine>(config);
     region_ = machine_->CreateSharedRegion(0, kPages);
     for (NodeId n = 0; n < p.nodes; ++n) {
@@ -64,7 +75,7 @@ class DsmPropertyTest : public ::testing::TestWithParam<PropertyConfig> {
 TEST_P(DsmPropertyTest, SequentialRandomOpsMatchOracle) {
   Build();
   Rng rng(0xC0FFEE);
-  std::map<VmOffset, uint64_t> oracle;
+  CoherenceOracle oracle;
   uint64_t next_value = 1;
   const int ops = 1500;
   for (int i = 0; i < ops; ++i) {
@@ -78,16 +89,19 @@ TEST_P(DsmPropertyTest, SequentialRandomOpsMatchOracle) {
       machine_->Run();
       ASSERT_TRUE(w.ready()) << "write stuck at op " << i;
       ASSERT_EQ(w.value(), Status::kOk);
-      oracle[addr] = value;
+      oracle.RecordWrite(addr, value);
     } else {
       auto r = mems_[node]->ReadU64(addr);
       machine_->Run();
       ASSERT_TRUE(r.ready()) << "read stuck at op " << i;
-      const uint64_t expect = oracle.count(addr) ? oracle[addr] : 0;
-      ASSERT_EQ(r.value(), expect)
+      oracle.CheckRead(addr, r.value());
+      ASSERT_EQ(oracle.violations(), 0)
           << "coherence violation at op " << i << " node " << node << " page " << page;
     }
   }
+  // A stall under the one-op-at-a-time driver means the protocol wedged.
+  EXPECT_EQ(machine_->stats().Get("sim.stalls_detected"), 0)
+      << machine_->last_stall_report();
 }
 
 TEST_P(DsmPropertyTest, ConcurrentWritersConverge) {
@@ -170,7 +184,14 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyConfig{DsmKind::kAsvm, false, false, 6, 16, "AsvmGlobalPressure6"},
         PropertyConfig{DsmKind::kXmm, true, true, 6, 512, "Xmm6"},
         PropertyConfig{DsmKind::kXmm, true, true, 12, 512, "Xmm12"},
-        PropertyConfig{DsmKind::kXmm, true, true, 6, 16, "XmmPressure6"}),
+        PropertyConfig{DsmKind::kXmm, true, true, 6, 16, "XmmPressure6"},
+        // Fault-injection regimes: delay-only profiles with timeouts/retries
+        // armed. The oracle must hold exactly as in the healthy runs.
+        PropertyConfig{DsmKind::kAsvm, true, true, 6, 512, "AsvmJitter6", "jitter", 7},
+        PropertyConfig{DsmKind::kXmm, true, true, 6, 512, "XmmJitter6", "jitter", 7},
+        PropertyConfig{DsmKind::kAsvm, true, true, 6, 512, "AsvmDegraded6",
+                       "degraded-links", 11},
+        PropertyConfig{DsmKind::kXmm, true, true, 6, 512, "XmmSlowNode6", "slow-node", 13}),
     ConfigName);
 
 }  // namespace

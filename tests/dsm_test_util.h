@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/dsm/cluster.h"
@@ -13,6 +14,38 @@
 #include "src/machvm/task_memory.h"
 
 namespace asvm {
+
+// Shadow single-writer memory: the coherence oracle. Every committed write is
+// replayed into a plain map; every completed read must return exactly what
+// the map holds (sequential consistency for the one-op-at-a-time drivers the
+// tests use). Any divergence is a coherency-protocol bug, regardless of which
+// fault profile was active when it happened.
+class CoherenceOracle {
+ public:
+  void RecordWrite(VmOffset addr, uint64_t value) { shadow_[addr] = value; }
+
+  // Expected value of a read at `addr` (unwritten memory is zero-filled).
+  uint64_t Expected(VmOffset addr) const {
+    auto it = shadow_.find(addr);
+    return it == shadow_.end() ? 0 : it->second;
+  }
+
+  void CheckRead(VmOffset addr, uint64_t actual) {
+    const uint64_t expected = Expected(addr);
+    EXPECT_EQ(actual, expected)
+        << "coherence violation at addr " << addr << ": read " << actual
+        << " but the last committed write was " << expected;
+    if (actual != expected) {
+      ++violations_;
+    }
+  }
+
+  int violations() const { return violations_; }
+
+ private:
+  std::unordered_map<VmOffset, uint64_t> shadow_;
+  int violations_ = 0;
+};
 
 // One task per node mapping the same distributed region at address 0.
 class DsmRegionHarness {

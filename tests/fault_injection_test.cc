@@ -1,0 +1,275 @@
+// Fault injection end to end: the FaultPlan primitives, the hardened
+// pending-op table (timeout + bounded retry + duplicate suppression), and the
+// stall watchdog diagnosing an orphaned operation. Delay-only faults must
+// never break coherence; message loss (node removal) must surface as a
+// bounded kTimeout or, with retries disabled, a diagnosed stall — never as a
+// silent hang or a wrong value.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/mesh/fault_plan.h"
+#include "src/sim/engine.h"
+
+namespace asvm {
+namespace {
+
+// --- FaultPlan unit tests ----------------------------------------------------
+
+TEST(FaultPlanTest, ProfileFactoryBuildsTheCannedPlans) {
+  FaultPlanParams p;
+  EXPECT_TRUE(FaultProfileFromName("none", 1, 8, &p));
+  EXPECT_TRUE(p.Empty());
+
+  EXPECT_TRUE(FaultProfileFromName("jitter", 1, 8, &p));
+  EXPECT_EQ(p.max_jitter_ns, 150 * kMicrosecond);
+
+  EXPECT_TRUE(FaultProfileFromName("slow-node", 1, 8, &p));
+  ASSERT_EQ(p.slow_nodes.size(), 1u);
+  EXPECT_EQ(p.slow_nodes[0].node, 4);
+  EXPECT_EQ(p.slow_nodes[0].cost_factor, 8.0);
+
+  EXPECT_TRUE(FaultProfileFromName("degraded-links", 1, 8, &p));
+  ASSERT_EQ(p.degraded_links.size(), 2u);
+  EXPECT_EQ(p.degraded_links[0].a, 0);
+  EXPECT_EQ(p.degraded_links[0].b, kInvalidNode);
+
+  EXPECT_FALSE(FaultProfileFromName("meteor-strike", 1, 8, &p));
+}
+
+TEST(FaultPlanTest, JitterIsSeededAndBounded) {
+  FaultPlanParams params;
+  params.seed = 5;
+  params.max_jitter_ns = 150 * kMicrosecond;
+
+  Engine engine;
+  FaultPlan a(engine, params, 4, nullptr);
+  FaultPlan b(engine, params, 4, nullptr);
+  params.seed = 6;
+  FaultPlan c(engine, params, 4, nullptr);
+
+  bool diverged = false;
+  for (int i = 0; i < 64; ++i) {
+    const SimDuration draw = a.NextJitter();
+    EXPECT_GE(draw, 0);
+    EXPECT_LE(draw, 150 * kMicrosecond);
+    EXPECT_EQ(draw, b.NextJitter());  // same seed, same stream
+    diverged = diverged || draw != c.NextJitter();
+  }
+  EXPECT_TRUE(diverged);  // a different seed draws a different stream
+}
+
+TEST(FaultPlanTest, RemovalSeversTheNodeAtItsTime) {
+  FaultPlanParams params;
+  params.removals.push_back({2, 100});
+
+  Engine engine;
+  FaultPlan plan(engine, params, 4, nullptr);
+  EXPECT_TRUE(plan.NodeAlive(2));
+  EXPECT_TRUE(plan.Delivers(0, 2));
+
+  engine.Schedule(100, []() {});
+  engine.Run();
+  EXPECT_FALSE(plan.NodeAlive(2));
+  EXPECT_FALSE(plan.Delivers(0, 2));  // to the removed node
+  EXPECT_FALSE(plan.Delivers(2, 0));  // and from it
+  EXPECT_TRUE(plan.Delivers(0, 1));   // other links untouched
+}
+
+TEST(FaultPlanTest, LinkDegradationMatchesWildcardAndPairs) {
+  FaultPlanParams params;
+  params.degraded_links.push_back({0, kInvalidNode, 0.25});
+  params.degraded_links.push_back({1, 3, 0.5});
+
+  Engine engine;
+  FaultPlan plan(engine, params, 4, nullptr);
+  EXPECT_DOUBLE_EQ(plan.LinkBandwidthFactor(0, 3), 0.25);
+  EXPECT_DOUBLE_EQ(plan.LinkBandwidthFactor(2, 0), 0.25);
+  EXPECT_DOUBLE_EQ(plan.LinkBandwidthFactor(1, 3), 0.5);
+  EXPECT_DOUBLE_EQ(plan.LinkBandwidthFactor(3, 1), 0.5);
+  EXPECT_DOUBLE_EQ(plan.LinkBandwidthFactor(1, 2), 1.0);
+}
+
+// --- Protocol hardening under live machines ---------------------------------
+
+// A slowed reader delays its invalidation ack past the (deliberately tight)
+// deadline: retries fire, their duplicates are suppressed, and the op still
+// resolves kOk well before the retry budget runs out. Coherence holds.
+TEST(FaultInjectionTest, RetriesFireButCoherenceHolds) {
+  MachineConfig config;
+  config.nodes = 4;
+  config.dsm = DsmKind::kAsvm;
+  config.fault.slow_nodes.push_back({2, 16.0});
+  config.retry.timeout_ns = 300 * kMicrosecond;
+  config.stall_watchdog = true;
+  Machine machine(config);
+
+  MemObjectId region = machine.CreateSharedRegion(0, 4);
+  TaskMemory& writer = machine.MapRegion(1, region);
+  TaskMemory& slow_reader = machine.MapRegion(2, region);
+  TaskMemory& reader = machine.MapRegion(3, region);
+
+  auto w1 = writer.WriteU64(0, 41);
+  machine.Run();
+  ASSERT_TRUE(w1.ready());
+  ASSERT_EQ(w1.value(), Status::kOk);
+
+  auto r1 = slow_reader.ReadU64(0);
+  machine.Run();
+  ASSERT_TRUE(r1.ready());
+  EXPECT_EQ(r1.value(), 41u);
+
+  // Upgrading the writer invalidates the slow reader; its ack arrives after
+  // at least one deadline has fired.
+  auto w2 = writer.WriteU64(0, 42);
+  machine.Run();
+  ASSERT_TRUE(w2.ready());
+  ASSERT_EQ(w2.value(), Status::kOk);
+
+  auto r2 = reader.ReadU64(0);
+  machine.Run();
+  ASSERT_TRUE(r2.ready());
+  EXPECT_EQ(r2.value(), 42u);
+  auto r3 = slow_reader.ReadU64(0);
+  machine.Run();
+  ASSERT_TRUE(r3.ready());
+  EXPECT_EQ(r3.value(), 42u);
+
+  EXPECT_GE(machine.stats().Get("dsm.op_retries"), 1);
+  EXPECT_EQ(machine.stats().Get("dsm.op_timeouts"), 0);
+  EXPECT_EQ(machine.stats().Get("sim.stalls_detected"), 0) << machine.last_stall_report();
+}
+
+// A removed reader black-holes its invalidation. With retries armed the op
+// exhausts its budget, resolves kTimeout, and the write still completes — a
+// bounded failure instead of a wedged simulation.
+TEST(FaultInjectionTest, RemovedNodeTimesOutInsteadOfWedging) {
+  constexpr SimTime kRemovalTime = 50 * kMillisecond;
+  MachineConfig config;
+  config.nodes = 4;
+  config.dsm = DsmKind::kAsvm;
+  config.fault.removals.push_back({2, kRemovalTime});
+  config.retry.timeout_ns = 300 * kMicrosecond;
+  config.stall_watchdog = true;
+  Machine machine(config);
+
+  MemObjectId region = machine.CreateSharedRegion(0, 4);
+  TaskMemory& writer = machine.MapRegion(1, region);
+  TaskMemory& doomed = machine.MapRegion(2, region);
+
+  auto w1 = writer.WriteU64(0, 7);
+  machine.Run();
+  ASSERT_TRUE(w1.ready());
+  auto r1 = doomed.ReadU64(0);
+  machine.Run();
+  ASSERT_TRUE(r1.ready());
+  EXPECT_EQ(r1.value(), 7u);
+  ASSERT_LT(machine.Now(), kRemovalTime) << "setup overran the removal time";
+
+  // Cross the removal time (a drained RunFor does not advance the clock, so
+  // park an empty event past the boundary), then invalidate the dead reader.
+  machine.engine().Schedule(kRemovalTime - machine.Now() + kMillisecond, []() {});
+  machine.Run();
+  ASSERT_GT(machine.Now(), kRemovalTime);
+  auto w2 = writer.WriteU64(0, 8);
+  machine.Run();
+  ASSERT_TRUE(w2.ready()) << "write wedged on the removed reader";
+
+  EXPECT_GE(machine.stats().Get("dsm.op_timeouts"), 1);
+  EXPECT_GE(machine.stats().Get("fault.messages_dropped"), 1);
+
+  // The surviving nodes still agree on the new value.
+  auto r2 = writer.ReadU64(0);
+  machine.Run();
+  ASSERT_TRUE(r2.ready());
+  EXPECT_EQ(r2.value(), 8u);
+}
+
+// The same black hole with retries disabled: the op can never resolve, the
+// event queue drains, and the watchdog must diagnose the stall — naming the
+// orphaned invalidation op rather than silently returning.
+TEST(FaultInjectionTest, WatchdogDiagnosesAnOrphanedOp) {
+  constexpr SimTime kRemovalTime = 50 * kMillisecond;
+  MachineConfig config;
+  config.nodes = 4;
+  config.dsm = DsmKind::kAsvm;
+  config.fault.removals.push_back({2, kRemovalTime});
+  config.retry.timeout_ns = 0;  // hardening off: nothing rescues the op
+  config.stall_watchdog = true;
+  Machine machine(config);
+
+  MemObjectId region = machine.CreateSharedRegion(0, 4);
+  TaskMemory& writer = machine.MapRegion(1, region);
+  TaskMemory& doomed = machine.MapRegion(2, region);
+
+  auto w1 = writer.WriteU64(0, 7);
+  machine.Run();
+  auto r1 = doomed.ReadU64(0);
+  machine.Run();
+  ASSERT_TRUE(r1.ready());
+  ASSERT_LT(machine.Now(), kRemovalTime);
+
+  machine.engine().Schedule(kRemovalTime - machine.Now() + kMillisecond, []() {});
+  machine.Run();
+  ASSERT_GT(machine.Now(), kRemovalTime);
+  auto w2 = writer.WriteU64(0, 8);
+  machine.Run();
+
+  EXPECT_FALSE(w2.ready());  // genuinely blocked — that's what stalled means
+  EXPECT_GE(machine.stats().Get("sim.stalls_detected"), 1);
+  const std::string& report = machine.last_stall_report();
+  EXPECT_NE(report.find("simulation stalled"), std::string::npos) << report;
+  EXPECT_NE(report.find("invalidate-round"), std::string::npos)
+      << "stall report does not name the orphaned op:\n"
+      << report;
+  EXPECT_NE(report.find("node 1"), std::string::npos) << report;
+}
+
+// Delay-only profiles across both DSMs: a short contended workload completes
+// with zero timeouts and zero stalls (faults slow the timeline, never break
+// it). This is the cheap smoke version of the property-test regimes.
+TEST(FaultInjectionTest, DelayOnlyProfilesNeverTimeOut) {
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    for (const char* profile : {"jitter", "slow-node", "degraded-links"}) {
+      MachineConfig config;
+      config.nodes = 4;
+      config.dsm = kind;
+      ASSERT_TRUE(FaultProfileFromName(profile, 9, config.nodes, &config.fault));
+      config.retry.timeout_ns = 20 * kMillisecond;
+      config.stall_watchdog = true;
+      Machine machine(config);
+
+      MemObjectId region = machine.CreateSharedRegion(0, 2);
+      std::vector<TaskMemory*> mems;
+      for (NodeId n = 0; n < 4; ++n) {
+        mems.push_back(&machine.MapRegion(n, region));
+      }
+      for (int i = 0; i < 12; ++i) {
+        const NodeId node = static_cast<NodeId>(i % 4);
+        auto w = mems[node]->WriteU64(0, static_cast<uint64_t>(100 + i));
+        machine.Run();
+        ASSERT_TRUE(w.ready()) << ToString(kind) << "/" << profile << " op " << i;
+        ASSERT_EQ(w.value(), Status::kOk);
+      }
+      uint64_t agreed = 111;  // the last write
+      for (NodeId n = 0; n < 4; ++n) {
+        auto r = mems[n]->ReadU64(0);
+        machine.Run();
+        ASSERT_TRUE(r.ready());
+        EXPECT_EQ(r.value(), agreed) << ToString(kind) << "/" << profile << " node " << n;
+      }
+      EXPECT_EQ(machine.stats().Get("dsm.op_timeouts"), 0)
+          << ToString(kind) << "/" << profile;
+      EXPECT_EQ(machine.stats().Get("fault.messages_dropped"), 0)
+          << ToString(kind) << "/" << profile;
+      EXPECT_EQ(machine.stats().Get("sim.stalls_detected"), 0)
+          << ToString(kind) << "/" << profile << "\n"
+          << machine.last_stall_report();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asvm

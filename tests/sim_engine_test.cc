@@ -97,6 +97,74 @@ TEST(EngineTest, ExecutedEventsCounts) {
   EXPECT_EQ(engine.executed_events(), 17u);
 }
 
+TEST(EngineStallTest, SilentWhenNoProbeReportsBlockedWork) {
+  Engine engine;
+  std::string stall;
+  engine.SetStallHandler([&](const std::string& report) { stall = report; });
+  engine.AddStallProbe([](std::string&) { return false; });
+  engine.Schedule(10, []() {});
+  engine.Run();
+  EXPECT_TRUE(stall.empty());
+  EXPECT_EQ(engine.stalls_detected(), 0u);
+}
+
+TEST(EngineStallTest, FiresWhenQueueDrainsWithBlockedWork) {
+  Engine engine;
+  // Model an orphaned pending op: a reply that will never be scheduled. The
+  // probe is the agent-side registry that still holds the entry.
+  bool op_resolved = false;
+  engine.AddStallProbe([&](std::string& report) {
+    if (op_resolved) {
+      return false;
+    }
+    report += "  asvm node 3: pending op 17 (invalidate-round) awaiting 1 reply\n";
+    return true;
+  });
+  std::string stall;
+  engine.SetStallHandler([&](const std::string& report) { stall = report; });
+  engine.Schedule(5 * kMicrosecond, []() {});  // unrelated traffic; then silence
+  engine.Run();
+  EXPECT_EQ(engine.stalls_detected(), 1u);
+  // The report names the culprit and the stall time.
+  EXPECT_NE(stall.find("simulation stalled at t=5000 ns"), std::string::npos) << stall;
+  EXPECT_NE(stall.find("pending op 17 (invalidate-round)"), std::string::npos) << stall;
+
+  // Once the op resolves, further drains are clean.
+  op_resolved = true;
+  stall.clear();
+  engine.Schedule(kMicrosecond, []() {});
+  engine.Run();
+  EXPECT_TRUE(stall.empty());
+  EXPECT_EQ(engine.stalls_detected(), 1u);
+}
+
+TEST(EngineStallTest, RemovedProbeNoLongerFires) {
+  Engine engine;
+  std::string stall;
+  engine.SetStallHandler([&](const std::string& report) { stall = report; });
+  const int id = engine.AddStallProbe([](std::string& report) {
+    report += "  blocked\n";
+    return true;
+  });
+  engine.RemoveStallProbe(id);
+  engine.Schedule(1, []() {});
+  engine.Run();
+  EXPECT_TRUE(stall.empty());
+}
+
+TEST(EngineStallTest, NoHandlerMeansNoChecks) {
+  Engine engine;
+  int probed = 0;
+  engine.AddStallProbe([&](std::string&) {
+    ++probed;
+    return true;
+  });
+  engine.Schedule(1, []() {});
+  engine.Run();
+  EXPECT_EQ(probed, 0);  // probes only run when a handler wants the report
+  EXPECT_EQ(engine.stalls_detected(), 0u);
+}
+
 TEST(EngineDeathTest, NegativeDelayAborts) {
   Engine engine;
   EXPECT_DEATH(engine.Schedule(-1, []() {}), "negative delay");

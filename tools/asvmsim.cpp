@@ -39,6 +39,9 @@ struct Options {
   bool msg_stats = false;
   bool dynamic_fwd = true;
   bool static_fwd = true;
+  std::string fault_profile = "none";
+  uint64_t fault_seed = 1;
+  bool fault_report = false;
 };
 
 void Usage() {
@@ -56,7 +59,10 @@ void Usage() {
       "  --no-static              disable static forwarding (ASVM)\n"
       "  --trace                  print the protocol event trace (ASVM)\n"
       "  --stats                  dump the statistics registry\n"
-      "  --msg-stats              count transport messages per protocol type\n");
+      "  --msg-stats              count transport messages per protocol type\n"
+      "  --fault-profile=P        none | jitter | slow-node | degraded-links (default none)\n"
+      "  --fault-seed=N           seed for the fault plan's RNG (default 1)\n"
+      "  --fault-report           print the fault plan and robustness counters\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -103,6 +109,12 @@ bool Parse(int argc, char** argv, Options* opts) {
       opts->stats = true;
     } else if (std::strcmp(argv[i], "--msg-stats") == 0) {
       opts->msg_stats = true;
+    } else if (ParseFlag(argv[i], "--fault-profile", &value)) {
+      opts->fault_profile = value;
+    } else if (ParseFlag(argv[i], "--fault-seed", &value)) {
+      opts->fault_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fault-report") == 0) {
+      opts->fault_report = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       return false;
     } else {
@@ -244,6 +256,16 @@ int Run(const Options& opts) {
   config.asvm.dynamic_forwarding = opts.dynamic_fwd;
   config.asvm.static_forwarding = opts.static_fwd;
   config.per_type_message_stats = opts.msg_stats;
+  if (opts.fault_profile != "none") {
+    if (!FaultProfileFromName(opts.fault_profile, opts.fault_seed, opts.nodes,
+                              &config.fault)) {
+      std::printf("unknown fault profile '%s'\n", opts.fault_profile.c_str());
+      return 2;
+    }
+    // Faulty links need the protocol hardening on: deadline + bounded retry.
+    config.retry.timeout_ns = 20 * kMillisecond;
+    config.stall_watchdog = true;
+  }
   Machine machine(config);
 
   TraceBuffer trace;
@@ -283,6 +305,26 @@ int Run(const Options& opts) {
       if (name.find(".msg.") != std::string::npos) {
         std::printf("  %-48s %lld\n", name.c_str(), static_cast<long long>(value));
       }
+    }
+  }
+  if (opts.fault_report) {
+    std::printf("\nfault report:\n");
+    if (machine.fault_plan() != nullptr) {
+      std::printf("%s", machine.fault_plan()->Describe().c_str());
+    } else {
+      std::printf("  faults disabled\n");
+    }
+    const char* counters[] = {"fault.messages_dropped", "fault.jitter_messages",
+                              "fault.jitter_ns",        "fault.degraded_messages",
+                              "fault.slowed_messages",  "dsm.op_retries",
+                              "dsm.op_timeouts",        "dsm.duplicates_suppressed",
+                              "sim.stalls_detected"};
+    for (const char* name : counters) {
+      std::printf("  %-28s %lld\n", name,
+                  static_cast<long long>(machine.stats().Get(name)));
+    }
+    if (!machine.last_stall_report().empty()) {
+      std::printf("\nlast stall report:\n%s", machine.last_stall_report().c_str());
     }
   }
   if (opts.stats) {
