@@ -74,21 +74,25 @@ ForwardingResult RunConfig(bool dynamic, bool stat, int nodes) {
   return {hot / 32.0, cold / 32.0, msgs};
 }
 
-void RunAblation() {
+void RunAblation(BenchJson& json) {
   PrintHeader("Ablation A1: forwarding strategies (16 nodes, ms per access)");
   std::printf("%-34s %10s %10s %10s\n", "configuration", "owned-pg", "fresh-pg", "messages");
   struct Row {
     const char* label;
+    const char* key;
     bool dynamic;
     bool stat;
   };
-  for (const Row& row : {Row{"dynamic+static+global (ASVM)", true, true},
-                         Row{"static+global (Li fixed-distr.)", false, true},
-                         Row{"dynamic+global", true, false},
-                         Row{"global only (broadcast)", false, false}}) {
+  for (const Row& row : {Row{"dynamic+static+global (ASVM)", "full", true, true},
+                         Row{"static+global (Li fixed-distr.)", "static_only", false, true},
+                         Row{"dynamic+global", "dynamic_only", true, false},
+                         Row{"global only (broadcast)", "global_only", false, false}}) {
     ForwardingResult r = RunConfig(row.dynamic, row.stat, 16);
     std::printf("%-34s %10.2f %10.2f %10lld\n", row.label, r.hot_ms, r.cold_ms,
                 static_cast<long long>(r.messages));
+    json.Metric(std::string("hot_ms.") + row.key, r.hot_ms);
+    json.Metric(std::string("cold_ms.") + row.key, r.cold_ms);
+    json.Metric(std::string("messages.") + row.key, static_cast<double>(r.messages));
   }
   std::printf(
       "\nThe layered scheme finds owners in the fewest hops; pure global\n"
@@ -99,7 +103,8 @@ void RunAblation() {
 }  // namespace
 }  // namespace asvm
 
-int main() {
-  asvm::RunAblation();
-  return 0;
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunAblation(json);
+  return json.Write("ablation_forwarding") ? 0 : 1;
 }

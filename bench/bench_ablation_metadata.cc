@@ -36,7 +36,7 @@ MetaResult Measure(DsmKind kind, int nodes, VmSize pages, int touched) {
   return result;
 }
 
-void RunBench() {
+void RunBench(BenchJson& json) {
   PrintHeader("Ablation A4: non-pageable metadata, 64 MB object (8192 pages), 16 touched");
   std::printf("%8s %18s %18s %18s %18s\n", "nodes", "ASVM mgr (KB)", "ASVM peak (KB)",
               "XMM mgr (KB)", "XMM peak (KB)");
@@ -45,6 +45,11 @@ void RunBench() {
     MetaResult x = Measure(DsmKind::kXmm, nodes, 8192, 16);
     std::printf("%8d %18.1f %18.1f %18.1f %18.1f\n", nodes, a.manager_bytes / 1024.0,
                 a.peak_other / 1024.0, x.manager_bytes / 1024.0, x.peak_other / 1024.0);
+    const std::string n = ".n" + std::to_string(nodes);
+    json.Metric("mgr_kb.asvm" + n, a.manager_bytes / 1024.0);
+    json.Metric("peak_kb.asvm" + n, a.peak_other / 1024.0);
+    json.Metric("mgr_kb.xmm" + n, x.manager_bytes / 1024.0);
+    json.Metric("peak_kb.xmm" + n, x.peak_other / 1024.0);
   }
   std::printf(
       "\nXMM's manager table grows as pages x nodes regardless of use (the\n"
@@ -56,7 +61,8 @@ void RunBench() {
 }  // namespace
 }  // namespace asvm
 
-int main() {
-  asvm::RunBench();
-  return 0;
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunBench(json);
+  return json.Write("ablation_metadata") ? 0 : 1;
 }

@@ -57,12 +57,19 @@ PagingResult RunConfig(bool internode_paging) {
   return result;
 }
 
-void RunAblation() {
+void RunAblation(BenchJson& json) {
   PrintHeader("Ablation A3: internode paging (8 nodes x 2 MB, 4 MB SVM region)");
   std::printf("%-24s %12s %12s %10s %12s\n", "configuration", "fill (s)", "refault(ms)",
               "disk ops", "transfers");
   PagingResult with = RunConfig(true);
   PagingResult without = RunConfig(false);
+  for (const auto& [key, r] : {std::pair<const char*, const PagingResult&>{"on", with},
+                               {"off", without}}) {
+    json.Metric(std::string("fill_s.") + key, r.fill_seconds);
+    json.Metric(std::string("refault_ms.") + key, r.refault_ms);
+    json.Metric(std::string("disk_ops.") + key, static_cast<double>(r.disk_ops));
+    json.Metric(std::string("transfers.") + key, static_cast<double>(r.page_transfers));
+  }
   std::printf("%-24s %12.3f %12.2f %10lld %12lld\n", "internode paging ON", with.fill_seconds,
               with.refault_ms, static_cast<long long>(with.disk_ops),
               static_cast<long long>(with.page_transfers));
@@ -79,7 +86,8 @@ void RunAblation() {
 }  // namespace
 }  // namespace asvm
 
-int main() {
-  asvm::RunAblation();
-  return 0;
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunAblation(json);
+  return json.Write("ablation_paging") ? 0 : 1;
 }

@@ -25,13 +25,15 @@ double WriteFaultOver(bool use_norma, int readers) {
   return MeasureWriteMs(machine, faulter, 0, 2);
 }
 
-void RunAblation() {
+void RunAblation(BenchJson& json) {
   PrintHeader("Ablation A2: ASVM protocol over STS vs. over NORMA-IPC (ms)");
   std::printf("%10s %12s %14s %8s\n", "readers", "ASVM/STS", "ASVM/NORMA", "ratio");
   for (int readers : {0, 2, 8, 32, 64}) {
     const double sts = WriteFaultOver(false, readers);
     const double norma = WriteFaultOver(true, readers);
     std::printf("%10d %12.2f %14.2f %7.1fx\n", readers, sts, norma, norma / sts);
+    json.Metric("sts_ms.r" + std::to_string(readers), sts);
+    json.Metric("norma_ms.r" + std::to_string(readers), norma);
   }
   std::printf(
       "\nEven with ASVM's lean 3-message protocol, NORMA-IPC's per-message\n"
@@ -43,7 +45,8 @@ void RunAblation() {
 }  // namespace
 }  // namespace asvm
 
-int main() {
-  asvm::RunAblation();
-  return 0;
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunAblation(json);
+  return json.Write("ablation_transport") ? 0 : 1;
 }

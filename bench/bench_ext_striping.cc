@@ -35,7 +35,7 @@ StripeResult Run(DsmKind kind, int stripes, int readahead = 0) {
   return result;
 }
 
-void RunBench() {
+void RunBench(BenchJson& json) {
   PrintHeader("Extension: striped mapped files (8 readers, 4 MB, MB/s per node)");
   std::printf("%-8s %14s %14s %14s %14s\n", "stripes", "ASVM cold", "ASVM warm", "XMM cold",
               "XMM warm");
@@ -44,6 +44,11 @@ void RunBench() {
     StripeResult x = Run(DsmKind::kXmm, stripes);
     std::printf("%-8d %14.2f %14.2f %14.2f %14.2f\n", stripes, a.cold_mb_s, a.warm_mb_s,
                 x.cold_mb_s, x.warm_mb_s);
+    const std::string s = ".s" + std::to_string(stripes);
+    json.Metric("cold_mb_s.asvm" + s, a.cold_mb_s);
+    json.Metric("warm_mb_s.asvm" + s, a.warm_mb_s);
+    json.Metric("cold_mb_s.xmm" + s, x.cold_mb_s);
+    json.Metric("warm_mb_s.xmm" + s, x.warm_mb_s);
   }
   std::printf("\nWith §6 page-in clustering (8-page read-ahead at each stripe pager):\n");
   std::printf("%-8s %14s %14s\n", "stripes", "ASVM cold", "XMM cold");
@@ -51,6 +56,9 @@ void RunBench() {
     StripeResult a = Run(DsmKind::kAsvm, stripes, /*readahead=*/8);
     StripeResult x = Run(DsmKind::kXmm, stripes, /*readahead=*/8);
     std::printf("%-8d %14.2f %14.2f\n", stripes, a.cold_mb_s, x.cold_mb_s);
+    const std::string s = ".s" + std::to_string(stripes);
+    json.Metric("cold_mb_s.asvm.ra8" + s, a.cold_mb_s);
+    json.Metric("cold_mb_s.xmm.ra8" + s, x.cold_mb_s);
   }
   std::printf(
       "\nCold streaming scales with the stripe count (PFS) and clustering\n"
@@ -62,7 +70,8 @@ void RunBench() {
 }  // namespace
 }  // namespace asvm
 
-int main() {
-  asvm::RunBench();
-  return 0;
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunBench(json);
+  return json.Write("ext_striping") ? 0 : 1;
 }

@@ -8,10 +8,17 @@
 namespace asvm {
 namespace {
 
-void RunFig10() {
+void RunFig10(BenchJson& json) {
   PrintHeader("Figure 10: Write fault latency vs. number of read copies (ms)");
   std::printf("%8s %14s %14s %14s %14s\n", "readers", "ASVM-write", "ASVM-upgrade",
               "XMM-write", "XMM-upgrade");
+  // The paper states point values only at the curve ends (its Table 1 rows).
+  auto paper_ref = [](int readers, double at1_or_2, double at64,
+                      int low) -> double {
+    if (readers == low) return at1_or_2;
+    if (readers == 64) return at64;
+    return BenchJson::kNoPaperRef;
+  };
   for (int readers : {1, 2, 4, 8, 16, 32, 48, 64}) {
     const double asvm_write = WriteFaultMs(DsmKind::kAsvm, readers, false);
     const double asvm_up = WriteFaultMs(DsmKind::kAsvm, readers, true);
@@ -19,6 +26,11 @@ void RunFig10() {
     const double xmm_up = WriteFaultMs(DsmKind::kXmm, readers, true);
     std::printf("%8d %14.2f %14.2f %14.2f %14.2f\n", readers, asvm_write, asvm_up, xmm_write,
                 xmm_up);
+    const std::string suffix = ".r" + std::to_string(readers);
+    json.Metric("write_ms.asvm" + suffix, asvm_write, paper_ref(readers, 2.24, 8.96, 1));
+    json.Metric("upgrade_ms.asvm" + suffix, asvm_up, paper_ref(readers, 1.51, 7.75, 2));
+    json.Metric("write_ms.xmm" + suffix, xmm_write, paper_ref(readers, 12.92, 72.18, 2));
+    json.Metric("upgrade_ms.xmm" + suffix, xmm_up, paper_ref(readers, 3.83, 63.72, 2));
   }
   std::printf(
       "\nPaper anchors: ASVM write 2.24 ms @1 -> 8.96 ms @64 (slope ~0.09 ms/reader);\n"
@@ -28,7 +40,8 @@ void RunFig10() {
 }  // namespace
 }  // namespace asvm
 
-int main() {
-  asvm::RunFig10();
-  return 0;
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunFig10(json);
+  return json.Write("fig10_write_fault_scaling") ? 0 : 1;
 }

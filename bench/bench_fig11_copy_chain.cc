@@ -46,7 +46,7 @@ double ChainFaultMs(DsmKind kind, int chain_length) {
   return total_ms / static_cast<double>(pages);
 }
 
-void RunFig11() {
+void RunFig11(BenchJson& json) {
   PrintHeader("Figure 11: Inherited-memory fault latency vs. copy chain length (ms/page)");
   std::printf("%6s %12s %12s\n", "chain", "ASVM", "XMM");
   std::vector<double> asvm;
@@ -56,6 +56,8 @@ void RunFig11() {
     asvm.push_back(ChainFaultMs(DsmKind::kAsvm, n));
     xmm.push_back(ChainFaultMs(DsmKind::kXmm, n));
     std::printf("%6d %12.2f %12.2f\n", n, asvm.back(), xmm.back());
+    json.Metric("chain_ms.asvm.n" + std::to_string(n), asvm.back());
+    json.Metric("chain_ms.xmm.n" + std::to_string(n), xmm.back());
   }
   // Least-squares fit lb + n*la over the measured range.
   auto fit = [&](const std::vector<double>& y) {
@@ -83,12 +85,19 @@ void RunFig11() {
   std::printf("  Chain of 8 (256-node spawn tree): ASVM %.1f ms, XMM %.1f ms"
               "   (paper: 6.4 vs 35)\n",
               asvm_lb + 8 * asvm_la, xmm_lb + 8 * xmm_la);
+  json.Metric("fit_lb_ms.asvm", asvm_lb, 2.7);
+  json.Metric("fit_la_ms.asvm", asvm_la, 0.48);
+  json.Metric("fit_lb_ms.xmm", xmm_lb, 5.0);
+  json.Metric("fit_la_ms.xmm", xmm_la, 4.3);
+  json.Metric("chain8_ms.asvm", asvm_lb + 8 * asvm_la, 6.4);
+  json.Metric("chain8_ms.xmm", xmm_lb + 8 * xmm_la, 35.0);
 }
 
 }  // namespace
 }  // namespace asvm
 
-int main() {
-  asvm::RunFig11();
-  return 0;
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunFig11(json);
+  return json.Write("fig11_copy_chain") ? 0 : 1;
 }

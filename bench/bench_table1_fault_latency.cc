@@ -5,7 +5,7 @@
 namespace asvm {
 namespace {
 
-void RunTable1() {
+void RunTable1(BenchJson& json) {
   PrintHeader("Table 1: Page Fault Latencies (ms)");
 
   std::vector<PaperRow> rows;
@@ -33,12 +33,20 @@ void RunTable1() {
                   ReadFaultMs(DsmKind::kAsvm, 1), ReadFaultMs(DsmKind::kXmm, 1)});
 
   PrintComparison(rows, "");
+
+  const char* keys[] = {"write_1copy_ms",   "write_2copies_ms", "write_64copies_ms",
+                        "upgrade_2copies_ms", "upgrade_64copies_ms",
+                        "read_first_ms",    "read_second_ms"};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    json.Row(keys[i], rows[i]);
+  }
 }
 
 }  // namespace
 }  // namespace asvm
 
-int main() {
-  asvm::RunTable1();
-  return 0;
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunTable1(json);
+  return json.Write("table1_fault_latency") ? 0 : 1;
 }

@@ -30,7 +30,7 @@ double WriteRate(DsmKind kind, int nodes) {
       .per_node_mb_s;
 }
 
-void RunTable2() {
+void RunTable2(BenchJson& json) {
   PrintHeader("Table 2: File Transfer Rates (MB/s per node), 4 MB mapped file");
   const int counts[] = {1, 2, 4, 8, 16, 32, 64};
   const double paper_asvm_write[] = {2.80, 2.60, 2.05, 1.22, 0.62, 0.30, 0.15};
@@ -44,13 +44,15 @@ void RunTable2() {
   }
   std::printf("\n");
 
-  auto series = [&](const char* label, double (*fn)(DsmKind, int), DsmKind kind,
-                    const double* paper) {
+  auto series = [&](const char* label, const char* key, double (*fn)(DsmKind, int),
+                    DsmKind kind, const double* paper) {
     std::printf("%-12s", label);
     double measured[7];
     for (int i = 0; i < 7; ++i) {
       measured[i] = fn(kind, counts[i]);
       std::printf("%8.2f", measured[i]);
+      json.Metric(std::string(key) + ".n" + std::to_string(counts[i]), measured[i],
+                  paper[i]);
     }
     std::printf("\n%-12s", "  (paper)");
     for (int i = 0; i < 7; ++i) {
@@ -59,10 +61,10 @@ void RunTable2() {
     std::printf("\n");
   };
 
-  series("ASVM write", WriteRate, DsmKind::kAsvm, paper_asvm_write);
-  series("XMM  write", WriteRate, DsmKind::kXmm, paper_xmm_write);
-  series("ASVM read", ReadRate, DsmKind::kAsvm, paper_asvm_read);
-  series("XMM  read", ReadRate, DsmKind::kXmm, paper_xmm_read);
+  series("ASVM write", "write_mb_s.asvm", WriteRate, DsmKind::kAsvm, paper_asvm_write);
+  series("XMM  write", "write_mb_s.xmm", WriteRate, DsmKind::kXmm, paper_xmm_write);
+  series("ASVM read", "read_mb_s.asvm", ReadRate, DsmKind::kAsvm, paper_asvm_read);
+  series("XMM  read", "read_mb_s.xmm", ReadRate, DsmKind::kXmm, paper_xmm_read);
 
   std::printf(
       "\nFigures 12/13 plot these series. Key shapes: ASVM sustains a usable\n"
@@ -74,7 +76,8 @@ void RunTable2() {
 }  // namespace
 }  // namespace asvm
 
-int main() {
-  asvm::RunTable2();
-  return 0;
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunTable2(json);
+  return json.Write("table2_file_transfer") ? 0 : 1;
 }

@@ -38,7 +38,7 @@ double RunOne(DsmKind kind, int64_t cells, int nodes) {
   return RunEm3dTimed(machine, params, nodes, kMeasureIters).seconds;
 }
 
-void RunTable3() {
+void RunTable3(BenchJson& json) {
   PrintHeader("Table 3: EM3D timings (seconds, 100 iterations)");
   const int counts[] = {1, 2, 4, 8, 16, 32, 64};
   struct SizeRow {
@@ -73,7 +73,12 @@ void RunTable3() {
           std::printf("%9s", "-");
           continue;
         }
-        std::printf("%9.1f", RunOne(kind, size.cells, nodes));
+        const double seconds = RunOne(kind, size.cells, nodes);
+        std::printf("%9.1f", seconds);
+        const double* paper = kind == DsmKind::kAsvm ? size.paper_asvm : size.paper_xmm;
+        json.Metric("seconds." + std::string(ToString(kind)) + ".c" +
+                        std::to_string(size.cells) + ".n" + std::to_string(nodes),
+                    seconds, paper[i] < 0 ? BenchJson::kNoPaperRef : paper[i]);
       }
       std::printf("\n");
       const double* paper = kind == DsmKind::kAsvm ? size.paper_asvm : size.paper_xmm;
@@ -96,7 +101,8 @@ void RunTable3() {
 }  // namespace
 }  // namespace asvm
 
-int main() {
-  asvm::RunTable3();
-  return 0;
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunTable3(json);
+  return json.Write("table3_em3d") ? 0 : 1;
 }

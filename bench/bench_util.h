@@ -4,7 +4,10 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -99,6 +102,76 @@ inline void PrintComparison(const std::vector<PaperRow>& rows, const char* unit)
                 row.paper_xmm, unit);
   }
 }
+
+// --- Machine-readable output (--json=FILE) -------------------------------------
+//
+// Every bench binary accepts --json=FILE and writes its measurements as one
+// flat metric map, deterministic across runs (insertion order, fixed float
+// formatting), so scripts/bench_report.sh can merge the files and diff them
+// against a checked-in baseline. Metrics carry the paper's reference value
+// where the paper states one.
+class BenchJson {
+ public:
+  BenchJson(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path_ = argv[i] + 7;
+      }
+    }
+  }
+
+  static constexpr double kNoPaperRef = std::numeric_limits<double>::quiet_NaN();
+
+  void Metric(const std::string& name, double value, double paper_ref = kNoPaperRef) {
+    metrics_.push_back({name, value, paper_ref});
+  }
+
+  // All seven PaperRow fields of a comparison table in one call.
+  void Row(const std::string& key, const PaperRow& row) {
+    Metric(key + ".asvm", row.measured_asvm, row.paper_asvm);
+    Metric(key + ".xmm", row.measured_xmm, row.paper_xmm);
+  }
+
+  // Writes the file when --json=FILE was given; returns false on I/O failure.
+  bool Write(const char* bench_name) const {
+    if (path_.empty()) {
+      return true;
+    }
+    std::string out = "{\n  \"bench\": \"";
+    out += bench_name;
+    out += "\",\n  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const Entry& e = metrics_[i];
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": {\"value\": %.6g",
+                    i == 0 ? "" : ",", e.name.c_str(), e.value);
+      out += buf;
+      if (!std::isnan(e.paper)) {
+        std::snprintf(buf, sizeof(buf), ", \"paper\": %.6g", e.paper);
+        out += buf;
+      }
+      out += "}";
+    }
+    out += "\n  }\n}\n";
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    double paper;
+  };
+  std::string path_;
+  std::vector<Entry> metrics_;
+};
 
 }  // namespace asvm
 

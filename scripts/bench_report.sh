@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Machine-readable perf report: runs the paper's headline benchmarks
+# (Table 1, Table 2, Figure 10) with --json output and merges them into one
+# BENCH_*.json report. With --check, diffs every metric against the
+# checked-in baseline (bench/baseline/BENCH_baseline.json) and fails when a
+# metric drifts by more than the tolerance (default 15%).
+#
+#   scripts/bench_report.sh --out=BENCH_pr4.json
+#   scripts/bench_report.sh --out=BENCH_pr4.json --check
+#
+# The simulation is deterministic, so any drift is a real modeling or
+# performance change, not noise; the tolerance exists for intentional
+# model-parameter tuning in later PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_pr4.json
+BUILD=build
+BASELINE=bench/baseline/BENCH_baseline.json
+TOLERANCE=0.15
+CHECK=0
+for arg in "$@"; do
+  case "$arg" in
+    --out=*) OUT="${arg#--out=}" ;;
+    --build=*) BUILD="${arg#--build=}" ;;
+    --baseline=*) BASELINE="${arg#--baseline=}" ;;
+    --tolerance=*) TOLERANCE="${arg#--tolerance=}" ;;
+    --check) CHECK=1 ;;
+    *)
+      echo "unknown argument: $arg" >&2
+      echo "usage: $0 [--out=FILE] [--build=DIR] [--baseline=FILE] [--tolerance=F] [--check]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "running Table 1 (fault latencies)..."
+"$BUILD/bench/bench_table1_fault_latency" --json="$tmp/table1.json" > "$tmp/table1.txt"
+echo "running Table 2 (file transfer rates)..."
+"$BUILD/bench/bench_table2_file_transfer" --json="$tmp/table2.json" > "$tmp/table2.txt"
+echo "running Figure 10 (write-fault scaling)..."
+"$BUILD/bench/bench_fig10_write_fault_scaling" --json="$tmp/fig10.json" > "$tmp/fig10.txt"
+
+python3 - "$tmp" "$OUT" <<'PYEOF'
+import json
+import sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+report = {"schema": "asvm-bench-report/v1", "benches": {}}
+for part in ("table1", "table2", "fig10"):
+    with open(f"{tmp}/{part}.json") as f:
+        doc = json.load(f)
+    report["benches"][doc["bench"]] = doc["metrics"]
+with open(out, "w") as f:
+    json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+n = sum(len(m) for m in report["benches"].values())
+print(f"wrote {out}: {len(report['benches'])} benches, {n} metrics")
+PYEOF
+
+if [ "$CHECK" = 1 ]; then
+  python3 - "$OUT" "$BASELINE" "$TOLERANCE" <<'PYEOF'
+import json
+import sys
+
+out, baseline_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(out) as f:
+    current = json.load(f)
+with open(baseline_path) as f:
+    baseline = json.load(f)
+
+failures = []
+checked = 0
+for bench, metrics in baseline["benches"].items():
+    cur_metrics = current["benches"].get(bench)
+    if cur_metrics is None:
+        failures.append(f"{bench}: missing from current report")
+        continue
+    for name, entry in metrics.items():
+        cur = cur_metrics.get(name)
+        if cur is None:
+            failures.append(f"{bench}/{name}: metric disappeared")
+            continue
+        old, new = entry["value"], cur["value"]
+        checked += 1
+        if old == 0:
+            if new != 0:
+                failures.append(f"{bench}/{name}: {old} -> {new}")
+            continue
+        drift = abs(new - old) / abs(old)
+        if drift > tol:
+            failures.append(
+                f"{bench}/{name}: {old:.4g} -> {new:.4g} ({drift * 100:.1f}% drift)")
+
+print(f"checked {checked} metrics against {baseline_path} (tolerance {tol * 100:.0f}%)")
+if failures:
+    print(f"PERF REGRESSION: {len(failures)} metric(s) outside tolerance:")
+    for f_ in failures:
+        print(f"  {f_}")
+    sys.exit(1)
+print("all metrics within tolerance")
+PYEOF
+fi

@@ -10,7 +10,9 @@
 namespace asvm {
 
 AsvmAgent::AsvmAgent(AsvmSystem& system, NodeId node)
-    : ProtocolAgent(system, node), system_(system), vm_(system.cluster().vm(node)) {
+    : ProtocolAgent(system, node, TraceProtocol::kAsvm),
+      system_(system),
+      vm_(system.cluster().vm(node)) {
   Transport& main_transport = system.config().use_norma_transport
                                   ? static_cast<Transport&>(system_.cluster().norma())
                                   : static_cast<Transport&>(system_.cluster().sts());
@@ -78,23 +80,6 @@ void AsvmAgent::PruneState(ObjectState& os, PageIndex page) {
       !ps->pending && ps->queue.empty()) {
     os.pages.Erase(page);
   }
-}
-
-void AsvmAgent::Trace(TraceKind kind, const MemObjectId& object, PageIndex page, NodeId peer,
-                      int64_t aux) {
-  ProtocolMonitor* monitor = system_.monitor();
-  if (monitor == nullptr) {
-    return;
-  }
-  TraceEvent event;
-  event.time = vm_.engine().Now();
-  event.node = node_;
-  event.kind = kind;
-  event.object = object;
-  event.page = page;
-  event.peer = peer;
-  event.aux = aux;
-  monitor->OnEvent(event);
 }
 
 std::string AsvmAgent::DumpObjectState(const MemObjectId& id) const {
@@ -193,7 +178,6 @@ void AsvmAgent::DataRequest(VmObject& object, PageIndex page, PageAccess desired
   if (stats_ != nullptr) {
     stats_->Add("asvm.data_requests");
   }
-  Trace(TraceKind::kFaultRequest, id, page, kInvalidNode, static_cast<int64_t>(desired));
   AccessRequest req;
   req.target = id;
   req.search = id;
@@ -201,6 +185,8 @@ void AsvmAgent::DataRequest(VmObject& object, PageIndex page, PageAccess desired
   req.access = desired;
   req.origin = node_;
   req.req_id = system_.NextOpId();
+  Trace(TraceKind::kFaultRequest, id, page, kInvalidNode, static_cast<int64_t>(desired),
+        req.req_id);
   HandleRequest(std::move(req));
 }
 
@@ -364,7 +350,7 @@ void AsvmAgent::RouteRequest(AccessRequest req) {
       if (stats_ != nullptr) {
         stats_->Add("asvm.fwd_dynamic");
       }
-      Trace(TraceKind::kForwardDynamic, req.search, req.page, target);
+      Trace(TraceKind::kForwardDynamic, req.search, req.page, target, 0, req.req_id);
       SendRequest(target, req);
       return;
     }
@@ -376,7 +362,7 @@ void AsvmAgent::RouteRequest(AccessRequest req) {
       if (stats_ != nullptr) {
         stats_->Add("asvm.fwd_static");
       }
-      Trace(TraceKind::kForwardStatic, req.search, req.page, mgr);
+      Trace(TraceKind::kForwardStatic, req.search, req.page, mgr, 0, req.req_id);
       SendRequest(mgr, req);
       return;
     }
@@ -447,7 +433,7 @@ void AsvmAgent::RingForward(AccessRequest req) {
     if (stats_ != nullptr) {
       stats_->Add("asvm.fwd_global_hop");
     }
-    Trace(TraceKind::kForwardGlobal, req.search, req.page, next);
+    Trace(TraceKind::kForwardGlobal, req.search, req.page, next, 0, req.req_id);
     SendRequest(next, req);
     return;
   }

@@ -127,10 +127,6 @@ class AsvmAgent : public Pager, public ProtocolAgent {
   // Advances a ring-mode request to the next sharer or the terminal.
   void RingForward(AccessRequest req);
 
-  // Emits a monitoring event if a monitor is attached.
-  void Trace(TraceKind kind, const MemObjectId& object, PageIndex page,
-             NodeId peer = kInvalidNode, int64_t aux = 0);
-
   void SendRequest(NodeId to, const AccessRequest& req);
   void SendReply(NodeId to, const AccessReply& reply, PageBuffer data);
   void Send(NodeId to, AsvmMsgType type, AsvmBody body, PageBuffer page = nullptr);

@@ -47,6 +47,7 @@ void AsvmAgent::ServeAsOwner(AccessRequest req) {
     // space and was serialized by the copy object's peer (§3.7.3).
     AccessReply reply;
     reply.target = req.target;
+    reply.req_id = req.req_id;
     reply.page = req.page;
     reply.granted = req.access;
     reply.ownership = true;
@@ -59,7 +60,7 @@ void AsvmAgent::ServeAsOwner(AccessRequest req) {
     return;
   }
 
-  Trace(TraceKind::kServeOwner, req.search, req.page, req.origin);
+  Trace(TraceKind::kServeOwner, req.search, req.page, req.origin, 0, req.req_id);
   if (req.access == PageAccess::kRead) {
     // Transition 5: grant read access, record the reader, keep ownership.
     if (ps.access == PageAccess::kWrite) {
@@ -71,6 +72,7 @@ void AsvmAgent::ServeAsOwner(AccessRequest req) {
     }
     AccessReply reply;
     reply.target = req.target;
+    reply.req_id = req.req_id;
     reply.page = req.page;
     reply.granted = PageAccess::kRead;
     reply.ownership = false;
@@ -113,6 +115,7 @@ Task AsvmAgent::OwnerGrantWrite(AccessRequest req) {
   // Hand over page + ownership. Our own copy is invalidated (single writer).
   AccessReply reply;
   reply.target = req.target;
+  reply.req_id = req.req_id;
   reply.page = req.page;
   reply.granted = PageAccess::kWrite;
   reply.ownership = true;
@@ -202,7 +205,7 @@ Task AsvmAgent::InvalidateReaders(MemObjectId id, PageIndex page, NodeId except,
   Future<Status> all_acked = OpFuture(op);
   for (NodeId r : targets) {
     Send(r, AsvmMsgType::kInvalidate, InvalidateMsg{id, page, op});
-    Trace(TraceKind::kInvalidate, id, page, r);
+    Trace(TraceKind::kInvalidate, id, page, r, 0, op);
     if (stats_ != nullptr) {
       stats_->Add("asvm.invalidations");
     }
@@ -267,7 +270,7 @@ void AsvmAgent::OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer d
   }
 
   Trace(TraceKind::kGrantApplied, reply.target, reply.page, src,
-        static_cast<int64_t>(reply.granted));
+        static_cast<int64_t>(reply.granted), reply.req_id);
   if (reply.ownership) {
     Trace(TraceKind::kOwnershipMoved, reply.target, reply.page, node_);
     ps.owner = true;
@@ -405,6 +408,7 @@ Task AsvmAgent::ServeFromBacking(AccessRequest req) {
 
   AccessReply reply;
   reply.target = req.target;
+  reply.req_id = req.req_id;
   reply.page = req.page;
   reply.granted = req.access;
   reply.ownership = true;
@@ -414,7 +418,7 @@ Task AsvmAgent::ServeFromBacking(AccessRequest req) {
   if (same_space) {
     hp.owner_exists = true;  // the grant is on its way; PullDone confirms
   }
-  Trace(TraceKind::kServeTerminal, req.search, req.page, req.origin);
+  Trace(TraceKind::kServeTerminal, req.search, req.page, req.origin, 0, req.req_id);
   SendReply(req.origin, reply, data != nullptr ? ClonePage(data) : nullptr);
 }
 
@@ -430,13 +434,14 @@ Task AsvmAgent::ServeByPull(AccessRequest req) {
   if (stats_ != nullptr) {
     stats_->Add("asvm.peer_pulls");
   }
-  Trace(TraceKind::kPull, req.search, req.page, req.origin);
+  Trace(TraceKind::kPull, req.search, req.page, req.origin, 0, req.req_id);
 
   const bool same_space = req.target == req.search;
   switch (result.kind) {
     case PullResult::Kind::kData: {
       AccessReply reply;
       reply.target = req.target;
+      reply.req_id = req.req_id;
       reply.page = req.page;
       reply.granted = req.access;
       reply.ownership = true;
@@ -457,6 +462,7 @@ Task AsvmAgent::ServeByPull(AccessRequest req) {
       }
       AccessReply reply;
       reply.target = req.target;
+      reply.req_id = req.req_id;
       reply.page = req.page;
       reply.granted = req.access;
       reply.ownership = true;
@@ -536,6 +542,7 @@ void AsvmAgent::ForwardQueue(const MemObjectId& id, PageIndex page, NodeId next)
       // indicator so the origin re-enters through the target space (§3.7.3).
       AccessReply reply;
       reply.target = q.target;
+      reply.req_id = q.req_id;
       reply.page = q.page;
       reply.granted = q.access;
       reply.retry = true;

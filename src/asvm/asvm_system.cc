@@ -7,17 +7,6 @@
 
 namespace asvm {
 
-namespace {
-
-// Keys for anonymous backing in the home's paging space; the high bit keeps
-// them disjoint from local VM object serials.
-uint64_t NextBackingKey() {
-  static uint64_t next = 0;
-  return (1ULL << 63) | next++;
-}
-
-}  // namespace
-
 AsvmSystem::AsvmSystem(Cluster& cluster, AsvmConfig config)
     : cluster_(cluster), config_(config) {
   agents_.reserve(cluster.node_count());

@@ -95,10 +95,11 @@ class AsvmSystem : public DsmSystem {
   const AsvmConfig& config() const { return config_; }
   AsvmAgent& agent(NodeId node) { return *agents_.at(node); }
 
-  // System-level monitoring: every protocol event flows to the attached
-  // monitor (nullptr detaches).
-  void AttachMonitor(ProtocolMonitor* monitor) { monitor_ = monitor; }
-  ProtocolMonitor* monitor() const { return monitor_; }
+  // System-level monitoring, now machine-wide: the monitor attaches to the
+  // cluster's shared sink, so transport/mesh/disk events arrive alongside the
+  // ASVM protocol events (nullptr detaches).
+  void AttachMonitor(ProtocolMonitor* monitor) { cluster_.AttachMonitor(monitor); }
+  ProtocolMonitor* monitor() const { return cluster_.monitor(); }
 
   // --- Directory -------------------------------------------------------------
 
@@ -129,12 +130,18 @@ class AsvmSystem : public DsmSystem {
  private:
   Task RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done);
 
+  // Keys for anonymous backing in the home's paging space; the high bit keeps
+  // them disjoint from local VM object serials.
+  uint64_t NextBackingKey() { return (1ULL << 63) | next_backing_key_++; }
+
   Cluster& cluster_;
   AsvmConfig config_;
-  ProtocolMonitor* monitor_ = nullptr;
   std::vector<std::unique_ptr<AsvmAgent>> agents_;
   std::unordered_map<MemObjectId, std::unique_ptr<AsvmObjectInfo>> directory_;
   uint32_t next_seq_ = 1;
+  // Per-system (not process-global) so that identical machines allocate
+  // identical paging-space positions — traces must be byte-stable run to run.
+  uint64_t next_backing_key_ = 0;
 };
 
 }  // namespace asvm

@@ -1,91 +1,9 @@
-// System- and application-level monitoring interfaces (the paper's authors
-// built such interfaces for ASVM on the Paragon). A ProtocolMonitor attached
-// to an AsvmSystem receives every significant protocol event with its
-// simulated timestamp; the bundled implementations keep a bounded in-memory
-// trace and per-kind counters, and can render a human-readable timeline.
+// The protocol monitor began life ASVM-only; it is now the machine-wide
+// observability layer shared by both DSMs and the layers beneath them. This
+// header remains as a forwarding shim for existing includes.
 #ifndef SRC_ASVM_MONITOR_H_
 #define SRC_ASVM_MONITOR_H_
 
-#include <array>
-#include <cstdint>
-#include <deque>
-#include <string>
-
-#include "src/common/types.h"
-#include "src/sim/time.h"
-
-namespace asvm {
-
-enum class TraceKind : uint8_t {
-  kFaultRequest = 0,   // node asked its agent for access (page, access in aux)
-  kForwardDynamic,     // request forwarded via a dynamic hint (peer = target)
-  kForwardStatic,      // request forwarded to/via the static manager
-  kForwardGlobal,      // request on the global ring
-  kServeOwner,         // owner answered (peer = requester)
-  kServeTerminal,      // pager/peer answered a first touch
-  kGrantApplied,       // origin integrated a grant
-  kInvalidate,         // owner -> reader invalidation
-  kOwnershipMoved,     // ownership changed hands (peer = new owner)
-  kEvictStep,          // internode paging step (aux = 1..4)
-  kPush,               // push operation initiated
-  kPushScan,           // push scan issued
-  kPull,               // pull walk executed at a peer
-  kWriteback,          // page returned to the pager
-  kKindCount,
-};
-
-const char* ToString(TraceKind kind);
-
-struct TraceEvent {
-  SimTime time = 0;
-  NodeId node = kInvalidNode;   // where the event happened
-  TraceKind kind = TraceKind::kFaultRequest;
-  MemObjectId object;
-  PageIndex page = kInvalidPage;
-  NodeId peer = kInvalidNode;   // counterpart node, if any
-  int64_t aux = 0;              // kind-specific detail
-};
-
-class ProtocolMonitor {
- public:
-  virtual ~ProtocolMonitor() = default;
-  virtual void OnEvent(const TraceEvent& event) = 0;
-};
-
-// Bounded ring-buffer trace + per-kind counters.
-class TraceBuffer : public ProtocolMonitor {
- public:
-  explicit TraceBuffer(size_t capacity = 4096) : capacity_(capacity) {}
-
-  void OnEvent(const TraceEvent& event) override {
-    ++counts_[static_cast<size_t>(event.kind)];
-    ++total_;
-    events_.push_back(event);
-    if (events_.size() > capacity_) {
-      events_.pop_front();
-    }
-  }
-
-  const std::deque<TraceEvent>& events() const { return events_; }
-  int64_t count(TraceKind kind) const { return counts_[static_cast<size_t>(kind)]; }
-  int64_t total() const { return total_; }
-  void Clear() {
-    events_.clear();
-    counts_.fill(0);
-    total_ = 0;
-  }
-
-  // Renders the trace (optionally only events touching `page`) as a
-  // timeline, one line per event.
-  std::string Render(PageIndex page = kInvalidPage) const;
-
- private:
-  size_t capacity_;
-  std::deque<TraceEvent> events_;
-  std::array<int64_t, static_cast<size_t>(TraceKind::kKindCount)> counts_{};
-  int64_t total_ = 0;
-};
-
-}  // namespace asvm
+#include "src/common/trace.h"
 
 #endif  // SRC_ASVM_MONITOR_H_

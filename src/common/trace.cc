@@ -1,0 +1,397 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "src/common/stats.h"
+
+namespace asvm {
+
+const char* ToString(TraceProtocol protocol) {
+  switch (protocol) {
+    case TraceProtocol::kAsvm:
+      return "asvm";
+    case TraceProtocol::kXmm:
+      return "xmm";
+    case TraceProtocol::kTransport:
+      return "transport";
+    case TraceProtocol::kMesh:
+      return "mesh";
+    case TraceProtocol::kDisk:
+      return "disk";
+    case TraceProtocol::kProtocolCount:
+      break;
+  }
+  return "?";
+}
+
+const char* ToString(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kFaultRequest:
+      return "fault-request";
+    case TraceKind::kForwardDynamic:
+      return "fwd-dynamic";
+    case TraceKind::kForwardStatic:
+      return "fwd-static";
+    case TraceKind::kForwardGlobal:
+      return "fwd-global";
+    case TraceKind::kServeOwner:
+      return "serve-owner";
+    case TraceKind::kServeTerminal:
+      return "serve-terminal";
+    case TraceKind::kGrantApplied:
+      return "grant-applied";
+    case TraceKind::kInvalidate:
+      return "invalidate";
+    case TraceKind::kOwnershipMoved:
+      return "ownership-moved";
+    case TraceKind::kEvictStep:
+      return "evict-step";
+    case TraceKind::kPush:
+      return "push";
+    case TraceKind::kPushScan:
+      return "push-scan";
+    case TraceKind::kPull:
+      return "pull";
+    case TraceKind::kWriteback:
+      return "writeback";
+    case TraceKind::kXmmRequest:
+      return "xmm-request";
+    case TraceKind::kXmmManagerServe:
+      return "xmm-manager-serve";
+    case TraceKind::kXmmFlush:
+      return "xmm-flush";
+    case TraceKind::kXmmGrant:
+      return "xmm-grant";
+    case TraceKind::kXmmCopyFault:
+      return "xmm-copy-fault";
+    case TraceKind::kMsgSend:
+      return "msg-send";
+    case TraceKind::kMsgRecv:
+      return "msg-recv";
+    case TraceKind::kMsgDropped:
+      return "msg-dropped";
+    case TraceKind::kJitter:
+      return "jitter";
+    case TraceKind::kDiskRead:
+      return "disk-read";
+    case TraceKind::kDiskWrite:
+      return "disk-write";
+    case TraceKind::kRetry:
+      return "retry";
+    case TraceKind::kTimeout:
+      return "timeout";
+    case TraceKind::kKindCount:
+      break;
+  }
+  return "?";
+}
+
+std::string TraceBuffer::Render(PageIndex page) const {
+  std::ostringstream out;
+  for (const TraceEvent& e : events_) {
+    if (page != kInvalidPage && e.page != page) {
+      continue;
+    }
+    char line[192];
+    if (e.peer != kInvalidNode) {
+      std::snprintf(line, sizeof(line),
+                    "%10.3f ms  node %-3d [%-9s] %-16s %s page %lld  -> node %d",
+                    ToMilliseconds(e.time), e.node, ToString(e.protocol), ToString(e.kind),
+                    e.object.ToString().c_str(), static_cast<long long>(e.page), e.peer);
+    } else {
+      std::snprintf(line, sizeof(line), "%10.3f ms  node %-3d [%-9s] %-16s %s page %lld",
+                    ToMilliseconds(e.time), e.node, ToString(e.protocol), ToString(e.kind),
+                    e.object.ToString().c_str(), static_cast<long long>(e.page));
+    }
+    out << line;
+    if (e.kind == TraceKind::kEvictStep) {
+      out << "  (step " << e.aux << ")";
+    }
+    if (e.detail != nullptr) {
+      out << "  " << e.detail;
+    }
+    if (e.op != 0) {
+      out << "  op " << e.op;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+// Appends a sim-time as microseconds with fixed three fractional digits
+// ("1234.567"). Pure integer arithmetic — no locale or float formatting that
+// could vary between hosts.
+void AppendMicros(std::ostringstream& out, SimTime t) {
+  out << t / 1000 << '.';
+  const long long frac = t % 1000;
+  out << static_cast<char>('0' + frac / 100) << static_cast<char>('0' + (frac / 10) % 10)
+      << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceBuffer& trace) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  // One named track per node: Perfetto shows tid metadata as row labels.
+  std::set<NodeId> nodes;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.node != kInvalidNode) {
+      nodes.insert(e.node);
+    }
+  }
+  for (NodeId node : nodes) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << node
+        << ",\"args\":{\"name\":\"node " << node << "\"}}";
+  }
+
+  for (const TraceEvent& e : trace.events()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n{\"name\":\"" << ToString(e.kind) << "\",\"cat\":\"" << ToString(e.protocol)
+        << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << e.node << ",\"ts\":";
+    AppendMicros(out, e.time);
+    out << ",\"args\":{\"object\":\"" << e.object.ToString() << "\",\"page\":" << e.page;
+    if (e.peer != kInvalidNode) {
+      out << ",\"peer\":" << e.peer;
+    }
+    if (e.op != 0) {
+      out << ",\"op\":" << e.op;
+    }
+    if (e.aux != 0) {
+      out << ",\"aux\":" << e.aux;
+    }
+    if (e.detail != nullptr) {
+      out << ",\"detail\":\"" << e.detail << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+// --- Fault breakdown ---------------------------------------------------------
+
+namespace {
+
+struct OpenFault {
+  FaultBreakdown b;
+  SimTime fwd_first = -1;
+  SimTime fwd_last = -1;
+  SimTime serve = -1;
+  SimTime grant_sent = -1;
+};
+
+void Close(const OpenFault& o, SimTime done, std::vector<FaultBreakdown>* out) {
+  FaultBreakdown b = o.b;
+  const SimTime t0 = b.started;
+  // Milestones happen in event order, so each boundary falls back to the
+  // previous one when the trace never recorded it.
+  const SimTime route_start = o.fwd_first >= 0 ? o.fwd_first : (o.serve >= 0 ? o.serve : done);
+  const SimTime route_end = o.fwd_last >= 0 ? std::max(o.fwd_last, route_start) : route_start;
+  SimTime granted = o.grant_sent >= 0 ? o.grant_sent : (o.serve >= 0 ? o.serve : route_end);
+  granted = std::max(granted, route_end);
+  b.total_ns = done - t0;
+  b.request_ns = route_start - t0;
+  b.forward_ns = route_end - route_start;
+  b.manager_service_ns = granted - route_end;
+  b.data_transfer_ns = done - granted;
+  out->push_back(b);
+}
+
+}  // namespace
+
+std::vector<FaultBreakdown> AnalyzeFaultBreakdowns(const std::deque<TraceEvent>& events) {
+  // ASVM exchanges carry the request id on every hop; XMM requests carry no op
+  // id, so they match on (origin, object, page) — valid because a node blocks
+  // in the kernel on a faulting page until the manager's grant lands.
+  std::map<uint64_t, OpenFault> by_op;
+  std::map<std::tuple<NodeId, NodeId, uint32_t, PageIndex>, OpenFault> by_loc;
+  std::vector<FaultBreakdown> out;
+
+  auto loc_key = [](NodeId origin, const MemObjectId& object, PageIndex page) {
+    return std::make_tuple(origin, object.origin, object.seq, page);
+  };
+
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceKind::kFaultRequest: {
+        if (e.op == 0) {
+          break;
+        }
+        OpenFault& o = by_op[e.op];
+        o = OpenFault{};
+        o.b.protocol = TraceProtocol::kAsvm;
+        o.b.origin = e.node;
+        o.b.object = e.object;
+        o.b.page = e.page;
+        o.b.op = e.op;
+        o.b.started = e.time;
+        break;
+      }
+      case TraceKind::kXmmRequest: {
+        OpenFault& o = by_loc[loc_key(e.node, e.object, e.page)];
+        o = OpenFault{};
+        o.b.protocol = TraceProtocol::kXmm;
+        o.b.origin = e.node;
+        o.b.object = e.object;
+        o.b.page = e.page;
+        o.b.started = e.time;
+        break;
+      }
+      case TraceKind::kForwardDynamic:
+      case TraceKind::kForwardStatic:
+      case TraceKind::kForwardGlobal: {
+        auto it = by_op.find(e.op);
+        if (it != by_op.end()) {
+          if (it->second.fwd_first < 0) {
+            it->second.fwd_first = e.time;
+          }
+          it->second.fwd_last = e.time;
+          ++it->second.b.forwards;
+        }
+        break;
+      }
+      case TraceKind::kServeOwner:
+      case TraceKind::kServeTerminal:
+      case TraceKind::kPull: {
+        auto it = by_op.find(e.op);
+        if (it != by_op.end() && it->second.serve < 0) {
+          it->second.serve = e.time;
+        }
+        break;
+      }
+      case TraceKind::kXmmManagerServe: {
+        auto it = by_loc.find(loc_key(e.peer, e.object, e.page));
+        if (it != by_loc.end() && it->second.serve < 0) {
+          it->second.serve = e.time;
+        }
+        break;
+      }
+      case TraceKind::kXmmGrant: {
+        auto it = by_loc.find(loc_key(e.peer, e.object, e.page));
+        if (it != by_loc.end()) {
+          it->second.grant_sent = e.time;
+        }
+        break;
+      }
+      case TraceKind::kRetry: {
+        auto it = by_op.find(e.op);
+        if (it != by_op.end()) {
+          ++it->second.b.retries;
+          it->second.b.retry_ns += e.aux;
+        }
+        break;
+      }
+      case TraceKind::kTimeout: {
+        // The exchange failed; it contributes no completed breakdown.
+        by_op.erase(e.op);
+        break;
+      }
+      case TraceKind::kGrantApplied: {
+        if (e.protocol == TraceProtocol::kXmm) {
+          auto it = by_loc.find(loc_key(e.node, e.object, e.page));
+          if (it != by_loc.end()) {
+            Close(it->second, e.time, &out);
+            by_loc.erase(it);
+          }
+        } else {
+          auto it = by_op.find(e.op);
+          if (it != by_op.end()) {
+            Close(it->second, e.time, &out);
+            by_op.erase(it);
+          }
+        }
+        break;
+      }
+      case TraceKind::kInvalidate:
+      case TraceKind::kOwnershipMoved:
+      case TraceKind::kEvictStep:
+      case TraceKind::kPush:
+      case TraceKind::kPushScan:
+      case TraceKind::kWriteback:
+      case TraceKind::kXmmFlush:
+      case TraceKind::kXmmCopyFault:
+      case TraceKind::kMsgSend:
+      case TraceKind::kMsgRecv:
+      case TraceKind::kMsgDropped:
+      case TraceKind::kJitter:
+      case TraceKind::kDiskRead:
+      case TraceKind::kDiskWrite:
+      case TraceKind::kKindCount:
+        break;
+    }
+  }
+  return out;
+}
+
+void RecordFaultBreakdowns(const std::vector<FaultBreakdown>& faults, StatsRegistry& stats) {
+  for (const FaultBreakdown& f : faults) {
+    const std::string prefix = std::string(ToString(f.protocol)) + ".fault.breakdown.";
+    stats.Observe(prefix + "total_ns", static_cast<double>(f.total_ns));
+    stats.Observe(prefix + "request_ns", static_cast<double>(f.request_ns));
+    stats.Observe(prefix + "forward_ns", static_cast<double>(f.forward_ns));
+    stats.Observe(prefix + "manager_service_ns", static_cast<double>(f.manager_service_ns));
+    stats.Observe(prefix + "data_transfer_ns", static_cast<double>(f.data_transfer_ns));
+    stats.Observe(prefix + "retry_ns", static_cast<double>(f.retry_ns));
+  }
+}
+
+std::string RenderFaultBreakdowns(const std::vector<FaultBreakdown>& faults) {
+  std::ostringstream out;
+  out << "fault breakdowns (" << faults.size() << " completed)\n";
+  out << "  proto node  object     page    total_us  request  forward  service  transfer  "
+         "retry  fwds\n";
+  struct Sum {
+    SimDuration total = 0, request = 0, forward = 0, service = 0, transfer = 0, retry = 0;
+    int64_t count = 0;
+  };
+  std::map<std::string, Sum> sums;
+  for (const FaultBreakdown& f : faults) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "  %-5s %-4d  %-9s %5lld  %10.1f %8.1f %8.1f %8.1f %9.1f %6.1f  %4d\n",
+                  ToString(f.protocol), f.origin, f.object.ToString().c_str(),
+                  static_cast<long long>(f.page), f.total_ns / 1e3, f.request_ns / 1e3,
+                  f.forward_ns / 1e3, f.manager_service_ns / 1e3, f.data_transfer_ns / 1e3,
+                  f.retry_ns / 1e3, f.forwards);
+    out << line;
+    Sum& s = sums[ToString(f.protocol)];
+    s.total += f.total_ns;
+    s.request += f.request_ns;
+    s.forward += f.forward_ns;
+    s.service += f.manager_service_ns;
+    s.transfer += f.data_transfer_ns;
+    s.retry += f.retry_ns;
+    ++s.count;
+  }
+  for (const auto& [proto, s] : sums) {
+    const double n = static_cast<double>(s.count);
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "  %-5s mean over %lld faults (us): total %.1f = request %.1f + forward %.1f + "
+                  "service %.1f + transfer %.1f (retry wait %.1f)\n",
+                  proto.c_str(), static_cast<long long>(s.count), s.total / n / 1e3,
+                  s.request / n / 1e3, s.forward / n / 1e3, s.service / n / 1e3,
+                  s.transfer / n / 1e3, s.retry / n / 1e3);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace asvm

@@ -120,6 +120,14 @@ class Machine {
 
   size_t DsmMetadataBytes(NodeId node) const { return dsm_->MetadataBytes(node); }
 
+  // --- Observability -----------------------------------------------------------
+
+  // Attaches a machine-wide protocol monitor: DSM protocol events, transport
+  // sends/receives, mesh drops/jitter, and disk I/O all flow into it
+  // (nullptr detaches; zero cost while detached).
+  void AttachMonitor(ProtocolMonitor* monitor) { cluster_->AttachMonitor(monitor); }
+  ProtocolMonitor* monitor() const { return cluster_->monitor(); }
+
   // --- Fault injection & stall diagnostics -------------------------------------
 
   // Active fault plan, or nullptr when faults are disabled.

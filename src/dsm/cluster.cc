@@ -8,6 +8,10 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
   sts_ = std::make_unique<StsTransport>(engine_, *network_, &stats_);
   sts_ctl_ = std::make_unique<StsCtlTransport>(engine_, *network_, &stats_);
   norma_ = std::make_unique<NormaIpc>(engine_, *network_, &stats_);
+  network_->set_trace(&trace_sink_);
+  sts_->set_trace(&trace_sink_);
+  sts_ctl_->set_trace(&trace_sink_);
+  norma_->set_trace(&trace_sink_);
   if (!params_.fault.Empty()) {
     fault_plan_ = std::make_unique<FaultPlan>(engine_, params_.fault, params_.node_count,
                                               &stats_);
@@ -21,6 +25,7 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
                      params_.nodes_per_io_group;
   for (int g = 0; g < groups; ++g) {
     disks_.push_back(std::make_unique<Disk>(engine_, params_.disk, &stats_));
+    disks_.back()->set_trace(&trace_sink_, g * params_.nodes_per_io_group);
   }
   // Dedicated spindles for the mapped file system, so file traffic and paging
   // traffic do not artificially serialize in single-group configurations.
@@ -28,6 +33,7 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
   const int pagers = std::max(1, std::min(params_.file_pager_count, params_.node_count));
   for (int i = 0; i < pagers; ++i) {
     file_disks_.push_back(std::make_unique<Disk>(engine_, params_.disk, &stats_));
+    file_disks_.back()->set_trace(&trace_sink_, i);
     file_pagers_.push_back(std::make_unique<FilePager>(
         engine_, /*io_node=*/i, file_disks_.back().get(), params_.file_pager, &stats_));
   }

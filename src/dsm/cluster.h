@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/common/types.h"
 #include "src/machvm/default_pager.h"
 #include "src/machvm/disk.h"
@@ -23,11 +24,13 @@ namespace asvm {
 // Timeout/retry hardening for the protocol agents' pending-op table
 // (ProtocolAgent). timeout_ns == 0 leaves the machinery disarmed: no deadline
 // events are scheduled and timelines stay bit-identical to the unhardened
-// simulator. Attempt k's deadline is timeout_ns * backoff^k.
+// simulator. Attempt k's deadline is timeout_ns * backoff^k, saturating at
+// max_delay_ns so aggressive policies cannot overflow the scheduler's clock.
 struct RetryPolicy {
   SimDuration timeout_ns = 0;
   int max_retries = 3;
   double backoff = 2.0;
+  SimDuration max_delay_ns = kSecond;
 };
 
 struct ClusterParams {
@@ -63,6 +66,15 @@ class Cluster {
   // on all three transports. Off by default: the per-send lookup is host-side
   // cost every message pays.
   void EnablePerTypeMessageStats();
+
+  // Machine-wide observability: every layer (both DSM agents, the transports,
+  // the mesh fabric, the disks) emits TraceEvents into this one sink. With no
+  // monitor attached emission is a single null check, so timelines are
+  // bit-identical to an unmonitored run.
+  void AttachMonitor(ProtocolMonitor* monitor) { trace_sink_.monitor = monitor; }
+  ProtocolMonitor* monitor() const { return trace_sink_.monitor; }
+  TraceSink& trace_sink() { return trace_sink_; }
+
   Network& network() { return *network_; }
   StsTransport& sts() { return *sts_; }
   StsCtlTransport& sts_ctl() { return *sts_ctl_; }
@@ -87,6 +99,7 @@ class Cluster {
   ClusterParams params_;
   Engine engine_;
   StatsRegistry stats_;
+  TraceSink trace_sink_;  // must outlive everything that emits into it
   std::unique_ptr<FaultPlan> fault_plan_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<StsTransport> sts_;

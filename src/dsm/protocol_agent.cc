@@ -1,30 +1,36 @@
 #include "src/dsm/protocol_agent.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
 
 #include "src/common/log.h"
 
 namespace asvm {
 
-namespace {
-
-// Delivered-op-id window: large enough that a duplicate arriving while its
-// original is still anywhere in the pipeline is caught, small enough that the
-// host-side set stays O(1)-ish per agent.
-constexpr size_t kDeliveredWindow = 512;
-
-}  // namespace
-
-ProtocolAgent::ProtocolAgent(DsmSystem& dsm, NodeId node)
+ProtocolAgent::ProtocolAgent(DsmSystem& dsm, NodeId node, TraceProtocol trace_protocol)
     : node_(node),
       stats_(&dsm.cluster().stats()),
       dsm_(dsm),
       engine_(dsm.cluster().engine()),
       system_name_(dsm.name()),
-      retry_(dsm.cluster().params().retry) {
+      retry_(dsm.cluster().params().retry),
+      trace_(&dsm.cluster().trace_sink()),
+      trace_protocol_(trace_protocol) {
   stall_probe_id_ = engine_.AddStallProbe(
       [this](std::string& report) { return DescribeStall(report); });
+  // A delivered request id must be remembered for as long as its initiator
+  // may still resend it. The last retry fires after the sum of every armed
+  // deadline; doubling that span covers transit and service slack, after
+  // which the id can be forgotten without readmitting a duplicate.
+  if (retry_.timeout_ns > 0) {
+    constexpr SimDuration kHorizonCap = INT64_MAX / 4;
+    SimDuration horizon = 0;
+    for (int k = 0; k <= retry_.max_retries && horizon < kHorizonCap; ++k) {
+      horizon += RetryDelay(k);
+    }
+    delivered_retention_ns_ = 2 * std::min(horizon, kHorizonCap);
+  }
 }
 
 ProtocolAgent::~ProtocolAgent() { engine_.RemoveStallProbe(stall_probe_id_); }
@@ -120,9 +126,19 @@ void ProtocolAgent::ArmOp(uint64_t op_id, std::function<void()> resend) {
 }
 
 SimDuration ProtocolAgent::RetryDelay(int attempts_done) const {
+  // The backoff grows geometrically, so an aggressive policy (large backoff,
+  // many retries) exceeds int64 range after a handful of doublings; a raw
+  // cast of such a double is UB and in practice lands negative, tripping the
+  // scheduler's delay >= 0 check. Grow in double but saturate at the policy
+  // cap before ever casting back.
+  const SimDuration cap_ns = std::max(retry_.max_delay_ns, retry_.timeout_ns);
+  const double cap = static_cast<double>(cap_ns);
   double delay = static_cast<double>(retry_.timeout_ns);
-  for (int i = 0; i < attempts_done; ++i) {
+  for (int i = 0; i < attempts_done && delay < cap; ++i) {
     delay *= retry_.backoff;
+  }
+  if (!(delay < cap)) {
+    return cap_ns;
   }
   return static_cast<SimDuration>(delay);
 }
@@ -138,13 +154,16 @@ void ProtocolAgent::OpDeadline(uint64_t op_id) {
     if (stats_ != nullptr) {
       stats_->Add("dsm.op_retries");
     }
+    const SimDuration next_deadline = RetryDelay(op.attempts);
+    Trace(TraceKind::kRetry, op.object, op.page, kInvalidNode, next_deadline, op_id);
     op.resend();
-    engine_.Schedule(RetryDelay(op.attempts), [this, op_id]() { OpDeadline(op_id); });
+    engine_.Schedule(next_deadline, [this, op_id]() { OpDeadline(op_id); });
     return;
   }
   if (stats_ != nullptr) {
     stats_->Add("dsm.op_timeouts");
   }
+  Trace(TraceKind::kTimeout, op.object, op.page, kInvalidNode, op.attempts, op_id);
   ASVM_LOG_WARN << system_name_ << " node " << node_ << ": pending op " << op_id << " ("
                 << op.what << ") exhausted " << op.attempts
                 << " retries; resolving kTimeout";
@@ -156,16 +175,22 @@ bool ProtocolAgent::DuplicateDelivery(uint64_t op_id) {
   if (retry_.timeout_ns <= 0 || op_id == 0) {
     return false;  // retries disarmed (no duplicates possible) or unsolicited
   }
+  // Forget only ids old enough that no retry of their op can still be in
+  // flight. Eviction is driven by simulated time, never by table size: under
+  // a wide fan-out a count-bounded window would evict live ids and readmit
+  // their late duplicates.
+  const SimTime now = engine_.Now();
+  while (!delivered_fifo_.empty() &&
+         now - delivered_fifo_.front().second > delivered_retention_ns_) {
+    delivered_ops_.erase(delivered_fifo_.front().first);
+    delivered_fifo_.pop_front();
+  }
   if (delivered_ops_.count(op_id) != 0) {
     CountDuplicate();
     return true;
   }
   delivered_ops_.insert(op_id);
-  delivered_fifo_.push_back(op_id);
-  if (delivered_fifo_.size() > kDeliveredWindow) {
-    delivered_ops_.erase(delivered_fifo_.front());
-    delivered_fifo_.pop_front();
-  }
+  delivered_fifo_.emplace_back(op_id, now);
   return false;
 }
 
@@ -173,6 +198,24 @@ void ProtocolAgent::CountDuplicate() {
   if (stats_ != nullptr) {
     stats_->Add("dsm.duplicates_suppressed");
   }
+}
+
+void ProtocolAgent::Trace(TraceKind kind, const MemObjectId& object, PageIndex page,
+                          NodeId peer, int64_t aux, uint64_t op) {
+  if (!trace_->armed()) {
+    return;
+  }
+  TraceEvent e;
+  e.time = engine_.Now();
+  e.node = node_;
+  e.protocol = trace_protocol_;
+  e.kind = kind;
+  e.object = object;
+  e.page = page;
+  e.peer = peer;
+  e.aux = aux;
+  e.op = op;
+  trace_->Emit(e);
 }
 
 bool ProtocolAgent::DescribeStall(std::string& out) const {

@@ -12,9 +12,11 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/common/types.h"
 #include "src/dsm/dsm_system.h"
 #include "src/sim/engine.h"
@@ -32,7 +34,7 @@ class ProtocolAgent {
   ProtocolAgent& operator=(const ProtocolAgent&) = delete;
 
  protected:
-  ProtocolAgent(DsmSystem& dsm, NodeId node);
+  ProtocolAgent(DsmSystem& dsm, NodeId node, TraceProtocol trace_protocol);
   ~ProtocolAgent();
 
   // Subclass dispatcher for messages addressed to (protocol, node()).
@@ -106,6 +108,13 @@ class ProtocolAgent {
   // Counts a suppressed duplicate/late reply (dsm.duplicates_suppressed).
   void CountDuplicate();
 
+  // Emits a protocol event into the machine-wide trace sink, stamped with this
+  // agent's node and protocol tag. One null check when no monitor is attached;
+  // never schedules events, so timelines are identical traced or not.
+  void Trace(TraceKind kind, const MemObjectId& object, PageIndex page,
+             NodeId peer = kInvalidNode, int64_t aux = 0, uint64_t op = 0);
+  bool trace_armed() const { return trace_->armed(); }
+
   // Stall-watchdog probe body: appends a description of every open pending op
   // (and, in subclasses, the coherency state of the implicated pages).
   // Returns true if this agent holds blocked work.
@@ -126,11 +135,17 @@ class ProtocolAgent {
   Engine& engine_;
   std::string system_name_;  // for stall reports ("asvm node 3: ...")
   RetryPolicy retry_;
+  TraceSink* trace_;  // the cluster's machine-wide sink (never null)
+  TraceProtocol trace_protocol_;
   int stall_probe_id_ = -1;
   std::unordered_map<uint64_t, std::unique_ptr<PendingOp>> pending_ops_;
-  // Bounded sliding window of recently delivered request op ids.
+  // Delivered request op ids, remembered until no retry of the op can still be
+  // in flight (time-based retention, not a fixed-size window: a count-bounded
+  // FIFO could evict an id whose exchange was still live under wide fan-out,
+  // letting a late retry duplicate re-execute a non-idempotent request).
   std::unordered_set<uint64_t> delivered_ops_;
-  std::deque<uint64_t> delivered_fifo_;
+  std::deque<std::pair<uint64_t, SimTime>> delivered_fifo_;
+  SimDuration delivered_retention_ns_ = 0;
   SimTime process_busy_until_ = 0;
 };
 

@@ -11,6 +11,7 @@ void Disk::Read(int64_t position, size_t bytes, std::function<void()> done) {
     stats_->Add("disk.reads");
     stats_->Add("disk.bytes_read", static_cast<int64_t>(bytes));
   }
+  TraceOp(TraceKind::kDiskRead, position, bytes);
   Access(position, bytes, std::move(done));
 }
 
@@ -20,7 +21,23 @@ void Disk::Write(int64_t position, size_t bytes, std::function<void()> done) {
     stats_->Add("disk.writes");
     stats_->Add("disk.bytes_written", static_cast<int64_t>(bytes));
   }
+  TraceOp(TraceKind::kDiskWrite, position, bytes);
   Access(position, bytes, std::move(done));
+}
+
+void Disk::TraceOp(TraceKind kind, int64_t position, size_t bytes) {
+  if (trace_ == nullptr || !trace_->armed()) {
+    return;
+  }
+  TraceEvent e;
+  e.time = engine_.Now();
+  e.node = trace_node_;
+  e.protocol = TraceProtocol::kDisk;
+  e.kind = kind;
+  // position packs (file id << 32 | page); the low half is the page index.
+  e.page = position & 0xffffffff;
+  e.aux = static_cast<int64_t>(bytes);
+  trace_->Emit(e);
 }
 
 void Disk::Access(int64_t position, size_t bytes, std::function<void()> done) {

@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/sim/engine.h"
 
 namespace asvm {
@@ -31,12 +32,22 @@ class Disk {
   int64_t reads() const { return reads_; }
   int64_t writes() const { return writes_; }
 
+  // Attaches the machine-wide trace sink (not owned); `node` labels which node
+  // this spindle serves in the trace (the I/O group leader or pager node).
+  void set_trace(TraceSink* sink, NodeId node) {
+    trace_ = sink;
+    trace_node_ = node;
+  }
+
  private:
   void Access(int64_t position, size_t bytes, std::function<void()> done);
+  void TraceOp(TraceKind kind, int64_t position, size_t bytes);
 
   Engine& engine_;
   DiskParams params_;
   StatsRegistry* stats_;
+  TraceSink* trace_ = nullptr;
+  NodeId trace_node_ = kInvalidNode;
   SimTime busy_until_ = 0;
   int64_t last_position_ = -100;  // far from any first access
   int64_t reads_ = 0;

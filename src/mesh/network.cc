@@ -25,6 +25,16 @@ void Network::Send(NodeId src, NodeId dst, size_t bytes, std::function<void()> d
                                  "(Transport handles them without a Network::Send)");
 
   if (fault_ != nullptr && !fault_->Delivers(src, dst)) {
+    if (trace_ != nullptr && trace_->armed()) {
+      TraceEvent e;
+      e.time = engine_.Now();
+      e.node = src;
+      e.protocol = TraceProtocol::kMesh;
+      e.kind = TraceKind::kMsgDropped;
+      e.peer = dst;
+      e.aux = static_cast<int64_t>(bytes);
+      trace_->Emit(e);
+    }
     return;  // black hole: a removed node's traffic silently vanishes (counted)
   }
 
@@ -55,6 +65,16 @@ void Network::Send(NodeId src, NodeId dst, size_t bytes, std::function<void()> d
   if (stats_ != nullptr) {
     stats_->Add("mesh.messages");
     stats_->Add("mesh.bytes", static_cast<int64_t>(bytes));
+  }
+  if (jitter != 0 && trace_ != nullptr && trace_->armed()) {
+    TraceEvent e;
+    e.time = now;
+    e.node = dst;
+    e.protocol = TraceProtocol::kMesh;
+    e.kind = TraceKind::kJitter;
+    e.peer = src;
+    e.aux = jitter;
+    trace_->Emit(e);
   }
 
   engine_.Schedule(rx_done - now, std::move(deliver));

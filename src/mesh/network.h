@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/common/types.h"
 #include "src/mesh/fault_plan.h"
 #include "src/mesh/topology.h"
@@ -53,12 +54,17 @@ class Network {
   // bit-identical to the unfaulted simulator.
   void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
 
+  // Attaches the machine-wide trace sink (not owned): fabric-level fault
+  // effects (dropped messages, injected jitter) become visible trace events.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
  private:
   Engine& engine_;
   Topology topology_;
   MeshParams params_;
   StatsRegistry* stats_;
   FaultPlan* fault_ = nullptr;
+  TraceSink* trace_ = nullptr;
   std::vector<SimTime> tx_busy_until_;
   std::vector<SimTime> rx_busy_until_;
 };

@@ -7,6 +7,37 @@
 
 namespace asvm {
 
+namespace {
+
+// Pulls the protocol op/request id out of whatever typed body the envelope
+// carries, so transport-level trace events can be correlated with the
+// protocol-level exchange they belong to. Bodies without an id yield 0.
+uint64_t MessageOpId(const Message& msg) {
+  return std::visit(
+      [](const auto& body) -> uint64_t {
+        using Body = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<Body, std::monostate>) {
+          return 0;
+        } else {
+          return std::visit(
+              [](const auto& m) -> uint64_t {
+                using M = std::decay_t<decltype(m)>;
+                if constexpr (requires(const M& x) { x.op_id; }) {
+                  return m.op_id;
+                } else if constexpr (requires(const M& x) { x.req_id; }) {
+                  return m.req_id;
+                } else {
+                  return 0;
+                }
+              },
+              body);
+        }
+      },
+      msg.body);
+}
+
+}  // namespace
+
 Transport::Transport(Engine& engine, Network& network, std::string name, TransportCosts costs,
                      StatsRegistry* stats)
     : engine_(engine),
@@ -79,6 +110,18 @@ void Transport::Send(NodeId src, NodeId dst, Message msg) {
       ++TypeCounter(msg);
     }
   }
+  if (trace_ != nullptr && trace_->armed()) {
+    TraceEvent e;
+    e.time = engine_.Now();
+    e.node = src;
+    e.protocol = TraceProtocol::kTransport;
+    e.kind = TraceKind::kMsgSend;
+    e.peer = dst;
+    e.op = MessageOpId(msg);
+    e.aux = static_cast<int64_t>(msg.WireBytes() + costs_.control_overhead_bytes);
+    e.detail = MsgTypeName(msg);
+    trace_->Emit(e);
+  }
 
   if (src == dst) {
     // Node-local delivery: no wire, no port/receive queue — just the modeled
@@ -109,6 +152,18 @@ void Transport::Send(NodeId src, NodeId dst, Message msg) {
 }
 
 void Transport::Deliver(NodeId src, NodeId dst, Message msg) {
+  if (trace_ != nullptr && trace_->armed()) {
+    TraceEvent e;
+    e.time = engine_.Now();
+    e.node = dst;
+    e.protocol = TraceProtocol::kTransport;
+    e.kind = TraceKind::kMsgRecv;
+    e.peer = src;
+    e.op = MessageOpId(msg);
+    e.aux = static_cast<int64_t>(msg.WireBytes() + costs_.control_overhead_bytes);
+    e.detail = MsgTypeName(msg);
+    trace_->Emit(e);
+  }
   // Software receive path serializes on the receiving node's protocol CPU: a
   // node flooded with requests (a centralized manager) processes them one at
   // a time.

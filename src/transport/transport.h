@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/common/types.h"
 #include "src/mesh/network.h"
 #include "src/sim/engine.h"
@@ -67,6 +68,11 @@ class Transport {
   // software send/recv costs. Never attached in healthy runs.
   void set_fault_plan(FaultPlan* plan) { fault_ = plan; }
 
+  // Attaches the machine-wide trace sink (not owned): every send/delivery
+  // emits a kMsgSend/kMsgRecv event carrying the message type and, when the
+  // body has one, the protocol op id. Host-side only.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
  private:
   // Protocol ids are small contiguous integers; message-type tags are small
   // per-protocol enums. Both are bounded so dispatch and the per-type counter
@@ -85,6 +91,7 @@ class Transport {
   TransportCosts costs_;
   StatsRegistry* stats_;
   FaultPlan* fault_ = nullptr;
+  TraceSink* trace_ = nullptr;
   // Indexed [protocol * node_count + node]; empty std::function = unregistered.
   std::vector<Handler> handlers_;
   // One protocol CPU per node: sending and receiving share it, so a node

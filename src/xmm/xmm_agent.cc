@@ -7,7 +7,7 @@
 namespace asvm {
 
 XmmAgent::XmmAgent(XmmSystem& system, NodeId node)
-    : ProtocolAgent(system, node),
+    : ProtocolAgent(system, node, TraceProtocol::kXmm),
       system_(system),
       vm_(system.cluster().vm(node)),
       copy_threads_(system.cluster().engine(), system.config().copy_pager_threads) {
@@ -103,9 +103,12 @@ void XmmAgent::SendRequest(const MemObjectId& id, PageIndex page, PageAccess acc
       fault.path = *copy_fault_path_;
       fault.path.push_back(node_);
     }
+    Trace(TraceKind::kXmmRequest, id, page, info.copy_pager_node,
+          static_cast<int64_t>(access));
     Send(info.copy_pager_node, XmmMsgType::kCopyFault, fault);
     return;
   }
+  Trace(TraceKind::kXmmRequest, id, page, info.manager, static_cast<int64_t>(access));
   if (info.manager == node_) {
     ManagerHandle(std::move(req));
   } else {
@@ -212,6 +215,8 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   if (stats_ != nullptr) {
     stats_->Add("xmm.manager_requests");
   }
+  Trace(TraceKind::kXmmManagerServe, req.object, req.page, req.origin,
+        static_cast<int64_t>(req.access));
 
   // Step 1 (§2.3.2): create a coherent version of the page at the pager.
   // `ctl` stays valid across co_await: the dense PageTable never reallocates
@@ -221,6 +226,7 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   if (writer != kInvalidNode && writer != req.origin) {
     const uint64_t op = OpenOp(1, "flush-write", req.object, req.page);
     Future<Status> flushed = OpFuture(op);
+    Trace(TraceKind::kXmmFlush, req.object, req.page, writer, /*aux=*/1, op);
     Send(writer, XmmMsgType::kFlushWrite, XmmFlush{req.object, req.page, op});
     ArmOp(op, [this, writer, object = req.object, page = req.page, op]() {
       Send(writer, XmmMsgType::kFlushWrite, XmmFlush{object, page, op});
@@ -265,6 +271,7 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
           OpenOp(static_cast<int>(readers.size()), "flush-read-round", req.object, req.page);
       Future<Status> acked = OpFuture(op);
       for (NodeId r : readers) {
+        Trace(TraceKind::kXmmFlush, req.object, req.page, r, /*aux=*/2, op);
         Send(r, XmmMsgType::kFlushRead, XmmFlush{req.object, req.page, op});
         if (stats_ != nullptr) {
           stats_->Add("xmm.reader_flushes");
@@ -331,6 +338,8 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   if (stats_ != nullptr) {
     stats_->Add(req.access == PageAccess::kWrite ? "xmm.write_grants" : "xmm.read_grants");
   }
+  Trace(TraceKind::kXmmGrant, req.object, req.page, req.origin,
+        static_cast<int64_t>(req.access));
   Send(req.origin, XmmMsgType::kReply, reply,
        (zero_fill || upgrade) ? nullptr : std::move(data));
 
@@ -367,6 +376,7 @@ Task XmmAgent::CopyFaultTask(NodeId src, XmmCopyFault m) {
   if (stats_ != nullptr) {
     stats_->Add("xmm.copy_faults");
   }
+  Trace(TraceKind::kXmmCopyFault, m.object, m.page, src);
 
   // Fault the frozen local copy address space. If its objects are themselves
   // copy-pager objects from an earlier inbound fork, this recurses across
@@ -407,6 +417,8 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
     case XmmMsgType::kReply: {
       const auto& reply = std::get<XmmReply>(body);
       auto repr = reprs_.at(reply.object);
+      Trace(TraceKind::kGrantApplied, reply.object, reply.page, src,
+            static_cast<int64_t>(reply.granted));
       if (reply.upgrade) {
         if (repr->FindResident(reply.page) != nullptr) {
           vm_.LockGranted(*repr, reply.page, reply.granted);

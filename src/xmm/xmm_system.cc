@@ -5,15 +5,6 @@
 
 namespace asvm {
 
-namespace {
-
-uint64_t NextXmmBackingKey() {
-  static uint64_t next = 0;
-  return (1ULL << 62) | next++;
-}
-
-}  // namespace
-
 XmmSystem::XmmSystem(Cluster& cluster, XmmConfig config)
     : cluster_(cluster), config_(config) {
   agents_.reserve(cluster.node_count());

@@ -75,11 +75,18 @@ class XmmSystem : public DsmSystem {
  private:
   Task RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done);
 
+  // Keys for anonymous backing in the manager's paging space; a distinct high
+  // bit keeps them disjoint from local VM object serials and from ASVM keys.
+  uint64_t NextXmmBackingKey() { return (1ULL << 62) | next_backing_key_++; }
+
   Cluster& cluster_;
   XmmConfig config_;
   std::vector<std::unique_ptr<XmmAgent>> agents_;
   std::unordered_map<MemObjectId, std::unique_ptr<XmmObjectInfo>> directory_;
   uint32_t next_seq_ = 1;
+  // Per-system (not process-global) so that identical machines allocate
+  // identical paging-space positions — traces must be byte-stable run to run.
+  uint64_t next_backing_key_ = 0;
 };
 
 }  // namespace asvm

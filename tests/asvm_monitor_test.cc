@@ -54,10 +54,30 @@ TEST_F(MonitorTest, OwnerServeTraced) {
 TEST_F(MonitorTest, EventsCarryTimeAndIdentity) {
   harness_->Write(1, 0, 1);
   ASSERT_GT(trace_.total(), 0);
+  int64_t asvm_events = 0;
   for (const TraceEvent& e : trace_.events()) {
     EXPECT_GE(e.time, 0);
     EXPECT_NE(e.node, kInvalidNode);
-    EXPECT_EQ(e.object, region_);
+    // Protocol events are all about the one region this test touches;
+    // transport/mesh events in the shared stream carry no object identity.
+    if (e.protocol == TraceProtocol::kAsvm) {
+      EXPECT_EQ(e.object, region_);
+      ++asvm_events;
+    }
+  }
+  EXPECT_GT(asvm_events, 0);
+}
+
+TEST_F(MonitorTest, TransportEventsShareTheStream) {
+  harness_->Write(1, 0, 1);
+  EXPECT_GT(trace_.count(TraceKind::kMsgSend), 0);
+  EXPECT_GT(trace_.count(TraceKind::kMsgRecv), 0);
+  for (const TraceEvent& e : trace_.events()) {
+    if (e.kind == TraceKind::kMsgSend) {
+      EXPECT_EQ(e.protocol, TraceProtocol::kTransport);
+      EXPECT_NE(e.peer, kInvalidNode);
+      EXPECT_GT(e.aux, 0);  // wire bytes
+    }
   }
 }
 

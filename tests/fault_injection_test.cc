@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/core/machine.h"
+#include "src/dsm/protocol_agent.h"
 #include "src/mesh/fault_plan.h"
 #include "src/sim/engine.h"
 
@@ -269,6 +270,88 @@ TEST(FaultInjectionTest, DelayOnlyProfilesNeverTimeOut) {
           << machine.last_stall_report();
     }
   }
+}
+
+// Regression (PR 4): an aggressive backoff policy used to overflow the
+// exponential delay computation — the double exceeded INT64_MAX, the cast
+// produced a negative delay, and the scheduler CHECK-failed. The delay now
+// saturates at RetryPolicy::max_delay_ns: the same black-hole scenario must
+// resolve kTimeout within a bounded stretch of simulated time.
+TEST(FaultInjectionTest, AggressiveBackoffSaturatesInsteadOfOverflowing) {
+  constexpr SimTime kRemovalTime = 50 * kMillisecond;
+  MachineConfig config;
+  config.nodes = 4;
+  config.dsm = DsmKind::kAsvm;
+  config.fault.removals.push_back({2, kRemovalTime});
+  config.retry.timeout_ns = 20 * kMillisecond;
+  config.retry.max_retries = 12;
+  config.retry.backoff = 8.0;  // unclamped, attempt 12 would wait 20ms * 8^12 ≈ 43 years
+  config.stall_watchdog = true;
+  Machine machine(config);
+
+  MemObjectId region = machine.CreateSharedRegion(0, 4);
+  TaskMemory& writer = machine.MapRegion(1, region);
+  TaskMemory& doomed = machine.MapRegion(2, region);
+
+  auto w1 = writer.WriteU64(0, 7);
+  machine.Run();
+  ASSERT_TRUE(w1.ready());
+  auto r1 = doomed.ReadU64(0);
+  machine.Run();
+  ASSERT_TRUE(r1.ready());
+  ASSERT_LT(machine.Now(), kRemovalTime);
+
+  machine.engine().Schedule(kRemovalTime - machine.Now() + kMillisecond, []() {});
+  machine.Run();
+  auto w2 = writer.WriteU64(0, 8);
+  machine.Run();
+
+  ASSERT_TRUE(w2.ready()) << "write wedged instead of timing out";
+  EXPECT_GE(machine.stats().Get("dsm.op_timeouts"), 1);
+  // Every per-attempt delay is capped at max_delay_ns (1 s default), so 12
+  // retries finish within seconds of simulated time — not decades, and never
+  // a negative-delay CHECK.
+  EXPECT_LT(machine.Now(), 60 * kSecond);
+  EXPECT_EQ(machine.stats().Get("sim.stalls_detected"), 0) << machine.last_stall_report();
+}
+
+// Regression (PR 4): the duplicate-suppression window was a 512-entry FIFO
+// bounded by count, so 512 interleaved ops evicted a live op id and a late
+// retry duplicate would re-execute a non-idempotent request. Retention is now
+// time-based (twice the worst-case retry horizon): op ids must survive any
+// number of interleaved deliveries at the same simulated time, and must be
+// forgotten once no retry can still be in flight.
+TEST(FaultInjectionTest, DuplicateWindowSurvivesAFloodOfInterleavedOps) {
+  MachineConfig config;
+  config.nodes = 2;
+  config.dsm = DsmKind::kAsvm;
+  config.retry.timeout_ns = 20 * kMillisecond;  // arms delivered-op tracking
+  Machine machine(config);
+
+  struct TestAgent : ProtocolAgent {
+    TestAgent(DsmSystem& dsm, NodeId node)
+        : ProtocolAgent(dsm, node, TraceProtocol::kAsvm) {}
+    using ProtocolAgent::DuplicateDelivery;
+    void OnMessage(NodeId, Message) override {}
+  };
+  TestAgent agent(machine.dsm(), 0);
+
+  EXPECT_FALSE(agent.DuplicateDelivery(1));  // first delivery
+  EXPECT_TRUE(agent.DuplicateDelivery(1));   // retry duplicate, suppressed
+
+  // Flood: far more than the old window size, all at the same sim time.
+  for (uint64_t id = 2; id <= 1500; ++id) {
+    EXPECT_FALSE(agent.DuplicateDelivery(id)) << "fresh id " << id << " misdetected";
+  }
+  EXPECT_TRUE(agent.DuplicateDelivery(1)) << "live op id evicted by the flood";
+  EXPECT_TRUE(agent.DuplicateDelivery(777));
+
+  // Past the retention horizon (2 * sum of all backoff delays; 600 ms for the
+  // default policy at 20 ms) the ids are purged — memory stays bounded.
+  machine.engine().Schedule(2 * kSecond, []() {});
+  machine.Run();
+  EXPECT_FALSE(agent.DuplicateDelivery(1));
+  EXPECT_FALSE(agent.DuplicateDelivery(777));
 }
 
 }  // namespace

@@ -1,0 +1,329 @@
+// The shared observability layer: histogram percentile edge cases, stats
+// report determinism, the Chrome trace_event emitter (valid JSON, byte-stable
+// across identical runs), XMM participation in the machine-wide trace, and
+// the per-fault causal breakdown.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "src/common/stats.h"
+#include "src/common/trace.h"
+#include "src/core/machine.h"
+#include "src/core/measure.h"
+
+namespace asvm {
+namespace {
+
+// --- Histogram percentile edges ----------------------------------------------
+
+TEST(HistogramTest, PercentileOfEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.0);
+}
+
+TEST(HistogramTest, PercentileOfSingleSampleIsThatSample) {
+  Histogram h;
+  h.Record(42.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 42.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 42.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 42.5);
+}
+
+TEST(HistogramTest, PercentileEndpointsAreMinAndMax) {
+  Histogram h;
+  for (double v : {5.0, 1.0, 9.0, 3.0, 7.0}) {
+    h.Record(v);
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 9.0);
+  // Out-of-range p clamps instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(h.Percentile(-10), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(250), 9.0);
+  // Recording after a percentile query re-sorts correctly.
+  h.Record(0.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.5);
+}
+
+TEST(StatsRegistryTest, ReportIsIndependentOfInsertionOrder) {
+  StatsRegistry a;
+  a.Add("z.counter", 3);
+  a.Add("a.counter", 1);
+  a.Observe("m.hist", 10.0);
+  a.Observe("m.hist", 20.0);
+
+  StatsRegistry b;
+  b.Observe("m.hist", 10.0);
+  b.Add("a.counter", 1);
+  b.Observe("m.hist", 20.0);
+  b.Add("z.counter", 3);
+
+  EXPECT_EQ(a.Report(), b.Report());
+}
+
+// --- Chrome trace_event output -------------------------------------------------
+
+// Minimal recursive-descent JSON validator: enough to prove the emitter
+// produces structurally valid JSON (balanced containers, quoted keys, legal
+// literals) without a JSON library dependency.
+class TinyJsonParser {
+ public:
+  explicit TinyJsonParser(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;  // accept any escaped character
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, len, word) != 0) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// A small contended workload with the monitor attached; returns the Chrome
+// trace JSON for it.
+std::string TraceJsonForRun(DsmKind kind) {
+  MachineConfig config;
+  config.nodes = 4;
+  config.dsm = kind;
+  Machine machine(config);
+  TraceBuffer trace;
+  machine.AttachMonitor(&trace);
+  MemObjectId region = machine.CreateSharedRegion(0, 4);
+  TaskMemory& writer = machine.MapRegion(1, region);
+  TaskMemory& reader = machine.MapRegion(2, region);
+  auto w = writer.WriteU64(0, 1);
+  machine.Run();
+  MeasureReadMs(machine, reader, 0);
+  MeasureWriteMs(machine, reader, 0, 2);
+  EXPECT_GT(trace.total(), 0);
+  return ChromeTraceJson(trace);
+}
+
+TEST(ChromeTraceTest, EmitterProducesValidJson) {
+  const std::string json = TraceJsonForRun(DsmKind::kAsvm);
+  TinyJsonParser parser(json);
+  EXPECT_TRUE(parser.Valid()) << json.substr(0, 400);
+  // One metadata row per participating node, instant events with timestamps.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, IdenticalRunsEmitByteIdenticalJson) {
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    const std::string first = TraceJsonForRun(kind);
+    const std::string second = TraceJsonForRun(kind);
+    EXPECT_EQ(first, second) << "trace JSON not deterministic under "
+                             << ToString(kind);
+  }
+}
+
+// Regression (PR 4): --dsm=xmm --trace used to silently produce nothing; the
+// XMM agent now emits into the same machine-wide stream.
+TEST(XmmTraceTest, XmmRunsProduceTraceEvents) {
+  MachineConfig config;
+  config.nodes = 4;
+  config.dsm = DsmKind::kXmm;
+  Machine machine(config);
+  TraceBuffer trace;
+  machine.AttachMonitor(&trace);
+  MemObjectId region = machine.CreateSharedRegion(0, 4);
+  TaskMemory& writer = machine.MapRegion(1, region);
+  TaskMemory& reader = machine.MapRegion(2, region);
+  auto w = writer.WriteU64(0, 1);
+  machine.Run();
+  MeasureReadMs(machine, reader, 0);
+
+  EXPECT_GT(trace.total(), 0);
+  EXPECT_GT(trace.count(TraceKind::kXmmRequest), 0);
+  EXPECT_GT(trace.count(TraceKind::kXmmManagerServe), 0);
+  EXPECT_GT(trace.count(TraceKind::kXmmGrant), 0);
+  EXPECT_GT(trace.count(TraceKind::kGrantApplied), 0);
+  EXPECT_GT(trace.count(TraceKind::kMsgSend), 0);
+  const std::string rendered = trace.Render();
+  EXPECT_NE(rendered.find("xmm-request"), std::string::npos);
+  EXPECT_NE(rendered.find("xmm-manager-serve"), std::string::npos);
+}
+
+// --- Per-fault causal breakdown ------------------------------------------------
+
+TEST(FaultBreakdownTest, SegmentsArePresentAndSumToTotal) {
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    MachineConfig config;
+    config.nodes = 4;
+    config.dsm = kind;
+    Machine machine(config);
+    TraceBuffer trace(1 << 16);
+    machine.AttachMonitor(&trace);
+    MemObjectId region = machine.CreateSharedRegion(0, 4);
+    TaskMemory& writer = machine.MapRegion(1, region);
+    TaskMemory& reader = machine.MapRegion(2, region);
+    auto w = writer.WriteU64(0, 1);
+    machine.Run();
+    MeasureReadMs(machine, reader, 0);
+    MeasureWriteMs(machine, reader, 0, 2);
+
+    const std::vector<FaultBreakdown> faults = AnalyzeFaultBreakdowns(trace.events());
+    ASSERT_GT(faults.size(), 0u) << ToString(kind);
+    for (const FaultBreakdown& f : faults) {
+      EXPECT_GE(f.request_ns, 0) << ToString(kind);
+      EXPECT_GE(f.forward_ns, 0) << ToString(kind);
+      EXPECT_GE(f.manager_service_ns, 0) << ToString(kind);
+      EXPECT_GE(f.data_transfer_ns, 0) << ToString(kind);
+      EXPECT_GT(f.total_ns, 0) << ToString(kind);
+      EXPECT_EQ(f.total_ns,
+                f.request_ns + f.forward_ns + f.manager_service_ns + f.data_transfer_ns)
+          << ToString(kind) << ": path segments must partition the fault";
+    }
+
+    StatsRegistry stats;
+    RecordFaultBreakdowns(faults, stats);
+    const std::string prefix = kind == DsmKind::kAsvm ? "asvm" : "xmm";
+    const Histogram* total = stats.FindHistogram(prefix + ".fault.breakdown.total_ns");
+    ASSERT_NE(total, nullptr) << ToString(kind);
+    EXPECT_EQ(total->count(), faults.size());
+    EXPECT_NE(stats.FindHistogram(prefix + ".fault.breakdown.data_transfer_ns"), nullptr);
+
+    const std::string table = RenderFaultBreakdowns(faults);
+    EXPECT_NE(table.find("fault breakdowns"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace asvm

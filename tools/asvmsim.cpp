@@ -35,6 +35,8 @@ struct Options {
   int chain = 4;
   int stripes = 1;
   bool trace = false;
+  std::string trace_json;  // --trace-json=FILE: Chrome trace_event output
+  bool breakdown = false;  // per-fault causal breakdown table
   bool stats = false;
   bool msg_stats = false;
   bool dynamic_fwd = true;
@@ -57,7 +59,11 @@ void Usage() {
       "  --stripes=N              file stripes / I/O nodes (default 1)\n"
       "  --no-dynamic             disable dynamic forwarding (ASVM)\n"
       "  --no-static              disable static forwarding (ASVM)\n"
-      "  --trace                  print the protocol event trace (ASVM)\n"
+      "  --trace                  print the machine-wide event trace (ASVM and XMM)\n"
+      "  --trace-json=FILE        write the trace as Chrome trace_event JSON\n"
+      "                           (open in Perfetto / chrome://tracing)\n"
+      "  --breakdown              per-fault causal breakdown (request/forward/\n"
+      "                           manager-service/data-transfer/retry segments)\n"
       "  --stats                  dump the statistics registry\n"
       "  --msg-stats              count transport messages per protocol type\n"
       "  --fault-profile=P        none | jitter | slow-node | degraded-links (default none)\n"
@@ -105,6 +111,10 @@ bool Parse(int argc, char** argv, Options* opts) {
       opts->static_fwd = false;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opts->trace = true;
+    } else if (ParseFlag(argv[i], "--trace-json", &value)) {
+      opts->trace_json = value;
+    } else if (std::strcmp(argv[i], "--breakdown") == 0) {
+      opts->breakdown = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       opts->stats = true;
     } else if (std::strcmp(argv[i], "--msg-stats") == 0) {
@@ -268,9 +278,12 @@ int Run(const Options& opts) {
   }
   Machine machine(config);
 
-  TraceBuffer trace;
-  if (opts.trace && opts.dsm == DsmKind::kAsvm) {
-    static_cast<AsvmSystem&>(machine.dsm()).AttachMonitor(&trace);
+  // One machine-wide trace stream, independent of the DSM choice. The JSON
+  // and breakdown modes want the full timeline, so give them a deep buffer.
+  const bool tracing = opts.trace || !opts.trace_json.empty() || opts.breakdown;
+  TraceBuffer trace(1 << 18);
+  if (tracing) {
+    machine.AttachMonitor(&trace);
   }
 
   int rc = 1;
@@ -294,9 +307,26 @@ int Run(const Options& opts) {
               ToSeconds(machine.Now()),
               static_cast<double>(machine.stats().Get("mesh.bytes")) / (1024.0 * 1024.0),
               static_cast<long long>(machine.stats().Get("mesh.messages")));
-  if (opts.trace && opts.dsm == DsmKind::kAsvm) {
+  if (opts.trace) {
     std::printf("\nprotocol trace (last %zu events):\n%s", trace.events().size(),
                 trace.Render().c_str());
+  }
+  if (!opts.trace_json.empty()) {
+    const std::string json = ChromeTraceJson(trace);
+    std::FILE* f = std::fopen(opts.trace_json.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write %s\n", opts.trace_json.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu trace events to %s (load in Perfetto or chrome://tracing)\n",
+                trace.events().size(), opts.trace_json.c_str());
+  }
+  if (opts.breakdown) {
+    const std::vector<FaultBreakdown> faults = AnalyzeFaultBreakdowns(trace.events());
+    RecordFaultBreakdowns(faults, machine.stats());
+    std::printf("\n%s", RenderFaultBreakdowns(faults).c_str());
   }
   if (opts.msg_stats && !opts.stats) {
     // Print just the per-type transport counters without the full registry.
