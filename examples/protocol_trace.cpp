@@ -8,7 +8,7 @@
 
 #include "src/asvm/agent.h"
 #include "src/asvm/asvm_system.h"
-#include "src/asvm/monitor.h"
+#include "src/common/trace.h"
 #include "src/core/machine.h"
 #include "src/core/measure.h"
 

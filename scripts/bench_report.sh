@@ -5,19 +5,26 @@
 # checked-in baseline (bench/baseline/BENCH_baseline.json) and fails when a
 # metric drifts by more than the tolerance (default 15%).
 #
-#   scripts/bench_report.sh --out=BENCH_pr4.json
-#   scripts/bench_report.sh --out=BENCH_pr4.json --check
+#   scripts/bench_report.sh --out=BENCH_pr5.json
+#   scripts/bench_report.sh --out=BENCH_pr5.json --check
 #
 # The simulation is deterministic, so any drift is a real modeling or
 # performance change, not noise; the tolerance exists for intentional
 # model-parameter tuning in later PRs.
+#
+# The report also folds in bench_simcore's scheduler-shape suite (pooled
+# timer wheel vs. reference heap, events/sec per shape). Those numbers are
+# host-machine wall clock, so --check does not diff them against the
+# baseline; instead it enforces a minimum wheel/heap speedup per shape
+# (--speedup-floor, default 1.5 on the queue-bound shapes).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_pr4.json
+OUT=BENCH_pr5.json
 BUILD=build
 BASELINE=bench/baseline/BENCH_baseline.json
 TOLERANCE=0.15
+SPEEDUP_FLOOR=1.5
 CHECK=0
 for arg in "$@"; do
   case "$arg" in
@@ -25,10 +32,11 @@ for arg in "$@"; do
     --build=*) BUILD="${arg#--build=}" ;;
     --baseline=*) BASELINE="${arg#--baseline=}" ;;
     --tolerance=*) TOLERANCE="${arg#--tolerance=}" ;;
+    --speedup-floor=*) SPEEDUP_FLOOR="${arg#--speedup-floor=}" ;;
     --check) CHECK=1 ;;
     *)
       echo "unknown argument: $arg" >&2
-      echo "usage: $0 [--out=FILE] [--build=DIR] [--baseline=FILE] [--tolerance=F] [--check]" >&2
+      echo "usage: $0 [--out=FILE] [--build=DIR] [--baseline=FILE] [--tolerance=F] [--speedup-floor=F] [--check]" >&2
       exit 2
       ;;
   esac
@@ -41,8 +49,10 @@ echo "running Table 1 (fault latencies)..."
 "$BUILD/bench/bench_table1_fault_latency" --json="$tmp/table1.json" > "$tmp/table1.txt"
 echo "running Table 2 (file transfer rates)..."
 "$BUILD/bench/bench_table2_file_transfer" --json="$tmp/table2.json" > "$tmp/table2.txt"
-echo "running Figure 10 (write-fault scaling)..."
+echo "running Figure 10 (write-fault scaling + mesh sweep)..."
 "$BUILD/bench/bench_fig10_write_fault_scaling" --json="$tmp/fig10.json" > "$tmp/fig10.txt"
+echo "running simcore scheduler shapes (wheel vs. reference heap)..."
+"$BUILD/bench/bench_simcore" --benchmark_filter=NONE --json="$tmp/simcore.json" > "$tmp/simcore.txt"
 
 python3 - "$tmp" "$OUT" <<'PYEOF'
 import json
@@ -50,7 +60,7 @@ import sys
 
 tmp, out = sys.argv[1], sys.argv[2]
 report = {"schema": "asvm-bench-report/v1", "benches": {}}
-for part in ("table1", "table2", "fig10"):
+for part in ("table1", "table2", "fig10", "simcore"):
     with open(f"{tmp}/{part}.json") as f:
         doc = json.load(f)
     report["benches"][doc["bench"]] = doc["metrics"]
@@ -62,11 +72,12 @@ print(f"wrote {out}: {len(report['benches'])} benches, {n} metrics")
 PYEOF
 
 if [ "$CHECK" = 1 ]; then
-  python3 - "$OUT" "$BASELINE" "$TOLERANCE" <<'PYEOF'
+  python3 - "$OUT" "$BASELINE" "$TOLERANCE" "$SPEEDUP_FLOOR" <<'PYEOF'
 import json
 import sys
 
 out, baseline_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+speedup_floor = float(sys.argv[4])
 with open(out) as f:
     current = json.load(f)
 with open(baseline_path) as f:
@@ -94,6 +105,23 @@ for bench, metrics in baseline["benches"].items():
         if drift > tol:
             failures.append(
                 f"{bench}/{name}: {old:.4g} -> {new:.4g} ({drift * 100:.1f}% drift)")
+
+# Scheduler speedup gate: the queue-bound shapes must keep the wheel ahead
+# of the reference heap by at least the floor. The ring-lane post_chain shape
+# and the small-queue exponential shape run near parity by design and only
+# need to stay in the same league.
+relaxed = {"shape.post_chain.speedup": 0.6, "shape.exponential_arrivals.speedup": 1.0}
+simcore = current["benches"].get("simcore", {})
+speedups = {k: v for k, v in simcore.items() if k.endswith(".speedup")}
+if not speedups:
+    failures.append("simcore: no scheduler speedup metrics in report")
+for name, entry in speedups.items():
+    floor = relaxed.get(name, speedup_floor)
+    checked += 1
+    if entry["value"] < floor:
+        failures.append(
+            f"simcore/{name}: wheel/heap speedup {entry['value']:.2f}x "
+            f"below floor {floor:.2f}x")
 
 print(f"checked {checked} metrics against {baseline_path} (tolerance {tol * 100:.0f}%)")
 if failures:

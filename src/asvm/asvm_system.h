@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "src/asvm/messages.h"
-#include "src/asvm/monitor.h"
+#include "src/common/trace.h"
 #include "src/common/types.h"
 #include "src/dsm/backing.h"
 #include "src/dsm/cluster.h"

@@ -17,6 +17,7 @@ const char* ToString(DsmKind kind) {
 ClusterParams MachineConfig::ToClusterParams() const {
   ClusterParams params;
   params.node_count = nodes;
+  params.scheduler = scheduler;
   params.vm.page_size = page_size;
   params.vm.frame_capacity = user_memory_bytes / page_size;
   params.vm.costs = vm_costs;

@@ -37,6 +37,12 @@ struct MachineConfig {
   int nodes = 4;
   DsmKind dsm = DsmKind::kAsvm;
 
+  // Event core behind the simulation engine. kTimerWheel is the pooled
+  // production scheduler; kReference keeps the original heap implementation
+  // for differential testing and A/B benchmarking. Both produce bit-identical
+  // timelines (enforced by tests/scheduler_equivalence_test.cc).
+  SchedulerKind scheduler = SchedulerKind::kTimerWheel;
+
   // Paragon GP node: 8 KB pages, 16 MB memory of which ~9 MB is available to
   // user applications (paper §4.3).
   size_t page_size = 8192;

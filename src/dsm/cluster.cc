@@ -2,7 +2,7 @@
 
 namespace asvm {
 
-Cluster::Cluster(ClusterParams params) : params_(params) {
+Cluster::Cluster(ClusterParams params) : params_(params), engine_(params_.scheduler) {
   network_ = std::make_unique<Network>(engine_, Topology::ForNodeCount(params_.node_count),
                                        params_.mesh, &stats_);
   sts_ = std::make_unique<StsTransport>(engine_, *network_, &stats_);

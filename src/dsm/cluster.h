@@ -35,6 +35,9 @@ struct RetryPolicy {
 
 struct ClusterParams {
   int node_count = 4;
+  // Event core behind the engine; kReference selects the heap-based oracle
+  // (identical timelines, slower — see src/sim/scheduler.h).
+  SchedulerKind scheduler = SchedulerKind::kTimerWheel;
   VmParams vm;                       // per-node VM configuration
   MeshParams mesh;
   DiskParams disk;

@@ -5,7 +5,7 @@
 
 namespace asvm {
 
-void Disk::Read(int64_t position, size_t bytes, std::function<void()> done) {
+void Disk::Read(int64_t position, size_t bytes, EventFn done) {
   ++reads_;
   if (stats_ != nullptr) {
     stats_->Add("disk.reads");
@@ -15,7 +15,7 @@ void Disk::Read(int64_t position, size_t bytes, std::function<void()> done) {
   Access(position, bytes, std::move(done));
 }
 
-void Disk::Write(int64_t position, size_t bytes, std::function<void()> done) {
+void Disk::Write(int64_t position, size_t bytes, EventFn done) {
   ++writes_;
   if (stats_ != nullptr) {
     stats_->Add("disk.writes");
@@ -40,7 +40,7 @@ void Disk::TraceOp(TraceKind kind, int64_t position, size_t bytes) {
   trace_->Emit(e);
 }
 
-void Disk::Access(int64_t position, size_t bytes, std::function<void()> done) {
+void Disk::Access(int64_t position, size_t bytes, EventFn done) {
   const bool sequential = position == last_position_ + 1;
   last_position_ = position;
   const SimDuration transfer = static_cast<SimDuration>(

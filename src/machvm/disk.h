@@ -26,8 +26,8 @@ class Disk {
   // `position` identifies the block being accessed (file id << 32 | page);
   // an access at last_position+1 is sequential. `done` runs when the
   // operation completes.
-  void Read(int64_t position, size_t bytes, std::function<void()> done);
-  void Write(int64_t position, size_t bytes, std::function<void()> done);
+  void Read(int64_t position, size_t bytes, EventFn done);
+  void Write(int64_t position, size_t bytes, EventFn done);
 
   int64_t reads() const { return reads_; }
   int64_t writes() const { return writes_; }
@@ -40,7 +40,7 @@ class Disk {
   }
 
  private:
-  void Access(int64_t position, size_t bytes, std::function<void()> done);
+  void Access(int64_t position, size_t bytes, EventFn done);
   void TraceOp(TraceKind kind, int64_t position, size_t bytes);
 
   Engine& engine_;

@@ -14,7 +14,7 @@ SimDuration SerializationTime(size_t bytes, double bandwidth_bytes_per_ns) {
 
 }  // namespace
 
-void Network::Send(NodeId src, NodeId dst, size_t bytes, std::function<void()> deliver) {
+void Network::Send(NodeId src, NodeId dst, size_t bytes, EventFn deliver) {
   ASVM_CHECK_MSG(topology_.Contains(src) && topology_.Contains(dst),
                  "Network::Send node out of range: src " + std::to_string(src) + ", dst " +
                      std::to_string(dst) + " (mesh has " +

@@ -42,8 +42,10 @@ class Network {
 
   // Simulates transmission of `bytes` from src to dst and runs `deliver` at
   // the simulated delivery time. src == dst is not a network operation and is
-  // rejected; callers handle local delivery themselves.
-  void Send(NodeId src, NodeId dst, size_t bytes, std::function<void()> deliver);
+  // rejected; callers handle local delivery themselves. `deliver` is an
+  // EventFn so a captured Message envelope rides inline through the
+  // scheduler's pooled event nodes — no per-hop allocation.
+  void Send(NodeId src, NodeId dst, size_t bytes, EventFn deliver);
 
   // Modeled one-way latency of an uncontended message (for tests/diagnostics).
   SimDuration UncontendedLatency(NodeId src, NodeId dst, size_t bytes) const;

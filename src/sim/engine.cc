@@ -4,27 +4,27 @@
 
 namespace asvm {
 
-void Engine::Schedule(SimDuration delay, std::function<void()> fn) {
+void Engine::Schedule(SimDuration delay, EventFn fn) {
   ASVM_CHECK_MSG(delay >= 0, "negative delay scheduled");
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  queue_->Push(now_ + delay, std::move(fn));
 }
 
 void Engine::RunOne() {
   // Move the event out before popping so the callback may schedule new events.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  ASVM_CHECK_MSG(event.time >= now_, "event queue time went backwards");
-  now_ = event.time;
+  SimTime time;
+  EventFn fn = queue_->PopNext(&time);
+  ASVM_CHECK_MSG(time >= now_, "event queue time went backwards");
+  now_ = time;
   ++executed_;
   if (event_limit_ != 0 && executed_ > event_limit_) {
     ASVM_CHECK_MSG(false, "engine event limit exceeded (possible livelock)");
   }
-  event.fn();
+  fn();
 }
 
 uint64_t Engine::Run() {
   const uint64_t start = executed_;
-  while (!queue_.empty()) {
+  while (!queue_->Empty()) {
     RunOne();
   }
   CheckStall();
@@ -32,10 +32,10 @@ uint64_t Engine::Run() {
 }
 
 bool Engine::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  while (!queue_->Empty() && queue_->NextTime() <= deadline) {
     RunOne();
   }
-  if (queue_.empty()) {
+  if (queue_->Empty()) {
     CheckStall();
     return true;
   }

@@ -1,34 +1,43 @@
 // Deterministic discrete-event simulation engine. Single-threaded: events fire
 // in (time, insertion-sequence) order, so runs with equal seeds are bit-stable.
+//
+// The ordering contract lives in the scheduler behind the engine
+// (src/sim/scheduler.h). The default is the pooled timer-wheel core;
+// SchedulerKind::kReference selects the original heap implementation, kept as
+// the oracle for differential testing (tests/scheduler_equivalence_test.cc).
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/sim/event_fn.h"
+#include "src/sim/scheduler.h"
 #include "src/sim/time.h"
 
 namespace asvm {
 
 class Engine {
  public:
-  Engine() = default;
+  explicit Engine(SchedulerKind scheduler = SchedulerKind::kTimerWheel)
+      : scheduler_kind_(scheduler), queue_(MakeScheduler(scheduler)) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   SimTime Now() const { return now_; }
+  SchedulerKind scheduler_kind() const { return scheduler_kind_; }
 
   // Schedules fn to run at Now() + delay (delay >= 0). Events with equal time
   // fire in scheduling order.
-  void Schedule(SimDuration delay, std::function<void()> fn);
+  void Schedule(SimDuration delay, EventFn fn);
 
   // Schedules fn at the current time, after all currently-runnable events that
-  // were scheduled before it.
-  void Post(std::function<void()> fn) { Schedule(0, std::move(fn)); }
+  // were scheduled before it. Takes the scheduler's zero-delay fast lane.
+  void Post(EventFn fn) { Schedule(0, std::move(fn)); }
 
   // Runs until the event queue drains. Returns the number of events executed.
   uint64_t Run();
@@ -40,7 +49,7 @@ class Engine {
   bool RunFor(SimDuration duration) { return RunUntil(now_ + duration); }
 
   uint64_t executed_events() const { return executed_; }
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return queue_->Empty(); }
 
   // Safety valve for tests: aborts the run if more events than this execute.
   void set_event_limit(uint64_t limit) { event_limit_ = limit; }
@@ -65,28 +74,14 @@ class Engine {
   uint64_t stalls_detected() const { return stalls_detected_; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
   void RunOne();
   void CheckStall();
 
   SimTime now_ = 0;
-  uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   uint64_t event_limit_ = 0;  // 0 = unlimited
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SchedulerKind scheduler_kind_;
+  std::unique_ptr<Scheduler> queue_;
   std::vector<std::pair<int, StallProbe>> stall_probes_;
   int next_stall_probe_id_ = 0;
   std::function<void(const std::string&)> stall_handler_;

@@ -1,0 +1,313 @@
+#include "src/sim/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/log.h"
+
+namespace asvm {
+
+const char* ToString(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kTimerWheel:
+      return "timer-wheel";
+    case SchedulerKind::kReference:
+      return "reference";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind) {
+  if (kind == SchedulerKind::kReference) {
+    return std::make_unique<ReferenceScheduler>();
+  }
+  return std::make_unique<TimerWheelScheduler>();
+}
+
+TimerWheelScheduler::TimerWheelScheduler() = default;
+
+TimerWheelScheduler::~TimerWheelScheduler() = default;
+
+TimerWheelScheduler::Node* TimerWheelScheduler::AcquireNode(SimTime time, uint64_t seq,
+                                                            EventFn fn) {
+  if (free_list_ == nullptr) {
+    blocks_.push_back(std::make_unique<Node[]>(kBlockNodes));
+    Node* block = blocks_.back().get();
+    for (size_t i = 0; i < kBlockNodes; ++i) {
+      block[i].next = free_list_;
+      free_list_ = &block[i];
+    }
+  }
+  Node* node = free_list_;
+  free_list_ = node->next;
+  node->time = time;
+  node->seq = seq;
+  node->next = nullptr;
+  node->fn = std::move(fn);
+  return node;
+}
+
+void TimerWheelScheduler::ReleaseNode(Node* node) {
+  node->fn.Reset();
+  node->next = free_list_;
+  free_list_ = node;
+}
+
+int TimerWheelScheduler::LevelFor(uint64_t diff_bits) {
+  if (diff_bits == 0) {
+    return 0;
+  }
+  return (63 - __builtin_clzll(diff_bits)) / kLevelBits;
+}
+
+void TimerWheelScheduler::AppendToSlot(int level, int slot, Node* node) {
+  Slot& sl = slots_[level][slot];
+  node->next = nullptr;
+  if (sl.tail == nullptr) {
+    sl.head = sl.tail = node;
+    occupied_[level] |= 1ull << slot;
+  } else {
+    // Appends arrive in increasing seq (direct pushes follow the global
+    // counter; cascades land before any same-window direct push and replay
+    // their list in order), so every slot list stays sorted by seq with O(1)
+    // appends. FindWheelMin and the level-0 pop rely on this.
+    sl.tail->next = node;
+    sl.tail = node;
+  }
+}
+
+void TimerWheelScheduler::PlaceInWheel(Node* node) {
+  const uint64_t diff = static_cast<uint64_t>(node->time) ^ static_cast<uint64_t>(pos_);
+  if ((diff >> kHorizonBits) != 0) {
+    overflow_.push_back(node);
+    std::push_heap(overflow_.begin(), overflow_.end(), NodeLater());
+    return;
+  }
+  const int level = LevelFor(diff);
+  const int slot =
+      static_cast<int>((static_cast<uint64_t>(node->time) >> (kLevelBits * level)) & kSlotMask);
+  AppendToSlot(level, slot, node);
+}
+
+void TimerWheelScheduler::CascadeSlot(int level, int slot) {
+  Slot& sl = slots_[level][slot];
+  Node* node = sl.head;
+  sl.head = sl.tail = nullptr;
+  occupied_[level] &= ~(1ull << slot);
+  while (node != nullptr) {
+    Node* next = node->next;
+    PlaceInWheel(node);
+    node = next;
+  }
+}
+
+bool TimerWheelScheduler::FindWheelMin(SimTime* time, uint64_t* seq, int* level,
+                                       int* slot) const {
+  for (int l = 0; l < kLevels; ++l) {
+    if (occupied_[l] == 0) {
+      continue;
+    }
+    const int s = __builtin_ctzll(occupied_[l]);
+    const Node* head = slots_[l][s].head;
+    if (l == 0) {
+      // A level-0 slot holds exactly one tick; the head is the min seq.
+      *time = head->time;
+      *seq = head->seq;
+    } else {
+      // A higher-level slot spans many ticks: scan for the earliest time.
+      // Seqs increase along the list, so the first node at the min time wins.
+      SimTime best_time = head->time;
+      uint64_t best_seq = head->seq;
+      for (const Node* n = head->next; n != nullptr; n = n->next) {
+        if (n->time < best_time) {
+          best_time = n->time;
+          best_seq = n->seq;
+        }
+      }
+      *time = best_time;
+      *seq = best_seq;
+    }
+    *level = l;
+    *slot = s;
+    return true;
+  }
+  return false;
+}
+
+void TimerWheelScheduler::RefillFromOverflow() {
+  ASVM_CHECK_MSG(!overflow_.empty(), "refill with empty overflow heap");
+  // The wheel and ring are empty: no placement invariants constrain pos_, so
+  // jump it to the earliest overflow timer and pull everything now in horizon
+  // back into the wheel.
+  pos_ = overflow_.front()->time;
+  while (!overflow_.empty()) {
+    Node* top = overflow_.front();
+    const uint64_t diff = static_cast<uint64_t>(top->time) ^ static_cast<uint64_t>(pos_);
+    if ((diff >> kHorizonBits) != 0) {
+      break;
+    }
+    std::pop_heap(overflow_.begin(), overflow_.end(), NodeLater());
+    overflow_.pop_back();
+    PlaceInWheel(top);
+  }
+}
+
+void TimerWheelScheduler::RingPush(uint64_t seq, EventFn fn) {
+  if (ring_count_ == ring_.size()) {
+    // Sizes stay powers of two so the index wrap below is a mask, not a
+    // divide — this is the hottest instruction of a zero-delay Post chain.
+    std::vector<RingEntry> grown(std::max<size_t>(16, ring_.size() * 2));
+    for (size_t i = 0; i < ring_count_; ++i) {
+      grown[i] = std::move(ring_[(ring_head_ + i) & (ring_.size() - 1)]);
+    }
+    ring_ = std::move(grown);
+    ring_head_ = 0;
+  }
+  ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)] = RingEntry{seq, std::move(fn)};
+  ++ring_count_;
+}
+
+TimerWheelScheduler::RingEntry TimerWheelScheduler::RingPop() {
+  RingEntry entry = std::move(ring_[ring_head_]);
+  ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+  --ring_count_;
+  return entry;
+}
+
+void TimerWheelScheduler::Push(SimTime time, EventFn fn) {
+  ASVM_CHECK_MSG(time >= pos_, "scheduled behind the wheel position");
+  const uint64_t seq = next_seq_++;
+  if (time == pos_) {
+    // Zero-delay fast lane: all ring entries share the current tick and drain
+    // (merged with the wheel by seq) before pos_ ever advances.
+    RingPush(seq, std::move(fn));
+  } else {
+    PlaceInWheel(AcquireNode(time, seq, std::move(fn)));
+  }
+  ++live_;
+  if (cache_valid_ && time < cached_next_) {
+    cached_next_ = time;
+  }
+}
+
+SimTime TimerWheelScheduler::NextTime() {
+  ASVM_CHECK_MSG(live_ != 0, "NextTime on empty scheduler");
+  if (cache_valid_) {
+    return cached_next_;
+  }
+  SimTime next;
+  if (ring_count_ != 0) {
+    next = pos_;  // nothing pending can be earlier than the current tick
+  } else {
+    next = std::numeric_limits<SimTime>::max();
+    SimTime wheel_time;
+    uint64_t wheel_seq;
+    int level;
+    int slot;
+    if (FindWheelMin(&wheel_time, &wheel_seq, &level, &slot)) {
+      next = wheel_time;
+    }
+    if (!overflow_.empty() && overflow_.front()->time < next) {
+      next = overflow_.front()->time;
+    }
+  }
+  cached_next_ = next;
+  cache_valid_ = true;
+  return next;
+}
+
+EventFn TimerWheelScheduler::PopNext(SimTime* time) {
+  ASVM_CHECK_MSG(live_ != 0, "PopNext on empty scheduler");
+  cache_valid_ = false;
+  --live_;
+
+  if (ring_count_ != 0) {
+    // Every candidate fires at the current tick; the smallest seq wins. The
+    // only wheel slot that can hold the current tick is level 0's pos_ slot,
+    // and overflow timers can reach pos_ only at their exact expiry.
+    uint64_t best_seq = ring_[ring_head_].seq;
+    int source = 0;  // 0 = ring, 1 = wheel head, 2 = overflow top
+    const int s0 = static_cast<int>(static_cast<uint64_t>(pos_) & kSlotMask);
+    if ((occupied_[0] >> s0) & 1) {
+      const Node* wheel_head = slots_[0][s0].head;
+      if (wheel_head->time == pos_ && wheel_head->seq < best_seq) {
+        best_seq = wheel_head->seq;
+        source = 1;
+      }
+    }
+    if (!overflow_.empty() && overflow_.front()->time == pos_ &&
+        overflow_.front()->seq < best_seq) {
+      source = 2;
+    }
+    *time = pos_;
+    if (source == 0) {
+      return RingPop().fn;
+    }
+    Node* node;
+    if (source == 1) {
+      Slot& sl = slots_[0][s0];
+      node = sl.head;
+      sl.head = node->next;
+      if (sl.head == nullptr) {
+        sl.tail = nullptr;
+        occupied_[0] &= ~(1ull << s0);
+      }
+    } else {
+      std::pop_heap(overflow_.begin(), overflow_.end(), NodeLater());
+      node = overflow_.back();
+      overflow_.pop_back();
+    }
+    EventFn fn = std::move(node->fn);
+    ReleaseNode(node);
+    return fn;
+  }
+
+  for (;;) {
+    SimTime wheel_time;
+    uint64_t wheel_seq;
+    int level;
+    int slot;
+    if (!FindWheelMin(&wheel_time, &wheel_seq, &level, &slot)) {
+      RefillFromOverflow();
+      continue;
+    }
+    if (!overflow_.empty()) {
+      const Node* top = overflow_.front();
+      if (top->time < wheel_time || (top->time == wheel_time && top->seq < wheel_seq)) {
+        // The overflow timer fires first. pos_ stays put: the wheel's
+        // placements are relative to it and remain valid.
+        std::pop_heap(overflow_.begin(), overflow_.end(), NodeLater());
+        Node* node = overflow_.back();
+        overflow_.pop_back();
+        *time = node->time;
+        EventFn fn = std::move(node->fn);
+        ReleaseNode(node);
+        return fn;
+      }
+    }
+    if (level == 0) {
+      pos_ = wheel_time;
+      Slot& sl = slots_[0][slot];
+      Node* node = sl.head;
+      sl.head = node->next;
+      if (sl.head == nullptr) {
+        sl.tail = nullptr;
+        occupied_[0] &= ~(1ull << slot);
+      }
+      *time = node->time;
+      EventFn fn = std::move(node->fn);
+      ReleaseNode(node);
+      return fn;
+    }
+    // Advance to the base of the earliest occupied higher-level slot and
+    // flush it down; digits above `level` are untouched, so every other
+    // placement in the wheel stays valid.
+    const int shift = kLevelBits * level;
+    const uint64_t upper = static_cast<uint64_t>(pos_) >> (shift + kLevelBits)
+                                                           << (shift + kLevelBits);
+    pos_ = static_cast<SimTime>(upper | (static_cast<uint64_t>(slot) << shift));
+    CascadeSlot(level, slot);
+  }
+}
+
+}  // namespace asvm

@@ -1,0 +1,185 @@
+// Event schedulers behind the Engine. Two implementations share one contract:
+// events fire in ascending (time, seq) order, where seq is the global
+// insertion sequence — equal-time events fire in scheduling order. That pair
+// ordering IS the simulator's determinism guarantee (DESIGN.md §12): the
+// golden timeline digests pin it, and scheduler_equivalence_test runs both
+// implementations against each other over randomized workloads.
+//
+//  * ReferenceScheduler — the original binary heap of events. O(log n) per
+//    operation and a heap allocation per oversized closure. Kept alive as the
+//    oracle for differential testing and selectable for A/B benchmarking.
+//  * TimerWheelScheduler — the production core: a hierarchical timer wheel
+//    (8 levels x 64 slots, 1 ns base tick, ~78 h horizon) with per-level
+//    occupancy bitmaps, pooled free-listed event nodes, a zero-delay fast
+//    lane for Post, and an overflow heap for beyond-horizon timers.
+//    O(1) amortized per event and allocation-free once the pool is warm.
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/event_fn.h"
+#include "src/sim/time.h"
+
+namespace asvm {
+
+enum class SchedulerKind {
+  kTimerWheel,  // production default
+  kReference,   // original heap implementation; differential-test oracle
+};
+
+const char* ToString(SchedulerKind kind);
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Enqueues fn at absolute simulated time `time` (>= the time of the last
+  // popped event). The scheduler assigns the insertion sequence number.
+  virtual void Push(SimTime time, EventFn fn) = 0;
+
+  virtual bool Empty() const = 0;
+
+  // Time of the earliest pending event. Requires !Empty().
+  virtual SimTime NextTime() = 0;
+
+  // Removes and returns the earliest pending event's closure, storing its
+  // firing time in *time. Requires !Empty().
+  virtual EventFn PopNext(SimTime* time) = 0;
+
+  virtual size_t pending() const = 0;
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind);
+
+// --- Reference implementation (the oracle) -----------------------------------
+
+class ReferenceScheduler final : public Scheduler {
+ public:
+  void Push(SimTime time, EventFn fn) override {
+    queue_.push(Event{time, next_seq_++, std::move(fn)});
+  }
+  bool Empty() const override { return queue_.empty(); }
+  SimTime NextTime() override { return queue_.top().time; }
+  EventFn PopNext(SimTime* time) override {
+    // Move the event out before popping so the caller may push new events
+    // while the closure runs.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    *time = event.time;
+    return std::move(event.fn);
+  }
+  size_t pending() const override { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    EventFn fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+// --- Timer wheel -------------------------------------------------------------
+
+class TimerWheelScheduler final : public Scheduler {
+ public:
+  TimerWheelScheduler();
+  ~TimerWheelScheduler() override;
+
+  void Push(SimTime time, EventFn fn) override;
+  bool Empty() const override { return live_ == 0; }
+  SimTime NextTime() override;
+  EventFn PopNext(SimTime* time) override;
+  size_t pending() const override { return live_; }
+
+ private:
+  static constexpr int kLevelBits = 6;
+  static constexpr int kSlots = 1 << kLevelBits;          // 64
+  static constexpr uint64_t kSlotMask = kSlots - 1;
+  static constexpr int kLevels = 8;
+  // Events further than kHorizon ticks from the wheel position go to the
+  // overflow heap (2^48 ns ≈ 78 simulated hours — unreachable in practice,
+  // but the differential tests exercise it deliberately).
+  static constexpr int kHorizonBits = kLevelBits * kLevels;  // 48
+
+  struct Node {
+    SimTime time;
+    uint64_t seq;
+    Node* next;
+    EventFn fn;
+  };
+  struct Slot {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+
+  Node* AcquireNode(SimTime time, uint64_t seq, EventFn fn);
+  void ReleaseNode(Node* node);
+  void PlaceInWheel(Node* node);          // computes level/slot relative to pos_
+  void AppendToSlot(int level, int slot, Node* node);
+  void CascadeSlot(int level, int slot);  // flush one slot down a level
+  // Locates the earliest wheel event without mutating anything. Returns false
+  // when the wheel itself (not ring/overflow) is empty.
+  bool FindWheelMin(SimTime* time, uint64_t* seq, int* level, int* slot) const;
+  void RefillFromOverflow();
+
+  static int LevelFor(uint64_t delta_bits);
+
+  SimTime pos_ = 0;       // wheel reference time; <= every pending event time
+  uint64_t next_seq_ = 0;
+  size_t live_ = 0;
+
+  Slot slots_[kLevels][kSlots];
+  uint64_t occupied_[kLevels] = {};  // bit s set <=> slots_[l][s] nonempty
+
+  // Zero-delay fast lane: Post()s (time == pos_) append here and pop in FIFO
+  // order, merged against the wheel by seq. A flat ring, no node allocation.
+  struct RingEntry {
+    uint64_t seq;
+    EventFn fn;
+  };
+  std::vector<RingEntry> ring_;  // circular buffer
+  size_t ring_head_ = 0;
+  size_t ring_count_ = 0;
+  void RingPush(uint64_t seq, EventFn fn);
+  RingEntry RingPop();
+
+  // Beyond-horizon events: min-heap on (time, seq).
+  struct NodeLater {
+    bool operator()(const Node* a, const Node* b) const {
+      if (a->time != b->time) {
+        return a->time > b->time;
+      }
+      return a->seq > b->seq;
+    }
+  };
+  std::vector<Node*> overflow_;
+
+  // Node pool: block-allocated, free-listed, never returned to the system
+  // until destruction — steady-state scheduling touches no allocator.
+  static constexpr size_t kBlockNodes = 256;
+  std::vector<std::unique_ptr<Node[]>> blocks_;
+  Node* free_list_ = nullptr;
+
+  // Cached NextTime so RunUntil's per-event peek is O(1).
+  SimTime cached_next_ = 0;
+  bool cache_valid_ = false;
+};
+
+}  // namespace asvm
+
+#endif  // SRC_SIM_SCHEDULER_H_

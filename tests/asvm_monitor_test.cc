@@ -4,7 +4,7 @@
 
 #include "src/asvm/agent.h"
 #include "src/asvm/asvm_system.h"
-#include "src/asvm/monitor.h"
+#include "src/common/trace.h"
 #include "tests/dsm_test_util.h"
 
 namespace asvm {

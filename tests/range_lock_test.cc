@@ -1,0 +1,233 @@
+// Focused suite for RangeLockService (§6 future-work primitive): overlap
+// serialization, ascending-page-order deadlock freedom under many concurrent
+// lockers, release waking queued waiters in bounded rounds, and behaviour
+// under the jitter fault profile with the retry machinery armed. The fault
+// runs execute on both event schedulers — the lock protocol leans on
+// equal-time event ordering (queued requests replayed on release), so it is a
+// natural consumer of the (time, seq) contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/asvm/range_lock.h"
+#include "src/core/machine.h"
+
+namespace asvm {
+namespace {
+
+constexpr size_t kPage = 8192;
+
+struct Locker {
+  NodeId node;
+  VmOffset addr;
+  VmSize len;
+  TaskMemory* mem = nullptr;
+  Future<Status> acquired;
+  bool released = false;
+};
+
+// Issues every acquisition up front, then repeatedly releases whichever
+// lockers have completed until all have held and released their range.
+// Ascending page order guarantees each round makes progress; a round with no
+// progress would be a deadlock, which the test bounds and reports.
+void DriveToCompletion(Machine& machine, RangeLockService& locks, const MemObjectId& region,
+                       std::vector<Locker>& lockers) {
+  for (Locker& l : lockers) {
+    l.acquired = locks.Acquire(l.node, *l.mem, region, l.addr, l.len);
+  }
+  machine.Run();
+  for (int round = 0;; ++round) {
+    ASSERT_LT(round, 64) << "no progress: overlapping acquisitions deadlocked";
+    bool all_done = true;
+    bool progress = false;
+    for (Locker& l : lockers) {
+      if (l.released) {
+        continue;
+      }
+      if (l.acquired.ready()) {
+        ASSERT_EQ(l.acquired.value(), Status::kOk) << "node " << l.node;
+        locks.Release(l.node, region, l.addr, l.len, kPage);
+        l.released = true;
+        progress = true;
+      } else {
+        all_done = false;
+      }
+    }
+    machine.Run();
+    if (all_done) {
+      return;
+    }
+    ASSERT_TRUE(progress) << "round " << round << ": waiters exist but none acquired";
+  }
+}
+
+class RangeLockTest : public ::testing::Test {
+ protected:
+  void Build(MachineConfig config) {
+    machine_ = std::make_unique<Machine>(config);
+    system_ = static_cast<AsvmSystem*>(&machine_->dsm());
+    locks_ = std::make_unique<RangeLockService>(*system_);
+    region_ = machine_->CreateSharedRegion(0, 16);
+  }
+
+  void BuildDefault(int nodes = 4) {
+    MachineConfig config;
+    config.nodes = nodes;
+    config.dsm = DsmKind::kAsvm;
+    Build(config);
+  }
+
+  Locker MakeLocker(NodeId node, VmOffset first_page, VmSize pages) {
+    Locker l;
+    l.node = node;
+    l.addr = first_page * kPage;
+    l.len = pages * kPage;
+    l.mem = &machine_->MapRegion(node, region_);
+    return l;
+  }
+
+  std::unique_ptr<Machine> machine_;
+  AsvmSystem* system_ = nullptr;
+  std::unique_ptr<RangeLockService> locks_;
+  MemObjectId region_;
+};
+
+TEST_F(RangeLockTest, OverlappingRangesSerialize) {
+  BuildDefault();
+  TaskMemory& a = machine_->MapRegion(1, region_);
+  TaskMemory& b = machine_->MapRegion(2, region_);
+
+  auto lock_a = locks_->Acquire(1, a, region_, 0, 3 * kPage);
+  machine_->Run();
+  ASSERT_TRUE(lock_a.ready());
+  ASSERT_EQ(lock_a.value(), Status::kOk);
+
+  // B overlaps pages 1..2: it must park, not fail and not complete.
+  auto lock_b = locks_->Acquire(2, b, region_, kPage, 3 * kPage);
+  machine_->Run();
+  EXPECT_FALSE(lock_b.ready()) << "overlapping acquire completed while range held";
+
+  // The holder's updates are invisible to B until release (B can't even map).
+  ASSERT_TRUE(a.TryWriteU64(kPage, 7));
+
+  locks_->Release(1, region_, 0, 3 * kPage, kPage);
+  machine_->Run();
+  ASSERT_TRUE(lock_b.ready());
+  EXPECT_EQ(lock_b.value(), Status::kOk);
+  uint64_t observed = 0;
+  EXPECT_TRUE(b.TryReadU64(kPage, &observed));
+  EXPECT_EQ(observed, 7u);
+  locks_->Release(2, region_, kPage, 3 * kPage, kPage);
+  machine_->Run();
+}
+
+TEST_F(RangeLockTest, ChainedOverlapsAcrossFourNodesAreDeadlockFree) {
+  BuildDefault();
+  // Each locker overlaps its neighbours: [0..5], [4..9], [8..13], [12..15].
+  // Issued simultaneously; ascending page order means everyone blocks on the
+  // lowest contested page and the chain unwinds left to right.
+  std::vector<Locker> lockers;
+  lockers.push_back(MakeLocker(0, 0, 6));
+  lockers.push_back(MakeLocker(1, 4, 6));
+  lockers.push_back(MakeLocker(2, 8, 6));
+  lockers.push_back(MakeLocker(3, 12, 4));
+  DriveToCompletion(*machine_, *locks_, region_, lockers);
+  EXPECT_GT(machine_->stats().Get("asvm.range_lock_holds"), 0);
+}
+
+TEST_F(RangeLockTest, OpposedIssueOrdersCannotDeadlock) {
+  // The classic AB/BA deadlock shape: A wants [0..7] then B wants [4..11] in
+  // one run; the reverse issue order in another. Ascending-page acquisition
+  // makes both orders safe.
+  for (bool reversed : {false, true}) {
+    BuildDefault();
+    std::vector<Locker> lockers;
+    if (!reversed) {
+      lockers.push_back(MakeLocker(1, 0, 8));
+      lockers.push_back(MakeLocker(2, 4, 8));
+    } else {
+      lockers.push_back(MakeLocker(2, 4, 8));
+      lockers.push_back(MakeLocker(1, 0, 8));
+    }
+    DriveToCompletion(*machine_, *locks_, region_, lockers);
+  }
+}
+
+TEST_F(RangeLockTest, ReleaseWakesQueuedWaitersUntilAllAcquire) {
+  BuildDefault();
+  TaskMemory& holder = machine_->MapRegion(0, region_);
+  auto held = locks_->Acquire(0, holder, region_, 2 * kPage, kPage);
+  machine_->Run();
+  ASSERT_TRUE(held.ready());
+
+  // Three waiters pile up on the same page.
+  std::vector<Locker> waiters;
+  for (NodeId n = 1; n <= 3; ++n) {
+    waiters.push_back(MakeLocker(n, 2, 1));
+    waiters.back().acquired =
+        locks_->Acquire(n, *waiters.back().mem, region_, 2 * kPage, kPage);
+  }
+  machine_->Run();
+  for (const Locker& w : waiters) {
+    EXPECT_FALSE(w.acquired.ready()) << "waiter " << w.node << " jumped the lock";
+  }
+
+  // Each release admits the next holder; within 3 release rounds every waiter
+  // must have acquired exactly once.
+  locks_->Release(0, region_, 2 * kPage, kPage, kPage);
+  machine_->Run();
+  for (int round = 0; round < 3; ++round) {
+    int ready = 0;
+    for (Locker& w : waiters) {
+      if (w.released || !w.acquired.ready()) {
+        continue;
+      }
+      ++ready;
+      ASSERT_EQ(w.acquired.value(), Status::kOk);
+      locks_->Release(w.node, region_, 2 * kPage, kPage, kPage);
+      w.released = true;
+    }
+    EXPECT_EQ(ready, 1) << "exactly one waiter should win each round";
+    machine_->Run();
+  }
+  for (const Locker& w : waiters) {
+    EXPECT_TRUE(w.released) << "waiter " << w.node << " never acquired";
+  }
+}
+
+// Under the jitter fault profile with timeouts/retries armed, the lock
+// protocol must still serialize correctly and terminate — and do so
+// identically on both event schedulers (jittered delivery reshuffles event
+// times, a fresh stress of the (time, seq) ordering contract).
+TEST_F(RangeLockTest, JitterFaultProfileStillSerializesOnBothSchedulers) {
+  SimTime final_time[2] = {0, 0};
+  int idx = 0;
+  for (SchedulerKind scheduler : {SchedulerKind::kTimerWheel, SchedulerKind::kReference}) {
+    MachineConfig config;
+    config.nodes = 4;
+    config.dsm = DsmKind::kAsvm;
+    config.scheduler = scheduler;
+    ASSERT_TRUE(FaultProfileFromName("jitter", /*seed=*/7, config.nodes, &config.fault));
+    config.retry.timeout_ns = 20 * kMillisecond;
+    config.stall_watchdog = true;
+    Build(config);
+
+    std::vector<Locker> lockers;
+    lockers.push_back(MakeLocker(0, 0, 6));
+    lockers.push_back(MakeLocker(1, 4, 6));
+    lockers.push_back(MakeLocker(2, 8, 6));
+    lockers.push_back(MakeLocker(3, 2, 10));
+    DriveToCompletion(*machine_, *locks_, region_, lockers);
+    // Note: the stall watchdog fires between release rounds here — waiters
+    // parked behind a held range with no pending event is exactly the state
+    // this driver creates on purpose, so we assert completion, not quiet.
+    EXPECT_GT(machine_->stats().Get("fault.jitter_messages"), 0) << "jitter plan inactive";
+    final_time[idx++] = machine_->Now();
+  }
+  // Same fault seed, same workload: both schedulers end at the same instant.
+  EXPECT_EQ(final_time[0], final_time[1]);
+}
+
+}  // namespace
+}  // namespace asvm

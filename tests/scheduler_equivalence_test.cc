@@ -1,0 +1,411 @@
+// Differential oracle for the pooled timer-wheel scheduler: every workload
+// here runs once against SchedulerKind::kTimerWheel and once against the
+// original heap implementation (SchedulerKind::kReference), and the two must
+// produce identical firing orders, Now() trajectories, and executed-event
+// counts. The (time, insertion-sequence) ordering contract is the foundation
+// of the repo's bit-determinism guarantee, so the suite deliberately stresses
+// the wheel's distinct internal paths: the zero-delay ring lane, equal-time
+// bursts inside one slot, cascades across wheel levels, the beyond-horizon
+// overflow heap, and RunUntil deadline slicing.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/machine.h"
+#include "src/sim/engine.h"
+#include "src/sim/scheduler.h"
+
+namespace asvm {
+namespace {
+
+struct Trace {
+  // (event id, firing time) in execution order.
+  std::vector<std::pair<int, SimTime>> firings;
+  // Now() observed after each RunUntil slice (empty for Run-to-drain mode).
+  std::vector<SimTime> slice_times;
+  uint64_t executed = 0;
+  SimTime final_time = 0;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+// Delay menu spanning every scheduler path: ring lane (0), level-0 slots,
+// higher wheel levels (exponential spread), and the overflow heap (> 2^48 ns).
+SimDuration DrawDelay(Rng& rng) {
+  switch (rng.NextBelow(8)) {
+    case 0:
+      return 0;  // zero-delay fast lane
+    case 1:
+    case 2:
+      return static_cast<SimDuration>(1 + rng.NextBelow(8));  // level-0 collisions
+    case 3:
+      return static_cast<SimDuration>(rng.NextBelow(1000));
+    case 4:
+      return static_cast<SimDuration>(1) << rng.NextBelow(40);  // cascade spread
+    case 5:
+      return static_cast<SimDuration>(64 * (1 + rng.NextBelow(64)));  // slot edges
+    case 6:
+      return static_cast<SimDuration>(rng.NextBelow(1 << 20));
+    default:
+      // Beyond the 2^48 ns wheel horizon: must land in the overflow heap and
+      // still fire in exact (time, seq) order.
+      return (static_cast<SimDuration>(1) << 48) + static_cast<SimDuration>(rng.NextBelow(4096));
+  }
+}
+
+// Random workload: an initial burst of scheduled events, each of which may
+// schedule children when it fires (events scheduled from inside running
+// events). The Rng stream is consumed in firing order, so identical firing
+// orders consume identical streams — any divergence between schedulers
+// snowballs and is caught by the trace comparison.
+Trace RunRandomWorkload(SchedulerKind kind, uint64_t seed) {
+  Engine engine(kind);
+  Rng rng(seed);
+  Trace trace;
+  int next_id = 0;
+  int budget = 400 + static_cast<int>(rng.NextBelow(400));
+
+  struct Spawner {
+    Engine& engine;
+    Rng& rng;
+    Trace& trace;
+    int& next_id;
+    int& budget;
+
+    void Fire(int id) {
+      trace.firings.emplace_back(id, engine.Now());
+      // Fan out 0..3 children while budget remains.
+      const uint64_t kids = rng.NextBelow(4);
+      for (uint64_t k = 0; k < kids && budget > 0; ++k) {
+        --budget;
+        Schedule(DrawDelay(rng));
+      }
+      // Occasionally a same-time burst: several events at one future instant,
+      // exercising seq-ordered replay within a single wheel slot.
+      if (budget >= 4 && rng.NextBool(0.1)) {
+        const SimDuration at = 1 + static_cast<SimDuration>(rng.NextBelow(512));
+        for (int k = 0; k < 4; ++k) {
+          --budget;
+          Schedule(at);
+        }
+      }
+    }
+
+    void Schedule(SimDuration delay) {
+      const int id = next_id++;
+      Spawner* self = this;
+      if (delay == 0) {
+        engine.Post([self, id]() { self->Fire(id); });
+      } else {
+        engine.Schedule(delay, [self, id]() { self->Fire(id); });
+      }
+    }
+  };
+  Spawner spawner{engine, rng, trace, next_id, budget};
+
+  const int initial = 16 + static_cast<int>(rng.NextBelow(48));
+  for (int i = 0; i < initial && budget > 0; ++i) {
+    --budget;
+    spawner.Schedule(DrawDelay(rng));
+  }
+
+  switch (seed % 3) {
+    case 0:
+      engine.Run();
+      break;
+    case 1:
+      // Drain in random deadline slices; Now() must track deadlines exactly.
+      while (!engine.empty()) {
+        engine.RunUntil(engine.Now() + static_cast<SimDuration>(1 + rng.NextBelow(100000)));
+        trace.slice_times.push_back(engine.Now());
+        if (trace.slice_times.size() > 100000) {
+          break;  // safety valve; both schedulers hit it identically if ever
+        }
+      }
+      engine.Run();
+      break;
+    default:
+      // RunFor in coarse steps, then drain.
+      for (int i = 0; i < 32 && !engine.empty(); ++i) {
+        engine.RunFor(static_cast<SimDuration>(1 + rng.NextBelow(1 << 22)));
+        trace.slice_times.push_back(engine.Now());
+      }
+      engine.Run();
+      break;
+  }
+
+  trace.executed = engine.executed_events();
+  trace.final_time = engine.Now();
+  return trace;
+}
+
+TEST(SchedulerEquivalenceTest, RandomWorkloadsMatchOver120Seeds) {
+  for (uint64_t seed = 1; seed <= 120; ++seed) {
+    const Trace wheel = RunRandomWorkload(SchedulerKind::kTimerWheel, seed);
+    const Trace heap = RunRandomWorkload(SchedulerKind::kReference, seed);
+    ASSERT_EQ(wheel, heap) << "schedulers diverged at seed " << seed;
+    ASSERT_GT(wheel.executed, 0u) << "degenerate workload at seed " << seed;
+  }
+}
+
+// Equal-time mega-burst: hundreds of events at one instant, scheduled both
+// before the run and from inside running events, must fire in insertion order.
+Trace EqualTimeBurst(SchedulerKind kind) {
+  Engine engine(kind);
+  Trace trace;
+  for (int i = 0; i < 300; ++i) {
+    engine.Schedule(1000, [&trace, &engine, i]() {
+      trace.firings.emplace_back(i, engine.Now());
+      if (i < 50) {
+        // Re-burst at the same instant from inside a running event.
+        const int child = 1000 + i;
+        engine.Post([&trace, &engine, child]() {
+          trace.firings.emplace_back(child, engine.Now());
+        });
+      }
+    });
+  }
+  engine.Run();
+  trace.executed = engine.executed_events();
+  trace.final_time = engine.Now();
+  return trace;
+}
+
+TEST(SchedulerEquivalenceTest, EqualTimeBurstsFireInSchedulingOrder) {
+  const Trace wheel = EqualTimeBurst(SchedulerKind::kTimerWheel);
+  const Trace heap = EqualTimeBurst(SchedulerKind::kReference);
+  EXPECT_EQ(wheel, heap);
+  ASSERT_EQ(wheel.firings.size(), 350u);
+  // The original 300 precede their Posted children only where ordering says
+  // so: all fire at t=1000, strictly in sequence order.
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(wheel.firings[i].first, i);
+    EXPECT_EQ(wheel.firings[i].second, 1000);
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(wheel.firings[300 + i].first, 1000 + i);
+  }
+}
+
+// Zero-delay Post chains interleaved with same-time Schedules: the ring fast
+// lane must merge with the wheel by sequence number, not run ahead of it.
+Trace PostChain(SchedulerKind kind) {
+  Engine engine(kind);
+  Trace trace;
+  int remaining = 200;
+  struct Chain {
+    Engine& engine;
+    Trace& trace;
+    int& remaining;
+    void Step(int id) {
+      trace.firings.emplace_back(id, engine.Now());
+      if (--remaining > 0) {
+        Chain* self = this;
+        const int next = id + 1;
+        if (id % 3 == 0) {
+          // Interleave a Schedule(0) with the Posts: both are "now".
+          engine.Schedule(0, [self, next]() { self->Step(next); });
+        } else {
+          engine.Post([self, next]() { self->Step(next); });
+        }
+      }
+    }
+  };
+  Chain chain{engine, trace, remaining};
+  engine.Schedule(5, [&chain]() { chain.Step(0); });
+  engine.Schedule(5, [&trace, &engine]() { trace.firings.emplace_back(-1, engine.Now()); });
+  engine.Run();
+  trace.executed = engine.executed_events();
+  trace.final_time = engine.Now();
+  return trace;
+}
+
+TEST(SchedulerEquivalenceTest, ZeroDelayPostChainsStayOrdered) {
+  const Trace wheel = PostChain(SchedulerKind::kTimerWheel);
+  const Trace heap = PostChain(SchedulerKind::kReference);
+  EXPECT_EQ(wheel, heap);
+  ASSERT_EQ(wheel.firings.size(), 201u);
+  // The sibling scheduled after Step(0) fires before the chain's children:
+  // chain posts happen later in sequence than the sibling's insertion.
+  EXPECT_EQ(wheel.firings[0].first, 0);
+  EXPECT_EQ(wheel.firings[1].first, -1);
+  EXPECT_EQ(wheel.firings[2].first, 1);
+  // All 201 events fire at t=5: the chain never advances time.
+  for (const auto& [id, time] : wheel.firings) {
+    EXPECT_EQ(time, 5) << "event " << id;
+  }
+}
+
+// Beyond-horizon timers (> 2^48 ns) exercise the overflow heap and its refill
+// path, including interleaving with near-term wheel timers.
+Trace OverflowHorizon(SchedulerKind kind) {
+  Engine engine(kind);
+  Trace trace;
+  const SimDuration horizon = static_cast<SimDuration>(1) << 48;
+  engine.Schedule(horizon + 7, [&]() { trace.firings.emplace_back(3, engine.Now()); });
+  engine.Schedule(10, [&]() {
+    trace.firings.emplace_back(0, engine.Now());
+    engine.Schedule(horizon + 7 - engine.Now(), [&]() {
+      // Same absolute time as id 3 but a later sequence number.
+      trace.firings.emplace_back(4, engine.Now());
+    });
+  });
+  engine.Schedule(2 * horizon, [&]() { trace.firings.emplace_back(5, engine.Now()); });
+  engine.Schedule(20, [&]() { trace.firings.emplace_back(1, engine.Now()); });
+  engine.Schedule(horizon - 1, [&]() { trace.firings.emplace_back(2, engine.Now()); });
+  engine.Run();
+  trace.executed = engine.executed_events();
+  trace.final_time = engine.Now();
+  return trace;
+}
+
+TEST(SchedulerEquivalenceTest, OverflowHeapTimersFireInOrder) {
+  const Trace wheel = OverflowHorizon(SchedulerKind::kTimerWheel);
+  const Trace heap = OverflowHorizon(SchedulerKind::kReference);
+  EXPECT_EQ(wheel, heap);
+  ASSERT_EQ(wheel.firings.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(wheel.firings[i].first, i);
+  }
+  EXPECT_EQ(wheel.final_time, 2 * (static_cast<SimDuration>(1) << 48));
+}
+
+// RunUntil contract: events at exactly the deadline run, Now() lands on the
+// deadline when the queue is non-empty, and the return value reports drain.
+TEST(SchedulerEquivalenceTest, RunUntilDeadlineSemanticsMatch) {
+  for (SchedulerKind kind : {SchedulerKind::kTimerWheel, SchedulerKind::kReference}) {
+    Engine engine(kind);
+    std::vector<int> fired;
+    engine.Schedule(10, [&]() { fired.push_back(0); });
+    engine.Schedule(20, [&]() { fired.push_back(1); });
+    engine.Schedule(30, [&]() { fired.push_back(2); });
+    EXPECT_FALSE(engine.RunUntil(20)) << ToString(kind);
+    EXPECT_EQ(engine.Now(), 20) << ToString(kind);
+    EXPECT_EQ(fired, (std::vector<int>{0, 1})) << ToString(kind);
+    EXPECT_TRUE(engine.RunUntil(100)) << ToString(kind);
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2})) << ToString(kind);
+    EXPECT_EQ(engine.Now(), 30) << ToString(kind);
+    EXPECT_EQ(engine.executed_events(), 3u) << ToString(kind);
+  }
+}
+
+TEST(SchedulerEquivalenceDeathTest, EventLimitAbortsBothSchedulers) {
+  for (SchedulerKind kind : {SchedulerKind::kTimerWheel, SchedulerKind::kReference}) {
+    Engine engine(kind);
+    engine.set_event_limit(50);
+    // Self-sustaining chain: never drains on its own.
+    struct Loop {
+      Engine& engine;
+      void Go() {
+        Loop* self = this;
+        engine.Schedule(1, [self]() { self->Go(); });
+      }
+    };
+    Loop loop{engine};
+    loop.Go();
+    EXPECT_DEATH(engine.Run(), "event limit") << ToString(kind);
+  }
+}
+
+// Direct Scheduler-interface differential: random Push/PopNext interleavings
+// (all pushes at times >= the last popped time, as the Engine guarantees).
+TEST(SchedulerEquivalenceTest, RawSchedulerInterleavingsMatch) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    auto wheel = MakeScheduler(SchedulerKind::kTimerWheel);
+    auto heap = MakeScheduler(SchedulerKind::kReference);
+    Rng rng(seed * 7919);
+    SimTime now = 0;
+    std::vector<SimTime> wheel_pops;
+    std::vector<SimTime> heap_pops;
+    for (int step = 0; step < 500; ++step) {
+      if (rng.NextBool(0.6) || wheel->Empty()) {
+        const SimTime at = now + DrawDelay(rng);
+        wheel->Push(at, []() {});
+        heap->Push(at, []() {});
+      } else {
+        ASSERT_EQ(wheel->Empty(), heap->Empty());
+        ASSERT_EQ(wheel->NextTime(), heap->NextTime());
+        SimTime tw = 0;
+        SimTime th = 0;
+        wheel->PopNext(&tw);
+        heap->PopNext(&th);
+        ASSERT_EQ(tw, th) << "seed " << seed << " step " << step;
+        now = tw;
+        wheel_pops.push_back(tw);
+        heap_pops.push_back(th);
+      }
+      ASSERT_EQ(wheel->pending(), heap->pending());
+    }
+    while (!wheel->Empty()) {
+      ASSERT_FALSE(heap->Empty());
+      SimTime tw = 0;
+      SimTime th = 0;
+      wheel->PopNext(&tw);
+      heap->PopNext(&th);
+      ASSERT_EQ(tw, th) << "drain, seed " << seed;
+    }
+    ASSERT_TRUE(heap->Empty());
+  }
+}
+
+// The end-to-end pin: the golden timeline digests from determinism_test.cc
+// must come out bit-identical when the whole Machine runs on the reference
+// heap scheduler. This is the strongest statement that the wheel changed
+// nothing observable — same constants, different event core.
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t DigestWorkload(DsmKind kind, SchedulerKind scheduler) {
+  MachineConfig config;
+  config.nodes = 6;
+  config.dsm = kind;
+  config.scheduler = scheduler;
+  Machine machine(config);
+  MemObjectId region = machine.CreateSharedRegion(0, 32);
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < 6; ++n) {
+    mems.push_back(&machine.MapRegion(n, region));
+  }
+  Rng rng(1234);
+  uint64_t digest = 14695981039346656037ULL;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.NextBelow(6));
+    const VmOffset addr = rng.NextBelow(32) * 8192;
+    if (rng.NextBool(0.5)) {
+      auto w = mems[node]->WriteU64(addr, static_cast<uint64_t>(i));
+      machine.Run();
+    } else {
+      auto r = mems[node]->ReadU64(addr);
+      machine.Run();
+      digest = Fnv1a(digest, r.ready() ? r.value() : ~0ULL);
+    }
+    digest = Fnv1a(digest, static_cast<uint64_t>(machine.Now()));
+  }
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.messages")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.bytes")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("vm.faults")));
+  return digest;
+}
+
+TEST(SchedulerEquivalenceTest, GoldenDigestsIdenticalAcrossSchedulers) {
+  // Constants from tests/determinism_test.cc — recorded before the timer
+  // wheel existed, so both schedulers must reproduce the pre-wheel timeline.
+  EXPECT_EQ(DigestWorkload(DsmKind::kAsvm, SchedulerKind::kReference),
+            16791609795929360054ULL);
+  EXPECT_EQ(DigestWorkload(DsmKind::kAsvm, SchedulerKind::kTimerWheel),
+            16791609795929360054ULL);
+  EXPECT_EQ(DigestWorkload(DsmKind::kXmm, SchedulerKind::kReference),
+            9185313916855082992ULL);
+  EXPECT_EQ(DigestWorkload(DsmKind::kXmm, SchedulerKind::kTimerWheel),
+            9185313916855082992ULL);
+}
+
+}  // namespace
+}  // namespace asvm

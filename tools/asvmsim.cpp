@@ -14,7 +14,7 @@
 
 #include "src/asvm/agent.h"
 #include "src/asvm/asvm_system.h"
-#include "src/asvm/monitor.h"
+#include "src/common/trace.h"
 #include "src/core/machine.h"
 #include "src/core/measure.h"
 #include "src/apps/sor.h"
@@ -26,6 +26,7 @@ namespace {
 
 struct Options {
   DsmKind dsm = DsmKind::kAsvm;
+  SchedulerKind scheduler = SchedulerKind::kTimerWheel;
   int nodes = 8;
   std::string workload = "fault-sweep";
   int64_t cells = 64000;
@@ -50,6 +51,8 @@ void Usage() {
   std::printf(
       "asvmsim — ASVM/XMM distributed memory simulator\n\n"
       "  --dsm=asvm|xmm           memory manager (default asvm)\n"
+      "  --scheduler=wheel|heap   event scheduler: pooled timer wheel or the\n"
+      "                           reference heap (identical timelines; default wheel)\n"
       "  --nodes=N                node count (default 8)\n"
       "  --workload=W             em3d | sor | file-read | file-write | fault-sweep | fork-chain\n"
       "  --cells=N                EM3D cells (default 64000)\n"
@@ -88,6 +91,14 @@ bool Parse(int argc, char** argv, Options* opts) {
         opts->dsm = DsmKind::kAsvm;
       } else if (value == "xmm") {
         opts->dsm = DsmKind::kXmm;
+      } else {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--scheduler", &value)) {
+      if (value == "wheel") {
+        opts->scheduler = SchedulerKind::kTimerWheel;
+      } else if (value == "heap" || value == "reference") {
+        opts->scheduler = SchedulerKind::kReference;
       } else {
         return false;
       }
@@ -262,6 +273,7 @@ int Run(const Options& opts) {
   MachineConfig config;
   config.nodes = opts.nodes;
   config.dsm = opts.dsm;
+  config.scheduler = opts.scheduler;
   config.file_pager_count = opts.stripes;
   config.asvm.dynamic_forwarding = opts.dynamic_fwd;
   config.asvm.static_forwarding = opts.static_fwd;
