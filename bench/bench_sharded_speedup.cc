@@ -1,0 +1,151 @@
+// Parallel-simulation speedup: a concurrent write-fault storm on a 32x32 mesh
+// (the Figure 10 sweep's large configuration), run at --shards = 1, 2, 4, 8.
+//
+// The Table 1 / Figure 10 microbenchmarks are deliberately sequential — one
+// measured fault at a time — so they cannot exercise the sharded core. This
+// storm is the opposite shape: half the mesh writes concurrently, each writer
+// to its own region homed across the mesh, every operation in flight before
+// the single drain. That is the workload class sharding exists for, and the
+// one scripts/bench_report.sh gates (>= 1.5x wall clock at 4 shards).
+//
+// The storm also recomputes the timeline digest per shard count: the speedup
+// only counts because the sharded timelines are byte-identical to shards=1
+// (sharded.digest_match must be 1).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/machine.h"
+
+namespace asvm {
+namespace {
+
+constexpr size_t kPage = 8192;
+
+// One sweep configuration: every node writes `pages` pages of its own region,
+// homed at the diagonally-opposite node.
+struct StormShape {
+  const char* name;
+  int nodes;
+  int pages;
+};
+// 32x32 is the Figure 10 large mesh; 1792 is the paper's full-machine scale
+// (its Paragon had 1792 usable nodes), run with fewer pages per writer so the
+// sweep stays a smoke, not a soak.
+constexpr StormShape kShapes[] = {{"storm", 1024, 16}, {"storm1792", 1792, 4}};
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct StormResult {
+  uint64_t digest = 14695981039346656037ULL;
+  double drain_seconds = 0;  // host wall clock of the single Run()
+  int64_t windows = 0;       // barrier windows the drain took (0 when shards=1)
+  int64_t replayed = 0;      // mailbox records replayed at barriers
+};
+
+StormResult RunStorm(const StormShape& shape, DsmKind kind, int shards) {
+  MachineConfig config;
+  config.nodes = shape.nodes;
+  config.dsm = kind;
+  config.shards = shards;
+  Machine machine(config);
+  machine.cluster().set_event_limit(50'000'000);
+
+  // Every fault crosses the mesh, and with block-contiguous sharding most
+  // cross shard boundaries. All faults are launched before the single drain,
+  // so the whole storm is in flight at once: dense per-window work is what
+  // the worker threads parallelize.
+  const int writers = shape.nodes;
+  std::vector<TaskMemory*> mems;
+  mems.reserve(writers);
+  for (int w = 0; w < writers; ++w) {
+    const NodeId writer = static_cast<NodeId>(w);
+    const NodeId home = static_cast<NodeId>((w + shape.nodes / 2) % shape.nodes);
+    MemObjectId region = machine.CreateSharedRegion(home, shape.pages);
+    mems.push_back(&machine.MapRegion(writer, region));
+  }
+
+  std::vector<Future<Status>> writes;
+  writes.reserve(static_cast<size_t>(writers) * shape.pages);
+  for (int w = 0; w < writers; ++w) {
+    for (int p = 0; p < shape.pages; ++p) {
+      writes.push_back(
+          mems[w]->WriteU64(static_cast<VmOffset>(p) * kPage,
+                            static_cast<uint64_t>(w) * 1000 + static_cast<uint64_t>(p)));
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  machine.Run();
+  const auto end = std::chrono::steady_clock::now();
+
+  StormResult result;
+  result.drain_seconds = std::chrono::duration<double>(end - start).count();
+  for (const auto& w : writes) {
+    result.digest = Fnv1a(result.digest, w.ready() && IsOk(w.value()) ? 1 : 0);
+  }
+  result.digest = Fnv1a(result.digest, static_cast<uint64_t>(machine.Now()));
+  result.digest = Fnv1a(result.digest, static_cast<uint64_t>(machine.stats().Get("mesh.messages")));
+  result.digest = Fnv1a(result.digest, static_cast<uint64_t>(machine.stats().Get("mesh.bytes")));
+  result.digest = Fnv1a(result.digest, static_cast<uint64_t>(machine.stats().Get("vm.faults")));
+  result.windows = machine.stats().Get("sim.sharded.windows");
+  result.replayed = machine.stats().Get("sim.sharded.records_replayed");
+  return result;
+}
+
+void RunSweep(BenchJson& json) {
+  for (const StormShape& shape : kShapes) {
+    char title[96];
+    std::snprintf(title, sizeof(title),
+                  "Sharded write-fault storm, %d nodes (%d writers x %d pages)", shape.nodes,
+                  shape.nodes, shape.pages);
+    PrintHeader(title);
+    std::printf("%-8s %-8s %14s %10s %10s\n", "dsm", "shards", "drain (host s)", "speedup",
+                "digest");
+    for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+      const char* tag = kind == DsmKind::kAsvm ? "asvm" : "xmm";
+      double base_seconds = 0;
+      uint64_t base_digest = 0;
+      bool digests_match = true;
+      for (int shards : {1, 2, 4, 8}) {
+        const StormResult r = RunStorm(shape, kind, shards);
+        if (shards == 1) {
+          base_seconds = r.drain_seconds;
+          base_digest = r.digest;
+        }
+        digests_match = digests_match && r.digest == base_digest;
+        const double speedup = r.drain_seconds > 0 ? base_seconds / r.drain_seconds : 0;
+        std::printf("%-8s %-8d %14.3f %9.2fx %10s  (%lld windows, %lld replayed)\n", tag,
+                    shards, r.drain_seconds, speedup,
+                    r.digest == base_digest ? "match" : "DIVERGED",
+                    static_cast<long long>(r.windows), static_cast<long long>(r.replayed));
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s.%s.shards%d.seconds", shape.name, tag, shards);
+        json.Metric(name, r.drain_seconds);
+        if (shards > 1) {
+          std::snprintf(name, sizeof(name), "%s.%s.shards%d.speedup", shape.name, tag, shards);
+          json.Metric(name, speedup);
+        }
+      }
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s.%s.digest_match", shape.name, tag);
+      json.Metric(name, digests_match ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asvm
+
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunSweep(json);
+  return json.Write("sharded_speedup") ? 0 : 1;
+}

@@ -5,26 +5,31 @@
 # checked-in baseline (bench/baseline/BENCH_baseline.json) and fails when a
 # metric drifts by more than the tolerance (default 15%).
 #
-#   scripts/bench_report.sh --out=BENCH_pr5.json
-#   scripts/bench_report.sh --out=BENCH_pr5.json --check
+#   scripts/bench_report.sh --out=BENCH_pr6.json
+#   scripts/bench_report.sh --out=BENCH_pr6.json --check
 #
 # The simulation is deterministic, so any drift is a real modeling or
 # performance change, not noise; the tolerance exists for intentional
 # model-parameter tuning in later PRs.
 #
-# The report also folds in bench_simcore's scheduler-shape suite (pooled
-# timer wheel vs. reference heap, events/sec per shape). Those numbers are
-# host-machine wall clock, so --check does not diff them against the
-# baseline; instead it enforces a minimum wheel/heap speedup per shape
-# (--speedup-floor, default 1.5 on the queue-bound shapes).
+# The report also folds in two host-wall-clock suites that --check gates by
+# floor rather than diffing against the baseline:
+#  * bench_simcore's scheduler shapes (pooled timer wheel vs. reference
+#    heap): minimum wheel/heap speedup per shape (--speedup-floor,
+#    default 1.5 on the queue-bound shapes).
+#  * bench_sharded_speedup's 32x32 write-fault storm at --shards=1/2/4/8:
+#    the 4-shard run must beat single-threaded by >= --shard-speedup-floor
+#    (default 1.5x) on each DSM, and the sharded timeline digests must match
+#    shards=1 exactly (digest_match == 1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_pr5.json
+OUT=BENCH_pr6.json
 BUILD=build
 BASELINE=bench/baseline/BENCH_baseline.json
 TOLERANCE=0.15
 SPEEDUP_FLOOR=1.5
+SHARD_SPEEDUP_FLOOR=1.5
 CHECK=0
 for arg in "$@"; do
   case "$arg" in
@@ -33,10 +38,11 @@ for arg in "$@"; do
     --baseline=*) BASELINE="${arg#--baseline=}" ;;
     --tolerance=*) TOLERANCE="${arg#--tolerance=}" ;;
     --speedup-floor=*) SPEEDUP_FLOOR="${arg#--speedup-floor=}" ;;
+    --shard-speedup-floor=*) SHARD_SPEEDUP_FLOOR="${arg#--shard-speedup-floor=}" ;;
     --check) CHECK=1 ;;
     *)
       echo "unknown argument: $arg" >&2
-      echo "usage: $0 [--out=FILE] [--build=DIR] [--baseline=FILE] [--tolerance=F] [--speedup-floor=F] [--check]" >&2
+      echo "usage: $0 [--out=FILE] [--build=DIR] [--baseline=FILE] [--tolerance=F] [--speedup-floor=F] [--shard-speedup-floor=F] [--check]" >&2
       exit 2
       ;;
   esac
@@ -53,6 +59,8 @@ echo "running Figure 10 (write-fault scaling + mesh sweep)..."
 "$BUILD/bench/bench_fig10_write_fault_scaling" --json="$tmp/fig10.json" > "$tmp/fig10.txt"
 echo "running simcore scheduler shapes (wheel vs. reference heap)..."
 "$BUILD/bench/bench_simcore" --benchmark_filter=NONE --json="$tmp/simcore.json" > "$tmp/simcore.txt"
+echo "running sharded storm (shards=1/2/4/8 on the 32x32 mesh)..."
+"$BUILD/bench/bench_sharded_speedup" --json="$tmp/sharded.json" > "$tmp/sharded.txt"
 
 python3 - "$tmp" "$OUT" <<'PYEOF'
 import json
@@ -60,7 +68,7 @@ import sys
 
 tmp, out = sys.argv[1], sys.argv[2]
 report = {"schema": "asvm-bench-report/v1", "benches": {}}
-for part in ("table1", "table2", "fig10", "simcore"):
+for part in ("table1", "table2", "fig10", "simcore", "sharded"):
     with open(f"{tmp}/{part}.json") as f:
         doc = json.load(f)
     report["benches"][doc["bench"]] = doc["metrics"]
@@ -72,12 +80,13 @@ print(f"wrote {out}: {len(report['benches'])} benches, {n} metrics")
 PYEOF
 
 if [ "$CHECK" = 1 ]; then
-  python3 - "$OUT" "$BASELINE" "$TOLERANCE" "$SPEEDUP_FLOOR" <<'PYEOF'
+  python3 - "$OUT" "$BASELINE" "$TOLERANCE" "$SPEEDUP_FLOOR" "$SHARD_SPEEDUP_FLOOR" <<'PYEOF'
 import json
 import sys
 
 out, baseline_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
 speedup_floor = float(sys.argv[4])
+shard_floor = float(sys.argv[5])
 with open(out) as f:
     current = json.load(f)
 with open(baseline_path) as f:
@@ -122,6 +131,38 @@ for name, entry in speedups.items():
         failures.append(
             f"simcore/{name}: wheel/heap speedup {entry['value']:.2f}x "
             f"below floor {floor:.2f}x")
+
+# Sharded-core gate: at 4 shards the storm must beat single-threaded by the
+# floor on both DSMs, and the sharded digests must be identical to shards=1
+# (a fast sharded run with a different timeline is a bug, not a win). The
+# digest gate always applies; the wall-clock floor only makes sense when the
+# host actually has cores to parallelize over (CI runners do — a 1-core dev
+# container cannot show parallel speedup, only barrier overhead).
+import os
+sharded = current["benches"].get("sharded_speedup", {})
+if not sharded:
+    failures.append("sharded_speedup: bench missing from report")
+gate_speedup = (os.cpu_count() or 1) >= 4
+if not gate_speedup:
+    print(f"note: host has {os.cpu_count()} CPU(s) — sharded speedup floor skipped "
+          "(digest identity still enforced)")
+for dsm in ("asvm", "xmm"):
+    if gate_speedup:
+        entry = sharded.get(f"storm.{dsm}.shards4.speedup")
+        checked += 1
+        if entry is None:
+            failures.append(f"sharded_speedup/storm.{dsm}.shards4.speedup: missing")
+        elif entry["value"] < shard_floor:
+            failures.append(
+                f"sharded_speedup/storm.{dsm}.shards4.speedup: "
+                f"{entry['value']:.2f}x below floor {shard_floor:.2f}x")
+    for shape in ("storm", "storm1792"):
+        match = sharded.get(f"{shape}.{dsm}.digest_match")
+        checked += 1
+        if match is None or match["value"] != 1:
+            failures.append(
+                f"sharded_speedup/{shape}.{dsm}.digest_match: sharded timeline "
+                "diverged from shards=1")
 
 print(f"checked {checked} metrics against {baseline_path} (tolerance {tol * 100:.0f}%)")
 if failures:

@@ -184,7 +184,7 @@ void AsvmAgent::DataRequest(VmObject& object, PageIndex page, PageAccess desired
   req.page = page;
   req.access = desired;
   req.origin = node_;
-  req.req_id = system_.NextOpId();
+  req.req_id = system_.NextOpId(node_);
   Trace(TraceKind::kFaultRequest, id, page, kInvalidNode, static_cast<int64_t>(desired),
         req.req_id);
   HandleRequest(std::move(req));
@@ -224,7 +224,7 @@ void AsvmAgent::DataUnlock(VmObject& object, PageIndex page, PageAccess desired)
   req.page = page;
   req.access = desired;
   req.origin = node_;
-  req.req_id = system_.NextOpId();
+  req.req_id = system_.NextOpId(node_);
   HandleRequest(std::move(req));
 }
 

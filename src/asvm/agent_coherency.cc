@@ -249,7 +249,7 @@ void AsvmAgent::OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer d
     req.page = reply.page;
     req.access = reply.granted;  // the retried access rides in `granted`
     req.origin = node_;
-    req.req_id = system_.NextOpId();
+    req.req_id = system_.NextOpId(node_);
     vm_.engine().Schedule(system_.config().agent_process_ns,
                           [this, req = std::move(req)]() mutable {
                             HandleRequest(std::move(req));

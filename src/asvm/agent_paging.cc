@@ -280,7 +280,7 @@ Task AsvmAgent::PushIfNeeded(MemObjectId id, PageIndex page, PageBuffer pre_writ
     scan.access = PageAccess::kRead;
     scan.origin = node_;
     scan.is_push_scan = true;
-    scan.req_id = system_.NextOpId();
+    scan.req_id = system_.NextOpId(node_);
     Promise<bool> found(vm_.engine());
     scan_waiters_.emplace(scan.req_id, found);
     if (stats_ != nullptr) {

@@ -9,6 +9,7 @@ namespace asvm {
 
 AsvmSystem::AsvmSystem(Cluster& cluster, AsvmConfig config)
     : cluster_(cluster), config_(config) {
+  InitOpIds(cluster.node_count());
   agents_.reserve(cluster.node_count());
   for (NodeId n = 0; n < cluster.node_count(); ++n) {
     agents_.push_back(std::make_unique<AsvmAgent>(*this, n));
@@ -47,7 +48,7 @@ MemObjectId AsvmSystem::CreateSharedRegion(NodeId home, VmSize pages) {
   info->id = id;
   info->pages = pages;
   info->home = home;
-  info->backing = std::make_unique<AnonBacking>(cluster_.engine(),
+  info->backing = std::make_unique<AnonBacking>(cluster_.engine_for(home),
                                                 cluster_.default_pager(home), NextBackingKey());
   directory_[id] = std::move(info);
   return id;
@@ -94,7 +95,7 @@ MemObjectId AsvmSystem::ExportObject(NodeId node, const std::shared_ptr<VmObject
   info->id = id;
   info->pages = object->page_count();
   info->home = node;
-  info->backing = std::make_unique<AnonBacking>(cluster_.engine(),
+  info->backing = std::make_unique<AnonBacking>(cluster_.engine_for(node),
                                                 cluster_.default_pager(node), NextBackingKey());
   directory_[id] = std::move(info);
 

@@ -51,14 +51,14 @@ void AsvmAgent::ReleasePage(const MemObjectId& id, PageIndex page) {
 
 Future<Status> RangeLockService::Acquire(NodeId node, TaskMemory& mem, const MemObjectId& id,
                                          VmOffset addr, VmSize len) {
-  Promise<Status> done(system_.cluster().engine());
+  Promise<Status> done(system_.cluster().engine_for(node));
   (void)AcquireTask(node, mem, id, addr, len, done);
   return done.GetFuture();
 }
 
 Task RangeLockService::AcquireTask(NodeId node, TaskMemory& mem, MemObjectId id, VmOffset addr,
                                    VmSize len, Promise<Status> done) {
-  Engine& engine = system_.cluster().engine();
+  Engine& engine = system_.cluster().engine_for(node);
   AsvmAgent& agent = system_.agent(node);
   const size_t ps = mem.map().page_size();
   const VmOffset first = addr / ps;

@@ -1,11 +1,20 @@
 // Statistics collection: named counters and latency histograms. Every protocol
 // module records into a StatsRegistry owned by the Machine so experiments can
 // report message counts, bytes moved, disk operations and fault latencies.
+//
+// Thread safety: sharded runs (src/sim/sharded_engine.h) record from several
+// shard threads at once. Counters are atomics behind a mutex-guarded name map
+// (map nodes are stable, so hot paths still cache a pointer and increment
+// lock-free); histogram recording takes the registry mutex. Because addition
+// commutes and summaries are computed over sorted samples, every reported
+// value is independent of thread interleaving.
 #ifndef SRC_COMMON_STATS_H_
 #define SRC_COMMON_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,7 +22,9 @@ namespace asvm {
 
 // Accumulates observations of a scalar (e.g. latency in nanoseconds) and
 // reports count/min/max/mean/percentiles. Stores raw samples; simulation runs
-// are short enough that this is cheap and makes percentiles exact.
+// are short enough that this is cheap and makes percentiles exact. Summaries
+// (including mean and total) are computed over the sorted samples, so they do
+// not depend on recording order.
 class Histogram {
  public:
   void Record(double value);
@@ -23,7 +34,7 @@ class Histogram {
   double min() const;
   double max() const;
   double mean() const;
-  double total() const { return sum_; }
+  double total() const;
   // p in [0,100]; nearest-rank on the sorted samples.
   double Percentile(double p) const;
 
@@ -32,7 +43,7 @@ class Histogram {
 
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
-  double sum_ = 0.0;
+  mutable double sum_ = 0.0;  // canonical: summed in sorted order
 };
 
 // Registry of named counters and histograms. Names are hierarchical by
@@ -45,22 +56,25 @@ class StatsRegistry {
   // Reference to a named counter, creating it at zero. std::map nodes are
   // stable, so hot paths may cache the reference and increment it directly
   // instead of paying a string lookup per event.
-  int64_t& Counter(const std::string& name) { return counters_[name]; }
+  std::atomic<int64_t>& Counter(const std::string& name);
 
   void Observe(const std::string& name, double value);
   const Histogram* FindHistogram(const std::string& name) const;
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Histogram& histogram(const std::string& name);
 
   void Clear();
 
-  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  // Not safe against concurrent Add/Observe of *new* names; call only while
+  // the simulation is quiescent (between runs / after drain).
+  const std::map<std::string, std::atomic<int64_t>>& counters() const { return counters_; }
   const std::map<std::string, Histogram>& histograms() const { return histograms_; }
 
   // Human-readable dump of all counters and histogram summaries.
   std::string Report() const;
 
  private:
-  std::map<std::string, int64_t> counters_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::atomic<int64_t>> counters_;
   std::map<std::string, Histogram> histograms_;
 };
 

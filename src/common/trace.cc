@@ -158,7 +158,21 @@ std::string ChromeTraceJson(const TraceBuffer& trace) {
         << ",\"args\":{\"name\":\"node " << node << "\"}}";
   }
 
-  for (const TraceEvent& e : trace.events()) {
+  // Canonical event order: (time, node, node_seq). Buffer insertion order is
+  // interleaving-dependent in sharded runs; this sort makes the JSON a pure
+  // function of the event multiset.
+  std::vector<TraceEvent> ordered(trace.events().begin(), trace.events().end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time != b.time) {
+                       return a.time < b.time;
+                     }
+                     if (a.node != b.node) {
+                       return a.node < b.node;
+                     }
+                     return a.node_seq < b.node_seq;
+                   });
+  for (const TraceEvent& e : ordered) {
     if (!first) {
       out << ",";
     }

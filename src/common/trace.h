@@ -26,6 +26,8 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -97,6 +99,11 @@ struct TraceEvent {
   uint64_t op = 0;              // protocol op / request id (0 = none)
   int64_t aux = 0;              // kind-specific detail
   const char* detail = nullptr;  // static label (message type for transport events)
+  // Per-node emission sequence, stamped by TraceSink::Emit. A node's events
+  // are emitted in its deterministic causal order regardless of shard count,
+  // so (time, node, node_seq) is a canonical total order shared by
+  // single-threaded and sharded runs (ChromeTraceJson sorts by it).
+  uint64_t node_seq = 0;
 };
 
 class ProtocolMonitor {
@@ -109,15 +116,25 @@ class ProtocolMonitor {
 // and every subsystem keeps a pointer to it, so a monitor can be attached or
 // detached at any time without re-wiring. Emission with no monitor attached
 // is one branch.
+//
+// Thread safety: sharded runs emit from several shard threads; the mutex
+// serializes monitor delivery and the per-node sequence stamping. Unarmed
+// emission stays lock-free.
 struct TraceSink {
   ProtocolMonitor* monitor = nullptr;
 
   bool armed() const { return monitor != nullptr; }
-  void Emit(const TraceEvent& event) {
+  void Emit(TraceEvent event) {
     if (monitor != nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      event.node_seq = ++node_seq_[event.node];
       monitor->OnEvent(event);
     }
   }
+
+ private:
+  std::mutex mu_;
+  std::map<NodeId, uint64_t> node_seq_;
 };
 
 // Bounded ring-buffer trace + per-kind counters.
@@ -155,9 +172,11 @@ class TraceBuffer : public ProtocolMonitor {
 };
 
 // Serializes the trace as Chrome trace_event JSON: instant events on one
-// track per node (pid 0, tid = node id), timestamps in microseconds. The
-// output is a pure function of the (deterministic) trace, so identical runs
-// serialize byte-identically.
+// track per node (pid 0, tid = node id), timestamps in microseconds. Events
+// are serialized in canonical (time, node, node_seq) order, so the output is
+// a pure function of the event multiset — identical runs serialize
+// byte-identically, and sharded runs match their single-threaded twin
+// byte-for-byte even though buffer insertion order differs.
 std::string ChromeTraceJson(const TraceBuffer& trace);
 
 // --- Per-fault causal breakdown ----------------------------------------------

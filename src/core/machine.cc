@@ -25,8 +25,10 @@ ClusterParams MachineConfig::ToClusterParams() const {
   params.disk = disk;
   params.file_pager = file_pager;
   params.file_pager_count = file_pager_count;
+  params.nodes_per_io_group = nodes_per_io_group;
   params.fault = fault;
   params.retry = retry;
+  params.shards = shards;
   return params;
 }
 

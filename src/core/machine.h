@@ -43,6 +43,12 @@ struct MachineConfig {
   // timelines (enforced by tests/scheduler_equivalence_test.cc).
   SchedulerKind scheduler = SchedulerKind::kTimerWheel;
 
+  // Parallel simulation: shard the node space across this many engines, one
+  // worker thread each, synchronized with conservative-lookahead windows.
+  // Timelines (and golden digests) are byte-identical to shards = 1
+  // (DESIGN.md §13). Must divide along I/O-group (32-node) boundaries.
+  int shards = 1;
+
   // Paragon GP node: 8 KB pages, 16 MB memory of which ~9 MB is available to
   // user applications (paper §4.3).
   size_t page_size = 8192;
@@ -50,6 +56,11 @@ struct MachineConfig {
 
   // Number of file pagers / I/O disks (on nodes 0..k-1); >1 enables striping.
   int file_pager_count = 1;
+
+  // One paging disk per this many compute nodes (Paragon: 32). Shard
+  // boundaries align to these groups, so it also bounds the usable shard
+  // count: shards <= ceil(nodes / nodes_per_io_group).
+  int nodes_per_io_group = 32;
 
   // Record per-message-type transport counters (see
   // Cluster::EnablePerTypeMessageStats).
@@ -120,9 +131,9 @@ class Machine {
 
   // --- Execution ---------------------------------------------------------------
 
-  void Run() { cluster_->engine().Run(); }
-  bool RunFor(SimDuration d) { return cluster_->engine().RunFor(d); }
-  SimTime Now() const { return cluster_->engine().Now(); }
+  void Run() { cluster_->Run(); }
+  bool RunFor(SimDuration d) { return cluster_->RunFor(d); }
+  SimTime Now() const { return cluster_->Now(); }
 
   size_t DsmMetadataBytes(NodeId node) const { return dsm_->MetadataBytes(node); }
 

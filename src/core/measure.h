@@ -17,8 +17,11 @@ template <typename T>
 SimDuration AwaitLatency(Machine& machine, const Future<T>& f) {
   const SimTime start = machine.Now();
   while (!f.ready()) {
-    ASVM_CHECK_MSG(!machine.engine().empty(), "operation can never complete");
-    machine.engine().RunFor(5 * kMicrosecond);
+    // Cluster-level emptiness: in a sharded run shard 0 alone being drained
+    // does not mean the operation is stuck — another shard or the cross-shard
+    // mailbox may still carry the completion.
+    ASVM_CHECK_MSG(!machine.cluster().Empty(), "operation can never complete");
+    machine.RunFor(5 * kMicrosecond);
   }
   return machine.Now() - start;
 }

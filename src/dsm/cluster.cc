@@ -1,19 +1,62 @@
 #include "src/dsm/cluster.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/common/log.h"
+
 namespace asvm {
 
-Cluster::Cluster(ClusterParams params) : params_(params), engine_(params_.scheduler) {
-  network_ = std::make_unique<Network>(engine_, Topology::ForNodeCount(params_.node_count),
+namespace {
+
+SimTime SatAdd(SimTime t, SimDuration d) {
+  const SimTime limit = std::numeric_limits<SimTime>::max();
+  return d > limit - t ? limit : t + d;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterParams params) : params_(params) {
+  ASVM_CHECK_MSG(params_.shards >= 1, "cluster shards must be >= 1");
+  if (params_.shards > 1) {
+    // Shards partition the node space along I/O-group boundaries so a paging
+    // disk and every node it serves live on one engine (ShardedEngine CHECKs
+    // shards <= block count).
+    sharded_ = std::make_unique<ShardedEngine>(params_.shards, params_.node_count,
+                                               params_.nodes_per_io_group, params_.scheduler);
+    router_.sharded = sharded_.get();
+    outboxes_.resize(static_cast<size_t>(params_.shards));
+    outbox_seq_.assign(static_cast<size_t>(params_.shards), 0);
+    for (int s = 0; s < params_.shards; ++s) {
+      // Shard queues drain many times per window while work legitimately
+      // waits on mailboxed cross-shard messages; the real stall check runs
+      // once at the end of Cluster::Run.
+      sharded_->shard(s).set_defer_stall_checks(true);
+    }
+  } else {
+    engine_ = std::make_unique<Engine>(params_.scheduler);
+  }
+  Engine& root = engine();
+  router_.root = &root;
+
+  network_ = std::make_unique<Network>(root, Topology::ForNodeCount(params_.node_count),
                                        params_.mesh, &stats_);
-  sts_ = std::make_unique<StsTransport>(engine_, *network_, &stats_);
-  sts_ctl_ = std::make_unique<StsCtlTransport>(engine_, *network_, &stats_);
-  norma_ = std::make_unique<NormaIpc>(engine_, *network_, &stats_);
+  sts_ = std::make_unique<StsTransport>(root, *network_, &stats_);
+  sts_ctl_ = std::make_unique<StsCtlTransport>(root, *network_, &stats_);
+  norma_ = std::make_unique<NormaIpc>(root, *network_, &stats_);
   network_->set_trace(&trace_sink_);
   sts_->set_trace(&trace_sink_);
   sts_ctl_->set_trace(&trace_sink_);
   norma_->set_trace(&trace_sink_);
+  if (sharded_ != nullptr) {
+    sts_->set_sharding(&router_, &outboxes_);
+    sts_ctl_->set_sharding(&router_, &outboxes_);
+    norma_->set_sharding(&router_, &outboxes_);
+  }
   if (!params_.fault.Empty()) {
-    fault_plan_ = std::make_unique<FaultPlan>(engine_, params_.fault, params_.node_count,
+    fault_plan_ = std::make_unique<FaultPlan>(root, params_.fault, params_.node_count,
                                               &stats_);
     network_->set_fault_plan(fault_plan_.get());
     sts_->set_fault_plan(fault_plan_.get());
@@ -21,10 +64,37 @@ Cluster::Cluster(ClusterParams params) : params_(params), engine_(params_.schedu
     norma_->set_fault_plan(fault_plan_.get());
   }
 
+  // Conservative lookahead: the cheapest causal chain from an event on one
+  // node to an event on any other node is a software send on the cheapest
+  // transport, route setup, and one mesh hop. Slow-node factors below 1 can
+  // only shrink the software leg, so fold the smallest per-node factor in
+  // (floor: never round the bound up).
+  min_send_sw_ = std::min({sts_->costs().send_sw_ns, sts_ctl_->costs().send_sw_ns,
+                           norma_->costs().send_sw_ns});
+  if (!params_.fault.slow_nodes.empty()) {
+    double min_factor = 1.0;
+    for (NodeId n = 0; n < params_.node_count; ++n) {
+      double f = 1.0;
+      for (const NodeSlowdown& s : params_.fault.slow_nodes) {
+        if (s.node == n) {
+          f *= s.cost_factor;
+        }
+      }
+      min_factor = std::min(min_factor, f);
+    }
+    if (min_factor < 1.0) {
+      min_send_sw_ = static_cast<SimDuration>(
+          std::floor(static_cast<double>(min_send_sw_) * min_factor));
+    }
+  }
+  lookahead_ = min_send_sw_ + params_.mesh.route_setup_ns + params_.mesh.per_hop_ns;
+  ASVM_CHECK_MSG(lookahead_ >= 1, "sharded lookahead collapsed to zero");
+
   const int groups = (params_.node_count + params_.nodes_per_io_group - 1) /
                      params_.nodes_per_io_group;
   for (int g = 0; g < groups; ++g) {
-    disks_.push_back(std::make_unique<Disk>(engine_, params_.disk, &stats_));
+    Engine& group_engine = engine_for(g * params_.nodes_per_io_group);
+    disks_.push_back(std::make_unique<Disk>(group_engine, params_.disk, &stats_));
     disks_.back()->set_trace(&trace_sink_, g * params_.nodes_per_io_group);
   }
   // Dedicated spindles for the mapped file system, so file traffic and paging
@@ -32,24 +102,28 @@ Cluster::Cluster(ClusterParams params) : params_(params), engine_(params_.schedu
   // Pager i runs on node i (striped configurations spread I/O nodes).
   const int pagers = std::max(1, std::min(params_.file_pager_count, params_.node_count));
   for (int i = 0; i < pagers; ++i) {
-    file_disks_.push_back(std::make_unique<Disk>(engine_, params_.disk, &stats_));
+    Engine& pager_engine = engine_for(i);
+    file_disks_.push_back(std::make_unique<Disk>(pager_engine, params_.disk, &stats_));
     file_disks_.back()->set_trace(&trace_sink_, i);
     file_pagers_.push_back(std::make_unique<FilePager>(
-        engine_, /*io_node=*/i, file_disks_.back().get(), params_.file_pager, &stats_));
+        pager_engine, /*io_node=*/i, file_disks_.back().get(), params_.file_pager, &stats_));
   }
 
   nodes_.resize(params_.node_count);
   for (NodeId n = 0; n < params_.node_count; ++n) {
-    nodes_[n].vm = std::make_unique<NodeVm>(engine_, n, params_.vm, &stats_);
+    Engine& node_engine = engine_for(n);
+    nodes_[n].vm = std::make_unique<NodeVm>(node_engine, n, params_.vm, &stats_);
     nodes_[n].default_pager = std::make_unique<DefaultPager>(
-        engine_, &paging_disk(n), &stats_);
+        node_engine, &paging_disk(n), &stats_);
     nodes_[n].vm->SetDefaultPager(nodes_[n].default_pager.get());
   }
 
   // Stall-watchdog probe: page faults whose coroutine is still alive when the
   // event queue drains are blocked forever (nothing outside the queue can
   // resume them). Inert unless a stall handler is installed on the engine.
-  engine_.AddStallProbe([this](std::string& report) {
+  // Registered on the root engine; in sharded runs it only fires from
+  // ForceStallCheck at the final global drain, when every shard is quiescent.
+  root.AddStallProbe([this](std::string& report) {
     bool blocked = false;
     for (const auto& node : nodes_) {
       const auto& faults = node.vm->faults_in_flight();
@@ -73,6 +147,124 @@ void Cluster::EnablePerTypeMessageStats() {
   sts_->set_per_type_stats(true);
   sts_ctl_->set_per_type_stats(true);
   norma_->set_per_type_stats(true);
+}
+
+bool Cluster::Empty() const {
+  if (sharded_ == nullptr) {
+    return engine_->empty();
+  }
+  if (!sharded_->AllEmpty() || !pending_.empty()) {
+    return false;
+  }
+  for (const auto& outbox : outboxes_) {
+    if (!outbox.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Cluster::CollectOutboxes() {
+  for (int s = 0; s < params_.shards; ++s) {
+    for (MeshRecord& r : outboxes_[s]) {
+      PendingRecord pr;
+      pr.send_time = r.send_time;
+      pr.shard = s;
+      pr.seq = ++outbox_seq_[s];
+      pr.record = std::move(r);
+      pending_.push(std::move(pr));
+    }
+    outboxes_[s].clear();
+  }
+}
+
+void Cluster::SyncClocks(SimTime time) {
+  for (int s = 0; s < params_.shards; ++s) {
+    sharded_->shard(s).AdvanceTo(time);
+  }
+}
+
+SimTime Cluster::ProcessPending() {
+  // Replays every record whose send time is safely below the conservative
+  // horizon N0 + min_send_sw_: any event still pending on any shard fires at
+  // or after N0, so any record it might yet emit stamps send_time >= that
+  // horizon — nothing can slot in front of the records replayed here, and the
+  // fabric's endpoint busy channels update in exactly the single-engine
+  // order. Injected deliveries can become the new earliest event, so the
+  // horizon is re-tightened as records land.
+  SimTime n0 = sharded_->MinNextTime();
+  while (!pending_.empty()) {
+    if (n0 != ShardedEngine::kNoEvent &&
+        pending_.top().send_time >= SatAdd(n0, min_send_sw_)) {
+      break;
+    }
+    PendingRecord rec = std::move(const_cast<PendingRecord&>(pending_.top()));
+    pending_.pop();
+    stats_.Add("sim.sharded.records_replayed");
+    const SimTime rx_done = network_->ProcessRecord(rec.record);
+    if (rx_done >= 0) {
+      engine_for(rec.record.dst).ScheduleAt(rx_done, std::move(rec.record.deliver));
+      n0 = std::min(n0, rx_done);
+    }
+  }
+  return n0;
+}
+
+bool Cluster::DrainSharded(SimTime until) {
+  for (;;) {
+    CollectOutboxes();
+    const SimTime n0 = ProcessPending();
+    if (n0 == ShardedEngine::kNoEvent) {
+      // ProcessPending replays everything once all queues are empty.
+      ASVM_CHECK_MSG(pending_.empty(), "drained with records still pending");
+      // A drained engine's clock stops at its own last event, so the shard
+      // clocks have diverged. The single-threaded timeline this run must
+      // reproduce has ONE clock: re-synchronize every shard to the global
+      // last-event time, so work the driver issues next starts from the same
+      // instant on every node (otherwise a lagging shard could send a message
+      // whose arrival lands in a faster shard's past).
+      SyncClocks(sharded_->MaxNow());
+      sharded_->shard(0).ForceStallCheck();
+      return true;
+    }
+    if (n0 > until) {
+      // Deadline exit: the single engine would sit exactly at the deadline
+      // (RunUntil with events left), so park every shard clock there too.
+      SyncClocks(until);
+      return false;
+    }
+    // Events strictly below n0 + lookahead cannot be affected by any message
+    // another shard has yet to send (those arrive at or after n0 + lookahead),
+    // and everything already sent has been replayed — so the window up to and
+    // including n0 + lookahead - 1 is causally closed.
+    stats_.Add("sim.sharded.windows");
+    sharded_->RunWindow(std::min(until, SatAdd(n0, lookahead_) - 1));
+  }
+}
+
+uint64_t Cluster::Run() {
+  if (sharded_ == nullptr) {
+    return engine_->Run();
+  }
+  const uint64_t start = sharded_->TotalExecuted();
+  DrainSharded(std::numeric_limits<SimTime>::max());
+  return sharded_->TotalExecuted() - start;
+}
+
+bool Cluster::RunFor(SimDuration d) {
+  if (sharded_ == nullptr) {
+    return engine_->RunFor(d);
+  }
+  ASVM_CHECK_MSG(d >= 0, "negative RunFor duration");
+  return DrainSharded(SatAdd(sharded_->MaxNow(), d));
+}
+
+void Cluster::set_event_limit(uint64_t per_engine_limit) {
+  if (sharded_ != nullptr) {
+    sharded_->set_event_limit(per_engine_limit);
+  } else {
+    engine_->set_event_limit(per_engine_limit);
+  }
 }
 
 }  // namespace asvm

@@ -4,7 +4,9 @@
 #ifndef SRC_DSM_CLUSTER_H_
 #define SRC_DSM_CLUSTER_H_
 
+#include <cstdint>
 #include <memory>
+#include <queue>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -17,6 +19,8 @@
 #include "src/mesh/fault_plan.h"
 #include "src/mesh/network.h"
 #include "src/sim/engine.h"
+#include "src/sim/shard_router.h"
+#include "src/sim/sharded_engine.h"
 #include "src/transport/transport.h"
 
 namespace asvm {
@@ -48,6 +52,12 @@ struct ClusterParams {
   int file_pager_count = 1;
   FaultPlanParams fault;  // empty = perfectly reliable fabric
   RetryPolicy retry;      // timeout_ns = 0: no pending-op deadlines
+  // Parallel simulation: partition the node space into this many shards, each
+  // with its own engine, synchronized by conservative-lookahead windows
+  // (DESIGN.md §13). shards == 1 keeps the exact single-engine code path.
+  // Shards must divide along nodes_per_io_group boundaries, so
+  // shards <= ceil(node_count / nodes_per_io_group).
+  int shards = 1;
 };
 
 class Cluster {
@@ -62,7 +72,38 @@ class Cluster {
   int node_count() const { return params_.node_count; }
   size_t page_size() const { return params_.vm.page_size; }
 
-  Engine& engine() { return engine_; }
+  // The root engine: the single engine at shards == 1, shard 0 otherwise.
+  // Workload driver code (promise completion, measurement probes) runs here.
+  Engine& engine() { return sharded_ != nullptr ? sharded_->shard(0) : *engine_; }
+  // The engine that simulates `node` (the root engine at shards == 1).
+  Engine& engine_for(NodeId node) { return router_.engine_for(node); }
+  int shards() const { return params_.shards; }
+  ShardedEngine* sharded_engine() { return sharded_.get(); }  // null at shards == 1
+
+  // Machine-visible simulated time: the root engine's clock, or the furthest
+  // shard clock in a sharded run (between windows every cross-shard effect
+  // with a timestamp at or before any shard clock has been applied).
+  SimTime Now() const {
+    return sharded_ != nullptr ? sharded_->MaxNow() : engine_->Now();
+  }
+
+  // No runnable event on any engine and no cross-shard message still in a
+  // mailbox. Valid between runs / windows.
+  bool Empty() const;
+
+  // Drains the machine: every engine empty and every cross-shard mailbox
+  // replayed. Returns the number of events executed. At shards == 1 this is
+  // exactly Engine::Run(); otherwise the conservative-lookahead barrier loop
+  // (DESIGN.md §13).
+  uint64_t Run();
+
+  // Runs until the machine drains or simulated time would pass Now() + d.
+  // Returns true if it drained (Engine::RunFor semantics).
+  bool RunFor(SimDuration d);
+
+  // Event-count safety valve, applied per engine.
+  void set_event_limit(uint64_t per_engine_limit);
+
   StatsRegistry& stats() { return stats_; }
 
   // Opt-in per-message-type transport counters ("transport.<name>.msg.<type>")
@@ -99,8 +140,53 @@ class Cluster {
     std::unique_ptr<DefaultPager> default_pager;
   };
 
+  // A MeshRecord waiting at the barrier, keyed for deterministic replay:
+  // global send-time order, ties broken by (shard, per-shard emission seq) —
+  // the same order a single engine would have produced the sends in, because
+  // within one shard emission order IS causal order.
+  struct PendingRecord {
+    SimTime send_time;
+    int shard;
+    uint64_t seq;
+    MeshRecord record;
+  };
+  struct PendingLater {
+    bool operator()(const PendingRecord& a, const PendingRecord& b) const {
+      if (a.send_time != b.send_time) return a.send_time > b.send_time;
+      if (a.shard != b.shard) return a.shard > b.shard;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Moves freshly-emitted outbox records into the pending heap.
+  void CollectOutboxes();
+  // Re-synchronizes every shard clock to `time` (see DrainSharded).
+  void SyncClocks(SimTime time);
+  // Replays every pending record safely below the conservative horizon.
+  // Returns the earliest pending event time across all shards afterwards.
+  SimTime ProcessPending();
+  // The barrier loop (shards > 1). Runs windows until every engine is empty
+  // and no record is pending, or simulated time would pass `until`.
+  // Returns true if the machine drained.
+  bool DrainSharded(SimTime until);
+  // Minimum cross-shard latency: no event at time t can cause an event on
+  // another shard before t + lookahead.
+  SimDuration Lookahead() const { return lookahead_; }
+
   ClusterParams params_;
-  Engine engine_;
+  std::unique_ptr<Engine> engine_;          // shards == 1
+  std::unique_ptr<ShardedEngine> sharded_;  // shards > 1
+  ShardRouter router_;
+  // One outbox per shard; only shard i's thread appends to outboxes_[i], and
+  // the coordinator drains them between windows.
+  std::vector<std::vector<MeshRecord>> outboxes_;
+  std::vector<uint64_t> outbox_seq_;  // per-shard emission counter
+  std::priority_queue<PendingRecord, std::vector<PendingRecord>, PendingLater> pending_;
+  // Conservative bounds, fixed at construction: the cheapest software send
+  // cost any message can pay (fault slowdown factors below 1 included) and
+  // the full cross-shard lookahead min_send_sw_ + route_setup + one hop.
+  SimDuration min_send_sw_ = 0;
+  SimDuration lookahead_ = 0;
   StatsRegistry stats_;
   TraceSink trace_sink_;  // must outlive everything that emits into it
   std::unique_ptr<FaultPlan> fault_plan_;

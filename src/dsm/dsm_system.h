@@ -26,9 +26,13 @@ class DsmSystem {
   virtual Cluster& cluster() = 0;
 
   // Allocates an id for a multi-message protocol exchange (invalidation
-  // rounds, flush rounds, push rounds). One monotonic sequence per system so
-  // the agents' shared pending-op tables (ProtocolAgent) key off it.
-  uint64_t NextOpId() { return next_op_id_++; }
+  // rounds, flush rounds, push rounds) originated by `origin`. Ids embed the
+  // originating node and count per node, so allocation is deterministic and
+  // race-free under sharding (a global counter would hand out ids in thread
+  // interleaving order); the agents' pending-op tables only need uniqueness.
+  uint64_t NextOpId(NodeId origin) {
+    return (static_cast<uint64_t>(origin) + 1) << 40 | ++next_op_id_[origin];
+  }
 
   // Creates an anonymous distributed shared memory region homed at `home`
   // (zero-filled; paging space on the home's I/O group as backing).
@@ -58,8 +62,14 @@ class DsmSystem {
   // O(resident); the XMM manager is Θ(pages × sharers)).
   virtual size_t MetadataBytes(NodeId node) const = 0;
 
+ protected:
+  // Concrete systems size the per-node id space during construction.
+  void InitOpIds(int node_count) { next_op_id_.assign(static_cast<size_t>(node_count), 0); }
+
  private:
-  uint64_t next_op_id_ = 1;
+  // Indexed by originating node; each slot is only touched from its node's
+  // shard thread, so no synchronization is needed.
+  std::vector<uint64_t> next_op_id_;
 };
 
 }  // namespace asvm

@@ -12,12 +12,15 @@ ProtocolAgent::ProtocolAgent(DsmSystem& dsm, NodeId node, TraceProtocol trace_pr
     : node_(node),
       stats_(&dsm.cluster().stats()),
       dsm_(dsm),
-      engine_(dsm.cluster().engine()),
+      engine_(dsm.cluster().engine_for(node)),
       system_name_(dsm.name()),
       retry_(dsm.cluster().params().retry),
       trace_(&dsm.cluster().trace_sink()),
       trace_protocol_(trace_protocol) {
-  stall_probe_id_ = engine_.AddStallProbe(
+  // The probe registers on the root engine (not this node's shard engine):
+  // under sharding only the root runs stall checks, once, at the final global
+  // drain — when every shard is quiescent and pending-op state is safe to read.
+  stall_probe_id_ = dsm_.cluster().engine().AddStallProbe(
       [this](std::string& report) { return DescribeStall(report); });
   // A delivered request id must be remembered for as long as its initiator
   // may still resend it. The last retry fires after the sum of every armed
@@ -33,7 +36,7 @@ ProtocolAgent::ProtocolAgent(DsmSystem& dsm, NodeId node, TraceProtocol trace_pr
   }
 }
 
-ProtocolAgent::~ProtocolAgent() { engine_.RemoveStallProbe(stall_probe_id_); }
+ProtocolAgent::~ProtocolAgent() { dsm_.cluster().engine().RemoveStallProbe(stall_probe_id_); }
 
 void ProtocolAgent::Listen(Transport& transport, ProtocolId protocol) {
   transport.RegisterHandler(
@@ -51,7 +54,7 @@ Future<Status> ProtocolAgent::Process(SimDuration cost) {
 
 uint64_t ProtocolAgent::OpenOp(int outstanding, const char* what, MemObjectId object,
                                PageIndex page) {
-  const uint64_t op = dsm_.NextOpId();
+  const uint64_t op = dsm_.NextOpId(node_);
   auto pending = std::make_unique<PendingOp>(engine_);
   pending->outstanding = outstanding;
   pending->what = what;

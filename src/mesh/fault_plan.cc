@@ -60,9 +60,11 @@ FaultPlan::FaultPlan(Engine& engine, FaultPlanParams params, int node_count,
   }
 }
 
-bool FaultPlan::NodeAlive(NodeId node) const {
+bool FaultPlan::NodeAlive(NodeId node) const { return NodeAlive(node, engine_.Now()); }
+
+bool FaultPlan::NodeAlive(NodeId node, SimTime now) const {
   for (const NodeRemoval& r : params_.removals) {
-    if (r.node == node && engine_.Now() >= r.at) {
+    if (r.node == node && now >= r.at) {
       return false;
     }
   }
@@ -70,7 +72,11 @@ bool FaultPlan::NodeAlive(NodeId node) const {
 }
 
 bool FaultPlan::Delivers(NodeId src, NodeId dst) {
-  if (NodeAlive(src) && NodeAlive(dst)) {
+  return Delivers(src, dst, engine_.Now());
+}
+
+bool FaultPlan::Delivers(NodeId src, NodeId dst, SimTime now) {
+  if (NodeAlive(src, now) && NodeAlive(dst, now)) {
     return true;
   }
   if (stats_ != nullptr) {

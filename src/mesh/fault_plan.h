@@ -74,7 +74,10 @@ class FaultPlan {
 
   // --- Queried by Network::Send per message ---------------------------------
   // False: the message is black-holed (src or dst removed by now). Counted.
+  // The explicit-time overload serves the sharded barrier, which evaluates
+  // records at their recorded send time rather than at the plan engine's Now.
   bool Delivers(NodeId src, NodeId dst);
+  bool Delivers(NodeId src, NodeId dst, SimTime now);
   // Next jitter draw in [0, max_jitter_ns]; 0 when jitter is disabled.
   SimDuration NextJitter();
   // Product of matching degradation factors for this link (1.0 = healthy).
@@ -84,6 +87,7 @@ class FaultPlan {
   // Product of matching slowdown factors for this node's software costs.
   double NodeCostFactor(NodeId node) const;
   bool NodeAlive(NodeId node) const;
+  bool NodeAlive(NodeId node, SimTime now) const;
 
   // Human-readable plan summary for --fault-report.
   std::string Describe() const;

@@ -14,7 +14,7 @@ SimDuration SerializationTime(size_t bytes, double bandwidth_bytes_per_ns) {
 
 }  // namespace
 
-void Network::Send(NodeId src, NodeId dst, size_t bytes, EventFn deliver) {
+SimTime Network::Admit(SimTime now, NodeId src, NodeId dst, size_t bytes) {
   ASVM_CHECK_MSG(topology_.Contains(src) && topology_.Contains(dst),
                  "Network::Send node out of range: src " + std::to_string(src) + ", dst " +
                      std::to_string(dst) + " (mesh has " +
@@ -24,10 +24,10 @@ void Network::Send(NodeId src, NodeId dst, size_t bytes, EventFn deliver) {
                                  "; intra-node messages must bypass the mesh "
                                  "(Transport handles them without a Network::Send)");
 
-  if (fault_ != nullptr && !fault_->Delivers(src, dst)) {
+  if (fault_ != nullptr && !fault_->Delivers(src, dst, now)) {
     if (trace_ != nullptr && trace_->armed()) {
       TraceEvent e;
-      e.time = engine_.Now();
+      e.time = now;
       e.node = src;
       e.protocol = TraceProtocol::kMesh;
       e.kind = TraceKind::kMsgDropped;
@@ -35,10 +35,9 @@ void Network::Send(NodeId src, NodeId dst, size_t bytes, EventFn deliver) {
       e.aux = static_cast<int64_t>(bytes);
       trace_->Emit(e);
     }
-    return;  // black hole: a removed node's traffic silently vanishes (counted)
+    return -1;  // black hole: a removed node's traffic silently vanishes (counted)
   }
 
-  const SimTime now = engine_.Now();
   double bandwidth = params_.bandwidth_bytes_per_ns;
   SimDuration jitter = 0;
   if (fault_ != nullptr) {
@@ -77,7 +76,20 @@ void Network::Send(NodeId src, NodeId dst, size_t bytes, EventFn deliver) {
     trace_->Emit(e);
   }
 
+  return rx_done;
+}
+
+void Network::Send(NodeId src, NodeId dst, size_t bytes, EventFn deliver) {
+  const SimTime now = engine_.Now();
+  const SimTime rx_done = Admit(now, src, dst, bytes);
+  if (rx_done < 0) {
+    return;
+  }
   engine_.Schedule(rx_done - now, std::move(deliver));
+}
+
+SimTime Network::ProcessRecord(const MeshRecord& record) {
+  return Admit(record.send_time, record.src, record.dst, record.bytes);
 }
 
 SimDuration Network::UncontendedLatency(NodeId src, NodeId dst, size_t bytes) const {

@@ -28,6 +28,21 @@ struct MeshParams {
   SimDuration route_setup_ns = 500;              // packetize + inject
 };
 
+// A cross-node message captured during a sharded window instead of being
+// pushed through the fabric immediately. The transport stamps the send-side
+// software completion time (send_time); all fabric math — endpoint busy
+// channels, jitter, stats — is deferred to the inter-window barrier, which
+// replays records in global (send_time, shard, emission order) order so the
+// tx/rx busy-channel updates happen in exactly the single-threaded sequence
+// (DESIGN.md §13).
+struct MeshRecord {
+  SimTime send_time = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  size_t bytes = 0;
+  EventFn deliver;
+};
+
 class Network {
  public:
   Network(Engine& engine, Topology topology, MeshParams params, StatsRegistry* stats)
@@ -47,6 +62,12 @@ class Network {
   // scheduler's pooled event nodes — no per-hop allocation.
   void Send(NodeId src, NodeId dst, size_t bytes, EventFn deliver);
 
+  // Sharded barrier path: runs the same admission math as Send but at the
+  // record's stamped send time. Returns the delivery completion time (the
+  // caller injects record.deliver into the destination shard at that time),
+  // or -1 when a fault plan drops the message.
+  SimTime ProcessRecord(const MeshRecord& record);
+
   // Modeled one-way latency of an uncontended message (for tests/diagnostics).
   SimDuration UncontendedLatency(NodeId src, NodeId dst, size_t bytes) const;
 
@@ -60,7 +81,13 @@ class Network {
   // effects (dropped messages, injected jitter) become visible trace events.
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
+  const MeshParams& params() const { return params_; }
+
  private:
+  // Shared admission core: fabric timing evaluated at `now`. Returns the
+  // delivery completion time, or -1 when the fault plan drops the message.
+  SimTime Admit(SimTime now, NodeId src, NodeId dst, size_t bytes);
+
   Engine& engine_;
   Topology topology_;
   MeshParams params_;

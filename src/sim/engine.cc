@@ -9,6 +9,11 @@ void Engine::Schedule(SimDuration delay, EventFn fn) {
   queue_->Push(now_ + delay, std::move(fn));
 }
 
+void Engine::ScheduleAt(SimTime time, EventFn fn) {
+  ASVM_CHECK_MSG(time >= now_, "ScheduleAt in the past");
+  queue_->Push(time, std::move(fn));
+}
+
 void Engine::RunOne() {
   // Move the event out before popping so the callback may schedule new events.
   SimTime time;
@@ -27,7 +32,9 @@ uint64_t Engine::Run() {
   while (!queue_->Empty()) {
     RunOne();
   }
-  CheckStall();
+  if (!defer_stall_checks_) {
+    CheckStall();
+  }
   return executed_ - start;
 }
 
@@ -36,7 +43,9 @@ bool Engine::RunUntil(SimTime deadline) {
     RunOne();
   }
   if (queue_->Empty()) {
-    CheckStall();
+    if (!defer_stall_checks_) {
+      CheckStall();
+    }
     return true;
   }
   now_ = deadline;

@@ -10,11 +10,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/log.h"
 #include "src/sim/event_fn.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/time.h"
@@ -35,6 +37,11 @@ class Engine {
   // fire in scheduling order.
   void Schedule(SimDuration delay, EventFn fn);
 
+  // Schedules fn at an absolute time (time >= Now()). Used by the sharded
+  // barrier to inject cross-shard deliveries at their precomputed arrival
+  // time; equal-time events still fire in scheduling order.
+  void ScheduleAt(SimTime time, EventFn fn);
+
   // Schedules fn at the current time, after all currently-runnable events that
   // were scheduled before it. Takes the scheduler's zero-delay fast lane.
   void Post(EventFn fn) { Schedule(0, std::move(fn)); }
@@ -46,10 +53,33 @@ class Engine {
   // Events at exactly deadline still run. Returns true if the queue drained.
   bool RunUntil(SimTime deadline);
 
-  bool RunFor(SimDuration duration) { return RunUntil(now_ + duration); }
+  // Saturating: a duration that would overflow SimTime clamps the deadline to
+  // the maximum representable time instead of wrapping negative (mirrors the
+  // RetryDelay overflow fix).
+  bool RunFor(SimDuration duration) {
+    ASVM_CHECK_MSG(duration >= 0, "negative RunFor duration");
+    const SimTime limit = std::numeric_limits<SimTime>::max();
+    return RunUntil(duration > limit - now_ ? limit : now_ + duration);
+  }
+
+  // Moves the clock forward without running anything. A drained engine's
+  // clock stops at its own last event, so after a sharded drain the shard
+  // clocks diverge; the coordinator re-synchronizes them to the global clock
+  // the single-threaded timeline would show (Cluster::DrainSharded). Never
+  // jumps over a pending event.
+  void AdvanceTo(SimTime time) {
+    ASVM_CHECK_MSG(time >= now_, "AdvanceTo moving backwards");
+    ASVM_CHECK_MSG(queue_->Empty() || queue_->NextTime() >= time,
+                   "AdvanceTo would skip pending events");
+    now_ = time;
+  }
 
   uint64_t executed_events() const { return executed_; }
   bool empty() const { return queue_->Empty(); }
+
+  // Time of the earliest pending event. Requires !empty(). Used by the sharded
+  // barrier to compute the conservative window bound.
+  SimTime NextEventTime() { return queue_->NextTime(); }
 
   // Safety valve for tests: aborts the run if more events than this execute.
   void set_event_limit(uint64_t limit) { event_limit_ = limit; }
@@ -73,6 +103,13 @@ class Engine {
   }
   uint64_t stalls_detected() const { return stalls_detected_; }
 
+  // Sharded runs drain each shard's queue many times per window while blocked
+  // work legitimately waits on cross-shard messages still in the mailbox.
+  // Deferring suppresses the automatic drain-time checks; the coordinator
+  // calls ForceStallCheck() once at the final global drain instead.
+  void set_defer_stall_checks(bool defer) { defer_stall_checks_ = defer; }
+  void ForceStallCheck() { CheckStall(); }
+
  private:
   void RunOne();
   void CheckStall();
@@ -80,6 +117,7 @@ class Engine {
   SimTime now_ = 0;
   uint64_t executed_ = 0;
   uint64_t event_limit_ = 0;  // 0 = unlimited
+  bool defer_stall_checks_ = false;
   SchedulerKind scheduler_kind_;
   std::unique_ptr<Scheduler> queue_;
   std::vector<std::pair<int, StallProbe>> stall_probes_;

@@ -14,14 +14,34 @@ const char* ToString(SchedulerKind kind) {
     case SchedulerKind::kReference:
       return "reference";
   }
-  return "unknown";
+  ASVM_CHECK_MSG(false, "invalid SchedulerKind");
+  return nullptr;
 }
 
 std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind) {
-  if (kind == SchedulerKind::kReference) {
-    return std::make_unique<ReferenceScheduler>();
+  switch (kind) {
+    case SchedulerKind::kTimerWheel:
+      return std::make_unique<TimerWheelScheduler>();
+    case SchedulerKind::kReference:
+      return std::make_unique<ReferenceScheduler>();
   }
-  return std::make_unique<TimerWheelScheduler>();
+  // An out-of-range value (cast from a raw int, memory corruption) must not
+  // silently fall back to the wheel: the scheduler choice is part of the
+  // deterministic-timeline contract.
+  ASVM_CHECK_MSG(false, "invalid SchedulerKind");
+  return nullptr;
+}
+
+bool SchedulerKindFromName(std::string_view name, SchedulerKind* out) {
+  if (name == "wheel" || name == "timer-wheel") {
+    *out = SchedulerKind::kTimerWheel;
+    return true;
+  }
+  if (name == "heap" || name == "reference") {
+    *out = SchedulerKind::kReference;
+    return true;
+  }
+  return false;
 }
 
 TimerWheelScheduler::TimerWheelScheduler() = default;
@@ -163,6 +183,11 @@ void TimerWheelScheduler::RingPush(uint64_t seq, EventFn fn) {
     ring_ = std::move(grown);
     ring_head_ = 0;
   }
+  // The mask below requires a non-empty power-of-two ring: size() - 1 on an
+  // empty vector underflows to SIZE_MAX. The growth branch above guarantees
+  // capacity, but keep the invariant explicit so a refactor that reorders it
+  // aborts instead of corrupting memory.
+  ASVM_CHECK_MSG(!ring_.empty(), "RingPush on a zero-capacity ring");
   ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)] = RingEntry{seq, std::move(fn)};
   ++ring_count_;
 }

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <string_view>
 #include <vector>
 
 #include "src/sim/event_fn.h"
@@ -32,6 +33,11 @@ enum class SchedulerKind {
 };
 
 const char* ToString(SchedulerKind kind);
+
+// Parses a user-facing scheduler name ("wheel"/"timer-wheel",
+// "heap"/"reference"). Returns false — without touching *out — for anything
+// else; callers (asvmsim --scheduler=) must treat that as a hard error.
+bool SchedulerKindFromName(std::string_view name, SchedulerKind* out);
 
 class Scheduler {
  public:

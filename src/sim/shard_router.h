@@ -1,0 +1,30 @@
+// Maps nodes to engines. In single-engine mode every node shares the root
+// engine and the simulator behaves exactly as it always has; in sharded mode
+// each node's events run on its shard's engine (src/sim/sharded_engine.h).
+// Components that schedule on behalf of a specific node route through this
+// instead of holding a raw Engine reference.
+#ifndef SRC_SIM_SHARD_ROUTER_H_
+#define SRC_SIM_SHARD_ROUTER_H_
+
+#include "src/common/types.h"
+#include "src/sim/engine.h"
+#include "src/sim/sharded_engine.h"
+
+namespace asvm {
+
+struct ShardRouter {
+  Engine* root = nullptr;            // always set; shard 0's engine when sharded
+  ShardedEngine* sharded = nullptr;  // null in single-engine mode
+
+  Engine& engine_for(NodeId node) {
+    return sharded != nullptr ? sharded->engine_for_node(node) : *root;
+  }
+  int shard_of(NodeId node) const {
+    return sharded != nullptr ? sharded->shard_of(node) : 0;
+  }
+  int shard_count() const { return sharded != nullptr ? sharded->shard_count() : 1; }
+};
+
+}  // namespace asvm
+
+#endif  // SRC_SIM_SHARD_ROUTER_H_

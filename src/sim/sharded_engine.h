@@ -1,0 +1,92 @@
+// Conservative-lookahead parallel simulation: N independent Engines, one per
+// shard of the node space, driven in lockstep windows by a persistent worker
+// pool. The ShardedEngine owns only the engines and the thread barrier; the
+// window/lookahead policy (how far each window may run, how cross-shard
+// messages are exchanged at the barrier) lives with the caller — for the DSM
+// cluster that is Cluster::DrainSharded (DESIGN.md §13).
+//
+// Threading contract: shard engines run concurrently ONLY inside RunWindow().
+// Between windows (and before/after a run) all engines are quiescent and the
+// coordinating thread may touch any of them — that is when cross-shard
+// deliveries are injected with Engine::ScheduleAt. The worker handoff uses a
+// mutex + condition variables, which gives the happens-before edges TSan
+// needs and that the deterministic replay relies on.
+#ifndef SRC_SIM_SHARDED_ENGINE_H_
+#define SRC_SIM_SHARDED_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/engine.h"
+
+namespace asvm {
+
+class ShardedEngine {
+ public:
+  // Partitions `node_count` nodes into `shard_count` contiguous runs of
+  // `nodes_per_block`-aligned blocks (so co-located resources — e.g. the
+  // per-io-group paging disks — never straddle a shard). Requires
+  // 1 <= shard_count <= ceil(node_count / nodes_per_block).
+  ShardedEngine(int shard_count, int node_count, int nodes_per_block,
+                SchedulerKind scheduler);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int shard_count() const { return static_cast<int>(engines_.size()); }
+  Engine& shard(int i) { return *engines_[i]; }
+
+  int shard_of(NodeId node) const {
+    const int block = static_cast<int>(node) / nodes_per_block_;
+    return block * shard_count() / block_count_;
+  }
+  Engine& engine_for_node(NodeId node) { return *engines_[shard_of(node)]; }
+
+  // Runs every shard engine up to and including `deadline`, in parallel.
+  // Shard 0 runs on the calling thread; the rest on the persistent workers.
+  // Returns once all shards have drained their window.
+  void RunWindow(SimTime deadline);
+
+  // No pending event anywhere. Valid only between windows.
+  bool AllEmpty() const;
+
+  // Earliest pending event time across all shards, or kNoEvent when AllEmpty.
+  static constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+  SimTime MinNextTime();
+
+  // Latest shard-local clock; the machine-visible Now() of a sharded run.
+  SimTime MaxNow() const;
+
+  uint64_t TotalExecuted() const;
+
+  void set_event_limit(uint64_t per_shard_limit);
+
+ private:
+  void WorkerLoop(int shard_index);
+
+  const int nodes_per_block_;
+  int block_count_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+
+  // Window barrier state, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // coordinator -> workers: new window
+  std::condition_variable done_cv_;   // workers -> coordinator: window done
+  uint64_t generation_ = 0;           // bumps once per window
+  int running_ = 0;                   // workers still inside the window
+  SimTime window_deadline_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;  // shards 1..N-1
+};
+
+}  // namespace asvm
+
+#endif  // SRC_SIM_SHARDED_ENGINE_H_

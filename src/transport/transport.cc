@@ -62,13 +62,15 @@ Transport::Handler& Transport::HandlerSlot(ProtocolId protocol, NodeId node) {
   return handlers_[p * cpu_busy_until_.size() + static_cast<size_t>(node)];
 }
 
-int64_t& Transport::TypeCounter(const Message& msg) {
+std::atomic<int64_t>& Transport::TypeCounter(const Message& msg) {
   const size_t p = static_cast<size_t>(msg.protocol);
   const size_t t = static_cast<size_t>(msg.type);
   if (p < kMaxProtocols && t < kMaxMsgTypes) {
-    int64_t*& slot = type_counters_[p][t];
+    auto& cell = type_counters_[p][t];
+    std::atomic<int64_t>* slot = cell.load(std::memory_order_acquire);
     if (slot == nullptr) {
       slot = &stats_->Counter("transport." + name_ + ".msg." + MsgTypeName(msg));
+      cell.store(slot, std::memory_order_release);
     }
     return *slot;
   }
@@ -101,18 +103,20 @@ void Transport::RegisterHandler(ProtocolId protocol, NodeId node, Handler handle
 
 void Transport::Send(NodeId src, NodeId dst, Message msg) {
   if (stats_ != nullptr) {
-    ++*messages_counter_;
-    *bytes_counter_ += static_cast<int64_t>(msg.WireBytes() + costs_.control_overhead_bytes);
+    messages_counter_->fetch_add(1, std::memory_order_relaxed);
+    bytes_counter_->fetch_add(
+        static_cast<int64_t>(msg.WireBytes() + costs_.control_overhead_bytes),
+        std::memory_order_relaxed);
     if (msg.page) {
-      ++*page_messages_counter_;
+      page_messages_counter_->fetch_add(1, std::memory_order_relaxed);
     }
     if (per_type_stats_) {
-      ++TypeCounter(msg);
+      TypeCounter(msg).fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (trace_ != nullptr && trace_->armed()) {
     TraceEvent e;
-    e.time = engine_.Now();
+    e.time = node_engine(src).Now();
     e.node = src;
     e.protocol = TraceProtocol::kTransport;
     e.kind = TraceKind::kMsgSend;
@@ -126,35 +130,56 @@ void Transport::Send(NodeId src, NodeId dst, Message msg) {
   if (src == dst) {
     // Node-local delivery: no wire, no port/receive queue — just the modeled
     // local handoff cost.
-    engine_.Schedule(costs_.local_delivery_ns, [this, src, dst, msg = std::move(msg)]() mutable {
-      Handler& handler = HandlerSlot(msg.protocol, dst);
-      ASVM_CHECK_MSG(handler, "no transport handler registered");
-      handler(src, std::move(msg));
-    });
+    node_engine(src).Schedule(costs_.local_delivery_ns,
+                              [this, src, dst, msg = std::move(msg)]() mutable {
+                                Handler& handler = HandlerSlot(msg.protocol, dst);
+                                ASVM_CHECK_MSG(handler, "no transport handler registered");
+                                handler(src, std::move(msg));
+                              });
     return;
   }
 
   // Software send path serializes on the sending node's protocol CPU:
   // back-to-back sends (an invalidation fan-out, for example) queue behind
-  // one another and behind incoming-message processing.
-  const SimTime now = engine_.Now();
+  // one another and behind incoming-message processing. cpu_busy_until_[n] is
+  // only ever touched from node n's engine (its shard's thread), so sharded
+  // runs race nowhere here.
+  Engine& src_engine = node_engine(src);
+  const SimTime now = src_engine.Now();
   const SimTime send_done = std::max(now, cpu_busy_until_[src]) + SwCost(costs_.send_sw_ns, src);
   cpu_busy_until_[src] = send_done;
 
   const size_t wire_bytes = msg.WireBytes() + costs_.control_overhead_bytes;
-  engine_.Schedule(send_done - now,
-                   [this, src, dst, wire_bytes, msg = std::move(msg)]() mutable {
-                     network_.Send(src, dst, wire_bytes,
-                                   [this, src, dst, msg = std::move(msg)]() mutable {
-                                     Deliver(src, dst, std::move(msg));
-                                   });
-                   });
+  if (outboxes_ != nullptr) {
+    // Sharded path: defer ALL fabric math (tx/rx busy channels, jitter,
+    // mesh stats) to the barrier, which replays records across shards in
+    // global send-time order — including same-shard cross-node traffic, so
+    // the endpoint busy channels update in exactly the legacy sequence.
+    MeshRecord record;
+    record.send_time = send_done;
+    record.src = src;
+    record.dst = dst;
+    record.bytes = wire_bytes;
+    record.deliver = [this, src, dst, msg = std::move(msg)]() mutable {
+      Deliver(src, dst, std::move(msg));
+    };
+    (*outboxes_)[router_->shard_of(src)].push_back(std::move(record));
+    return;
+  }
+  src_engine.Schedule(send_done - now,
+                      [this, src, dst, wire_bytes, msg = std::move(msg)]() mutable {
+                        network_.Send(src, dst, wire_bytes,
+                                      [this, src, dst, msg = std::move(msg)]() mutable {
+                                        Deliver(src, dst, std::move(msg));
+                                      });
+                      });
 }
 
 void Transport::Deliver(NodeId src, NodeId dst, Message msg) {
+  Engine& dst_engine = node_engine(dst);
   if (trace_ != nullptr && trace_->armed()) {
     TraceEvent e;
-    e.time = engine_.Now();
+    e.time = dst_engine.Now();
     e.node = dst;
     e.protocol = TraceProtocol::kTransport;
     e.kind = TraceKind::kMsgRecv;
@@ -167,11 +192,11 @@ void Transport::Deliver(NodeId src, NodeId dst, Message msg) {
   // Software receive path serializes on the receiving node's protocol CPU: a
   // node flooded with requests (a centralized manager) processes them one at
   // a time.
-  const SimTime now = engine_.Now();
+  const SimTime now = dst_engine.Now();
   const SimTime handled_at = std::max(now, cpu_busy_until_[dst]) + SwCost(costs_.recv_sw_ns, dst);
   cpu_busy_until_[dst] = handled_at;
 
-  engine_.Schedule(handled_at - now, [this, src, dst, msg = std::move(msg)]() mutable {
+  dst_engine.Schedule(handled_at - now, [this, src, dst, msg = std::move(msg)]() mutable {
     Handler& handler = HandlerSlot(msg.protocol, dst);
     ASVM_CHECK_MSG(handler, "no transport handler registered");
     handler(src, std::move(msg));

@@ -15,6 +15,7 @@
 #define SRC_TRANSPORT_TRANSPORT_H_
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <string>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "src/common/types.h"
 #include "src/mesh/network.h"
 #include "src/sim/engine.h"
+#include "src/sim/shard_router.h"
 #include "src/transport/message.h"
 
 namespace asvm {
@@ -73,6 +75,16 @@ class Transport {
   // body has one, the protocol op id. Host-side only.
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
+  // Sharded mode (both not owned): sends route per-node engines, and every
+  // cross-node message becomes a MeshRecord in the sending shard's outbox
+  // instead of entering the fabric immediately — the barrier replays them in
+  // global send-time order (DESIGN.md §13). Never set in single-engine runs,
+  // which keep the exact legacy path.
+  void set_sharding(ShardRouter* router, std::vector<std::vector<MeshRecord>>* outboxes) {
+    router_ = router;
+    outboxes_ = outboxes;
+  }
+
  private:
   // Protocol ids are small contiguous integers; message-type tags are small
   // per-protocol enums. Both are bounded so dispatch and the per-type counter
@@ -82,8 +94,11 @@ class Transport {
 
   void Deliver(NodeId src, NodeId dst, Message msg);
   Handler& HandlerSlot(ProtocolId protocol, NodeId node);
-  int64_t& TypeCounter(const Message& msg);
+  std::atomic<int64_t>& TypeCounter(const Message& msg);
   SimDuration SwCost(SimDuration base, NodeId node);
+  Engine& node_engine(NodeId node) {
+    return router_ != nullptr ? router_->engine_for(node) : engine_;
+  }
 
   Engine& engine_;
   Network& network_;
@@ -99,12 +114,17 @@ class Transport {
   // per-reader slope of Table 1 / Figure 10).
   std::vector<SimTime> cpu_busy_until_;
   // Cached counter references so the per-send cost is an increment, not a
-  // string build + map lookup.
-  int64_t* messages_counter_ = nullptr;
-  int64_t* bytes_counter_ = nullptr;
-  int64_t* page_messages_counter_ = nullptr;
+  // string build + map lookup. Atomics: shard threads send concurrently.
+  std::atomic<int64_t>* messages_counter_ = nullptr;
+  std::atomic<int64_t>* bytes_counter_ = nullptr;
+  std::atomic<int64_t>* page_messages_counter_ = nullptr;
   bool per_type_stats_ = false;
-  std::array<std::array<int64_t*, kMaxMsgTypes>, kMaxProtocols> type_counters_{};
+  // Lazily-filled pointer cache; atomic because shard threads race the fill.
+  // Both racers resolve to the same registry node, so either store wins.
+  std::array<std::array<std::atomic<std::atomic<int64_t>*>, kMaxMsgTypes>, kMaxProtocols>
+      type_counters_{};
+  ShardRouter* router_ = nullptr;
+  std::vector<std::vector<MeshRecord>>* outboxes_ = nullptr;
 };
 
 // Factory helpers with the calibrated cost models (see DESIGN.md §4).

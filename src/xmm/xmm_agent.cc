@@ -10,7 +10,7 @@ XmmAgent::XmmAgent(XmmSystem& system, NodeId node)
     : ProtocolAgent(system, node, TraceProtocol::kXmm),
       system_(system),
       vm_(system.cluster().vm(node)),
-      copy_threads_(system.cluster().engine(), system.config().copy_pager_threads) {
+      copy_threads_(system.cluster().engine_for(node), system.config().copy_pager_threads) {
   Listen(system_.cluster().norma(), ProtocolId::kXmm);
 }
 

@@ -7,6 +7,7 @@ namespace asvm {
 
 XmmSystem::XmmSystem(Cluster& cluster, XmmConfig config)
     : cluster_(cluster), config_(config) {
+  InitOpIds(cluster.node_count());
   agents_.reserve(cluster.node_count());
   for (NodeId n = 0; n < cluster.node_count(); ++n) {
     agents_.push_back(std::make_unique<XmmAgent>(*this, n));
@@ -27,7 +28,8 @@ MemObjectId XmmSystem::CreateSharedRegion(NodeId home, VmSize pages) {
   info->id = id;
   info->pages = pages;
   info->manager = home;
-  info->backing = std::make_unique<AnonBacking>(cluster_.engine(), cluster_.default_pager(home),
+  info->backing = std::make_unique<AnonBacking>(cluster_.engine_for(home),
+                                                cluster_.default_pager(home),
                                                 NextXmmBackingKey());
   directory_[id] = std::move(info);
   return id;

@@ -272,6 +272,121 @@ TEST(SchedulerEquivalenceTest, OverflowHeapTimersFireInOrder) {
   EXPECT_EQ(wheel.final_time, 2 * (static_cast<SimDuration>(1) << 48));
 }
 
+// --- Adversarial 2^48-horizon shapes (PR6 satellite) -------------------------
+// Three shapes the random sweep reaches only with vanishing probability, each
+// pinning a distinct overflow-heap / ring / wheel interaction.
+
+// Shape 1: overflow-heap refills that force large pos_ jumps. Timers live far
+// beyond the horizon in several clusters; draining one cluster makes the
+// wheel cascade across nearly its whole range before the next refill, and
+// events scheduled during a cluster land back in the refilled wheel.
+Trace OverflowRefillJumps(SchedulerKind kind) {
+  Engine engine(kind);
+  Trace trace;
+  int next_id = 0;
+  const SimDuration horizon = static_cast<SimDuration>(1) << 48;
+  for (int cluster = 1; cluster <= 4; ++cluster) {
+    for (int j = 0; j < 8; ++j) {
+      const int id = next_id++;
+      engine.Schedule(cluster * horizon + j * 3, [&trace, &engine, id]() {
+        trace.firings.emplace_back(id, engine.Now());
+        // Near-term children: must land in the freshly-refilled wheel, not
+        // the overflow heap, and fire before the next cluster.
+        const int child = 100000 + id;
+        engine.Schedule(17, [&trace, &engine, child]() {
+          trace.firings.emplace_back(child, engine.Now());
+        });
+      });
+    }
+  }
+  engine.Run();
+  trace.executed = engine.executed_events();
+  trace.final_time = engine.Now();
+  return trace;
+}
+
+TEST(SchedulerEquivalenceTest, OverflowRefillPosJumpsMatch) {
+  const Trace wheel = OverflowRefillJumps(SchedulerKind::kTimerWheel);
+  const Trace heap = OverflowRefillJumps(SchedulerKind::kReference);
+  ASSERT_EQ(wheel, heap);
+  ASSERT_EQ(wheel.firings.size(), 64u);
+}
+
+// Shape 2: a cascade arriving at a tick where zero-delay ring entries are
+// being produced. An event fires at a high-level wheel boundary (forcing a
+// cascade to reach it), then spins a Post chain at that instant while a
+// same-time Schedule(0) and a pre-planted same-tick timer race it: the merge
+// must stay in global sequence order.
+Trace CascadeVsRing(SchedulerKind kind) {
+  Engine engine(kind);
+  Trace trace;
+  const SimDuration tick = (static_cast<SimDuration>(1) << 30) + 5;  // deep cascade
+  engine.Schedule(tick, [&trace, &engine]() {
+    trace.firings.emplace_back(0, engine.Now());
+    engine.Post([&trace, &engine]() {
+      trace.firings.emplace_back(2, engine.Now());
+      engine.Schedule(0, [&trace, &engine]() { trace.firings.emplace_back(4, engine.Now()); });
+    });
+    engine.Schedule(0, [&trace, &engine]() { trace.firings.emplace_back(3, engine.Now()); });
+  });
+  // Planted long before: same tick, later time is impossible, so it fires
+  // between the cascade's own events purely by sequence.
+  engine.Schedule(tick, [&trace, &engine]() { trace.firings.emplace_back(1, engine.Now()); });
+  engine.Run();
+  trace.executed = engine.executed_events();
+  trace.final_time = engine.Now();
+  return trace;
+}
+
+TEST(SchedulerEquivalenceTest, CascadesMergeWithZeroDelayRingBySequence) {
+  const Trace wheel = CascadeVsRing(SchedulerKind::kTimerWheel);
+  const Trace heap = CascadeVsRing(SchedulerKind::kReference);
+  ASSERT_EQ(wheel, heap);
+  ASSERT_EQ(wheel.firings.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(wheel.firings[i].first, i);
+    EXPECT_EQ(wheel.firings[i].second, (static_cast<SimDuration>(1) << 30) + 5);
+  }
+}
+
+// Shape 3: one tick fed from all three sources at once — pre-planted wheel
+// timers, an overflow-heap timer at the same absolute time, and ring entries
+// posted once the tick starts. Everything at t = 2^48 + 31 must fire in
+// insertion-sequence order regardless of which structure held it.
+Trace ThreeWayMergeTick(SchedulerKind kind) {
+  Engine engine(kind);
+  Trace trace;
+  const SimTime t = (static_cast<SimTime>(1) << 48) + 31;
+  engine.Schedule(t, [&trace, &engine]() {  // beyond horizon at schedule time
+    trace.firings.emplace_back(0, engine.Now());
+    engine.Post([&trace, &engine]() { trace.firings.emplace_back(3, engine.Now()); });
+  });
+  engine.Schedule(40, [&trace, &engine, t]() {
+    // Rescheduled mid-run: by now t is within the wheel horizon. Its sequence
+    // number postdates the pre-planted id-1 timer below, so it fires third.
+    engine.Schedule(t - engine.Now(), [&trace, &engine]() {
+      trace.firings.emplace_back(2, engine.Now());
+      engine.Schedule(0, [&trace, &engine]() { trace.firings.emplace_back(4, engine.Now()); });
+    });
+  });
+  engine.Schedule(t, [&trace, &engine]() { trace.firings.emplace_back(1, engine.Now()); });
+  engine.Run();
+  trace.executed = engine.executed_events();
+  trace.final_time = engine.Now();
+  return trace;
+}
+
+TEST(SchedulerEquivalenceTest, SameTickRingWheelOverflowThreeWayMerge) {
+  const Trace wheel = ThreeWayMergeTick(SchedulerKind::kTimerWheel);
+  const Trace heap = ThreeWayMergeTick(SchedulerKind::kReference);
+  ASSERT_EQ(wheel, heap);
+  ASSERT_EQ(wheel.firings.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(wheel.firings[i].first, i);
+    EXPECT_EQ(wheel.firings[i].second, (static_cast<SimTime>(1) << 48) + 31);
+  }
+}
+
 // RunUntil contract: events at exactly the deadline run, Now() lands on the
 // deadline when the queue is non-empty, and the return value reports drain.
 TEST(SchedulerEquivalenceTest, RunUntilDeadlineSemanticsMatch) {

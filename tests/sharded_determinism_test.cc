@@ -1,0 +1,187 @@
+// The sharded-core headline contract (DESIGN.md §13): running the cluster
+// split across N worker threads must reproduce the single-threaded timeline
+// *byte for byte* — same read values, same completion times, same traffic
+// counters, same trace JSON. Conservative lookahead plus deterministic
+// (send_time, shard, seq) mailbox ordering makes shard count a pure
+// performance knob, never an observable one.
+//
+// Note on configs: the DeterminismTest goldens use the default
+// nodes_per_io_group=32, which puts a 6-node machine in one io-group — one
+// shard block, so shards>1 is rejected. These tests shrink the io-group so a
+// small machine has several blocks; that changes the disk population (and so
+// the timeline), which is why they compare shard counts against each other
+// rather than against the goldens.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/trace.h"
+#include "src/core/machine.h"
+
+namespace asvm {
+namespace {
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// The DeterminismTest digest workload (6 nodes, Rng(1234), 200 mixed ops),
+// with shard count and io-group size as knobs, optionally capturing the
+// Chrome trace JSON of the whole run.
+uint64_t CoherencyDigest(DsmKind kind, int shards, int nodes_per_io_group,
+                         std::string* trace_json = nullptr,
+                         SchedulerKind scheduler = SchedulerKind::kTimerWheel) {
+  MachineConfig config;
+  config.nodes = 6;
+  config.dsm = kind;
+  config.shards = shards;
+  config.nodes_per_io_group = nodes_per_io_group;
+  config.scheduler = scheduler;
+  Machine machine(config);
+  TraceBuffer trace(1 << 20);  // large enough that nothing is ever evicted
+  if (trace_json != nullptr) {
+    machine.AttachMonitor(&trace);
+  }
+  MemObjectId region = machine.CreateSharedRegion(0, 32);
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < 6; ++n) {
+    mems.push_back(&machine.MapRegion(n, region));
+  }
+  Rng rng(1234);
+  uint64_t digest = 14695981039346656037ULL;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.NextBelow(6));
+    const VmOffset addr = rng.NextBelow(32) * 8192;
+    if (rng.NextBool(0.5)) {
+      auto w = mems[node]->WriteU64(addr, static_cast<uint64_t>(i));
+      machine.Run();
+    } else {
+      auto r = mems[node]->ReadU64(addr);
+      machine.Run();
+      digest = Fnv1a(digest, r.ready() ? r.value() : ~0ULL);
+    }
+    digest = Fnv1a(digest, static_cast<uint64_t>(machine.Now()));
+  }
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.messages")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.bytes")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("vm.faults")));
+  if (trace_json != nullptr) {
+    *trace_json = ChromeTraceJson(trace);
+  }
+  return digest;
+}
+
+TEST(ShardedDeterminismTest, SixNodeTimelineMatchesAcrossShardCounts) {
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    // nodes_per_io_group=2 gives three shard blocks on six nodes.
+    const uint64_t single = CoherencyDigest(kind, 1, 2);
+    for (int shards : {2, 3}) {
+      EXPECT_EQ(CoherencyDigest(kind, shards, 2), single)
+          << ToString(kind) << " diverged at shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, TraceJsonIsByteIdenticalAcrossShardCounts) {
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    std::string single, sharded;
+    const uint64_t d1 = CoherencyDigest(kind, 1, 2, &single);
+    const uint64_t d3 = CoherencyDigest(kind, 3, 2, &sharded);
+    EXPECT_EQ(d1, d3);
+    // EXPECT_TRUE rather than EXPECT_EQ: a mismatch should not print two
+    // multi-megabyte JSON blobs.
+    EXPECT_TRUE(single == sharded)
+        << ToString(kind) << ": trace JSON differs (" << single.size() << " vs "
+        << sharded.size() << " bytes)";
+    EXPECT_GT(single.size(), 1000u);
+  }
+}
+
+// A 256-node concurrent write-fault storm — the parallel workload class the
+// sharded core exists for. Every writer's own region is homed on the opposite
+// half of the machine, so nearly every fault crosses shard boundaries, and
+// all faults are in flight before the single drain.
+uint64_t StormDigest(DsmKind kind, int shards) {
+  MachineConfig config;
+  config.nodes = 256;
+  config.dsm = kind;
+  config.shards = shards;  // default nodes_per_io_group=32 → 8 blocks
+  Machine machine(config);
+  machine.cluster().set_event_limit(20'000'000);
+  constexpr int kWriters = 32;
+  constexpr int kPages = 4;
+  std::vector<TaskMemory*> mems;
+  for (int w = 0; w < kWriters; ++w) {
+    const NodeId writer = static_cast<NodeId>(w * 8);
+    const NodeId home = static_cast<NodeId>((w * 8 + 128) % 256);
+    MemObjectId region = machine.CreateSharedRegion(home, kPages);
+    mems.push_back(&machine.MapRegion(writer, region));
+  }
+  std::vector<Future<Status>> writes;
+  for (int w = 0; w < kWriters; ++w) {
+    for (int p = 0; p < kPages; ++p) {
+      writes.push_back(mems[w]->WriteU64(static_cast<VmOffset>(p) * 8192,
+                                         static_cast<uint64_t>(w * 100 + p)));
+    }
+  }
+  machine.Run();
+  uint64_t digest = 14695981039346656037ULL;
+  for (const auto& w : writes) {
+    digest = Fnv1a(digest, w.ready() && IsOk(w.value()) ? 1 : 0);
+  }
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.Now()));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.messages")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.bytes")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("vm.faults")));
+  return digest;
+}
+
+TEST(ShardedDeterminismTest, ConcurrentStormMatchesAcrossShardCounts) {
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    const uint64_t single = StormDigest(kind, 1);
+    for (int shards : {2, 4, 8}) {
+      EXPECT_EQ(StormDigest(kind, shards), single)
+          << ToString(kind) << " storm diverged at shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedDeterminismTest, ShardedRunsAgreeAcrossSchedulerKinds) {
+  // The per-shard engines honor the (time, seq) contract under either
+  // scheduler core, so shard count and scheduler kind must commute: the heap
+  // oracle sharded 3 ways reproduces the single-threaded wheel timeline.
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    const uint64_t wheel1 =
+        CoherencyDigest(kind, 1, 2, nullptr, SchedulerKind::kTimerWheel);
+    EXPECT_EQ(CoherencyDigest(kind, 3, 2, nullptr, SchedulerKind::kReference), wheel1)
+        << ToString(kind) << ": sharded heap oracle diverged from the wheel";
+    EXPECT_EQ(CoherencyDigest(kind, 1, 2, nullptr, SchedulerKind::kReference), wheel1)
+        << ToString(kind) << ": single-threaded heap oracle diverged from the wheel";
+  }
+}
+
+TEST(ShardedDeterminismTest, ShardedRunsAreThemselvesBitStable) {
+  // Two sharded runs must agree with each other (thread timing must not leak
+  // into the timeline) — this is the test TSan runs hammer.
+  EXPECT_EQ(CoherencyDigest(DsmKind::kAsvm, 3, 2), CoherencyDigest(DsmKind::kAsvm, 3, 2));
+  EXPECT_EQ(StormDigest(DsmKind::kXmm, 4), StormDigest(DsmKind::kXmm, 4));
+}
+
+TEST(ShardedDeathTest, RejectsMoreShardsThanBlocks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MachineConfig config;
+  config.nodes = 6;
+  config.shards = 4;             // only 3 blocks exist
+  config.nodes_per_io_group = 2;
+  EXPECT_DEATH({ Machine machine(config); }, "shard");
+}
+
+}  // namespace
+}  // namespace asvm

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "src/sim/engine.h"
@@ -170,12 +171,114 @@ TEST(EngineDeathTest, NegativeDelayAborts) {
   EXPECT_DEATH(engine.Schedule(-1, []() {}), "negative delay");
 }
 
+TEST(EngineDeathTest, ScheduleAtRejectsThePast) {
+  Engine engine;
+  engine.Schedule(100, []() {});
+  engine.Run();
+  ASSERT_EQ(engine.Now(), 100);
+  EXPECT_DEATH(engine.ScheduleAt(99, []() {}), "ScheduleAt in the past");
+}
+
+TEST(EngineTest, ScheduleAtFiresAtAbsoluteTime) {
+  Engine engine;
+  std::vector<int> order;
+  engine.ScheduleAt(50, [&]() { order.push_back(1); });
+  engine.ScheduleAt(50, [&]() { order.push_back(2); });  // equal-time tie: FIFO
+  engine.ScheduleAt(10, [&]() { order.push_back(0); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(engine.Now(), 50);
+}
+
+// Regression: RunFor used to compute now_ + duration unchecked, so a huge
+// duration wrapped the deadline negative and RunFor returned without running
+// anything. It must saturate to the end of time instead.
+TEST(EngineTest, RunForSaturatesInsteadOfOverflowing) {
+  Engine engine;
+  int fired = 0;
+  engine.Schedule(5, [&]() { ++fired; });
+  engine.Run();
+  ASSERT_EQ(engine.Now(), 5);  // now_ > 0 so now_ + max overflows if unchecked
+  engine.Schedule(7, [&]() { ++fired; });
+  EXPECT_TRUE(engine.RunFor(std::numeric_limits<SimDuration>::max()));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineDeathTest, RunForRejectsNegativeDurations) {
+  Engine engine;
+  EXPECT_DEATH(engine.RunFor(-1), "negative RunFor duration");
+}
+
+// Regression: the wheel's zero-delay ring starts at capacity zero; the very
+// first Post therefore grows it, and the pre-guard index ring_.size() - 1
+// underflowed. The first event through the fast lane must simply fire.
+TEST(EngineTest, FirstEverEventMayTakeTheZeroDelayLane) {
+  for (SchedulerKind kind : {SchedulerKind::kTimerWheel, SchedulerKind::kReference}) {
+    Engine engine(kind);
+    int fired = 0;
+    engine.Post([&]() { ++fired; });
+    engine.Run();
+    EXPECT_EQ(fired, 1) << ToString(kind);
+  }
+}
+
+// Regression companion: growing the ring while entries are queued must keep
+// their (time, seq) firing order — a burst posted from inside an event forces
+// several doublings with live entries in the ring.
+TEST(EngineTest, RingGrowthPreservesSchedulingOrder) {
+  for (SchedulerKind kind : {SchedulerKind::kTimerWheel, SchedulerKind::kReference}) {
+    Engine engine(kind);
+    std::vector<int> order;
+    engine.Post([&]() {
+      for (int i = 0; i < 100; ++i) {
+        engine.Post([&order, i]() { order.push_back(i); });
+      }
+    });
+    engine.Run();
+    ASSERT_EQ(order.size(), 100u) << ToString(kind);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(order[i], i) << ToString(kind);
+    }
+  }
+}
+
 TEST(EngineDeathTest, EventLimitCatchesLivelock) {
   Engine engine;
   engine.set_event_limit(100);
   std::function<void()> spin = [&]() { engine.Post(spin); };
   engine.Post(spin);
   EXPECT_DEATH(engine.Run(), "event limit");
+}
+
+// Regression: MakeScheduler used to silently hand back the timer wheel for
+// any unknown kind (and ToString returned "unknown"), so a corrupted or
+// miscast configuration ran on the wrong event core without a word. Both must
+// hard-fail: the scheduler choice is part of the deterministic-timeline
+// contract.
+TEST(SchedulerKindDeathTest, MakeSchedulerRejectsUnknownKinds) {
+  EXPECT_DEATH(MakeScheduler(static_cast<SchedulerKind>(99)), "invalid SchedulerKind");
+}
+
+TEST(SchedulerKindDeathTest, ToStringRejectsUnknownKinds) {
+  EXPECT_DEATH(ToString(static_cast<SchedulerKind>(99)), "invalid SchedulerKind");
+}
+
+TEST(SchedulerKindTest, FromNameParsesEveryAlias) {
+  SchedulerKind kind = SchedulerKind::kReference;
+  EXPECT_TRUE(SchedulerKindFromName("wheel", &kind));
+  EXPECT_EQ(kind, SchedulerKind::kTimerWheel);
+  EXPECT_TRUE(SchedulerKindFromName("timer-wheel", &kind));
+  EXPECT_EQ(kind, SchedulerKind::kTimerWheel);
+  EXPECT_TRUE(SchedulerKindFromName("heap", &kind));
+  EXPECT_EQ(kind, SchedulerKind::kReference);
+  EXPECT_TRUE(SchedulerKindFromName("reference", &kind));
+  EXPECT_EQ(kind, SchedulerKind::kReference);
+}
+
+TEST(SchedulerKindTest, FromNameRejectsUnknownNamesWithoutWriting) {
+  SchedulerKind kind = SchedulerKind::kReference;
+  EXPECT_FALSE(SchedulerKindFromName("quantum", &kind));
+  EXPECT_EQ(kind, SchedulerKind::kReference);  // *out untouched on failure
 }
 
 }  // namespace

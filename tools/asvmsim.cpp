@@ -27,6 +27,7 @@ namespace {
 struct Options {
   DsmKind dsm = DsmKind::kAsvm;
   SchedulerKind scheduler = SchedulerKind::kTimerWheel;
+  int shards = 1;
   int nodes = 8;
   std::string workload = "fault-sweep";
   int64_t cells = 64000;
@@ -53,6 +54,9 @@ void Usage() {
       "  --dsm=asvm|xmm           memory manager (default asvm)\n"
       "  --scheduler=wheel|heap   event scheduler: pooled timer wheel or the\n"
       "                           reference heap (identical timelines; default wheel)\n"
+      "  --shards=N               parallel simulation shards (worker threads);\n"
+      "                           timelines stay byte-identical to --shards=1\n"
+      "                           (default 1; fault-sweep only, N <= nodes/32)\n"
       "  --nodes=N                node count (default 8)\n"
       "  --workload=W             em3d | sor | file-read | file-write | fault-sweep | fork-chain\n"
       "  --cells=N                EM3D cells (default 64000)\n"
@@ -95,13 +99,12 @@ bool Parse(int argc, char** argv, Options* opts) {
         return false;
       }
     } else if (ParseFlag(argv[i], "--scheduler", &value)) {
-      if (value == "wheel") {
-        opts->scheduler = SchedulerKind::kTimerWheel;
-      } else if (value == "heap" || value == "reference") {
-        opts->scheduler = SchedulerKind::kReference;
-      } else {
+      if (!SchedulerKindFromName(value, &opts->scheduler)) {
+        std::printf("unknown scheduler '%s'\n", value.c_str());
         return false;
       }
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      opts->shards = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--nodes", &value)) {
       opts->nodes = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--workload", &value)) {
@@ -143,7 +146,7 @@ bool Parse(int argc, char** argv, Options* opts) {
       return false;
     }
   }
-  return opts->nodes >= 1 && opts->chain >= 1 && opts->stripes >= 1;
+  return opts->nodes >= 1 && opts->chain >= 1 && opts->stripes >= 1 && opts->shards >= 1;
 }
 
 int RunEm3d(Machine& machine, const Options& opts) {
@@ -270,10 +273,18 @@ int RunForkChain(Machine& machine, const Options& opts) {
 }
 
 int Run(const Options& opts) {
+  if (opts.shards > 1 && opts.workload != "fault-sweep") {
+    // Only workloads whose driver state is per-node are in the sharded
+    // contract; fork/file workloads mutate the DSM directory mid-run from the
+    // main thread, which a sharded run does not serialize (DESIGN.md §13).
+    std::printf("--shards=%d is only supported with --workload=fault-sweep\n", opts.shards);
+    return 2;
+  }
   MachineConfig config;
   config.nodes = opts.nodes;
   config.dsm = opts.dsm;
   config.scheduler = opts.scheduler;
+  config.shards = opts.shards;
   config.file_pager_count = opts.stripes;
   config.asvm.dynamic_forwarding = opts.dynamic_fwd;
   config.asvm.static_forwarding = opts.static_fwd;
