@@ -11,13 +11,26 @@
 // The storm also recomputes the timeline digest per shard count: the speedup
 // only counts because the sharded timelines are byte-identical to shards=1
 // (sharded.digest_match must be 1).
+//
+// A second sweep runs every CLI workload (em3d, sor, file-read, file-write,
+// fork-chain) at bench scale on a 128-node machine, shards 1 vs 4. These
+// shapes are not queue-bound the way the storm is — the report gates only
+// their digest identity (wl_<name>.<dsm>.digest_match), while their
+// shards4.speedup columns document where windowed parallelism pays off and
+// where barrier overhead dominates.
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/apps/sor.h"
 #include "src/core/machine.h"
+#include "src/core/measure.h"
+#include "src/em3d/em3d.h"
+#include "src/mappedfs/file_bench.h"
 
 namespace asvm {
 namespace {
@@ -141,11 +154,139 @@ void RunSweep(BenchJson& json) {
   }
 }
 
+// --- Per-workload sweep ----------------------------------------------------
+//
+// The whole-workload shapes from tests/sharded_determinism_test.cc, scaled to
+// a 128-node machine (4 io-group blocks at the default group size, so 4 real
+// shards). The digest folds the workload's own observable results plus the
+// machine clock and traffic counters — equality with shards=1 means the
+// sharded run is indistinguishable, not merely "close".
+
+struct WorkloadResult {
+  uint64_t digest = 14695981039346656037ULL;
+  double drain_seconds = 0;  // host wall clock of the workload's drains
+};
+
+constexpr int kWlNodes = 128;  // default nodes_per_io_group=32 -> 4 blocks
+
+WorkloadResult RunWorkload(const std::string& workload, DsmKind kind, int shards) {
+  MachineConfig config;
+  config.nodes = kWlNodes;
+  config.dsm = kind;
+  config.shards = shards;
+  Machine machine(config);
+  machine.cluster().set_event_limit(100'000'000);
+
+  WorkloadResult result;
+  uint64_t& digest = result.digest;
+  const auto start = std::chrono::steady_clock::now();
+  if (workload == "em3d") {
+    Em3dParams params;
+    params.cells = 16384;
+    params.iterations = 3;
+    Em3dResult r = RunEm3dTimed(machine, params, kWlNodes, /*measure_iters=*/3);
+    digest = Fnv1a(digest, std::bit_cast<uint64_t>(r.seconds));
+    digest = Fnv1a(digest, static_cast<uint64_t>(r.faults));
+  } else if (workload == "sor") {
+    SorParams params;
+    params.rows = 256;
+    params.cols = 256;
+    params.iterations = 3;
+    SorResult r = RunSorTimed(machine, params, kWlNodes, /*measure_iters=*/3);
+    digest = Fnv1a(digest, std::bit_cast<uint64_t>(r.seconds));
+    digest = Fnv1a(digest, static_cast<uint64_t>(r.faults));
+  } else if (workload == "file-read" || workload == "file-write") {
+    const bool write = workload == "file-write";
+    const VmSize pages = 381;  // 3 pages per compute node (127 nodes, node 0 is I/O)
+    MemObjectId region;
+    if (write) {
+      region = machine.CreateMappedFile("t", pages, /*prefilled=*/false);
+    } else {
+      int32_t file_id = machine.cluster().file_pager().CreateFile("t", pages, true);
+      region = machine.dsm().CreateFileRegion(file_id, pages);
+    }
+    FileBenchResult r =
+        write ? RunParallelFileWrite(machine, region, pages, kWlNodes - 1, /*first_node=*/1)
+              : RunParallelFileRead(machine, region, pages, kWlNodes - 1, /*first_node=*/1);
+    for (double secs : r.node_seconds) {
+      digest = Fnv1a(digest, std::bit_cast<uint64_t>(secs));
+    }
+    digest = Fnv1a(digest, std::bit_cast<uint64_t>(r.makespan_seconds));
+  } else if (workload == "fork-chain") {
+    constexpr int kChain = 12;
+    constexpr VmOffset kPages = 8;
+    TaskMemory& origin = machine.CreatePrivateTask(0, kPages);
+    for (VmOffset p = 0; p < kPages; ++p) {
+      auto w = origin.WriteU64(p * machine.page_size(), 500 + p);
+      machine.Run();
+      digest = Fnv1a(digest, w.ready() && IsOk(w.value()) ? 1 : 0);
+    }
+    TaskMemory* current = &origin;
+    for (int hop = 1; hop <= kChain; ++hop) {
+      // Hop across io-group blocks so the fork directory writes cross shards.
+      const NodeId src = static_cast<NodeId>(((hop - 1) * 11) % kWlNodes);
+      const NodeId dst = static_cast<NodeId>((hop * 11) % kWlNodes);
+      auto fork = machine.RemoteFork(src, *current, dst);
+      machine.Run();
+      current = &machine.WrapMap(dst, fork.value());
+    }
+    for (VmOffset p = 0; p < kPages; ++p) {
+      uint64_t v = 0;
+      const double ms = MeasureReadMs(machine, *current, p * machine.page_size(), &v);
+      digest = Fnv1a(digest, v);
+      digest = Fnv1a(digest, std::bit_cast<uint64_t>(ms));
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.drain_seconds = std::chrono::duration<double>(end - start).count();
+
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.Now()));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.messages")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.bytes")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("vm.faults")));
+  return result;
+}
+
+void RunWorkloadSweep(BenchJson& json) {
+  constexpr const char* kWorkloads[] = {"em3d", "sor", "file-read", "file-write",
+                                        "fork-chain"};
+  char title[96];
+  std::snprintf(title, sizeof(title),
+                "Per-workload sharded speedup, %d nodes (shards 1 vs 4)", kWlNodes);
+  PrintHeader(title);
+  std::printf("%-12s %-8s %-8s %14s %10s %10s\n", "workload", "dsm", "shards",
+              "drain (host s)", "speedup", "digest");
+  for (const char* workload : kWorkloads) {
+    for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+      const char* tag = kind == DsmKind::kAsvm ? "asvm" : "xmm";
+      const WorkloadResult base = RunWorkload(workload, kind, 1);
+      const WorkloadResult sharded = RunWorkload(workload, kind, 4);
+      const bool match = sharded.digest == base.digest;
+      const double speedup =
+          sharded.drain_seconds > 0 ? base.drain_seconds / sharded.drain_seconds : 0;
+      std::printf("%-12s %-8s %-8d %14.3f %10s %10s\n", workload, tag, 1,
+                  base.drain_seconds, "", "");
+      std::printf("%-12s %-8s %-8d %14.3f %9.2fx %10s\n", workload, tag, 4,
+                  sharded.drain_seconds, speedup, match ? "match" : "DIVERGED");
+      char name[64];
+      std::snprintf(name, sizeof(name), "wl_%s.%s.shards1.seconds", workload, tag);
+      json.Metric(name, base.drain_seconds);
+      std::snprintf(name, sizeof(name), "wl_%s.%s.shards4.seconds", workload, tag);
+      json.Metric(name, sharded.drain_seconds);
+      std::snprintf(name, sizeof(name), "wl_%s.%s.shards4.speedup", workload, tag);
+      json.Metric(name, speedup);
+      std::snprintf(name, sizeof(name), "wl_%s.%s.digest_match", workload, tag);
+      json.Metric(name, match ? 1 : 0);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace asvm
 
 int main(int argc, char** argv) {
   asvm::BenchJson json(argc, argv);
   asvm::RunSweep(json);
+  asvm::RunWorkloadSweep(json);
   return json.Write("sharded_speedup") ? 0 : 1;
 }

@@ -19,8 +19,12 @@
 #    default 1.5 on the queue-bound shapes).
 #  * bench_sharded_speedup's 32x32 write-fault storm at --shards=1/2/4/8:
 #    the 4-shard run must beat single-threaded by >= --shard-speedup-floor
-#    (default 1.5x) on each DSM, and the sharded timeline digests must match
-#    shards=1 exactly (digest_match == 1).
+#    (default 1.5x) on each DSM. Every timeline digest the sharded bench
+#    emits — the storm shapes and the per-workload sweep (em3d, sor,
+#    file-read, file-write, fork-chain at 128 nodes) — must match shards=1
+#    exactly (every *.digest_match == 1). The per-workload speedup columns
+#    are reported, not floor-gated: those shapes are barrier-dominated, and
+#    only the queue-bound storm is required to parallelize.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,7 +63,7 @@ echo "running Figure 10 (write-fault scaling + mesh sweep)..."
 "$BUILD/bench/bench_fig10_write_fault_scaling" --json="$tmp/fig10.json" > "$tmp/fig10.txt"
 echo "running simcore scheduler shapes (wheel vs. reference heap)..."
 "$BUILD/bench/bench_simcore" --benchmark_filter=NONE --json="$tmp/simcore.json" > "$tmp/simcore.txt"
-echo "running sharded storm (shards=1/2/4/8 on the 32x32 mesh)..."
+echo "running sharded sweep (storm shards=1/2/4/8 + per-workload shards=1/4)..."
 "$BUILD/bench/bench_sharded_speedup" --json="$tmp/sharded.json" > "$tmp/sharded.txt"
 
 python3 - "$tmp" "$OUT" <<'PYEOF'
@@ -133,11 +137,13 @@ for name, entry in speedups.items():
             f"below floor {floor:.2f}x")
 
 # Sharded-core gate: at 4 shards the storm must beat single-threaded by the
-# floor on both DSMs, and the sharded digests must be identical to shards=1
-# (a fast sharded run with a different timeline is a bug, not a win). The
-# digest gate always applies; the wall-clock floor only makes sense when the
-# host actually has cores to parallelize over (CI runners do — a 1-core dev
-# container cannot show parallel speedup, only barrier overhead).
+# floor on both DSMs, and every sharded digest — the storm shapes AND the
+# per-workload sweep — must be identical to shards=1 (a fast sharded run with
+# a different timeline is a bug, not a win). The digest gate always applies;
+# the wall-clock floor only makes sense when the host actually has cores to
+# parallelize over (CI runners do — a 1-core dev container cannot show
+# parallel speedup, only barrier overhead), and it only applies to the
+# queue-bound storm — the per-workload speedup columns are informational.
 import os
 sharded = current["benches"].get("sharded_speedup", {})
 if not sharded:
@@ -146,8 +152,8 @@ gate_speedup = (os.cpu_count() or 1) >= 4
 if not gate_speedup:
     print(f"note: host has {os.cpu_count()} CPU(s) — sharded speedup floor skipped "
           "(digest identity still enforced)")
-for dsm in ("asvm", "xmm"):
-    if gate_speedup:
+if gate_speedup:
+    for dsm in ("asvm", "xmm"):
         entry = sharded.get(f"storm.{dsm}.shards4.speedup")
         checked += 1
         if entry is None:
@@ -156,13 +162,16 @@ for dsm in ("asvm", "xmm"):
             failures.append(
                 f"sharded_speedup/storm.{dsm}.shards4.speedup: "
                 f"{entry['value']:.2f}x below floor {shard_floor:.2f}x")
-    for shape in ("storm", "storm1792"):
-        match = sharded.get(f"{shape}.{dsm}.digest_match")
-        checked += 1
-        if match is None or match["value"] != 1:
-            failures.append(
-                f"sharded_speedup/{shape}.{dsm}.digest_match: sharded timeline "
-                "diverged from shards=1")
+digests = {k: v for k, v in sharded.items() if k.endswith(".digest_match")}
+# 2 storm shapes + 5 workloads, each on both DSMs.
+if len(digests) < 14:
+    failures.append(
+        f"sharded_speedup: only {len(digests)} digest_match metrics (expected 14)")
+for name, entry in digests.items():
+    checked += 1
+    if entry["value"] != 1:
+        failures.append(
+            f"sharded_speedup/{name}: sharded timeline diverged from shards=1")
 
 print(f"checked {checked} metrics against {baseline_path} (tolerance {tol * 100:.0f}%)")
 if failures:

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/log.h"
+#include "src/dsm/cluster_sync.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 
@@ -86,9 +87,9 @@ Task SorTouchAll(TaskMemory& mem, const std::vector<VmOffset>& pages, size_t ps,
 }
 
 Task SorNodeWorker(Machine& machine, const SorGrid& grid, const SorParams& params,
-                   TaskMemory& mem, NodeId node, int total_iters, SimBarrier& barrier,
-                   WaitGroup& done) {
-  Engine& engine = machine.engine();
+                   TaskMemory& mem, NodeId node, int total_iters, ClusterBarrier& barrier,
+                   ClusterWaitGroup& done) {
+  Engine& engine = machine.cluster().engine_for(node);
   const size_t ps = grid.page_size();
   auto [lo, hi] = grid.RowRange(node);
   const int64_t own_cells = (hi - lo) * params.cols;
@@ -102,10 +103,10 @@ Task SorNodeWorker(Machine& machine, const SorGrid& grid, const SorParams& param
       (void)SorTouchAll(mem, grid.OwnPages(node), ps, PageAccess::kWrite, wg);
       co_await wg.Wait();
       co_await Delay(engine, compute_per_half);
-      co_await barrier.Arrive();
+      co_await barrier.Arrive(node);
     }
   }
-  done.Done();
+  done.Done(node);
 }
 
 }  // namespace
@@ -119,10 +120,8 @@ SorResult RunSorTimed(Machine& machine, const SorParams& params, int nodes_used,
   for (NodeId n = 0; n < nodes_used; ++n) {
     mems.push_back(&machine.MapRegion(n, region));
   }
-  Engine& engine = machine.engine();
-
-  auto run_iters = [&](int iters, SimBarrier& barrier) {
-    WaitGroup done(engine);
+  auto run_iters = [&](int iters, ClusterBarrier& barrier) {
+    ClusterWaitGroup done(machine.cluster());
     done.Add(nodes_used);
     for (NodeId n = 0; n < nodes_used; ++n) {
       (void)SorNodeWorker(machine, grid, params, *mems[n], n, iters, barrier, done);
@@ -131,12 +130,12 @@ SorResult RunSorTimed(Machine& machine, const SorParams& params, int nodes_used,
     ASVM_CHECK(done.count() == 0);
   };
 
-  SimBarrier warm_barrier(engine, nodes_used);
+  ClusterBarrier warm_barrier(machine.cluster(), nodes_used);
   run_iters(1, warm_barrier);
 
   const SimTime start = machine.Now();
   const int64_t faults_before = machine.stats().Get("vm.faults");
-  SimBarrier barrier(engine, nodes_used);
+  ClusterBarrier barrier(machine.cluster(), nodes_used);
   run_iters(measure_iters, barrier);
 
   SorResult result;
@@ -151,7 +150,8 @@ SorResult RunSorTimed(Machine& machine, const SorParams& params, int nodes_used,
 namespace {
 
 Task SorVerifiedWorker(Machine& machine, const SorGrid& grid, const SorParams& params,
-                       TaskMemory& mem, NodeId node, SimBarrier& barrier, WaitGroup& done) {
+                       TaskMemory& mem, NodeId node, ClusterBarrier& barrier,
+                       ClusterWaitGroup& done) {
   (void)machine;
   auto [lo, hi] = grid.RowRange(node);
   for (int iter = 0; iter < params.iterations; ++iter) {
@@ -175,10 +175,10 @@ Task SorVerifiedWorker(Machine& machine, const SorGrid& grid, const SorParams& p
           ASVM_CHECK(IsOk(s));
         }
       }
-      co_await barrier.Arrive();
+      co_await barrier.Arrive(node);
     }
   }
-  done.Done();
+  done.Done(node);
 }
 
 }  // namespace
@@ -201,9 +201,8 @@ uint64_t RunSorVerified(Machine& machine, const SorParams& params, int nodes_use
     }
   }
 
-  Engine& engine = machine.engine();
-  SimBarrier barrier(engine, nodes_used);
-  WaitGroup done(engine);
+  ClusterBarrier barrier(machine.cluster(), nodes_used);
+  ClusterWaitGroup done(machine.cluster());
   done.Add(nodes_used);
   for (NodeId n = 0; n < nodes_used; ++n) {
     (void)SorVerifiedWorker(machine, grid, params, *mems[n], n, barrier, done);

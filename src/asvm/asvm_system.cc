@@ -1,9 +1,11 @@
 #include "src/asvm/asvm_system.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/asvm/agent.h"
 #include "src/common/log.h"
+#include "src/dsm/cluster_sync.h"
 
 namespace asvm {
 
@@ -43,6 +45,7 @@ void AsvmSystem::AddSharer(AsvmObjectInfo& info, NodeId node) {
 }
 
 MemObjectId AsvmSystem::CreateSharedRegion(NodeId home, VmSize pages) {
+  cluster_.AssertDriverQuiescent("ASVM CreateSharedRegion from inside a shard window");
   MemObjectId id = NewObjectId(home);
   auto info = std::make_unique<AsvmObjectInfo>();
   info->id = id;
@@ -55,6 +58,7 @@ MemObjectId AsvmSystem::CreateSharedRegion(NodeId home, VmSize pages) {
 }
 
 MemObjectId AsvmSystem::CreateFileRegion(int32_t file_id, VmSize pages) {
+  cluster_.AssertDriverQuiescent("ASVM CreateFileRegion from inside a shard window");
   FilePager& pager = cluster_.file_pager();
   MemObjectId id = NewObjectId(pager.node());
   auto info = std::make_unique<AsvmObjectInfo>();
@@ -68,6 +72,7 @@ MemObjectId AsvmSystem::CreateFileRegion(int32_t file_id, VmSize pages) {
 
 MemObjectId AsvmSystem::CreateStripedRegion(const std::vector<StripedBacking::Stripe>& stripes,
                                             VmSize pages) {
+  cluster_.AssertDriverQuiescent("ASVM CreateStripedRegion from inside a shard window");
   ASVM_CHECK(!stripes.empty());
   MemObjectId id = NewObjectId(stripes[0].pager->node());
   auto info = std::make_unique<AsvmObjectInfo>();
@@ -87,6 +92,7 @@ std::shared_ptr<VmObject> AsvmSystem::Attach(NodeId node, const MemObjectId& id)
 }
 
 MemObjectId AsvmSystem::ExportObject(NodeId node, const std::shared_ptr<VmObject>& object) {
+  cluster_.AssertDriverQuiescent("ASVM ExportObject from inside a shard window");
   if (object->managed()) {
     return object->id();
   }
@@ -116,6 +122,7 @@ MemObjectId AsvmSystem::ExportObject(NodeId node, const std::shared_ptr<VmObject
 }
 
 MemObjectId AsvmSystem::RegisterCopy(const MemObjectId& source, NodeId peer, VmSize pages) {
+  cluster_.AssertDriverQuiescent("ASVM RegisterCopy from inside a shard window");
   AsvmObjectInfo& src_info = info(source);
   MemObjectId copy_id = NewObjectId(peer);
   auto copy_info = std::make_unique<AsvmObjectInfo>();
@@ -147,17 +154,38 @@ MemObjectId AsvmSystem::RegisterCopy(const MemObjectId& source, NodeId peer, VmS
 }
 
 Future<VmMap*> AsvmSystem::RemoteFork(NodeId src, VmMap& parent, NodeId dst) {
-  Promise<VmMap*> done(cluster_.engine());
+  // Forks mutate the directory mid-run; arm the mutation API before the first
+  // drain so the cluster runs on the windowed, mutation-aware schedule.
+  cluster_.mutator().Arm();
+  Promise<VmMap*> done(cluster_.engine_for(src));
   (void)RemoteForkTask(src, parent, dst, done);
   return done.GetFuture();
 }
 
 Task AsvmSystem::RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done) {
-  Engine& engine = cluster_.engine();
+  Engine& engine = cluster_.engine_for(src);
   // Task-creation control traffic (map description shipped to the child).
   co_await Delay(engine, 300 * kMicrosecond);
-  cluster_.stats().Add("asvm.remote_forks");
+  // All structural work — directory inserts, child map construction, copy
+  // registration — touches cluster-wide state, so it runs as one mutation at
+  // the next deterministic sequencing point (every engine quiescent), one
+  // lookahead after this instant.
+  auto ro_done = std::make_shared<ClusterWaitGroup>(cluster_);
+  Promise<VmMap*> built(engine);
+  VmMap* parent_ptr = &parent;
+  cluster_.mutator().Enqueue(src, [this, src, parent_ptr, dst, ro_done, built]() {
+    built.Set(ApplyRemoteFork(src, *parent_ptr, dst, *ro_done));
+  });
+  VmMap* child = co_await built.GetFuture();
+  // The read-only broadcast acks complete on their own nodes' engines; join
+  // them before reporting the fork done.
+  co_await ro_done->Wait(src);
+  done.Set(child);
+}
 
+VmMap* AsvmSystem::ApplyRemoteFork(NodeId src, VmMap& parent, NodeId dst,
+                                   ClusterWaitGroup& ro_done) {
+  cluster_.stats().Add("asvm.remote_forks");
   NodeVm& dst_vm = cluster_.vm(dst);
   VmMap* child = dst_vm.CreateMap();
 
@@ -190,27 +218,27 @@ Task AsvmSystem::RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<V
     ASVM_CHECK(IsOk(s));
 
     // Broadcast: downgrade all resident pages of the source to read-only.
-    WaitGroup wg(engine);
+    // The downgrades run synchronously here (the machine is quiescent); their
+    // completion acks arrive on each sharer's engine and join through the
+    // fork-wide cluster wait group.
     for (NodeId sharer : src_info.sharing) {
-      wg.Add();
       if (sharer == dst) {
         // The new sharer has nothing resident yet.
-        wg.Done();
         continue;
       }
+      ro_done.Add();
       Future<Status> f = agent(sharer).MarkObjectReadOnly(source_id);
-      (void)[](Future<Status> f, WaitGroup* wg) -> Task {
+      (void)[](Future<Status> f, ClusterWaitGroup* wg, NodeId sharer) -> Task {
         co_await f;
-        wg->Done();
-      }(f, &wg);
+        wg->Done(sharer);
+      }(f, &ro_done, sharer);
       // Wire cost of the broadcast message.
       if (sharer != src) {
         cluster_.stats().Add("asvm.mark_readonly_msgs");
       }
     }
-    co_await wg.Wait();
   }
-  done.Set(child);
+  return child;
 }
 
 size_t AsvmSystem::MetadataBytes(NodeId node) const {

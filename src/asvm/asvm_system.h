@@ -29,6 +29,7 @@
 namespace asvm {
 
 class AsvmAgent;
+class ClusterWaitGroup;
 
 struct AsvmConfig {
   bool dynamic_forwarding = true;
@@ -129,6 +130,11 @@ class AsvmSystem : public DsmSystem {
 
  private:
   Task RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done);
+  // The structural half of a fork — directory inserts, child map build, copy
+  // registration, read-only broadcast launch. Runs as ONE cluster mutation at
+  // a deterministic sequencing point (src/dsm/cluster_mutator.h), so sharded
+  // runs fork byte-identically to single-threaded ones.
+  VmMap* ApplyRemoteFork(NodeId src, VmMap& parent, NodeId dst, ClusterWaitGroup& ro_done);
 
   // Keys for anonymous backing in the home's paging space; the high bit keeps
   // them disjoint from local VM object serials.

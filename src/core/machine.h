@@ -45,8 +45,10 @@ struct MachineConfig {
 
   // Parallel simulation: shard the node space across this many engines, one
   // worker thread each, synchronized with conservative-lookahead windows.
-  // Timelines (and golden digests) are byte-identical to shards = 1
-  // (DESIGN.md §13). Must divide along I/O-group (32-node) boundaries.
+  // Timelines (and golden digests) are byte-identical to shards = 1 for every
+  // workload, fork/file drivers included (DESIGN.md §13). Shards divide along
+  // I/O-group boundaries; a request above ceil(nodes / nodes_per_io_group) is
+  // clamped to that block count.
   int shards = 1;
 
   // Paragon GP node: 8 KB pages, 16 MB memory of which ~9 MB is available to
@@ -58,8 +60,8 @@ struct MachineConfig {
   int file_pager_count = 1;
 
   // One paging disk per this many compute nodes (Paragon: 32). Shard
-  // boundaries align to these groups, so it also bounds the usable shard
-  // count: shards <= ceil(nodes / nodes_per_io_group).
+  // boundaries align to these groups, so it also caps the effective shard
+  // count at ceil(nodes / nodes_per_io_group) blocks (higher requests clamp).
   int nodes_per_io_group = 32;
 
   // Record per-message-type transport counters (see

@@ -20,15 +20,19 @@ SimTime SatAdd(SimTime t, SimDuration d) {
 
 Cluster::Cluster(ClusterParams params) : params_(params) {
   ASVM_CHECK_MSG(params_.shards >= 1, "cluster shards must be >= 1");
+  // Shards partition the node space along I/O-group boundaries so a paging
+  // disk and every node it serves live on one engine; more shards than blocks
+  // cannot be used, so clamp rather than reject — the timeline is identical
+  // at every shard count, making the request a pure performance preference.
+  const int blocks = (params_.node_count + params_.nodes_per_io_group - 1) /
+                     params_.nodes_per_io_group;
+  params_.shards = std::min(params_.shards, blocks);
+  outboxes_.resize(static_cast<size_t>(params_.shards));
+  record_seq_.assign(static_cast<size_t>(params_.node_count), 0);
   if (params_.shards > 1) {
-    // Shards partition the node space along I/O-group boundaries so a paging
-    // disk and every node it serves live on one engine (ShardedEngine CHECKs
-    // shards <= block count).
     sharded_ = std::make_unique<ShardedEngine>(params_.shards, params_.node_count,
                                                params_.nodes_per_io_group, params_.scheduler);
     router_.sharded = sharded_.get();
-    outboxes_.resize(static_cast<size_t>(params_.shards));
-    outbox_seq_.assign(static_cast<size_t>(params_.shards), 0);
     for (int s = 0; s < params_.shards; ++s) {
       // Shard queues drain many times per window while work legitimately
       // waits on mailboxed cross-shard messages; the real stall check runs
@@ -51,9 +55,7 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
   sts_ctl_->set_trace(&trace_sink_);
   norma_->set_trace(&trace_sink_);
   if (sharded_ != nullptr) {
-    sts_->set_sharding(&router_, &outboxes_);
-    sts_ctl_->set_sharding(&router_, &outboxes_);
-    norma_->set_sharding(&router_, &outboxes_);
+    EnableOutboxRouting();
   }
   if (!params_.fault.Empty()) {
     fault_plan_ = std::make_unique<FaultPlan>(root, params_.fault, params_.node_count,
@@ -89,6 +91,11 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
   }
   lookahead_ = min_send_sw_ + params_.mesh.route_setup_ns + params_.mesh.per_hop_ns;
   ASVM_CHECK_MSG(lookahead_ >= 1, "sharded lookahead collapsed to zero");
+  // Cluster mutations ride the same conservative bound as cross-shard
+  // messages: enqueued at t, applied at t + lookahead, when every engine is
+  // provably quiescent at the apply time.
+  mutator_ = std::make_unique<ClusterMutator>(&router_, params_.shards,
+                                              params_.node_count, lookahead_, &stats_);
 
   const int groups = (params_.node_count + params_.nodes_per_io_group - 1) /
                      params_.nodes_per_io_group;
@@ -149,11 +156,18 @@ void Cluster::EnablePerTypeMessageStats() {
   norma_->set_per_type_stats(true);
 }
 
-bool Cluster::Empty() const {
-  if (sharded_ == nullptr) {
-    return engine_->empty();
+void Cluster::EnableOutboxRouting() {
+  if (outbox_routing_) {
+    return;
   }
-  if (!sharded_->AllEmpty() || !pending_.empty()) {
+  outbox_routing_ = true;
+  sts_->set_sharding(&router_, &outboxes_);
+  sts_ctl_->set_sharding(&router_, &outboxes_);
+  norma_->set_sharding(&router_, &outboxes_);
+}
+
+bool Cluster::Empty() const {
+  if (!mutator_->Idle() || !pending_.empty()) {
     return false;
   }
   for (const auto& outbox : outboxes_) {
@@ -161,7 +175,7 @@ bool Cluster::Empty() const {
       return false;
     }
   }
-  return true;
+  return sharded_ == nullptr ? engine_->empty() : sharded_->AllEmpty();
 }
 
 void Cluster::CollectOutboxes() {
@@ -169,13 +183,21 @@ void Cluster::CollectOutboxes() {
     for (MeshRecord& r : outboxes_[s]) {
       PendingRecord pr;
       pr.send_time = r.send_time;
-      pr.shard = s;
-      pr.seq = ++outbox_seq_[s];
+      // One shard thread emits a node's records in that node's causal order,
+      // so a per-node counter assigned in drain order reproduces it.
+      pr.seq = ++record_seq_[r.src];
       pr.record = std::move(r);
       pending_.push(std::move(pr));
     }
     outboxes_[s].clear();
   }
+}
+
+SimTime Cluster::MinNextTime() const {
+  if (sharded_ != nullptr) {
+    return sharded_->MinNextTime();
+  }
+  return engine_->empty() ? ShardedEngine::kNoEvent : engine_->NextEventTime();
 }
 
 void Cluster::SyncClocks(SimTime time) {
@@ -192,7 +214,7 @@ SimTime Cluster::ProcessPending() {
   // fabric's endpoint busy channels update in exactly the single-engine
   // order. Injected deliveries can become the new earliest event, so the
   // horizon is re-tightened as records land.
-  SimTime n0 = sharded_->MinNextTime();
+  SimTime n0 = MinNextTime();
   while (!pending_.empty()) {
     if (n0 != ShardedEngine::kNoEvent &&
         pending_.top().send_time >= SatAdd(n0, min_send_sw_)) {
@@ -213,8 +235,10 @@ SimTime Cluster::ProcessPending() {
 bool Cluster::DrainSharded(SimTime until) {
   for (;;) {
     CollectOutboxes();
+    mutator_->Collect();
     const SimTime n0 = ProcessPending();
-    if (n0 == ShardedEngine::kNoEvent) {
+    const SimTime m = mutator_->NextApplyTime();
+    if (n0 == ShardedEngine::kNoEvent && m == ClusterMutator::kNever) {
       // ProcessPending replays everything once all queues are empty.
       ASVM_CHECK_MSG(pending_.empty(), "drained with records still pending");
       // A drained engine's clock stops at its own last event, so the shard
@@ -227,24 +251,87 @@ bool Cluster::DrainSharded(SimTime until) {
       sharded_->shard(0).ForceStallCheck();
       return true;
     }
-    if (n0 > until) {
+    if (std::min(n0, m) > until) {
       // Deadline exit: the single engine would sit exactly at the deadline
       // (RunUntil with events left), so park every shard clock there too.
       SyncClocks(until);
       return false;
     }
+    if (m <= n0) {
+      // Mutation sequencing point: every engine is quiescent strictly before
+      // m (windows are capped at m - 1 below) and no un-replayed record can
+      // deliver before n0 + min_send_sw > m, so advancing all clocks to m is
+      // safe. Mutations at m apply before any engine event at m — the same
+      // precedence DrainSingle reproduces at shards == 1.
+      SyncClocks(m);
+      mutator_->ApplyAt(m);
+      continue;
+    }
     // Events strictly below n0 + lookahead cannot be affected by any message
     // another shard has yet to send (those arrive at or after n0 + lookahead),
     // and everything already sent has been replayed — so the window up to and
-    // including n0 + lookahead - 1 is causally closed.
+    // including n0 + lookahead - 1 is causally closed. Pending mutations cap
+    // the window at m - 1 so they apply on time.
     stats_.Add("sim.sharded.windows");
-    sharded_->RunWindow(std::min(until, SatAdd(n0, lookahead_) - 1));
+    in_window_ = true;
+    sharded_->RunWindow(std::min({until, SatAdd(n0, lookahead_) - 1, m - 1}));
+    in_window_ = false;
+  }
+}
+
+bool Cluster::DrainSingle(SimTime until) {
+  // The armed single-engine drain: the same loop as DrainSharded on one
+  // engine. Cross-node sends ride the outbox/replay path here too, so
+  // equal-send-time fabric admissions happen in the canonical
+  // (send_time, src, seq) order rather than the engine's incidental
+  // intra-timestamp interleave — the property that makes a sharded run's
+  // timeline reproducible byte for byte at shards == 1.
+  for (;;) {
+    CollectOutboxes();
+    mutator_->Collect();
+    const SimTime n0 = ProcessPending();
+    const SimTime m = mutator_->NextApplyTime();
+    if (n0 == ShardedEngine::kNoEvent && m == ClusterMutator::kNever) {
+      ASVM_CHECK_MSG(pending_.empty(), "drained with records still pending");
+      engine_->ForceStallCheck();
+      return true;
+    }
+    if (std::min(n0, m) > until) {
+      engine_->AdvanceTo(until);  // RunUntil parks at the deadline; match it
+      return false;
+    }
+    if (m <= n0) {
+      engine_->AdvanceTo(m);
+      mutator_->ApplyAt(m);
+      continue;
+    }
+    in_window_ = true;
+    engine_->RunUntil(std::min({until, SatAdd(n0, lookahead_) - 1, m - 1}));
+    in_window_ = false;
   }
 }
 
 uint64_t Cluster::Run() {
   if (sharded_ == nullptr) {
-    return engine_->Run();
+    if (!mutator_->armed()) {
+      // Exact legacy drain (bit-identical timelines, no slicing overhead) for
+      // workloads that never touch the mutation API.
+      const uint64_t n = engine_->Run();
+      mutator_->Collect();
+      ASVM_CHECK_MSG(mutator_->Idle(),
+                     "cluster mutation enqueued mid-run before the mutator was armed; "
+                     "arm it from driver context (ClusterWaitGroup/ClusterBarrier/"
+                     "RemoteFork do) before Run()");
+      return n;
+    }
+    // Slices drain the queue many times while work legitimately waits on a
+    // pending mutation or mailboxed record; the real stall check runs once at
+    // the final drain.
+    engine_->set_defer_stall_checks(true);
+    EnableOutboxRouting();
+    const uint64_t start = engine_->executed_events();
+    DrainSingle(std::numeric_limits<SimTime>::max());
+    return engine_->executed_events() - start;
   }
   const uint64_t start = sharded_->TotalExecuted();
   DrainSharded(std::numeric_limits<SimTime>::max());
@@ -252,10 +339,19 @@ uint64_t Cluster::Run() {
 }
 
 bool Cluster::RunFor(SimDuration d) {
-  if (sharded_ == nullptr) {
-    return engine_->RunFor(d);
-  }
   ASVM_CHECK_MSG(d >= 0, "negative RunFor duration");
+  if (sharded_ == nullptr) {
+    if (!mutator_->armed()) {
+      const bool drained = engine_->RunFor(d);
+      mutator_->Collect();
+      ASVM_CHECK_MSG(mutator_->Idle(),
+                     "cluster mutation enqueued mid-run before the mutator was armed");
+      return drained;
+    }
+    engine_->set_defer_stall_checks(true);
+    EnableOutboxRouting();
+    return DrainSingle(SatAdd(engine_->Now(), d));
+  }
   return DrainSharded(SatAdd(sharded_->MaxNow(), d));
 }
 

@@ -15,6 +15,7 @@
 #include "src/machvm/default_pager.h"
 #include "src/machvm/disk.h"
 #include "src/machvm/file_pager.h"
+#include "src/dsm/cluster_mutator.h"
 #include "src/machvm/node_vm.h"
 #include "src/mesh/fault_plan.h"
 #include "src/mesh/network.h"
@@ -55,8 +56,10 @@ struct ClusterParams {
   // Parallel simulation: partition the node space into this many shards, each
   // with its own engine, synchronized by conservative-lookahead windows
   // (DESIGN.md §13). shards == 1 keeps the exact single-engine code path.
-  // Shards must divide along nodes_per_io_group boundaries, so
-  // shards <= ceil(node_count / nodes_per_io_group).
+  // Shards divide along nodes_per_io_group boundaries; a request above
+  // ceil(node_count / nodes_per_io_group) is clamped to that block count
+  // (the timeline is byte-identical at every shard count, so clamping is a
+  // performance decision, not a behavioural one).
   int shards = 1;
 };
 
@@ -104,6 +107,20 @@ class Cluster {
   // Event-count safety valve, applied per engine.
   void set_event_limit(uint64_t per_engine_limit);
 
+  // Deterministically ordered cluster mutations (fork directory writes,
+  // cross-node driver signals) — see src/dsm/cluster_mutator.h. Arming it
+  // switches Run/RunFor onto the windowed mutation-aware drain at every
+  // shard count; unarmed runs keep the exact legacy drain (and timelines).
+  ClusterMutator& mutator() { return *mutator_; }
+
+  // DSM directory state may only be mutated while every engine is quiescent:
+  // from the driver between runs, or from a mutation applied at a sequencing
+  // point. Call from directory-mutating entry points to catch stray mid-window
+  // access (`what` names the operation in the failure message).
+  void AssertDriverQuiescent(const char* what) const {
+    ASVM_CHECK_MSG(!in_window_, what);
+  }
+
   StatsRegistry& stats() { return stats_; }
 
   // Opt-in per-message-type transport counters ("transport.<name>.msg.<type>")
@@ -141,34 +158,48 @@ class Cluster {
   };
 
   // A MeshRecord waiting at the barrier, keyed for deterministic replay:
-  // global send-time order, ties broken by (shard, per-shard emission seq) —
-  // the same order a single engine would have produced the sends in, because
-  // within one shard emission order IS causal order.
+  // global send-time order, ties broken by (source node, per-source emission
+  // seq). A node's emissions happen in its own causal order at every shard
+  // count, so this key is shard-count-invariant — unlike per-shard emission
+  // order, which depends on how nodes group into shards. The armed
+  // single-engine drain routes through the same heap, so equal-send-time
+  // fabric admissions happen in one canonical order everywhere.
   struct PendingRecord {
     SimTime send_time;
-    int shard;
-    uint64_t seq;
+    uint64_t seq;  // per-source-node emission sequence
     MeshRecord record;
   };
   struct PendingLater {
     bool operator()(const PendingRecord& a, const PendingRecord& b) const {
       if (a.send_time != b.send_time) return a.send_time > b.send_time;
-      if (a.shard != b.shard) return a.shard > b.shard;
+      if (a.record.src != b.record.src) return a.record.src > b.record.src;
       return a.seq > b.seq;
     }
   };
 
   // Moves freshly-emitted outbox records into the pending heap.
   void CollectOutboxes();
+  // Earliest pending event time across all engines (kNoEvent when drained).
+  SimTime MinNextTime() const;
+  // Switches the transports onto the outbox/replay path (sticky). Always on
+  // in sharded runs; at shards == 1 it engages at the first armed drain so
+  // equal-send-time admissions follow the same canonical order as sharded
+  // replay (unarmed runs keep the direct legacy send path and its timelines).
+  void EnableOutboxRouting();
   // Re-synchronizes every shard clock to `time` (see DrainSharded).
   void SyncClocks(SimTime time);
   // Replays every pending record safely below the conservative horizon.
   // Returns the earliest pending event time across all shards afterwards.
   SimTime ProcessPending();
   // The barrier loop (shards > 1). Runs windows until every engine is empty
-  // and no record is pending, or simulated time would pass `until`.
-  // Returns true if the machine drained.
+  // and no record or mutation is pending, or simulated time would pass
+  // `until`. Returns true if the machine drained.
   bool DrainSharded(SimTime until);
+  // The shards == 1 equivalent once the mutator is armed: the single engine
+  // runs in lookahead-bounded slices so a mutation enqueued mid-slice is
+  // always collected before its apply time arrives, reproducing the sharded
+  // apply schedule exactly.
+  bool DrainSingle(SimTime until);
   // Minimum cross-shard latency: no event at time t can cause an event on
   // another shard before t + lookahead.
   SimDuration Lookahead() const { return lookahead_; }
@@ -180,13 +211,19 @@ class Cluster {
   // One outbox per shard; only shard i's thread appends to outboxes_[i], and
   // the coordinator drains them between windows.
   std::vector<std::vector<MeshRecord>> outboxes_;
-  std::vector<uint64_t> outbox_seq_;  // per-shard emission counter
+  std::vector<uint64_t> record_seq_;  // per-source-node emission counter
+  bool outbox_routing_ = false;
   std::priority_queue<PendingRecord, std::vector<PendingRecord>, PendingLater> pending_;
   // Conservative bounds, fixed at construction: the cheapest software send
   // cost any message can pay (fault slowdown factors below 1 included) and
   // the full cross-shard lookahead min_send_sw_ + route_setup + one hop.
   SimDuration min_send_sw_ = 0;
   SimDuration lookahead_ = 0;
+  std::unique_ptr<ClusterMutator> mutator_;
+  // True while shard engines are executing a window (or the single engine an
+  // armed slice); written by the coordinator only, before and after the
+  // window barrier, so AssertDriverQuiescent reads it race-free.
+  bool in_window_ = false;
   StatsRegistry stats_;
   TraceSink trace_sink_;  // must outlive everything that emits into it
   std::unique_ptr<FaultPlan> fault_plan_;

@@ -7,6 +7,7 @@
 
 #include "src/common/log.h"
 #include "src/common/rng.h"
+#include "src/dsm/cluster_sync.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 
@@ -136,15 +137,11 @@ std::pair<int64_t, int64_t> Em3dGraph::HRange(NodeId node) const {
 
 namespace {
 
-struct TimedShared {
-  WaitGroup* iteration_wg = nullptr;
-  SimBarrier* barrier = nullptr;
-};
-
 Task TouchAll(TaskMemory& mem, const std::vector<VmOffset>& pages, size_t page_size,
               PageAccess access, WaitGroup& wg) {
   // Issue every touch, then await; faults proceed concurrently (the node's
   // message coprocessor overlaps protocol work with the compute processor).
+  // Joined per node, on that node's own engine.
   std::vector<Future<Status>> futures;
   futures.reserve(pages.size());
   for (VmOffset page : pages) {
@@ -157,10 +154,28 @@ Task TouchAll(TaskMemory& mem, const std::vector<VmOffset>& pages, size_t page_s
   wg.Done();
 }
 
+// Driver-side variant: the joiner is the main thread waiting on nodes spread
+// across shards, so completion signals route through the cluster mutator.
+Task TouchAllCluster(TaskMemory& mem, const std::vector<VmOffset>& pages, size_t page_size,
+                     PageAccess access, NodeId node, ClusterWaitGroup& wg) {
+  std::vector<Future<Status>> futures;
+  futures.reserve(pages.size());
+  for (VmOffset page : pages) {
+    futures.push_back(mem.Touch(page * page_size, 8, access));
+  }
+  for (auto& f : futures) {
+    Status s = co_await f;
+    ASVM_CHECK_MSG(IsOk(s), "EM3D touch failed");
+  }
+  wg.Done(node);
+}
+
 Task Em3dNodeWorker(Machine& machine, const Em3dGraph& graph, const Em3dParams& params,
-                    TaskMemory& mem, NodeId node, int total_iters, SimBarrier& barrier,
-                    WaitGroup& done) {
-  Engine& engine = machine.engine();
+                    TaskMemory& mem, NodeId node, int total_iters, ClusterBarrier& barrier,
+                    ClusterWaitGroup& done) {
+  // The worker lives on its own node's engine; only barrier arrivals and the
+  // final completion signal cross shard boundaries (via the cluster mutator).
+  Engine& engine = machine.cluster().engine_for(node);
   const size_t ps = graph.page_size();
   auto [e_lo, e_hi] = graph.ERange(node);
   auto [h_lo, h_hi] = graph.HRange(node);
@@ -179,7 +194,7 @@ Task Em3dNodeWorker(Machine& machine, const Em3dGraph& graph, const Em3dParams& 
       co_await wg.Wait();
       co_await Delay(engine, compute_per_phase);
     }
-    co_await barrier.Arrive();
+    co_await barrier.Arrive(node);
     co_await Delay(engine, barrier_cost);
     // Phase H: read E neighbours, update own H cells.
     {
@@ -190,10 +205,10 @@ Task Em3dNodeWorker(Machine& machine, const Em3dGraph& graph, const Em3dParams& 
       co_await wg.Wait();
       co_await Delay(engine, compute_per_phase);
     }
-    co_await barrier.Arrive();
+    co_await barrier.Arrive(node);
     co_await Delay(engine, barrier_cost);
   }
-  done.Done();
+  done.Done(node);
 }
 
 }  // namespace
@@ -212,14 +227,13 @@ Em3dResult RunEm3dTimed(Machine& machine, const Em3dParams& params, int nodes_us
   // Initialization (not measured, like the paper): owners populate their
   // slices.
   {
-    Engine& engine = machine.engine();
-    WaitGroup init(engine);
+    ClusterWaitGroup init(machine.cluster());
     for (NodeId n = 0; n < nodes_used; ++n) {
       init.Add(2);
-      (void)TouchAll(*mems[n], graph.EPhaseWritePages(n), graph.page_size(),
-                     PageAccess::kWrite, init);
-      (void)TouchAll(*mems[n], graph.HPhaseWritePages(n), graph.page_size(),
-                     PageAccess::kWrite, init);
+      (void)TouchAllCluster(*mems[n], graph.EPhaseWritePages(n), graph.page_size(),
+                            PageAccess::kWrite, n, init);
+      (void)TouchAllCluster(*mems[n], graph.HPhaseWritePages(n), graph.page_size(),
+                            PageAccess::kWrite, n, init);
     }
     machine.Run();
     ASVM_CHECK(init.count() == 0);
@@ -227,8 +241,7 @@ Em3dResult RunEm3dTimed(Machine& machine, const Em3dParams& params, int nodes_us
 
   // Warmup (1 iteration) + measured iterations.
   const int warmup = 1;
-  Engine& engine = machine.engine();
-  SimBarrier barrier(engine, nodes_used);
+  ClusterBarrier barrier(machine.cluster(), nodes_used);
 
   // Run the warmup by running workers for `warmup` iterations first: simplest
   // is to run all iterations and sample the clock after warmup completes.
@@ -237,9 +250,9 @@ Em3dResult RunEm3dTimed(Machine& machine, const Em3dParams& params, int nodes_us
   // Cheaper and exact: run warmup-only workers, then measured workers.
   const int64_t faults_before_all = machine.stats().Get("vm.faults");
   {
-    WaitGroup done(engine);
+    ClusterWaitGroup done(machine.cluster());
     done.Add(nodes_used);
-    SimBarrier warm_barrier(engine, nodes_used);
+    ClusterBarrier warm_barrier(machine.cluster(), nodes_used);
     for (NodeId n = 0; n < nodes_used; ++n) {
       (void)Em3dNodeWorker(machine, graph, params, *mems[n], n, warmup, warm_barrier, done);
     }
@@ -251,7 +264,7 @@ Em3dResult RunEm3dTimed(Machine& machine, const Em3dParams& params, int nodes_us
   const int64_t faults_before = machine.stats().Get("vm.faults");
   const int64_t bytes_before = machine.stats().Get("mesh.bytes");
   {
-    WaitGroup done(engine);
+    ClusterWaitGroup done(machine.cluster());
     done.Add(nodes_used);
     for (NodeId n = 0; n < nodes_used; ++n) {
       (void)Em3dNodeWorker(machine, graph, params, *mems[n], n, measure_iters, barrier, done);
@@ -279,7 +292,8 @@ uint64_t DoubleBits(double v) { return std::bit_cast<uint64_t>(v); }
 double BitsDouble(uint64_t b) { return std::bit_cast<double>(b); }
 
 Task Em3dVerifiedWorker(Machine& machine, const Em3dGraph& graph, const Em3dParams& params,
-                        TaskMemory& mem, NodeId node, SimBarrier& barrier, WaitGroup& done) {
+                        TaskMemory& mem, NodeId node, ClusterBarrier& barrier,
+                        ClusterWaitGroup& done) {
   const int k = params.edges_per_cell;
   for (int iter = 0; iter < params.iterations; ++iter) {
     auto [e_lo, e_hi] = graph.ERange(node);
@@ -293,7 +307,7 @@ Task Em3dVerifiedWorker(Machine& machine, const Em3dGraph& graph, const Em3dPara
       Status s = co_await mem.WriteU64(graph.EAddr(i), DoubleBits(sum));
       ASVM_CHECK(IsOk(s));
     }
-    co_await barrier.Arrive();
+    co_await barrier.Arrive(node);
     auto [h_lo, h_hi] = graph.HRange(node);
     for (int64_t i = h_lo; i < h_hi; ++i) {
       double sum = 0;
@@ -305,10 +319,10 @@ Task Em3dVerifiedWorker(Machine& machine, const Em3dGraph& graph, const Em3dPara
       Status s = co_await mem.WriteU64(graph.HAddr(i), DoubleBits(sum));
       ASVM_CHECK(IsOk(s));
     }
-    co_await barrier.Arrive();
+    co_await barrier.Arrive(node);
   }
   (void)machine;
-  done.Done();
+  done.Done(node);
 }
 
 }  // namespace
@@ -323,7 +337,6 @@ uint64_t RunEm3dVerified(Machine& machine, const Em3dParams& params, int nodes_u
   }
 
   // Initial values: cell index + 1 (E cells), -(index + 1) (H cells).
-  Engine& engine = machine.engine();
   for (int64_t i = 0; i < graph.e_cells(); ++i) {
     auto f = mems[graph.EOwner(i)]->WriteU64(graph.EAddr(i),
                                              DoubleBits(static_cast<double>(i + 1)));
@@ -337,8 +350,8 @@ uint64_t RunEm3dVerified(Machine& machine, const Em3dParams& params, int nodes_u
     ASVM_CHECK(f.ready() && IsOk(f.value()));
   }
 
-  SimBarrier barrier(engine, nodes_used);
-  WaitGroup done(engine);
+  ClusterBarrier barrier(machine.cluster(), nodes_used);
+  ClusterWaitGroup done(machine.cluster());
   done.Add(nodes_used);
   for (NodeId n = 0; n < nodes_used; ++n) {
     (void)Em3dVerifiedWorker(machine, graph, params, *mems[n], n, barrier, done);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/log.h"
+#include "src/dsm/cluster_sync.h"
 #include "src/machvm/file_pager.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -12,13 +13,15 @@ namespace asvm {
 namespace {
 
 Task SequentialTouch(TaskMemory& mem, VmOffset first_page, VmOffset end_page, size_t ps,
-                     PageAccess access, SimTime* finished, Engine* engine, WaitGroup& wg) {
+                     PageAccess access, SimTime* finished, ClusterWaitGroup& wg) {
   for (VmOffset p = first_page; p < end_page; ++p) {
     Status s = co_await mem.Touch(p * ps, 8, access);
     ASVM_CHECK_MSG(IsOk(s), "file touch failed");
   }
-  *finished = engine->Now();
-  wg.Done();
+  // The worker completes on its own node's engine; under --shards that clock
+  // is the node-local one, which keeps Table 2's per-node rates byte-stable.
+  *finished = mem.vm().engine().Now();
+  wg.Done(mem.vm().node());
 }
 
 }  // namespace
@@ -31,14 +34,12 @@ FileBenchResult RunParallelFileRead(Machine& machine, const MemObjectId& region,
   for (NodeId n = 0; n < nodes_used; ++n) {
     mems.push_back(&machine.MapRegion(first_node + n, region));
   }
-  Engine& engine = machine.engine();
   std::vector<SimTime> finished(nodes_used, 0);
-  WaitGroup wg(engine);
+  ClusterWaitGroup wg(machine.cluster());
   wg.Add(nodes_used);
   const SimTime start = machine.Now();
   for (NodeId n = 0; n < nodes_used; ++n) {
-    (void)SequentialTouch(*mems[n], 0, file_pages, ps, PageAccess::kRead, &finished[n],
-                          &engine, wg);
+    (void)SequentialTouch(*mems[n], 0, file_pages, ps, PageAccess::kRead, &finished[n], wg);
   }
   machine.Run();
   ASVM_CHECK(wg.count() == 0);
@@ -67,9 +68,8 @@ FileBenchResult RunParallelFileWrite(Machine& machine, const MemObjectId& region
   for (NodeId n = 0; n < nodes_used; ++n) {
     mems.push_back(&machine.MapRegion(first_node + n, region));
   }
-  Engine& engine = machine.engine();
   std::vector<SimTime> finished(nodes_used, 0);
-  WaitGroup wg(engine);
+  ClusterWaitGroup wg(machine.cluster());
   wg.Add(nodes_used);
   const VmSize section = file_pages / nodes_used;
   ASVM_CHECK_MSG(section > 0, "file smaller than node count");
@@ -77,7 +77,7 @@ FileBenchResult RunParallelFileWrite(Machine& machine, const MemObjectId& region
   for (NodeId n = 0; n < nodes_used; ++n) {
     const VmOffset lo = static_cast<VmOffset>(n) * section;
     const VmOffset hi = n == nodes_used - 1 ? file_pages : lo + section;
-    (void)SequentialTouch(*mems[n], lo, hi, ps, PageAccess::kWrite, &finished[n], &engine, wg);
+    (void)SequentialTouch(*mems[n], lo, hi, ps, PageAccess::kWrite, &finished[n], wg);
   }
   machine.Run();
   ASVM_CHECK(wg.count() == 0);
@@ -108,9 +108,8 @@ FileBenchResult RunParallelFileReadSections(Machine& machine, const MemObjectId&
   for (NodeId n = 0; n < nodes_used; ++n) {
     mems.push_back(&machine.MapRegion(first_node + n, region));
   }
-  Engine& engine = machine.engine();
   std::vector<SimTime> finished(nodes_used, 0);
-  WaitGroup wg(engine);
+  ClusterWaitGroup wg(machine.cluster());
   wg.Add(nodes_used);
   const VmSize section = file_pages / nodes_used;
   ASVM_CHECK_MSG(section > 0, "file smaller than node count");
@@ -118,7 +117,7 @@ FileBenchResult RunParallelFileReadSections(Machine& machine, const MemObjectId&
   for (NodeId n = 0; n < nodes_used; ++n) {
     const VmOffset lo = static_cast<VmOffset>(n) * section;
     const VmOffset hi = n == nodes_used - 1 ? file_pages : lo + section;
-    (void)SequentialTouch(*mems[n], lo, hi, ps, PageAccess::kRead, &finished[n], &engine, wg);
+    (void)SequentialTouch(*mems[n], lo, hi, ps, PageAccess::kRead, &finished[n], wg);
   }
   machine.Run();
   ASVM_CHECK(wg.count() == 0);

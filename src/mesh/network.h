@@ -28,13 +28,13 @@ struct MeshParams {
   SimDuration route_setup_ns = 500;              // packetize + inject
 };
 
-// A cross-node message captured during a sharded window instead of being
-// pushed through the fabric immediately. The transport stamps the send-side
-// software completion time (send_time); all fabric math — endpoint busy
-// channels, jitter, stats — is deferred to the inter-window barrier, which
-// replays records in global (send_time, shard, emission order) order so the
-// tx/rx busy-channel updates happen in exactly the single-threaded sequence
-// (DESIGN.md §13).
+// A cross-node message captured during a window instead of being pushed
+// through the fabric immediately. The transport stamps the send-side software
+// completion time (send_time); all fabric math — endpoint busy channels,
+// jitter, stats — is deferred to the inter-window barrier, which replays
+// records in global (send_time, source node, per-source emission order) order
+// so the tx/rx busy-channel updates happen in one canonical sequence at every
+// shard count, the armed single engine included (DESIGN.md §13).
 struct MeshRecord {
   SimTime send_time = 0;
   NodeId src = kInvalidNode;

@@ -151,10 +151,11 @@ void Transport::Send(NodeId src, NodeId dst, Message msg) {
 
   const size_t wire_bytes = msg.WireBytes() + costs_.control_overhead_bytes;
   if (outboxes_ != nullptr) {
-    // Sharded path: defer ALL fabric math (tx/rx busy channels, jitter,
-    // mesh stats) to the barrier, which replays records across shards in
-    // global send-time order — including same-shard cross-node traffic, so
-    // the endpoint busy channels update in exactly the legacy sequence.
+    // Outbox path (all sharded runs, and armed shards=1 drains): defer ALL
+    // fabric math (tx/rx busy channels, jitter, mesh stats) to the barrier,
+    // which replays records in (send_time, source node, per-source seq)
+    // order — including same-shard cross-node traffic, so the endpoint busy
+    // channels update in one canonical sequence at every shard count.
     MeshRecord record;
     record.send_time = send_done;
     record.src = src;

@@ -23,6 +23,7 @@ XmmObjectInfo& XmmSystem::info(const MemObjectId& id) {
 }
 
 MemObjectId XmmSystem::CreateSharedRegion(NodeId home, VmSize pages) {
+  cluster_.AssertDriverQuiescent("XMM CreateSharedRegion from inside a shard window");
   MemObjectId id = NewObjectId(home);
   auto info = std::make_unique<XmmObjectInfo>();
   info->id = id;
@@ -36,6 +37,7 @@ MemObjectId XmmSystem::CreateSharedRegion(NodeId home, VmSize pages) {
 }
 
 MemObjectId XmmSystem::CreateFileRegion(int32_t file_id, VmSize pages) {
+  cluster_.AssertDriverQuiescent("XMM CreateFileRegion from inside a shard window");
   FilePager& pager = cluster_.file_pager();
   MemObjectId id = NewObjectId(pager.node());
   auto info = std::make_unique<XmmObjectInfo>();
@@ -50,6 +52,7 @@ MemObjectId XmmSystem::CreateFileRegion(int32_t file_id, VmSize pages) {
 
 MemObjectId XmmSystem::CreateStripedRegion(const std::vector<StripedBacking::Stripe>& stripes,
                                            VmSize pages) {
+  cluster_.AssertDriverQuiescent("XMM CreateStripedRegion from inside a shard window");
   ASVM_CHECK(!stripes.empty());
   // The stripes scale the disks, but XMM still has exactly one manager.
   MemObjectId id = NewObjectId(stripes[0].pager->node());
@@ -68,15 +71,30 @@ std::shared_ptr<VmObject> XmmSystem::Attach(NodeId node, const MemObjectId& id) 
 }
 
 Future<VmMap*> XmmSystem::RemoteFork(NodeId src, VmMap& parent, NodeId dst) {
-  Promise<VmMap*> done(cluster_.engine());
+  // Forks mutate the directory mid-run; arm the mutation API before the first
+  // drain so the cluster runs on the windowed, mutation-aware schedule.
+  cluster_.mutator().Arm();
+  Promise<VmMap*> done(cluster_.engine_for(src));
   (void)RemoteForkTask(src, parent, dst, done);
   return done.GetFuture();
 }
 
 Task XmmSystem::RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done) {
-  Engine& engine = cluster_.engine();
+  Engine& engine = cluster_.engine_for(src);
   // Task creation ships the map description over NORMA.
   co_await Delay(engine, 800 * kMicrosecond);
+  // The structural work mutates the directory and both nodes' VM state, so it
+  // runs as one mutation at the next deterministic sequencing point (every
+  // engine quiescent), one lookahead after this instant.
+  Promise<VmMap*> built(engine);
+  VmMap* parent_ptr = &parent;
+  cluster_.mutator().Enqueue(src, [this, src, parent_ptr, dst, built]() {
+    built.Set(ApplyRemoteFork(src, *parent_ptr, dst));
+  });
+  done.Set(co_await built.GetFuture());
+}
+
+VmMap* XmmSystem::ApplyRemoteFork(NodeId src, VmMap& parent, NodeId dst) {
   cluster_.stats().Add("xmm.remote_forks");
 
   // NMK13 leaves the work to the source node's VM: take a local fork-style
@@ -121,7 +139,7 @@ Task XmmSystem::RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<Vm
                           copy_entry.object_offset, Inheritance::kCopy);
     ASVM_CHECK(IsOk(s));
   }
-  done.Set(child);
+  return child;
 }
 
 size_t XmmSystem::MetadataBytes(NodeId node) const {

@@ -74,6 +74,10 @@ class XmmSystem : public DsmSystem {
 
  private:
   Task RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done);
+  // The structural half of a fork (source-side map copy, directory inserts,
+  // internal copy pagers, child map build), run as ONE cluster mutation at a
+  // deterministic sequencing point (src/dsm/cluster_mutator.h).
+  VmMap* ApplyRemoteFork(NodeId src, VmMap& parent, NodeId dst);
 
   // Keys for anonymous backing in the manager's paging space; a distinct high
   // bit keeps them disjoint from local VM object serials and from ASVM keys.

@@ -30,21 +30,21 @@ class AsvmCopyTest : public ::testing::Test {
 
   TaskMemory Fork(NodeId src, TaskMemory& parent, NodeId dst) {
     auto f = system_->RemoteFork(src, parent.map(), dst);
-    cluster_->engine().Run();
+    cluster_->Run();
     EXPECT_TRUE(f.ready());
     return TaskMemory(cluster_->vm(dst), *f.value());
   }
 
   uint64_t Read(TaskMemory& mem, VmOffset addr) {
     auto f = mem.ReadU64(addr);
-    cluster_->engine().Run();
+    cluster_->Run();
     EXPECT_TRUE(f.ready()) << "read did not complete";
     return f.ready() ? f.value() : ~0ULL;
   }
 
   void Write(TaskMemory& mem, VmOffset addr, uint64_t value) {
     auto f = mem.WriteU64(addr, value);
-    cluster_->engine().Run();
+    cluster_->Run();
     ASSERT_TRUE(f.ready());
     ASSERT_EQ(f.value(), Status::kOk);
   }

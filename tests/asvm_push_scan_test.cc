@@ -28,21 +28,21 @@ class PushScanTest : public ::testing::Test {
 
   TaskMemory Fork(NodeId src, TaskMemory& parent, NodeId dst) {
     auto f = system_->RemoteFork(src, parent.map(), dst);
-    cluster_->engine().Run();
+    cluster_->Run();
     EXPECT_TRUE(f.ready());
     return TaskMemory(cluster_->vm(dst), *f.value());
   }
 
   uint64_t Read(TaskMemory& mem, VmOffset addr) {
     auto f = mem.ReadU64(addr);
-    cluster_->engine().Run();
+    cluster_->Run();
     EXPECT_TRUE(f.ready());
     return f.ready() ? f.value() : ~0ULL;
   }
 
   void Write(TaskMemory& mem, VmOffset addr, uint64_t value) {
     auto f = mem.WriteU64(addr, value);
-    cluster_->engine().Run();
+    cluster_->Run();
     ASSERT_TRUE(f.ready());
     ASSERT_EQ(f.value(), Status::kOk);
   }
@@ -128,7 +128,7 @@ TEST_F(PushScanTest, ConcurrentPullAndPushResolveConsistently) {
     writes.push_back(gen0.WriteU64(p * 4096, 200 + p));
     reads.push_back(gen2.ReadU64(p * 4096));
   }
-  cluster_->engine().Run();
+  cluster_->Run();
   for (VmOffset p = 0; p < 8; ++p) {
     ASSERT_TRUE(writes[p].ready()) << "write " << p;
     ASSERT_TRUE(reads[p].ready()) << "read " << p;

@@ -2,8 +2,11 @@
 // split across N worker threads must reproduce the single-threaded timeline
 // *byte for byte* — same read values, same completion times, same traffic
 // counters, same trace JSON. Conservative lookahead plus deterministic
-// (send_time, shard, seq) mailbox ordering makes shard count a pure
-// performance knob, never an observable one.
+// (send_time, source node, seq) mailbox ordering — and the same ordering rule
+// for cluster mutations applied at inter-window barriers — makes shard count
+// a pure performance knob, never an observable one, for every workload:
+// coherency storms, the application kernels, the mapped-file benches, and
+// fork chains that rewrite the DSM directory mid-run.
 //
 // Note on configs: the DeterminismTest goldens use the default
 // nodes_per_io_group=32, which puts a 6-node machine in one io-group — one
@@ -13,13 +16,18 @@
 // rather than against the goldens.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/apps/sor.h"
 #include "src/common/rng.h"
 #include "src/common/trace.h"
 #include "src/core/machine.h"
+#include "src/core/measure.h"
+#include "src/em3d/em3d.h"
+#include "src/mappedfs/file_bench.h"
 
 namespace asvm {
 namespace {
@@ -174,13 +182,157 @@ TEST(ShardedDeterminismTest, ShardedRunsAreThemselvesBitStable) {
   EXPECT_EQ(StormDigest(DsmKind::kXmm, 4), StormDigest(DsmKind::kXmm, 4));
 }
 
-TEST(ShardedDeathTest, RejectsMoreShardsThanBlocks) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+TEST(ShardedDeterminismTest, ShardRequestsAboveBlockCountClamp) {
+  // Only 3 io-group blocks exist on 6 nodes with nodes_per_io_group=2, so a
+  // request for 4 shards clamps to 3 — and, the timeline being byte-identical
+  // at every shard count, produces exactly the shards=1 digest.
   MachineConfig config;
   config.nodes = 6;
-  config.shards = 4;             // only 3 blocks exist
+  config.shards = 4;
   config.nodes_per_io_group = 2;
-  EXPECT_DEATH({ Machine machine(config); }, "shard");
+  Machine machine(config);
+  EXPECT_EQ(machine.cluster().shards(), 3);
+  EXPECT_EQ(CoherencyDigest(DsmKind::kAsvm, 4, 2), CoherencyDigest(DsmKind::kAsvm, 1, 2));
+}
+
+// --- Whole-workload matrix --------------------------------------------------------
+//
+// Every CLI workload, both DSMs, shards {2, 4, 8}: digest folds the workload's
+// own observable results (times, rates, read-back values), the machine clock,
+// the traffic counters, and the full Chrome trace JSON — so equality means the
+// sharded run is indistinguishable from the single-threaded one.
+
+uint64_t FoldString(uint64_t h, const std::string& s) {
+  for (char c : s) {
+    h = Fnv1a(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+uint64_t WorkloadDigest(DsmKind kind, const std::string& workload, int shards) {
+  MachineConfig config;
+  config.nodes = 8;
+  config.dsm = kind;
+  config.shards = shards;
+  config.nodes_per_io_group = 1;  // 8 blocks: shards up to 8 are real
+  Machine machine(config);
+  machine.cluster().set_event_limit(30'000'000);
+  TraceBuffer trace(1 << 20);
+  machine.AttachMonitor(&trace);
+
+  uint64_t digest = 14695981039346656037ULL;
+  if (workload == "em3d") {
+    Em3dParams params;
+    params.cells = 256;
+    params.iterations = 2;
+    Em3dResult r = RunEm3dTimed(machine, params, 8, /*measure_iters=*/2);
+    digest = Fnv1a(digest, std::bit_cast<uint64_t>(r.seconds));
+    digest = Fnv1a(digest, static_cast<uint64_t>(r.faults));
+  } else if (workload == "sor") {
+    SorParams params;
+    params.rows = 16;
+    params.cols = 16;
+    params.iterations = 2;
+    SorResult r = RunSorTimed(machine, params, 8, /*measure_iters=*/2);
+    digest = Fnv1a(digest, std::bit_cast<uint64_t>(r.seconds));
+    digest = Fnv1a(digest, static_cast<uint64_t>(r.faults));
+  } else if (workload == "file-read" || workload == "file-write") {
+    const bool write = workload == "file-write";
+    const VmSize pages = 21;
+    MemObjectId region;
+    if (write) {
+      region = machine.CreateMappedFile("t", pages, /*prefilled=*/false);
+    } else {
+      int32_t file_id = machine.cluster().file_pager().CreateFile("t", pages, true);
+      region = machine.dsm().CreateFileRegion(file_id, pages);
+    }
+    FileBenchResult r =
+        write ? RunParallelFileWrite(machine, region, pages, 7, /*first_node=*/1)
+              : RunParallelFileRead(machine, region, pages, 7, /*first_node=*/1);
+    for (double secs : r.node_seconds) {
+      digest = Fnv1a(digest, std::bit_cast<uint64_t>(secs));
+    }
+    digest = Fnv1a(digest, std::bit_cast<uint64_t>(r.makespan_seconds));
+  } else if (workload == "fork-chain") {
+    constexpr int kChain = 3;
+    constexpr VmOffset kPages = 4;
+    TaskMemory& origin = machine.CreatePrivateTask(0, kPages);
+    for (VmOffset p = 0; p < kPages; ++p) {
+      auto w = origin.WriteU64(p * machine.page_size(), 500 + p);
+      machine.Run();
+      EXPECT_TRUE(w.ready() && IsOk(w.value()));
+    }
+    TaskMemory* current = &origin;
+    for (int hop = 1; hop <= kChain; ++hop) {
+      auto fork = machine.RemoteFork(hop - 1, *current, hop);
+      machine.Run();
+      EXPECT_TRUE(fork.ready());
+      current = &machine.WrapMap(hop, fork.value());
+    }
+    for (VmOffset p = 0; p < kPages; ++p) {
+      uint64_t v = 0;
+      const double ms = MeasureReadMs(machine, *current, p * machine.page_size(), &v);
+      EXPECT_EQ(v, 500 + p);
+      digest = Fnv1a(digest, v);
+      digest = Fnv1a(digest, std::bit_cast<uint64_t>(ms));
+    }
+  } else {
+    ADD_FAILURE() << "unknown workload " << workload;
+  }
+
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.Now()));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.messages")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.bytes")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("vm.faults")));
+  digest = FoldString(digest, ChromeTraceJson(trace));
+  return digest;
+}
+
+class WorkloadMatrixTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadMatrixTest, TimelineMatchesAcrossShardCounts) {
+  const std::string workload = GetParam();
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    const uint64_t single = WorkloadDigest(kind, workload, 1);
+    for (int shards : {2, 4, 8}) {
+      EXPECT_EQ(WorkloadDigest(kind, workload, shards), single)
+          << workload << " under " << ToString(kind) << " diverged at shards=" << shards;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadMatrixTest,
+                         ::testing::Values("em3d", "sor", "file-read", "file-write",
+                                           "fork-chain"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Mutation-ordering unit test --------------------------------------------------
+
+TEST(ClusterMutatorTest, SameTimestampMutationsApplyInNodeSeqOrder) {
+  // Four mutations enqueued from driver context (all engines at t=0) out of
+  // node order must apply in (origin node, per-origin seq) order — the rule
+  // that makes the apply sequence identical at every shard count.
+  for (int shards : {1, 3}) {
+    MachineConfig config;
+    config.nodes = 6;
+    config.shards = shards;
+    config.nodes_per_io_group = 2;
+    Machine machine(config);
+    Cluster& cluster = machine.cluster();
+    std::vector<int> log;
+    cluster.mutator().Enqueue(4, [&log]() { log.push_back(40); });
+    cluster.mutator().Enqueue(0, [&log]() { log.push_back(1); });
+    cluster.mutator().Enqueue(2, [&log]() { log.push_back(20); });
+    cluster.mutator().Enqueue(0, [&log]() { log.push_back(2); });
+    machine.Run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 20, 40})) << "at shards=" << shards;
+  }
 }
 
 }  // namespace

@@ -34,21 +34,21 @@ class XmmTest : public ::testing::Test {
 
   TaskMemory Fork(NodeId src, TaskMemory& parent, NodeId dst) {
     auto f = system_->RemoteFork(src, parent.map(), dst);
-    cluster_->engine().Run();
+    cluster_->Run();
     EXPECT_TRUE(f.ready());
     return TaskMemory(cluster_->vm(dst), *f.value());
   }
 
   uint64_t Read(TaskMemory& mem, VmOffset addr) {
     auto f = mem.ReadU64(addr);
-    cluster_->engine().Run();
+    cluster_->Run();
     EXPECT_TRUE(f.ready());
     return f.ready() ? f.value() : ~0ULL;
   }
 
   void Write(TaskMemory& mem, VmOffset addr, uint64_t value) {
     auto f = mem.WriteU64(addr, value);
-    cluster_->engine().Run();
+    cluster_->Run();
     ASSERT_TRUE(f.ready());
     ASSERT_EQ(f.value(), Status::kOk);
   }
@@ -214,7 +214,7 @@ TEST_F(XmmTest, CopyChainDeadlocksWithExhaustedThreadPool) {
   // pools; at least one must be refused as a deadlock.
   auto f1 = gen3.Touch(0, 8, PageAccess::kRead);
   auto f2 = gen2.Touch(8, 8, PageAccess::kRead);
-  cluster_->engine().Run();
+  cluster_->Run();
   ASSERT_TRUE(f1.ready());
   ASSERT_TRUE(f2.ready());
   const bool any_deadlock =

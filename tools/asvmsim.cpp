@@ -7,9 +7,11 @@
 //   asvmsim --dsm=xmm  --nodes=8  --workload=file-read --mb=4
 //   asvmsim --dsm=asvm --nodes=4  --workload=fault-sweep --trace
 //   asvmsim --dsm=asvm --nodes=6  --workload=fork-chain --chain=5
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "src/asvm/agent.h"
@@ -36,6 +38,7 @@ struct Options {
   double mb = 4.0;
   int chain = 4;
   int stripes = 1;
+  int io_group = 0;  // 0: keep the MachineConfig default (Paragon: 32)
   bool trace = false;
   std::string trace_json;  // --trace-json=FILE: Chrome trace_event output
   bool breakdown = false;  // per-fault causal breakdown table
@@ -54,10 +57,14 @@ void Usage() {
       "  --dsm=asvm|xmm           memory manager (default asvm)\n"
       "  --scheduler=wheel|heap   event scheduler: pooled timer wheel or the\n"
       "                           reference heap (identical timelines; default wheel)\n"
-      "  --shards=N               parallel simulation shards (worker threads);\n"
-      "                           timelines stay byte-identical to --shards=1\n"
-      "                           (default 1; fault-sweep only, N <= nodes/32)\n"
+      "  --shards=N               parallel simulation shards (worker threads); every\n"
+      "                           workload's timeline stays byte-identical to\n"
+      "                           --shards=1 (default 1; clamped to the I/O-group\n"
+      "                           block count, ceil(nodes / io-group))\n"
       "  --nodes=N                node count (default 8)\n"
+      "  --io-group=N             compute nodes per paging disk (default 32, the\n"
+      "                           Paragon ratio); shard boundaries align to these\n"
+      "                           groups\n"
       "  --workload=W             em3d | sor | file-read | file-write | fault-sweep | fork-chain\n"
       "  --cells=N                EM3D cells (default 64000)\n"
       "  --iters=N                EM3D iterations to report (default 100)\n"
@@ -87,6 +94,56 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   return false;
 }
 
+// Strict numeric parsing: the whole value must be a number in [lo, hi].
+// "--shards=abc" and "--nodes=99999999999999" are errors, not silent zeros.
+bool ParseInt64(const char* flag, const std::string& value, long long lo, long long hi,
+                long long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+    std::printf("%s expects an integer in [%lld, %lld], got '%s'\n", flag, lo, hi,
+                value.c_str());
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseInt(const char* flag, const std::string& value, int lo, int hi, int* out) {
+  long long v = 0;
+  if (!ParseInt64(flag, value, lo, hi, &v)) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseU64(const char* flag, const std::string& value, uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || value[0] == '-' || *end != '\0' || errno == ERANGE) {
+    std::printf("%s expects a non-negative integer, got '%s'\n", flag, value.c_str());
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const char* flag, const std::string& value, double lo, double hi,
+                 double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || *end != '\0' || errno == ERANGE || !(v >= lo && v <= hi)) {
+    std::printf("%s expects a number in [%g, %g], got '%s'\n", flag, lo, hi, value.c_str());
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 bool Parse(int argc, char** argv, Options* opts) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -104,21 +161,42 @@ bool Parse(int argc, char** argv, Options* opts) {
         return false;
       }
     } else if (ParseFlag(argv[i], "--shards", &value)) {
-      opts->shards = std::atoi(value.c_str());
+      if (!ParseInt("--shards", value, 1, 4096, &opts->shards)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--nodes", &value)) {
-      opts->nodes = std::atoi(value.c_str());
+      if (!ParseInt("--nodes", value, 1, 1 << 20, &opts->nodes)) {
+        return false;
+      }
+    } else if (ParseFlag(argv[i], "--io-group", &value)) {
+      if (!ParseInt("--io-group", value, 1, 1 << 20, &opts->io_group)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--workload", &value)) {
       opts->workload = value;
     } else if (ParseFlag(argv[i], "--cells", &value)) {
-      opts->cells = std::atoll(value.c_str());
+      long long cells = 0;
+      if (!ParseInt64("--cells", value, 1, std::numeric_limits<long long>::max() / 1024,
+                      &cells)) {
+        return false;
+      }
+      opts->cells = cells;
     } else if (ParseFlag(argv[i], "--iters", &value)) {
-      opts->iters = std::atoi(value.c_str());
+      if (!ParseInt("--iters", value, 1, 1 << 30, &opts->iters)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--mb", &value)) {
-      opts->mb = std::atof(value.c_str());
+      if (!ParseDouble("--mb", value, 1.0 / 1024.0, 1 << 20, &opts->mb)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--chain", &value)) {
-      opts->chain = std::atoi(value.c_str());
+      if (!ParseInt("--chain", value, 1, 1 << 20, &opts->chain)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--stripes", &value)) {
-      opts->stripes = std::atoi(value.c_str());
+      if (!ParseInt("--stripes", value, 1, 1 << 20, &opts->stripes)) {
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--no-dynamic") == 0) {
       opts->dynamic_fwd = false;
     } else if (std::strcmp(argv[i], "--no-static") == 0) {
@@ -136,7 +214,9 @@ bool Parse(int argc, char** argv, Options* opts) {
     } else if (ParseFlag(argv[i], "--fault-profile", &value)) {
       opts->fault_profile = value;
     } else if (ParseFlag(argv[i], "--fault-seed", &value)) {
-      opts->fault_seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseU64("--fault-seed", value, &opts->fault_seed)) {
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--fault-report") == 0) {
       opts->fault_report = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -146,7 +226,7 @@ bool Parse(int argc, char** argv, Options* opts) {
       return false;
     }
   }
-  return opts->nodes >= 1 && opts->chain >= 1 && opts->stripes >= 1 && opts->shards >= 1;
+  return true;
 }
 
 int RunEm3d(Machine& machine, const Options& opts) {
@@ -273,18 +353,18 @@ int RunForkChain(Machine& machine, const Options& opts) {
 }
 
 int Run(const Options& opts) {
-  if (opts.shards > 1 && opts.workload != "fault-sweep") {
-    // Only workloads whose driver state is per-node are in the sharded
-    // contract; fork/file workloads mutate the DSM directory mid-run from the
-    // main thread, which a sharded run does not serialize (DESIGN.md §13).
-    std::printf("--shards=%d is only supported with --workload=fault-sweep\n", opts.shards);
-    return 2;
-  }
+  // Every workload is in the sharded contract: driver-side directory
+  // mutations (forks, region setup) are serialized through the cluster
+  // mutation API at deterministic barriers (DESIGN.md §13), so --shards=N
+  // reproduces the --shards=1 timeline byte for byte.
   MachineConfig config;
   config.nodes = opts.nodes;
   config.dsm = opts.dsm;
   config.scheduler = opts.scheduler;
   config.shards = opts.shards;
+  if (opts.io_group > 0) {
+    config.nodes_per_io_group = opts.io_group;
+  }
   config.file_pager_count = opts.stripes;
   config.asvm.dynamic_forwarding = opts.dynamic_fwd;
   config.asvm.static_forwarding = opts.static_fwd;
