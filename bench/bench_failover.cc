@@ -1,0 +1,152 @@
+// Failover recovery latency under the node-removal fault profiles
+// (DESIGN.md §14): what a page access costs while the machine detects a dead
+// manager, promotes the ring-successor backup, and — under rolling-restart —
+// serves the rejoined node's cold caches. The paper has no reference numbers
+// here (its managers never die); the baseline JSON pins our own timeline.
+#include "bench/bench_util.h"
+
+#include "src/dsm/failover.h"
+#include "src/mesh/fault_plan.h"
+
+namespace asvm {
+namespace {
+
+// Like asvmsim's fault sweep: resolve one access in bounded slices, then let
+// background traffic (invalidations, shadow updates) settle without draining
+// past the fault plan's parked removal/restore wakes.
+template <typename T>
+double SlicedAccessMs(Machine& machine, Future<T> f) {
+  const SimDuration d = AwaitLatency(machine, f);
+  machine.RunFor(5 * kMillisecond);
+  return ToMilliseconds(d);
+}
+
+void AdvanceJustPast(Machine& machine, SimTime when) {
+  if (machine.Now() > when) {
+    return;
+  }
+  // RunFor only advances the clock while the queue holds events; park a wake
+  // just past the target so an empty queue cannot spin forever.
+  machine.engine().Schedule(when + kMillisecond - machine.Now(), []() {});
+  while (machine.Now() <= when) {
+    machine.RunFor(kMillisecond);
+  }
+}
+
+struct FailoverLatencies {
+  double healthy_read_ms = 0;
+  double detect_promote_read_ms = 0;
+  double degraded_read_ms = 0;
+  double postkill_write_ms = 0;
+  double rejoin_read_ms = 0;
+  uint64_t promotions = 0;
+  uint64_t restarts = 0;
+};
+
+// An 8-node machine with the region homed on the node the profile kills.
+// Node 1 creates, node 2 reads, node 3 writes; pages 5-7 stay untouched so
+// the post-kill first-touch must forward to the dead terminal and pay the
+// full silence-detection + promotion path.
+FailoverLatencies MeasureFailover(DsmKind kind, const char* profile) {
+  MachineConfig config = BenchConfig(kind, 8);
+  if (!FaultProfileFromName(profile, 1, config.nodes, &config.fault)) {
+    std::printf("unknown fault profile '%s'\n", profile);
+    return {};
+  }
+  // 10 ms keeps the full 15x retry horizon above XMM's worst healthy serve
+  // (~33 ms with a flush + dirty cleaning), so the healthy-phase numbers are
+  // free of spurious timeout reissues and only real silence pays the horizon.
+  config.retry.timeout_ns = 10 * kMillisecond;
+  config.failover.enabled = true;
+  Machine machine(config);
+
+  MemObjectId region = machine.CreateSharedRegion(kHomeNode, 8);
+  TaskMemory& creator = machine.MapRegion(kCreatorNode, region);
+  TaskMemory& reader = machine.MapRegion(kFaultNode, region);
+  TaskMemory& writer = machine.MapRegion(kFirstReaderNode, region);
+
+  FailoverLatencies out;
+  SlicedAccessMs(machine, creator.WriteU64(0, 1));
+  SlicedAccessMs(machine, writer.WriteU64(machine.page_size(), 2));
+  out.healthy_read_ms = SlicedAccessMs(machine, reader.ReadU64(0));
+
+  SimTime last_removal = 0;
+  SimTime last_restore = 0;
+  for (const auto& removal : machine.fault_plan()->params().removals) {
+    last_removal = std::max(last_removal, removal.at);
+    last_restore = std::max(last_restore, removal.restore_at);
+  }
+  AdvanceJustPast(machine, last_removal);
+
+  out.detect_promote_read_ms =
+      SlicedAccessMs(machine, reader.ReadU64(5 * machine.page_size()));
+  out.degraded_read_ms =
+      SlicedAccessMs(machine, reader.ReadU64(machine.page_size()));
+  out.postkill_write_ms =
+      SlicedAccessMs(machine, writer.WriteU64(6 * machine.page_size(), 3));
+
+  if (last_restore > 0) {
+    AdvanceJustPast(machine, last_restore);
+    TaskMemory& rejoined = machine.MapRegion(kHomeNode, region);
+    out.rejoin_read_ms = SlicedAccessMs(machine, rejoined.ReadU64(0));
+  }
+
+  out.promotions = machine.stats().Get(kStatPromotions);
+  out.restarts = machine.stats().Get(kStatRestarts);
+  return out;
+}
+
+void PrintPhase(const char* label, double asvm_ms, double xmm_ms) {
+  std::printf("%-58s %9.2f %9.2f\n", label, asvm_ms, xmm_ms);
+}
+
+void RunFailoverBench(BenchJson& json) {
+  PrintHeader("Failover: manager death and online recovery (ms)");
+
+  const FailoverLatencies kill_asvm = MeasureFailover(DsmKind::kAsvm, "kill-manager");
+  const FailoverLatencies kill_xmm = MeasureFailover(DsmKind::kXmm, "kill-manager");
+  const FailoverLatencies roll_asvm =
+      MeasureFailover(DsmKind::kAsvm, "rolling-restart");
+  const FailoverLatencies roll_xmm = MeasureFailover(DsmKind::kXmm, "rolling-restart");
+
+  std::printf("%-58s %9s %9s\n", "", "ASVM", "XMM");
+  PrintPhase("healthy remote read", kill_asvm.healthy_read_ms, kill_xmm.healthy_read_ms);
+  PrintPhase("post-kill first touch (detect + promote)",
+             kill_asvm.detect_promote_read_ms, kill_xmm.detect_promote_read_ms);
+  PrintPhase("post-kill read, surviving owner", kill_asvm.degraded_read_ms,
+             kill_xmm.degraded_read_ms);
+  PrintPhase("post-kill write via promoted manager", kill_asvm.postkill_write_ms,
+             kill_xmm.postkill_write_ms);
+  PrintPhase("rejoined cold read after rolling restart", roll_asvm.rejoin_read_ms,
+             roll_xmm.rejoin_read_ms);
+  std::printf("promotions: asvm=%llu xmm=%llu; restarts after rolling restart: "
+              "asvm=%llu xmm=%llu\n",
+              (unsigned long long)kill_asvm.promotions,
+              (unsigned long long)kill_xmm.promotions,
+              (unsigned long long)roll_asvm.restarts,
+              (unsigned long long)roll_xmm.restarts);
+
+  json.Metric("healthy_read_ms.asvm", kill_asvm.healthy_read_ms);
+  json.Metric("healthy_read_ms.xmm", kill_xmm.healthy_read_ms);
+  json.Metric("detect_promote_read_ms.asvm", kill_asvm.detect_promote_read_ms);
+  json.Metric("detect_promote_read_ms.xmm", kill_xmm.detect_promote_read_ms);
+  json.Metric("degraded_read_ms.asvm", kill_asvm.degraded_read_ms);
+  json.Metric("degraded_read_ms.xmm", kill_xmm.degraded_read_ms);
+  json.Metric("postkill_write_ms.asvm", kill_asvm.postkill_write_ms);
+  json.Metric("postkill_write_ms.xmm", kill_xmm.postkill_write_ms);
+  json.Metric("rejoin_read_ms.asvm", roll_asvm.rejoin_read_ms);
+  json.Metric("rejoin_read_ms.xmm", roll_xmm.rejoin_read_ms);
+  json.Metric("promotions.asvm", (double)kill_asvm.promotions);
+  json.Metric("promotions.xmm", (double)kill_xmm.promotions);
+  json.Metric("restarts.asvm", (double)roll_asvm.restarts);
+  json.Metric("restarts.xmm", (double)roll_xmm.restarts);
+}
+
+}  // namespace
+}  // namespace asvm
+
+int main(int argc, char** argv) {
+  asvm::BenchJson json(argc, argv);
+  asvm::RunFailoverBench(json);
+  return json.Write("failover") ? 0 : 1;
+}

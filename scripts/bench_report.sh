@@ -19,7 +19,11 @@
 #    default 1.5 on the queue-bound shapes).
 #  * bench_sharded_speedup's 32x32 write-fault storm at --shards=1/2/4/8:
 #    the 4-shard run must beat single-threaded by >= --shard-speedup-floor
-#    (default 1.5x) on each DSM. Every timeline digest the sharded bench
+#    (default 1.5x) on each DSM.
+#  * bench_failover's recovery timeline (kill-manager + rolling-restart on
+#    both DSMs): latencies diff against the baseline like any other metric,
+#    and --check additionally requires exactly one promotion per kill and one
+#    restart per rolling restart. Every timeline digest the sharded bench
 #    emits — the storm shapes and the per-workload sweep (em3d, sor,
 #    file-read, file-write, fork-chain at 128 nodes) — must match shards=1
 #    exactly (every *.digest_match == 1). The per-workload speedup columns
@@ -65,6 +69,8 @@ echo "running simcore scheduler shapes (wheel vs. reference heap)..."
 "$BUILD/bench/bench_simcore" --benchmark_filter=NONE --json="$tmp/simcore.json" > "$tmp/simcore.txt"
 echo "running sharded sweep (storm shards=1/2/4/8 + per-workload shards=1/4)..."
 "$BUILD/bench/bench_sharded_speedup" --json="$tmp/sharded.json" > "$tmp/sharded.txt"
+echo "running failover recovery (kill-manager + rolling-restart)..."
+"$BUILD/bench/bench_failover" --json="$tmp/failover.json" > "$tmp/failover.txt"
 
 python3 - "$tmp" "$OUT" <<'PYEOF'
 import json
@@ -72,7 +78,7 @@ import sys
 
 tmp, out = sys.argv[1], sys.argv[2]
 report = {"schema": "asvm-bench-report/v1", "benches": {}}
-for part in ("table1", "table2", "fig10", "simcore", "sharded"):
+for part in ("table1", "table2", "fig10", "simcore", "sharded", "failover"):
     with open(f"{tmp}/{part}.json") as f:
         doc = json.load(f)
     report["benches"][doc["bench"]] = doc["metrics"]
@@ -172,6 +178,21 @@ for name, entry in digests.items():
     if entry["value"] != 1:
         failures.append(
             f"sharded_speedup/{name}: sharded timeline diverged from shards=1")
+
+# Failover gate: the recovery bench must observe exactly one promotion per
+# kill and one restart per rolling restart on each DSM — zero means the
+# recovery path silently stopped firing, more means a split-brain double
+# promotion. Latency drift is handled by the baseline diff above.
+failover = current["benches"].get("failover", {})
+if not failover:
+    failures.append("failover: bench missing from report")
+for name in ("promotions.asvm", "promotions.xmm", "restarts.asvm", "restarts.xmm"):
+    entry = failover.get(name)
+    checked += 1
+    if entry is None:
+        failures.append(f"failover/{name}: missing")
+    elif entry["value"] != 1:
+        failures.append(f"failover/{name}: expected exactly 1, got {entry['value']:g}")
 
 print(f"checked {checked} metrics against {baseline_path} (tolerance {tol * 100:.0f}%)")
 if failures:

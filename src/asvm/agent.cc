@@ -4,15 +4,18 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "src/common/log.h"
+#include "src/dsm/failover.h"
 
 namespace asvm {
 
 AsvmAgent::AsvmAgent(AsvmSystem& system, NodeId node)
     : ProtocolAgent(system, node, TraceProtocol::kAsvm),
       system_(system),
-      vm_(system.cluster().vm(node)) {
+      vm_(system.cluster().vm(node)),
+      failover_(system.cluster().params().failover) {
   Transport& main_transport = system.config().use_norma_transport
                                   ? static_cast<Transport&>(system_.cluster().norma())
                                   : static_cast<Transport&>(system_.cluster().sts());
@@ -39,6 +42,7 @@ AsvmAgent::ObjectState& AsvmAgent::obj_state(const MemObjectId& id) {
       os->pages.SetPageCount(info->pages);
       os->terminal.SetPageCount(info->pages);
       os->home_pages.SetPageCount(info->pages);
+      os->recovered.SetPageCount(info->pages);
     }
     it = objects_.emplace(id, std::move(os)).first;
   }
@@ -187,6 +191,7 @@ void AsvmAgent::DataRequest(VmObject& object, PageIndex page, PageAccess desired
   req.req_id = system_.NextOpId(node_);
   Trace(TraceKind::kFaultRequest, id, page, kInvalidNode, static_cast<int64_t>(desired),
         req.req_id);
+  ArmRequest(req);
   HandleRequest(std::move(req));
 }
 
@@ -225,6 +230,7 @@ void AsvmAgent::DataUnlock(VmObject& object, PageIndex page, PageAccess desired)
   req.access = desired;
   req.origin = node_;
   req.req_id = system_.NextOpId(node_);
+  ArmRequest(req);
   HandleRequest(std::move(req));
 }
 
@@ -326,12 +332,7 @@ void AsvmAgent::RouteRequest(AccessRequest req) {
     if (stats_ != nullptr) {
       stats_->Add("asvm.fwd_escalations");
     }
-    req.to_terminal = true;
-    if (info.Terminal(req.page) == node_) {
-      HandleAtTerminal(std::move(req));
-    } else {
-      SendRequest(info.Terminal(req.page), req);
-    }
+    SendToTerminal(std::move(req));
     return;
   }
 
@@ -340,6 +341,11 @@ void AsvmAgent::RouteRequest(AccessRequest req) {
 
   if (dyn) {
     NodeId* hint = os.dyn_hints->Get(req.page);
+    if (hint != nullptr && NodeDead(*hint)) {
+      // The hinted owner is confirmed removed: the hint can only mislead.
+      os.dyn_hints->Erase(req.page);
+      hint = nullptr;
+    }
     if (hint != nullptr && *hint != node_) {
       NodeId target = *hint;
       if (req.access == PageAccess::kWrite && req.target == req.search &&
@@ -358,6 +364,12 @@ void AsvmAgent::RouteRequest(AccessRequest req) {
 
   if (stat) {
     const NodeId mgr = system_.StaticManagerOf(info, req.page);
+    if (mgr != node_ && NodeDead(mgr)) {
+      // The static ownership manager is removed: its cache is unreachable;
+      // escalate straight to the terminal's authoritative record.
+      SendToTerminal(std::move(req));
+      return;
+    }
     if (mgr != node_) {
       if (stats_ != nullptr) {
         stats_->Add("asvm.fwd_static");
@@ -369,7 +381,8 @@ void AsvmAgent::RouteRequest(AccessRequest req) {
     // We are the static ownership manager: consult the static cache.
     auto* entry = os.static_cache->Get(req.page);
     if (entry != nullptr) {
-      if (entry->first == StaticHintKind::kOwner && entry->second != node_) {
+      if (entry->first == StaticHintKind::kOwner && entry->second != node_ &&
+          !NodeDead(entry->second)) {
         if (stats_ != nullptr) {
           stats_->Add("asvm.fwd_static_hit");
         }
@@ -380,24 +393,14 @@ void AsvmAgent::RouteRequest(AccessRequest req) {
         if (stats_ != nullptr) {
           stats_->Add("asvm.fwd_static_terminal");
         }
-        req.to_terminal = true;
-        if (info.Terminal(req.page) == node_) {
-          HandleAtTerminal(std::move(req));
-        } else {
-          SendRequest(info.Terminal(req.page), req);
-        }
+        SendToTerminal(std::move(req));
         return;
       }
     }
     if (stats_ != nullptr) {
       stats_->Add("asvm.fwd_static_miss");
     }
-    req.to_terminal = true;
-    if (info.Terminal(req.page) == node_) {
-      HandleAtTerminal(std::move(req));
-    } else {
-      SendRequest(info.Terminal(req.page), req);
-    }
+    SendToTerminal(std::move(req));
     return;
   }
 
@@ -430,6 +433,9 @@ void AsvmAgent::RingForward(AccessRequest req) {
     if (next == node_ || next == req.origin) {
       continue;  // we already know neither holds the page as owner
     }
+    if (NodeDead(next)) {
+      continue;  // removed sharer: a message there is a black hole
+    }
     if (stats_ != nullptr) {
       stats_->Add("asvm.fwd_global_hop");
     }
@@ -438,12 +444,7 @@ void AsvmAgent::RingForward(AccessRequest req) {
     return;
   }
   // Ring exhausted: deliver to the terminal (pager / peer).
-  req.to_terminal = true;
-  if (info.Terminal(req.page) == node_) {
-    HandleAtTerminal(std::move(req));
-  } else {
-    SendRequest(info.Terminal(req.page), req);
-  }
+  SendToTerminal(std::move(req));
 }
 
 void AsvmAgent::SendRequest(NodeId to, const AccessRequest& req) {
@@ -479,6 +480,131 @@ void AsvmAgent::Send(NodeId to, AsvmMsgType type, AsvmBody body, PageBuffer page
     system_.cluster().sts_ctl().Send(node_, to, std::move(msg));
   } else {
     system_.cluster().sts().Send(node_, to, std::move(msg));
+  }
+}
+
+// --- Failover (DESIGN.md §14) ---------------------------------------------------
+
+bool AsvmAgent::NodeDead(NodeId node) {
+  if (!failover_.enabled || node == kInvalidNode) {
+    return false;
+  }
+  const FaultPlan* plan = system_.cluster().fault_plan();
+  return plan != nullptr && !plan->NodeAlive(node, engine().Now());
+}
+
+bool AsvmAgent::LeaseExpired(NodeId owner) {
+  if (!failover_.enabled || owner == kInvalidNode) {
+    return false;
+  }
+  const FaultPlan* plan = system_.cluster().fault_plan();
+  if (plan == nullptr) {
+    return false;
+  }
+  const SimTime since = plan->RemovedSince(owner, engine().Now());
+  return since >= 0 && engine().Now() >= since + failover_.lease_ns;
+}
+
+void AsvmAgent::SendToTerminal(AccessRequest req) {
+  AsvmObjectInfo& info = system_.info(req.search);
+  req.to_terminal = true;
+  const NodeId term = info.Terminal(req.page);
+  if (term == node_) {
+    HandleAtTerminal(std::move(req));
+    return;
+  }
+  if (info.IsCopy() || !NodeDead(term)) {
+    // Copy objects have no backup (the peer's chain is unrecoverable); a dead
+    // peer black-holes the request and the origin's deadline reports it.
+    SendRequest(term, req);
+    return;
+  }
+  // The forwarding terminal is confirmed removed: promote its backup at the
+  // next sequencing point, then resume toward the (now alive) new terminal.
+  system_.cluster().mutator().Enqueue(node_, [this, req]() {
+    system_.PromoteIfHomeDead(req.search);
+    engine().Post([this, req]() mutable { SendToTerminal(std::move(req)); });
+  });
+}
+
+void AsvmAgent::ArmRequest(const AccessRequest& req) {
+  if (!ArmsRequests()) {
+    return;
+  }
+  RegisterOp(req.req_id, 1, "asvm-request", req.target, req.page);
+  if (PendingOp* op = FindOp(req.req_id); op != nullptr) {
+    const AsvmObjectInfo& info = system_.info(req.target);
+    op->targets = {info.Terminal(req.page)};
+    op->on_fail = [this, req](Status) { ReissueAfterPromotion(req); };
+  }
+  ArmOp(req.req_id, [this, req]() {
+    // The terminal is the authority of last resort; re-point the op's
+    // classification at wherever that role lives now, then re-route from
+    // scratch (hints may have healed, the home may have been promoted).
+    if (PendingOp* op = FindOp(req.req_id); op != nullptr) {
+      const AsvmObjectInfo& info = system_.info(req.target);
+      op->targets = {info.Terminal(req.page)};
+    }
+    AccessRequest fresh = req;
+    fresh.hops = 0;
+    fresh.ring = false;
+    fresh.ring_pos = 0;
+    fresh.ring_left = 0;
+    fresh.to_terminal = false;
+    HandleRequest(std::move(fresh));
+  });
+}
+
+void AsvmAgent::ReissueAfterPromotion(const AccessRequest& req) {
+  system_.cluster().mutator().Enqueue(node_, [this, req]() {
+    system_.PromoteIfHomeDead(req.target);
+    engine().Post([this, req]() {
+      if (stats_ != nullptr) {
+        stats_->Add(kStatReissues);
+      }
+      AccessRequest fresh = req;
+      fresh.hops = 0;
+      fresh.ring = false;
+      fresh.ring_pos = 0;
+      fresh.ring_left = 0;
+      fresh.to_terminal = false;
+      ArmRequest(fresh);
+      HandleRequest(std::move(fresh));
+    });
+  });
+}
+
+void AsvmAgent::MirrorToBackup(const MemObjectId& id, PageIndex page, uint64_t version,
+                               const PageBuffer& data) {
+  if (!failover_.enabled) {
+    return;
+  }
+  const NodeId backup = RingSuccessor(node_, system_.cluster().node_count(),
+                                      system_.cluster().fault_plan(), engine().Now());
+  if (backup == kInvalidNode) {
+    return;  // no other node alive to shadow into
+  }
+  if (stats_ != nullptr) {
+    stats_->Add(kStatShadowUpdates);
+  }
+  Send(backup, AsvmMsgType::kShadowUpdate, AsvmShadowUpdate{id, page, version},
+       ClonePage(data));
+}
+
+void AsvmAgent::NotifyHomeOwner(const MemObjectId& id, PageIndex page, NodeId new_owner) {
+  if (!failover_.enabled) {
+    return;
+  }
+  const AsvmObjectInfo& info = system_.info(id);
+  if (info.IsCopy()) {
+    return;
+  }
+  const NodeId home = info.Terminal(page);
+  StaticHintMsg hint{id, page, StaticHintKind::kOwner, new_owner};
+  if (home == node_) {
+    OnStaticHint(hint);
+  } else if (!NodeDead(home)) {
+    Send(home, AsvmMsgType::kStaticHint, hint);
   }
 }
 

@@ -7,6 +7,7 @@
 #define SRC_ASVM_AGENT_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -58,12 +59,26 @@ class AsvmAgent : public Pager, public ProtocolAgent {
     std::unique_ptr<LruCache<PageIndex, std::pair<StaticHintKind, NodeId>>> static_cache;
     PageTable<TerminalCtl> terminal;
     // Home-role authoritative record: does an owner exist, and what version
-    // did the last writeback carry.
+    // did the last writeback carry. last_owner is the node the home most
+    // recently attributed ownership to — the lease state machine (DESIGN.md
+    // §14) reclaims a page only when that node is confirmed removed and its
+    // lease has expired, so a transfer racing a removal cannot be reclaimed
+    // out from under a live owner.
     struct HomePage {
       bool owner_exists = false;
       uint64_t version = 0;
+      NodeId last_owner = kInvalidNode;
     };
     PageTable<HomePage> home_pages;
+    // Failover overlay: page contents recovered from the backup's shadow
+    // store at promotion. ServeFromBacking consults it before the (fresh,
+    // empty) paging space of a promoted home; a later writeback supersedes
+    // and erases the entry. Empty on every healthy run.
+    struct RecoveredPage {
+      PageBuffer data;
+      uint64_t version = 0;
+    };
+    PageTable<RecoveredPage> recovered;
     // Internode pageout target selection (§3.6): cycling cursor + the node
     // that most recently accepted a transfer.
     size_t pageout_cursor = 0;
@@ -131,6 +146,44 @@ class AsvmAgent : public Pager, public ProtocolAgent {
   void SendReply(NodeId to, const AccessReply& reply, PageBuffer data);
   void Send(NodeId to, AsvmMsgType type, AsvmBody body, PageBuffer page = nullptr);
 
+  // --- Failover (DESIGN.md §14) ---------------------------------------------
+
+  // Origin requests carry a pending-op entry when failover + retries are on,
+  // so home silence is classified kNodeDown and triggers promotion.
+  bool ArmsRequests() const { return failover_.enabled && retry_policy().timeout_ns > 0; }
+
+  // True when the fault plan confirms `node` removed right now (failover on).
+  // Routing tiers skip dead hints/ring stops and escalate dead terminals.
+  bool NodeDead(NodeId node);
+
+  // True when `owner` is confirmed removed and has been for at least the
+  // configured lease — the terminal may then reclaim its pages.
+  bool LeaseExpired(NodeId owner);
+
+  // Routes `req` to its forwarding terminal. If the terminal is confirmed
+  // dead, promotes its backup at the next sequencing point and resumes the
+  // request toward the new terminal.
+  void SendToTerminal(AccessRequest req);
+
+  // Registers the request in the pending-op table (targets = the current
+  // terminal) and arms its deadline; kNodeDown runs ReissueAfterPromotion.
+  void ArmRequest(const AccessRequest& req);
+
+  // kNodeDown recovery: promote the dead home's backup as a cluster mutation,
+  // then replay the request from scratch against the new terminal.
+  void ReissueAfterPromotion(const AccessRequest& req);
+
+  // Streams a written-back dirty page to this home's backup (first alive ring
+  // successor) so the contents survive a later promotion. No-op with failover
+  // disabled or no other node alive.
+  void MirrorToBackup(const MemObjectId& id, PageIndex page, uint64_t version,
+                      const PageBuffer& data);
+
+  // Keeps the home's last-owner attribution fresh after an ownership handoff
+  // (write grant, eviction offer, pageout transfer) — the lease state machine
+  // is only as good as this record. No-op with failover disabled.
+  void NotifyHomeOwner(const MemObjectId& id, PageIndex page, NodeId new_owner);
+
   // --- Owner-side state machine (Figure 7) -----------------------------------
 
   // Serves a request for a page this node owns.
@@ -190,6 +243,15 @@ class AsvmAgent : public Pager, public ProtocolAgent {
 
   AsvmSystem& system_;
   NodeVm& vm_;
+  FailoverConfig failover_;
+  // Backup role: newest shadowed writeback per page, streamed from homes whose
+  // ring successor this node is. Ordered maps so promotion seeds the recovered
+  // overlay in a shard-count-invariant order.
+  struct ShadowPage {
+    uint64_t version = 0;
+    PageBuffer data;
+  };
+  std::map<MemObjectId, std::map<PageIndex, ShadowPage>> shadow_;
   std::unordered_map<MemObjectId, std::unique_ptr<ObjectState>> objects_;
   std::unordered_map<uint64_t, Promise<bool>> scan_waiters_;  // push-scan replies
 };

@@ -4,6 +4,7 @@
 
 #include "src/asvm/agent.h"
 #include "src/common/log.h"
+#include "src/dsm/failover.h"
 
 namespace asvm {
 
@@ -145,6 +146,7 @@ Task AsvmAgent::OwnerGrantWrite(AccessRequest req) {
       Send(mgr, AsvmMsgType::kStaticHint, hint);
     }
   }
+  NotifyHomeOwner(id, req.page, req.origin);
   ForwardQueue(id, req.page, req.origin);
   PruneState(os, req.page);
 }
@@ -202,6 +204,9 @@ Task AsvmAgent::InvalidateReaders(MemObjectId id, PageIndex page, NodeId except,
     co_return;
   }
   const uint64_t op = OpenOp(static_cast<int>(targets.size()), "invalidate-round", id, page);
+  if (PendingOp* pending = FindOp(op); pending != nullptr) {
+    pending->targets = targets;  // a dead reader resolves kNodeDown, not a wedge
+  }
   Future<Status> all_acked = OpFuture(op);
   for (NodeId r : targets) {
     Send(r, AsvmMsgType::kInvalidate, InvalidateMsg{id, page, op});
@@ -234,6 +239,13 @@ void AsvmAgent::OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer d
     }
     return;
   }
+  if (ArmsRequests() && FindOp(reply.req_id) == nullptr) {
+    // A grant for a request we already resolved (a resend's duplicate, or a
+    // straggler that raced a kNodeDown reissue): applying it twice would
+    // double-serve the page.
+    CountDuplicate();
+    return;
+  }
   ObjectState& os = obj_state(reply.target);
   PageState& ps = page_state(os, reply.page);
 
@@ -250,6 +262,13 @@ void AsvmAgent::OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer d
     req.access = reply.granted;  // the retried access rides in `granted`
     req.origin = node_;
     req.req_id = system_.NextOpId(node_);
+    if (ArmsRequests()) {
+      // The bounce re-keys the exchange: retire the old op entry before its
+      // deadline fires against a request that no longer exists, and arm the
+      // new id so the re-issue keeps its kNodeDown classification.
+      EraseOp(reply.req_id);
+      ArmRequest(req);
+    }
     vm_.engine().Schedule(system_.config().agent_process_ns,
                           [this, req = std::move(req)]() mutable {
                             HandleRequest(std::move(req));
@@ -257,6 +276,9 @@ void AsvmAgent::OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer d
     return;
   }
 
+  if (ArmsRequests()) {
+    ResolveOp(reply.req_id, Status::kOk);
+  }
   ps.pending = false;
   ps.access = reply.granted;
   ASVM_CHECK_MSG(os.repr != nullptr, "grant for unattached object");
@@ -318,6 +340,19 @@ void AsvmAgent::HandleAtTerminal(AccessRequest req) {
 
   if (req.target == req.search) {
     auto& hp = os.home_pages.GetOrCreate(req.page);
+    if (hp.owner_exists && req.ring && req.ring_left == 0 && LeaseExpired(hp.last_owner)) {
+      // A full ring (which skips removed nodes) found no live owner, the last
+      // node we attributed ownership to is confirmed removed, and its lease
+      // has expired: reclaim the page. The dead owner's un-written-back
+      // modifications are lost — the grant below serves the newest surviving
+      // contents (recovered overlay or paging space).
+      if (stats_ != nullptr) {
+        stats_->Add(kStatLeaseReclaims);
+      }
+      Trace(TraceKind::kLeaseReclaim, req.search, req.page, hp.last_owner);
+      hp.owner_exists = false;
+      hp.last_owner = kInvalidNode;
+    }
     if (hp.owner_exists) {
       // Someone owns the page; the caches just failed to find it. Fall back
       // to a global scan (never fails while an owner exists, §3.4).
@@ -378,7 +413,16 @@ Task AsvmAgent::ServeFromBacking(AccessRequest req) {
 
   PageBuffer data;
   uint64_t version = hp.version;
-  if (info.backing->HasData(req.page)) {
+  if (const ObjectState::RecoveredPage* rp = os.recovered.Find(req.page);
+      rp != nullptr && rp->data != nullptr) {
+    // Promotion seeded this page from the old home's shadow stream; the
+    // fresh paging space has nothing newer.
+    data = ClonePage(rp->data);
+    version = rp->version;
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.recovered_serves");
+    }
+  } else if (info.backing->HasData(req.page)) {
     Promise<PageBuffer> read_done(vm_.engine());
     info.backing->Read(req.page, vm_.page_size(),
                        [read_done](PageBuffer d) { read_done.Set(std::move(d)); });
@@ -417,6 +461,7 @@ Task AsvmAgent::ServeFromBacking(AccessRequest req) {
   reply.terminal = same_space ? node_ : req.terminal;
   if (same_space) {
     hp.owner_exists = true;  // the grant is on its way; PullDone confirms
+    hp.last_owner = req.origin;
   }
   Trace(TraceKind::kServeTerminal, req.search, req.page, req.origin, 0, req.req_id);
   SendReply(req.origin, reply, data != nullptr ? ClonePage(data) : nullptr);
@@ -448,7 +493,9 @@ Task AsvmAgent::ServeByPull(AccessRequest req) {
       reply.page_version = same_space ? os.home_pages.GetOrCreate(req.page).version : 0;
       reply.terminal = req.terminal;
       if (same_space) {
-        os.home_pages.GetOrCreate(req.page).owner_exists = true;
+        auto& hp = os.home_pages.GetOrCreate(req.page);
+        hp.owner_exists = true;
+        hp.last_owner = req.origin;
       }
       SendReply(req.origin, reply, std::move(result.data));
       co_return;
@@ -470,7 +517,9 @@ Task AsvmAgent::ServeByPull(AccessRequest req) {
       reply.page_version = 0;
       reply.terminal = req.terminal;
       if (same_space) {
-        os.home_pages.GetOrCreate(req.page).owner_exists = true;
+        auto& hp = os.home_pages.GetOrCreate(req.page);
+        hp.owner_exists = true;
+        hp.last_owner = req.origin;
       }
       SendReply(req.origin, reply, nullptr);
       co_return;
@@ -508,7 +557,9 @@ void AsvmAgent::FinishTerminal(const MemObjectId& id, PageIndex page) {
 
 void AsvmAgent::OnPullDone(const PullDone& m) {
   ObjectState& os = obj_state(m.target);
-  os.home_pages.GetOrCreate(m.page).owner_exists = true;
+  auto& hp = os.home_pages.GetOrCreate(m.page);
+  hp.owner_exists = true;
+  hp.last_owner = m.new_owner;
   os.dyn_hints->Put(m.page, m.new_owner);
   if (system_.config().static_forwarding) {
     const AsvmObjectInfo& info = system_.info(m.target);
@@ -526,6 +577,12 @@ void AsvmAgent::OnPullDone(const PullDone& m) {
 void AsvmAgent::OnStaticHint(const StaticHintMsg& m) {
   ObjectState& os = obj_state(m.object);
   os.static_cache->Put(m.page, std::make_pair(m.kind, m.owner));
+  if (failover_.enabled && m.kind == StaticHintKind::kOwner &&
+      system_.info(m.object).Terminal(m.page) == node_) {
+    // The lease state machine tracks the newest attribution it hears about;
+    // it never flips owner_exists (writebacks own that transition).
+    os.home_pages.GetOrCreate(m.page).last_owner = m.owner;
+  }
 }
 
 void AsvmAgent::ForwardQueue(const MemObjectId& id, PageIndex page, NodeId next) {

@@ -1,9 +1,11 @@
 // AsvmAgent part 3: internode paging (§3.6), the push operation and push
 // scans (§3.7.2), copy creation support, and the message dispatcher.
 #include <algorithm>
+#include <utility>
 
 #include "src/asvm/agent.h"
 #include "src/common/log.h"
+#include "src/dsm/failover.h"
 
 namespace asvm {
 
@@ -55,6 +57,9 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
       continue;
     }
     const uint64_t op = OpenOp(1, "ownership-offer", id, page);
+    if (PendingOp* pending = FindOp(op); pending != nullptr) {
+      pending->targets = {r};  // a dead reader resolves kNodeDown (= declined)
+    }
     Future<Status> replied = OpFuture(op);
     std::vector<NodeId> remaining;
     for (NodeId other : readers) {
@@ -78,6 +83,7 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
       ps.busy = false;
       ps.readers.clear();
       os.dyn_hints->Put(page, r);
+      NotifyHomeOwner(id, page, r);
       ForwardQueue(id, page, r);
       PruneState(os, page);
       co_return;
@@ -105,6 +111,9 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
   }
   for (NodeId target : candidates) {
     const uint64_t op = OpenOp(1, "pageout-offer", id, page);
+    if (PendingOp* pending = FindOp(op); pending != nullptr) {
+      pending->targets = {target};
+    }
     Future<Status> replied = OpFuture(op);
     Send(target, AsvmMsgType::kPageoutOffer, PageoutOffer{id, page, version, dirty, op},
          ClonePage(data));
@@ -124,6 +133,7 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
       ps.busy = false;
       ps.readers.clear();
       os.dyn_hints->Put(page, target);
+      NotifyHomeOwner(id, page, target);
       ForwardQueue(id, page, target);
       PruneState(os, page);
       co_return;
@@ -132,7 +142,7 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
 
   // Step 4: return the page to the memory object's pager (its home; for copy
   // objects the peer stores it in local paging space).
-  {
+  for (;;) {
     const uint64_t op = OpenOp(1, "writeback", id, page);
     Future<Status> acked = OpFuture(op);
     const NodeId home = info.Terminal(page);
@@ -140,12 +150,30 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
     if (home == node_) {
       OnWriteback(node_, m, ClonePage(data));
     } else {
+      if (PendingOp* pending = FindOp(op); pending != nullptr) {
+        pending->targets = {home};
+      }
       Send(home, AsvmMsgType::kWriteback, m, ClonePage(data));
       ArmOp(op, [this, home, m, data]() {
         Send(home, AsvmMsgType::kWriteback, m, ClonePage(data));
       });
     }
-    co_await acked;
+    const Status ws = co_await acked;
+    if (!IsOk(ws) && failover_.enabled && !info.IsCopy()) {
+      // The home died with the only copy of this page in flight: promote its
+      // backup at the next sequencing point and return the contents there,
+      // so they survive the failover.
+      Promise<Status> promoted(vm_.engine());
+      system_.cluster().mutator().Enqueue(node_, [this, id, promoted]() {
+        system_.PromoteIfHomeDead(id);
+        vm_.engine().Post([promoted]() { promoted.Set(Status::kOk); });
+      });
+      co_await promoted.GetFuture();
+      if (stats_ != nullptr) {
+        stats_->Add(kStatReissues);
+      }
+      continue;
+    }
     if (stats_ != nullptr) {
       stats_->Add("asvm.evict_writebacks");
     }
@@ -157,6 +185,7 @@ Task AsvmAgent::EvictionTask(MemObjectId id, PageIndex page, PageBuffer data, bo
     os.dyn_hints->Erase(page);
     ForwardQueue(id, page, home);
     PruneState(os, page);
+    co_return;
   }
 }
 
@@ -216,8 +245,16 @@ void AsvmAgent::OnWriteback(NodeId src, const WritebackMsg& m, PageBuffer data) 
   ObjectState& os = obj_state(m.object);
   auto& hp = os.home_pages.GetOrCreate(m.page);
   hp.owner_exists = false;
+  hp.last_owner = kInvalidNode;
   hp.version = m.page_version;
   Trace(TraceKind::kWriteback, m.object, m.page, src);
+  // This writeback supersedes any promotion-recovered contents, and (dirty,
+  // home-backed) is the one durable copy — shadow it to the backup so the
+  // contents survive if this home dies next (DESIGN.md §14).
+  os.recovered.Erase(m.page);
+  if (failover_.enabled && m.dirty && !info.IsCopy() && !info.file_backed) {
+    MirrorToBackup(m.object, m.page, m.page_version, data);
+  }
 
   auto finish = [this, src, m]() {
     if (src == node_) {
@@ -335,6 +372,9 @@ Task AsvmAgent::PushIfNeeded(MemObjectId id, PageIndex page, PageBuffer pre_writ
   }
   if (!targets.empty()) {
     const uint64_t op = OpenOp(static_cast<int>(targets.size()), "push-round", id, page);
+    if (PendingOp* pending = FindOp(op); pending != nullptr) {
+      pending->targets = targets;  // dead sharers resolve kNodeDown, not a wedge
+    }
     Future<Status> all_replied = OpFuture(op);
     const NodeId copy_peer = copy_info.peer;
     for (NodeId s : targets) {
@@ -364,6 +404,9 @@ Task AsvmAgent::PushIfNeeded(MemObjectId id, PageIndex page, PageBuffer pre_writ
     if (!need_data.empty()) {
       const uint64_t op2 =
           OpenOp(static_cast<int>(need_data.size()), "push-data-round", id, page);
+      if (PendingOp* pending2 = FindOp(op2); pending2 != nullptr) {
+        pending2->targets = need_data;
+      }
       Future<Status> all_acked = OpFuture(op2);
       for (NodeId s : need_data) {
         Send(s, AsvmMsgType::kPushData, PushData{id, page, op2}, ClonePage(pre_write));
@@ -568,6 +611,13 @@ void AsvmAgent::OnMessage(NodeId src, Message msg) {
     case AsvmMsgType::kStaticHint:
       OnStaticHint(std::get<StaticHintMsg>(body));
       return;
+    case AsvmMsgType::kShadowUpdate: {
+      const auto& m = std::get<AsvmShadowUpdate>(body);
+      auto& sp = shadow_[m.object][m.page];
+      sp.version = m.version;
+      sp.data = std::move(msg.page);
+      return;
+    }
   }
   ASVM_CHECK_MSG(false, "unknown ASVM message type");
 }

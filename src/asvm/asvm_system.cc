@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/asvm/agent.h"
 #include "src/common/log.h"
 #include "src/dsm/cluster_sync.h"
+#include "src/dsm/failover.h"
 
 namespace asvm {
 
@@ -65,6 +68,7 @@ MemObjectId AsvmSystem::CreateFileRegion(int32_t file_id, VmSize pages) {
   info->id = id;
   info->pages = pages;
   info->home = pager.node();
+  info->file_backed = true;
   info->backing = std::make_unique<FileBacking>(pager, file_id);
   directory_[id] = std::move(info);
   return id;
@@ -82,6 +86,7 @@ MemObjectId AsvmSystem::CreateStripedRegion(const std::vector<StripedBacking::St
   for (const auto& stripe : stripes) {
     info->stripe_homes.push_back(stripe.pager->node());
   }
+  info->file_backed = true;
   info->backing = std::make_unique<StripedBacking>(stripes);
   directory_[id] = std::move(info);
   return id;
@@ -115,7 +120,9 @@ MemObjectId AsvmSystem::ExportObject(NodeId node, const std::shared_ptr<VmObject
     ps.access = AccessAllows(vp.lock, PageAccess::kWrite) ? PageAccess::kWrite
                                                           : PageAccess::kRead;
     ps.version = 0;
-    os.home_pages.GetOrCreate(page).owner_exists = true;
+    auto& hp = os.home_pages.GetOrCreate(page);
+    hp.owner_exists = true;
+    hp.last_owner = node;
   }
   cluster_.stats().Add("asvm.exports");
   return id;
@@ -243,6 +250,204 @@ VmMap* AsvmSystem::ApplyRemoteFork(NodeId src, VmMap& parent, NodeId dst,
 
 size_t AsvmSystem::MetadataBytes(NodeId node) const {
   return agents_.at(node)->MetadataBytes();
+}
+
+// --- Failover ----------------------------------------------------------------
+
+void AsvmSystem::PromoteIfHomeDead(const MemObjectId& id) {
+  cluster_.AssertDriverQuiescent("ASVM promotion from inside a shard window");
+  FaultPlan* plan = cluster_.fault_plan();
+  const SimTime now = cluster_.Now();
+  AsvmObjectInfo& obj = info(id);
+  if (plan == nullptr || obj.IsCopy()) {
+    // Copy objects are out of failover scope: their peer holds unreplicated
+    // VM shadow links that cannot be reconstructed from surviving state.
+    return;
+  }
+
+  // Snapshot every page's forwarding terminal before touching the directory —
+  // the rebuild below needs to know which pages actually moved.
+  std::vector<NodeId> old_term(obj.pages);
+  for (PageIndex p = 0; p < static_cast<PageIndex>(obj.pages); ++p) {
+    old_term[static_cast<size_t>(p)] = obj.Terminal(p);
+  }
+
+  // Replace each dead home with its first alive ring successor. For striped
+  // regions every dead stripe home moves independently; the stripes' external
+  // storage survives, so only the forwarding role transfers.
+  std::vector<std::pair<NodeId, NodeId>> moves;  // old home -> new home
+  auto move_home = [&](NodeId& home) {
+    if (plan->NodeAlive(home, now)) {
+      return;  // an earlier mutation this barrier already promoted (idempotent)
+    }
+    const NodeId next = RingSuccessor(home, cluster_.node_count(), plan, now);
+    ASVM_CHECK_MSG(next != kInvalidNode, "no surviving node to promote");
+    bool seen = false;
+    for (const auto& mv : moves) {
+      seen = seen || mv.first == home;
+    }
+    if (!seen) {
+      moves.emplace_back(home, next);
+    }
+    home = next;
+  };
+  if (obj.stripe_homes.empty()) {
+    move_home(obj.home);
+    if (!moves.empty() && !obj.file_backed) {
+      // The old paging space died with the home. Fresh anonymous backing on
+      // the promoted node; the shadow store stands in for every dirty page
+      // the old home had written back into it.
+      obj.backing = std::make_unique<AnonBacking>(cluster_.engine_for(obj.home),
+                                                  cluster_.default_pager(obj.home),
+                                                  NextBackingKey());
+    }
+  } else {
+    for (NodeId& sh : obj.stripe_homes) {
+      move_home(sh);
+    }
+  }
+  if (moves.empty()) {
+    return;
+  }
+
+  // Rebuild the home-role directory for the pages that moved: reset the new
+  // terminal's records, then let every surviving owner re-assert itself.
+  // Nodes and pages are visited in ascending order and per-page assignments
+  // are independent, so shard count cannot leak into the result.
+  auto moved = [&](PageIndex p) {
+    return old_term[static_cast<size_t>(p)] != obj.Terminal(p);
+  };
+  for (PageIndex p = 0; p < static_cast<PageIndex>(obj.pages); ++p) {
+    if (!moved(p)) {
+      continue;
+    }
+    AsvmAgent::ObjectState& hs = agent(obj.Terminal(p)).obj_state(id);
+    hs.home_pages.Erase(p);
+    hs.terminal.Erase(p);
+    hs.recovered.Erase(p);
+  }
+  for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+    if (!plan->NodeAlive(n, now)) {
+      continue;
+    }
+    AsvmAgent::ObjectState* os = agent(n).FindObjState(id);
+    if (os == nullptr) {
+      continue;
+    }
+    os->pages.ForEach([&](PageIndex p, const AsvmAgent::PageState& ps) {
+      if (!ps.owner || !moved(p)) {
+        return;
+      }
+      auto& hp = agent(obj.Terminal(p)).obj_state(id).home_pages.GetOrCreate(p);
+      hp.owner_exists = true;
+      hp.last_owner = n;
+      hp.version = ps.version;
+    });
+  }
+
+  // Pages whose only copy died with the old home (written back, no surviving
+  // owner): the backup's shadow store seeds the recovered-page overlay.
+  for (const auto& [old_home, new_home] : moves) {
+    AsvmAgent& backup = agent(new_home);
+    AsvmAgent::ObjectState& hs = backup.obj_state(id);
+    if (auto sit = backup.shadow_.find(id); sit != backup.shadow_.end()) {
+      for (auto& [page, sp] : sit->second) {
+        if (obj.Terminal(page) != new_home || !moved(page)) {
+          continue;  // another stripe's shadow, or a page that never moved
+        }
+        auto& hp = hs.home_pages.GetOrCreate(page);
+        if (hp.owner_exists) {
+          continue;  // a surviving owner's copy is newer than the writeback
+        }
+        auto& rp = hs.recovered.GetOrCreate(page);
+        rp.data = std::move(sp.data);
+        rp.version = sp.version;
+        hp.version = sp.version;
+        cluster_.stats().Add(kStatReconstructedPages);
+      }
+      backup.shadow_.erase(sit);
+    }
+    cluster_.stats().Add(kStatPromotions);
+    backup.Trace(TraceKind::kPromote, id, kInvalidPage, old_home);
+  }
+}
+
+void AsvmSystem::ColdRestart(NodeId node) {
+  cluster_.AssertDriverQuiescent("ASVM cold restart from inside a shard window");
+  cluster_.stats().Add(kStatRestarts);
+  FaultPlan* plan = cluster_.fault_plan();
+  const SimTime now = cluster_.Now();
+  AsvmAgent& a = agent(node);
+  NodeVm& vm = cluster_.vm(node);
+
+  std::vector<MemObjectId> ids;
+  ids.reserve(a.objects_.size());
+  for (const auto& [id, os] : a.objects_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const MemObjectId& id : ids) {
+    AsvmAgent::ObjectState& os = *a.objects_.at(id);
+    AsvmObjectInfo& obj = info(id);
+
+    // Reconcile first: ownership this node held died with it. Drop the
+    // attribution at each surviving terminal so the next request re-grants
+    // from backing instead of chasing a node with empty memory.
+    os.pages.ForEach([&](PageIndex p, const AsvmAgent::PageState& ps) {
+      if (!ps.owner) {
+        return;
+      }
+      const NodeId term = obj.Terminal(p);
+      if (term == node || (plan != nullptr && !plan->NodeAlive(term, now))) {
+        return;
+      }
+      AsvmAgent::ObjectState* tos = agent(term).FindObjState(id);
+      if (tos == nullptr) {
+        return;
+      }
+      if (auto* hp = tos->home_pages.Find(p); hp != nullptr && hp->last_owner == node) {
+        hp->owner_exists = false;
+        hp->last_owner = kInvalidNode;
+      }
+    });
+    // Same rule for records this node keeps as a terminal about itself. Other
+    // nodes' entries stay: like XMM's manager table, the surviving records are
+    // still conservative — any grant during the outage promoted the role away.
+    os.home_pages.ForEach([&](PageIndex, AsvmAgent::ObjectState::HomePage& hp) {
+      if (hp.last_owner == node) {
+        hp.owner_exists = false;
+        hp.last_owner = kInvalidNode;
+      }
+    });
+
+    // Volatile per-page state resets in place: suspended coroutines may hold
+    // references into these tables, so entries are cleared, never erased.
+    os.pages.ForEach([](PageIndex, AsvmAgent::PageState& ps) { ps = {}; });
+    os.terminal.ForEach([](PageIndex, AsvmAgent::TerminalCtl& tc) {
+      tc.busy = false;
+      tc.queue.clear();
+    });
+    os.recovered.ForEach(
+        [](PageIndex, AsvmAgent::ObjectState::RecoveredPage& rp) { rp = {}; });
+    os.dyn_hints->Clear();
+    os.static_cache->Clear();
+    os.pageout_cursor = 0;
+    os.last_pageout_accept = kInvalidNode;
+
+    if (os.repr != nullptr) {
+      std::vector<PageIndex> pages;
+      pages.reserve(os.repr->resident_pages().size());
+      for (const auto& [page, vp] : os.repr->resident_pages()) {
+        pages.push_back(page);
+      }
+      std::sort(pages.begin(), pages.end());
+      for (PageIndex page : pages) {
+        vm.RemovePage(*os.repr, page);
+      }
+    }
+  }
+  // Any shadow state this node held as a backup is equally volatile.
+  a.shadow_.clear();
 }
 
 }  // namespace asvm

@@ -57,6 +57,10 @@ struct AsvmObjectInfo {
   uint64_t object_version = 0;      // bumped on each copy creation
   std::vector<NodeId> sharing;      // nodes with a local representation
   std::unique_ptr<ObjectBacking> backing;  // null for copy objects
+  // File/striped regions survive a home's death in external storage — failover
+  // re-homes them without shadow replication. Anonymous regions do not; their
+  // homes stream written-back pages to a backup (DESIGN.md §14).
+  bool file_backed = false;
 
   // §6 striped regions: one forwarding terminal per stripe (page p belongs
   // to stripe_homes[p % k]); empty for ordinary objects.
@@ -127,6 +131,23 @@ class AsvmSystem : public DsmSystem {
   MemObjectId NewObjectId(NodeId origin) {
     return MemObjectId{origin, next_seq_++};
   }
+
+  // --- Failover (DESIGN.md §14) ---------------------------------------------
+
+  // Re-homes `id` if its forwarding terminal(s) are confirmed dead: each dead
+  // home (or dead stripe home) moves to its first alive ring successor, the
+  // home-role directory is rebuilt from surviving owners' page state, and the
+  // backup's shadow store seeds the recovered-page overlay for pages whose
+  // only copy died with the old home. Idempotent; must run as a cluster
+  // mutation (all shards at a barrier). Copy objects are out of scope — their
+  // peer holds unreplicated VM links.
+  void PromoteIfHomeDead(const MemObjectId& id);
+
+  // Rejoin support: `node` restarts with empty caches. Clears its page/hint/
+  // terminal/shadow state in place (reference-stable: suspended coroutines may
+  // hold entry references), purges its resident pages, and drops home records
+  // attributed to it at surviving terminals. Must run as a cluster mutation.
+  void ColdRestart(NodeId node) override;
 
  private:
   Task RemoteForkTask(NodeId src, VmMap& parent, NodeId dst, Promise<VmMap*> done);

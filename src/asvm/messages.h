@@ -32,6 +32,7 @@ enum class AsvmMsgType : uint32_t {
   kMarkReadOnly,        // copy creation: downgrade resident source pages
   kMarkReadOnlyAck,
   kStaticHint,          // maintain a static ownership-manager cache entry
+  kShadowUpdate,        // failover: home -> backup, newest written-back page
 };
 
 // What a static ownership manager may know about a page (paper §3.4).
@@ -155,6 +156,16 @@ struct PullDone {
   NodeId new_owner;
 };
 
+// Failover (DESIGN.md §14): the home streams each written-back dirty page to
+// its backup (first alive ring successor). The backup keeps the newest buffer
+// per page; at promotion the store seeds the new home's recovered-page
+// overlay, standing in for the paging space that died with the old home.
+struct AsvmShadowUpdate {
+  MemObjectId object;
+  PageIndex page = kInvalidPage;
+  uint64_t version = 0;  // the writeback's page version
+};
+
 // The typed envelope body for the ASVM protocol: exactly one alternative per
 // distinct wire format. Several message types share a format (the six ack
 // types all carry an OfferReply; the receiver disambiguates on the type tag).
@@ -163,7 +174,7 @@ struct PullDone {
 using AsvmBody =
     std::variant<AccessRequest, AccessReply, InvalidateMsg, OwnershipOffer, OfferReply,
                  PageoutOffer, WritebackMsg, PushRequest, PushReply, PushData, MarkReadOnly,
-                 StaticHintMsg, PullDone>;
+                 StaticHintMsg, PullDone, AsvmShadowUpdate>;
 
 // Stats/debug label for each message type. The switch is exhaustive and the
 // build carries -Werror=switch: adding an AsvmMsgType value without extending
@@ -206,6 +217,8 @@ constexpr const char* MsgTypeName(AsvmMsgType type) {
       return "mark_read_only_ack";
     case AsvmMsgType::kStaticHint:
       return "static_hint";
+    case AsvmMsgType::kShadowUpdate:
+      return "shadow_update";
   }
   return "unknown";
 }

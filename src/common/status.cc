@@ -22,6 +22,8 @@ const char* ToString(Status status) {
       return "deadlock";
     case Status::kTimeout:
       return "timeout";
+    case Status::kNodeDown:
+      return "node_down";
     case Status::kInternal:
       return "internal";
   }

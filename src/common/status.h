@@ -16,6 +16,7 @@ enum class Status : uint8_t {
   kFailedPrecondition,
   kDeadlock,  // detected blocking-thread deadlock (XMM internal pager)
   kTimeout,   // pending protocol op exhausted its retries (fault injection)
+  kNodeDown,  // peer confirmed removed by the fault plan (not a transient loss)
   kInternal,
 };
 

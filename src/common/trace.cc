@@ -85,6 +85,12 @@ const char* ToString(TraceKind kind) {
       return "retry";
     case TraceKind::kTimeout:
       return "timeout";
+    case TraceKind::kFailover:
+      return "failover";
+    case TraceKind::kPromote:
+      return "promote";
+    case TraceKind::kLeaseReclaim:
+      return "lease-reclaim";
     case TraceKind::kKindCount:
       break;
   }
@@ -312,7 +318,8 @@ std::vector<FaultBreakdown> AnalyzeFaultBreakdowns(const std::deque<TraceEvent>&
         }
         break;
       }
-      case TraceKind::kTimeout: {
+      case TraceKind::kTimeout:
+      case TraceKind::kFailover: {
         // The exchange failed; it contributes no completed breakdown.
         by_op.erase(e.op);
         break;
@@ -347,6 +354,8 @@ std::vector<FaultBreakdown> AnalyzeFaultBreakdowns(const std::deque<TraceEvent>&
       case TraceKind::kJitter:
       case TraceKind::kDiskRead:
       case TraceKind::kDiskWrite:
+      case TraceKind::kPromote:
+      case TraceKind::kLeaseReclaim:
       case TraceKind::kKindCount:
         break;
     }

@@ -83,6 +83,10 @@ enum class TraceKind : uint8_t {
   // --- Protocol hardening ----------------------------------------------------
   kRetry,              // pending-op deadline fired a resend (aux = next delay)
   kTimeout,            // pending op exhausted its retries
+  // --- Failover ---------------------------------------------------------------
+  kFailover,           // op resolved kNodeDown: peer confirmed removed (peer)
+  kPromote,            // backup promoted to manager/home (peer = old manager)
+  kLeaseReclaim,       // dead owner's lease expired; ownership reclaimed
   kKindCount,
 };
 

@@ -28,6 +28,7 @@ ClusterParams MachineConfig::ToClusterParams() const {
   params.nodes_per_io_group = nodes_per_io_group;
   params.fault = fault;
   params.retry = retry;
+  params.failover = failover;
   params.shards = shards;
   return params;
 }
@@ -44,6 +45,26 @@ Machine::Machine(const MachineConfig& config) : config_(config) {
     case DsmKind::kXmm:
       dsm_ = std::make_unique<XmmSystem>(*cluster_, config.xmm);
       break;
+  }
+  if (config.failover.enabled) {
+    // Promotions and cold restarts apply as (send_time, origin, seq)-ordered
+    // cluster mutations; arming the mutator up front keeps the apply schedule
+    // identical at every shard count.
+    cluster_->mutator().Arm();
+    if (FaultPlan* plan = cluster_->fault_plan(); plan != nullptr) {
+      for (const NodeRemoval& r : plan->params().removals) {
+        if (r.restore_at == 0) {
+          continue;
+        }
+        // One-shot rejoin wake on the node's own engine (removal only severs
+        // the fabric; the engine keeps running), from where the cold restart
+        // enqueues as a mutation exactly like any other origin-side request.
+        const NodeId node = r.node;
+        cluster_->engine_for(node).Schedule(r.restore_at, [this, node]() {
+          cluster_->mutator().Enqueue(node, [this, node]() { dsm_->ColdRestart(node); });
+        });
+      }
+    }
   }
   if (config.stall_watchdog || !config.fault.Empty()) {
     cluster_->engine().SetStallHandler([this](const std::string& report) {

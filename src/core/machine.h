@@ -79,6 +79,11 @@ struct MachineConfig {
   // and the protocol timeout/retry policy (timeout_ns = 0 = retries off).
   FaultPlanParams fault;
   RetryPolicy retry;
+  // Primary-backup manager replication with online failover (DESIGN.md §14).
+  // Requires an armed retry policy to detect silence; promotions and cold
+  // restarts run as cluster mutations, so enabling this arms the windowed
+  // mutation-aware drain.
+  FailoverConfig failover;
   // Install the sim-engine stall watchdog (implied whenever `fault` is
   // non-empty): when the event queue drains while work is still blocked, the
   // machine captures a diagnostic report instead of silently returning.

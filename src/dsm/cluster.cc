@@ -96,6 +96,12 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
   // provably quiescent at the apply time.
   mutator_ = std::make_unique<ClusterMutator>(&router_, params_.shards,
                                               params_.node_count, lookahead_, &stats_);
+  if (params_.failover.enabled) {
+    // Failover promotions and cold restarts apply as cluster mutations; arm
+    // the windowed drain up front so the apply schedule is fixed before the
+    // first Run(), whichever layer (Machine or a raw Cluster test) drives it.
+    mutator_->Arm();
+  }
 
   const int groups = (params_.node_count + params_.nodes_per_io_group - 1) /
                      params_.nodes_per_io_group;

@@ -38,6 +38,16 @@ struct RetryPolicy {
   SimDuration max_delay_ns = kSecond;
 };
 
+// Manager-failover configuration (DESIGN.md §14). Disabled, none of the
+// shadowing / lease / promotion machinery runs and timelines keep their
+// healthy goldens. lease_ns must comfortably exceed the worst in-flight
+// message latency (fault jitter included) so an ownership transfer racing a
+// removal has settled before the terminal reclaims the dead owner's page.
+struct FailoverConfig {
+  bool enabled = false;
+  SimDuration lease_ns = 50 * kMillisecond;
+};
+
 struct ClusterParams {
   int node_count = 4;
   // Event core behind the engine; kReference selects the heap-based oracle
@@ -53,6 +63,7 @@ struct ClusterParams {
   int file_pager_count = 1;
   FaultPlanParams fault;  // empty = perfectly reliable fabric
   RetryPolicy retry;      // timeout_ns = 0: no pending-op deadlines
+  FailoverConfig failover;  // primary-backup manager replication (off = legacy)
   // Parallel simulation: partition the node space into this many shards, each
   // with its own engine, synchronized by conservative-lookahead windows
   // (DESIGN.md §13). shards == 1 keeps the exact single-engine code path.

@@ -62,6 +62,13 @@ class DsmSystem {
   // O(resident); the XMM manager is Θ(pages × sharers)).
   virtual size_t MetadataBytes(NodeId node) const = 0;
 
+  // Failover (DESIGN.md §14): a removed node with FaultPlan restore_at set
+  // rejoins at that instant with cold caches. Called from a cluster mutation
+  // (every engine quiescent); the system purges the node's cached page state
+  // and hints, and reconstructs any manager/home records the node still
+  // legitimately holds from the surviving agents. Default: nothing to do.
+  virtual void ColdRestart(NodeId node) { (void)node; }
+
  protected:
   // Concrete systems size the per-node id space during construction.
   void InitOpIds(int node_count) { next_op_id_.assign(static_cast<size_t>(node_count), 0); }

@@ -1,0 +1,33 @@
+// Primary-backup placement shared by both DSM backends (DESIGN.md §14).
+//
+// The backup of a manager/home node is its first *alive* ring successor
+// (node + 1 mod N, skipping nodes the fault plan has removed). Shadow
+// directory updates stream to that node while the primary is healthy, and
+// promotion — run as a cluster mutation with every engine quiescent — picks
+// the successor by the same rule, so the promoted manager already holds the
+// shadowed state. Keeping the rule in one place is what makes the two sides
+// agree without any extra coordination protocol.
+#ifndef SRC_DSM_FAILOVER_H_
+#define SRC_DSM_FAILOVER_H_
+
+#include "src/common/types.h"
+#include "src/mesh/fault_plan.h"
+
+namespace asvm {
+
+// First alive ring successor of `node` at `now`. A null plan means every node
+// is alive; kInvalidNode only when every other node is dead.
+NodeId RingSuccessor(NodeId node, int node_count, const FaultPlan* plan, SimTime now);
+
+// dsm.failover.* stat names, kept in one place so the emitting sites and the
+// --fault-report counter list stay in sync.
+inline constexpr const char* kStatPromotions = "dsm.failover.promotions";
+inline constexpr const char* kStatShadowUpdates = "dsm.failover.shadow_updates";
+inline constexpr const char* kStatLeaseReclaims = "dsm.failover.lease_reclaims";
+inline constexpr const char* kStatReconstructedPages = "dsm.failover.reconstructed_pages";
+inline constexpr const char* kStatRestarts = "dsm.failover.restarts";
+inline constexpr const char* kStatReissues = "dsm.failover.reissued_requests";
+
+}  // namespace asvm
+
+#endif  // SRC_DSM_FAILOVER_H_

@@ -55,14 +55,19 @@ Future<Status> ProtocolAgent::Process(SimDuration cost) {
 uint64_t ProtocolAgent::OpenOp(int outstanding, const char* what, MemObjectId object,
                                PageIndex page) {
   const uint64_t op = dsm_.NextOpId(node_);
+  RegisterOp(op, outstanding, what, object, page);
+  return op;
+}
+
+void ProtocolAgent::RegisterOp(uint64_t op_id, int outstanding, const char* what,
+                               MemObjectId object, PageIndex page) {
   auto pending = std::make_unique<PendingOp>(engine_);
   pending->outstanding = outstanding;
   pending->what = what;
   pending->object = object;
   pending->page = page;
   pending->opened_at = engine_.Now();
-  pending_ops_[op] = std::move(pending);
-  return op;
+  pending_ops_[op_id] = std::move(pending);
 }
 
 Future<Status> ProtocolAgent::OpFuture(uint64_t op_id) {
@@ -163,15 +168,45 @@ void ProtocolAgent::OpDeadline(uint64_t op_id) {
     engine_.Schedule(next_deadline, [this, op_id]() { OpDeadline(op_id); });
     return;
   }
-  if (stats_ != nullptr) {
-    stats_->Add("dsm.op_timeouts");
+  // Retries exhausted. Classify the failure: when the fault plan confirms
+  // every still-unanswered target node is removed, this is not a transient
+  // loss — resolve kNodeDown so failover-aware callers can promote a backup
+  // rather than blindly retrying. Without a fault plan (or when any silent
+  // target is still alive) the op resolves kTimeout exactly as before.
+  Status status = Status::kTimeout;
+  const FaultPlan* plan = dsm_.cluster().fault_plan();
+  if (plan != nullptr && !op.targets.empty()) {
+    const SimTime now = engine_.Now();
+    bool any_unanswered = false;
+    bool all_unanswered_dead = true;
+    for (NodeId t : op.targets) {
+      if (std::find(op.acked.begin(), op.acked.end(), t) != op.acked.end()) {
+        continue;
+      }
+      any_unanswered = true;
+      if (plan->NodeAlive(t, now)) {
+        all_unanswered_dead = false;
+        break;
+      }
+    }
+    if (any_unanswered && all_unanswered_dead) {
+      status = Status::kNodeDown;
+    }
   }
-  Trace(TraceKind::kTimeout, op.object, op.page, kInvalidNode, op.attempts, op_id);
+  if (stats_ != nullptr) {
+    stats_->Add(status == Status::kNodeDown ? "dsm.op_node_down" : "dsm.op_timeouts");
+  }
+  Trace(status == Status::kNodeDown ? TraceKind::kFailover : TraceKind::kTimeout, op.object,
+        op.page, kInvalidNode, op.attempts, op_id);
   ASVM_LOG_WARN << system_name_ << " node " << node_ << ": pending op " << op_id << " ("
-                << op.what << ") exhausted " << op.attempts
-                << " retries; resolving kTimeout";
-  it->second->done.Set(Status::kTimeout);
+                << op.what << ") exhausted " << op.attempts << " retries; resolving "
+                << ToString(status);
+  auto on_fail = std::move(op.on_fail);
+  it->second->done.Set(status);
   pending_ops_.erase(it);
+  if (on_fail) {
+    on_fail(status);
+  }
 }
 
 bool ProtocolAgent::DuplicateDelivery(uint64_t op_id) {

@@ -70,12 +70,23 @@ class ProtocolAgent {
     std::vector<NodeId> acked;       // responders already counted (dup shield)
     int attempts = 0;                // retries fired so far
     std::function<void()> resend;    // re-issues the unanswered requests
+    // Failover classification: the nodes this exchange is waiting on. When
+    // the deadline exhausts its retries and every unanswered target is
+    // confirmed removed by the fault plan, the op resolves kNodeDown instead
+    // of kTimeout (and `on_fail`, if set, runs after the entry is dropped —
+    // the hook that triggers backup promotion and request re-issue).
+    std::vector<NodeId> targets;
+    std::function<void(Status)> on_fail;
     explicit PendingOp(Engine& engine) : done(engine) {}
   };
 
   // Allocates an op id from the owning system's sequence and inserts an entry
   // expecting `outstanding` replies. The label/object/page feed stall reports.
   uint64_t OpenOp(int outstanding, const char* what = "op",
+                  MemObjectId object = kInvalidObject, PageIndex page = kInvalidPage);
+  // Inserts an entry under an id the caller already allocated (protocols whose
+  // request ids double as op ids: ASVM AccessRequest::req_id, XMM requests).
+  void RegisterOp(uint64_t op_id, int outstanding, const char* what = "op",
                   MemObjectId object = kInvalidObject, PageIndex page = kInvalidPage);
   Future<Status> OpFuture(uint64_t op_id);
   PendingOp* FindOp(uint64_t op_id);

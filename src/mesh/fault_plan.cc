@@ -26,6 +26,21 @@ bool FaultProfileFromName(const std::string& name, uint64_t seed, int node_count
     *out = params;
     return true;
   }
+  if (name == "kill-manager" || name == "rolling-restart") {
+    // Remove node 0 — where the fault-sweep workload homes its region, so the
+    // removal takes out the ASVM terminal / XMM centralized manager — after
+    // the healthy measurement phase. rolling-restart brings the node back
+    // with cold caches for the post-restore phase.
+    NodeRemoval removal;
+    removal.node = 0;
+    removal.at = 200 * kMillisecond;
+    if (name == "rolling-restart") {
+      removal.restore_at = 400 * kMillisecond;
+    }
+    params.removals.push_back(removal);
+    *out = params;
+    return true;
+  }
   if (name == "degraded-links") {
     // Every link touching node 0 runs at quarter bandwidth, plus one
     // seed-chosen additional link at half bandwidth.
@@ -63,12 +78,25 @@ FaultPlan::FaultPlan(Engine& engine, FaultPlanParams params, int node_count,
 bool FaultPlan::NodeAlive(NodeId node) const { return NodeAlive(node, engine_.Now()); }
 
 bool FaultPlan::NodeAlive(NodeId node, SimTime now) const {
+  return RemovedSince(node, now) < 0;
+}
+
+SimTime FaultPlan::RemovedSince(NodeId node, SimTime now) const {
   for (const NodeRemoval& r : params_.removals) {
-    if (r.node == node && now >= r.at) {
-      return false;
+    if (r.node == node && now >= r.at && (r.restore_at == 0 || now < r.restore_at)) {
+      return r.at;
     }
   }
-  return true;
+  return -1;
+}
+
+bool FaultPlan::HasRestores() const {
+  for (const NodeRemoval& r : params_.removals) {
+    if (r.restore_at != 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool FaultPlan::Delivers(NodeId src, NodeId dst) {
@@ -76,11 +104,21 @@ bool FaultPlan::Delivers(NodeId src, NodeId dst) {
 }
 
 bool FaultPlan::Delivers(NodeId src, NodeId dst, SimTime now) {
-  if (NodeAlive(src, now) && NodeAlive(dst, now)) {
+  const bool src_alive = NodeAlive(src, now);
+  const bool dst_alive = NodeAlive(dst, now);
+  if (src_alive && dst_alive) {
     return true;
   }
   if (stats_ != nullptr) {
+    // Aggregate plus per-removed-endpoint attribution, so a multi-removal
+    // plan shows which black hole ate the traffic.
     stats_->Add("fault.messages_dropped");
+    if (!src_alive) {
+      stats_->Add("fault.messages_dropped.node" + std::to_string(src));
+    }
+    if (!dst_alive && dst != src) {
+      stats_->Add("fault.messages_dropped.node" + std::to_string(dst));
+    }
   }
   return false;
 }
@@ -145,7 +183,11 @@ std::string FaultPlan::Describe() const {
   }
   for (const NodeRemoval& r : params_.removals) {
     out += "    node " + std::to_string(r.node) + ": removed at t=" + std::to_string(r.at) +
-           " ns\n";
+           " ns";
+    if (r.restore_at != 0) {
+      out += ", restored at t=" + std::to_string(r.restore_at) + " ns";
+    }
+    out += "\n";
   }
   if (params_.Empty()) {
     out += "    (empty)\n";

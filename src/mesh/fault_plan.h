@@ -46,6 +46,10 @@ struct NodeSlowdown {
 struct NodeRemoval {
   NodeId node = kInvalidNode;
   SimTime at = 0;  // the node's fabric interface dies at this simulated time
+  // 0: the removal is permanent. Otherwise the node rejoins (with cold
+  // caches — see DsmSystem::ColdRestart) at this time; rolling-restart
+  // regimes schedule one removal window per restarted node.
+  SimTime restore_at = 0;
 };
 
 struct FaultPlanParams {
@@ -62,7 +66,10 @@ struct FaultPlanParams {
 };
 
 // Builds a canned profile: "none" (empty plan), "jitter", "slow-node",
-// "degraded-links". Returns false for unknown names.
+// "degraded-links", "kill-manager" (permanently removes node 0 — the
+// fault-sweep region's home/manager — mid-run), "rolling-restart" (same
+// removal, but the node rejoins with cold caches later). Returns false for
+// unknown names.
 bool FaultProfileFromName(const std::string& name, uint64_t seed, int node_count,
                           FaultPlanParams* out);
 
@@ -88,6 +95,11 @@ class FaultPlan {
   double NodeCostFactor(NodeId node) const;
   bool NodeAlive(NodeId node) const;
   bool NodeAlive(NodeId node, SimTime now) const;
+  // Removal time of the window covering `now`, or -1 if the node is alive at
+  // `now`. Lease arithmetic measures reclaim eligibility from this instant.
+  SimTime RemovedSince(NodeId node, SimTime now) const;
+  // True when any removal schedules a rejoin (drives ColdRestart wiring).
+  bool HasRestores() const;
 
   // Human-readable plan summary for --fault-report.
   std::string Describe() const;

@@ -1,8 +1,10 @@
 #include "src/xmm/xmm_agent.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/log.h"
+#include "src/dsm/failover.h"
 
 namespace asvm {
 
@@ -10,6 +12,7 @@ XmmAgent::XmmAgent(XmmSystem& system, NodeId node)
     : ProtocolAgent(system, node, TraceProtocol::kXmm),
       system_(system),
       vm_(system.cluster().vm(node)),
+      failover_(system.cluster().params().failover),
       copy_threads_(system.cluster().engine_for(node), system.config().copy_pager_threads) {
   Listen(system_.cluster().norma(), ProtocolId::kXmm);
 }
@@ -111,9 +114,75 @@ void XmmAgent::SendRequest(const MemObjectId& id, PageIndex page, PageAccess acc
   Trace(TraceKind::kXmmRequest, id, page, info.manager, static_cast<int64_t>(access));
   if (info.manager == node_) {
     ManagerHandle(std::move(req));
-  } else {
-    Send(info.manager, XmmMsgType::kRequest, req);
+    return;
   }
+  if (failover_.enabled && retry_policy().timeout_ns > 0) {
+    // Arm a pending op on the request itself so manager silence is detected.
+    // The resend re-reads the directory: if another origin already promoted
+    // the backup, retries go straight to the new manager.
+    req.op_id = system_.NextOpId(node_);
+    RegisterOp(req.op_id, 1, "xmm-request", id, page);
+    if (PendingOp* op = FindOp(req.op_id); op != nullptr) {
+      op->targets = {info.manager};
+      op->on_fail = [this, id, page, access, has_copy](Status) {
+        ReissueAfterPromotion(id, page, access, has_copy);
+      };
+    }
+    ArmOp(req.op_id, [this, req]() {
+      const XmmObjectInfo& current = system_.info(req.object);
+      if (PendingOp* op = FindOp(req.op_id); op != nullptr) {
+        op->targets = {current.manager};
+      }
+      if (current.manager == node_) {
+        ManagerHandle(req);  // the promotion landed the manager role here
+      } else {
+        Send(current.manager, XmmMsgType::kRequest, req);
+      }
+    });
+  }
+  Send(info.manager, XmmMsgType::kRequest, req);
+}
+
+bool XmmAgent::Deposed(const XmmObjectInfo& info) const {
+  return failover_.enabled && info.manager != node_;
+}
+
+void XmmAgent::MirrorToBackup(NodeId primary, const MemObjectId& id, PageIndex page,
+                              const PageBuffer& data) {
+  if (!failover_.enabled) {
+    return;
+  }
+  const NodeId backup = RingSuccessor(primary, system_.cluster().node_count(),
+                                      system_.cluster().fault_plan(), engine().Now());
+  if (backup == kInvalidNode) {
+    return;
+  }
+  if (stats_ != nullptr) {
+    stats_->Add(kStatShadowUpdates);
+  }
+  if (backup == node_) {
+    // We are the primary's backup ourselves (eviction redirect): no wire hop.
+    shadow_[id][page] = ClonePage(data);
+    return;
+  }
+  Send(backup, XmmMsgType::kShadowUpdate, XmmShadowUpdate{id, page}, ClonePage(data));
+}
+
+void XmmAgent::ReissueAfterPromotion(const MemObjectId& id, PageIndex page, PageAccess access,
+                                     bool has_copy) {
+  // The manager is confirmed removed. Promote its backup at the next
+  // sequencing point — a cluster mutation, so every origin observes the
+  // handover in the same global order at every shard count — then replay the
+  // request against the new manager from this node's own engine.
+  system_.cluster().mutator().Enqueue(node_, [this, id, page, access, has_copy]() {
+    system_.PromoteIfManagerDead(id);
+    engine().Post([this, id, page, access, has_copy]() {
+      if (stats_ != nullptr) {
+        stats_->Add(kStatReissues);
+      }
+      SendRequest(id, page, access, has_copy);
+    });
+  });
 }
 
 EvictAction XmmAgent::OnEvict(VmObject& object, PageIndex page, PageBuffer data, bool dirty) {
@@ -136,6 +205,16 @@ EvictAction XmmAgent::OnEvict(VmObject& object, PageIndex page, PageBuffer data,
     // the internal pager only serves the frozen parent snapshot.
     vm_.default_pager()->WritePage(object.serial(), page, std::move(data));
     return EvictAction::kTaken;
+  }
+  if (failover_.enabled && !info.file_backed) {
+    if (const FaultPlan* plan = system_.cluster().fault_plan();
+        plan != nullptr && !plan->NodeAlive(info.manager, engine().Now())) {
+      // The manager is dead: a data return would be black-holed, losing the
+      // only copy. Ship the contents to the manager's backup instead;
+      // promotion turns the shadow entry into the new manager's pager copy.
+      MirrorToBackup(info.manager, object.id(), page, data);
+      return EvictAction::kTaken;
+    }
   }
   XmmFlushWriteReply ret{object.id(), page, /*dirty=*/true, /*was_resident=*/true,
                          /*op_id=*/0};
@@ -212,6 +291,9 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   // XMM stack processing at the manager (proxy + manager layer work),
   // serialized on the manager's CPU.
   co_await StackProcess();
+  if (Deposed(info)) {
+    co_return;  // promoted away while this request was parked; abandon it
+  }
   if (stats_ != nullptr) {
     stats_->Add("xmm.manager_requests");
   }
@@ -221,10 +303,29 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   // Step 1 (§2.3.2): create a coherent version of the page at the pager.
   // `ctl` stays valid across co_await: the dense PageTable never reallocates
   // for in-range pages.
-  const NodeId writer = FindWriter(ms, req.object, req.page);
+  NodeId writer = FindWriter(ms, req.object, req.page);
   ManagerState::PageCtl& ctl = ms.pages.GetOrCreate(req.page);
+  if (failover_.enabled && writer != kInvalidNode && writer != req.origin) {
+    // Lease check: a removed writer can never answer a flush. Once its lease
+    // has expired the manager reclaims the page without the round — the last
+    // contents died with the node, exactly as on the kNodeDown path below.
+    if (const FaultPlan* plan = system_.cluster().fault_plan(); plan != nullptr) {
+      const SimTime since = plan->RemovedSince(writer, engine.Now());
+      if (since >= 0 && engine.Now() >= since + failover_.lease_ns) {
+        AccessByte(ms, req.page, writer) = 0;
+        if (stats_ != nullptr) {
+          stats_->Add(kStatLeaseReclaims);
+        }
+        Trace(TraceKind::kLeaseReclaim, req.object, req.page, writer);
+        writer = kInvalidNode;
+      }
+    }
+  }
   if (writer != kInvalidNode && writer != req.origin) {
     const uint64_t op = OpenOp(1, "flush-write", req.object, req.page);
+    if (PendingOp* pending = FindOp(op); pending != nullptr) {
+      pending->targets = {writer};
+    }
     Future<Status> flushed = OpFuture(op);
     Trace(TraceKind::kXmmFlush, req.object, req.page, writer, /*aux=*/1, op);
     Send(writer, XmmMsgType::kFlushWrite, XmmFlush{req.object, req.page, op});
@@ -232,9 +333,9 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
       Send(writer, XmmMsgType::kFlushWrite, XmmFlush{object, page, op});
     });
     co_await flushed;
-    // On timeout (the writer's node was removed) the entry is already gone:
-    // treat the writer as holding nothing and clear its access byte — the
-    // page's last contents died with the node.
+    // On timeout / kNodeDown (the writer's node was removed) the entry is
+    // already gone: treat the writer as holding nothing and clear its access
+    // byte — the page's last contents died with the node.
     PageBuffer data;
     bool dirty = false;
     bool resident = false;
@@ -243,6 +344,9 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
       dirty = pending->dirty;
       resident = pending->was_resident;
       EraseOp(op);
+    }
+    if (Deposed(info)) {
+      co_return;  // ms/ctl may now belong to a cold-restarted table
     }
     AccessByte(ms, req.page, writer) = 0;
     if (resident) {
@@ -257,6 +361,12 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
           if (stats_ != nullptr) {
             stats_->Add("xmm.dirty_cleanings");
           }
+          if (Deposed(info)) {
+            co_return;
+          }
+        }
+        if (!info.file_backed) {
+          MirrorToBackup(node_, req.object, req.page, data);
         }
       }
       ctl.pager_copy = std::move(data);
@@ -266,9 +376,29 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   // Step 2: a write request flushes every reader (except the requester).
   if (req.access == PageAccess::kWrite) {
     std::vector<NodeId> readers = FindReaders(ms, req.object, req.page, req.origin);
+    if (failover_.enabled && !readers.empty()) {
+      // Removed readers' copies died with them: drop them from the round
+      // instead of burning the full retry horizon on silence.
+      if (const FaultPlan* plan = system_.cluster().fault_plan(); plan != nullptr) {
+        const SimTime now = engine.Now();
+        std::vector<NodeId> alive;
+        alive.reserve(readers.size());
+        for (NodeId r : readers) {
+          if (plan->NodeAlive(r, now)) {
+            alive.push_back(r);
+          } else {
+            AccessByte(ms, req.page, r) = 0;
+          }
+        }
+        readers = std::move(alive);
+      }
+    }
     if (!readers.empty()) {
       const uint64_t op =
           OpenOp(static_cast<int>(readers.size()), "flush-read-round", req.object, req.page);
+      if (PendingOp* pending = FindOp(op); pending != nullptr) {
+        pending->targets = readers;
+      }
       Future<Status> acked = OpFuture(op);
       for (NodeId r : readers) {
         Trace(TraceKind::kXmmFlush, req.object, req.page, r, /*aux=*/2, op);
@@ -290,6 +420,9 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
       });
       co_await acked;
       EraseOp(op);
+      if (Deposed(info)) {
+        co_return;
+      }
       for (NodeId r : readers) {
         AccessByte(ms, req.page, r) = 0;
       }
@@ -328,13 +461,16 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
     co_await Delay(engine, system_.config().pager_fresh_ns);
     zero_fill = true;
   }
+  if (Deposed(info)) {
+    co_return;
+  }
   AccessByte(ms, req.page, req.origin) = req.access == PageAccess::kWrite ? 2 : 1;
   if (req.access == PageAccess::kWrite) {
     // The new writer's modifications supersede the pager's copy.
     ctl.pager_copy = nullptr;
   }
 
-  XmmReply reply{req.object, req.page, req.access, zero_fill && !upgrade, upgrade};
+  XmmReply reply{req.object, req.page, req.access, zero_fill && !upgrade, upgrade, req.op_id};
   if (stats_ != nullptr) {
     stats_->Add(req.access == PageAccess::kWrite ? "xmm.write_grants" : "xmm.read_grants");
   }
@@ -411,11 +547,25 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
   XmmBody body = std::get<XmmBody>(std::move(msg.body));
   // -Werror=switch keeps this dispatcher exhaustive over XmmMsgType.
   switch (static_cast<XmmMsgType>(msg.type)) {
-    case XmmMsgType::kRequest:
-      ManagerHandle(std::get<XmmRequest>(std::move(body)));
+    case XmmMsgType::kRequest: {
+      auto req = std::get<XmmRequest>(std::move(body));
+      if (DuplicateDelivery(req.op_id)) {
+        return;  // a retry of a request already parked or being served here
+      }
+      ManagerHandle(std::move(req));
       return;
+    }
     case XmmMsgType::kReply: {
       const auto& reply = std::get<XmmReply>(body);
+      if (reply.op_id != 0) {
+        if (FindOp(reply.op_id) == nullptr) {
+          // The op resolved kNodeDown and the request was reissued; applying
+          // this straggler grant as well would double-supply the page.
+          CountDuplicate();
+          return;
+        }
+        ResolveOp(reply.op_id, Status::kOk);
+      }
       auto repr = reprs_.at(reply.object);
       Trace(TraceKind::kGrantApplied, reply.object, reply.page, src,
             static_cast<int64_t>(reply.granted));
@@ -461,6 +611,9 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
         if (info.backing != nullptr && m.dirty) {
           info.backing->Write(m.page, ClonePage(ctl.pager_copy), []() {});
         }
+        if (m.dirty && !info.file_backed) {
+          MirrorToBackup(node_, m.object, m.page, ctl.pager_copy);
+        }
         return;
       }
       PendingOp* op = FindOp(m.op_id);
@@ -502,6 +655,11 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
     case XmmMsgType::kCopyFault:
       (void)CopyFaultTask(src, std::get<XmmCopyFault>(std::move(body)));
       return;
+    case XmmMsgType::kShadowUpdate: {
+      const auto& m = std::get<XmmShadowUpdate>(body);
+      shadow_[m.object][m.page] = std::move(msg.page);
+      return;
+    }
     case XmmMsgType::kCopyFaultReply: {
       const auto& m = std::get<XmmCopyFaultReply>(body);
       auto repr = reprs_.at(m.object);

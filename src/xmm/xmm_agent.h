@@ -7,6 +7,7 @@
 #define SRC_XMM_XMM_AGENT_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +74,27 @@ class XmmAgent : public Pager, public ProtocolAgent {
 
   void SendRequest(const MemObjectId& id, PageIndex page, PageAccess access, bool has_copy);
 
+  // --- Failover (DESIGN.md §14) ---------------------------------------------
+
+  // True when this node used to manage `info`'s object but a promotion moved
+  // the role elsewhere (we were removed). A deposed ManagerServe coroutine
+  // abandons its exchange instead of touching state that now lives on the
+  // promoted backup (or that a cold restart has erased).
+  bool Deposed(const XmmObjectInfo& info) const;
+
+  // Streams page contents to `primary`'s backup (first alive ring successor).
+  // The manager mirrors its coherent pager copies (primary = itself); a proxy
+  // evicting a dirty page while the manager is dead redirects the data return
+  // here (primary = the dead manager) so the contents survive promotion.
+  // No-op with failover disabled or no other node alive.
+  void MirrorToBackup(NodeId primary, const MemObjectId& id, PageIndex page,
+                      const PageBuffer& data);
+
+  // kNodeDown recovery: promote the dead manager's backup at the next
+  // sequencing point, then replay the request against the new manager.
+  void ReissueAfterPromotion(const MemObjectId& id, PageIndex page, PageAccess access,
+                             bool has_copy);
+
   // Manager role.
   void ManagerHandle(XmmRequest req);
   Task ManagerServe(XmmRequest req);
@@ -97,7 +119,12 @@ class XmmAgent : public Pager, public ProtocolAgent {
 
   XmmSystem& system_;
   NodeVm& vm_;
+  FailoverConfig failover_;
   SimSemaphore copy_threads_;
+  // Backup role: newest shadowed page contents per object, streamed from
+  // primaries whose ring successor this node is. Ordered maps so promotion
+  // seeds pager copies in a shard-count-invariant order.
+  std::map<MemObjectId, std::map<PageIndex, PageBuffer>> shadow_;
   std::unordered_map<MemObjectId, std::shared_ptr<VmObject>> reprs_;
   std::unordered_map<MemObjectId, std::unique_ptr<ManagerState>> manager_;
   std::unordered_map<MemObjectId, CopyPagerEntry> copy_pagers_;

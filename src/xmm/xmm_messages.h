@@ -22,6 +22,7 @@ enum class XmmMsgType : uint32_t {
   kFlushReadAck,
   kCopyFault,        // remote child -> internal copy pager on the source node
   kCopyFaultReply,
+  kShadowUpdate,     // manager -> backup: replicated directory/page state
 };
 
 struct XmmRequest {
@@ -30,6 +31,9 @@ struct XmmRequest {
   PageAccess access = PageAccess::kRead;
   NodeId origin = kInvalidNode;
   bool has_copy = false;  // origin already holds a read copy (upgrade)
+  // Failover: pending-op id armed at the proxy so manager silence is
+  // detected (0 = legacy fire-and-forget request, never retried).
+  uint64_t op_id = 0;
 };
 
 struct XmmReply {
@@ -38,6 +42,16 @@ struct XmmReply {
   PageAccess granted = PageAccess::kNone;
   bool zero_fill = false;
   bool upgrade = false;
+  uint64_t op_id = 0;  // echo of XmmRequest::op_id
+};
+
+// Manager -> backup: the page contents the manager just accepted into its
+// coherent pager-level copy (dirty cleaning or eviction return). The backup
+// keeps the newest buffer per page; on promotion it becomes the new
+// manager's pager copy, replacing the paging space that died with the node.
+struct XmmShadowUpdate {
+  MemObjectId object;
+  PageIndex page = kInvalidPage;
 };
 
 struct XmmFlush {
@@ -74,7 +88,7 @@ struct XmmCopyFaultReply {
 // (XmmFlush serves both flush directions, XmmFlushWriteReply doubles as the
 // read-flush ack — the type tag disambiguates, as on the real wire).
 using XmmBody = std::variant<XmmRequest, XmmReply, XmmFlush, XmmFlushWriteReply, XmmCopyFault,
-                             XmmCopyFaultReply>;
+                             XmmCopyFaultReply, XmmShadowUpdate>;
 
 // Stats/debug label per message type; exhaustive under -Werror=switch.
 constexpr const char* MsgTypeName(XmmMsgType type) {
@@ -95,6 +109,8 @@ constexpr const char* MsgTypeName(XmmMsgType type) {
       return "copy_fault";
     case XmmMsgType::kCopyFaultReply:
       return "copy_fault_reply";
+    case XmmMsgType::kShadowUpdate:
+      return "shadow_update";
   }
   return "unknown";
 }

@@ -1,6 +1,10 @@
 #include "src/xmm/xmm_system.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/common/log.h"
+#include "src/dsm/failover.h"
 #include "src/xmm/xmm_agent.h"
 
 namespace asvm {
@@ -144,6 +148,106 @@ VmMap* XmmSystem::ApplyRemoteFork(NodeId src, VmMap& parent, NodeId dst) {
 
 size_t XmmSystem::MetadataBytes(NodeId node) const {
   return agents_.at(node)->MetadataBytes();
+}
+
+// --- Failover ----------------------------------------------------------------
+
+void XmmSystem::PromoteIfManagerDead(const MemObjectId& id) {
+  cluster_.AssertDriverQuiescent("XMM promotion from inside a shard window");
+  XmmObjectInfo& obj = info(id);
+  FaultPlan* plan = cluster_.fault_plan();
+  const SimTime now = cluster_.Now();
+  if (plan == nullptr || plan->NodeAlive(obj.manager, now)) {
+    return;  // an earlier mutation this barrier already promoted (idempotent)
+  }
+  const NodeId old_manager = obj.manager;
+  const NodeId new_manager = RingSuccessor(old_manager, cluster_.node_count(), plan, now);
+  ASVM_CHECK_MSG(new_manager != kInvalidNode, "no surviving node to promote");
+  obj.manager = new_manager;
+  XmmAgent& backup = agent(new_manager);
+  // The old paging space died with the manager. Fresh anonymous backing on the
+  // promoted node; the shadow store stands in for every dirty page the old
+  // manager had cleaned into it.
+  if (!obj.file_backed && !obj.IsCopyObject()) {
+    obj.backing = std::make_unique<AnonBacking>(cluster_.engine_for(new_manager),
+                                                cluster_.default_pager(new_manager),
+                                                NextXmmBackingKey());
+  }
+  XmmAgent::ManagerState& ms = backup.mgr_state(id);
+  if (auto sit = backup.shadow_.find(id); sit != backup.shadow_.end()) {
+    for (auto& [page, buf] : sit->second) {
+      ms.pages.GetOrCreate(page).pager_copy = std::move(buf);
+      cluster_.stats().Add(kStatReconstructedPages);
+    }
+    backup.shadow_.erase(sit);
+  }
+  // Rebuild the access table by asking every surviving kernel what it holds.
+  // Per-slot assignments are independent, so host iteration order of the
+  // resident maps cannot leak into the result; nodes scan in ascending order
+  // regardless (shard-count invariance).
+  for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+    if (!plan->NodeAlive(n, now)) {
+      continue;
+    }
+    XmmAgent& peer = agent(n);
+    auto rit = peer.reprs_.find(id);
+    if (rit == peer.reprs_.end()) {
+      continue;
+    }
+    for (const auto& [page, vp] : rit->second->resident_pages()) {
+      backup.AccessByte(ms, page, n) = AccessAllows(vp.lock, PageAccess::kWrite) ? 2 : 1;
+    }
+  }
+  cluster_.stats().Add(kStatPromotions);
+  backup.Trace(TraceKind::kPromote, id, kInvalidPage, old_manager);
+}
+
+void XmmSystem::ColdRestart(NodeId node) {
+  cluster_.AssertDriverQuiescent("XMM cold restart from inside a shard window");
+  cluster_.stats().Add(kStatRestarts);
+  XmmAgent& a = agent(node);
+  NodeVm& vm = cluster_.vm(node);
+  // Volatile state died with the node: every resident page of every local
+  // representation (objects and pages visited in sorted order so the rebuild
+  // is shard-count invariant).
+  std::vector<MemObjectId> ids;
+  ids.reserve(a.reprs_.size());
+  for (const auto& [id, repr] : a.reprs_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const MemObjectId& id : ids) {
+    VmObject& repr = *a.reprs_.at(id);
+    std::vector<PageIndex> pages;
+    pages.reserve(repr.resident_pages().size());
+    for (const auto& [page, vp] : repr.resident_pages()) {
+      pages.push_back(page);
+    }
+    std::sort(pages.begin(), pages.end());
+    for (PageIndex page : pages) {
+      vm.RemovePage(repr, page);
+    }
+  }
+  // Any shadow state this node held as a backup is equally volatile.
+  a.shadow_.clear();
+  // Manager records: drop state for objects promoted away while we were dark.
+  // An object still managed here saw no grants during the outage (any request
+  // would have promoted it away), so the surviving table is still conservative
+  // — only our own column and the in-memory pager copies are volatile.
+  for (auto it = a.manager_.begin(); it != a.manager_.end();) {
+    const XmmObjectInfo& obj = info(it->first);
+    if (obj.manager != node) {
+      it = a.manager_.erase(it);
+      continue;
+    }
+    XmmAgent::ManagerState& ms = *it->second;
+    for (PageIndex p = 0; p < static_cast<PageIndex>(obj.pages); ++p) {
+      a.AccessByte(ms, p, node) = 0;
+    }
+    ms.pages.ForEach(
+        [](PageIndex, XmmAgent::ManagerState::PageCtl& ctl) { ctl.pager_copy = nullptr; });
+    ++it;
+  }
 }
 
 }  // namespace asvm

@@ -65,6 +65,20 @@ class XmmSystem : public DsmSystem {
   Future<VmMap*> RemoteFork(NodeId src, VmMap& parent, NodeId dst) override;
   size_t MetadataBytes(NodeId node) const override;
 
+  // --- Failover (DESIGN.md §14) ---------------------------------------------
+
+  // Promotes the backup (first alive ring successor) of `id`'s manager if the
+  // manager is confirmed removed by the fault plan: re-homes the directory
+  // record, rebuilds the access table from surviving kernels, and turns the
+  // backup's shadow store into the new manager's pager copies. Idempotent;
+  // must run as a cluster mutation (every engine quiescent).
+  void PromoteIfManagerDead(const MemObjectId& id);
+
+  // Rejoin after FaultPlan::NodeRemoval::restore_at: the node comes back with
+  // cold caches — resident pages, shadow store, and in-memory pager copies
+  // are gone; paging-space (disk) contents survive. Runs as a mutation.
+  void ColdRestart(NodeId node) override;
+
   Cluster& cluster() override { return cluster_; }
   const XmmConfig& config() const { return config_; }
   XmmAgent& agent(NodeId node) { return *agents_.at(node); }

@@ -144,8 +144,9 @@ TEST(FaultInjectionTest, RetriesFireButCoherenceHolds) {
 }
 
 // A removed reader black-holes its invalidation. With retries armed the op
-// exhausts its budget, resolves kTimeout, and the write still completes — a
-// bounded failure instead of a wedged simulation.
+// exhausts its budget, resolves kNodeDown (the fault plan confirms every
+// unanswered target removed — not a generic kTimeout), and the write still
+// completes: a bounded, correctly attributed failure instead of a wedge.
 TEST(FaultInjectionTest, RemovedNodeTimesOutInsteadOfWedging) {
   constexpr SimTime kRemovalTime = 50 * kMillisecond;
   MachineConfig config;
@@ -178,7 +179,9 @@ TEST(FaultInjectionTest, RemovedNodeTimesOutInsteadOfWedging) {
   machine.Run();
   ASSERT_TRUE(w2.ready()) << "write wedged on the removed reader";
 
-  EXPECT_GE(machine.stats().Get("dsm.op_timeouts"), 1);
+  EXPECT_GE(machine.stats().Get("dsm.op_node_down"), 1);
+  EXPECT_EQ(machine.stats().Get("dsm.op_timeouts"), 0)
+      << "a confirmed-dead target must classify kNodeDown, not kTimeout";
   EXPECT_GE(machine.stats().Get("fault.messages_dropped"), 1);
 
   // The surviving nodes still agree on the new value.
@@ -186,6 +189,44 @@ TEST(FaultInjectionTest, RemovedNodeTimesOutInsteadOfWedging) {
   machine.Run();
   ASSERT_TRUE(r2.ready());
   EXPECT_EQ(r2.value(), 8u);
+}
+
+// The XMM manager's flush of a removed writer must also classify kNodeDown:
+// the fault plan confirms the flush target dead at the first deadline, the
+// manager treats the writer as holding nothing, and the read completes served
+// from the pager (the dirty contents died with the writer). No failover
+// needed — classification is always on and timeline-neutral.
+TEST(FaultInjectionTest, XmmFlushOfRemovedWriterResolvesNodeDown) {
+  constexpr SimTime kRemovalTime = 50 * kMillisecond;
+  MachineConfig config;
+  config.nodes = 4;
+  config.dsm = DsmKind::kXmm;
+  config.fault.removals.push_back({2, kRemovalTime});
+  config.retry.timeout_ns = 300 * kMicrosecond;
+  config.stall_watchdog = true;
+  Machine machine(config);
+
+  MemObjectId region = machine.CreateSharedRegion(0, 4);
+  TaskMemory& doomed_writer = machine.MapRegion(2, region);
+  TaskMemory& reader = machine.MapRegion(3, region);
+
+  auto w1 = doomed_writer.WriteU64(0, 7);
+  machine.Run();
+  ASSERT_TRUE(w1.ready());
+  ASSERT_EQ(w1.value(), Status::kOk);
+  ASSERT_LT(machine.Now(), kRemovalTime) << "setup overran the removal time";
+
+  machine.engine().Schedule(kRemovalTime - machine.Now() + kMillisecond, []() {});
+  machine.Run();
+  ASSERT_GT(machine.Now(), kRemovalTime);
+
+  auto r1 = reader.ReadU64(0);
+  machine.Run();
+  ASSERT_TRUE(r1.ready()) << "read wedged on the removed writer's flush";
+  EXPECT_EQ(r1.value(), 0u) << "the dirty contents died with the writer";
+  EXPECT_GE(machine.stats().Get("dsm.op_node_down"), 1);
+  EXPECT_EQ(machine.stats().Get("dsm.op_timeouts"), 0);
+  EXPECT_EQ(machine.stats().Get("sim.stalls_detected"), 0) << machine.last_stall_report();
 }
 
 // The same black hole with retries disabled: the op can never resolve, the
@@ -307,7 +348,7 @@ TEST(FaultInjectionTest, AggressiveBackoffSaturatesInsteadOfOverflowing) {
   machine.Run();
 
   ASSERT_TRUE(w2.ready()) << "write wedged instead of timing out";
-  EXPECT_GE(machine.stats().Get("dsm.op_timeouts"), 1);
+  EXPECT_GE(machine.stats().Get("dsm.op_node_down"), 1);
   // Every per-attempt delay is capped at max_delay_ns (1 s default), so 12
   // retries finish within seconds of simulated time — not decades, and never
   // a negative-delay CHECK.

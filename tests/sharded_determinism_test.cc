@@ -26,8 +26,10 @@
 #include "src/common/trace.h"
 #include "src/core/machine.h"
 #include "src/core/measure.h"
+#include "src/dsm/failover.h"
 #include "src/em3d/em3d.h"
 #include "src/mappedfs/file_bench.h"
+#include "src/mesh/fault_plan.h"
 
 namespace asvm {
 namespace {
@@ -311,6 +313,102 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadMatrixTest,
                            }
                            return name;
                          });
+
+// --- Failover regime --------------------------------------------------------------
+//
+// The hardest ordering regime: the kill-manager profile removes node 0 mid-run
+// and every surviving origin independently detects the silence, races to
+// enqueue the promotion mutation, and replays its request against the new
+// manager. The mutation-at-barrier rule must make all of that — detection
+// order, the single winning promotion, reissues, shadow reconstruction —
+// byte-identical at every shard count, down to the Chrome trace JSON.
+
+struct FailoverDigest {
+  uint64_t digest = 0;
+  std::string stats;       // text dump of every failover/fault counter
+  std::string trace_json;  // full Chrome trace of the run
+};
+
+FailoverDigest KillManagerDigest(DsmKind kind, int shards) {
+  MachineConfig config;
+  config.nodes = 8;
+  config.dsm = kind;
+  config.shards = shards;
+  config.nodes_per_io_group = 2;  // 4 shard blocks: shards up to 4 are real
+  EXPECT_TRUE(FaultProfileFromName("kill-manager", 1, config.nodes, &config.fault));
+  config.retry.timeout_ns = 2 * kMillisecond;
+  config.failover.enabled = true;
+  Machine machine(config);
+  TraceBuffer trace(1 << 20);
+  machine.AttachMonitor(&trace);
+
+  constexpr VmSize kPages = 6;
+  MemObjectId region = machine.CreateSharedRegion(0, kPages);
+  std::vector<TaskMemory*> mems;
+  for (NodeId n = 0; n < 8; ++n) {
+    mems.push_back(&machine.MapRegion(n, region));
+  }
+
+  uint64_t digest = 14695981039346656037ULL;
+  // Healthy phase: survivors spread ownership and copies around.
+  for (VmSize p = 0; p < kPages; ++p) {
+    const VmOffset addr = p * machine.page_size();
+    auto w = mems[1 + p % 7]->WriteU64(addr, 4000 + p);
+    machine.Run();
+    auto r = mems[1 + (p + 2) % 7]->ReadU64(addr);
+    machine.Run();
+    digest = Fnv1a(digest, r.ready() ? r.value() : ~0ULL);
+    digest = Fnv1a(digest, static_cast<uint64_t>(machine.Now()));
+  }
+  // Cross the kill at 200 ms, then read and write through the promotion.
+  machine.engine().Schedule(200 * kMillisecond + kMillisecond - machine.Now(), []() {});
+  machine.Run();
+  for (VmSize p = 0; p < kPages; ++p) {
+    const VmOffset addr = p * machine.page_size();
+    auto r = mems[1 + (p + 4) % 7]->ReadU64(addr);
+    machine.Run();
+    digest = Fnv1a(digest, r.ready() ? r.value() : ~0ULL);
+    auto w = mems[1 + (p + 5) % 7]->WriteU64(addr, 5000 + p);
+    machine.Run();
+    digest = Fnv1a(digest, static_cast<uint64_t>(machine.Now()));
+  }
+
+  FailoverDigest out;
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.Now()));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.messages")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.bytes")));
+  digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("vm.faults")));
+  for (const char* stat :
+       {kStatPromotions, kStatShadowUpdates, kStatLeaseReclaims, kStatReconstructedPages,
+        kStatReissues, "dsm.op_node_down", "dsm.op_timeouts", "dsm.op_retries",
+        "dsm.duplicates_suppressed", "fault.messages_dropped",
+        "fault.messages_dropped.node0"}) {
+    out.stats += std::string(stat) + "=" +
+                 std::to_string(machine.stats().Get(stat)) + "\n";
+  }
+  out.trace_json = ChromeTraceJson(trace);
+  out.digest = FoldString(FoldString(digest, out.stats), out.trace_json);
+  EXPECT_GE(machine.stats().Get(kStatPromotions), 1)
+      << ToString(kind) << " at shards=" << shards;
+  return out;
+}
+
+TEST(ShardedDeterminismTest, KillManagerRecoveryMatchesAcrossShardCounts) {
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+    const FailoverDigest single = KillManagerDigest(kind, 1);
+    for (int shards : {2, 4}) {
+      const FailoverDigest sharded = KillManagerDigest(kind, shards);
+      EXPECT_EQ(sharded.stats, single.stats)
+          << ToString(kind) << ": failover counters diverged at shards=" << shards;
+      EXPECT_TRUE(sharded.trace_json == single.trace_json)
+          << ToString(kind) << ": recovery trace JSON differs at shards=" << shards
+          << " (" << single.trace_json.size() << " vs " << sharded.trace_json.size()
+          << " bytes)";
+      EXPECT_EQ(sharded.digest, single.digest)
+          << ToString(kind) << " recovery diverged at shards=" << shards;
+    }
+  }
+}
 
 // --- Mutation-ordering unit test --------------------------------------------------
 

@@ -19,6 +19,7 @@
 #include "src/common/trace.h"
 #include "src/core/machine.h"
 #include "src/core/measure.h"
+#include "src/dsm/failover.h"
 #include "src/apps/sor.h"
 #include "src/em3d/em3d.h"
 #include "src/mappedfs/file_bench.h"
@@ -80,7 +81,10 @@ void Usage() {
       "                           manager-service/data-transfer/retry segments)\n"
       "  --stats                  dump the statistics registry\n"
       "  --msg-stats              count transport messages per protocol type\n"
-      "  --fault-profile=P        none | jitter | slow-node | degraded-links (default none)\n"
+      "  --fault-profile=P        none | jitter | slow-node | degraded-links |\n"
+      "                           kill-manager | rolling-restart (default none);\n"
+      "                           node-removal profiles auto-enable manager failover\n"
+      "                           (replicated directories, leases, online promotion)\n"
       "  --fault-seed=N           seed for the fault plan's RNG (default 1)\n"
       "  --fault-report           print the fault plan and robustness counters\n");
 }
@@ -298,23 +302,82 @@ int RunFile(Machine& machine, const Options& opts, bool write) {
   return 0;
 }
 
-int RunFaultSweep(Machine& machine, const Options& opts) {
+// Advances simulated time just past `when` in bounded slices. A parked wake
+// guarantees clock progress even when the queue is otherwise empty (RunFor
+// only advances the clock while events remain).
+void AdvanceJustPast(Machine& machine, SimTime when) {
+  if (machine.Now() > when) {
+    return;
+  }
+  machine.engine().Schedule(when + kMillisecond - machine.Now(), []() {});
+  while (machine.Now() <= when) {
+    machine.RunFor(kMillisecond);
+  }
+}
+
+// Latency of one access without the full-drain quiescence of MeasureReadMs /
+// MeasureWriteMs: a failover plan parks far-future removal/restore wakes in
+// the queue, and a full drain would fast-forward the sweep past them.
+template <typename T>
+double SlicedAccessMs(Machine& machine, Future<T> f) {
+  const SimDuration d = AwaitLatency(machine, f);
+  machine.RunFor(5 * kMillisecond);  // bounded settle for background traffic
+  return ToMilliseconds(d);
+}
+
+int RunFaultSweep(Machine& machine, const Options& opts, bool failover) {
   MemObjectId region = machine.CreateSharedRegion(0, 8);
   if (opts.nodes < 4) {
     std::printf("fault-sweep needs --nodes >= 4\n");
     return 1;
   }
   TaskMemory& creator = machine.MapRegion(1, region);
-  double ms = MeasureWriteMs(machine, creator, 0, 1);
-  std::printf("first write (zero-fill grant):        %7.2f ms\n", ms);
   TaskMemory& reader = machine.MapRegion(2, region);
-  ms = MeasureReadMs(machine, reader, 0);
-  std::printf("remote read (owner serve):            %7.2f ms\n", ms);
   TaskMemory& writer = machine.MapRegion(3, region);
-  ms = MeasureWriteMs(machine, writer, 0, 2);
+  double ms = failover ? SlicedAccessMs(machine, creator.WriteU64(0, 1))
+                       : MeasureWriteMs(machine, creator, 0, 1);
+  std::printf("first write (zero-fill grant):        %7.2f ms\n", ms);
+  ms = failover ? SlicedAccessMs(machine, reader.ReadU64(0))
+                : MeasureReadMs(machine, reader, 0);
+  std::printf("remote read (owner serve):            %7.2f ms\n", ms);
+  ms = failover ? SlicedAccessMs(machine, writer.WriteU64(0, 2))
+                : MeasureWriteMs(machine, writer, 0, 2);
   std::printf("remote write (invalidate + transfer): %7.2f ms\n", ms);
-  ms = MeasureWriteMs(machine, writer, 0, 3);
+  ms = failover ? SlicedAccessMs(machine, writer.WriteU64(0, 3))
+                : MeasureWriteMs(machine, writer, 0, 3);
   std::printf("local re-write (cache hit):           %7.2f ms\n", ms);
+
+  if (!failover) {
+    return 0;
+  }
+  // Recovery phase: cross the plan's removals, then access through the
+  // promotion — the read pays silence detection plus backup promotion, the
+  // write runs against the already-promoted manager.
+  const FaultPlan* plan = machine.fault_plan();
+  SimTime last_removal = 0;
+  SimTime last_restore = 0;
+  for (const NodeRemoval& r : plan->params().removals) {
+    last_removal = std::max(last_removal, r.at);
+    last_restore = std::max(last_restore, r.restore_at);
+  }
+  AdvanceJustPast(machine, last_removal);
+  // An untouched page: first-touch forwarding terminates at the dead home, so
+  // the access pays silence detection plus backup promotion. (Previously
+  // touched pages may be served by their surviving owners without ever
+  // noticing the kill — that is the point of distributed ownership.)
+  const VmOffset fresh = 4 * machine.page_size();
+  ms = SlicedAccessMs(machine, reader.ReadU64(fresh));
+  std::printf("post-kill read (detect + promote):    %7.2f ms\n", ms);
+  ms = SlicedAccessMs(machine, writer.WriteU64(fresh, 4));
+  std::printf("post-kill write (promoted manager):   %7.2f ms\n", ms);
+  if (last_restore > 0) {
+    // Rejoin phase: the removed node is back with cold caches and must be
+    // able to fault the region in again.
+    AdvanceJustPast(machine, last_restore);
+    TaskMemory& rejoined = machine.MapRegion(0, region);
+    ms = SlicedAccessMs(machine, rejoined.ReadU64(0));
+    std::printf("rejoined read (cold cache):           %7.2f ms\n", ms);
+  }
   return 0;
 }
 
@@ -369,6 +432,7 @@ int Run(const Options& opts) {
   config.asvm.dynamic_forwarding = opts.dynamic_fwd;
   config.asvm.static_forwarding = opts.static_fwd;
   config.per_type_message_stats = opts.msg_stats;
+  bool failover = false;
   if (opts.fault_profile != "none") {
     if (!FaultProfileFromName(opts.fault_profile, opts.fault_seed, opts.nodes,
                               &config.fault)) {
@@ -378,6 +442,10 @@ int Run(const Options& opts) {
     // Faulty links need the protocol hardening on: deadline + bounded retry.
     config.retry.timeout_ns = 20 * kMillisecond;
     config.stall_watchdog = true;
+    // Node-removal profiles additionally need the failover machinery, or the
+    // run would wedge the moment the dead manager is asked for a page.
+    failover = !config.fault.removals.empty();
+    config.failover.enabled = failover;
   }
   Machine machine(config);
 
@@ -399,7 +467,7 @@ int Run(const Options& opts) {
   } else if (opts.workload == "file-write") {
     rc = RunFile(machine, opts, /*write=*/true);
   } else if (opts.workload == "fault-sweep") {
-    rc = RunFaultSweep(machine, opts);
+    rc = RunFaultSweep(machine, opts, failover);
   } else if (opts.workload == "fork-chain") {
     rc = RunForkChain(machine, opts);
   } else {
@@ -450,8 +518,11 @@ int Run(const Options& opts) {
     const char* counters[] = {"fault.messages_dropped", "fault.jitter_messages",
                               "fault.jitter_ns",        "fault.degraded_messages",
                               "fault.slowed_messages",  "dsm.op_retries",
-                              "dsm.op_timeouts",        "dsm.duplicates_suppressed",
-                              "sim.stalls_detected"};
+                              "dsm.op_timeouts",        "dsm.op_node_down",
+                              "dsm.duplicates_suppressed", "sim.stalls_detected",
+                              kStatPromotions,          kStatShadowUpdates,
+                              kStatLeaseReclaims,       kStatReconstructedPages,
+                              kStatRestarts,            kStatReissues};
     for (const char* name : counters) {
       std::printf("  %-28s %lld\n", name,
                   static_cast<long long>(machine.stats().Get(name)));
