@@ -100,6 +100,103 @@ void PrintPhase(const char* label, double asvm_ms, double xmm_ms) {
   std::printf("%-58s %9.2f %9.2f\n", label, asvm_ms, xmm_ms);
 }
 
+// The gossip A/B: two survivors each hold a pending op against the dead node.
+// The detector issues right after the kill and pays the full silence-detection
+// horizon (10+20+40+80 = 150 ms at a 10 ms base timeout). The bystander issues
+// 100 ms later — deep inside the detector's backoff. With death notices ON the
+// detector's kNodeDown classification is gossiped at the next barrier, the
+// bystander's pending op is cancelled mid-backoff, and it recovers
+// immediately; with notices OFF the bystander serves out its own full retry
+// horizon first.
+//
+// The op that wedges differs per DSM. XMM requesters forward every fault to
+// the centralized manager, so killing the manager wedges any first touch.
+// ASVM routing consults the removal oracle and never *sends* to a confirmed
+// dead node — the ops that still burn a horizon are the ones already aimed at
+// the victim, like a write upgrade invalidating a dead reader's copy. So the
+// ASVM victim is a reader (kill-owner's node 3) holding copies of two pages
+// owned by the detector and the bystander, and both survivors upgrade their
+// own pages after the kill.
+struct DeathNoticeLatency {
+  double bystander_ms = 0;
+  uint64_t notices = 0;
+};
+
+DeathNoticeLatency MeasureDeathNotice(DsmKind kind, bool notices_on) {
+  MachineConfig config = BenchConfig(kind, 8);
+  const bool asvm = kind == DsmKind::kAsvm;
+  const char* profile = asvm ? "kill-owner" : "kill-manager";
+  if (!FaultProfileFromName(profile, 1, config.nodes, &config.fault)) {
+    std::printf("unknown fault profile '%s'\n", profile);
+    return {};
+  }
+  config.retry.timeout_ns = 10 * kMillisecond;
+  config.failover.enabled = true;
+  config.failover.death_notices = notices_on;
+  Machine machine(config);
+
+  SimTime kill_at = 0;
+  NodeId victim = kHomeNode;
+  for (const auto& removal : machine.fault_plan()->params().removals) {
+    if (removal.at >= kill_at) {
+      kill_at = removal.at;
+      victim = static_cast<NodeId>(removal.node);
+    }
+  }
+
+  MemObjectId region = machine.CreateSharedRegion(kHomeNode, 8);
+  TaskMemory& creator = machine.MapRegion(kCreatorNode, region);
+  // kill-owner's victim is node 3 == kFirstReaderNode; the ASVM survivors
+  // must dodge it.
+  TaskMemory& detector = machine.MapRegion(kFaultNode, region);
+  TaskMemory& bystander =
+      machine.MapRegion(asvm ? kFirstReaderNode + 1 : kFirstReaderNode, region);
+
+  SlicedAccessMs(machine, creator.WriteU64(0, 1));
+  if (asvm) {
+    // Seed the wedge: detector and bystander each own a page whose read copy
+    // sits on the doomed reader, so their post-kill upgrades must invalidate
+    // a dead node.
+    TaskMemory& doomed = machine.MapRegion(victim, region);
+    SlicedAccessMs(machine, detector.WriteU64(5 * machine.page_size(), 2));
+    SlicedAccessMs(machine, doomed.ReadU64(5 * machine.page_size()));
+    SlicedAccessMs(machine, bystander.WriteU64(6 * machine.page_size(), 3));
+    SlicedAccessMs(machine, doomed.ReadU64(6 * machine.page_size()));
+  } else {
+    SlicedAccessMs(machine, detector.ReadU64(0));
+    SlicedAccessMs(machine, bystander.ReadU64(machine.page_size()));
+  }
+  AdvanceJustPast(machine, kill_at);
+
+  // Detector's op targets the dead node and starts the clock on silence
+  // detection; 100 ms into its backoff, the bystander wedges its own op
+  // against the same dead node.
+  DeathNoticeLatency out;
+  auto measure = [&](auto detect, auto probe_issue) {
+    AdvanceJustPast(machine, kill_at + 100 * kMillisecond);
+    const SimTime bystander_start = machine.Now();
+    auto probe = probe_issue();
+    for (int i = 0; i < 4000 && !probe.ready(); ++i) {
+      machine.RunFor(kMillisecond);
+    }
+    out.bystander_ms = probe.ready()
+                           ? ToMilliseconds(machine.Now() - bystander_start)
+                           : -1.0;
+    for (int i = 0; i < 4000 && !detect.ready(); ++i) {
+      machine.RunFor(kMillisecond);
+    }
+  };
+  if (asvm) {
+    measure(detector.WriteU64(5 * machine.page_size(), 4),
+            [&] { return bystander.WriteU64(6 * machine.page_size(), 5); });
+  } else {
+    measure(detector.ReadU64(5 * machine.page_size()),
+            [&] { return bystander.ReadU64(6 * machine.page_size()); });
+  }
+  out.notices = machine.stats().Get(kStatDeathNotices);
+  return out;
+}
+
 void RunFailoverBench(BenchJson& json) {
   PrintHeader("Failover: manager death and online recovery (ms)");
 
@@ -140,6 +237,41 @@ void RunFailoverBench(BenchJson& json) {
   json.Metric("promotions.xmm", (double)kill_xmm.promotions);
   json.Metric("restarts.asvm", (double)roll_asvm.restarts);
   json.Metric("restarts.xmm", (double)roll_xmm.restarts);
+
+  PrintHeader("Gossip death notices: bystander recovery mid-backoff (ms)");
+  const DeathNoticeLatency dn_on_asvm = MeasureDeathNotice(DsmKind::kAsvm, true);
+  const DeathNoticeLatency dn_off_asvm = MeasureDeathNotice(DsmKind::kAsvm, false);
+  const DeathNoticeLatency dn_on_xmm = MeasureDeathNotice(DsmKind::kXmm, true);
+  const DeathNoticeLatency dn_off_xmm = MeasureDeathNotice(DsmKind::kXmm, false);
+
+  std::printf("%-58s %9s %9s\n", "", "ASVM", "XMM");
+  PrintPhase("bystander read, death notices on", dn_on_asvm.bystander_ms,
+             dn_on_xmm.bystander_ms);
+  PrintPhase("bystander read, death notices off (own full horizon)",
+             dn_off_asvm.bystander_ms, dn_off_xmm.bystander_ms);
+  const double speedup_asvm =
+      dn_on_asvm.bystander_ms > 0 ? dn_off_asvm.bystander_ms / dn_on_asvm.bystander_ms
+                                  : 0;
+  const double speedup_xmm =
+      dn_on_xmm.bystander_ms > 0 ? dn_off_xmm.bystander_ms / dn_on_xmm.bystander_ms
+                                 : 0;
+  std::printf("speedup: asvm=%.2fx xmm=%.2fx; notices: asvm on/off=%llu/%llu "
+              "xmm on/off=%llu/%llu\n",
+              speedup_asvm, speedup_xmm, (unsigned long long)dn_on_asvm.notices,
+              (unsigned long long)dn_off_asvm.notices,
+              (unsigned long long)dn_on_xmm.notices,
+              (unsigned long long)dn_off_xmm.notices);
+
+  json.Metric("death_notice_read_ms.on.asvm", dn_on_asvm.bystander_ms);
+  json.Metric("death_notice_read_ms.off.asvm", dn_off_asvm.bystander_ms);
+  json.Metric("death_notice_read_ms.on.xmm", dn_on_xmm.bystander_ms);
+  json.Metric("death_notice_read_ms.off.xmm", dn_off_xmm.bystander_ms);
+  json.Metric("death_notice_speedup.asvm", speedup_asvm);
+  json.Metric("death_notice_speedup.xmm", speedup_xmm);
+  json.Metric("death_notices.on.asvm", (double)dn_on_asvm.notices);
+  json.Metric("death_notices.off.asvm", (double)dn_off_asvm.notices);
+  json.Metric("death_notices.on.xmm", (double)dn_on_xmm.notices);
+  json.Metric("death_notices.off.xmm", (double)dn_off_xmm.notices);
 }
 
 }  // namespace

@@ -22,8 +22,10 @@
 #    (default 1.5x) on each DSM.
 #  * bench_failover's recovery timeline (kill-manager + rolling-restart on
 #    both DSMs): latencies diff against the baseline like any other metric,
-#    and --check additionally requires exactly one promotion per kill and one
-#    restart per rolling restart. Every timeline digest the sharded bench
+#    and --check additionally requires exactly one promotion per kill, one
+#    restart per rolling restart, and a >= 1.2x gossip speedup on the
+#    death-notice A/B column (a bystander cancelled mid-backoff must beat
+#    one that serves out its own retry horizon). Every timeline digest the sharded bench
 #    emits — the storm shapes and the per-workload sweep (em3d, sor,
 #    file-read, file-write, fork-chain at 128 nodes) — must match shards=1
 #    exactly (every *.digest_match == 1). The per-workload speedup columns
@@ -193,6 +195,26 @@ for name in ("promotions.asvm", "promotions.xmm", "restarts.asvm", "restarts.xmm
         failures.append(f"failover/{name}: missing")
     elif entry["value"] != 1:
         failures.append(f"failover/{name}: expected exactly 1, got {entry['value']:g}")
+
+# Gossip gate: a bystander whose op is cancelled by the death notice must
+# recover measurably faster than one that serves out its own retry horizon,
+# on both DSMs; and the notice counter must fire exactly when enabled.
+for dsm in ("asvm", "xmm"):
+    entry = failover.get(f"death_notice_speedup.{dsm}")
+    checked += 1
+    if entry is None:
+        failures.append(f"failover/death_notice_speedup.{dsm}: missing")
+    elif entry["value"] < 1.2:
+        failures.append(
+            f"failover/death_notice_speedup.{dsm}: gossip speedup "
+            f"{entry['value']:.2f}x below floor 1.20x")
+    on = failover.get(f"death_notices.on.{dsm}")
+    off = failover.get(f"death_notices.off.{dsm}")
+    checked += 2
+    if on is None or on["value"] < 1:
+        failures.append(f"failover/death_notices.on.{dsm}: expected >= 1")
+    if off is None or off["value"] != 0:
+        failures.append(f"failover/death_notices.off.{dsm}: expected exactly 0")
 
 print(f"checked {checked} metrics against {baseline_path} (tolerance {tol * 100:.0f}%)")
 if failures:

@@ -292,6 +292,17 @@ void AsvmAgent::HandleRequest(AccessRequest req) {
   }
 
   if (ps != nullptr && ps->owner) {
+    if (req.origin == node_) {
+      // Our own request came back to us while we already own the page: a
+      // straggler duplicate whose live copy was served (dedup retired its
+      // op). Serving it would hand ownership away and the self-grant would
+      // then be dropped as a duplicate, evaporating the page — drop the
+      // request instead.
+      if (stats_ != nullptr) {
+        stats_->Add("asvm.self_stragglers_dropped");
+      }
+      return;
+    }
     if (ps->busy || ps->held()) {
       // A transition (write grant, push, eviction handoff) is in flight, or
       // the page is range-locked for exclusive local access; park until it
@@ -318,6 +329,7 @@ void AsvmAgent::RouteRequest(AccessRequest req) {
   ++req.hops;
   ASVM_CHECK_MSG(req.hops < 8 * system_.cluster().node_count() + 64,
                  "request forwarding failed to terminate");
+
 
   if (req.ring) {
     RingForward(std::move(req));
@@ -584,11 +596,65 @@ void AsvmAgent::MirrorToBackup(const MemObjectId& id, PageIndex page, uint64_t v
   if (backup == kInvalidNode) {
     return;  // no other node alive to shadow into
   }
+  // Stranded-shadow repair: if the ring rule now names a different backup than
+  // the one this stream has been feeding (the old one died, or rejoined with
+  // cold caches), replay the whole ledger there before the new update. In a
+  // healthy run the target never changes, so this costs nothing.
+  if (backup != shadow_target_ && shadow_target_ != kInvalidNode) {
+    ReplayShadowLedger(backup);
+  }
+  shadow_target_ = backup;
+  auto& sent = sent_shadow_[id][page];
+  sent.version = version;
+  sent.data = ClonePage(data);
   if (stats_ != nullptr) {
     stats_->Add(kStatShadowUpdates);
   }
   Send(backup, AsvmMsgType::kShadowUpdate, AsvmShadowUpdate{id, page, version},
        ClonePage(data));
+  SendShadowManifest(id, page, version, backup);
+}
+
+void AsvmAgent::SendShadowManifest(const MemObjectId& id, PageIndex page, uint64_t version,
+                                   NodeId backup) {
+  // The witness is the backup's own successor: a control-only record that the
+  // page was committed, surviving the simultaneous loss of primary + backup so
+  // promotion can answer kDataLost instead of zero-filling (DESIGN.md §14).
+  const NodeId witness = RingSuccessor(backup, system_.cluster().node_count(),
+                                       system_.cluster().fault_plan(), engine().Now());
+  if (witness == kInvalidNode || witness == node_) {
+    return;  // two-node cluster: the primary itself is the only other survivor
+  }
+  Send(witness, AsvmMsgType::kShadowManifest, AsvmShadowUpdate{id, page, version});
+}
+
+void AsvmAgent::ReplayShadowLedger(NodeId backup) {
+  for (auto& [id, pages] : sent_shadow_) {
+    for (auto& [page, sp] : pages) {
+      if (stats_ != nullptr) {
+        stats_->Add(kStatShadowRestreams);
+      }
+      Send(backup, AsvmMsgType::kShadowUpdate, AsvmShadowUpdate{id, page, sp.version},
+           ClonePage(sp.data));
+      SendShadowManifest(id, page, sp.version, backup);
+    }
+  }
+}
+
+void AsvmAgent::RetargetShadowStream(NodeId dead) {
+  if (!failover_.enabled || shadow_target_ != dead || sent_shadow_.empty()) {
+    return;
+  }
+  const NodeId backup = RingSuccessor(node_, system_.cluster().node_count(),
+                                      system_.cluster().fault_plan(), engine().Now());
+  if (backup == kInvalidNode) {
+    shadow_target_ = kInvalidNode;
+    return;
+  }
+  shadow_target_ = backup;
+  // Called from a death-notice mutation (all engines quiescent): the replay
+  // sends are ordinary engine work, so post them onto this node's timeline.
+  engine().Post([this, backup]() { ReplayShadowLedger(backup); });
 }
 
 void AsvmAgent::NotifyHomeOwner(const MemObjectId& id, PageIndex page, NodeId new_owner) {

@@ -9,6 +9,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -79,6 +80,12 @@ class AsvmAgent : public Pager, public ProtocolAgent {
       uint64_t version = 0;
     };
     PageTable<RecoveredPage> recovered;
+    // Home-role pages promotion proved unrecoverable: a surviving manifest
+    // witnesses the page was committed (written back dirty), but the home,
+    // its shadow, and every resident copy died. Faults on these pages answer
+    // Status::kDataLost instead of silently zero-filling; a later writeback
+    // (which cannot happen without new data) would clear the mark.
+    std::set<PageIndex> lost;
     // Internode pageout target selection (§3.6): cycling cursor + the node
     // that most recently accepted a transfer.
     size_t pageout_cursor = 0;
@@ -175,9 +182,31 @@ class AsvmAgent : public Pager, public ProtocolAgent {
 
   // Streams a written-back dirty page to this home's backup (first alive ring
   // successor) so the contents survive a later promotion. No-op with failover
-  // disabled or no other node alive.
+  // disabled or no other node alive. Also records the page in the primary-side
+  // ledger and sends a control-only commit witness to the second successor.
   void MirrorToBackup(const MemObjectId& id, PageIndex page, uint64_t version,
                       const PageBuffer& data);
+
+  // Replays the whole sent-shadow ledger to `backup`. Runs when the shadow
+  // target changed under us (the old backup died, or died and rejoined with
+  // cold caches) — without the replay everything streamed so far would be
+  // stranded on the dead backup and the next promotion would lose it.
+  void ReplayShadowLedger(NodeId backup);
+
+  // Death-notice hook: if `dead` was this home's shadow target, re-target the
+  // stream at the new ring successor and replay the ledger there. Called from
+  // the death-notice mutation (engines quiescent); the sends are posted.
+  void RetargetShadowStream(NodeId dead);
+
+  // Commit witness (no page payload) to the second alive successor, so a
+  // promotion that finds nothing can still tell "never written" apart from
+  // "written and lost".
+  void SendShadowManifest(const MemObjectId& id, PageIndex page, uint64_t version,
+                          NodeId backup);
+
+  // Terminal answer for a page promotion marked lost: the origin fails the
+  // fault Status::kDataLost.
+  void SendLostReply(const AccessRequest& req);
 
   // Keeps the home's last-owner attribution fresh after an ownership handoff
   // (write grant, eviction offer, pageout transfer) — the lease state machine
@@ -252,6 +281,14 @@ class AsvmAgent : public Pager, public ProtocolAgent {
     PageBuffer data;
   };
   std::map<MemObjectId, std::map<PageIndex, ShadowPage>> shadow_;
+  // Primary-side ledger of everything this node mirrored as a home, plus the
+  // node the last mirror went to. When that backup dies the ledger replays to
+  // the new ring successor (see RetargetShadowStream / ReplayShadowLedger).
+  std::map<MemObjectId, std::map<PageIndex, ShadowPage>> sent_shadow_;
+  NodeId shadow_target_ = kInvalidNode;
+  // Witness role: pages some home committed, recorded without contents.
+  // Promotion consults every survivor's manifest before declaring kDataLost.
+  std::map<MemObjectId, std::set<PageIndex>> shadow_manifest_;
   std::unordered_map<MemObjectId, std::unique_ptr<ObjectState>> objects_;
   std::unordered_map<uint64_t, Promise<bool>> scan_waiters_;  // push-scan replies
 };

@@ -249,6 +249,29 @@ void AsvmAgent::OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer d
   ObjectState& os = obj_state(reply.target);
   PageState& ps = page_state(os, reply.page);
 
+  if (reply.lost) {
+    // The terminal proved the page was committed and then lost with its home
+    // and every replica. The fault fails Status::kDataLost — waking the
+    // kernel's waiters with an error, never inventing zeros.
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.lost_page_faults");
+    }
+    if (ArmsRequests()) {
+      ResolveOp(reply.req_id, Status::kDataLost);
+    }
+    ps.pending = false;
+    ASVM_CHECK_MSG(os.repr != nullptr, "lost-page reply for unattached object");
+    vm_.FaultFailed(*os.repr, reply.page, Status::kDataLost);
+    Trace(TraceKind::kGrantApplied, reply.target, reply.page, src, -1, reply.req_id);
+    std::deque<AccessRequest> queued;
+    queued.swap(ps.queue);
+    for (auto& q : queued) {
+      RouteRequest(std::move(q));
+    }
+    PruneState(os, reply.page);
+    return;
+  }
+
   if (reply.retry) {
     // Push/pull race (§3.7.3): re-issue the request from scratch.
     if (stats_ != nullptr) {
@@ -335,7 +358,17 @@ void AsvmAgent::OnAccessReply(NodeId src, const AccessReply& reply, PageBuffer d
 
 void AsvmAgent::HandleAtTerminal(AccessRequest req) {
   AsvmObjectInfo& info = system_.info(req.search);
-  ASVM_CHECK(info.Terminal(req.page) == node_);
+  if (info.Terminal(req.page) != node_) {
+    // Epoch fence: the directory moved this role while the request was in
+    // flight (a cascade promoted past us). Re-route through the directory
+    // instead of serving with stale authority.
+    if (stats_ != nullptr) {
+      stats_->Add("asvm.stale_terminal_reroutes");
+    }
+    req.to_terminal = false;
+    SendToTerminal(std::move(req));
+    return;
+  }
   ObjectState& os = obj_state(req.search);
 
   if (req.target == req.search) {
@@ -343,19 +376,46 @@ void AsvmAgent::HandleAtTerminal(AccessRequest req) {
     if (hp.owner_exists && req.ring && req.ring_left == 0 && LeaseExpired(hp.last_owner)) {
       // A full ring (which skips removed nodes) found no live owner, the last
       // node we attributed ownership to is confirmed removed, and its lease
-      // has expired: reclaim the page. The dead owner's un-written-back
-      // modifications are lost — the grant below serves the newest surviving
-      // contents (recovered overlay or paging space).
-      if (stats_ != nullptr) {
-        stats_->Add(kStatLeaseReclaims);
-      }
-      Trace(TraceKind::kLeaseReclaim, req.search, req.page, hp.last_owner);
-      hp.owner_exists = false;
-      hp.last_owner = kInvalidNode;
+      // has expired: reclaim the page. The reclaim harvests the newest
+      // surviving read copy into the recovered overlay — it reads and edits
+      // other kernels' page tables, so it runs as a cluster mutation; the
+      // request is re-handled once the reclaim has applied.
+      system_.cluster().mutator().Enqueue(node_, [this, req]() {
+        system_.ReclaimDeadOwnerPage(req.search, req.page);
+        engine().Post([this, req]() mutable { HandleAtTerminal(std::move(req)); });
+      });
+      return;
     }
     if (hp.owner_exists) {
       // Someone owns the page; the caches just failed to find it. Fall back
       // to a global scan (never fails while an owner exists, §3.4).
+      if (req.ring && req.ring_left == 0 && hp.last_owner == req.origin) {
+        // The ring skips the origin by design, but the directory attributes
+        // ownership to exactly that node — either a resend's duplicate kept
+        // wandering after the live copy was served (the origin is, or is
+        // about to become, the owner), or the attribution is merely lagging
+        // a transfer notice. Re-arming the ring can never resolve this: hand
+        // the request to the attributed owner itself. A true owner drops its
+        // own straggler (HandleRequest); a non-owner re-routes it once the
+        // in-flight grant or ownership notice has landed.
+        if (stats_ != nullptr) {
+          stats_->Add("asvm.owner_is_origin_forwards");
+        }
+        AccessRequest fwd = req;
+        fwd.ring = false;
+        fwd.ring_pos = 0;
+        fwd.ring_left = 0;
+        fwd.to_terminal = false;
+        vm_.engine().Schedule(system_.config().agent_process_ns * 4,
+                              [this, fwd = std::move(fwd)]() mutable {
+                                if (fwd.origin == node_) {
+                                  HandleRequest(std::move(fwd));
+                                } else {
+                                  SendRequest(fwd.origin, fwd);
+                                }
+                              });
+        return;
+      }
       if (req.ring && req.ring_left == 0) {
         // A full ring missed a live owner: a transfer was in flight. Retry
         // the ring after a short delay.
@@ -375,6 +435,12 @@ void AsvmAgent::HandleAtTerminal(AccessRequest req) {
       req.ring_pos = 0;
       req.ring_left = static_cast<int>(info.sharing.size());
       RingForward(std::move(req));
+      return;
+    }
+    if (os.lost.count(req.page) != 0) {
+      // Promotion proved this page was committed and then lost with its home
+      // and every replica: the fault must fail, not zero-fill (DESIGN.md §14).
+      SendLostReply(req);
       return;
     }
     // No owner anywhere: we serialize the first-touch grant.
@@ -398,11 +464,29 @@ void AsvmAgent::HandleAtTerminal(AccessRequest req) {
 
   // Cross-space read-through (pull into another object's space): idempotent,
   // no serialization or ownership bookkeeping in this space.
+  if (!info.IsCopy() && os.lost.count(req.page) != 0) {
+    SendLostReply(req);
+    return;
+  }
   if (info.IsCopy() || (os.repr != nullptr && os.repr->shadow() != nullptr)) {
     (void)ServeByPull(std::move(req));
   } else {
     (void)ServeFromBacking(std::move(req));
   }
+}
+
+void AsvmAgent::SendLostReply(const AccessRequest& req) {
+  AccessReply reply;
+  reply.target = req.target;
+  reply.req_id = req.req_id;
+  reply.page = req.page;
+  reply.granted = req.access;
+  reply.lost = true;
+  if (stats_ != nullptr) {
+    stats_->Add("asvm.lost_page_replies");
+  }
+  Trace(TraceKind::kServeTerminal, req.search, req.page, req.origin, -1, req.req_id);
+  SendReply(req.origin, reply, nullptr);
 }
 
 Task AsvmAgent::ServeFromBacking(AccessRequest req) {

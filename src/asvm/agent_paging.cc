@@ -252,6 +252,7 @@ void AsvmAgent::OnWriteback(NodeId src, const WritebackMsg& m, PageBuffer data) 
   // home-backed) is the one durable copy — shadow it to the backup so the
   // contents survive if this home dies next (DESIGN.md §14).
   os.recovered.Erase(m.page);
+  os.lost.erase(m.page);
   if (failover_.enabled && m.dirty && !info.IsCopy() && !info.file_backed) {
     MirrorToBackup(m.object, m.page, m.page_version, data);
   }
@@ -616,6 +617,11 @@ void AsvmAgent::OnMessage(NodeId src, Message msg) {
       auto& sp = shadow_[m.object][m.page];
       sp.version = m.version;
       sp.data = std::move(msg.page);
+      return;
+    }
+    case AsvmMsgType::kShadowManifest: {
+      const auto& m = std::get<AsvmShadowUpdate>(body);
+      shadow_manifest_[m.object].insert(m.page);
       return;
     }
   }

@@ -309,6 +309,10 @@ void AsvmSystem::PromoteIfHomeDead(const MemObjectId& id) {
   if (moves.empty()) {
     return;
   }
+  // Epoch fencing: the directory's terminal assignments now carry a newer
+  // epoch; anything still in flight toward an ex-manager re-routes through
+  // the directory (see HandleAtTerminal) instead of being served stale.
+  ++obj.epoch;
 
   // Rebuild the home-role directory for the pages that moved: reset the new
   // terminal's records, then let every surviving owner re-assert itself.
@@ -325,6 +329,7 @@ void AsvmSystem::PromoteIfHomeDead(const MemObjectId& id) {
     hs.home_pages.Erase(p);
     hs.terminal.Erase(p);
     hs.recovered.Erase(p);
+    hs.lost.erase(p);
   }
   for (NodeId n = 0; n < cluster_.node_count(); ++n) {
     if (!plan->NodeAlive(n, now)) {
@@ -345,30 +350,169 @@ void AsvmSystem::PromoteIfHomeDead(const MemObjectId& id) {
     });
   }
 
-  // Pages whose only copy died with the old home (written back, no surviving
-  // owner): the backup's shadow store seeds the recovered-page overlay.
-  for (const auto& [old_home, new_home] : moves) {
-    AsvmAgent& backup = agent(new_home);
-    AsvmAgent::ObjectState& hs = backup.obj_state(id);
-    if (auto sit = backup.shadow_.find(id); sit != backup.shadow_.end()) {
-      for (auto& [page, sp] : sit->second) {
-        if (obj.Terminal(page) != new_home || !moved(page)) {
-          continue;  // another stripe's shadow, or a page that never moved
+  // Owner-death reconstruction: a moved page with no surviving owner may
+  // still live on as untracked read copies (its owner died holding the reader
+  // list). Harvest the newest surviving copy into the new terminal's
+  // recovered overlay, then drop the survivors' copies — no owner tracks them
+  // anymore, so a future writer could never invalidate them. A harvested copy
+  // postdates any shadowed writeback, so this pass runs before the fold.
+  if (!obj.file_backed) {
+    for (PageIndex p = 0; p < static_cast<PageIndex>(obj.pages); ++p) {
+      if (!moved(p)) {
+        continue;
+      }
+      AsvmAgent::ObjectState& hs = agent(obj.Terminal(p)).obj_state(id);
+      if (const auto* hp = hs.home_pages.Find(p); hp != nullptr && hp->owner_exists) {
+        continue;
+      }
+      PageBuffer best;
+      uint64_t best_version = 0;
+      for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+        if (!plan->NodeAlive(n, now)) {
+          continue;
         }
-        auto& hp = hs.home_pages.GetOrCreate(page);
-        if (hp.owner_exists) {
-          continue;  // a surviving owner's copy is newer than the writeback
+        AsvmAgent::ObjectState* ros = agent(n).FindObjState(id);
+        if (ros == nullptr || ros->repr == nullptr) {
+          continue;
         }
-        auto& rp = hs.recovered.GetOrCreate(page);
-        rp.data = std::move(sp.data);
-        rp.version = sp.version;
-        hp.version = sp.version;
+        AsvmAgent::PageState* ps = ros->pages.Find(p);
+        if (ps == nullptr || ps->owner || ps->busy || ps->held() ||
+            ps->access == PageAccess::kNone) {
+          continue;
+        }
+        VmPage* vp = ros->repr->FindResident(p);
+        if (vp == nullptr) {
+          continue;
+        }
+        if (best == nullptr || ps->version > best_version) {
+          best_version = ps->version;
+          best = ClonePage(vp->data);
+        }
+        cluster_.vm(n).RemovePage(*ros->repr, p);
+        ps->access = PageAccess::kNone;
+        agent(n).PruneState(*ros, p);
+      }
+      if (best != nullptr) {
+        auto& rp = hs.recovered.GetOrCreate(p);
+        rp.data = std::move(best);
+        rp.version = best_version;
+        hs.home_pages.GetOrCreate(p).version = best_version;
         cluster_.stats().Add(kStatReconstructedPages);
       }
-      backup.shadow_.erase(sit);
     }
+  }
+
+  // Pages whose only copy died with the old home (written back, no surviving
+  // owner or read copy): a survivor's shadow store seeds the recovered-page
+  // overlay. Every alive store is consulted — a re-targeted stream may have
+  // left the newest entry somewhere other than the promoted node — and the
+  // consumed entries are erased everywhere.
+  if (!obj.file_backed) {
+    for (PageIndex p = 0; p < static_cast<PageIndex>(obj.pages); ++p) {
+      if (!moved(p)) {
+        continue;
+      }
+      AsvmAgent::ObjectState& hs = agent(obj.Terminal(p)).obj_state(id);
+      const auto* hp0 = hs.home_pages.Find(p);
+      const auto* rp0 = hs.recovered.Find(p);
+      const bool have_source = (hp0 != nullptr && hp0->owner_exists) ||
+                               (rp0 != nullptr && rp0->data != nullptr);
+      AsvmAgent::ShadowPage* best = nullptr;
+      for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+        if (have_source || !plan->NodeAlive(n, now)) {
+          continue;
+        }
+        auto sit = agent(n).shadow_.find(id);
+        if (sit == agent(n).shadow_.end()) {
+          continue;
+        }
+        auto pit = sit->second.find(p);
+        if (pit == sit->second.end() || pit->second.data == nullptr) {
+          continue;
+        }
+        if (best == nullptr || pit->second.version > best->version) {
+          best = &pit->second;
+        }
+      }
+      if (best != nullptr) {
+        auto& rp = hs.recovered.GetOrCreate(p);
+        rp.data = std::move(best->data);
+        rp.version = best->version;
+        hs.home_pages.GetOrCreate(p).version = best->version;
+        cluster_.stats().Add(kStatReconstructedPages);
+      }
+      for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+        if (!plan->NodeAlive(n, now)) {
+          continue;
+        }
+        if (auto sit = agent(n).shadow_.find(id); sit != agent(n).shadow_.end()) {
+          sit->second.erase(p);
+          if (sit->second.empty()) {
+            agent(n).shadow_.erase(sit);
+          }
+        }
+      }
+    }
+  }
+
+  // Provable loss: a page some survivor witnessed as committed (a shadow
+  // manifest or a home's own ledger), with no surviving owner, no harvested
+  // copy, and no shadow fold — every durable copy died with the victims.
+  // Faults on these pages answer Status::kDataLost instead of inventing
+  // zeros; pages with no witness are genuinely never-written and zero-fill.
+  if (!obj.file_backed) {
+    for (PageIndex p = 0; p < static_cast<PageIndex>(obj.pages); ++p) {
+      if (!moved(p)) {
+        continue;
+      }
+      AsvmAgent::ObjectState& hs = agent(obj.Terminal(p)).obj_state(id);
+      if (const auto* hp = hs.home_pages.Find(p); hp != nullptr && hp->owner_exists) {
+        continue;
+      }
+      if (const auto* rp = hs.recovered.Find(p); rp != nullptr && rp->data != nullptr) {
+        continue;
+      }
+      bool committed = false;
+      for (NodeId n = 0; n < cluster_.node_count() && !committed; ++n) {
+        if (!plan->NodeAlive(n, now)) {
+          continue;
+        }
+        AsvmAgent& a = agent(n);
+        if (auto mit = a.shadow_manifest_.find(id); mit != a.shadow_manifest_.end()) {
+          committed = mit->second.count(p) != 0;
+        }
+        if (!committed) {
+          if (auto lit = a.sent_shadow_.find(id); lit != a.sent_shadow_.end()) {
+            committed = lit->second.count(p) != 0;
+          }
+        }
+      }
+      if (committed && hs.lost.insert(p).second) {
+        cluster_.stats().Add(kStatLostPages);
+      }
+    }
+  }
+
+  for (const auto& [old_home, new_home] : moves) {
     cluster_.stats().Add(kStatPromotions);
-    backup.Trace(TraceKind::kPromote, id, kInvalidPage, old_home);
+    AsvmAgent& backup = agent(new_home);
+    backup.Trace(TraceKind::kPromote, id, kInvalidPage, old_home,
+                 static_cast<int64_t>(obj.epoch));
+    // Re-arm durability: the recovered overlay is the only copy of the folded
+    // pages until the next writeback, so mirror it onward to the new home's
+    // own backup. The sends are ordinary engine work — post them.
+    AsvmAgent* nh = &backup;
+    cluster_.engine_for(new_home).Post([nh, id]() {
+      AsvmAgent::ObjectState* os = nh->FindObjState(id);
+      if (os == nullptr) {
+        return;
+      }
+      os->recovered.ForEach([&](PageIndex p, AsvmAgent::ObjectState::RecoveredPage& rp) {
+        if (rp.data != nullptr) {
+          nh->MirrorToBackup(id, p, rp.version, rp.data);
+        }
+      });
+    });
   }
 }
 
@@ -429,6 +573,7 @@ void AsvmSystem::ColdRestart(NodeId node) {
     });
     os.recovered.ForEach(
         [](PageIndex, AsvmAgent::ObjectState::RecoveredPage& rp) { rp = {}; });
+    os.lost.clear();
     os.dyn_hints->Clear();
     os.static_cache->Clear();
     os.pageout_cursor = 0;
@@ -446,8 +591,127 @@ void AsvmSystem::ColdRestart(NodeId node) {
       }
     }
   }
-  // Any shadow state this node held as a backup is equally volatile.
+  // Any shadow state this node held as a backup — and any ledger/manifest it
+  // kept as a primary or witness — is equally volatile.
   a.shadow_.clear();
+  a.sent_shadow_.clear();
+  a.shadow_manifest_.clear();
+  a.shadow_target_ = kInvalidNode;
+  // A rejoined node can die again later; its next death must gossip afresh.
+  death_noticed_.erase(node);
+}
+
+void AsvmSystem::ReportDeath(NodeId reporter, NodeId dead) {
+  const FailoverConfig& fo = cluster_.params().failover;
+  if (!fo.enabled || !fo.death_notices) {
+    return;  // A/B baseline: every agent pays its own detection horizon
+  }
+  // The notice applies at the next barrier, stamped at the reporter's clock —
+  // ordered against every other cluster mutation, so all shard counts see the
+  // same interleaving. Dedup happens at apply time (two agents may confirm the
+  // same death in one window).
+  cluster_.mutator().Enqueue(reporter, [this, dead]() { ApplyDeathNotice(dead); });
+}
+
+void AsvmSystem::ApplyDeathNotice(NodeId dead) {
+  cluster_.AssertDriverQuiescent("ASVM death notice from inside a shard window");
+  FaultPlan* plan = cluster_.fault_plan();
+  const SimTime now = cluster_.Now();
+  if (plan == nullptr || plan->NodeAlive(dead, now)) {
+    return;  // stale notice: the victim already rejoined
+  }
+  if (!death_noticed_.insert(dead).second) {
+    return;  // first notice wins
+  }
+  cluster_.stats().Add(kStatDeathNotices);
+  ASVM_LOG_WARN << "asvm: death notice for node " << dead;
+  for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+    if (n == dead || !plan->NodeAlive(n, now)) {
+      continue;
+    }
+    AsvmAgent& a = agent(n);
+    // Order matters: re-target the shadow stream first so the replay target
+    // computed below never points at the node being buried, then fail every
+    // pending op against the victim (cancels remaining backoff immediately —
+    // no second detection horizon).
+    a.RetargetShadowStream(dead);
+    a.FailOpsOnDeadTargets();
+  }
+}
+
+void AsvmSystem::ReclaimDeadOwnerPage(const MemObjectId& id, PageIndex page) {
+  cluster_.AssertDriverQuiescent("ASVM lease reclaim from inside a shard window");
+  FaultPlan* plan = cluster_.fault_plan();
+  const SimTime now = cluster_.Now();
+  if (plan == nullptr) {
+    return;
+  }
+  AsvmObjectInfo& obj = info(id);
+  const NodeId term = obj.Terminal(page);
+  if (!plan->NodeAlive(term, now)) {
+    return;  // the terminal itself is dead; promotion owns this recovery
+  }
+  AsvmAgent& home = agent(term);
+  AsvmAgent::ObjectState* os = home.FindObjState(id);
+  if (os == nullptr) {
+    return;
+  }
+  auto* hp = os->home_pages.Find(page);
+  if (hp == nullptr || !hp->owner_exists) {
+    return;  // already reclaimed (idempotent): the serve path takes over
+  }
+  const NodeId owner = hp->last_owner;
+  if (owner == kInvalidNode || plan->NodeAlive(owner, now)) {
+    return;  // owner rejoined between enqueue and apply — not reclaimable
+  }
+  const SimTime since = plan->RemovedSince(owner, now);
+  if (since < 0 || now < since + cluster_.params().failover.lease_ns) {
+    return;  // lease still running; the caller re-handles and waits again
+  }
+  cluster_.stats().Add(kStatLeaseReclaims);
+  home.Trace(TraceKind::kLeaseReclaim, id, page, owner);
+  hp->owner_exists = false;
+  hp->last_owner = kInvalidNode;
+  if (obj.file_backed) {
+    return;  // external storage already holds the last writeback
+  }
+  // Owner-death reconstruction: harvest the newest surviving read copy into
+  // the recovered overlay, then drop the survivors' copies — untracked by any
+  // owner, a future writer could never invalidate them.
+  PageBuffer best;
+  uint64_t best_version = 0;
+  for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+    if (!plan->NodeAlive(n, now)) {
+      continue;
+    }
+    AsvmAgent::ObjectState* ros = agent(n).FindObjState(id);
+    if (ros == nullptr || ros->repr == nullptr) {
+      continue;
+    }
+    AsvmAgent::PageState* ps = ros->pages.Find(page);
+    if (ps == nullptr || ps->owner || ps->busy || ps->held() ||
+        ps->access == PageAccess::kNone) {
+      continue;
+    }
+    VmPage* vp = ros->repr->FindResident(page);
+    if (vp == nullptr) {
+      continue;
+    }
+    if (best == nullptr || ps->version > best_version) {
+      best_version = ps->version;
+      best = ClonePage(vp->data);
+    }
+    cluster_.vm(n).RemovePage(*ros->repr, page);
+    ps->access = PageAccess::kNone;
+    agent(n).PruneState(*ros, page);
+  }
+  if (best != nullptr) {
+    auto& rp = os->recovered.GetOrCreate(page);
+    rp.data = std::move(best);
+    rp.version = best_version;
+    hp->version = best_version;
+    cluster_.stats().Add(kStatReconstructedPages);
+  }
 }
 
 }  // namespace asvm

@@ -13,6 +13,7 @@
 #define SRC_ASVM_ASVM_SYSTEM_H_
 
 #include <memory>
+#include <set>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -61,6 +62,12 @@ struct AsvmObjectInfo {
   // re-homes them without shadow replication. Anonymous regions do not; their
   // homes stream written-back pages to a backup (DESIGN.md §14).
   bool file_backed = false;
+  // Failover epoch: bumped on every promotion of this object's home role(s).
+  // The directory (terminal assignments stamped by this epoch) is the fence
+  // against stale ex-managers after a cascade: a request that reaches a node
+  // the current epoch no longer names re-routes instead of being served with
+  // stale authority.
+  uint64_t epoch = 0;
 
   // §6 striped regions: one forwarding terminal per stripe (page p belongs
   // to stripe_homes[p % k]); empty for ordinary objects.
@@ -143,6 +150,20 @@ class AsvmSystem : public DsmSystem {
   // peer holds unreplicated VM links.
   void PromoteIfHomeDead(const MemObjectId& id);
 
+  // Gossip death notification (DESIGN.md §14): the first agent to classify a
+  // silent peer kNodeDown reports it here; a barrier-ordered mutation then
+  // fans the death out to every surviving agent, which fails its own pending
+  // ops against the victim immediately (no second retry horizon) and
+  // re-targets any shadow stream aimed at it. One notice per death.
+  void ReportDeath(NodeId reporter, NodeId dead) override;
+
+  // Owner-death reconstruction: reclaims (object, page) from its confirmed-
+  // dead, lease-expired owner and seeds the home's recovered overlay with the
+  // newest surviving read copy (survivors' now-untracked copies are dropped
+  // so a future writer cannot leave them stale). Idempotent; must run as a
+  // cluster mutation — it reads and edits other kernels' page tables.
+  void ReclaimDeadOwnerPage(const MemObjectId& id, PageIndex page);
+
   // Rejoin support: `node` restarts with empty caches. Clears its page/hint/
   // terminal/shadow state in place (reference-stable: suspended coroutines may
   // hold entry references), purges its resident pages, and drops home records
@@ -157,6 +178,9 @@ class AsvmSystem : public DsmSystem {
   // runs fork byte-identically to single-threaded ones.
   VmMap* ApplyRemoteFork(NodeId src, VmMap& parent, NodeId dst, ClusterWaitGroup& ro_done);
 
+  // Applies one gossiped death at a barrier: dedup, then survivor fan-out.
+  void ApplyDeathNotice(NodeId dead);
+
   // Keys for anonymous backing in the home's paging space; the high bit keeps
   // them disjoint from local VM object serials.
   uint64_t NextBackingKey() { return (1ULL << 63) | next_backing_key_++; }
@@ -169,6 +193,9 @@ class AsvmSystem : public DsmSystem {
   // Per-system (not process-global) so that identical machines allocate
   // identical paging-space positions — traces must be byte-stable run to run.
   uint64_t next_backing_key_ = 0;
+  // Nodes whose death has already been gossiped (first notice wins).
+  // ColdRestart removes rejoined nodes so a second death is noticed afresh.
+  std::set<NodeId> death_noticed_;
 };
 
 }  // namespace asvm

@@ -33,6 +33,7 @@ enum class AsvmMsgType : uint32_t {
   kMarkReadOnlyAck,
   kStaticHint,          // maintain a static ownership-manager cache entry
   kShadowUpdate,        // failover: home -> backup, newest written-back page
+  kShadowManifest,      // failover: home -> witness, "this page was committed"
 };
 
 // What a static ownership manager may know about a page (paper §3.4).
@@ -73,6 +74,10 @@ struct AccessReply {
   bool retry = false;       // push/pull race: re-issue the request
   bool is_scan = false;     // reply to a push-scan (routed via req_id)
   bool scan_found = false;  // push-scan outcome
+  // Failover: the page was committed (written back) but its home and every
+  // replica died before promotion could fold it in — the fault must fail
+  // Status::kDataLost instead of silently zero-filling (DESIGN.md §14).
+  bool lost = false;
   uint64_t req_id = 0;
   uint64_t page_version = 0;
   NodeId terminal = kInvalidNode;  // node that serialized a first-touch grant
@@ -160,6 +165,10 @@ struct PullDone {
 // its backup (first alive ring successor). The backup keeps the newest buffer
 // per page; at promotion the store seeds the new home's recovered-page
 // overlay, standing in for the paging space that died with the old home.
+// The same body (without the page payload) rides kShadowManifest to the
+// *second* alive successor — a witness record that the page was committed, so
+// a promotion that finds neither a surviving owner nor shadow data can tell
+// "never written" (zero-fill) apart from "written and lost" (kDataLost).
 struct AsvmShadowUpdate {
   MemObjectId object;
   PageIndex page = kInvalidPage;
@@ -219,6 +228,8 @@ constexpr const char* MsgTypeName(AsvmMsgType type) {
       return "static_hint";
     case AsvmMsgType::kShadowUpdate:
       return "shadow_update";
+    case AsvmMsgType::kShadowManifest:
+      return "shadow_manifest";
   }
   return "unknown";
 }

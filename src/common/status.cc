@@ -24,6 +24,8 @@ const char* ToString(Status status) {
       return "timeout";
     case Status::kNodeDown:
       return "node_down";
+    case Status::kDataLost:
+      return "data_lost";
     case Status::kInternal:
       return "internal";
   }

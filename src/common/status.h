@@ -17,6 +17,7 @@ enum class Status : uint8_t {
   kDeadlock,  // detected blocking-thread deadlock (XMM internal pager)
   kTimeout,   // pending protocol op exhausted its retries (fault injection)
   kNodeDown,  // peer confirmed removed by the fault plan (not a transient loss)
+  kDataLost,  // committed page provably unrecoverable (home + every replica died)
   kInternal,
 };
 

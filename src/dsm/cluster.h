@@ -46,6 +46,12 @@ struct RetryPolicy {
 struct FailoverConfig {
   bool enabled = false;
   SimDuration lease_ns = 50 * kMillisecond;
+  // Gossip death notification: the first node whose pending op resolves
+  // kNodeDown broadcasts a barrier-ordered death notice, so bystanders fail
+  // over immediately instead of each burning its own retry horizon. Off, every
+  // requester pays full silence detection (the PR 8 behaviour — kept as the
+  // bench_failover A/B baseline).
+  bool death_notices = true;
 };
 
 struct ClusterParams {

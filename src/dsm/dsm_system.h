@@ -69,6 +69,17 @@ class DsmSystem {
   // legitimately holds from the surviving agents. Default: nothing to do.
   virtual void ColdRestart(NodeId node) { (void)node; }
 
+  // Gossip death notification (DESIGN.md §14): the first agent whose pending
+  // op resolves kNodeDown reports each confirmed-dead target here, from its
+  // own engine context. Backends enqueue a barrier-ordered death-notice
+  // mutation so every bystander fails over at the next sequencing point
+  // instead of independently burning its full retry horizon. Default: no
+  // gossip (each requester detects silence on its own).
+  virtual void ReportDeath(NodeId reporter, NodeId dead) {
+    (void)reporter;
+    (void)dead;
+  }
+
  protected:
   // Concrete systems size the per-node id space during construction.
   void InitOpIds(int node_count) { next_op_id_.assign(static_cast<size_t>(node_count), 0); }

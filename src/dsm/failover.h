@@ -27,6 +27,18 @@ inline constexpr const char* kStatLeaseReclaims = "dsm.failover.lease_reclaims";
 inline constexpr const char* kStatReconstructedPages = "dsm.failover.reconstructed_pages";
 inline constexpr const char* kStatRestarts = "dsm.failover.restarts";
 inline constexpr const char* kStatReissues = "dsm.failover.reissued_requests";
+inline constexpr const char* kStatDeathNotices = "dsm.failover.death_notices";
+inline constexpr const char* kStatLostPages = "dsm.failover.lost_pages";
+inline constexpr const char* kStatShadowRestreams = "dsm.failover.shadow_restreams";
+
+// Every dsm.failover.* counter, in report order. `asvmsim --fault-report`
+// iterates this array, so a counter added above (and here) shows up in the
+// report without touching the CLI — the lists cannot drift apart.
+inline constexpr const char* kFailoverStatNames[] = {
+    kStatPromotions,     kStatShadowUpdates, kStatLeaseReclaims, kStatReconstructedPages,
+    kStatRestarts,       kStatReissues,      kStatDeathNotices,  kStatLostPages,
+    kStatShadowRestreams,
+};
 
 }  // namespace asvm
 

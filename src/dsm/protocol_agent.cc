@@ -174,23 +174,25 @@ void ProtocolAgent::OpDeadline(uint64_t op_id) {
   // rather than blindly retrying. Without a fault plan (or when any silent
   // target is still alive) the op resolves kTimeout exactly as before.
   Status status = Status::kTimeout;
+  std::vector<NodeId> dead_targets;
   const FaultPlan* plan = dsm_.cluster().fault_plan();
   if (plan != nullptr && !op.targets.empty()) {
     const SimTime now = engine_.Now();
-    bool any_unanswered = false;
     bool all_unanswered_dead = true;
     for (NodeId t : op.targets) {
       if (std::find(op.acked.begin(), op.acked.end(), t) != op.acked.end()) {
         continue;
       }
-      any_unanswered = true;
       if (plan->NodeAlive(t, now)) {
         all_unanswered_dead = false;
         break;
       }
+      dead_targets.push_back(t);
     }
-    if (any_unanswered && all_unanswered_dead) {
+    if (!dead_targets.empty() && all_unanswered_dead) {
       status = Status::kNodeDown;
+    } else {
+      dead_targets.clear();
     }
   }
   if (stats_ != nullptr) {
@@ -204,9 +206,69 @@ void ProtocolAgent::OpDeadline(uint64_t op_id) {
   auto on_fail = std::move(op.on_fail);
   it->second->done.Set(status);
   pending_ops_.erase(it);
+  // Gossip the confirmed deaths before the local failover hook runs: the
+  // backend enqueues a barrier-ordered death notice so every bystander fails
+  // over at the next sequencing point instead of burning its own horizon.
+  for (NodeId t : dead_targets) {
+    dsm_.ReportDeath(node_, t);
+  }
   if (on_fail) {
     on_fail(status);
   }
+}
+
+int ProtocolAgent::FailOpsOnDeadTargets() {
+  const FaultPlan* plan = dsm_.cluster().fault_plan();
+  if (plan == nullptr || pending_ops_.empty()) {
+    return 0;
+  }
+  const SimTime now = engine_.Now();
+  // Snapshot + sort: the unordered table must not decide failure order, and
+  // `on_fail` hooks may insert fresh ops while we walk.
+  std::vector<uint64_t> ids;
+  ids.reserve(pending_ops_.size());
+  for (const auto& [id, op] : pending_ops_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  int failed = 0;
+  for (uint64_t id : ids) {
+    auto it = pending_ops_.find(id);
+    if (it == pending_ops_.end() || it->second->done.is_set()) {
+      continue;
+    }
+    PendingOp& op = *it->second;
+    if (op.targets.empty()) {
+      continue;
+    }
+    bool any_unanswered = false;
+    bool all_unanswered_dead = true;
+    for (NodeId t : op.targets) {
+      if (std::find(op.acked.begin(), op.acked.end(), t) != op.acked.end()) {
+        continue;
+      }
+      any_unanswered = true;
+      if (plan->NodeAlive(t, now)) {
+        all_unanswered_dead = false;
+        break;
+      }
+    }
+    if (!any_unanswered || !all_unanswered_dead) {
+      continue;
+    }
+    if (stats_ != nullptr) {
+      stats_->Add("dsm.op_node_down");
+    }
+    Trace(TraceKind::kFailover, op.object, op.page, kInvalidNode, op.attempts, id);
+    auto on_fail = std::move(op.on_fail);
+    it->second->done.Set(Status::kNodeDown);
+    pending_ops_.erase(it);
+    ++failed;
+    if (on_fail) {
+      on_fail(Status::kNodeDown);
+    }
+  }
+  return failed;
 }
 
 bool ProtocolAgent::DuplicateDelivery(uint64_t op_id) {

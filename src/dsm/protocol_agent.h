@@ -33,6 +33,16 @@ class ProtocolAgent {
   ProtocolAgent(const ProtocolAgent&) = delete;
   ProtocolAgent& operator=(const ProtocolAgent&) = delete;
 
+  // Death-notice fan-in (DESIGN.md §14): resolves every pending op whose
+  // still-unanswered targets are all confirmed removed, exactly as OpDeadline
+  // would after exhausting its retries — kNodeDown, `on_fail` hook and all —
+  // but immediately. Called from the backends' death-notice mutation (every
+  // engine quiescent) on each surviving agent, so a bystander mid-backoff
+  // fails over now instead of sleeping out its remaining exponential delay
+  // (the erased entry turns the already-scheduled deadline event into a
+  // no-op). Ops are failed in ascending id order; returns how many failed.
+  int FailOpsOnDeadTargets();
+
  protected:
   ProtocolAgent(DsmSystem& dsm, NodeId node, TraceProtocol trace_protocol);
   ~ProtocolAgent();

@@ -41,6 +41,39 @@ bool FaultProfileFromName(const std::string& name, uint64_t seed, int node_count
     *out = params;
     return true;
   }
+  if (name == "kill-owner") {
+    // Remove the fault-sweep writer (node 3): a page owner that is neither
+    // the home nor the manager. Survivors must reclaim its pages through the
+    // lease state machine and reconstruct from surviving read copies — no
+    // promotion at all.
+    params.removals.push_back({static_cast<NodeId>(node_count > 3 ? 3 : node_count - 1),
+                               200 * kMillisecond, 0});
+    *out = params;
+    return true;
+  }
+  if (name == "kill-many") {
+    // Two nodes die in the same instant: the manager (node 0) and a bystander
+    // reader (node 2). One promotion, plus every agent's pending ops against
+    // either victim must fail over.
+    params.removals.push_back({0, 200 * kMillisecond, 0});
+    if (node_count > 2) {
+      params.removals.push_back({2, 200 * kMillisecond, 0});
+    }
+    *out = params;
+    return true;
+  }
+  if (name == "cascade") {
+    // Cascade failover: the manager dies, its ring successor (node 1) is
+    // promoted, and then that freshly promoted backup dies too — the ring
+    // rule must re-run and the second promotion must not trust any state the
+    // ex-backup streamed while it was primary.
+    params.removals.push_back({0, 200 * kMillisecond, 0});
+    if (node_count > 1) {
+      params.removals.push_back({1, 260 * kMillisecond, 0});
+    }
+    *out = params;
+    return true;
+  }
   if (name == "degraded-links") {
     // Every link touching node 0 runs at quarter bandwidth, plus one
     // seed-chosen additional link at half bandwidth.

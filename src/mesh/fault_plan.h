@@ -68,8 +68,12 @@ struct FaultPlanParams {
 // Builds a canned profile: "none" (empty plan), "jitter", "slow-node",
 // "degraded-links", "kill-manager" (permanently removes node 0 — the
 // fault-sweep region's home/manager — mid-run), "rolling-restart" (same
-// removal, but the node rejoins with cold caches later). Returns false for
-// unknown names.
+// removal, but the node rejoins with cold caches later), "kill-owner"
+// (removes node 3 — the fault-sweep writer, a page owner that is not the
+// manager), "kill-many" (removes the manager and a bystander reader in the
+// same instant), and "cascade" (removes the manager, then the freshly
+// promoted backup 60 ms later, so the ring rule must re-run). Returns false
+// for unknown names.
 bool FaultProfileFromName(const std::string& name, uint64_t seed, int node_count,
                           FaultPlanParams* out);
 

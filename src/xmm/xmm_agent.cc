@@ -157,15 +157,68 @@ void XmmAgent::MirrorToBackup(NodeId primary, const MemObjectId& id, PageIndex p
   if (backup == kInvalidNode) {
     return;
   }
+  if (primary == node_) {
+    // Stranded-shadow repair: if the ring rule now names a different backup
+    // than the one this stream has been feeding (the old one died, or rejoined
+    // with cold caches), replay the whole ledger there before the new update.
+    // In a healthy run the target never changes, so this costs nothing.
+    if (backup != shadow_target_ && shadow_target_ != kInvalidNode) {
+      ReplayShadowLedger(backup);
+    }
+    shadow_target_ = backup;
+    sent_shadow_[id][page] = ClonePage(data);
+  }
   if (stats_ != nullptr) {
     stats_->Add(kStatShadowUpdates);
   }
   if (backup == node_) {
     // We are the primary's backup ourselves (eviction redirect): no wire hop.
     shadow_[id][page] = ClonePage(data);
+    SendShadowManifest(id, page, backup);
     return;
   }
   Send(backup, XmmMsgType::kShadowUpdate, XmmShadowUpdate{id, page}, ClonePage(data));
+  SendShadowManifest(id, page, backup);
+}
+
+void XmmAgent::SendShadowManifest(const MemObjectId& id, PageIndex page, NodeId backup) {
+  // The witness is the backup's own successor: a control-only record that the
+  // page was committed, surviving the simultaneous loss of primary + backup so
+  // promotion can answer kDataLost instead of zero-filling (DESIGN.md §14).
+  const NodeId witness = RingSuccessor(backup, system_.cluster().node_count(),
+                                       system_.cluster().fault_plan(), engine().Now());
+  if (witness == kInvalidNode || witness == node_) {
+    return;  // two-node cluster: the primary itself is the only other survivor
+  }
+  Send(witness, XmmMsgType::kShadowManifest, XmmShadowUpdate{id, page});
+}
+
+void XmmAgent::ReplayShadowLedger(NodeId backup) {
+  for (auto& [id, pages] : sent_shadow_) {
+    for (auto& [page, buf] : pages) {
+      if (stats_ != nullptr) {
+        stats_->Add(kStatShadowRestreams);
+      }
+      Send(backup, XmmMsgType::kShadowUpdate, XmmShadowUpdate{id, page}, ClonePage(buf));
+      SendShadowManifest(id, page, backup);
+    }
+  }
+}
+
+void XmmAgent::RetargetShadowStream(NodeId dead) {
+  if (!failover_.enabled || shadow_target_ != dead || sent_shadow_.empty()) {
+    return;
+  }
+  const NodeId backup = RingSuccessor(node_, system_.cluster().node_count(),
+                                      system_.cluster().fault_plan(), engine().Now());
+  if (backup == kInvalidNode) {
+    shadow_target_ = kInvalidNode;
+    return;
+  }
+  shadow_target_ = backup;
+  // Called from a death-notice mutation (all engines quiescent): the replay
+  // sends are ordinary engine work, so post them onto this node's timeline.
+  engine().Post([this, backup]() { ReplayShadowLedger(backup); });
 }
 
 void XmmAgent::ReissueAfterPromotion(const MemObjectId& id, PageIndex page, PageAccess access,
@@ -300,6 +353,27 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
   Trace(TraceKind::kXmmManagerServe, req.object, req.page, req.origin,
         static_cast<int64_t>(req.access));
 
+  if (ms.lost.count(req.page) != 0) {
+    // Promotion proved this page was committed and then lost with the old
+    // manager and every replica: the fault must fail, not zero-fill.
+    ManagerState::PageCtl& lctl = ms.pages.GetOrCreate(req.page);
+    XmmReply reply{req.object, req.page,   req.access, /*zero_fill=*/false,
+                   /*upgrade=*/false, req.op_id};
+    reply.lost = true;
+    if (stats_ != nullptr) {
+      stats_->Add("xmm.lost_page_replies");
+    }
+    Trace(TraceKind::kXmmGrant, req.object, req.page, req.origin, /*aux=*/-1);
+    Send(req.origin, XmmMsgType::kReply, reply);
+    lctl.busy = false;
+    if (!lctl.queue.empty()) {
+      XmmRequest next = std::move(lctl.queue.front());
+      lctl.queue.pop_front();
+      ManagerHandle(std::move(next));
+    }
+    co_return;
+  }
+
   // Step 1 (§2.3.2): create a coherent version of the page at the pager.
   // `ctl` stays valid across co_await: the dense PageTable never reallocates
   // for in-range pages.
@@ -388,6 +462,9 @@ Task XmmAgent::ManagerServe(XmmRequest req) {
             alive.push_back(r);
           } else {
             AccessByte(ms, req.page, r) = 0;
+            // First confirmation of a bystander's death: gossip it so every
+            // survivor cancels its own ops against the victim immediately.
+            system_.ReportDeath(node_, r);
           }
         }
         readers = std::move(alive);
@@ -564,9 +641,20 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
           CountDuplicate();
           return;
         }
-        ResolveOp(reply.op_id, Status::kOk);
+        ResolveOp(reply.op_id, reply.lost ? Status::kDataLost : Status::kOk);
       }
       auto repr = reprs_.at(reply.object);
+      if (reply.lost) {
+        // The manager proved the page was committed and then lost with every
+        // replica. Fail the fault — waking the kernel's waiters with an
+        // error, never inventing zeros.
+        if (stats_ != nullptr) {
+          stats_->Add("xmm.lost_page_faults");
+        }
+        Trace(TraceKind::kGrantApplied, reply.object, reply.page, src, /*aux=*/-1);
+        vm_.FaultFailed(*repr, reply.page, Status::kDataLost);
+        return;
+      }
       Trace(TraceKind::kGrantApplied, reply.object, reply.page, src,
             static_cast<int64_t>(reply.granted));
       if (reply.upgrade) {
@@ -658,6 +746,11 @@ void XmmAgent::OnMessage(NodeId src, Message msg) {
     case XmmMsgType::kShadowUpdate: {
       const auto& m = std::get<XmmShadowUpdate>(body);
       shadow_[m.object][m.page] = std::move(msg.page);
+      return;
+    }
+    case XmmMsgType::kShadowManifest: {
+      const auto& m = std::get<XmmShadowUpdate>(body);
+      shadow_manifest_[m.object].insert(m.page);
       return;
     }
     case XmmMsgType::kCopyFaultReply: {

@@ -9,6 +9,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +45,10 @@ class XmmAgent : public Pager, public ProtocolAgent {
       PageBuffer pager_copy;
     };
     PageTable<PageCtl> pages;
+    // Failover: pages proven committed-and-lost by a promotion (a survivor
+    // witnessed the commit, but the contents died with the manager and every
+    // replica). Faults on these answer Status::kDataLost, never zeros.
+    std::set<PageIndex> lost;
   };
 
   // Copy-pager state on a fork-source node: the frozen local copy map one
@@ -90,6 +95,19 @@ class XmmAgent : public Pager, public ProtocolAgent {
   void MirrorToBackup(NodeId primary, const MemObjectId& id, PageIndex page,
                       const PageBuffer& data);
 
+  // Re-sends everything in this node's own shadow ledger (pages it has
+  // mirrored as a primary) to `backup` — run when the ring rule names a new
+  // backup, so a backup's death or rejoin never strands the shadow stream.
+  void ReplayShadowLedger(NodeId backup);
+
+  // Death-notice hook: if this node's shadow stream was aimed at `dead`,
+  // re-target it at the new ring successor and replay the ledger there.
+  void RetargetShadowStream(NodeId dead);
+
+  // Control-only commit witness to the backup's own successor (see
+  // XmmShadowUpdate). No-op when no third node is alive.
+  void SendShadowManifest(const MemObjectId& id, PageIndex page, NodeId backup);
+
   // kNodeDown recovery: promote the dead manager's backup at the next
   // sequencing point, then replay the request against the new manager.
   void ReissueAfterPromotion(const MemObjectId& id, PageIndex page, PageAccess access,
@@ -125,6 +143,14 @@ class XmmAgent : public Pager, public ProtocolAgent {
   // primaries whose ring successor this node is. Ordered maps so promotion
   // seeds pager copies in a shard-count-invariant order.
   std::map<MemObjectId, std::map<PageIndex, PageBuffer>> shadow_;
+  // Primary role: the ledger of everything this node has mirrored, plus the
+  // node the stream currently feeds. When the ring rule names a new backup
+  // (the old one died or rejoined cold) the whole ledger is replayed there
+  // (see RetargetShadowStream / ReplayShadowLedger).
+  std::map<MemObjectId, std::map<PageIndex, PageBuffer>> sent_shadow_;
+  NodeId shadow_target_ = kInvalidNode;
+  // Witness role: pages some primary committed (control-only manifest).
+  std::map<MemObjectId, std::set<PageIndex>> shadow_manifest_;
   std::unordered_map<MemObjectId, std::shared_ptr<VmObject>> reprs_;
   std::unordered_map<MemObjectId, std::unique_ptr<ManagerState>> manager_;
   std::unordered_map<MemObjectId, CopyPagerEntry> copy_pagers_;

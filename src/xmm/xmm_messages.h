@@ -23,6 +23,7 @@ enum class XmmMsgType : uint32_t {
   kCopyFault,        // remote child -> internal copy pager on the source node
   kCopyFaultReply,
   kShadowUpdate,     // manager -> backup: replicated directory/page state
+  kShadowManifest,   // manager -> witness: "this page was committed" (no data)
 };
 
 struct XmmRequest {
@@ -43,12 +44,20 @@ struct XmmReply {
   bool zero_fill = false;
   bool upgrade = false;
   uint64_t op_id = 0;  // echo of XmmRequest::op_id
+  // Failover: the page was committed (cleaned into the manager's pager level)
+  // but the manager and every replica died before promotion could fold it in —
+  // the fault must fail Status::kDataLost instead of silently zero-filling.
+  bool lost = false;
 };
 
 // Manager -> backup: the page contents the manager just accepted into its
 // coherent pager-level copy (dirty cleaning or eviction return). The backup
 // keeps the newest buffer per page; on promotion it becomes the new
 // manager's pager copy, replacing the paging space that died with the node.
+// The same body (no page payload) rides kShadowManifest to the backup's own
+// successor — a witness record that the page was committed, so a promotion
+// that finds neither shadow data nor a surviving copy can tell "never
+// written" (zero-fill) apart from "written and lost" (kDataLost).
 struct XmmShadowUpdate {
   MemObjectId object;
   PageIndex page = kInvalidPage;
@@ -111,6 +120,8 @@ constexpr const char* MsgTypeName(XmmMsgType type) {
       return "copy_fault_reply";
     case XmmMsgType::kShadowUpdate:
       return "shadow_update";
+    case XmmMsgType::kShadowManifest:
+      return "shadow_manifest";
   }
   return "unknown";
 }

@@ -164,6 +164,10 @@ void XmmSystem::PromoteIfManagerDead(const MemObjectId& id) {
   const NodeId new_manager = RingSuccessor(old_manager, cluster_.node_count(), plan, now);
   ASVM_CHECK_MSG(new_manager != kInvalidNode, "no surviving node to promote");
   obj.manager = new_manager;
+  // Epoch fencing: the directory's manager assignment now carries a newer
+  // epoch; a deposed ex-manager (Deposed()) abandons in-flight exchanges
+  // instead of serving with stale authority — across a cascade too.
+  ++obj.epoch;
   XmmAgent& backup = agent(new_manager);
   // The old paging space died with the manager. Fresh anonymous backing on the
   // promoted node; the shadow store stands in for every dirty page the old
@@ -174,12 +178,44 @@ void XmmSystem::PromoteIfManagerDead(const MemObjectId& id) {
                                                 NextXmmBackingKey());
   }
   XmmAgent::ManagerState& ms = backup.mgr_state(id);
-  if (auto sit = backup.shadow_.find(id); sit != backup.shadow_.end()) {
-    for (auto& [page, buf] : sit->second) {
-      ms.pages.GetOrCreate(page).pager_copy = std::move(buf);
+  // Fold the shadow streams into the new manager's pager copies. Every alive
+  // store is consulted — after a cascade or a re-targeted stream the newest
+  // entry may sit somewhere other than the promoted node (preferred when it
+  // has one) — and the consumed entries are erased everywhere.
+  for (PageIndex p = 0; p < static_cast<PageIndex>(obj.pages); ++p) {
+    PageBuffer* src = nullptr;
+    if (auto sit = backup.shadow_.find(id); sit != backup.shadow_.end()) {
+      if (auto pit = sit->second.find(p); pit != sit->second.end()) {
+        src = &pit->second;
+      }
+    }
+    for (NodeId n = 0; src == nullptr && n < cluster_.node_count(); ++n) {
+      if (!plan->NodeAlive(n, now)) {
+        continue;
+      }
+      auto sit = agent(n).shadow_.find(id);
+      if (sit == agent(n).shadow_.end()) {
+        continue;
+      }
+      if (auto pit = sit->second.find(p); pit != sit->second.end()) {
+        src = &pit->second;
+      }
+    }
+    if (src != nullptr) {
+      ms.pages.GetOrCreate(p).pager_copy = std::move(*src);
       cluster_.stats().Add(kStatReconstructedPages);
     }
-    backup.shadow_.erase(sit);
+    for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+      if (!plan->NodeAlive(n, now)) {
+        continue;
+      }
+      if (auto sit = agent(n).shadow_.find(id); sit != agent(n).shadow_.end()) {
+        sit->second.erase(p);
+        if (sit->second.empty()) {
+          agent(n).shadow_.erase(sit);
+        }
+      }
+    }
   }
   // Rebuild the access table by asking every surviving kernel what it holds.
   // Per-slot assignments are independent, so host iteration order of the
@@ -198,8 +234,117 @@ void XmmSystem::PromoteIfManagerDead(const MemObjectId& id) {
       backup.AccessByte(ms, page, n) = AccessAllows(vp.lock, PageAccess::kWrite) ? 2 : 1;
     }
   }
+  if (!obj.file_backed && !obj.IsCopyObject()) {
+    ms.lost.clear();  // re-derived below from the surviving witnesses
+    for (PageIndex p = 0; p < static_cast<PageIndex>(obj.pages); ++p) {
+      if (backup.FindWriter(ms, id, p) != kInvalidNode) {
+        continue;  // a surviving writer holds the newest contents
+      }
+      XmmAgent::ManagerState::PageCtl& ctl = ms.pages.GetOrCreate(p);
+      if (ctl.pager_copy != nullptr) {
+        continue;  // the shadow fold already recovered this page
+      }
+      // Reconstruction from surviving read copies: any reader's copy is
+      // coherent with the last committed contents (writes flush readers
+      // first), so the lowest alive reader seeds the pager copy.
+      bool harvested = false;
+      for (NodeId n = 0; n < cluster_.node_count() && !harvested; ++n) {
+        if (!plan->NodeAlive(n, now) || backup.AccessByte(ms, p, n) != 1) {
+          continue;
+        }
+        auto rit = agent(n).reprs_.find(id);
+        if (rit == agent(n).reprs_.end()) {
+          continue;
+        }
+        if (VmPage* vp = rit->second->FindResident(p); vp != nullptr) {
+          ctl.pager_copy = ClonePage(vp->data);
+          cluster_.stats().Add(kStatReconstructedPages);
+          harvested = true;
+        }
+      }
+      if (harvested) {
+        continue;
+      }
+      // Provable loss: some survivor witnessed this page as committed (a
+      // manifest, or a primary's own ledger), but no copy survived anywhere.
+      // Faults answer Status::kDataLost instead of inventing zeros; pages
+      // with no witness are genuinely never-written and zero-fill.
+      bool committed = false;
+      for (NodeId n = 0; n < cluster_.node_count() && !committed; ++n) {
+        if (!plan->NodeAlive(n, now)) {
+          continue;
+        }
+        XmmAgent& a = agent(n);
+        if (auto mit = a.shadow_manifest_.find(id); mit != a.shadow_manifest_.end()) {
+          committed = mit->second.count(p) != 0;
+        }
+        if (!committed) {
+          if (auto lit = a.sent_shadow_.find(id); lit != a.sent_shadow_.end()) {
+            committed = lit->second.count(p) != 0;
+          }
+        }
+      }
+      if (committed && ms.lost.insert(p).second) {
+        cluster_.stats().Add(kStatLostPages);
+      }
+    }
+  }
   cluster_.stats().Add(kStatPromotions);
-  backup.Trace(TraceKind::kPromote, id, kInvalidPage, old_manager);
+  backup.Trace(TraceKind::kPromote, id, kInvalidPage, old_manager,
+               static_cast<int64_t>(obj.epoch));
+  // Re-arm durability: the folded pager copies are the only replica until the
+  // next cleaning, so mirror them onward to the new manager's own backup.
+  // The sends are ordinary engine work — post them.
+  XmmAgent* nm = &backup;
+  cluster_.engine_for(new_manager).Post([nm, new_manager, id]() {
+    auto it = nm->manager_.find(id);
+    if (it == nm->manager_.end()) {
+      return;
+    }
+    it->second->pages.ForEach([&](PageIndex p, XmmAgent::ManagerState::PageCtl& ctl) {
+      if (ctl.pager_copy != nullptr) {
+        nm->MirrorToBackup(new_manager, id, p, ctl.pager_copy);
+      }
+    });
+  });
+}
+
+void XmmSystem::ReportDeath(NodeId reporter, NodeId dead) {
+  const FailoverConfig& fo = cluster_.params().failover;
+  if (!fo.enabled || !fo.death_notices) {
+    return;  // A/B baseline: every agent pays its own detection horizon
+  }
+  // The notice applies at the next barrier, stamped at the reporter's clock —
+  // ordered against every other cluster mutation, so all shard counts see the
+  // same interleaving. Dedup happens at apply time (two agents may confirm the
+  // same death in one window).
+  cluster_.mutator().Enqueue(reporter, [this, dead]() { ApplyDeathNotice(dead); });
+}
+
+void XmmSystem::ApplyDeathNotice(NodeId dead) {
+  cluster_.AssertDriverQuiescent("XMM death notice from inside a shard window");
+  FaultPlan* plan = cluster_.fault_plan();
+  const SimTime now = cluster_.Now();
+  if (plan == nullptr || plan->NodeAlive(dead, now)) {
+    return;  // stale notice: the victim already rejoined
+  }
+  if (!death_noticed_.insert(dead).second) {
+    return;  // first notice wins
+  }
+  cluster_.stats().Add(kStatDeathNotices);
+  ASVM_LOG_WARN << "xmm: death notice for node " << dead;
+  for (NodeId n = 0; n < cluster_.node_count(); ++n) {
+    if (n == dead || !plan->NodeAlive(n, now)) {
+      continue;
+    }
+    XmmAgent& a = agent(n);
+    // Order matters: re-target the shadow stream first so the replay target
+    // computed below never points at the node being buried, then fail every
+    // pending op against the victim (cancels remaining backoff immediately —
+    // no second detection horizon).
+    a.RetargetShadowStream(dead);
+    a.FailOpsOnDeadTargets();
+  }
 }
 
 void XmmSystem::ColdRestart(NodeId node) {
@@ -228,8 +373,14 @@ void XmmSystem::ColdRestart(NodeId node) {
       vm.RemovePage(repr, page);
     }
   }
-  // Any shadow state this node held as a backup is equally volatile.
+  // Any shadow state this node held as a backup — and any ledger/manifest it
+  // kept as a primary or witness — is equally volatile.
   a.shadow_.clear();
+  a.sent_shadow_.clear();
+  a.shadow_manifest_.clear();
+  a.shadow_target_ = kInvalidNode;
+  // A rejoined node can die again later; its next death must gossip afresh.
+  death_noticed_.erase(node);
   // Manager records: drop state for objects promoted away while we were dark.
   // An object still managed here saw no grants during the outage (any request
   // would have promoted it away), so the surviving table is still conservative

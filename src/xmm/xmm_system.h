@@ -6,6 +6,7 @@
 #define SRC_XMM_XMM_SYSTEM_H_
 
 #include <memory>
+#include <set>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,11 @@ struct XmmObjectInfo {
   // Copy-pager objects: where the internal pager (and the frozen local copy
   // of the source address space) lives.
   NodeId copy_pager_node = kInvalidNode;
+  // Failover epoch: bumped on every promotion of this object's manager. The
+  // directory (manager assignment stamped by this epoch) is the fence against
+  // stale ex-managers after a cascade — Deposed() compares against it via the
+  // manager field, and traces carry it so recovery timelines are auditable.
+  uint64_t epoch = 0;
   bool IsCopyObject() const { return copy_pager_node != kInvalidNode; }
 };
 
@@ -74,6 +80,13 @@ class XmmSystem : public DsmSystem {
   // must run as a cluster mutation (every engine quiescent).
   void PromoteIfManagerDead(const MemObjectId& id);
 
+  // Gossip death notification (DESIGN.md §14): the first agent to classify a
+  // silent peer kNodeDown reports it here; a barrier-ordered mutation then
+  // fans the death out to every surviving agent, which fails its own pending
+  // ops against the victim immediately (no second retry horizon) and
+  // re-targets any shadow stream aimed at it. One notice per death.
+  void ReportDeath(NodeId reporter, NodeId dead) override;
+
   // Rejoin after FaultPlan::NodeRemoval::restore_at: the node comes back with
   // cold caches — resident pages, shadow store, and in-memory pager copies
   // are gone; paging-space (disk) contents survive. Runs as a mutation.
@@ -93,6 +106,9 @@ class XmmSystem : public DsmSystem {
   // deterministic sequencing point (src/dsm/cluster_mutator.h).
   VmMap* ApplyRemoteFork(NodeId src, VmMap& parent, NodeId dst);
 
+  // Applies one gossiped death at a barrier: dedup, then survivor fan-out.
+  void ApplyDeathNotice(NodeId dead);
+
   // Keys for anonymous backing in the manager's paging space; a distinct high
   // bit keeps them disjoint from local VM object serials and from ASVM keys.
   uint64_t NextXmmBackingKey() { return (1ULL << 62) | next_backing_key_++; }
@@ -105,6 +121,9 @@ class XmmSystem : public DsmSystem {
   // Per-system (not process-global) so that identical machines allocate
   // identical paging-space positions — traces must be byte-stable run to run.
   uint64_t next_backing_key_ = 0;
+  // Nodes whose death has already been gossiped (first notice wins).
+  // ColdRestart removes rejoined nodes so a second death is noticed afresh.
+  std::set<NodeId> death_noticed_;
 };
 
 }  // namespace asvm

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "src/asvm/agent.h"
 #include "src/asvm/asvm_system.h"
@@ -50,6 +51,10 @@ struct Options {
   std::string fault_profile = "none";
   uint64_t fault_seed = 1;
   bool fault_report = false;
+  // --fault-victim=N[,N...]: overrides the profile's removal nodes in order;
+  // extra victims clone the last removal's schedule. Validated against
+  // --nodes once the whole command line is parsed.
+  std::vector<long long> fault_victims;
 };
 
 void Usage() {
@@ -82,9 +87,14 @@ void Usage() {
       "  --stats                  dump the statistics registry\n"
       "  --msg-stats              count transport messages per protocol type\n"
       "  --fault-profile=P        none | jitter | slow-node | degraded-links |\n"
-      "                           kill-manager | rolling-restart (default none);\n"
-      "                           node-removal profiles auto-enable manager failover\n"
-      "                           (replicated directories, leases, online promotion)\n"
+      "                           kill-manager | kill-owner | kill-many | cascade |\n"
+      "                           rolling-restart (default none); node-removal\n"
+      "                           profiles auto-enable manager failover (replicated\n"
+      "                           directories, leases, online promotion)\n"
+      "  --fault-victim=N[,N...]  override the profile's removal nodes in order\n"
+      "                           (any node may be the victim — manager, page owner,\n"
+      "                           or bystander); extra victims repeat the last\n"
+      "                           removal's schedule\n"
       "  --fault-seed=N           seed for the fault plan's RNG (default 1)\n"
       "  --fault-report           print the fault plan and robustness counters\n");
 }
@@ -133,6 +143,35 @@ bool ParseU64(const char* flag, const std::string& value, uint64_t* out) {
   }
   *out = v;
   return true;
+}
+
+// Strict victim-list parsing: comma-separated integers, no empty elements, no
+// trailing junk, no duplicates. Range (< nodes) is checked after the whole
+// command line is parsed, since --nodes may come later.
+bool ParseVictimList(const std::string& value, std::vector<long long>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    const size_t comma = value.find(',', pos);
+    const std::string elem =
+        value.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    long long v = 0;
+    if (!ParseInt64("--fault-victim", elem, 0, std::numeric_limits<long long>::max(), &v)) {
+      return false;
+    }
+    for (long long seen : *out) {
+      if (seen == v) {
+        std::printf("--fault-victim lists node %lld twice\n", v);
+        return false;
+      }
+    }
+    out->push_back(v);
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return !out->empty();
 }
 
 bool ParseDouble(const char* flag, const std::string& value, double lo, double hi,
@@ -217,6 +256,10 @@ bool Parse(int argc, char** argv, Options* opts) {
       opts->msg_stats = true;
     } else if (ParseFlag(argv[i], "--fault-profile", &value)) {
       opts->fault_profile = value;
+    } else if (ParseFlag(argv[i], "--fault-victim", &value)) {
+      if (!ParseVictimList(value, &opts->fault_victims)) {
+        return false;
+      }
     } else if (ParseFlag(argv[i], "--fault-seed", &value)) {
       if (!ParseU64("--fault-seed", value, &opts->fault_seed)) {
         return false;
@@ -361,20 +404,54 @@ int RunFaultSweep(Machine& machine, const Options& opts, bool failover) {
     last_restore = std::max(last_restore, r.restore_at);
   }
   AdvanceJustPast(machine, last_removal);
+  // Any node may be the victim now (--fault-victim), so the recovery actors
+  // must be picked from the survivors: the first two alive nodes at or above
+  // node 2 (nodes 0/1 keep their early-phase roles when alive). With the
+  // default profiles this reproduces the historical reader=2 / writer=3 pair.
+  NodeId survivor_reader = kInvalidNode;
+  NodeId survivor_writer = kInvalidNode;
+  for (NodeId n = 2; n < static_cast<NodeId>(opts.nodes); ++n) {
+    if (!plan->NodeAlive(n, machine.Now())) {
+      continue;
+    }
+    if (survivor_reader == kInvalidNode) {
+      survivor_reader = n;
+    } else {
+      survivor_writer = n;
+      break;
+    }
+  }
+  if (survivor_reader == kInvalidNode || survivor_writer == kInvalidNode) {
+    std::printf("fault-sweep needs two surviving nodes >= 2\n");
+    return 1;
+  }
+  // Reuse the early-phase mappings where the survivor kept its role, so the
+  // historical profiles replay the exact same timeline as before.
+  TaskMemory& post_reader =
+      survivor_reader == 2 ? reader : machine.MapRegion(survivor_reader, region);
+  TaskMemory& post_writer =
+      survivor_writer == 3 ? writer : machine.MapRegion(survivor_writer, region);
   // An untouched page: first-touch forwarding terminates at the dead home, so
   // the access pays silence detection plus backup promotion. (Previously
   // touched pages may be served by their surviving owners without ever
   // noticing the kill — that is the point of distributed ownership.)
   const VmOffset fresh = 4 * machine.page_size();
-  ms = SlicedAccessMs(machine, reader.ReadU64(fresh));
+  ms = SlicedAccessMs(machine, post_reader.ReadU64(fresh));
   std::printf("post-kill read (detect + promote):    %7.2f ms\n", ms);
-  ms = SlicedAccessMs(machine, writer.WriteU64(fresh, 4));
+  ms = SlicedAccessMs(machine, post_writer.WriteU64(fresh, 4));
   std::printf("post-kill write (promoted manager):   %7.2f ms\n", ms);
   if (last_restore > 0) {
     // Rejoin phase: the removed node is back with cold caches and must be
     // able to fault the region in again.
     AdvanceJustPast(machine, last_restore);
-    TaskMemory& rejoined = machine.MapRegion(0, region);
+    NodeId rejoined_node = 0;
+    for (const NodeRemoval& r : plan->params().removals) {
+      if (r.restore_at == last_restore) {
+        rejoined_node = r.node;
+        break;
+      }
+    }
+    TaskMemory& rejoined = machine.MapRegion(rejoined_node, region);
     ms = SlicedAccessMs(machine, rejoined.ReadU64(0));
     std::printf("rejoined read (cold cache):           %7.2f ms\n", ms);
   }
@@ -446,6 +523,34 @@ int Run(const Options& opts) {
     // run would wedge the moment the dead manager is asked for a page.
     failover = !config.fault.removals.empty();
     config.failover.enabled = failover;
+  }
+  if (!opts.fault_victims.empty()) {
+    if (config.fault.removals.empty()) {
+      std::printf("--fault-victim requires a node-removal profile "
+                  "(profile '%s' removes no nodes)\n",
+                  opts.fault_profile.c_str());
+      return 2;
+    }
+    for (long long v : opts.fault_victims) {
+      if (v >= opts.nodes) {
+        std::printf("--fault-victim node %lld is out of range (--nodes=%d)\n", v,
+                    opts.nodes);
+        return 2;
+      }
+    }
+    // Override the profile's victims in order; extra victims repeat the last
+    // removal's schedule, so "--fault-profile=kill-manager
+    // --fault-victim=1,2,5" kills three nodes at the same instant.
+    auto& removals = config.fault.removals;
+    for (size_t i = 0; i < opts.fault_victims.size(); ++i) {
+      if (i < removals.size()) {
+        removals[i].node = static_cast<NodeId>(opts.fault_victims[i]);
+      } else {
+        NodeRemoval extra = removals.back();
+        extra.node = static_cast<NodeId>(opts.fault_victims[i]);
+        removals.push_back(extra);
+      }
+    }
   }
   Machine machine(config);
 
@@ -519,11 +624,14 @@ int Run(const Options& opts) {
                               "fault.jitter_ns",        "fault.degraded_messages",
                               "fault.slowed_messages",  "dsm.op_retries",
                               "dsm.op_timeouts",        "dsm.op_node_down",
-                              "dsm.duplicates_suppressed", "sim.stalls_detected",
-                              kStatPromotions,          kStatShadowUpdates,
-                              kStatLeaseReclaims,       kStatReconstructedPages,
-                              kStatRestarts,            kStatReissues};
+                              "dsm.duplicates_suppressed", "sim.stalls_detected"};
     for (const char* name : counters) {
+      std::printf("  %-28s %lld\n", name,
+                  static_cast<long long>(machine.stats().Get(name)));
+    }
+    // The failover block is derived from the canonical list in failover.h so
+    // a new counter can never silently drift out of the report.
+    for (const char* name : kFailoverStatNames) {
       std::printf("  %-28s %lld\n", name,
                   static_cast<long long>(machine.stats().Get(name)));
     }
