@@ -41,12 +41,17 @@ struct FailoverLatencies {
   double rejoin_read_ms = 0;
   uint64_t promotions = 0;
   uint64_t restarts = 0;
+  // IVY recovery evidence: there is no manager to promote, so the post-kill
+  // first touch ends in an ownership reclaim instead of a backup promotion.
+  uint64_t reclaims = 0;
 };
 
 // An 8-node machine with the region homed on the node the profile kills.
 // Node 1 creates, node 2 reads, node 3 writes; pages 5-7 stay untouched so
 // the post-kill first-touch must forward to the dead terminal and pay the
-// full silence-detection + promotion path.
+// full silence-detection + promotion path. Under IVY the home node is every
+// untouched page's initial probable owner, so the same first touch pays
+// detection + ownership reclaim instead of a backup promotion.
 FailoverLatencies MeasureFailover(DsmKind kind, const char* profile) {
   MachineConfig config = BenchConfig(kind, 8);
   if (!FaultProfileFromName(profile, 1, config.nodes, &config.fault)) {
@@ -93,11 +98,12 @@ FailoverLatencies MeasureFailover(DsmKind kind, const char* profile) {
 
   out.promotions = machine.stats().Get(kStatPromotions);
   out.restarts = machine.stats().Get(kStatRestarts);
+  out.reclaims = machine.stats().Get(kStatIvyOwnerReclaims);
   return out;
 }
 
-void PrintPhase(const char* label, double asvm_ms, double xmm_ms) {
-  std::printf("%-58s %9.2f %9.2f\n", label, asvm_ms, xmm_ms);
+void PrintPhase(const char* label, double asvm_ms, double xmm_ms, double ivy_ms) {
+  std::printf("%-58s %9.2f %9.2f %9.2f\n", label, asvm_ms, xmm_ms, ivy_ms);
 }
 
 // The gossip A/B: two survivors each hold a pending op against the dead node.
@@ -116,7 +122,10 @@ void PrintPhase(const char* label, double asvm_ms, double xmm_ms) {
 // the victim, like a write upgrade invalidating a dead reader's copy. So the
 // ASVM victim is a reader (kill-owner's node 3) holding copies of two pages
 // owned by the detector and the bystander, and both survivors upgrade their
-// own pages after the kill.
+// own pages after the kill. The IVY victim instead *owns* two pages and sits
+// at the end of both survivors' probable-owner hint chains, so their write
+// upgrades chase a chain into a corpse until silence detection (or a gossiped
+// death notice) triggers the ownership reclaim.
 struct DeathNoticeLatency {
   double bystander_ms = 0;
   uint64_t notices = 0;
@@ -124,8 +133,13 @@ struct DeathNoticeLatency {
 
 DeathNoticeLatency MeasureDeathNotice(DsmKind kind, bool notices_on) {
   MachineConfig config = BenchConfig(kind, 8);
-  const bool asvm = kind == DsmKind::kAsvm;
-  const char* profile = asvm ? "kill-owner" : "kill-manager";
+  // XMM wedges on its centralized manager. ASVM and IVY routing never sends
+  // to a confirmed-dead node, so their victim must hold protocol state the
+  // survivors have to touch: a read copy to invalidate (ASVM) or page
+  // ownership at the end of the survivors' hint chains (IVY). kill-owner's
+  // victim is node 3 == kFirstReaderNode.
+  const bool xmm = kind == DsmKind::kXmm;
+  const char* profile = xmm ? "kill-manager" : "kill-owner";
   if (!FaultProfileFromName(profile, 1, config.nodes, &config.fault)) {
     std::printf("unknown fault profile '%s'\n", profile);
     return {};
@@ -146,14 +160,14 @@ DeathNoticeLatency MeasureDeathNotice(DsmKind kind, bool notices_on) {
 
   MemObjectId region = machine.CreateSharedRegion(kHomeNode, 8);
   TaskMemory& creator = machine.MapRegion(kCreatorNode, region);
-  // kill-owner's victim is node 3 == kFirstReaderNode; the ASVM survivors
+  // kill-owner's victim is node 3 == kFirstReaderNode; the ASVM/IVY survivors
   // must dodge it.
   TaskMemory& detector = machine.MapRegion(kFaultNode, region);
   TaskMemory& bystander =
-      machine.MapRegion(asvm ? kFirstReaderNode + 1 : kFirstReaderNode, region);
+      machine.MapRegion(xmm ? kFirstReaderNode : kFirstReaderNode + 1, region);
 
   SlicedAccessMs(machine, creator.WriteU64(0, 1));
-  if (asvm) {
+  if (kind == DsmKind::kAsvm) {
     // Seed the wedge: detector and bystander each own a page whose read copy
     // sits on the doomed reader, so their post-kill upgrades must invalidate
     // a dead node.
@@ -162,6 +176,16 @@ DeathNoticeLatency MeasureDeathNotice(DsmKind kind, bool notices_on) {
     SlicedAccessMs(machine, doomed.ReadU64(5 * machine.page_size()));
     SlicedAccessMs(machine, bystander.WriteU64(6 * machine.page_size(), 3));
     SlicedAccessMs(machine, doomed.ReadU64(6 * machine.page_size()));
+  } else if (kind == DsmKind::kIvy) {
+    // Seed the wedge: the doomed node's write faults migrate ownership of
+    // pages 5 and 6 to it, and the survivors' read faults leave their
+    // probable-owner hints aimed straight at it — so each post-kill write
+    // upgrade chases a hint chain that terminates in a corpse.
+    TaskMemory& doomed = machine.MapRegion(victim, region);
+    SlicedAccessMs(machine, doomed.WriteU64(5 * machine.page_size(), 2));
+    SlicedAccessMs(machine, doomed.WriteU64(6 * machine.page_size(), 3));
+    SlicedAccessMs(machine, detector.ReadU64(5 * machine.page_size()));
+    SlicedAccessMs(machine, bystander.ReadU64(6 * machine.page_size()));
   } else {
     SlicedAccessMs(machine, detector.ReadU64(0));
     SlicedAccessMs(machine, bystander.ReadU64(machine.page_size()));
@@ -186,12 +210,12 @@ DeathNoticeLatency MeasureDeathNotice(DsmKind kind, bool notices_on) {
       machine.RunFor(kMillisecond);
     }
   };
-  if (asvm) {
-    measure(detector.WriteU64(5 * machine.page_size(), 4),
-            [&] { return bystander.WriteU64(6 * machine.page_size(), 5); });
-  } else {
+  if (xmm) {
     measure(detector.ReadU64(5 * machine.page_size()),
             [&] { return bystander.ReadU64(6 * machine.page_size()); });
+  } else {
+    measure(detector.WriteU64(5 * machine.page_size(), 4),
+            [&] { return bystander.WriteU64(6 * machine.page_size(), 5); });
   }
   out.notices = machine.stats().Get(kStatDeathNotices);
   return out;
@@ -202,76 +226,103 @@ void RunFailoverBench(BenchJson& json) {
 
   const FailoverLatencies kill_asvm = MeasureFailover(DsmKind::kAsvm, "kill-manager");
   const FailoverLatencies kill_xmm = MeasureFailover(DsmKind::kXmm, "kill-manager");
+  const FailoverLatencies kill_ivy = MeasureFailover(DsmKind::kIvy, "kill-manager");
   const FailoverLatencies roll_asvm =
       MeasureFailover(DsmKind::kAsvm, "rolling-restart");
   const FailoverLatencies roll_xmm = MeasureFailover(DsmKind::kXmm, "rolling-restart");
+  const FailoverLatencies roll_ivy = MeasureFailover(DsmKind::kIvy, "rolling-restart");
 
-  std::printf("%-58s %9s %9s\n", "", "ASVM", "XMM");
-  PrintPhase("healthy remote read", kill_asvm.healthy_read_ms, kill_xmm.healthy_read_ms);
-  PrintPhase("post-kill first touch (detect + promote)",
-             kill_asvm.detect_promote_read_ms, kill_xmm.detect_promote_read_ms);
+  std::printf("%-58s %9s %9s %9s\n", "", "ASVM", "XMM", "IVY");
+  PrintPhase("healthy remote read", kill_asvm.healthy_read_ms, kill_xmm.healthy_read_ms,
+             kill_ivy.healthy_read_ms);
+  PrintPhase("post-kill first touch (detect + promote/reclaim)",
+             kill_asvm.detect_promote_read_ms, kill_xmm.detect_promote_read_ms,
+             kill_ivy.detect_promote_read_ms);
   PrintPhase("post-kill read, surviving owner", kill_asvm.degraded_read_ms,
-             kill_xmm.degraded_read_ms);
-  PrintPhase("post-kill write via promoted manager", kill_asvm.postkill_write_ms,
-             kill_xmm.postkill_write_ms);
+             kill_xmm.degraded_read_ms, kill_ivy.degraded_read_ms);
+  PrintPhase("post-kill write via promoted manager / reclaimed owner",
+             kill_asvm.postkill_write_ms, kill_xmm.postkill_write_ms,
+             kill_ivy.postkill_write_ms);
   PrintPhase("rejoined cold read after rolling restart", roll_asvm.rejoin_read_ms,
-             roll_xmm.rejoin_read_ms);
-  std::printf("promotions: asvm=%llu xmm=%llu; restarts after rolling restart: "
-              "asvm=%llu xmm=%llu\n",
+             roll_xmm.rejoin_read_ms, roll_ivy.rejoin_read_ms);
+  std::printf("promotions: asvm=%llu xmm=%llu; ivy owner reclaims=%llu; restarts "
+              "after rolling restart: asvm=%llu xmm=%llu ivy=%llu\n",
               (unsigned long long)kill_asvm.promotions,
               (unsigned long long)kill_xmm.promotions,
+              (unsigned long long)kill_ivy.reclaims,
               (unsigned long long)roll_asvm.restarts,
-              (unsigned long long)roll_xmm.restarts);
+              (unsigned long long)roll_xmm.restarts,
+              (unsigned long long)roll_ivy.restarts);
 
   json.Metric("healthy_read_ms.asvm", kill_asvm.healthy_read_ms);
   json.Metric("healthy_read_ms.xmm", kill_xmm.healthy_read_ms);
+  json.Metric("healthy_read_ms.ivy", kill_ivy.healthy_read_ms);
   json.Metric("detect_promote_read_ms.asvm", kill_asvm.detect_promote_read_ms);
   json.Metric("detect_promote_read_ms.xmm", kill_xmm.detect_promote_read_ms);
+  json.Metric("detect_promote_read_ms.ivy", kill_ivy.detect_promote_read_ms);
   json.Metric("degraded_read_ms.asvm", kill_asvm.degraded_read_ms);
   json.Metric("degraded_read_ms.xmm", kill_xmm.degraded_read_ms);
+  json.Metric("degraded_read_ms.ivy", kill_ivy.degraded_read_ms);
   json.Metric("postkill_write_ms.asvm", kill_asvm.postkill_write_ms);
   json.Metric("postkill_write_ms.xmm", kill_xmm.postkill_write_ms);
+  json.Metric("postkill_write_ms.ivy", kill_ivy.postkill_write_ms);
   json.Metric("rejoin_read_ms.asvm", roll_asvm.rejoin_read_ms);
   json.Metric("rejoin_read_ms.xmm", roll_xmm.rejoin_read_ms);
+  json.Metric("rejoin_read_ms.ivy", roll_ivy.rejoin_read_ms);
   json.Metric("promotions.asvm", (double)kill_asvm.promotions);
   json.Metric("promotions.xmm", (double)kill_xmm.promotions);
+  json.Metric("reclaims.ivy", (double)kill_ivy.reclaims);
   json.Metric("restarts.asvm", (double)roll_asvm.restarts);
   json.Metric("restarts.xmm", (double)roll_xmm.restarts);
+  json.Metric("restarts.ivy", (double)roll_ivy.restarts);
 
   PrintHeader("Gossip death notices: bystander recovery mid-backoff (ms)");
   const DeathNoticeLatency dn_on_asvm = MeasureDeathNotice(DsmKind::kAsvm, true);
   const DeathNoticeLatency dn_off_asvm = MeasureDeathNotice(DsmKind::kAsvm, false);
   const DeathNoticeLatency dn_on_xmm = MeasureDeathNotice(DsmKind::kXmm, true);
   const DeathNoticeLatency dn_off_xmm = MeasureDeathNotice(DsmKind::kXmm, false);
+  const DeathNoticeLatency dn_on_ivy = MeasureDeathNotice(DsmKind::kIvy, true);
+  const DeathNoticeLatency dn_off_ivy = MeasureDeathNotice(DsmKind::kIvy, false);
 
-  std::printf("%-58s %9s %9s\n", "", "ASVM", "XMM");
-  PrintPhase("bystander read, death notices on", dn_on_asvm.bystander_ms,
-             dn_on_xmm.bystander_ms);
-  PrintPhase("bystander read, death notices off (own full horizon)",
-             dn_off_asvm.bystander_ms, dn_off_xmm.bystander_ms);
+  std::printf("%-58s %9s %9s %9s\n", "", "ASVM", "XMM", "IVY");
+  PrintPhase("bystander access, death notices on", dn_on_asvm.bystander_ms,
+             dn_on_xmm.bystander_ms, dn_on_ivy.bystander_ms);
+  PrintPhase("bystander access, death notices off (own full horizon)",
+             dn_off_asvm.bystander_ms, dn_off_xmm.bystander_ms, dn_off_ivy.bystander_ms);
   const double speedup_asvm =
       dn_on_asvm.bystander_ms > 0 ? dn_off_asvm.bystander_ms / dn_on_asvm.bystander_ms
                                   : 0;
   const double speedup_xmm =
       dn_on_xmm.bystander_ms > 0 ? dn_off_xmm.bystander_ms / dn_on_xmm.bystander_ms
                                  : 0;
-  std::printf("speedup: asvm=%.2fx xmm=%.2fx; notices: asvm on/off=%llu/%llu "
-              "xmm on/off=%llu/%llu\n",
-              speedup_asvm, speedup_xmm, (unsigned long long)dn_on_asvm.notices,
+  const double speedup_ivy =
+      dn_on_ivy.bystander_ms > 0 ? dn_off_ivy.bystander_ms / dn_on_ivy.bystander_ms
+                                 : 0;
+  std::printf("speedup: asvm=%.2fx xmm=%.2fx ivy=%.2fx; notices: asvm on/off=%llu/%llu "
+              "xmm on/off=%llu/%llu ivy on/off=%llu/%llu\n",
+              speedup_asvm, speedup_xmm, speedup_ivy,
+              (unsigned long long)dn_on_asvm.notices,
               (unsigned long long)dn_off_asvm.notices,
               (unsigned long long)dn_on_xmm.notices,
-              (unsigned long long)dn_off_xmm.notices);
+              (unsigned long long)dn_off_xmm.notices,
+              (unsigned long long)dn_on_ivy.notices,
+              (unsigned long long)dn_off_ivy.notices);
 
   json.Metric("death_notice_read_ms.on.asvm", dn_on_asvm.bystander_ms);
   json.Metric("death_notice_read_ms.off.asvm", dn_off_asvm.bystander_ms);
   json.Metric("death_notice_read_ms.on.xmm", dn_on_xmm.bystander_ms);
   json.Metric("death_notice_read_ms.off.xmm", dn_off_xmm.bystander_ms);
+  json.Metric("death_notice_read_ms.on.ivy", dn_on_ivy.bystander_ms);
+  json.Metric("death_notice_read_ms.off.ivy", dn_off_ivy.bystander_ms);
   json.Metric("death_notice_speedup.asvm", speedup_asvm);
   json.Metric("death_notice_speedup.xmm", speedup_xmm);
+  json.Metric("death_notice_speedup.ivy", speedup_ivy);
   json.Metric("death_notices.on.asvm", (double)dn_on_asvm.notices);
   json.Metric("death_notices.off.asvm", (double)dn_off_asvm.notices);
   json.Metric("death_notices.on.xmm", (double)dn_on_xmm.notices);
   json.Metric("death_notices.off.xmm", (double)dn_off_xmm.notices);
+  json.Metric("death_notices.on.ivy", (double)dn_on_ivy.notices);
+  json.Metric("death_notices.off.ivy", (double)dn_off_ivy.notices);
 }
 
 }  // namespace

@@ -10,8 +10,8 @@ namespace {
 
 void RunFig10(BenchJson& json) {
   PrintHeader("Figure 10: Write fault latency vs. number of read copies (ms)");
-  std::printf("%8s %14s %14s %14s %14s\n", "readers", "ASVM-write", "ASVM-upgrade",
-              "XMM-write", "XMM-upgrade");
+  std::printf("%8s %14s %14s %14s %14s %14s %14s\n", "readers", "ASVM-write",
+              "ASVM-upgrade", "XMM-write", "XMM-upgrade", "IVY-write", "IVY-upgrade");
   // The paper states point values only at the curve ends (its Table 1 rows).
   auto paper_ref = [](int readers, double at1_or_2, double at64,
                       int low) -> double {
@@ -24,13 +24,18 @@ void RunFig10(BenchJson& json) {
     const double asvm_up = WriteFaultMs(DsmKind::kAsvm, readers, true);
     const double xmm_write = WriteFaultMs(DsmKind::kXmm, readers, false);
     const double xmm_up = WriteFaultMs(DsmKind::kXmm, readers, true);
-    std::printf("%8d %14.2f %14.2f %14.2f %14.2f\n", readers, asvm_write, asvm_up, xmm_write,
-                xmm_up);
+    const double ivy_write = WriteFaultMs(DsmKind::kIvy, readers, false);
+    const double ivy_up = WriteFaultMs(DsmKind::kIvy, readers, true);
+    std::printf("%8d %14.2f %14.2f %14.2f %14.2f %14.2f %14.2f\n", readers, asvm_write,
+                asvm_up, xmm_write, xmm_up, ivy_write, ivy_up);
     const std::string suffix = ".r" + std::to_string(readers);
     json.Metric("write_ms.asvm" + suffix, asvm_write, paper_ref(readers, 2.24, 8.96, 1));
     json.Metric("upgrade_ms.asvm" + suffix, asvm_up, paper_ref(readers, 1.51, 7.75, 2));
     json.Metric("write_ms.xmm" + suffix, xmm_write, paper_ref(readers, 12.92, 72.18, 2));
     json.Metric("upgrade_ms.xmm" + suffix, xmm_up, paper_ref(readers, 3.83, 63.72, 2));
+    // Measured-only: the paper has no IVY column to anchor against.
+    json.Metric("write_ms.ivy" + suffix, ivy_write);
+    json.Metric("upgrade_ms.ivy" + suffix, ivy_up);
   }
   std::printf(
       "\nPaper anchors: ASVM write 2.24 ms @1 -> 8.96 ms @64 (slope ~0.09 ms/reader);\n"
@@ -77,24 +82,26 @@ double FarReaderWriteFaultMs(DsmKind kind, int nodes) {
 
 void RunMeshScaling(BenchJson& json) {
   PrintHeader("Mesh scaling: write fault latency vs. machine size (ms)");
-  std::printf("%8s %8s %14s %14s %16s\n", "mesh", "nodes", "ASVM-48rdr", "XMM-48rdr",
-              "ASVM-far-reader");
+  std::printf("%8s %8s %14s %14s %14s %16s\n", "mesh", "nodes", "ASVM-48rdr", "XMM-48rdr",
+              "IVY-48rdr", "ASVM-far-reader");
   for (int nodes : {64, 256, 1024}) {
     const double asvm_ms = MeshWriteFaultMs(DsmKind::kAsvm, nodes, 48);
     const double xmm_ms = MeshWriteFaultMs(DsmKind::kXmm, nodes, 48);
+    const double ivy_ms = MeshWriteFaultMs(DsmKind::kIvy, nodes, 48);
     const double far_ms = FarReaderWriteFaultMs(DsmKind::kAsvm, nodes);
     const int side = static_cast<int>(std::sqrt(static_cast<double>(nodes)));
-    std::printf("%5dx%-2d %8d %14.4f %14.4f %16.4f\n", side, side, nodes, asvm_ms, xmm_ms,
-                far_ms);
+    std::printf("%5dx%-2d %8d %14.4f %14.4f %14.4f %16.4f\n", side, side, nodes, asvm_ms,
+                xmm_ms, ivy_ms, far_ms);
     const std::string suffix = ".n" + std::to_string(nodes);
     json.Metric("mesh_write_ms.asvm" + suffix, asvm_ms);
     json.Metric("mesh_write_ms.xmm" + suffix, xmm_ms);
+    json.Metric("mesh_write_ms.ivy" + suffix, ivy_ms);
     json.Metric("mesh_far_write_ms.asvm" + suffix, far_ms);
   }
   // 1792 nodes: the full-size Paragon XP/S-140 at ORNL. A smoke, not a
   // sweep — the machine must construct and serve the fault in bounded time.
   const double smoke_ms = MeshWriteFaultMs(DsmKind::kAsvm, 1792, 48);
-  std::printf("%8s %8d %14.4f %14s %16.4f\n", "smoke", 1792, smoke_ms, "-",
+  std::printf("%8s %8d %14.4f %14s %14s %16.4f\n", "smoke", 1792, smoke_ms, "-", "-",
               FarReaderWriteFaultMs(DsmKind::kAsvm, 1792));
   json.Metric("mesh_write_ms.asvm.n1792", smoke_ms);
   std::printf(

@@ -62,6 +62,12 @@ struct StormResult {
   double drain_seconds = 0;  // host wall clock of the single Run()
   int64_t windows = 0;       // barrier windows the drain took (0 when shards=1)
   int64_t replayed = 0;      // mailbox records replayed at barriers
+  // IVY only: the longest probable-owner chain any request walked, and how
+  // many requests hit the hop ceiling and were dropped. The report gates both
+  // — a chain that grows with the mesh means path compression stopped
+  // working, and a dropped forward means a request orbited a hint cycle.
+  double ivy_chain_max = 0;
+  int64_t ivy_dropped = 0;
 };
 
 StormResult RunStorm(const StormShape& shape, DsmKind kind, int shards) {
@@ -110,6 +116,11 @@ StormResult RunStorm(const StormShape& shape, DsmKind kind, int shards) {
   result.digest = Fnv1a(result.digest, static_cast<uint64_t>(machine.stats().Get("vm.faults")));
   result.windows = machine.stats().Get("sim.sharded.windows");
   result.replayed = machine.stats().Get("sim.sharded.records_replayed");
+  if (kind == DsmKind::kIvy) {
+    const Histogram* chains = machine.stats().FindHistogram("dsm.ivy.chain_length");
+    result.ivy_chain_max = chains != nullptr && chains->count() > 0 ? chains->max() : 0;
+    result.ivy_dropped = machine.stats().Get("dsm.ivy.dropped_forwards");
+  }
   return result;
 }
 
@@ -122,8 +133,8 @@ void RunSweep(BenchJson& json) {
     PrintHeader(title);
     std::printf("%-8s %-8s %14s %10s %10s\n", "dsm", "shards", "drain (host s)", "speedup",
                 "digest");
-    for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
-      const char* tag = kind == DsmKind::kAsvm ? "asvm" : "xmm";
+    for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm, DsmKind::kIvy}) {
+      const char* tag = DsmTag(kind);
       double base_seconds = 0;
       uint64_t base_digest = 0;
       bool digests_match = true;
@@ -132,6 +143,17 @@ void RunSweep(BenchJson& json) {
         if (shards == 1) {
           base_seconds = r.drain_seconds;
           base_digest = r.digest;
+          if (kind == DsmKind::kIvy) {
+            // Sharding cannot change these (the digest gate proves the
+            // timeline is identical), so the shards=1 run speaks for all.
+            char name[64];
+            std::snprintf(name, sizeof(name), "%s.ivy.chain_length_max", shape.name);
+            json.Metric(name, r.ivy_chain_max);
+            std::snprintf(name, sizeof(name), "%s.ivy.dropped_forwards", shape.name);
+            json.Metric(name, static_cast<double>(r.ivy_dropped));
+            std::printf("%-8s chain_length_max=%.0f dropped_forwards=%lld\n", tag,
+                        r.ivy_chain_max, static_cast<long long>(r.ivy_dropped));
+          }
         }
         digests_match = digests_match && r.digest == base_digest;
         const double speedup = r.drain_seconds > 0 ? base_seconds / r.drain_seconds : 0;
@@ -165,6 +187,12 @@ void RunSweep(BenchJson& json) {
 struct WorkloadResult {
   uint64_t digest = 14695981039346656037ULL;
   double drain_seconds = 0;  // host wall clock of the workload's drains
+  // IVY only (see StormResult): the workloads here actually migrate ownership
+  // around the mesh, so — unlike the storm, where every request lands on the
+  // home in zero hops — these are the shapes whose chains the report's
+  // bounded-chain gate has teeth on.
+  double ivy_chain_max = 0;
+  int64_t ivy_dropped = 0;
 };
 
 constexpr int kWlNodes = 128;  // default nodes_per_io_group=32 -> 4 blocks
@@ -244,6 +272,11 @@ WorkloadResult RunWorkload(const std::string& workload, DsmKind kind, int shards
   digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.messages")));
   digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("mesh.bytes")));
   digest = Fnv1a(digest, static_cast<uint64_t>(machine.stats().Get("vm.faults")));
+  if (kind == DsmKind::kIvy) {
+    const Histogram* chains = machine.stats().FindHistogram("dsm.ivy.chain_length");
+    result.ivy_chain_max = chains != nullptr && chains->count() > 0 ? chains->max() : 0;
+    result.ivy_dropped = machine.stats().Get("dsm.ivy.dropped_forwards");
+  }
   return result;
 }
 
@@ -257,8 +290,8 @@ void RunWorkloadSweep(BenchJson& json) {
   std::printf("%-12s %-8s %-8s %14s %10s %10s\n", "workload", "dsm", "shards",
               "drain (host s)", "speedup", "digest");
   for (const char* workload : kWorkloads) {
-    for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
-      const char* tag = kind == DsmKind::kAsvm ? "asvm" : "xmm";
+    for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm, DsmKind::kIvy}) {
+      const char* tag = DsmTag(kind);
       const WorkloadResult base = RunWorkload(workload, kind, 1);
       const WorkloadResult sharded = RunWorkload(workload, kind, 4);
       const bool match = sharded.digest == base.digest;
@@ -277,6 +310,14 @@ void RunWorkloadSweep(BenchJson& json) {
       json.Metric(name, speedup);
       std::snprintf(name, sizeof(name), "wl_%s.%s.digest_match", workload, tag);
       json.Metric(name, match ? 1 : 0);
+      if (kind == DsmKind::kIvy) {
+        std::snprintf(name, sizeof(name), "wl_%s.ivy.chain_length_max", workload);
+        json.Metric(name, base.ivy_chain_max);
+        std::snprintf(name, sizeof(name), "wl_%s.ivy.dropped_forwards", workload);
+        json.Metric(name, static_cast<double>(base.ivy_dropped));
+        std::printf("%-12s %-8s chain_length_max=%.0f dropped_forwards=%lld\n", workload,
+                    tag, base.ivy_chain_max, static_cast<long long>(base.ivy_dropped));
+      }
     }
   }
 }

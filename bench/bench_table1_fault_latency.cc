@@ -11,26 +11,35 @@ void RunTable1(BenchJson& json) {
   std::vector<PaperRow> rows;
 
   // "1 read copy" = only the creator's (still dirty) copy exists; XMM pays
-  // the first-remote-request write to paging space here.
+  // the first-remote-request write to paging space here. The IVY column is
+  // this repo's dynamic-distributed-manager backend — the paper has no
+  // reference numbers for it, only our measured timeline.
   rows.push_back({"Write fault on a page with 1 read copy", 2.24, 38.42,
                   WriteFaultMs(DsmKind::kAsvm, 0, false),
-                  WriteFaultMs(DsmKind::kXmm, 0, false)});
+                  WriteFaultMs(DsmKind::kXmm, 0, false),
+                  WriteFaultMs(DsmKind::kIvy, 0, false)});
   rows.push_back({"Write fault on a page with 2 read copies", 3.10, 12.92,
                   WriteFaultMs(DsmKind::kAsvm, 2, false),
-                  WriteFaultMs(DsmKind::kXmm, 2, false)});
+                  WriteFaultMs(DsmKind::kXmm, 2, false),
+                  WriteFaultMs(DsmKind::kIvy, 2, false)});
   rows.push_back({"Write fault on a page with 64 read copies", 8.96, 72.18,
                   WriteFaultMs(DsmKind::kAsvm, 64, false),
-                  WriteFaultMs(DsmKind::kXmm, 64, false)});
+                  WriteFaultMs(DsmKind::kXmm, 64, false),
+                  WriteFaultMs(DsmKind::kIvy, 64, false)});
   rows.push_back({"Write fault, 2 read copies, faulting node has read copy", 1.51, 3.83,
                   WriteFaultMs(DsmKind::kAsvm, 2, true),
-                  WriteFaultMs(DsmKind::kXmm, 2, true)});
+                  WriteFaultMs(DsmKind::kXmm, 2, true),
+                  WriteFaultMs(DsmKind::kIvy, 2, true)});
   rows.push_back({"Write fault, 64 read copies, faulting node has read copy", 7.75, 63.72,
                   WriteFaultMs(DsmKind::kAsvm, 64, true),
-                  WriteFaultMs(DsmKind::kXmm, 64, true)});
+                  WriteFaultMs(DsmKind::kXmm, 64, true),
+                  WriteFaultMs(DsmKind::kIvy, 64, true)});
   rows.push_back({"Read fault, faulting node is first reader", 2.35, 38.59,
-                  ReadFaultMs(DsmKind::kAsvm, 0), ReadFaultMs(DsmKind::kXmm, 0)});
+                  ReadFaultMs(DsmKind::kAsvm, 0), ReadFaultMs(DsmKind::kXmm, 0),
+                  ReadFaultMs(DsmKind::kIvy, 0)});
   rows.push_back({"Read fault, faulting node is second reader", 2.35, 10.06,
-                  ReadFaultMs(DsmKind::kAsvm, 1), ReadFaultMs(DsmKind::kXmm, 1)});
+                  ReadFaultMs(DsmKind::kAsvm, 1), ReadFaultMs(DsmKind::kXmm, 1),
+                  ReadFaultMs(DsmKind::kIvy, 1)});
 
   PrintComparison(rows, "");
 

@@ -23,6 +23,18 @@ inline MachineConfig BenchConfig(DsmKind kind, int nodes) {
   return config;
 }
 
+inline const char* DsmTag(DsmKind kind) {
+  switch (kind) {
+    case DsmKind::kAsvm:
+      return "asvm";
+    case DsmKind::kXmm:
+      return "xmm";
+    case DsmKind::kIvy:
+      return "ivy";
+  }
+  return "?";
+}
+
 // Node roles in the §4.1 microbenchmarks: the pager/manager (the "XMM stack")
 // lives on node 0, remote from both the faulting node and the read-copy
 // holders — the paper's "general case".
@@ -92,14 +104,18 @@ struct PaperRow {
   double paper_xmm;
   double measured_asvm;
   double measured_xmm;
+  // The paper only benchmarks its own two protocols, so the IVY column is
+  // measured-only — no paper reference to print or diff against.
+  double measured_ivy;
 };
 
 inline void PrintComparison(const std::vector<PaperRow>& rows, const char* unit) {
-  std::printf("%-58s %10s %10s %12s %12s\n", "", "ASVM", "XMM", "ASVM(paper)", "XMM(paper)");
+  std::printf("%-58s %10s %10s %10s %12s %12s\n", "", "ASVM", "XMM", "IVY", "ASVM(paper)",
+              "XMM(paper)");
   for (const auto& row : rows) {
-    std::printf("%-58s %9.2f%s %9.2f%s %11.2f%s %11.2f%s\n", row.label.c_str(),
-                row.measured_asvm, unit, row.measured_xmm, unit, row.paper_asvm, unit,
-                row.paper_xmm, unit);
+    std::printf("%-58s %9.2f%s %9.2f%s %9.2f%s %11.2f%s %11.2f%s\n", row.label.c_str(),
+                row.measured_asvm, unit, row.measured_xmm, unit, row.measured_ivy, unit,
+                row.paper_asvm, unit, row.paper_xmm, unit);
   }
 }
 
@@ -126,10 +142,11 @@ class BenchJson {
     metrics_.push_back({name, value, paper_ref});
   }
 
-  // All seven PaperRow fields of a comparison table in one call.
+  // All the PaperRow fields of a comparison table in one call.
   void Row(const std::string& key, const PaperRow& row) {
     Metric(key + ".asvm", row.measured_asvm, row.paper_asvm);
     Metric(key + ".xmm", row.measured_xmm, row.paper_xmm);
+    Metric(key + ".ivy", row.measured_ivy);
   }
 
   // Writes the file when --json=FILE was given; returns false on I/O failure.

@@ -21,16 +21,23 @@
 #    the 4-shard run must beat single-threaded by >= --shard-speedup-floor
 #    (default 1.5x) on each DSM.
 #  * bench_failover's recovery timeline (kill-manager + rolling-restart on
-#    both DSMs): latencies diff against the baseline like any other metric,
-#    and --check additionally requires exactly one promotion per kill, one
-#    restart per rolling restart, and a >= 1.2x gossip speedup on the
-#    death-notice A/B column (a bystander cancelled mid-backoff must beat
-#    one that serves out its own retry horizon). Every timeline digest the sharded bench
-#    emits — the storm shapes and the per-workload sweep (em3d, sor,
-#    file-read, file-write, fork-chain at 128 nodes) — must match shards=1
-#    exactly (every *.digest_match == 1). The per-workload speedup columns
-#    are reported, not floor-gated: those shapes are barrier-dominated, and
-#    only the queue-bound storm is required to parallelize.
+#    all three DSMs): latencies diff against the baseline like any other
+#    metric, and --check additionally requires exactly one promotion per kill
+#    (ASVM/XMM), at least one ownership reclaim per kill (IVY has no manager
+#    to promote), one restart per rolling restart, and a >= 1.2x gossip
+#    speedup on the death-notice A/B column (a bystander cancelled
+#    mid-backoff must beat one that serves out its own retry horizon). Every
+#    timeline digest the sharded bench emits — the storm shapes and the
+#    per-workload sweep (em3d, sor, file-read, file-write, fork-chain at 128
+#    nodes) — must match shards=1 exactly (every *.digest_match == 1). The
+#    per-workload speedup columns are reported, not floor-gated: those shapes
+#    are barrier-dominated, and only the queue-bound storm is required to
+#    parallelize.
+#  * IVY forwarding-chain health from the same sharded sweep: every
+#    *.ivy.dropped_forwards must be 0 (a dropped forward means a request hit
+#    the hop ceiling — a hint cycle) and every *.ivy.chain_length_max must
+#    stay bounded (path compression keeps probable-owner walks short; the
+#    ceiling it would otherwise drop at is 4x the node count).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -161,7 +168,7 @@ if not gate_speedup:
     print(f"note: host has {os.cpu_count()} CPU(s) — sharded speedup floor skipped "
           "(digest identity still enforced)")
 if gate_speedup:
-    for dsm in ("asvm", "xmm"):
+    for dsm in ("asvm", "xmm", "ivy"):
         entry = sharded.get(f"storm.{dsm}.shards4.speedup")
         checked += 1
         if entry is None:
@@ -171,35 +178,71 @@ if gate_speedup:
                 f"sharded_speedup/storm.{dsm}.shards4.speedup: "
                 f"{entry['value']:.2f}x below floor {shard_floor:.2f}x")
 digests = {k: v for k, v in sharded.items() if k.endswith(".digest_match")}
-# 2 storm shapes + 5 workloads, each on both DSMs.
-if len(digests) < 14:
+# 2 storm shapes + 5 workloads, each on all three DSMs.
+if len(digests) < 21:
     failures.append(
-        f"sharded_speedup: only {len(digests)} digest_match metrics (expected 14)")
+        f"sharded_speedup: only {len(digests)} digest_match metrics (expected 21)")
 for name, entry in digests.items():
     checked += 1
     if entry["value"] != 1:
         failures.append(
             f"sharded_speedup/{name}: sharded timeline diverged from shards=1")
 
+# IVY chain gate: a dropped forward means a request orbited a probable-owner
+# hint cycle until the hop ceiling killed it — always a protocol bug. And the
+# longest observed chain must stay far under that ceiling (4x node count):
+# path compression is supposed to keep walks to a handful of hops, so a chain
+# past 8 on these shapes means compression stopped working.
+dropped = {k: v for k, v in sharded.items() if k.endswith(".ivy.dropped_forwards")}
+chains = {k: v for k, v in sharded.items() if k.endswith(".ivy.chain_length_max")}
+# 2 storm shapes + 5 workloads.
+if len(dropped) < 7 or len(chains) < 7:
+    failures.append(
+        f"sharded_speedup: only {len(dropped)} dropped_forwards / "
+        f"{len(chains)} chain_length_max IVY metrics (expected 7 each)")
+for name, entry in dropped.items():
+    checked += 1
+    if entry["value"] != 0:
+        failures.append(
+            f"sharded_speedup/{name}: {entry['value']:g} request(s) hit the hop "
+            "ceiling (hint cycle)")
+for name, entry in chains.items():
+    checked += 1
+    if entry["value"] > 8:
+        failures.append(
+            f"sharded_speedup/{name}: longest probable-owner chain "
+            f"{entry['value']:g} hops exceeds bound 8 (path compression broken?)")
+
 # Failover gate: the recovery bench must observe exactly one promotion per
 # kill and one restart per rolling restart on each DSM — zero means the
 # recovery path silently stopped firing, more means a split-brain double
-# promotion. Latency drift is handled by the baseline diff above.
+# promotion. IVY has no manager to promote: its kill-manager recovery is an
+# ownership reclaim (>= 1, the victim's untouched pages are reclaimed by
+# whoever touches them first), gated alongside. Latency drift is handled by
+# the baseline diff above.
 failover = current["benches"].get("failover", {})
 if not failover:
     failures.append("failover: bench missing from report")
-for name in ("promotions.asvm", "promotions.xmm", "restarts.asvm", "restarts.xmm"):
+for name in ("promotions.asvm", "promotions.xmm",
+             "restarts.asvm", "restarts.xmm", "restarts.ivy"):
     entry = failover.get(name)
     checked += 1
     if entry is None:
         failures.append(f"failover/{name}: missing")
     elif entry["value"] != 1:
         failures.append(f"failover/{name}: expected exactly 1, got {entry['value']:g}")
+reclaims = failover.get("reclaims.ivy")
+checked += 1
+if reclaims is None:
+    failures.append("failover/reclaims.ivy: missing")
+elif reclaims["value"] < 1:
+    failures.append("failover/reclaims.ivy: expected >= 1, got "
+                    f"{reclaims['value']:g} — owner reclaim never fired")
 
 # Gossip gate: a bystander whose op is cancelled by the death notice must
 # recover measurably faster than one that serves out its own retry horizon,
-# on both DSMs; and the notice counter must fire exactly when enabled.
-for dsm in ("asvm", "xmm"):
+# on every DSM; and the notice counter must fire exactly when enabled.
+for dsm in ("asvm", "xmm", "ivy"):
     entry = failover.get(f"death_notice_speedup.{dsm}")
     checked += 1
     if entry is None:

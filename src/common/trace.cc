@@ -17,6 +17,8 @@ const char* ToString(TraceProtocol protocol) {
       return "asvm";
     case TraceProtocol::kXmm:
       return "xmm";
+    case TraceProtocol::kIvy:
+      return "ivy";
     case TraceProtocol::kTransport:
       return "transport";
     case TraceProtocol::kMesh:
@@ -69,6 +71,18 @@ const char* ToString(TraceKind kind) {
       return "xmm-grant";
     case TraceKind::kXmmCopyFault:
       return "xmm-copy-fault";
+    case TraceKind::kIvyRequest:
+      return "ivy-request";
+    case TraceKind::kIvyForward:
+      return "ivy-forward";
+    case TraceKind::kIvyServe:
+      return "ivy-serve";
+    case TraceKind::kIvyInvalidate:
+      return "ivy-invalidate";
+    case TraceKind::kIvyGrant:
+      return "ivy-grant";
+    case TraceKind::kIvyChainCut:
+      return "ivy-chain-cut";
     case TraceKind::kMsgSend:
       return "msg-send";
     case TraceKind::kMsgRecv:
@@ -223,7 +237,14 @@ void Close(const OpenFault& o, SimTime done, std::vector<FaultBreakdown>* out) {
   // Milestones happen in event order, so each boundary falls back to the
   // previous one when the trace never recorded it.
   const SimTime route_start = o.fwd_first >= 0 ? o.fwd_first : (o.serve >= 0 ? o.serve : done);
-  const SimTime route_end = o.fwd_last >= 0 ? std::max(o.fwd_last, route_start) : route_start;
+  SimTime route_end = o.fwd_last >= 0 ? std::max(o.fwd_last, route_start) : route_start;
+  if (b.protocol == TraceProtocol::kIvy && o.fwd_first >= 0 && o.serve >= 0) {
+    // IVY emits each chain hop after the relay's processing delay, so the walk
+    // spans from the first hop's emission until the true owner starts serving
+    // — otherwise a single-hop chain would charge its relay to the service
+    // segment.
+    route_end = std::max(route_end, o.serve);
+  }
   SimTime granted = o.grant_sent >= 0 ? o.grant_sent : (o.serve >= 0 ? o.serve : route_end);
   granted = std::max(granted, route_end);
   b.total_ns = done - t0;
@@ -274,9 +295,26 @@ std::vector<FaultBreakdown> AnalyzeFaultBreakdowns(const std::deque<TraceEvent>&
         o.b.started = e.time;
         break;
       }
+      case TraceKind::kIvyRequest: {
+        // A local fault served by the owning node itself never goes on the
+        // wire (op == 0) and contributes no exchange.
+        if (e.op == 0) {
+          break;
+        }
+        OpenFault& o = by_op[e.op];
+        o = OpenFault{};
+        o.b.protocol = TraceProtocol::kIvy;
+        o.b.origin = e.node;
+        o.b.object = e.object;
+        o.b.page = e.page;
+        o.b.op = e.op;
+        o.b.started = e.time;
+        break;
+      }
       case TraceKind::kForwardDynamic:
       case TraceKind::kForwardStatic:
-      case TraceKind::kForwardGlobal: {
+      case TraceKind::kForwardGlobal:
+      case TraceKind::kIvyForward: {
         auto it = by_op.find(e.op);
         if (it != by_op.end()) {
           if (it->second.fwd_first < 0) {
@@ -289,7 +327,8 @@ std::vector<FaultBreakdown> AnalyzeFaultBreakdowns(const std::deque<TraceEvent>&
       }
       case TraceKind::kServeOwner:
       case TraceKind::kServeTerminal:
-      case TraceKind::kPull: {
+      case TraceKind::kPull:
+      case TraceKind::kIvyServe: {
         auto it = by_op.find(e.op);
         if (it != by_op.end() && it->second.serve < 0) {
           it->second.serve = e.time;
@@ -306,6 +345,13 @@ std::vector<FaultBreakdown> AnalyzeFaultBreakdowns(const std::deque<TraceEvent>&
       case TraceKind::kXmmGrant: {
         auto it = by_loc.find(loc_key(e.peer, e.object, e.page));
         if (it != by_loc.end()) {
+          it->second.grant_sent = e.time;
+        }
+        break;
+      }
+      case TraceKind::kIvyGrant: {
+        auto it = by_op.find(e.op);
+        if (it != by_op.end()) {
           it->second.grant_sent = e.time;
         }
         break;
@@ -341,6 +387,8 @@ std::vector<FaultBreakdown> AnalyzeFaultBreakdowns(const std::deque<TraceEvent>&
         break;
       }
       case TraceKind::kInvalidate:
+      case TraceKind::kIvyInvalidate:
+      case TraceKind::kIvyChainCut:
       case TraceKind::kOwnershipMoved:
       case TraceKind::kEvictStep:
       case TraceKind::kPush:

@@ -42,6 +42,7 @@ class StatsRegistry;
 enum class TraceProtocol : uint8_t {
   kAsvm = 0,    // ASVM protocol agents
   kXmm,         // XMM proxies / the centralized manager
+  kIvy,         // IVY dynamic distributed manager (probable-owner chains)
   kTransport,   // STS / NORMA software send-receive path
   kMesh,        // fabric-level events (fault-plan jitter, dropped messages)
   kDisk,        // paging/file disks (the pager path's physical tail)
@@ -72,6 +73,16 @@ enum class TraceKind : uint8_t {
   kXmmFlush,           // manager flushed a writer/reader (aux: 1 write, 2 read)
   kXmmGrant,           // manager sent the grant back (peer = origin)
   kXmmCopyFault,       // internal copy pager served a copy fault (peer = src)
+  // --- IVY protocol ----------------------------------------------------------
+  kIvyRequest,         // origin sent a request toward its probable owner (peer)
+  kIvyForward,         // non-owner forwarded along its hint (peer = next hop,
+                       // aux = hops so far) — the chain-hop span --breakdown
+                       // charges to the forward segment
+  kIvyServe,           // true owner began serving (peer = origin, aux = hops)
+  kIvyInvalidate,      // owner invalidated a copyset member (peer = reader)
+  kIvyGrant,           // owner sent the grant (peer = origin; aux = access,
+                       // -1 for a lost-page reply)
+  kIvyChainCut,        // death notice re-aimed a hint off a corpse (peer = dead)
   // --- Transport / mesh ------------------------------------------------------
   kMsgSend,            // software send started (peer = dst, aux = wire bytes)
   kMsgRecv,            // handler dispatched (peer = src, aux = wire bytes)

@@ -10,6 +10,8 @@ const char* ToString(DsmKind kind) {
       return "ASVM";
     case DsmKind::kXmm:
       return "XMM";
+    case DsmKind::kIvy:
+      return "IVY";
   }
   return "?";
 }
@@ -44,6 +46,9 @@ Machine::Machine(const MachineConfig& config) : config_(config) {
       break;
     case DsmKind::kXmm:
       dsm_ = std::make_unique<XmmSystem>(*cluster_, config.xmm);
+      break;
+    case DsmKind::kIvy:
+      dsm_ = std::make_unique<IvySystem>(*cluster_, config.ivy);
       break;
   }
   if (config.failover.enabled) {

@@ -21,6 +21,7 @@
 #include "src/common/types.h"
 #include "src/dsm/cluster.h"
 #include "src/dsm/dsm_system.h"
+#include "src/ivy/ivy_system.h"
 #include "src/machvm/task_memory.h"
 #include "src/xmm/xmm_system.h"
 
@@ -29,6 +30,7 @@ namespace asvm {
 enum class DsmKind {
   kAsvm,  // the paper's system (§3)
   kXmm,   // NMK13 XMM baseline (§2.3)
+  kIvy,   // Li & Hudak dynamic distributed manager (probable-owner chains)
 };
 
 const char* ToString(DsmKind kind);
@@ -70,6 +72,7 @@ struct MachineConfig {
 
   AsvmConfig asvm;
   XmmConfig xmm;
+  IvyConfig ivy;
   MeshParams mesh;
   DiskParams disk;
   FilePagerParams file_pager;

@@ -31,13 +31,20 @@ inline constexpr const char* kStatDeathNotices = "dsm.failover.death_notices";
 inline constexpr const char* kStatLostPages = "dsm.failover.lost_pages";
 inline constexpr const char* kStatShadowRestreams = "dsm.failover.shadow_restreams";
 
-// Every dsm.failover.* counter, in report order. `asvmsim --fault-report`
-// iterates this array, so a counter added above (and here) shows up in the
-// report without touching the CLI — the lists cannot drift apart.
+// IVY-specific failover counters: a death notice re-aims probable-owner hints
+// off the corpse (chain cuts) and a requester reclaims a dead owner's page
+// after its lease expires (owner reclaims, with harvested-copy count).
+inline constexpr const char* kStatIvyChainCuts = "dsm.ivy.chain_cuts";
+inline constexpr const char* kStatIvyOwnerReclaims = "dsm.ivy.owner_reclaims";
+inline constexpr const char* kStatIvyHarvestedPages = "dsm.ivy.harvested_pages";
+
+// Every failover counter, in report order. `asvmsim --fault-report` iterates
+// this array, so a counter added above (and here) shows up in the report
+// without touching the CLI — the lists cannot drift apart.
 inline constexpr const char* kFailoverStatNames[] = {
-    kStatPromotions,     kStatShadowUpdates, kStatLeaseReclaims, kStatReconstructedPages,
-    kStatRestarts,       kStatReissues,      kStatDeathNotices,  kStatLostPages,
-    kStatShadowRestreams,
+    kStatPromotions,     kStatShadowUpdates,   kStatLeaseReclaims,    kStatReconstructedPages,
+    kStatRestarts,       kStatReissues,        kStatDeathNotices,     kStatLostPages,
+    kStatShadowRestreams, kStatIvyChainCuts,   kStatIvyOwnerReclaims, kStatIvyHarvestedPages,
 };
 
 }  // namespace asvm

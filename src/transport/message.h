@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/asvm/messages.h"
+#include "src/ivy/ivy_messages.h"
 #include "src/xmm/xmm_messages.h"
 
 namespace asvm {
@@ -28,6 +29,7 @@ enum class ProtocolId : uint32_t {
   kAsvm = 1,
   kXmm = 2,
   kPagerControl = 3,  // pager-level traffic (file pager requests, etc.)
+  kIvy = 4,
 };
 
 // Pager-level control traffic. The simulator's pagers talk through direct
@@ -53,7 +55,7 @@ constexpr const char* MsgTypeName(PagerMsgType type) {
 
 // The closed set of protocol bodies a Message can carry. monostate covers
 // tag-only control messages (and default construction).
-using MessageBody = std::variant<std::monostate, AsvmBody, XmmBody, PagerBody>;
+using MessageBody = std::variant<std::monostate, AsvmBody, XmmBody, PagerBody, IvyBody>;
 
 // Helper for exhaustive std::visit dispatch over message bodies:
 //   std::visit(Overloaded{[](const AccessRequest& r) {...}, ...}, body);
@@ -93,6 +95,8 @@ constexpr const char* MsgTypeName(const Message& msg) {
       return MsgTypeName(static_cast<XmmMsgType>(msg.type));
     case ProtocolId::kPagerControl:
       return MsgTypeName(static_cast<PagerMsgType>(msg.type));
+    case ProtocolId::kIvy:
+      return MsgTypeName(static_cast<IvyMsgType>(msg.type));
   }
   return "unknown";
 }
@@ -105,6 +109,8 @@ constexpr const char* ProtocolName(ProtocolId protocol) {
       return "xmm";
     case ProtocolId::kPagerControl:
       return "pager";
+    case ProtocolId::kIvy:
+      return "ivy";
   }
   return "unknown";
 }

@@ -89,7 +89,7 @@ class Transport {
   // Protocol ids are small contiguous integers; message-type tags are small
   // per-protocol enums. Both are bounded so dispatch and the per-type counter
   // cache can be flat arrays instead of map lookups on the hot path.
-  static constexpr size_t kMaxProtocols = 4;
+  static constexpr size_t kMaxProtocols = 5;
   static constexpr size_t kMaxMsgTypes = 32;
 
   void Deliver(NodeId src, NodeId dst, Message msg);

@@ -83,7 +83,7 @@ void XmmAgent::DataUnlock(VmObject& object, PageIndex page, PageAccess desired) 
 }
 
 void XmmAgent::SendRequest(const MemObjectId& id, PageIndex page, PageAccess access,
-                           bool has_copy) {
+                           bool has_copy, uint64_t reuse_op) {
   const XmmObjectInfo& info = system_.info(id);
   XmmRequest req{id, page, access, node_, has_copy};
   if (info.IsCopyObject()) {
@@ -119,13 +119,15 @@ void XmmAgent::SendRequest(const MemObjectId& id, PageIndex page, PageAccess acc
   if (failover_.enabled && retry_policy().timeout_ns > 0) {
     // Arm a pending op on the request itself so manager silence is detected.
     // The resend re-reads the directory: if another origin already promoted
-    // the backup, retries go straight to the new manager.
-    req.op_id = system_.NextOpId(node_);
+    // the backup, retries go straight to the new manager. A reissue keeps the
+    // original id (ASVM's ArmRequest discipline): the serve it may have
+    // started stays one transaction, and its reply resolves the live op.
+    req.op_id = reuse_op != 0 ? reuse_op : system_.NextOpId(node_);
     RegisterOp(req.op_id, 1, "xmm-request", id, page);
     if (PendingOp* op = FindOp(req.op_id); op != nullptr) {
       op->targets = {info.manager};
-      op->on_fail = [this, id, page, access, has_copy](Status) {
-        ReissueAfterPromotion(id, page, access, has_copy);
+      op->on_fail = [this, id, page, access, has_copy, op_id = req.op_id](Status) {
+        ReissueAfterPromotion(id, page, access, has_copy, op_id);
       };
     }
     ArmOp(req.op_id, [this, req]() {
@@ -222,18 +224,18 @@ void XmmAgent::RetargetShadowStream(NodeId dead) {
 }
 
 void XmmAgent::ReissueAfterPromotion(const MemObjectId& id, PageIndex page, PageAccess access,
-                                     bool has_copy) {
+                                     bool has_copy, uint64_t reuse_op) {
   // The manager is confirmed removed. Promote its backup at the next
   // sequencing point — a cluster mutation, so every origin observes the
   // handover in the same global order at every shard count — then replay the
   // request against the new manager from this node's own engine.
-  system_.cluster().mutator().Enqueue(node_, [this, id, page, access, has_copy]() {
+  system_.cluster().mutator().Enqueue(node_, [this, id, page, access, has_copy, reuse_op]() {
     system_.PromoteIfManagerDead(id);
-    engine().Post([this, id, page, access, has_copy]() {
+    engine().Post([this, id, page, access, has_copy, reuse_op]() {
       if (stats_ != nullptr) {
         stats_->Add(kStatReissues);
       }
-      SendRequest(id, page, access, has_copy);
+      SendRequest(id, page, access, has_copy, reuse_op);
     });
   });
 }

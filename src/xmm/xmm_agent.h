@@ -77,7 +77,13 @@ class XmmAgent : public Pager, public ProtocolAgent {
  private:
   friend class XmmSystem;
 
-  void SendRequest(const MemObjectId& id, PageIndex page, PageAccess access, bool has_copy);
+  // reuse_op keeps a reissued request part of the same transaction as the
+  // original: the manager's dedup table already knows the id, so a serve still
+  // in flight is not started twice, and its eventual reply resolves the live
+  // op instead of being dropped as a straggler (which would discard the only
+  // copy of the page mid-ownership-transfer and reissue forever).
+  void SendRequest(const MemObjectId& id, PageIndex page, PageAccess access, bool has_copy,
+                   uint64_t reuse_op = 0);
 
   // --- Failover (DESIGN.md §14) ---------------------------------------------
 
@@ -109,9 +115,10 @@ class XmmAgent : public Pager, public ProtocolAgent {
   void SendShadowManifest(const MemObjectId& id, PageIndex page, NodeId backup);
 
   // kNodeDown recovery: promote the dead manager's backup at the next
-  // sequencing point, then replay the request against the new manager.
+  // sequencing point, then replay the request against the new manager under
+  // the original op id (see SendRequest's reuse_op).
   void ReissueAfterPromotion(const MemObjectId& id, PageIndex page, PageAccess access,
-                             bool has_copy);
+                             bool has_copy, uint64_t reuse_op);
 
   // Manager role.
   void ManagerHandle(XmmRequest req);

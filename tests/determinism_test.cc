@@ -54,6 +54,10 @@ TEST(DeterminismTest, XmmCoherencyRunsAreBitStable) {
   EXPECT_EQ(CoherencyWorkload(DsmKind::kXmm), CoherencyWorkload(DsmKind::kXmm));
 }
 
+TEST(DeterminismTest, IvyCoherencyRunsAreBitStable) {
+  EXPECT_EQ(CoherencyWorkload(DsmKind::kIvy), CoherencyWorkload(DsmKind::kIvy));
+}
+
 TEST(DeterminismTest, Em3dTimedRunsAreBitStable) {
   auto run = []() {
     Em3dParams params;
@@ -148,6 +152,13 @@ TEST(DeterminismTest, XmmTimelineDigestMatchesGolden) {
   EXPECT_EQ(DigestWorkload(DsmKind::kXmm), 9185313916855082992ULL);
 }
 
+TEST(DeterminismTest, IvyTimelineDigestMatchesGolden) {
+  // Recorded when the IVY backend landed; pins the dynamic-ownership timeline
+  // (forward chains, migrations, compression) the same way the ASVM and XMM
+  // goldens pin theirs.
+  EXPECT_EQ(DigestWorkload(DsmKind::kIvy), 13603137395560274450ULL);
+}
+
 // Fault-injected digest: the same workload as DigestWorkload, but run under a
 // fault profile with timeouts/retries armed, folding in the robustness
 // counters too. Two runs with the same (profile, seed) must be bit-identical
@@ -190,7 +201,7 @@ uint64_t FaultDigestWorkload(DsmKind kind, const char* profile, uint64_t seed) {
 }
 
 TEST(DeterminismTest, FaultInjectedRunsAreBitStablePerProfile) {
-  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm}) {
+  for (DsmKind kind : {DsmKind::kAsvm, DsmKind::kXmm, DsmKind::kIvy}) {
     for (const char* profile : {"jitter", "slow-node", "degraded-links"}) {
       EXPECT_EQ(FaultDigestWorkload(kind, profile, 42),
                 FaultDigestWorkload(kind, profile, 42))

@@ -1,0 +1,330 @@
+// IVY protocol properties (DESIGN.md §15): the invariants the dynamic
+// distributed manager stands on, asserted directly against the agents' state
+// rather than through workload behavior.
+//
+//   1. Forwarding-chain convergence: probable-owner chains always terminate at
+//      the (unique) owner within the protocol's hop bound, and one compression
+//      round collapses them to direct pointers.
+//   2. No ownership evaporation: under armed retries, duplicate requests and
+//      straggler ownership grants (the PR 9 livelock shape) never leave a page
+//      with zero owners or two — exactly one node holds the owner record after
+//      every committed access.
+//   3. Chain cut on death: hints aimed at a corpse are re-aimed by the death
+//      notice, the corpse's pages are reclaimed by lease + newest-copy
+//      harvest, and witnessed contents survive bit-exact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/machine.h"
+#include "src/ivy/ivy_agent.h"
+#include "src/ivy/ivy_system.h"
+#include "src/mesh/fault_plan.h"
+
+#include "dsm_test_util.h"
+
+namespace asvm {
+namespace {
+
+class IvyPropertyTest : public ::testing::Test {
+ protected:
+  static constexpr VmSize kPages = 4;
+
+  void Build(MachineConfig config) {
+    config.dsm = DsmKind::kIvy;
+    machine_ = std::make_unique<Machine>(config);
+    region_ = machine_->CreateSharedRegion(0, kPages);
+    for (NodeId n = 0; n < machine_->nodes(); ++n) {
+      mems_.push_back(&machine_->MapRegion(n, region_));
+    }
+  }
+
+  IvySystem& ivy() { return static_cast<IvySystem&>(machine_->dsm()); }
+
+  VmOffset PageAddr(VmSize page) const { return page * machine_->page_size(); }
+
+  uint64_t SyncRead(NodeId n, VmOffset addr) {
+    auto f = mems_[n]->ReadU64(addr);
+    machine_->Run();
+    EXPECT_TRUE(f.ready()) << "read wedged (node " << n << ", addr " << addr << ")";
+    return f.ready() ? f.value() : ~0ULL;
+  }
+
+  void SyncWrite(NodeId n, VmOffset addr, uint64_t value) {
+    auto f = mems_[n]->WriteU64(addr, value);
+    machine_->Run();
+    ASSERT_TRUE(f.ready()) << "write wedged (node " << n << ", addr " << addr << ")";
+    ASSERT_EQ(f.value(), Status::kOk);
+  }
+
+  // Every node currently holding the owner record for (region, page). The
+  // exactly-one-owner invariant says this always has size 1 at quiescence.
+  std::vector<NodeId> Owners(PageIndex page) {
+    std::vector<NodeId> owners;
+    for (NodeId n = 0; n < machine_->nodes(); ++n) {
+      if (ivy().agent(n).Owns(region_, page)) {
+        owners.push_back(n);
+      }
+    }
+    return owners;
+  }
+
+  void ExpectExactlyOneOwner(const char* when) {
+    for (PageIndex p = 0; p < static_cast<PageIndex>(kPages); ++p) {
+      const std::vector<NodeId> owners = Owners(p);
+      EXPECT_EQ(owners.size(), 1u)
+          << when << ": page " << p << " has " << owners.size()
+          << " owners (ownership " << (owners.empty() ? "evaporated" : "duplicated") << ")";
+    }
+  }
+
+  // Walks the probable-owner chain from `from` until it lands on the owner.
+  // Returns the hop count, or -1 if the walk cycles past the protocol bound.
+  int ChainLength(PageIndex page, NodeId from) {
+    const int limit = machine_->nodes() * 4;
+    NodeId at = from;
+    int hops = 0;
+    while (!ivy().agent(at).Owns(region_, page)) {
+      if (++hops > limit) {
+        return -1;
+      }
+      at = ivy().agent(at).ProbableOwner(region_, page);
+    }
+    return hops;
+  }
+
+  void AdvancePast(SimTime when) {
+    if (machine_->Now() <= when) {
+      machine_->engine().Schedule(when - machine_->Now() + kMillisecond, []() {});
+      machine_->Run();
+    }
+    ASSERT_GT(machine_->Now(), when);
+  }
+
+  std::unique_ptr<Machine> machine_;
+  MemObjectId region_;
+  std::vector<TaskMemory*> mems_;
+};
+
+// Property 1: after ownership migrates along a line of writers, the stale
+// hints form a chain that (a) still terminates at the owner within the hop
+// bound, and (b) collapses to direct pointers after every node faults once —
+// Li & Hudak's path-compression guarantee.
+TEST_F(IvyPropertyTest, ForwardingChainsConvergeAfterCompression) {
+  MachineConfig config;
+  config.nodes = 8;
+  Build(config);
+  const VmOffset addr = PageAddr(0);
+
+  // Migrate ownership 1 -> 2 -> ... -> 7. Each transfer leaves the previous
+  // owner's hint aimed at its successor, building the longest chain the
+  // protocol can produce organically.
+  for (NodeId w = 1; w < machine_->nodes(); ++w) {
+    SyncWrite(w, addr, 100 + w);
+    const std::vector<NodeId> owners = Owners(0);
+    ASSERT_EQ(owners.size(), 1u);
+    EXPECT_EQ(owners[0], w) << "write grant did not migrate ownership";
+  }
+
+  // Pre-compression: node 1's chain threads through every former owner, but
+  // must still terminate within the bound from every starting node.
+  const int last = machine_->nodes() - 1;
+  const int before = ChainLength(0, 1);
+  ASSERT_GE(before, 0) << "chain from node 1 does not terminate";
+  EXPECT_LE(before, machine_->nodes());
+  EXPECT_GT(before, 1) << "migration should have left a multi-hop chain";
+  for (NodeId n = 0; n < machine_->nodes(); ++n) {
+    const int len = ChainLength(0, n);
+    ASSERT_GE(len, 0) << "chain from node " << n << " does not terminate";
+    EXPECT_LE(len, machine_->nodes());
+  }
+
+  // Compression round: one fault per node. Each grant aims the requester's
+  // hint straight at the owner, so every chain collapses to <= 1 hop.
+  for (NodeId n = 0; n < machine_->nodes(); ++n) {
+    EXPECT_EQ(SyncRead(n, addr), 100u + static_cast<uint64_t>(last));
+  }
+  for (NodeId n = 0; n < machine_->nodes(); ++n) {
+    EXPECT_LE(ChainLength(0, n), 1)
+        << "node " << n << "'s chain did not compress to a direct pointer";
+  }
+
+  // Write-side compression: forwarding a write re-aims every relay at the
+  // requester, so after one more migration the chains stay collapsed.
+  SyncWrite(2, addr, 500);
+  for (NodeId n = 0; n < machine_->nodes(); ++n) {
+    EXPECT_LE(ChainLength(0, n), 1) << "write forwarding left node " << n << " stale";
+  }
+
+  ExpectExactlyOneOwner("after compression rounds");
+  EXPECT_EQ(machine_->stats().Get("dsm.ivy.dropped_forwards"), 0);
+  EXPECT_GT(machine_->stats().Get("dsm.ivy.forwards"), 0);
+  EXPECT_GT(machine_->stats().Get("dsm.ivy.ownership_moves"), 0);
+}
+
+// Property 2: exactly one owner per page, always. Retries are armed with a
+// timeout short enough that degraded links force resends — the duplicate
+// requests and straggler ownership grants that livelocked XMM's promotion
+// logic in its day (the PR 9 regression shape). Duplicates must be absorbed:
+// no page may end an access with zero owner records or two, no access may
+// wedge, and reads must stay coherent throughout.
+TEST_F(IvyPropertyTest, OwnershipNeverEvaporatesUnderDuplicateGrants) {
+  MachineConfig config;
+  config.nodes = 6;
+  ASSERT_TRUE(FaultProfileFromName("degraded-links", 11, config.nodes, &config.fault));
+  // Short timeout + armed failover = pending ops on every request, resends on
+  // every delay spike. The dedup path (op ids + straggler grant acceptance)
+  // is what this test exists to regress.
+  config.retry.timeout_ns = 2 * kMillisecond;
+  config.failover.enabled = true;
+  config.stall_watchdog = true;
+  Build(config);
+
+  CoherenceOracle oracle;
+  Rng rng(0x1FF7);
+  for (int i = 0; i < 150; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.NextBelow(mems_.size()));
+    const PageIndex page = static_cast<PageIndex>(rng.NextBelow(kPages));
+    const VmOffset addr = PageAddr(page);
+    if (rng.NextBool(0.5)) {
+      const uint64_t value = static_cast<uint64_t>(i) + 1;
+      SyncWrite(node, addr, value);
+      oracle.RecordWrite(addr, value);
+    } else {
+      oracle.CheckRead(addr, SyncRead(node, addr));
+    }
+    const std::vector<NodeId> owners = Owners(page);
+    ASSERT_EQ(owners.size(), 1u)
+        << "op " << i << " left page " << page << " with " << owners.size() << " owners";
+  }
+
+  // Contended rounds: concurrent blind writes from several nodes maximize
+  // in-flight transfer overlap (the straggler-grant window).
+  for (int round = 0; round < 20; ++round) {
+    const VmOffset addr = PageAddr(rng.NextBelow(kPages));
+    std::vector<Future<Status>> writes;
+    uint64_t last_value = 0;
+    for (int w = 0; w < 3; ++w) {
+      const NodeId node = static_cast<NodeId>(rng.NextBelow(mems_.size()));
+      last_value = 1000 + static_cast<uint64_t>(round) * 10 + static_cast<uint64_t>(w);
+      writes.push_back(mems_[node]->WriteU64(addr, last_value));
+    }
+    machine_->Run();
+    for (auto& w : writes) {
+      ASSERT_TRUE(w.ready()) << "contended write wedged in round " << round;
+      ASSERT_EQ(w.value(), Status::kOk);
+    }
+    ExpectExactlyOneOwner("after contended round");
+  }
+
+  EXPECT_EQ(oracle.violations(), 0);
+  EXPECT_EQ(machine_->stats().Get("sim.stalls_detected"), 0)
+      << machine_->last_stall_report();
+  EXPECT_EQ(machine_->stats().Get("dsm.ivy.dropped_forwards"), 0);
+  EXPECT_GT(machine_->stats().Get("dsm.ivy.requests"), 0);
+}
+
+// Shared setup for the death properties: the doomed node owns page 0, nodes
+// 0 and 1 hold read copies (their hints aim at the corpse-to-be), and the
+// write has been witnessed so its contents are reconstructible.
+class IvyDeathPropertyTest : public IvyPropertyTest {
+ protected:
+  static constexpr NodeId kVictim = 3;
+  static constexpr SimTime kKillAt = 200 * kMillisecond;
+
+  void BuildDoomedOwner() {
+    MachineConfig config;
+    config.nodes = 4;
+    config.fault.removals.push_back({kVictim, kKillAt});
+    config.retry.timeout_ns = 2 * kMillisecond;
+    config.failover.enabled = true;
+    config.stall_watchdog = true;
+    Build(config);
+    const VmOffset addr = PageAddr(0);
+    SyncWrite(kVictim, addr, 7);
+    ASSERT_EQ(Owners(0), std::vector<NodeId>{kVictim});
+    EXPECT_EQ(SyncRead(0, addr), 7u);
+    EXPECT_EQ(SyncRead(1, addr), 7u);
+    EXPECT_EQ(ivy().agent(0).ProbableOwner(region_, 0), kVictim);
+    EXPECT_EQ(ivy().agent(1).ProbableOwner(region_, 0), kVictim);
+    AdvancePast(kKillAt);
+  }
+
+  void ExpectSurvivorsRecovered() {
+    // The reclaim must have moved the owner record to a survivor and buried
+    // the corpse's copy of it.
+    const std::vector<NodeId> owners = Owners(0);
+    ASSERT_EQ(owners.size(), 1u) << "reclaim left " << owners.size() << " owner records";
+    EXPECT_NE(owners[0], kVictim) << "the corpse still owns the page";
+    // Survivors' chains are re-aimed: every walk must still terminate.
+    for (NodeId n = 0; n < machine_->nodes(); ++n) {
+      if (n == kVictim) {
+        continue;
+      }
+      const int len = ChainLength(0, n);
+      ASSERT_GE(len, 0) << "node " << n << "'s chain does not terminate post-death";
+      EXPECT_LE(len, machine_->nodes());
+    }
+    EXPECT_GE(machine_->stats().Get("dsm.ivy.owner_reclaims"), 1);
+    EXPECT_EQ(machine_->stats().Get("sim.stalls_detected"), 0)
+        << machine_->last_stall_report();
+  }
+};
+
+// Property 3a: a fault whose chain merely threads through the corpse (the
+// requester's own hint aims at a live relay) recovers via lease reclaim +
+// newest-copy harvest, and the witnessed contents come back bit-exact —
+// never zero-filled.
+TEST_F(IvyDeathPropertyTest, ReclaimHarvestsWitnessedContents) {
+  BuildDoomedOwner();
+  const VmOffset addr = PageAddr(0);
+
+  // Node 2 never touched the page: its fault walks home -> corpse, times
+  // out, reclaims, and must recover the witnessed 7.
+  EXPECT_EQ(SyncRead(2, addr), 7u) << "witnessed contents lost with the owner";
+  ExpectSurvivorsRecovered();
+
+  // The page stays fully writable and coherent across the survivors.
+  SyncWrite(0, addr, 9);
+  EXPECT_EQ(SyncRead(1, addr), 9u);
+  EXPECT_EQ(SyncRead(2, addr), 9u);
+  ExpectExactlyOneOwner("after post-death write");
+}
+
+// Property 3b: when the corpse is a request's direct target, the confirmed
+// death is gossiped and every survivor's hint aimed at the corpse is cut to
+// a live node — the chain-cut path, counted under dsm.ivy.chain_cuts.
+TEST_F(IvyDeathPropertyTest, DeathNoticeCutsChainsThroughCorpse) {
+  BuildDoomedOwner();
+  const VmOffset addr = PageAddr(0);
+
+  // Node 1 holds a read copy, so a write faults as an upgrade aimed straight
+  // at the dead owner. The exhausted op confirms the death (kNodeDown),
+  // gossips it, and the notice cuts node 0's and node 1's hints.
+  SyncWrite(1, addr, 9);
+  EXPECT_GE(machine_->stats().Get("dsm.ivy.chain_cuts"), 1)
+      << "no hint through the corpse was cut";
+  EXPECT_GE(machine_->stats().Get("dsm.op_node_down"), 1)
+      << "the corpse was never confirmed dead";
+  ASSERT_EQ(Owners(0), std::vector<NodeId>{NodeId{1}});
+
+  // No surviving hint may aim at the corpse any more.
+  for (NodeId n = 0; n < machine_->nodes(); ++n) {
+    if (n == kVictim) {
+      continue;
+    }
+    EXPECT_NE(ivy().agent(n).ProbableOwner(region_, 0), kVictim)
+        << "node " << n << "'s hint still aims at the corpse";
+  }
+
+  EXPECT_EQ(SyncRead(0, addr), 9u);
+  EXPECT_EQ(SyncRead(2, addr), 9u);
+  ExpectSurvivorsRecovered();
+  ExpectExactlyOneOwner("after chain-cut recovery");
+}
+
+}  // namespace
+}  // namespace asvm

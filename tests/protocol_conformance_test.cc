@@ -1,0 +1,263 @@
+// Cross-backend protocol conformance: the CoherenceOracle (tests/dsm_test_util.h)
+// is run against every DsmSystem backend — ASVM, XMM, and IVY — under a table
+// of operating regimes. The contract is identical for all three protocols:
+//   1. A read returns exactly the last committed write (sequential consistency
+//      for the one-op-at-a-time driver), regardless of which fault regime was
+//      active when the access ran.
+//   2. No access wedges: the machine must quiesce with every future resolved.
+//   3. In the kill-owner regime, pages whose owner died but whose contents
+//      survive elsewhere (a read copy, the manager's coherent version, or the
+//      shadow backup) must be reconstructed bit-exact — never zero-filled.
+//
+// Regimes: quiescent (no faults), jitter / slow-node / degraded-links
+// (delay-only profiles with timeouts and retries armed), and kill-owner (a
+// page-owning node is removed mid-run with failover enabled).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/machine.h"
+#include "src/mesh/fault_plan.h"
+
+#include "dsm_test_util.h"
+
+namespace asvm {
+namespace {
+
+constexpr SimTime kKillAt = 1 * kSecond;
+constexpr NodeId kVictim = 3;
+
+struct ConformanceConfig {
+  DsmKind dsm;
+  // "quiescent", a FaultProfileFromName delay profile, or "kill-owner".
+  const char* regime;
+  const char* label;
+  uint64_t fault_seed = 0;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<ConformanceConfig>& info) {
+  return info.param.label;
+}
+
+bool IsKillRegime(const ConformanceConfig& p) {
+  return std::string(p.regime) == "kill-owner";
+}
+
+// The backend factory: one MachineConfig per (backend, regime) cell. The
+// kill-owner regime builds its removal by hand (rather than via the CLI
+// profile) so the kill lands at a time the oracle phases control.
+std::unique_ptr<Machine> BuildMachine(const ConformanceConfig& p) {
+  MachineConfig config;
+  config.nodes = 6;
+  config.dsm = p.dsm;
+  const std::string regime = p.regime;
+  if (regime == "kill-owner") {
+    config.fault.removals.push_back({kVictim, kKillAt});
+    config.retry.timeout_ns = 2 * kMillisecond;
+    config.failover.enabled = true;
+    config.stall_watchdog = true;
+  } else if (regime != "quiescent") {
+    EXPECT_TRUE(FaultProfileFromName(p.regime, p.fault_seed, config.nodes, &config.fault));
+    config.retry.timeout_ns = 20 * kMillisecond;
+    config.stall_watchdog = true;
+  }
+  return std::make_unique<Machine>(config);
+}
+
+class ProtocolConformanceTest : public ::testing::TestWithParam<ConformanceConfig> {
+ protected:
+  static constexpr VmSize kPages = 8;
+
+  void Build() {
+    machine_ = BuildMachine(GetParam());
+    region_ = machine_->CreateSharedRegion(0, kPages);
+    for (NodeId n = 0; n < machine_->nodes(); ++n) {
+      mems_.push_back(&machine_->MapRegion(n, region_));
+    }
+  }
+
+  VmOffset PageAddr(VmSize page) const { return page * machine_->page_size(); }
+
+  uint64_t SyncRead(NodeId n, VmOffset addr) {
+    auto f = mems_[n]->ReadU64(addr);
+    machine_->Run();
+    EXPECT_TRUE(f.ready()) << "read wedged (node " << n << ", addr " << addr << ")";
+    return f.ready() ? f.value() : ~0ULL;
+  }
+
+  void SyncWrite(NodeId n, VmOffset addr, uint64_t value) {
+    auto f = mems_[n]->WriteU64(addr, value);
+    machine_->Run();
+    ASSERT_TRUE(f.ready()) << "write wedged (node " << n << ", addr " << addr << ")";
+    ASSERT_EQ(f.value(), Status::kOk);
+  }
+
+  void AdvancePast(SimTime when) {
+    if (machine_->Now() <= when) {
+      machine_->engine().Schedule(when - machine_->Now() + kMillisecond, []() {});
+      machine_->Run();
+    }
+    ASSERT_GT(machine_->Now(), when);
+  }
+
+  void ExpectClean() {
+    EXPECT_EQ(oracle_.violations(), 0) << GetParam().label;
+    EXPECT_EQ(machine_->stats().Get("sim.stalls_detected"), 0)
+        << GetParam().label << "\n" << machine_->last_stall_report();
+  }
+
+  std::unique_ptr<Machine> machine_;
+  MemObjectId region_;
+  std::vector<TaskMemory*> mems_;
+  CoherenceOracle oracle_;
+};
+
+// Randomized single-op driver against the oracle. In the kill-owner regime
+// the run is phased: first the whole cluster (victim included) mixes reads
+// and writes, every victim write is witnessed by a survivor read (leaving a
+// reconstructible copy), then the victim dies and the survivors re-verify and
+// keep mutating every page.
+TEST_P(ProtocolConformanceTest, RandomOpsMatchOracleAcrossRegimes) {
+  Build();
+  const bool kill = IsKillRegime(GetParam());
+  Rng rng(0xD15C + GetParam().fault_seed);
+  uint64_t next_value = 1;
+
+  const int healthy_ops = kill ? 40 : 220;
+  for (int i = 0; i < healthy_ops; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.NextBelow(mems_.size()));
+    const VmOffset addr = PageAddr(rng.NextBelow(kPages));
+    if (rng.NextBool(0.45)) {
+      const uint64_t value = next_value++;
+      SyncWrite(node, addr, value);
+      oracle_.RecordWrite(addr, value);
+      if (kill && node == kVictim) {
+        // Witness the doomed owner's write from a survivor so the contents
+        // outlive it (read copy + manager/shadow path, backend-dependent).
+        oracle_.CheckRead(addr, SyncRead((node + 1) % mems_.size(), addr));
+      }
+    } else {
+      oracle_.CheckRead(addr, SyncRead(node, addr));
+    }
+    ASSERT_EQ(oracle_.violations(), 0)
+        << GetParam().label << ": divergence at op " << i << " (node " << node << ")";
+  }
+
+  if (kill) {
+    ASSERT_LT(machine_->Now(), kKillAt) << "healthy phase overran the kill time";
+    // Make sure the victim owns at least one page when it dies: the last
+    // healthy-phase write comes from the victim and is witnessed.
+    const VmOffset doomed = PageAddr(kPages - 1);
+    const uint64_t value = next_value++;
+    SyncWrite(kVictim, doomed, value);
+    oracle_.RecordWrite(doomed, value);
+    oracle_.CheckRead(doomed, SyncRead(0, doomed));
+
+    AdvancePast(kKillAt);
+
+    // Survivors: every page must read back bit-exact through the recovery
+    // machinery, then stay writable and coherent.
+    for (VmSize p = 0; p < kPages; ++p) {
+      const VmOffset addr = PageAddr(p);
+      const NodeId reader = static_cast<NodeId>((p + (p >= kVictim ? 1 : 0)) % mems_.size());
+      const NodeId survivor_reader = reader == kVictim ? 0 : reader;
+      oracle_.CheckRead(addr, SyncRead(survivor_reader, addr));
+      ASSERT_EQ(oracle_.violations(), 0)
+          << GetParam().label << ": post-kill recovery diverged on page " << p;
+    }
+    for (int i = 0; i < 60; ++i) {
+      NodeId node = static_cast<NodeId>(rng.NextBelow(mems_.size()));
+      if (node == kVictim) {
+        node = (node + 1) % static_cast<NodeId>(mems_.size());
+      }
+      const VmOffset addr = PageAddr(rng.NextBelow(kPages));
+      if (rng.NextBool(0.5)) {
+        const uint64_t v = next_value++;
+        SyncWrite(node, addr, v);
+        oracle_.RecordWrite(addr, v);
+      } else {
+        oracle_.CheckRead(addr, SyncRead(node, addr));
+      }
+      ASSERT_EQ(oracle_.violations(), 0)
+          << GetParam().label << ": post-kill divergence at op " << i;
+    }
+  }
+
+  ExpectClean();
+}
+
+// Write-contention conformance: concurrent writers to one page must leave a
+// single agreed value that one of them wrote — the single-writer invariant
+// every backend claims, exercised under each regime's delivery schedule.
+TEST_P(ProtocolConformanceTest, ConcurrentWritersLeaveOneCommittedValue) {
+  Build();
+  // Node-removal regimes are covered by the phased oracle test above; this
+  // driver issues concurrent blind writes, which are not meaningful while a
+  // victim is being removed mid-round.
+  if (IsKillRegime(GetParam())) {
+    GTEST_SKIP() << "concurrent blind writes are a healthy-regime driver";
+  }
+  Rng rng(0xFACE + GetParam().fault_seed);
+  const int rounds = 25;
+  for (int round = 0; round < rounds; ++round) {
+    const VmOffset addr = PageAddr(rng.NextBelow(kPages));
+    std::vector<uint64_t> values;
+    std::vector<Future<Status>> writes;
+    const int writers = 2 + static_cast<int>(rng.NextBelow(3));
+    for (int w = 0; w < writers; ++w) {
+      const NodeId node = static_cast<NodeId>(rng.NextBelow(mems_.size()));
+      const uint64_t value = static_cast<uint64_t>(round) * 100 + 1 + static_cast<uint64_t>(w);
+      values.push_back(value);
+      writes.push_back(mems_[node]->WriteU64(addr, value));
+    }
+    machine_->Run();
+    for (auto& w : writes) {
+      ASSERT_TRUE(w.ready()) << GetParam().label << ": contended write wedged";
+      ASSERT_EQ(w.value(), Status::kOk);
+    }
+    uint64_t agreed = 0;
+    for (size_t n = 0; n < mems_.size(); ++n) {
+      const uint64_t got = SyncRead(static_cast<NodeId>(n), addr);
+      if (n == 0) {
+        agreed = got;
+        ASSERT_TRUE(std::find(values.begin(), values.end(), agreed) != values.end())
+            << GetParam().label << ": value " << agreed << " was never written"
+            << " (round " << round << ")";
+      } else {
+        ASSERT_EQ(got, agreed)
+            << GetParam().label << ": nodes disagree in round " << round;
+      }
+    }
+  }
+  EXPECT_EQ(machine_->stats().Get("sim.stalls_detected"), 0)
+      << GetParam().label << "\n" << machine_->last_stall_report();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, ProtocolConformanceTest,
+    ::testing::Values(
+        // Quiescent: the baseline contract, no fault plan at all.
+        ConformanceConfig{DsmKind::kAsvm, "quiescent", "AsvmQuiescent"},
+        ConformanceConfig{DsmKind::kXmm, "quiescent", "XmmQuiescent"},
+        ConformanceConfig{DsmKind::kIvy, "quiescent", "IvyQuiescent"},
+        // Delay-only fault regimes with timeouts/retries armed.
+        ConformanceConfig{DsmKind::kAsvm, "jitter", "AsvmJitter", 7},
+        ConformanceConfig{DsmKind::kXmm, "jitter", "XmmJitter", 7},
+        ConformanceConfig{DsmKind::kIvy, "jitter", "IvyJitter", 7},
+        ConformanceConfig{DsmKind::kAsvm, "slow-node", "AsvmSlowNode", 13},
+        ConformanceConfig{DsmKind::kXmm, "slow-node", "XmmSlowNode", 13},
+        ConformanceConfig{DsmKind::kIvy, "slow-node", "IvySlowNode", 13},
+        ConformanceConfig{DsmKind::kAsvm, "degraded-links", "AsvmDegraded", 11},
+        ConformanceConfig{DsmKind::kXmm, "degraded-links", "XmmDegraded", 11},
+        ConformanceConfig{DsmKind::kIvy, "degraded-links", "IvyDegraded", 11},
+        // A page-owning node dies mid-run with failover armed.
+        ConformanceConfig{DsmKind::kAsvm, "kill-owner", "AsvmKillOwner"},
+        ConformanceConfig{DsmKind::kXmm, "kill-owner", "XmmKillOwner"},
+        ConformanceConfig{DsmKind::kIvy, "kill-owner", "IvyKillOwner"}),
+    ConfigName);
+
+}  // namespace
+}  // namespace asvm

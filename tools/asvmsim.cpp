@@ -60,7 +60,7 @@ struct Options {
 void Usage() {
   std::printf(
       "asvmsim — ASVM/XMM distributed memory simulator\n\n"
-      "  --dsm=asvm|xmm           memory manager (default asvm)\n"
+      "  --dsm=asvm|xmm|ivy       memory manager (default asvm)\n"
       "  --scheduler=wheel|heap   event scheduler: pooled timer wheel or the\n"
       "                           reference heap (identical timelines; default wheel)\n"
       "  --shards=N               parallel simulation shards (worker threads); every\n"
@@ -195,7 +195,10 @@ bool Parse(int argc, char** argv, Options* opts) {
         opts->dsm = DsmKind::kAsvm;
       } else if (value == "xmm") {
         opts->dsm = DsmKind::kXmm;
+      } else if (value == "ivy") {
+        opts->dsm = DsmKind::kIvy;
       } else {
+        std::printf("unknown dsm '%s'\n", value.c_str());
         return false;
       }
     } else if (ParseFlag(argv[i], "--scheduler", &value)) {
